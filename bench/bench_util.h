@@ -1,0 +1,48 @@
+#ifndef CONQUER_BENCH_BENCH_UTIL_H_
+#define CONQUER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "gen/tpch_dirty.h"
+
+namespace conquer {
+namespace bench {
+
+/// Returns a cached dirty TPC-H database for (scale factor in thousandths,
+/// inconsistency factor). Generation, identifier propagation, index build
+/// and statistics run once per configuration, outside any timed region.
+inline TpchDirtyDatabase& GetCachedDb(int sf_milli, int iff) {
+  static std::map<std::pair<int, int>, std::unique_ptr<TpchDirtyDatabase>>
+      cache;
+  auto key = std::make_pair(sf_milli, iff);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    TpchDirtyConfig config;
+    config.scale_factor = sf_milli / 1000.0;
+    config.inconsistency_factor = iff;
+    config.seed = 20060402;
+    auto gen = MakeTpchDirtyDatabase(config);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   gen.status().ToString().c_str());
+      std::abort();
+    }
+    auto db = std::make_unique<TpchDirtyDatabase>(std::move(gen).value());
+    Status s = db->BuildIndexesAndStats();
+    if (!s.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    it = cache.emplace(key, std::move(db)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace bench
+}  // namespace conquer
+
+#endif  // CONQUER_BENCH_BENCH_UTIL_H_

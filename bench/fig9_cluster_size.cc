@@ -1,0 +1,72 @@
+// Figure 9: TPC-H Query 3 running time as the average cluster size grows
+// (if = 1..5), original vs. rewritten, with and without the ORDER BY clause
+// (paper: sf=1; scale reduced here).
+//
+// Paper claims: both queries slow down as clusters grow (the join result
+// fans out), the rewritten query's extra cost comes from its GROUP BY (it
+// keeps growing with cluster size even after the ORDER BY is removed,
+// while the original without ORDER BY stays flat).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/clean_engine.h"
+#include "gen/tpch_queries.h"
+
+namespace conquer {
+namespace {
+
+constexpr int kSfMilli = 30;  // sf = 0.03
+
+void BM_Query3(benchmark::State& state) {
+  int iff = static_cast<int>(state.range(0));
+  bool rewritten = state.range(1) != 0;
+  bool with_order_by = state.range(2) != 0;
+  TpchDirtyDatabase& db = bench::GetCachedDb(kSfMilli, iff);
+  std::string sql = TpchQuery3(with_order_by);
+  CleanAnswerEngine engine(db.db.get(), &db.dirty);
+  size_t rows = 0;
+  for (auto _ : state) {
+    if (rewritten) {
+      auto answers = engine.Query(sql);
+      if (!answers.ok()) {
+        state.SkipWithError(answers.status().ToString().c_str());
+      }
+      rows = answers->answers.size();
+    } else {
+      auto rs = db.db->Query(sql);
+      if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+      rows = rs->num_rows();
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+
+void RegisterAll() {
+  for (int iff = 1; iff <= 5; ++iff) {
+    for (int rewritten = 0; rewritten <= 1; ++rewritten) {
+      for (int order_by = 0; order_by <= 1; ++order_by) {
+        std::string name = std::string("Fig9/Q3/") +
+                           (rewritten ? "Rewritten" : "Original") +
+                           (order_by ? "" : "NoOrderBy") + "/if:" +
+                           std::to_string(iff);
+        benchmark::RegisterBenchmark(name.c_str(), BM_Query3)
+            ->Args({iff, rewritten, order_by})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(3);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace conquer
+
+int main(int argc, char** argv) {
+  conquer::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

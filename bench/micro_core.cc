@@ -1,0 +1,97 @@
+// Micro-benchmarks of the core primitives: SQL parsing, binding, the
+// RewriteClean transformation, DCF operations, and the information-loss
+// distance. These bound the constant factors behind the offline (Fig. 7)
+// and online (Fig. 8) costs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "gen/tpch_queries.h"
+#include "plan/binder.h"
+#include "prob/dcf.h"
+#include "sql/parser.h"
+
+namespace conquer {
+namespace {
+
+void BM_ParseQuery(benchmark::State& state) {
+  const std::string& sql = FindTpchQuery(static_cast<int>(state.range(0)))->sql;
+  for (auto _ : state) {
+    auto stmt = Parser::Parse(sql);
+    if (!stmt.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseQuery)->Name("Micro/Parse")->Arg(3)->Arg(9);
+
+void BM_StatementToString(benchmark::State& state) {
+  auto stmt = Parser::Parse(FindTpchQuery(9)->sql);
+  for (auto _ : state) {
+    std::string text = (*stmt)->ToString();
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_StatementToString)->Name("Micro/Print");
+
+void BM_StatementClone(benchmark::State& state) {
+  auto stmt = Parser::Parse(FindTpchQuery(9)->sql);
+  for (auto _ : state) {
+    auto copy = (*stmt)->Clone();
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_StatementClone)->Name("Micro/CloneAst");
+
+void BM_DcfMerge(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<Dcf> tuples;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<uint32_t> values;
+    for (int a = 0; a < 16; ++a) {
+      values.push_back(static_cast<uint32_t>(a * 100 + rng.Uniform(0, 20)));
+    }
+    tuples.push_back(Dcf::ForTuple(std::move(values)));
+  }
+  for (auto _ : state) {
+    Dcf rep = tuples[0];
+    for (size_t i = 1; i < tuples.size(); ++i) rep = Dcf::Merge(rep, tuples[i]);
+    benchmark::DoNotOptimize(rep.weight);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_DcfMerge)->Name("Micro/DcfMerge64");
+
+void BM_InformationLossDistance(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<uint32_t> a, b;
+  for (int i = 0; i < 16; ++i) {
+    a.push_back(static_cast<uint32_t>(i * 100 + rng.Uniform(0, 20)));
+    b.push_back(static_cast<uint32_t>(i * 100 + rng.Uniform(0, 20)));
+  }
+  Dcf da = Dcf::ForTuple(a);
+  Dcf db_ = Dcf::ForTuple(b);
+  Dcf rep = Dcf::Merge(da, db_);
+  for (auto _ : state) {
+    double d = InformationLossDistance(da, rep, 1000.0);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_InformationLossDistance)->Name("Micro/InfoLossDistance");
+
+void BM_LikeMatch(benchmark::State& state) {
+  std::string text = "the quick brown fox jumps over the lazy dog";
+  for (auto _ : state) {
+    bool m1 = LikeMatch(text, "%brown%dog");
+    bool m2 = LikeMatch(text, "the%cat");
+    benchmark::DoNotOptimize(m1);
+    benchmark::DoNotOptimize(m2);
+  }
+}
+BENCHMARK(BM_LikeMatch)->Name("Micro/LikeMatch");
+
+}  // namespace
+}  // namespace conquer
+
+BENCHMARK_MAIN();

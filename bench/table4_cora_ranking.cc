@@ -1,0 +1,66 @@
+// Table 4: qualitative evaluation of the probability assignment on a
+// Cora-like bibliographic cluster of 56 tuples (paper Section 4.2).
+// Prints the most frequent values, the top-2 and the bottom-2 tuples by
+// assigned probability, mirroring the paper's table.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "gen/cora.h"
+#include "prob/assigner.h"
+
+namespace conquer {
+namespace {
+
+void PrintTuple(const Table& table, size_t row, double prob) {
+  const Row& r = table.row(row);
+  std::printf("  p=%.4f | %-22s | %-38s | %-28s | %-10s | %-4s | %s\n", prob,
+              r[1].string_value().c_str(), r[2].string_value().c_str(),
+              r[3].string_value().c_str(), r[4].string_value().c_str(),
+              r[5].string_value().c_str(), r[6].string_value().c_str());
+}
+
+int RunReport() {
+  DirtyTableInfo info;
+  auto table = MakeTable4Cluster(&info);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  auto details = AssignProbabilities(table->get(), info);
+  if (!details.ok()) {
+    std::fprintf(stderr, "%s\n", details.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<TupleProbability> ranked = *details;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const TupleProbability& a, const TupleProbability& b) {
+                     return a.probability > b.probability;
+                   });
+
+  std::printf("Table 4 reproduction: 56-tuple bibliographic cluster\n");
+  std::printf("(synthetic stand-in for the paper's Cora/Schapire cluster)\n\n");
+  std::printf("Most frequent (canonical) values:\n");
+  PrintTuple(**table, 0, -0.0);
+  std::printf("\nTop-2 tuples by assigned probability:\n");
+  PrintTuple(**table, ranked[0].row, ranked[0].probability);
+  PrintTuple(**table, ranked[1].row, ranked[1].probability);
+  std::printf("\nBottom-2 tuples by assigned probability:\n");
+  PrintTuple(**table, ranked[54].row, ranked[54].probability);
+  PrintTuple(**table, ranked[55].row, ranked[55].probability);
+
+  bool bottom_is_divergent =
+      (ranked[54].row >= 54 && ranked[55].row >= 54);
+  std::printf(
+      "\nPaper's check: the two least likely tuples are the misclustered "
+      "citation and the reformatted one -> %s\n",
+      bottom_is_divergent ? "REPRODUCED" : "NOT reproduced");
+  return bottom_is_divergent ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace conquer
+
+int main() { return conquer::RunReport(); }

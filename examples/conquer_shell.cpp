@@ -1,0 +1,157 @@
+// Interactive shell over a saved (or generated) dirty database.
+//
+// Run:  ./build/examples/conquer_shell [dir]
+//   dir: a directory written by SaveDatabase; when omitted, a small dirty
+//        TPC-H database is generated in memory.
+//
+// Commands:
+//   <select ...>;          ordinary SQL over the dirty data
+//   .clean <select ...>;   clean answers (probability per answer)
+//   .rewrite <select ...>; show the RewriteClean SQL
+//   .check <select ...>;   rewritability verdict (Dfn 7)
+//   .explain <select ...>; physical plan
+//   .tables                list tables
+//   .save <dir>            persist the database
+//   .quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/clean_engine.h"
+#include "engine/persist.h"
+#include "gen/tpch_dirty.h"
+
+using namespace conquer;
+
+namespace {
+
+void PrintStatus(const Status& s) {
+  std::printf("error: %s\n", s.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<Database> owned_db;
+  DirtySchema dirty;
+  std::unique_ptr<TpchDirtyDatabase> generated;
+  Database* db = nullptr;
+
+  if (argc > 1) {
+    auto loaded = LoadDatabase(argv[1], &dirty);
+    if (!loaded.ok()) {
+      PrintStatus(loaded.status());
+      return 1;
+    }
+    owned_db = std::move(loaded).value();
+    db = owned_db.get();
+    std::printf("Loaded database from %s\n", argv[1]);
+  } else {
+    TpchDirtyConfig config;
+    config.scale_factor = 0.002;
+    config.inconsistency_factor = 3;
+    auto gen = MakeTpchDirtyDatabase(config);
+    if (!gen.ok()) {
+      PrintStatus(gen.status());
+      return 1;
+    }
+    generated = std::make_unique<TpchDirtyDatabase>(std::move(gen).value());
+    if (Status s = generated->BuildIndexesAndStats(); !s.ok()) {
+      PrintStatus(s);
+      return 1;
+    }
+    dirty = generated->dirty;
+    db = generated->db.get();
+    std::printf("Generated dirty TPC-H (sf=0.002, if=3), %zu tuples.\n",
+                generated->TotalRows());
+  }
+
+  CleanAnswerEngine engine(db, &dirty);
+  std::printf("Type .help for commands; statements end with ';'.\n");
+
+  std::string buffer;
+  std::string line;
+  while (std::printf("conquer> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    buffer += line;
+    if (buffer.empty()) continue;
+    // Dot-commands without arguments execute immediately.
+    if (buffer == ".quit" || buffer == ".exit") break;
+    if (buffer == ".help") {
+      std::printf(
+          "  select ...;            ordinary SQL\n"
+          "  .clean select ...;     clean answers with probabilities\n"
+          "  .rewrite select ...;   show RewriteClean output\n"
+          "  .check select ...;     rewritability verdict\n"
+          "  .explain select ...;   physical plan\n"
+          "  .tables                list tables\n"
+          "  .save <dir>            persist database\n"
+          "  .quit\n");
+      buffer.clear();
+      continue;
+    }
+    if (buffer == ".tables") {
+      for (const std::string& name : db->catalog().TableNames()) {
+        auto t = db->GetTable(name);
+        std::printf("  %-12s %zu rows%s\n", name.c_str(),
+                    t.ok() ? (*t)->num_rows() : 0,
+                    dirty.Find(name) != nullptr ? "  [dirty]" : "");
+      }
+      buffer.clear();
+      continue;
+    }
+    if (buffer.rfind(".save ", 0) == 0) {
+      std::string dir = buffer.substr(6);
+      Status s = SaveDatabase(*db, dir, &dirty);
+      if (!s.ok()) PrintStatus(s);
+      else std::printf("saved to %s\n", dir.c_str());
+      buffer.clear();
+      continue;
+    }
+    // Statements wait for a terminating ';'.
+    if (buffer.back() != ';') {
+      buffer += ' ';
+      continue;
+    }
+    std::string stmt = buffer.substr(0, buffer.size() - 1);
+    buffer.clear();
+
+    auto run = [&](const std::string& cmd, const std::string& sql) {
+      if (cmd == "clean") {
+        auto answers = engine.Query(sql);
+        if (!answers.ok()) return PrintStatus(answers.status());
+        answers->SortByProbabilityDesc();
+        std::printf("%s", answers->ToString(25).c_str());
+      } else if (cmd == "rewrite") {
+        auto rewritten = engine.RewrittenSql(sql);
+        if (!rewritten.ok()) return PrintStatus(rewritten.status());
+        std::printf("%s\n", rewritten->c_str());
+      } else if (cmd == "check") {
+        auto check = engine.Check(sql);
+        if (!check.ok()) return PrintStatus(check.status());
+        if (check->rewritable) {
+          std::printf("rewritable (root: FROM entry %d)\n",
+                      check->root_from_index);
+        } else {
+          std::printf("NOT rewritable: %s\n", check->reason.c_str());
+        }
+      } else if (cmd == "explain") {
+        auto plan = db->Explain(sql);
+        if (!plan.ok()) return PrintStatus(plan.status());
+        std::printf("%s", plan->c_str());
+      } else {
+        auto rs = db->Query(sql);
+        if (!rs.ok()) return PrintStatus(rs.status());
+        std::printf("%s", rs->ToString(25).c_str());
+      }
+    };
+
+    if (stmt.rfind(".clean ", 0) == 0) run("clean", stmt.substr(7));
+    else if (stmt.rfind(".rewrite ", 0) == 0) run("rewrite", stmt.substr(9));
+    else if (stmt.rfind(".check ", 0) == 0) run("check", stmt.substr(7));
+    else if (stmt.rfind(".explain ", 0) == 0) run("explain", stmt.substr(9));
+    else run("sql", stmt);
+  }
+  return 0;
+}

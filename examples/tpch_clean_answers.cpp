@@ -1,0 +1,113 @@
+// End-to-end pipeline on generated dirty TPC-H data (paper Section 5):
+// generate -> propagate identifiers -> assign probabilities (Fig. 5) ->
+// index -> rewrite and answer the thirteen paper queries.
+//
+// Run:  ./build/examples/tpch_clean_answers [scale_milli] [if]
+//   scale_milli: scale factor in thousandths of TPC-H 1GB (default 2)
+//   if:          inconsistency factor (default 3)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "core/clean_engine.h"
+#include "gen/tpch_dirty.h"
+#include "gen/tpch_queries.h"
+#include "prob/assigner.h"
+
+using namespace conquer;
+
+int main(int argc, char** argv) {
+  int sf_milli = argc > 1 ? std::atoi(argv[1]) : 2;
+  int iff = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  TpchDirtyConfig config;
+  config.scale_factor = sf_milli / 1000.0;
+  config.inconsistency_factor = iff;
+  // Leave probabilities unset and identifiers unpropagated: this example
+  // runs the full offline pipeline itself.
+  config.fill_probabilities = false;
+  config.propagate_identifiers = false;
+
+  std::printf("Generating dirty TPC-H (sf=%.3f, if=%d)...\n",
+              config.scale_factor, iff);
+  Timer timer;
+  auto gen = MakeTpchDirtyDatabase(config);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  %zu total tuples in %.2fs\n\n", gen->TotalRows(),
+              timer.ElapsedSeconds());
+
+  // Offline step 1: identifier propagation (paper Section 2.1).
+  timer.Restart();
+  auto prop = gen->Propagate();
+  if (!prop.ok()) {
+    std::fprintf(stderr, "%s\n", prop.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Identifier propagation: %zu foreign keys rewritten "
+              "(%zu dangling) in %.2fs\n",
+              prop->rows_updated, prop->dangling_references,
+              timer.ElapsedSeconds());
+
+  // Offline step 2: probability assignment (paper Fig. 5) per dirty table.
+  timer.Restart();
+  size_t assigned = 0;
+  for (const DirtyTableInfo& info : gen->dirty.tables()) {
+    auto table = gen->db->GetTable(info.table_name);
+    if (!table.ok()) continue;
+    auto details = AssignProbabilities(*table, info);
+    if (!details.ok()) {
+      std::fprintf(stderr, "assigning %s: %s\n", info.table_name.c_str(),
+                   details.status().ToString().c_str());
+      return 1;
+    }
+    assigned += details->size();
+  }
+  std::printf("Probability assignment: %zu tuples in %.2fs\n", assigned,
+              timer.ElapsedSeconds());
+
+  // Offline step 3: indexes + statistics (the paper's RUNSTATS).
+  timer.Restart();
+  if (Status s = gen->BuildIndexesAndStats(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("Indexes + statistics in %.2fs\n\n", timer.ElapsedSeconds());
+
+  // Online: the thirteen paper queries, original vs rewritten.
+  CleanAnswerEngine engine(gen->db.get(), &gen->dirty);
+  std::printf("%-4s %12s %12s %8s %10s %s\n", "Q", "orig (ms)", "rewr (ms)",
+              "ratio", "answers", "max-prob answer");
+  for (const TpchQuery& q : TpchQueries()) {
+    Timer t1;
+    auto original = gen->db->Query(q.sql);
+    double orig_ms = t1.ElapsedMillis();
+    if (!original.ok()) {
+      std::fprintf(stderr, "Q%d: %s\n", q.number,
+                   original.status().ToString().c_str());
+      return 1;
+    }
+    Timer t2;
+    auto answers = engine.Query(q.sql);
+    double rewr_ms = t2.ElapsedMillis();
+    if (!answers.ok()) {
+      std::fprintf(stderr, "Q%d: %s\n", q.number,
+                   answers.status().ToString().c_str());
+      return 1;
+    }
+    double best = 0;
+    for (const CleanAnswer& a : answers->answers) {
+      if (a.probability > best) best = a.probability;
+    }
+    std::printf("Q%-3d %12.1f %12.1f %7.2fx %10zu p=%.3f\n", q.number,
+                orig_ms, rewr_ms, rewr_ms / (orig_ms > 0 ? orig_ms : 1),
+                answers->answers.size(), best);
+  }
+  std::printf("\n(The paper's Figure 8 claim: the rewritten query stays "
+              "within ~1.5x of the original\nfor all queries but the "
+              "six-join Q9.)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+std::string Catalog::Key(std::string_view name) { return ToLower(name); }
+
+Result<Table*> Catalog::CreateTable(TableSchema schema) {
+  return AddTable(std::make_unique<Table>(std::move(schema)));
+}
+
+Result<Table*> Catalog::AddTable(std::unique_ptr<Table> table) {
+  std::string key = Key(table->name());
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + table->name() + "' already exists");
+  }
+  Table* ptr = table.get();
+  tables_[key] = std::move(table);
+  creation_order_.push_back(key);
+  return ptr;
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  std::string key = Key(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + std::string(name) + "' does not exist");
+  }
+  tables_.erase(it);
+  creation_order_.erase(
+      std::remove(creation_order_.begin(), creation_order_.end(), key),
+      creation_order_.end());
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + std::string(name) + "' does not exist");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(std::string_view name) const {
+  return tables_.count(Key(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(creation_order_.size());
+  for (const auto& key : creation_order_) {
+    out.push_back(tables_.at(key)->name());
+  }
+  return out;
+}
+
+}  // namespace conquer

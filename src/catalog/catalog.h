@@ -1,0 +1,47 @@
+#ifndef CONQUER_CATALOG_CATALOG_H_
+#define CONQUER_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace conquer {
+
+/// \brief Name -> table registry. Table names are case-insensitive.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table with the given schema.
+  Result<Table*> CreateTable(TableSchema schema);
+
+  /// Registers an already-populated table (takes ownership).
+  Result<Table*> AddTable(std::unique_ptr<Table> table);
+
+  /// Drops the named table; NotFound if absent.
+  Status DropTable(std::string_view name);
+
+  /// Looks up a table (nullptr-free: NotFound on miss).
+  Result<Table*> GetTable(std::string_view name) const;
+
+  bool HasTable(std::string_view name) const;
+
+  /// All table names, in creation order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  static std::string Key(std::string_view name);
+
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> creation_order_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_CATALOG_CATALOG_H_

@@ -1,0 +1,32 @@
+#include "catalog/schema.h"
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+std::optional<size_t> TableSchema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> TableSchema::GetColumnIndex(std::string_view name) const {
+  auto idx = FindColumn(name);
+  if (!idx) {
+    return Status::NotFound("column '" + std::string(name) + "' not in table '" +
+                            table_name_ + "'");
+  }
+  return *idx;
+}
+
+Status TableSchema::AddColumn(ColumnDef col) {
+  if (FindColumn(col.name)) {
+    return Status::AlreadyExists("column '" + col.name + "' already exists in '" +
+                                 table_name_ + "'");
+  }
+  columns_.push_back(std::move(col));
+  return Status::OK();
+}
+
+}  // namespace conquer

@@ -1,0 +1,53 @@
+#ifndef CONQUER_CATALOG_SCHEMA_H_
+#define CONQUER_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace conquer {
+
+/// \brief Definition of one column: name and type.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kString;
+
+  ColumnDef() = default;
+  ColumnDef(std::string n, DataType t) : name(std::move(n)), type(t) {}
+};
+
+/// \brief Schema of a table: ordered named, typed columns.
+///
+/// Column names are case-insensitive (stored as given, matched ignoring
+/// case), per SQL convention.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<ColumnDef> columns)
+      : table_name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the named column, or nullopt.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  /// Index of the named column, or NotFound.
+  Result<size_t> GetColumnIndex(std::string_view name) const;
+
+  /// Appends a column; returns AlreadyExists on a duplicate name.
+  Status AddColumn(ColumnDef col);
+
+ private:
+  std::string table_name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_CATALOG_SCHEMA_H_

@@ -1,0 +1,73 @@
+#ifndef CONQUER_COMMON_RESULT_H_
+#define CONQUER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace conquer {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// The value-or-error idiom used throughout the library, mirroring
+/// arrow::Result. A Result constructed from an OK status is a library bug.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a non-OK status (implicit, enables `return status;`).
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Evaluates an expression yielding Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define CONQUER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define CONQUER_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  CONQUER_ASSIGN_OR_RETURN_IMPL(                                              \
+      CONQUER_CONCAT_(_conquer_result_, __LINE__), lhs, rexpr)
+
+#define CONQUER_CONCAT_INNER_(a, b) a##b
+#define CONQUER_CONCAT_(a, b) CONQUER_CONCAT_INNER_(a, b)
+
+}  // namespace conquer
+
+#endif  // CONQUER_COMMON_RESULT_H_

@@ -1,0 +1,35 @@
+#ifndef CONQUER_COMMON_RNG_H_
+#define CONQUER_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace conquer {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All data generators in the library take an explicit seed so that every
+/// experiment table is reproducible run-to-run. Not cryptographically secure.
+class Rng {
+ public:
+  /// Seeds via splitmix64 expansion of the given 64-bit seed.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_COMMON_RNG_H_

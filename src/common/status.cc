@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace conquer {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotRewritable:
+      return "Not rewritable";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace conquer

@@ -1,0 +1,89 @@
+#ifndef CONQUER_COMMON_STATUS_H_
+#define CONQUER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace conquer {
+
+/// \brief Error categories used across the library.
+///
+/// Follows the Arrow/RocksDB convention: public APIs do not throw; they
+/// return a Status (or a Result<T>, see result.h) that callers must check.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed (bad SQL, bad schema).
+  kNotFound,          ///< Named table/column/index does not exist.
+  kAlreadyExists,     ///< Attempt to create an object that already exists.
+  kOutOfRange,        ///< Index or parameter outside the permitted range.
+  kNotRewritable,     ///< Query falls outside the rewritable class (Dfn 7).
+  kResourceExhausted, ///< A configured limit (e.g. candidate cap) was hit.
+  kTypeError,         ///< Ill-typed expression or value operation.
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: either OK or an error code with a message.
+///
+/// Cheap to copy in the OK case (no allocation). Usage:
+/// \code
+///   Status s = db.CreateTable(schema);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotRewritable(std::string msg) {
+    return Status(StatusCode::kNotRewritable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define CONQUER_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::conquer::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+}  // namespace conquer
+
+#endif  // CONQUER_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef CONQUER_COMMON_STR_UTIL_H_
+#define CONQUER_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace conquer {
+
+/// ASCII lower-casing (SQL keywords and identifiers are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// SQL LIKE match with '%' (any run) and '_' (any one char) wildcards.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace conquer
+
+#endif  // CONQUER_COMMON_STR_UTIL_H_

@@ -1,0 +1,30 @@
+#ifndef CONQUER_COMMON_TIMER_H_
+#define CONQUER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace conquer {
+
+/// \brief Simple wall-clock stopwatch used by the benchmark harness.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_COMMON_TIMER_H_

@@ -1,0 +1,131 @@
+#include "core/aggregates.h"
+
+#include "sql/parser.h"
+
+namespace conquer {
+
+const char* AnswerCertaintyToString(AnswerCertainty c) {
+  switch (c) {
+    case AnswerCertainty::kConsistent:
+      return "consistent";
+    case AnswerCertainty::kProbable:
+      return "probable";
+    case AnswerCertainty::kPossible:
+      return "possible";
+    case AnswerCertainty::kUnlikely:
+      return "unlikely";
+  }
+  return "?";
+}
+
+AnswerCertainty ClassifyAnswer(double probability, double probable_threshold,
+                               double unlikely_threshold) {
+  if (probability >= 1.0 - 1e-9) return AnswerCertainty::kConsistent;
+  if (probability >= probable_threshold) return AnswerCertainty::kProbable;
+  if (probability < unlikely_threshold) return AnswerCertainty::kUnlikely;
+  return AnswerCertainty::kPossible;
+}
+
+Result<std::unique_ptr<SelectStatement>> CleanAggregateEngine::BuildCore(
+    const SelectStatement& stmt) const {
+  if (stmt.select_list.size() != 1) {
+    return Status::InvalidArgument(
+        "expected exactly one aggregate in the SELECT list");
+  }
+  const Expr& agg = *stmt.select_list[0].expr;
+  if (agg.kind != Expr::Kind::kAggregate) {
+    return Status::InvalidArgument(
+        "the SELECT item must be an aggregate call");
+  }
+  switch (agg.agg) {
+    case AggFunc::kSum:
+    case AggFunc::kCount:
+    case AggFunc::kAvg:
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return Status::InvalidArgument(
+          "MIN/MAX have no linear expected value; only SUM, COUNT and AVG "
+          "are supported");
+    case AggFunc::kNone:
+      return Status::Internal("malformed aggregate");
+  }
+  if (!stmt.group_by.empty() || stmt.distinct || stmt.limit >= 0) {
+    return Status::InvalidArgument(
+        "grouped/distinct/limited aggregates are not supported");
+  }
+
+  // SPJ core: project every relation's identifier (which makes the core
+  // rewritable whenever the join structure allows it, and makes set and bag
+  // semantics coincide per candidate), plus the aggregate argument.
+  auto core = std::make_unique<SelectStatement>();
+  core->from = stmt.from;
+  if (stmt.where) core->where = stmt.where->Clone();
+  // Identifier columns come from the dirty schema via the rewriter's
+  // catalog; resolved lazily through the DirtySchema registered per table.
+  for (const TableRef& ref : stmt.from) {
+    const DirtyTableInfo* info =
+        engine_.rewriter().dirty_schema()->Find(ref.table_name);
+    if (info == nullptr) {
+      return Status::NotFound("table '" + ref.table_name +
+                              "' is not registered in the dirty schema");
+    }
+    SelectItem item;
+    item.expr = Expr::MakeColumnRef(ref.effective_alias(), info->id_column);
+    core->select_list.push_back(std::move(item));
+  }
+  if (agg.left != nullptr) {
+    SelectItem arg;
+    arg.expr = agg.left->Clone();
+    arg.alias = "agg_arg";
+    core->select_list.push_back(std::move(arg));
+  }
+  return core;
+}
+
+Result<CleanAggregateResult> CleanAggregateEngine::ExpectedValue(
+    std::string_view sql) const {
+  CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  CONQUER_ASSIGN_OR_RETURN(auto core, BuildCore(*stmt));
+  const Expr& agg = *stmt->select_list[0].expr;
+  bool has_arg = agg.left != nullptr;
+
+  CONQUER_ASSIGN_OR_RETURN(CleanAnswerSet answers,
+                           engine_.Query(core->ToString()));
+
+  CleanAggregateResult result;
+  result.func = agg.agg;
+  result.support = answers.answers.size();
+  double expected_sum = 0.0;
+  double expected_count = 0.0;
+  for (const CleanAnswer& a : answers.answers) {
+    const Value& arg_value = a.row.back();  // agg_arg is the last column
+    if (has_arg && arg_value.is_null()) continue;  // SQL: aggregates skip NULL
+    expected_count += a.probability;
+    if (has_arg) expected_sum += a.probability * arg_value.AsDouble();
+  }
+  result.expected_count = expected_count;
+  switch (agg.agg) {
+    case AggFunc::kSum:
+      result.expected_value = expected_sum;
+      break;
+    case AggFunc::kCount:
+      result.expected_value = expected_count;
+      break;
+    case AggFunc::kAvg:
+      result.expected_value =
+          expected_count > 0 ? expected_sum / expected_count : 0.0;
+      break;
+    default:
+      return Status::Internal("unreachable aggregate kind");
+  }
+  return result;
+}
+
+Result<std::string> CleanAggregateEngine::CoreSql(std::string_view sql) const {
+  CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  CONQUER_ASSIGN_OR_RETURN(auto core, BuildCore(*stmt));
+  return core->ToString();
+}
+
+}  // namespace conquer

@@ -1,0 +1,81 @@
+#ifndef CONQUER_CORE_AGGREGATES_H_
+#define CONQUER_CORE_AGGREGATES_H_
+
+#include <string>
+
+#include "core/clean_engine.h"
+
+namespace conquer {
+
+/// \brief Expected value of an aggregate over the clean database.
+struct CleanAggregateResult {
+  AggFunc func = AggFunc::kNone;
+  /// E[agg] over the distribution of candidate databases. For AVG this is
+  /// the ratio of expectations E[SUM]/E[COUNT] (see CleanAggregateEngine).
+  double expected_value = 0.0;
+  /// Number of clean answers contributing probability mass.
+  size_t support = 0;
+  /// Probability mass of the support, i.e. E[COUNT(*)] of the answer set.
+  double expected_count = 0.0;
+};
+
+/// \brief Aggregation over clean answers — the paper's first "future work"
+/// item ("extend the class of queries ... to consider queries with grouping
+/// and aggregation", Section 6), realized for single-aggregate queries over
+/// rewritable SPJ cores.
+///
+/// Semantics: for a query `SELECT agg(expr) FROM R1..Rm WHERE W` whose SPJ
+/// core (projecting every relation's identifier plus expr's inputs) is
+/// rewritable, the engine computes the *expected value* of the aggregate
+/// over the candidate-database distribution:
+///
+///   E[SUM(expr)]  = sum over clean answers t of  Pr(t) * expr(t)
+///   E[COUNT(*)]   = sum over clean answers t of  Pr(t)
+///
+/// Both follow from linearity of expectation: with every identifier
+/// projected, each candidate database contributes each of its result tuples
+/// exactly once. AVG is reported as E[SUM]/E[COUNT] — a ratio of
+/// expectations, not E[AVG] (which is not linear); MIN/MAX are rejected.
+class CleanAggregateEngine {
+ public:
+  /// Both pointers must outlive the engine.
+  CleanAggregateEngine(const Database* db, const DirtySchema* dirty)
+      : engine_(db, dirty) {}
+
+  /// Computes the expected aggregate of `sql`, which must have exactly one
+  /// SELECT item: SUM(expr), COUNT(*), COUNT(expr), or AVG(expr), over an
+  /// SPJ body with no GROUP BY. Returns NotRewritable when the SPJ core is
+  /// outside the rewritable class, and InvalidArgument for unsupported
+  /// shapes (MIN/MAX, multiple items, grouping).
+  Result<CleanAggregateResult> ExpectedValue(std::string_view sql) const;
+
+  /// The SPJ core the engine evaluates for `sql` (for inspection).
+  Result<std::string> CoreSql(std::string_view sql) const;
+
+ private:
+  Result<std::unique_ptr<SelectStatement>> BuildCore(
+      const SelectStatement& stmt) const;
+
+  CleanAnswerEngine engine_;
+};
+
+/// \brief Qualitative bands for answer probabilities, for user-facing
+/// triage of clean answers.
+enum class AnswerCertainty {
+  kConsistent,  ///< probability ~1: a consistent answer (Arenas et al.)
+  kProbable,    ///< probability >= probable threshold
+  kPossible,    ///< between the unlikely and probable thresholds
+  kUnlikely,    ///< probability < unlikely threshold
+};
+
+const char* AnswerCertaintyToString(AnswerCertainty c);
+
+/// Classifies a clean-answer probability. Thresholds must satisfy
+/// 0 < unlikely <= probable <= 1; out-of-range probabilities clamp.
+AnswerCertainty ClassifyAnswer(double probability,
+                               double probable_threshold = 0.5,
+                               double unlikely_threshold = 0.1);
+
+}  // namespace conquer
+
+#endif  // CONQUER_CORE_AGGREGATES_H_

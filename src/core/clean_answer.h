@@ -1,0 +1,44 @@
+#ifndef CONQUER_CORE_CLEAN_ANSWER_H_
+#define CONQUER_CORE_CLEAN_ANSWER_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace conquer {
+
+/// \brief One clean answer (paper Dfn 5): an answer tuple together with the
+/// probability that it is an answer over the (unknown) clean database.
+struct CleanAnswer {
+  Row row;
+  double probability = 0.0;
+};
+
+/// \brief A set of clean answers with their column metadata.
+struct CleanAnswerSet {
+  std::vector<std::string> column_names;  ///< excludes the probability column
+  std::vector<CleanAnswer> answers;
+
+  /// Probability of `row`, or 0 when absent (absent == impossible answer).
+  double ProbabilityOf(const Row& row) const;
+
+  /// Answers with probability within `epsilon` of 1 — exactly the
+  /// *consistent answers* of Arenas et al. when all tuple probabilities are
+  /// non-zero (paper Section 2.2).
+  std::vector<Row> ConsistentAnswers(double epsilon = 1e-9) const;
+
+  /// Sorts answers by decreasing probability (ties: row order).
+  void SortByProbabilityDesc();
+
+  /// The k most probable answers (ties broken by original row order);
+  /// fewer when the set is smaller.
+  std::vector<CleanAnswer> TopK(size_t k) const;
+
+  /// ASCII table for display.
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_CORE_CLEAN_ANSWER_H_

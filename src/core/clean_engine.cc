@@ -1,0 +1,81 @@
+#include "core/clean_engine.h"
+
+#include <unordered_map>
+
+#include "sql/parser.h"
+
+namespace conquer {
+
+Result<CleanAnswerSet> CleanAnswerEngine::Query(std::string_view sql) const {
+  CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  CONQUER_ASSIGN_OR_RETURN(auto rewritten, rewriter_.RewriteClean(*stmt));
+  CONQUER_ASSIGN_OR_RETURN(ResultSet rs, db_->Execute(std::move(rewritten)));
+
+  CleanAnswerSet out;
+  // The last column is the SUM(prob product) appended by the rewriting.
+  if (rs.column_names.empty()) {
+    return Status::Internal("rewritten query produced no columns");
+  }
+  out.column_names.assign(rs.column_names.begin(),
+                          rs.column_names.end() - 1);
+  out.answers.reserve(rs.rows.size());
+  for (Row& row : rs.rows) {
+    CleanAnswer a;
+    a.probability = row.back().AsDouble();
+    row.pop_back();
+    a.row = std::move(row);
+    out.answers.push_back(std::move(a));
+  }
+  return out;
+}
+
+Result<RewritabilityCheck> CleanAnswerEngine::Check(
+    std::string_view sql) const {
+  CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  return rewriter_.CheckRewritable(*stmt);
+}
+
+Result<std::unique_ptr<Database>>
+OfflineCleaningBaseline::BuildCleanedDatabase() const {
+  auto cleaned = std::make_unique<Database>();
+  for (const std::string& name : db_->catalog().TableNames()) {
+    CONQUER_ASSIGN_OR_RETURN(Table * src, db_->GetTable(name));
+    CONQUER_RETURN_NOT_OK(cleaned->CreateTable(src->schema()));
+    CONQUER_ASSIGN_OR_RETURN(Table * dst, cleaned->GetTable(name));
+
+    const DirtyTableInfo* info = dirty_->Find(name);
+    if (info == nullptr || info->prob_column.empty()) {
+      for (const Row& row : src->rows()) dst->InsertUnchecked(row);
+      continue;
+    }
+    CONQUER_ASSIGN_OR_RETURN(size_t id_col,
+                             src->schema().GetColumnIndex(info->id_column));
+    CONQUER_ASSIGN_OR_RETURN(size_t prob_col,
+                             src->schema().GetColumnIndex(info->prob_column));
+    // Best row per cluster, first wins on ties.
+    std::unordered_map<Value, size_t, ValueHash> best;  // id -> row position
+    std::vector<Value> order;
+    for (size_t r = 0; r < src->num_rows(); ++r) {
+      const Value& id = src->row(r)[id_col];
+      auto it = best.find(id);
+      if (it == best.end()) {
+        best.emplace(id, r);
+        order.push_back(id);
+      } else if (src->row(r)[prob_col].AsDouble() >
+                 src->row(it->second)[prob_col].AsDouble()) {
+        it->second = r;
+      }
+    }
+    for (const Value& id : order) {
+      dst->InsertUnchecked(src->row(best.at(id)));
+    }
+  }
+  return cleaned;
+}
+
+Result<ResultSet> OfflineCleaningBaseline::Query(std::string_view sql) const {
+  CONQUER_ASSIGN_OR_RETURN(auto cleaned, BuildCleanedDatabase());
+  return cleaned->Query(sql);
+}
+
+}  // namespace conquer

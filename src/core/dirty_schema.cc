@@ -1,0 +1,37 @@
+#include "core/dirty_schema.h"
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+Status DirtySchema::AddTable(DirtyTableInfo info) {
+  if (Find(info.table_name) != nullptr) {
+    return Status::AlreadyExists("dirty annotations for table '" +
+                                 info.table_name + "' already registered");
+  }
+  if (info.id_column.empty()) {
+    return Status::InvalidArgument("dirty table '" + info.table_name +
+                                   "' must name an identifier column");
+  }
+  tables_.push_back(std::move(info));
+  return Status::OK();
+}
+
+const DirtyTableInfo* DirtySchema::Find(std::string_view table_name) const {
+  for (const auto& t : tables_) {
+    if (EqualsIgnoreCase(t.table_name, table_name)) return &t;
+  }
+  return nullptr;
+}
+
+Result<const DirtyTableInfo*> DirtySchema::Get(
+    std::string_view table_name) const {
+  const DirtyTableInfo* info = Find(table_name);
+  if (info == nullptr) {
+    return Status::NotFound("table '" + std::string(table_name) +
+                            "' is not registered in the dirty schema");
+  }
+  return info;
+}
+
+}  // namespace conquer

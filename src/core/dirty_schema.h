@@ -1,0 +1,52 @@
+#ifndef CONQUER_CORE_DIRTY_SCHEMA_H_
+#define CONQUER_CORE_DIRTY_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace conquer {
+
+/// \brief Dirty-table annotations for one relation (paper Dfn 2).
+///
+/// A dirty relation carries a cluster-identifier attribute (tuples sharing
+/// an identifier are duplicates of one real-world entity) and a probability
+/// attribute (probabilities within each cluster sum to 1). A relation with
+/// an empty `prob_column` is *clean*: every tuple is its own cluster with
+/// probability 1 (its identifier is then simply its key).
+struct DirtyTableInfo {
+  /// Reference from a foreign-identifier column to the identified table,
+  /// produced by identifier propagation (e.g. order.cidfk -> customer.id).
+  struct ForeignId {
+    std::string column;
+    std::string referenced_table;
+  };
+
+  std::string table_name;
+  std::string id_column;            ///< cluster identifier attribute
+  std::string prob_column;          ///< empty for clean relations
+  std::vector<ForeignId> foreign_ids;
+};
+
+/// \brief The set of dirty-table annotations for a database.
+class DirtySchema {
+ public:
+  /// Registers annotations for one table; AlreadyExists on duplicates.
+  Status AddTable(DirtyTableInfo info);
+
+  /// Annotations for the named table, or nullptr if unregistered.
+  const DirtyTableInfo* Find(std::string_view table_name) const;
+
+  /// Annotations for the named table, or NotFound.
+  Result<const DirtyTableInfo*> Get(std::string_view table_name) const;
+
+  const std::vector<DirtyTableInfo>& tables() const { return tables_; }
+
+ private:
+  std::vector<DirtyTableInfo> tables_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_CORE_DIRTY_SCHEMA_H_

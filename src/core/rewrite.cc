@@ -1,0 +1,293 @@
+#include "core/rewrite.h"
+
+#include <numeric>
+#include <set>
+
+#include "common/str_util.h"
+#include "sql/parser.h"
+
+namespace conquer {
+
+namespace {
+
+void CollectFromIndices(const Expr& e, std::set<int>* out) {
+  if (e.kind == Expr::Kind::kColumnRef) {
+    out->insert(e.from_index);
+    return;
+  }
+  if (e.left) CollectFromIndices(*e.left, out);
+  if (e.right) CollectFromIndices(*e.right, out);
+}
+
+/// Disjoint-set forest used to contract identifier-identifier edges and to
+/// test acyclicity of the contracted join graph.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Returns false if x and y were already connected (a cycle).
+  bool Union(int x, int y) {
+    int rx = Find(x), ry = Find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::string JoinGraph::ToString(const SelectStatement& stmt) const {
+  std::string out;
+  for (const Arc& a : arcs) {
+    out += stmt.from[a.from].effective_alias() + " -> " +
+           stmt.from[a.to].effective_alias() + "\n";
+  }
+  for (const Edge& e : id_id_edges) {
+    out += stmt.from[e.a].effective_alias() + " <-> " +
+           stmt.from[e.b].effective_alias() + " (identifier join)\n";
+  }
+  if (out.empty()) out = "(no joins)\n";
+  return out;
+}
+
+bool CleanRewriter::IsIdentifier(const BoundQuery& q, int from_index,
+                                 int column_index) const {
+  const DirtyTableInfo* info =
+      dirty_->Find(q.stmt->from[from_index].table_name);
+  if (info == nullptr) return false;
+  auto idx = q.tables[from_index]->schema().FindColumn(info->id_column);
+  return idx.has_value() && static_cast<int>(*idx) == column_index;
+}
+
+Result<JoinGraph> CleanRewriter::BuildJoinGraph(const BoundQuery& q) const {
+  const SelectStatement& stmt = *q.stmt;
+
+  // The clean-answer semantics is defined for SPJ queries only.
+  if (!stmt.group_by.empty() || stmt.distinct || stmt.limit >= 0) {
+    return Status::InvalidArgument(
+        "clean-answer rewriting applies to SPJ queries only "
+        "(no GROUP BY / DISTINCT / LIMIT)");
+  }
+  for (const auto& item : stmt.select_list) {
+    if (item.expr->ContainsAggregate()) {
+      return Status::InvalidArgument(
+          "clean-answer rewriting applies to SPJ queries only "
+          "(aggregate in SELECT)");
+    }
+  }
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (dirty_->Find(stmt.from[i].table_name) == nullptr) {
+      return Status::NotFound(
+          "table '" + stmt.from[i].table_name +
+          "' is not registered in the dirty schema; register clean tables "
+          "with an empty prob column");
+    }
+  }
+
+  JoinGraph graph;
+  graph.num_vertices = static_cast<int>(stmt.from.size());
+
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(stmt.where.get(), &conjuncts);
+  for (const Expr* c : conjuncts) {
+    std::set<int> refs;
+    CollectFromIndices(*c, &refs);
+    if (refs.size() <= 1) continue;  // selection on one relation
+    if (refs.size() > 2 || c->kind != Expr::Kind::kBinary ||
+        c->bop != BinaryOp::kEq ||
+        c->left->kind != Expr::Kind::kColumnRef ||
+        c->right->kind != Expr::Kind::kColumnRef) {
+      return Status::NotRewritable(
+          "join condition '" + c->ToString() +
+          "' is not an equality between two attributes");
+    }
+    int li = c->left->from_index, lc = c->left->column_index;
+    int ri = c->right->from_index, rc = c->right->column_index;
+    bool l_id = IsIdentifier(q, li, lc);
+    bool r_id = IsIdentifier(q, ri, rc);
+    if (l_id && r_id) {
+      graph.id_id_edges.push_back({li, ri});
+    } else if (r_id) {
+      graph.arcs.push_back({li, ri});  // non-id of left = id of right
+    } else if (l_id) {
+      graph.arcs.push_back({ri, li});
+    } else {
+      return Status::NotRewritable(
+          "join '" + c->ToString() +
+          "' equates two non-identifier attributes (Dfn 7, condition 1)");
+    }
+  }
+  return graph;
+}
+
+Result<RewritabilityCheck> CleanRewriter::CheckRewritable(
+    const SelectStatement& stmt) const {
+  RewritabilityCheck check;
+
+  // Condition 3: each relation appears in FROM at most once (no self-joins).
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    for (size_t j = i + 1; j < stmt.from.size(); ++j) {
+      if (EqualsIgnoreCase(stmt.from[i].table_name, stmt.from[j].table_name)) {
+        check.reason = "relation '" + stmt.from[i].table_name +
+                       "' appears more than once in FROM (self-join, "
+                       "Dfn 7, condition 3)";
+        return check;
+      }
+    }
+  }
+
+  Binder binder(catalog_);
+  CONQUER_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(stmt.Clone()));
+
+  auto graph_result = BuildJoinGraph(bound);
+  if (!graph_result.ok()) {
+    if (graph_result.status().code() == StatusCode::kNotRewritable) {
+      check.reason = graph_result.status().message();
+      return check;
+    }
+    return graph_result.status();
+  }
+  check.graph = std::move(graph_result).value();
+  const JoinGraph& graph = check.graph;
+  int n = graph.num_vertices;
+
+  // Contract identifier-identifier joins: the two relations' identifiers
+  // are equated, so either can serve as the (shared) root identifier.
+  UnionFind contraction(n);
+  for (const auto& e : graph.id_id_edges) {
+    // A duplicate id-id edge between already-unified relations is merely a
+    // redundant predicate, not a structural cycle.
+    contraction.Union(e.a, e.b);
+  }
+
+  // Condition 2: the contracted graph must be a (directed, rooted) tree:
+  // acyclic, connected, and every super-node has at most one incoming arc.
+  UnionFind acyclicity = contraction;
+  std::vector<int> in_degree(n, 0);
+  for (const auto& a : graph.arcs) {
+    int sf = contraction.Find(a.from);
+    int st = contraction.Find(a.to);
+    if (sf == st || !acyclicity.Union(sf, st)) {
+      check.reason = "join graph has a cycle (Dfn 7, condition 2)";
+      return check;
+    }
+    in_degree[st] += 1;
+  }
+  // Connectivity: all vertices in one component of `acyclicity`.
+  int component = acyclicity.Find(0);
+  for (int v = 1; v < n; ++v) {
+    if (acyclicity.Find(v) != component) {
+      check.reason =
+          "join graph is not connected (cartesian product between relation "
+          "groups; Dfn 7, condition 2)";
+      return check;
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (contraction.Find(v) != v) continue;  // not a super-node root
+    if (in_degree[v] > 1) {
+      check.reason = "relation '" + stmt.from[v].effective_alias() +
+                     "' has two parents in the join graph (Dfn 7, "
+                     "condition 2)";
+      return check;
+    }
+  }
+  int root_super = -1;
+  for (int v = 0; v < n; ++v) {
+    if (contraction.Find(v) != v) continue;
+    if (in_degree[v] == 0) {
+      if (root_super >= 0) {
+        // Unreachable given connectivity + acyclicity + in-degree <= 1,
+        // but kept as a guard.
+        check.reason = "join graph has multiple roots (Dfn 7, condition 2)";
+        return check;
+      }
+      root_super = v;
+    }
+  }
+
+  // Condition 4: the identifier of (some member of) the root super-node
+  // must appear in the SELECT clause as a plain attribute.
+  int root_member = -1;
+  for (const auto& item : bound.stmt->select_list) {
+    const Expr& e = *item.expr;
+    if (e.kind != Expr::Kind::kColumnRef) continue;
+    if (contraction.Find(e.from_index) != root_super) continue;
+    if (IsIdentifier(bound, e.from_index, e.column_index)) {
+      root_member = e.from_index;
+      break;
+    }
+  }
+  if (root_member < 0) {
+    // Report using any member of the root super-node.
+    int any_member = root_super;
+    check.reason = "identifier of the root relation '" +
+                   stmt.from[any_member].effective_alias() +
+                   "' does not appear in the SELECT clause (Dfn 7, "
+                   "condition 4)";
+    return check;
+  }
+
+  check.rewritable = true;
+  check.root_from_index = root_member;
+  return check;
+}
+
+Result<std::unique_ptr<SelectStatement>> CleanRewriter::RewriteClean(
+    const SelectStatement& stmt) const {
+  CONQUER_ASSIGN_OR_RETURN(RewritabilityCheck check, CheckRewritable(stmt));
+  if (!check.rewritable) {
+    return Status::NotRewritable(check.reason);
+  }
+
+  auto rewritten = stmt.Clone();
+
+  // GROUP BY every original SELECT attribute (Fig. 4).
+  for (const auto& item : rewritten->select_list) {
+    rewritten->group_by.push_back(item.expr->Clone());
+  }
+
+  // SUM(R1.prob * ... * Rm.prob) over the relations that carry
+  // probabilities; clean relations contribute the neutral factor 1.
+  ExprPtr product;
+  for (const TableRef& ref : rewritten->from) {
+    const DirtyTableInfo* info = dirty_->Find(ref.table_name);
+    if (info == nullptr || info->prob_column.empty()) continue;
+    ExprPtr factor =
+        Expr::MakeColumnRef(ref.effective_alias(), info->prob_column);
+    if (product) {
+      product = Expr::MakeBinary(BinaryOp::kMul, std::move(product),
+                                 std::move(factor));
+    } else {
+      product = std::move(factor);
+    }
+  }
+  if (!product) product = Expr::MakeLiteral(Value::Double(1.0));
+
+  SelectItem prob_item;
+  prob_item.expr = Expr::MakeAggregate(AggFunc::kSum, std::move(product));
+  prob_item.alias = "clean_prob";
+  rewritten->select_list.push_back(std::move(prob_item));
+
+  return rewritten;
+}
+
+Result<std::string> CleanRewriter::RewriteCleanSql(
+    std::string_view sql) const {
+  CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  CONQUER_ASSIGN_OR_RETURN(auto rewritten, RewriteClean(*stmt));
+  return rewritten->ToString();
+}
+
+}  // namespace conquer

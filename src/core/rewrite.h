@@ -1,0 +1,99 @@
+#ifndef CONQUER_CORE_REWRITE_H_
+#define CONQUER_CORE_REWRITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/dirty_schema.h"
+#include "plan/binder.h"
+#include "sql/ast.h"
+
+namespace conquer {
+
+/// \brief The join graph of an SPJ query (paper Dfn 6).
+///
+/// Vertices are the FROM relations. There is a directed arc Ri -> Rj when a
+/// non-identifier attribute of Ri is equated with the identifier of Rj.
+/// Joins equating two identifiers are recorded separately (`id_id_edges`);
+/// for the tree test they unify the two vertices into one super-node, since
+/// their identifiers are forced equal.
+struct JoinGraph {
+  struct Arc {
+    int from;  ///< FROM-list index of the referencing relation
+    int to;    ///< FROM-list index of the identified relation
+  };
+  struct Edge {
+    int a;
+    int b;
+  };
+
+  int num_vertices = 0;
+  std::vector<Arc> arcs;
+  std::vector<Edge> id_id_edges;
+
+  /// Human-readable rendering (for diagnostics and examples).
+  std::string ToString(const SelectStatement& stmt) const;
+};
+
+/// \brief Outcome of the rewritability test (paper Dfn 7).
+struct RewritabilityCheck {
+  bool rewritable = false;
+  /// Violated condition, empty when rewritable. Examples:
+  /// "join on two non-identifier attributes", "join graph is not a tree",
+  /// "self-join on relation 'r'", "identifier of root relation 'r' is not
+  /// in the SELECT clause".
+  std::string reason;
+  /// Root of the join-graph tree (valid when rewritable).
+  int root_from_index = -1;
+  JoinGraph graph;
+};
+
+/// \brief Analyzes and rewrites queries over dirty databases.
+///
+/// Implements the paper's Section 3: the join graph (Dfn 6), the class of
+/// rewritable queries (Dfn 7), and RewriteClean (Fig. 4), which appends
+/// `SUM(R1.prob * ... * Rm.prob)` to the SELECT list and groups by the
+/// original SELECT attributes.
+class CleanRewriter {
+ public:
+  /// Both pointers must outlive the rewriter.
+  CleanRewriter(const Catalog* catalog, const DirtySchema* dirty)
+      : catalog_(catalog), dirty_(dirty) {}
+
+  /// Builds the join graph of a *bound* query. Fails with NotRewritable if
+  /// some join equates two non-identifier attributes, and with
+  /// InvalidArgument if the query is not SPJ (aggregates, GROUP BY,
+  /// DISTINCT, LIMIT, disjunctive join conditions, or a FROM table not
+  /// registered in the dirty schema).
+  Result<JoinGraph> BuildJoinGraph(const BoundQuery& q) const;
+
+  /// Tests the four conditions of Dfn 7, reporting the first violation.
+  Result<RewritabilityCheck> CheckRewritable(const SelectStatement& stmt) const;
+
+  /// RewriteClean (Fig. 4): returns the rewritten statement computing the
+  /// clean answers, with the probability column aliased `clean_prob`.
+  /// Returns NotRewritable (with the violated condition) when the query is
+  /// outside the rewritable class.
+  Result<std::unique_ptr<SelectStatement>> RewriteClean(
+      const SelectStatement& stmt) const;
+
+  /// Convenience: parse, rewrite, and print back to SQL text.
+  Result<std::string> RewriteCleanSql(std::string_view sql) const;
+
+  const DirtySchema* dirty_schema() const { return dirty_; }
+
+ private:
+  /// True when (from_index, column_index) is the identifier attribute.
+  bool IsIdentifier(const BoundQuery& q, int from_index,
+                    int column_index) const;
+
+  const Catalog* catalog_;
+  const DirtySchema* dirty_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_CORE_REWRITE_H_

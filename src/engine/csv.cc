@@ -1,0 +1,198 @@
+#include "engine/csv.h"
+
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              const CsvOptions& options) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        current += c;
+        ++i;
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+      ++i;
+    } else if (c == options.delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+    } else {
+      current += c;
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          const CsvOptions& options) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += options.delimiter;
+    const std::string& f = fields[i];
+    bool needs_quotes = f.find(options.delimiter) != std::string::npos ||
+                        f.find('"') != std::string::npos ||
+                        f.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      out += f;
+    } else {
+      out += '"';
+      for (char c : f) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+      }
+      out += '"';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Result<Value> ConvertField(const std::string& field, DataType type,
+                           const CsvOptions& options) {
+  if (field == options.null_literal) return Value::Null();
+  switch (type) {
+    case DataType::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::TypeError("'" + field + "' is not an INT64");
+      }
+      return Value::Int(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::TypeError("'" + field + "' is not a DOUBLE");
+      }
+      return Value::Double(v);
+    }
+    case DataType::kDate: {
+      CONQUER_ASSIGN_OR_RETURN(int64_t days, ParseDate(field));
+      return Value::Date(days);
+    }
+    case DataType::kBool: {
+      if (EqualsIgnoreCase(field, "true") || field == "1") {
+        return Value::Bool(true);
+      }
+      if (EqualsIgnoreCase(field, "false") || field == "0") {
+        return Value::Bool(false);
+      }
+      return Status::TypeError("'" + field + "' is not a BOOL");
+    }
+    case DataType::kString:
+      return Value::String(field);
+    case DataType::kNull:
+      break;
+  }
+  return Status::TypeError("column has unloadable type");
+}
+
+}  // namespace
+
+Result<size_t> LoadCsv(Database* db, std::string_view table_name,
+                       std::istream* input, const CsvOptions& options) {
+  CONQUER_ASSIGN_OR_RETURN(Table * table, db->GetTable(table_name));
+  const TableSchema& schema = table->schema();
+
+  std::string line;
+  size_t line_number = 0;
+  if (options.has_header) {
+    if (!std::getline(*input, line)) {
+      return Status::InvalidArgument("missing CSV header");
+    }
+    ++line_number;
+    CONQUER_ASSIGN_OR_RETURN(auto header, ParseCsvLine(line, options));
+    if (header.size() != schema.num_columns()) {
+      return Status::InvalidArgument(StringPrintf(
+          "CSV header has %zu columns, table '%s' has %zu", header.size(),
+          table->name().c_str(), schema.num_columns()));
+    }
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (!EqualsIgnoreCase(Trim(header[c]), schema.column(c).name)) {
+        return Status::InvalidArgument(
+            "CSV header column '" + header[c] + "' does not match '" +
+            schema.column(c).name + "'");
+      }
+    }
+  }
+
+  size_t loaded = 0;
+  while (std::getline(*input, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    CONQUER_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line, options));
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: expected %zu fields, got %zu", line_number,
+                       schema.num_columns(), fields.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      auto value = ConvertField(fields[c], schema.column(c).type, options);
+      if (!value.ok()) {
+        return Status::InvalidArgument(
+            StringPrintf("line %zu, column '%s': %s", line_number,
+                         schema.column(c).name.c_str(),
+                         value.status().message().c_str()));
+      }
+      row.push_back(std::move(value).value());
+    }
+    CONQUER_RETURN_NOT_OK(table->Insert(std::move(row)));
+    ++loaded;
+  }
+  return loaded;
+}
+
+Result<size_t> LoadCsvString(Database* db, std::string_view table_name,
+                             std::string_view csv, const CsvOptions& options) {
+  std::istringstream stream{std::string(csv)};
+  return LoadCsv(db, table_name, &stream, options);
+}
+
+std::string ResultSetToCsv(const ResultSet& rs, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    out += FormatCsvLine(rs.column_names, options);
+    out += '\n';
+  }
+  std::vector<std::string> fields(rs.num_columns());
+  for (const Row& row : rs.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      fields[c] = row[c].is_null() ? options.null_literal : row[c].ToString();
+    }
+    out += FormatCsvLine(fields, options);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace conquer

@@ -1,0 +1,50 @@
+#ifndef CONQUER_ENGINE_CSV_H_
+#define CONQUER_ENGINE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace conquer {
+
+/// \brief CSV options shared by the reader and writer.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Spelling that reads/writes as SQL NULL.
+  std::string null_literal = "";
+  /// Reader: first line holds column names (must match the schema when a
+  /// schema is supplied).
+  bool has_header = true;
+};
+
+/// \brief Parses one CSV line into fields (RFC-4180 quoting: fields may be
+/// "quoted", with "" as an escaped quote). Exposed for testing.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              const CsvOptions& options);
+
+/// \brief Renders fields as one CSV line (quoting when needed).
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          const CsvOptions& options);
+
+/// \brief Loads CSV text into an existing table, converting each field to
+/// the column's declared type (INT64, DOUBLE, DATE "YYYY-MM-DD", BOOL
+/// true/false, STRING). Returns the number of rows loaded.
+///
+/// Fields equal to `options.null_literal` load as NULL. Malformed rows
+/// abort the load with the 1-based line number in the error message.
+Result<size_t> LoadCsv(Database* db, std::string_view table_name,
+                       std::istream* input, const CsvOptions& options = {});
+
+/// \brief Convenience overload reading from a string.
+Result<size_t> LoadCsvString(Database* db, std::string_view table_name,
+                             std::string_view csv,
+                             const CsvOptions& options = {});
+
+/// \brief Writes a result set as CSV (header first when configured).
+std::string ResultSetToCsv(const ResultSet& rs, const CsvOptions& options = {});
+
+}  // namespace conquer
+
+#endif  // CONQUER_ENGINE_CSV_H_

@@ -1,0 +1,88 @@
+#include "engine/database.h"
+
+#include "exec/operators.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+
+namespace conquer {
+
+Status Database::CreateTable(TableSchema schema) {
+  return catalog_.CreateTable(std::move(schema)).status();
+}
+
+Status Database::DropTable(std::string_view name) {
+  return catalog_.DropTable(name);
+}
+
+Status Database::Insert(std::string_view table, Row row) {
+  CONQUER_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  return t->Insert(std::move(row));
+}
+
+Status Database::InsertMany(std::string_view table, std::vector<Row> rows) {
+  CONQUER_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  t->Reserve(t->num_rows() + rows.size());
+  for (auto& row : rows) {
+    CONQUER_RETURN_NOT_OK(t->Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status Database::CreateIndex(std::string_view table, std::string_view column) {
+  CONQUER_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  return t->CreateIndex(column);
+}
+
+Status Database::Analyze(std::string_view table) {
+  CONQUER_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  t->AnalyzeStatistics();
+  return Status::OK();
+}
+
+Status Database::AnalyzeAll() {
+  for (const std::string& name : catalog_.TableNames()) {
+    CONQUER_RETURN_NOT_OK(Analyze(name));
+  }
+  return Status::OK();
+}
+
+Result<ResultSet> Database::Query(std::string_view sql) const {
+  CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  return Execute(std::move(stmt));
+}
+
+Result<ResultSet> Database::Execute(
+    std::unique_ptr<SelectStatement> stmt) const {
+  Binder binder(&catalog_);
+  CONQUER_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(std::move(stmt)));
+  CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan, Planner::Plan(bound, planner_options_));
+
+  ResultSet rs;
+  for (size_t i = 0; i < bound.num_visible_columns; ++i) {
+    rs.column_names.push_back(bound.output_names[i]);
+    rs.column_types.push_back(bound.output_types[i]);
+  }
+  CONQUER_RETURN_NOT_OK(plan->Open());
+  Row row;
+  while (true) {
+    CONQUER_ASSIGN_OR_RETURN(bool more, plan->Next(&row));
+    if (!more) break;
+    rs.rows.push_back(row);
+  }
+  plan->Close();
+  return rs;
+}
+
+Result<std::string> Database::Explain(std::string_view sql) const {
+  CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  Binder binder(&catalog_);
+  CONQUER_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(std::move(stmt)));
+  CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan, Planner::Plan(bound, planner_options_));
+  return ExplainPlan(*plan);
+}
+
+Result<Table*> Database::GetTable(std::string_view name) const {
+  return catalog_.GetTable(name);
+}
+
+}  // namespace conquer

@@ -1,0 +1,85 @@
+#ifndef CONQUER_ENGINE_DATABASE_H_
+#define CONQUER_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/result_set.h"
+#include "plan/binder.h"
+#include "plan/planner.h"
+
+namespace conquer {
+
+/// \brief The top-level embedded relational engine.
+///
+/// Owns a catalog of in-memory tables and executes SELECT statements of the
+/// supported subset. All methods are Status/Result based; no exceptions
+/// escape the public API.
+///
+/// \code
+///   Database db;
+///   TableSchema schema("t", {{"a", DataType::kInt64}, {"b", DataType::kString}});
+///   db.CreateTable(schema);
+///   db.Insert("t", {Value::Int(1), Value::String("x")});
+///   auto rs = db.Query("select a from t where b = 'x'");
+/// \endcode
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table.
+  Status CreateTable(TableSchema schema);
+
+  /// Drops a table.
+  Status DropTable(std::string_view name);
+
+  /// Inserts one row (validated against the schema).
+  Status Insert(std::string_view table, Row row);
+
+  /// Bulk-inserts rows.
+  Status InsertMany(std::string_view table, std::vector<Row> rows);
+
+  /// Builds a hash index on `table(column)`.
+  Status CreateIndex(std::string_view table, std::string_view column);
+
+  /// Recomputes optimizer statistics for one table (RUNSTATS analogue).
+  Status Analyze(std::string_view table);
+
+  /// Recomputes optimizer statistics for every table.
+  Status AnalyzeAll();
+
+  /// Parses, binds, plans and executes a SELECT statement.
+  Result<ResultSet> Query(std::string_view sql) const;
+
+  /// Executes an already-parsed statement (consumed).
+  Result<ResultSet> Execute(std::unique_ptr<SelectStatement> stmt) const;
+
+  /// Physical plan of the statement, as an indented tree.
+  Result<std::string> Explain(std::string_view sql) const;
+
+  /// Direct table access for bulk loading and inspection.
+  Result<Table*> GetTable(std::string_view name) const;
+
+  const Catalog& catalog() const { return catalog_; }
+  Catalog* mutable_catalog() { return &catalog_; }
+
+  /// Planner configuration used by Query/Execute/Explain (e.g. greedy vs.
+  /// dynamic-programming join ordering).
+  void set_planner_options(const PlannerOptions& options) {
+    planner_options_ = options;
+  }
+  const PlannerOptions& planner_options() const { return planner_options_; }
+
+ private:
+  Catalog catalog_;
+  PlannerOptions planner_options_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_ENGINE_DATABASE_H_

@@ -1,0 +1,38 @@
+#ifndef CONQUER_ENGINE_PERSIST_H_
+#define CONQUER_ENGINE_PERSIST_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/dirty_schema.h"
+#include "engine/database.h"
+
+namespace conquer {
+
+/// \brief On-disk layout written by SaveDatabase:
+///
+///   <dir>/manifest.txt       one line per table: name|col:TYPE|col:TYPE|...
+///   <dir>/<table>.csv        data with header, NULLs spelled \N
+///   <dir>/dirty_schema.txt   (optional) one line per dirty table:
+///                            table|id_col|prob_col|fk:ref,fk:ref,...
+///
+/// The format is deliberately plain text so saved databases are diffable
+/// and loadable by external tools; it is not a transactional store.
+/// \{
+
+/// Saves every table of `db` (and the dirty annotations if supplied) under
+/// `dir`, creating the directory.
+Status SaveDatabase(const Database& db, const std::string& dir,
+                    const DirtySchema* dirty = nullptr);
+
+/// Loads a database previously written by SaveDatabase. When `dirty` is
+/// non-null and <dir>/dirty_schema.txt exists, the annotations are loaded
+/// into it.
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir,
+                                               DirtySchema* dirty = nullptr);
+
+/// \}
+
+}  // namespace conquer
+
+#endif  // CONQUER_ENGINE_PERSIST_H_

@@ -1,0 +1,22 @@
+#ifndef CONQUER_EXEC_EVAL_H_
+#define CONQUER_EXEC_EVAL_H_
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace conquer {
+
+/// \brief Evaluates a bound, aggregate-free expression on a row.
+///
+/// SQL three-valued logic: a comparison with a NULL operand yields NULL;
+/// AND/OR follow Kleene logic; arithmetic with NULL yields NULL. Column
+/// references read `row[expr.slot]`.
+Result<Value> EvalExpr(const Expr& e, const Row& row);
+
+/// \brief Evaluates a predicate for filtering: NULL counts as "not passed".
+Result<bool> EvalPredicate(const Expr& e, const Row& row);
+
+}  // namespace conquer
+
+#endif  // CONQUER_EXEC_EVAL_H_

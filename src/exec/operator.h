@@ -1,0 +1,48 @@
+#ifndef CONQUER_EXEC_OPERATOR_H_
+#define CONQUER_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace conquer {
+
+/// \brief Volcano-style pull operator.
+///
+/// Operators below the projection produce *wide rows*: a row of
+/// `total_slots` values covering every column of every FROM table, where
+/// only the slot ranges of tables already scanned/joined are populated
+/// (the rest are NULL). This keeps every expression bound once, to a global
+/// slot, regardless of join order. Projection/aggregation switch to narrow
+/// output rows indexed by select-item position.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator (builds hash tables, sorts, resets cursors).
+  virtual Status Open() = 0;
+
+  /// Produces the next row into *out. Returns false at end of stream.
+  virtual Result<bool> Next(Row* out) = 0;
+
+  /// Releases per-execution state. Idempotent.
+  virtual void Close() {}
+
+  /// One-line description of this node (no children).
+  virtual std::string Describe() const = 0;
+
+  /// Children, for plan printing.
+  virtual std::vector<const Operator*> Children() const { return {}; }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Renders an operator tree as an indented EXPLAIN string.
+std::string ExplainPlan(const Operator& root);
+
+}  // namespace conquer
+
+#endif  // CONQUER_EXEC_OPERATOR_H_

@@ -1,0 +1,708 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+namespace {
+size_t HashValues(const std::vector<Value>& vals) {
+  size_t h = 0x811c9dc5u;
+  for (const Value& v : vals) {
+    h ^= v.Hash();
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+bool ValuesEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].TotalCompare(b[i]) != 0) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::string ExplainPlan(const Operator& root) {
+  std::string out;
+  struct Frame {
+    const Operator* op;
+    int depth;
+  };
+  std::vector<Frame> stack = {{&root, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    out += std::string(static_cast<size_t>(f.depth) * 2, ' ') +
+           f.op->Describe() + "\n";
+    auto children = f.op->Children();
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- SeqScanOp
+
+SeqScanOp::SeqScanOp(const Table* table, size_t slot_offset,
+                     size_t total_slots, ExprPtr pushed_filter)
+    : table_(table),
+      slot_offset_(slot_offset),
+      total_slots_(total_slots),
+      filter_(std::move(pushed_filter)) {}
+
+Status SeqScanOp::Open() {
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(Row* out) {
+  while (cursor_ < table_->num_rows()) {
+    const Row& src = table_->row(cursor_++);
+    out->assign(total_slots_, Value::Null());
+    for (size_t c = 0; c < src.size(); ++c) {
+      (*out)[slot_offset_ + c] = src[c];
+    }
+    if (filter_) {
+      CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*filter_, *out));
+      if (!pass) continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string SeqScanOp::Describe() const {
+  std::string out = "SeqScan(" + table_->name();
+  if (filter_) out += ", filter: " + filter_->ToString();
+  out += ")";
+  return out;
+}
+
+// --------------------------------------------------------------- IndexScanOp
+
+IndexScanOp::IndexScanOp(const Table* table, const HashIndex* index, Value key,
+                         size_t slot_offset, size_t total_slots,
+                         ExprPtr residual_filter)
+    : table_(table),
+      index_(index),
+      key_(std::move(key)),
+      slot_offset_(slot_offset),
+      total_slots_(total_slots),
+      filter_(std::move(residual_filter)) {}
+
+Status IndexScanOp::Open() {
+  matches_ = &index_->Lookup(key_);
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Result<bool> IndexScanOp::Next(Row* out) {
+  while (matches_ != nullptr && cursor_ < matches_->size()) {
+    const Row& src = table_->row((*matches_)[cursor_++]);
+    out->assign(total_slots_, Value::Null());
+    for (size_t c = 0; c < src.size(); ++c) {
+      (*out)[slot_offset_ + c] = src[c];
+    }
+    if (filter_) {
+      CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*filter_, *out));
+      if (!pass) continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string IndexScanOp::Describe() const {
+  std::string out = "IndexScan(" + table_->name() + ", " +
+                    table_->schema().column(index_->column()).name + " = " +
+                    key_.ToSqlLiteral();
+  if (filter_) out += ", filter: " + filter_->ToString();
+  out += ")";
+  return out;
+}
+
+// ------------------------------------------------------------------ FilterOp
+
+FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+Result<bool> FilterOp::Next(Row* out) {
+  while (true) {
+    CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *out));
+    if (pass) return true;
+  }
+}
+
+void FilterOp::Close() { child_->Close(); }
+
+std::string FilterOp::Describe() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+std::vector<const Operator*> FilterOp::Children() const {
+  return {child_.get()};
+}
+
+// ---------------------------------------------------------------- HashJoinOp
+
+size_t HashJoinOp::KeyHash::operator()(const std::vector<Value>& key) const {
+  return HashValues(key);
+}
+bool HashJoinOp::KeyEq::operator()(const std::vector<Value>& a,
+                                   const std::vector<Value>& b) const {
+  return ValuesEqual(a, b);
+}
+
+HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
+                       std::vector<int> build_key_slots,
+                       std::vector<int> probe_key_slots,
+                       std::vector<std::pair<size_t, size_t>> build_ranges)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_keys_(std::move(build_key_slots)),
+      probe_keys_(std::move(probe_key_slots)),
+      build_ranges_(std::move(build_ranges)) {
+  assert(build_keys_.size() == probe_keys_.size());
+}
+
+Status HashJoinOp::Open() {
+  table_.clear();
+  build_rows_ = 0;
+  CONQUER_RETURN_NOT_OK(build_->Open());
+  Row row;
+  while (true) {
+    CONQUER_ASSIGN_OR_RETURN(bool more, build_->Next(&row));
+    if (!more) break;
+    std::vector<Value> key;
+    key.reserve(build_keys_.size());
+    bool has_null_key = false;
+    for (int slot : build_keys_) {
+      key.push_back(row[slot]);
+      has_null_key = has_null_key || row[slot].is_null();
+    }
+    // NULL join keys never match anything in SQL; drop them at build.
+    if (has_null_key) continue;
+    table_[std::move(key)].push_back(row);
+    ++build_rows_;
+  }
+  build_->Close();
+  CONQUER_RETURN_NOT_OK(probe_->Open());
+  current_matches_ = nullptr;
+  match_cursor_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::AdvanceProbe() {
+  while (true) {
+    CONQUER_ASSIGN_OR_RETURN(bool more, probe_->Next(&probe_row_));
+    if (!more) return false;
+    std::vector<Value> key;
+    key.reserve(probe_keys_.size());
+    bool has_null_key = false;
+    for (int slot : probe_keys_) {
+      key.push_back(probe_row_[slot]);
+      has_null_key = has_null_key || probe_row_[slot].is_null();
+    }
+    if (has_null_key) continue;
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;
+    current_matches_ = &it->second;
+    match_cursor_ = 0;
+    return true;
+  }
+}
+
+Result<bool> HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (current_matches_ == nullptr ||
+        match_cursor_ >= current_matches_->size()) {
+      CONQUER_ASSIGN_OR_RETURN(bool more, AdvanceProbe());
+      if (!more) return false;
+    }
+    const Row& build_row = (*current_matches_)[match_cursor_++];
+    *out = probe_row_;
+    for (const auto& [offset, len] : build_ranges_) {
+      for (size_t i = 0; i < len; ++i) {
+        (*out)[offset + i] = build_row[offset + i];
+      }
+    }
+    return true;
+  }
+}
+
+void HashJoinOp::Close() {
+  table_.clear();
+  probe_->Close();
+}
+
+std::string HashJoinOp::Describe() const {
+  if (build_keys_.empty()) return "CrossJoin()";
+  std::string out = "HashJoin(build slots: ";
+  for (size_t i = 0; i < build_keys_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(build_keys_[i]);
+  }
+  out += " = probe slots: ";
+  for (size_t i = 0; i < probe_keys_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(probe_keys_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<const Operator*> HashJoinOp::Children() const {
+  return {build_.get(), probe_.get()};
+}
+
+// ----------------------------------------------------------------- ProjectOp
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<const Expr*> exprs)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+Status ProjectOp::Open() { return child_->Open(); }
+
+Result<bool> ProjectOp::Next(Row* out) {
+  Row wide;
+  CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(&wide));
+  if (!more) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const Expr* e : exprs_) {
+    CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, wide));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+void ProjectOp::Close() { child_->Close(); }
+
+std::string ProjectOp::Describe() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<const Operator*> ProjectOp::Children() const {
+  return {child_.get()};
+}
+
+// ----------------------------------------------------------- HashAggregateOp
+
+size_t HashAggregateOp::KeyHash::operator()(
+    const std::vector<Value>& key) const {
+  return HashValues(key);
+}
+bool HashAggregateOp::KeyEq::operator()(const std::vector<Value>& a,
+                                        const std::vector<Value>& b) const {
+  return ValuesEqual(a, b);
+}
+
+namespace {
+void CollectAggCalls(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kAggregate) {
+    out->push_back(e);
+    return;  // no nested aggregates (binder enforces)
+  }
+  CollectAggCalls(e->left.get(), out);
+  CollectAggCalls(e->right.get(), out);
+}
+
+/// True when `e` has a column reference outside any aggregate call — the
+/// case where finalization must re-evaluate against a stored group row.
+bool HasColumnRefOutsideAggregate(const Expr& e) {
+  if (e.kind == Expr::Kind::kAggregate) return false;
+  if (e.kind == Expr::Kind::kColumnRef) return true;
+  if (e.left && HasColumnRefOutsideAggregate(*e.left)) return true;
+  if (e.right && HasColumnRefOutsideAggregate(*e.right)) return true;
+  return false;
+}
+}  // namespace
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child,
+                                 std::vector<const Expr*> group_exprs,
+                                 std::vector<const Expr*> select_items)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      select_items_(std::move(select_items)) {
+  for (const Expr* item : select_items_) {
+    CollectAggCalls(item, &agg_calls_);
+  }
+  // Plan each output item: serve it from the group key when it matches a
+  // grouping expression (the common case for the clean-answer rewriting,
+  // which groups by exactly the SELECT attributes), evaluate it once per
+  // group when group-invariant, or finalize it from aggregate state.
+  for (const Expr* item : select_items_) {
+    if (item->ContainsAggregate()) {
+      item_plans_.push_back({ItemPlan::Source::kFinalize, 0});
+      if (HasColumnRefOutsideAggregate(*item)) needs_representative_ = true;
+      continue;
+    }
+    bool matched = false;
+    for (size_t g = 0; g < group_exprs_.size() && !matched; ++g) {
+      if (item->StructurallyEquals(*group_exprs_[g])) {
+        item_plans_.push_back({ItemPlan::Source::kFromKey, g});
+        matched = true;
+      }
+    }
+    if (!matched) {
+      item_plans_.push_back(
+          {ItemPlan::Source::kInvariantEval, num_invariant_evals_++});
+    }
+  }
+}
+
+Status HashAggregateOp::Accumulate(const Row& row) {
+  std::vector<Value> key;
+  key.reserve(group_exprs_.size());
+  for (const Expr* g : group_exprs_) {
+    CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
+    key.push_back(std::move(v));
+  }
+  auto [it, inserted] = groups_.try_emplace(std::move(key));
+  Group& group = it->second;
+  if (inserted) {
+    if (needs_representative_) group.representative = row;
+    if (num_invariant_evals_ > 0) {
+      group.extra_values.reserve(num_invariant_evals_);
+      for (size_t i = 0; i < select_items_.size(); ++i) {
+        if (item_plans_[i].source == ItemPlan::Source::kInvariantEval) {
+          CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*select_items_[i], row));
+          group.extra_values.push_back(std::move(v));
+        }
+      }
+    }
+    group.aggs.resize(agg_calls_.size());
+    output_order_.emplace_back(&it->first, &group);
+  }
+  for (size_t i = 0; i < agg_calls_.size(); ++i) {
+    const Expr& call = *agg_calls_[i];
+    AggState& st = group.aggs[i];
+    if (call.agg == AggFunc::kCount && call.left == nullptr) {
+      ++st.count;
+      continue;
+    }
+    CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*call.left, row));
+    if (v.is_null()) continue;  // SQL aggregates skip NULLs
+    st.saw_value = true;
+    switch (call.agg) {
+      case AggFunc::kCount:
+        ++st.count;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        ++st.count;
+        if (v.type() == DataType::kInt64) {
+          st.isum += v.int_value();
+        }
+        st.sum += v.AsDouble();
+        break;
+      case AggFunc::kMin:
+        if (!st.min_max.is_null()) {
+          if (v.Compare(st.min_max) < 0) st.min_max = v;
+        } else {
+          st.min_max = v;
+        }
+        break;
+      case AggFunc::kMax:
+        if (!st.min_max.is_null()) {
+          if (v.Compare(st.min_max) > 0) st.min_max = v;
+        } else {
+          st.min_max = v;
+        }
+        break;
+      case AggFunc::kNone:
+        return Status::Internal("kNone aggregate call");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Value> HashAggregateOp::Finalize(const Expr& e,
+                                        const Group& group) const {
+  if (e.kind == Expr::Kind::kAggregate) {
+    // Find this call's state (pointer identity within agg_calls_).
+    size_t idx = agg_calls_.size();
+    for (size_t i = 0; i < agg_calls_.size(); ++i) {
+      if (agg_calls_[i] == &e) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == agg_calls_.size()) {
+      return Status::Internal("aggregate call not registered");
+    }
+    const AggState& st = group.aggs[idx];
+    switch (e.agg) {
+      case AggFunc::kCount:
+        return Value::Int(st.count);
+      case AggFunc::kSum:
+        if (!st.saw_value) return Value::Null();
+        if (e.resolved_type == DataType::kInt64) return Value::Int(st.isum);
+        return Value::Double(st.sum);
+      case AggFunc::kAvg:
+        if (!st.saw_value || st.count == 0) return Value::Null();
+        return Value::Double(st.sum / static_cast<double>(st.count));
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        return st.min_max;  // NULL when the group had only NULLs
+      case AggFunc::kNone:
+        break;
+    }
+    return Status::Internal("unhandled aggregate finalize");
+  }
+  if (e.kind == Expr::Kind::kLiteral) return e.literal;
+  if (e.kind == Expr::Kind::kColumnRef) {
+    return EvalExpr(e, group.representative);
+  }
+  // Composite expression over aggregates / group keys: recurse and combine.
+  if (e.kind == Expr::Kind::kBinary || e.kind == Expr::Kind::kUnary) {
+    if (!e.ContainsAggregate()) {
+      return EvalExpr(e, group.representative);
+    }
+    // Rebuild a literal-only copy with aggregate children replaced by their
+    // finalized values, then evaluate.
+    Expr copy;
+    copy.kind = e.kind;
+    copy.bop = e.bop;
+    copy.uop = e.uop;
+    copy.resolved_type = e.resolved_type;
+    CONQUER_ASSIGN_OR_RETURN(Value lv, Finalize(*e.left, group));
+    copy.left = Expr::MakeLiteral(std::move(lv));
+    if (e.right) {
+      CONQUER_ASSIGN_OR_RETURN(Value rv, Finalize(*e.right, group));
+      copy.right = Expr::MakeLiteral(std::move(rv));
+    }
+    static const Row kEmptyRow;
+    return EvalExpr(copy, kEmptyRow);
+  }
+  return Status::Internal("unhandled select item in aggregate finalize");
+}
+
+Status HashAggregateOp::Open() {
+  groups_.clear();
+  output_order_.clear();
+  cursor_ = 0;
+  CONQUER_RETURN_NOT_OK(child_->Open());
+  Row row;
+  size_t n = 0;
+  while (true) {
+    CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    CONQUER_RETURN_NOT_OK(Accumulate(row));
+    ++n;
+  }
+  child_->Close();
+  no_input_ = (n == 0);
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOp::Next(Row* out) {
+  // SQL corner case: an aggregate query with no GROUP BY produces exactly one
+  // row even on empty input (SUM -> NULL, COUNT -> 0).
+  if (no_input_ && group_exprs_.empty() && cursor_ == 0) {
+    ++cursor_;
+    out->clear();
+    Group empty;
+    empty.aggs.resize(agg_calls_.size());
+    for (const Expr* item : select_items_) {
+      CONQUER_ASSIGN_OR_RETURN(Value v, Finalize(*item, empty));
+      out->push_back(std::move(v));
+    }
+    return true;
+  }
+  if (cursor_ >= output_order_.size()) return false;
+  const auto& [key, group] = output_order_[cursor_++];
+  out->clear();
+  out->reserve(select_items_.size());
+  for (size_t i = 0; i < select_items_.size(); ++i) {
+    switch (item_plans_[i].source) {
+      case ItemPlan::Source::kFromKey:
+        out->push_back((*key)[item_plans_[i].index]);
+        break;
+      case ItemPlan::Source::kInvariantEval:
+        out->push_back(group->extra_values[item_plans_[i].index]);
+        break;
+      case ItemPlan::Source::kFinalize: {
+        CONQUER_ASSIGN_OR_RETURN(Value v, Finalize(*select_items_[i], *group));
+        out->push_back(std::move(v));
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+void HashAggregateOp::Close() {
+  groups_.clear();
+  output_order_.clear();
+}
+
+std::string HashAggregateOp::Describe() const {
+  std::string out = "HashAggregate(keys: ";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_exprs_[i]->ToString();
+  }
+  out += "; aggs: " + std::to_string(agg_calls_.size()) + ")";
+  return out;
+}
+
+std::vector<const Operator*> HashAggregateOp::Children() const {
+  return {child_.get()};
+}
+
+// -------------------------------------------------------------------- SortOp
+
+SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status SortOp::Open() {
+  rows_.clear();
+  cursor_ = 0;
+  CONQUER_RETURN_NOT_OK(child_->Open());
+  Row row;
+  while (true) {
+    CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    rows_.push_back(std::move(row));
+  }
+  child_->Close();
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (const SortKey& k : keys_) {
+                       int c = a[k.column].TotalCompare(b[k.column]);
+                       if (c != 0) return k.descending ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* out) {
+  if (cursor_ >= rows_.size()) return false;
+  *out = std::move(rows_[cursor_++]);
+  return true;
+}
+
+void SortOp::Close() { rows_.clear(); }
+
+std::string SortOp::Describe() const {
+  std::string out = "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "#" + std::to_string(keys_[i].column) +
+           (keys_[i].descending ? " DESC" : " ASC");
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<const Operator*> SortOp::Children() const {
+  return {child_.get()};
+}
+
+// ---------------------------------------------------------------- DistinctOp
+
+size_t DistinctOp::RowHash::operator()(const Row& r) const {
+  return HashValues(r);
+}
+bool DistinctOp::RowEq::operator()(const Row& a, const Row& b) const {
+  return ValuesEqual(a, b);
+}
+
+DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
+
+Status DistinctOp::Open() {
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctOp::Next(Row* out) {
+  while (true) {
+    CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    auto [it, inserted] = seen_.try_emplace(*out, true);
+    (void)it;
+    if (inserted) return true;
+  }
+}
+
+void DistinctOp::Close() {
+  seen_.clear();
+  child_->Close();
+}
+
+std::string DistinctOp::Describe() const { return "Distinct()"; }
+
+std::vector<const Operator*> DistinctOp::Children() const {
+  return {child_.get()};
+}
+
+// ------------------------------------------------------------------- LimitOp
+
+LimitOp::LimitOp(OperatorPtr child, int64_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+Status LimitOp::Open() {
+  produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitOp::Next(Row* out) {
+  if (produced_ >= limit_) return false;
+  CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  ++produced_;
+  return true;
+}
+
+void LimitOp::Close() { child_->Close(); }
+
+std::string LimitOp::Describe() const {
+  return "Limit(" + std::to_string(limit_) + ")";
+}
+
+std::vector<const Operator*> LimitOp::Children() const {
+  return {child_.get()};
+}
+
+// ------------------------------------------------------------ StripColumnsOp
+
+StripColumnsOp::StripColumnsOp(OperatorPtr child, size_t num_visible)
+    : child_(std::move(child)), num_visible_(num_visible) {}
+
+Status StripColumnsOp::Open() { return child_->Open(); }
+
+Result<bool> StripColumnsOp::Next(Row* out) {
+  CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  out->resize(num_visible_);
+  return true;
+}
+
+void StripColumnsOp::Close() { child_->Close(); }
+
+std::string StripColumnsOp::Describe() const {
+  return "StripColumns(keep " + std::to_string(num_visible_) + ")";
+}
+
+std::vector<const Operator*> StripColumnsOp::Children() const {
+  return {child_.get()};
+}
+
+}  // namespace conquer

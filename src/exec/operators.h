@@ -1,0 +1,290 @@
+#ifndef CONQUER_EXEC_OPERATORS_H_
+#define CONQUER_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/eval.h"
+#include "exec/operator.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace conquer {
+
+/// \brief Full scan of a base table into wide rows.
+///
+/// Each produced row has `total_slots` entries; the table's columns occupy
+/// [slot_offset, slot_offset + arity). An optional pushed-down predicate
+/// (bound to the wide layout) filters during the scan.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(const Table* table, size_t slot_offset, size_t total_slots,
+            ExprPtr pushed_filter);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  const Table* table_;
+  size_t slot_offset_;
+  size_t total_slots_;
+  ExprPtr filter_;  ///< may be null
+  size_t cursor_ = 0;
+};
+
+/// \brief Point lookup via a hash index, producing wide rows.
+///
+/// Used when a pushed-down predicate contains `col = literal` on an indexed
+/// column; remaining conjuncts are applied as a residual filter.
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const Table* table, const HashIndex* index, Value key,
+              size_t slot_offset, size_t total_slots, ExprPtr residual_filter);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  const Table* table_;
+  const HashIndex* index_;
+  Value key_;
+  size_t slot_offset_;
+  size_t total_slots_;
+  ExprPtr filter_;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t cursor_ = 0;
+};
+
+/// \brief Filters wide rows by a bound predicate.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override;
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// \brief In-memory hash equi-join of two wide-row inputs.
+///
+/// The build (left) input is drained into a hash table keyed on its join
+/// slots; probe rows stream through. Outputs merge the two wide rows (each
+/// populates disjoint slot ranges). With empty key lists this degrades to a
+/// cross product.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr build, OperatorPtr probe,
+             std::vector<int> build_key_slots, std::vector<int> probe_key_slots,
+             std::vector<std::pair<size_t, size_t>> build_filled_ranges);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<Value>& key) const;
+  };
+  struct KeyEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+
+  Result<bool> AdvanceProbe();
+
+  OperatorPtr build_;
+  OperatorPtr probe_;
+  std::vector<int> build_keys_;
+  std::vector<int> probe_keys_;
+  /// Slot ranges the build side populates; copied into probe rows on match.
+  std::vector<std::pair<size_t, size_t>> build_ranges_;
+
+  std::unordered_map<std::vector<Value>, std::vector<Row>, KeyHash, KeyEq>
+      table_;
+  Row probe_row_;
+  const std::vector<Row>* current_matches_ = nullptr;
+  size_t match_cursor_ = 0;
+  size_t build_rows_ = 0;
+};
+
+/// \brief Projects wide rows to narrow output rows (one value per item).
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<const Expr*> exprs);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<const Expr*> exprs_;  ///< owned by the bound statement
+};
+
+/// \brief Hash aggregation: GROUP BY keys + aggregate select items.
+///
+/// Consumes wide rows, produces narrow rows ordered as the select list.
+/// Non-aggregate items are evaluated on the first row of each group (the
+/// binder guarantees they are group-invariant).
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<const Expr*> group_exprs,
+                  std::vector<const Expr*> select_items);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override;
+
+ private:
+  struct AggState {
+    double sum = 0.0;
+    int64_t isum = 0;
+    int64_t count = 0;
+    Value min_max;  ///< running MIN or MAX
+    bool saw_value = false;
+  };
+  struct Group {
+    /// Values of group-invariant select items not covered by the key
+    /// (kInvariantEval items), in plan order.
+    std::vector<Value> extra_values;
+    /// First wide row of the group; kept only when some aggregate item
+    /// mixes column references with its aggregates.
+    Row representative;
+    std::vector<AggState> aggs;  ///< parallel to agg_calls_
+  };
+  struct KeyHash {
+    size_t operator()(const std::vector<Value>& key) const;
+  };
+  struct KeyEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+  /// How each select item is produced at output time.
+  struct ItemPlan {
+    enum class Source {
+      kFromKey,        ///< item structurally equals group_exprs_[index]
+      kInvariantEval,  ///< group-invariant; evaluated once per group
+      kFinalize,       ///< contains aggregates; finalized from AggStates
+    };
+    Source source;
+    size_t index = 0;  ///< key position or extra_values position
+  };
+
+  Status Accumulate(const Row& row);
+  Result<Value> Finalize(const Expr& e, const Group& group) const;
+
+  OperatorPtr child_;
+  std::vector<const Expr*> group_exprs_;
+  std::vector<const Expr*> select_items_;
+  std::vector<ItemPlan> item_plans_;  ///< parallel to select_items_
+  bool needs_representative_ = false;
+  size_t num_invariant_evals_ = 0;
+  /// All aggregate sub-expressions found in the select items, in discovery
+  /// order; AggState vectors are parallel to this.
+  std::vector<const Expr*> agg_calls_;
+
+  std::unordered_map<std::vector<Value>, Group, KeyHash, KeyEq> groups_;
+  std::vector<std::pair<const std::vector<Value>*, const Group*>>
+      output_order_;
+  size_t cursor_ = 0;
+  bool no_input_ = false;  ///< true when child yielded zero rows
+};
+
+/// Sort key on a narrow output row.
+struct SortKey {
+  size_t column;
+  bool descending;
+};
+
+/// \brief Full in-memory sort of narrow rows.
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t cursor_ = 0;
+};
+
+/// \brief Duplicate elimination over narrow rows (SELECT DISTINCT).
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override;
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const;
+  };
+  struct RowEq {
+    bool operator()(const Row& a, const Row& b) const;
+  };
+  OperatorPtr child_;
+  std::unordered_map<Row, bool, RowHash, RowEq> seen_;
+};
+
+/// \brief Emits at most `limit` rows.
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override;
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+/// \brief Strips hidden trailing sort columns from narrow rows.
+class StripColumnsOp : public Operator {
+ public:
+  StripColumnsOp(OperatorPtr child, size_t num_visible);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override;
+
+ private:
+  OperatorPtr child_;
+  size_t num_visible_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_EXEC_OPERATORS_H_

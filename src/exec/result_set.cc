@@ -1,0 +1,71 @@
+#include "exec/result_set.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+int ResultSet::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (EqualsIgnoreCase(column_names[i], name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool ResultSet::ContainsRow(const Row& row) const {
+  for (const Row& r : rows) {
+    if (r.size() != row.size()) continue;
+    bool eq = true;
+    for (size_t i = 0; i < row.size() && eq; ++i) {
+      eq = r[i].TotalCompare(row[i]) == 0;
+    }
+    if (eq) return true;
+  }
+  return false;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(column_names.size());
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    widths[c] = column_names[c].size();
+  }
+  size_t shown = std::min(max_rows, rows.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(column_names.size());
+    for (size_t c = 0; c < column_names.size(); ++c) {
+      cells[r][c] = rows[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  auto hline = [&]() {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  std::string out = hline();
+  out += "|";
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    out += " " + column_names[c] +
+           std::string(widths[c] - column_names[c].size(), ' ') + " |";
+  }
+  out += "\n" + hline();
+  for (size_t r = 0; r < shown; ++r) {
+    out += "|";
+    for (size_t c = 0; c < column_names.size(); ++c) {
+      out += " " + cells[r][c] + std::string(widths[c] - cells[r][c].size(), ' ') +
+             " |";
+    }
+    out += "\n";
+  }
+  out += hline();
+  if (rows.size() > shown) {
+    out += StringPrintf("(%zu of %zu rows shown)\n", shown, rows.size());
+  } else {
+    out += StringPrintf("(%zu rows)\n", rows.size());
+  }
+  return out;
+}
+
+}  // namespace conquer

@@ -1,0 +1,33 @@
+#ifndef CONQUER_EXEC_RESULT_SET_H_
+#define CONQUER_EXEC_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "types/value.h"
+
+namespace conquer {
+
+/// \brief Materialized query result: column metadata plus rows.
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<DataType> column_types;
+  std::vector<Row> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return column_names.size(); }
+
+  /// Index of the named column (case-insensitive), or -1.
+  int FindColumn(std::string_view name) const;
+
+  /// ASCII-art table (for examples and debugging). Caps at `max_rows`.
+  std::string ToString(size_t max_rows = 50) const;
+
+  /// True if some row equals `row` under Value::TotalCompare.
+  bool ContainsRow(const Row& row) const;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_EXEC_RESULT_SET_H_

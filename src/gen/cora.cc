@@ -1,0 +1,197 @@
+#include "gen/cora.h"
+
+#include <array>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "gen/perturb.h"
+
+namespace conquer {
+
+namespace {
+
+struct Publication {
+  std::string author;
+  std::string title;
+  std::string venue;
+  std::string volume;
+  std::string year;
+  std::string pages;
+};
+
+const char* const kFirstNames[] = {"robert", "yoav",   "leslie", "michael",
+                                   "judea",  "vladimir", "thomas", "david"};
+const char* const kLastNames[] = {"schapire", "freund",  "valiant", "kearns",
+                                  "pearl",    "vapnik",  "cover",   "haussler"};
+const char* const kTitleWords[] = {"learnability", "boosting",  "inference",
+                                   "networks",     "margins",   "complexity",
+                                   "queries",      "sampling",  "weak",
+                                   "strength",     "bayesian",  "decision"};
+const char* const kVenues[] = {"machine learning", "artificial intelligence",
+                               "journal of the acm", "information and computation",
+                               "neural computation"};
+
+Publication RandomPublication(Rng* rng) {
+  Publication p;
+  p.author = std::string(kFirstNames[rng->Uniform(0, 7)]) + " " +
+             static_cast<char>('a' + rng->Uniform(0, 25)) + ". " +
+             kLastNames[rng->Uniform(0, 7)];
+  p.title = "the ";
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) p.title += ' ';
+    p.title += kTitleWords[rng->Uniform(0, 11)];
+  }
+  p.venue = kVenues[rng->Uniform(0, 4)];
+  int vol = static_cast<int>(rng->Uniform(1, 40));
+  int issue = static_cast<int>(rng->Uniform(1, 6));
+  p.volume = StringPrintf("%d(%d)", vol, issue);
+  p.year = std::to_string(rng->Uniform(1984, 2004));
+  int first = static_cast<int>(rng->Uniform(1, 400));
+  p.pages = StringPrintf("%d-%d", first,
+                         first + static_cast<int>(rng->Uniform(8, 40)));
+  return p;
+}
+
+/// Author "robert e. schapire" -> "r. schapire" or "schapire, r.e.".
+std::string VariantAuthor(const std::string& author, Rng* rng) {
+  auto parts = Split(author, ' ');
+  if (parts.size() < 2) return author;
+  const std::string& last = parts.back();
+  if (rng->Chance(0.5)) {
+    return std::string(1, parts[0][0]) + ". " + last;
+  }
+  std::string initials;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (!parts[i].empty()) initials += std::string(1, parts[i][0]) + ".";
+  }
+  return last + ", " + initials;
+}
+
+/// Volume "5(2)" + year -> "5 2 (1990)" or just "5".
+std::string VariantVolume(const std::string& volume, const std::string& year,
+                          Rng* rng) {
+  std::string digits, issue;
+  size_t paren = volume.find('(');
+  digits = volume.substr(0, paren);
+  if (paren != std::string::npos) {
+    issue = volume.substr(paren + 1, volume.size() - paren - 2);
+  }
+  if (rng->Chance(0.5)) return digits;
+  return digits + " " + issue + " (" + year + ")";
+}
+
+Row MakeRow(const std::string& cluster_id, const Publication& p) {
+  return {Value::String(cluster_id), Value::String(p.author),
+          Value::String(p.title),    Value::String(p.venue),
+          Value::String(p.volume),   Value::String(p.year),
+          Value::String(p.pages),    Value::Null()};
+}
+
+TableSchema CitationSchema() {
+  return TableSchema("citations", {{"id", DataType::kString},
+                                   {"author", DataType::kString},
+                                   {"title", DataType::kString},
+                                   {"venue", DataType::kString},
+                                   {"volume", DataType::kString},
+                                   {"year", DataType::kString},
+                                   {"pages", DataType::kString},
+                                   {"prob", DataType::kDouble}});
+}
+
+DirtyTableInfo CitationInfo() { return {"citations", "id", "prob", {}}; }
+
+Publication Vary(const Publication& canon, Rng* rng) {
+  Publication v = canon;
+  // One to three independent format changes.
+  int changes = static_cast<int>(rng->Uniform(1, 3));
+  for (int i = 0; i < changes; ++i) {
+    switch (rng->Uniform(0, 4)) {
+      case 0:
+        v.author = VariantAuthor(canon.author, rng);
+        break;
+      case 1:
+        v.title = PerturbString(canon.title, rng, 2);
+        break;
+      case 2:
+        v.venue = PerturbString(canon.venue, rng, 1);
+        break;
+      case 3:
+        v.volume = VariantVolume(canon.volume, canon.year, rng);
+        break;
+      case 4:
+        v.pages = "pp. " + canon.pages;
+        break;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Table>> MakeCoraLikeTable(const CoraConfig& config,
+                                                 DirtyTableInfo* info) {
+  if (config.min_cluster_size < 1 ||
+      config.max_cluster_size < config.min_cluster_size) {
+    return Status::InvalidArgument("invalid cluster size bounds");
+  }
+  auto table = std::make_unique<Table>(CitationSchema());
+  Rng rng(config.seed);
+  for (size_t c = 0; c < config.num_clusters; ++c) {
+    Publication canon = RandomPublication(&rng);
+    std::string id = "pub" + std::to_string(c);
+    size_t size = static_cast<size_t>(
+        rng.Uniform(static_cast<int64_t>(config.min_cluster_size),
+                    static_cast<int64_t>(config.max_cluster_size)));
+    table->InsertUnchecked(MakeRow(id, canon));  // canonical first
+    for (size_t m = 1; m < size; ++m) {
+      if (rng.Chance(config.outlier_rate)) {
+        table->InsertUnchecked(MakeRow(id, RandomPublication(&rng)));
+      } else if (rng.Chance(config.canonical_fraction)) {
+        table->InsertUnchecked(MakeRow(id, canon));
+      } else {
+        table->InsertUnchecked(MakeRow(id, Vary(canon, &rng)));
+      }
+    }
+  }
+  *info = CitationInfo();
+  return table;
+}
+
+Result<std::unique_ptr<Table>> MakeTable4Cluster(DirtyTableInfo* info) {
+  auto table = std::make_unique<Table>(CitationSchema());
+  Publication canon{"robert e. schapire", "the strength of weak learnability",
+                    "machine learning", "5(2)", "1990", "197-227"};
+  const std::string id = "schapire90";
+  Rng rng(56);
+
+  // 1 canonical + 30 exact copies: the dominant form.
+  for (int i = 0; i < 31; ++i) table->InsertUnchecked(MakeRow(id, canon));
+  // 10 near-canonical tuples differing only in the volume attribute — the
+  // paper's second-most-likely tuple shares "all but one" value (volume).
+  for (int i = 0; i < 10; ++i) {
+    Publication v = canon;
+    v.volume = "5";
+    table->InsertUnchecked(MakeRow(id, v));
+  }
+  // 13 format variants.
+  for (int i = 0; i < 13; ++i) {
+    table->InsertUnchecked(MakeRow(id, Vary(canon, &rng)));
+  }
+  // One heavily reformatted tuple of the same publication (the paper's
+  // least-likely tuple: "its values are stored in a different way").
+  Publication reformatted{"schapire, r.e.,", "the strength of weak learnability",
+                          "machine learning", "5 2 (1990)", "1990",
+                          "pp. 197-227"};
+  table->InsertUnchecked(MakeRow(id, reformatted));
+  // One misclustered tuple of a *different* publication (the paper's
+  // penultimate tuple "corresponds to a different publication").
+  Publication other{"r. schapire", "on the strength of weak learnability",
+                    "proc of the 30th i.e.e.e. symposium", "NULL", "1989",
+                    "pp. 28-33"};
+  table->InsertUnchecked(MakeRow(id, other));
+
+  *info = CitationInfo();
+  return table;  // 56 tuples total
+}
+
+}  // namespace conquer

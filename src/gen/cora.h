@@ -1,0 +1,51 @@
+#ifndef CONQUER_GEN_CORA_H_
+#define CONQUER_GEN_CORA_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/dirty_schema.h"
+#include "storage/table.h"
+
+namespace conquer {
+
+/// \brief Configuration of the Cora-like bibliographic dataset.
+///
+/// The paper's Section 4.2 evaluates probability assignment on clusters of
+/// the Cora citation-matching dataset (computer-science papers integrated
+/// from several sources). That dataset is not redistributable here, so this
+/// generator synthesizes clusters with the same strata the paper discusses
+/// for its Table 4 cluster of 56 tuples:
+///   - a dominant canonical citation form (most tuples),
+///   - format variants (abbreviated authors, reformatted volume/pages,
+///     truncated venues),
+///   - occasional *misclustered* tuples citing a different publication.
+struct CoraConfig {
+  size_t num_clusters = 12;
+  size_t min_cluster_size = 1;
+  size_t max_cluster_size = 56;  ///< the paper's example cluster size
+  /// Fraction of a cluster's tuples that keep the canonical form.
+  double canonical_fraction = 0.5;
+  /// Probability that a tuple is an outlier from a different publication.
+  double outlier_rate = 0.04;
+  uint64_t seed = 1990;  // Schapire's "The strength of weak learnability"
+};
+
+/// \brief Generates the citations table:
+/// (id, author, title, venue, volume, year, pages, prob[null]).
+///
+/// `info` receives the dirty-table annotations (identifier "id",
+/// probability column "prob"). Row 0 of every cluster holds the canonical
+/// form (useful for evaluating rankings against ground truth).
+Result<std::unique_ptr<Table>> MakeCoraLikeTable(const CoraConfig& config,
+                                                 DirtyTableInfo* info);
+
+/// \brief Builds the specific cluster mirroring the paper's Table 4: 56
+/// tuples of one publication dominated by one canonical form, with two
+/// strongly divergent tuples (one reformatted, one misclustered).
+Result<std::unique_ptr<Table>> MakeTable4Cluster(DirtyTableInfo* info);
+
+}  // namespace conquer
+
+#endif  // CONQUER_GEN_CORA_H_

@@ -1,0 +1,71 @@
+#include "gen/perturb.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace conquer {
+
+void ApplyTypo(std::string* s, Rng* rng) {
+  if (s->empty()) return;
+  size_t pos = static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(s->size()) - 1));
+  switch (rng->Uniform(0, 4)) {
+    case 0:  // transpose with next
+      if (pos + 1 < s->size()) std::swap((*s)[pos], (*s)[pos + 1]);
+      break;
+    case 1:  // delete
+      if (s->size() > 1) s->erase(pos, 1);
+      break;
+    case 2:  // substitute
+      (*s)[pos] = static_cast<char>('a' + rng->Uniform(0, 25));
+      break;
+    case 3:  // insert
+      s->insert(pos, 1, static_cast<char>('a' + rng->Uniform(0, 25)));
+      break;
+    case 4: {  // case flip
+      char c = (*s)[pos];
+      (*s)[pos] = std::isupper(static_cast<unsigned char>(c))
+                      ? static_cast<char>(std::tolower(c))
+                      : static_cast<char>(std::toupper(c));
+      break;
+    }
+  }
+}
+
+std::string PerturbString(const std::string& s, Rng* rng, int max_typos) {
+  std::string out = s;
+  int typos = static_cast<int>(rng->Uniform(1, std::max(1, max_typos)));
+  for (int i = 0; i < typos; ++i) ApplyTypo(&out, rng);
+  return out;
+}
+
+Value PerturbValue(const Value& v, Rng* rng, const PerturbOptions& options) {
+  switch (v.type()) {
+    case DataType::kNull:
+    case DataType::kBool:
+      return v;
+    case DataType::kString:
+      return Value::String(
+          PerturbString(v.string_value(), rng, options.max_typos));
+    case DataType::kInt64: {
+      double jitter = 1.0 + (rng->NextDouble() * 2 - 1) * options.numeric_jitter;
+      int64_t out = static_cast<int64_t>(
+          std::llround(static_cast<double>(v.int_value()) * jitter));
+      if (out == v.int_value()) out += rng->Chance(0.5) ? 1 : -1;
+      return Value::Int(out);
+    }
+    case DataType::kDouble: {
+      double jitter = 1.0 + (rng->NextDouble() * 2 - 1) * options.numeric_jitter;
+      return Value::Double(v.double_value() * jitter);
+    }
+    case DataType::kDate: {
+      int64_t shift = rng->Uniform(1, std::max(1, options.max_date_shift_days));
+      if (rng->Chance(0.5)) shift = -shift;
+      return Value::Date(v.date_value() + shift);
+    }
+  }
+  return v;
+}
+
+}  // namespace conquer

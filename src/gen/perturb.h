@@ -1,0 +1,39 @@
+#ifndef CONQUER_GEN_PERTURB_H_
+#define CONQUER_GEN_PERTURB_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "types/value.h"
+
+namespace conquer {
+
+/// \brief Value-perturbation model for duplicate injection.
+///
+/// Mirrors the error classes of the UIS duplicate generator the paper uses:
+/// typographic string errors (transposition, deletion, substitution,
+/// insertion, case flips), small numeric jitter, and day-level date shifts.
+struct PerturbOptions {
+  /// Probability that any given attribute of a duplicate is perturbed.
+  double attribute_error_rate = 0.3;
+  /// Typos applied per perturbed string (1..max).
+  int max_typos = 2;
+  /// Relative jitter bound for numeric attributes (e.g. 0.25 = +-25%).
+  double numeric_jitter = 0.25;
+  /// Maximum day shift for date attributes.
+  int max_date_shift_days = 30;
+};
+
+/// Applies one random typographic error to `s` in place (no-op when empty).
+void ApplyTypo(std::string* s, Rng* rng);
+
+/// Returns a perturbed copy of `s` with 1..max_typos typos.
+std::string PerturbString(const std::string& s, Rng* rng, int max_typos);
+
+/// Returns a perturbed copy of `v` per the options; the type is preserved.
+/// NULLs pass through unchanged.
+Value PerturbValue(const Value& v, Rng* rng, const PerturbOptions& options);
+
+}  // namespace conquer
+
+#endif  // CONQUER_GEN_PERTURB_H_

@@ -1,0 +1,676 @@
+#include "gen/tpch_dirty.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace conquer {
+
+namespace {
+
+// ---- Value vocabularies (abridged TPC-H domains). ----
+
+const char* const kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                 "MIDDLE EAST"};
+const char* const kNations[25] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",     "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",      "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",     "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",      "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const int kNationRegion[25] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                               4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* const kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                  "MACHINERY", "HOUSEHOLD"};
+const char* const kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                    "4-NOT SPECIFIED", "5-LOW"};
+const char* const kShipModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                   "TRUCK",   "MAIL", "FOB"};
+const char* const kInstructions[4] = {"DELIVER IN PERSON", "COLLECT COD",
+                                      "NONE", "TAKE BACK RETURN"};
+const char* const kContainers[8] = {"SM CASE", "SM BOX",  "MED BOX",
+                                    "MED BAG", "LG CASE", "LG BOX",
+                                    "JUMBO PKG", "WRAP CASE"};
+const char* const kTypeSyl1[6] = {"STANDARD", "SMALL",    "MEDIUM",
+                                  "LARGE",    "ECONOMY",  "PROMO"};
+const char* const kTypeSyl2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                  "POLISHED", "BRUSHED"};
+const char* const kTypeSyl3[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* const kColors[16] = {"almond",  "antique", "aquamarine", "azure",
+                                 "beige",   "bisque",  "blanched",   "blue",
+                                 "brown",   "burlywood", "chartreuse", "coral",
+                                 "forest",  "green",   "honeydew",   "ivory"};
+const char* const kWords[20] = {
+    "furiously", "quickly", "slyly",    "carefully", "blithely",
+    "deposits",  "requests", "accounts", "packages",  "instructions",
+    "theodolites", "pinto",  "beans",    "foxes",     "ideas",
+    "pending",   "regular", "express",  "final",     "ironic"};
+
+std::string RandomWords(Rng* rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng->Uniform(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += kWords[rng->Uniform(0, 19)];
+  }
+  return out;
+}
+
+std::string RandomPhone(Rng* rng) {
+  return StringPrintf("%02d-%03d-%03d-%04d",
+                      static_cast<int>(rng->Uniform(10, 34)),
+                      static_cast<int>(rng->Uniform(100, 999)),
+                      static_cast<int>(rng->Uniform(100, 999)),
+                      static_cast<int>(rng->Uniform(1000, 9999)));
+}
+
+std::string RandomAddress(Rng* rng) {
+  return StringPrintf("%d %s %s", static_cast<int>(rng->Uniform(1, 9999)),
+                      kColors[rng->Uniform(0, 15)],
+                      rng->Chance(0.5) ? "St" : "Ave");
+}
+
+// Record keys pack (entity, copy): one entity's duplicates get consecutive
+// keys. Copies are capped far below kCopiesPerEntity by the if <= 25 bound.
+constexpr int64_t kCopiesPerEntity = 100;
+
+int64_t RecordKey(int64_t entity, int64_t copy) {
+  return entity * kCopiesPerEntity + copy;
+}
+
+/// Per-table duplicate bookkeeping: cluster sizes drawn at generation time.
+struct EntityPlan {
+  std::vector<uint8_t> cluster_sizes;
+
+  int64_t RandomRecordRef(int64_t entity, Rng* rng,
+                          double entity_error_rate) const {
+    if (entity_error_rate > 0.0 && rng->Chance(entity_error_rate)) {
+      entity = rng->Uniform(0, static_cast<int64_t>(cluster_sizes.size()) - 1);
+    }
+    int64_t copy = rng->Uniform(0, cluster_sizes[entity] - 1);
+    return RecordKey(entity, copy);
+  }
+};
+
+EntityPlan DrawPlan(size_t num_entities, int inconsistency_factor, bool dirty,
+                    Rng* rng) {
+  EntityPlan plan;
+  plan.cluster_sizes.resize(num_entities, 1);
+  if (dirty && inconsistency_factor > 1) {
+    for (auto& k : plan.cluster_sizes) {
+      k = static_cast<uint8_t>(
+          rng->Uniform(1, 2 * inconsistency_factor - 1));
+    }
+  }
+  return plan;
+}
+
+std::vector<double> DrawClusterProbs(int k, Rng* rng) {
+  std::vector<double> p(k);
+  double sum = 0.0;
+  for (double& x : p) {
+    x = 0.25 + rng->NextDouble();
+    sum += x;
+  }
+  for (double& x : p) x /= sum;
+  return p;
+}
+
+/// Shared generation context.
+struct GenContext {
+  const TpchDirtyConfig* config;
+  Rng rng;
+  explicit GenContext(const TpchDirtyConfig& c) : config(&c), rng(c.seed) {}
+
+  /// Perturbs an attribute of a non-primary duplicate with the configured
+  /// attribute error rate; pick-list attributes re-roll from their list.
+  Value MaybePerturb(const Value& v) {
+    if (!rng.Chance(config->perturb.attribute_error_rate)) return v;
+    return PerturbValue(v, &rng, config->perturb);
+  }
+  template <size_t N>
+  Value MaybeReroll(const char* const (&list)[N], const Value& v) {
+    if (!rng.Chance(config->perturb.attribute_error_rate)) return v;
+    return Value::String(list[rng.Uniform(0, static_cast<int64_t>(N) - 1)]);
+  }
+};
+
+}  // namespace
+
+TpchCardinalities TpchCardinalities::For(double sf) {
+  TpchCardinalities c;
+  c.region = 5;
+  c.nation = 25;
+  auto scaled = [sf](double base) {
+    return static_cast<size_t>(std::max(1.0, std::round(base * sf)));
+  };
+  c.supplier = scaled(10000);
+  c.part = scaled(200000);
+  c.partsupp = c.part * 4;
+  c.customer = scaled(150000);
+  c.orders = scaled(1500000);
+  return c;
+}
+
+Result<PropagationStats> TpchDirtyDatabase::Propagate() {
+  return PropagateIdentifiers(db.get(), dirty, propagation_specs);
+}
+
+Status TpchDirtyDatabase::BuildIndexesAndStats() {
+  for (const DirtyTableInfo& info : dirty.tables()) {
+    CONQUER_RETURN_NOT_OK(db->CreateIndex(info.table_name, info.id_column));
+  }
+  return db->AnalyzeAll();
+}
+
+size_t TpchDirtyDatabase::TotalRows() const {
+  size_t total = 0;
+  for (const std::string& name : db->catalog().TableNames()) {
+    auto t = db->GetTable(name);
+    if (t.ok()) total += (*t)->num_rows();
+  }
+  return total;
+}
+
+Result<TpchDirtyDatabase> MakeTpchDirtyDatabase(
+    const TpchDirtyConfig& config) {
+  if (config.inconsistency_factor < 1 || config.inconsistency_factor > 49) {
+    return Status::InvalidArgument(
+        "inconsistency_factor must be in [1, 49] (record-key packing)");
+  }
+  if (config.scale_factor <= 0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+
+  TpchDirtyDatabase out;
+  out.db = std::make_unique<Database>();
+  out.config = config;
+  Database& db = *out.db;
+  GenContext ctx(config);
+  const int iff = config.inconsistency_factor;
+  TpchCardinalities card = TpchCardinalities::For(config.scale_factor);
+  // UIS-generator semantics (paper Section 5.2): the scale factor controls
+  // the *total* number of tuples while the inconsistency factor controls the
+  // mean cluster cardinality — so entity counts shrink as if grows and the
+  // dirty database stays the same size across the if sweep.
+  if (iff > 1) {
+    auto shrink = [iff](size_t n) {
+      return std::max<size_t>(1, n / static_cast<size_t>(iff));
+    };
+    card.supplier = shrink(card.supplier);
+    card.part = shrink(card.part);
+    card.partsupp = card.part * 4;
+    card.customer = shrink(card.customer);
+    card.orders = shrink(card.orders);
+  }
+
+  const int64_t kDateLo = CivilToDays(1992, 1, 1);
+  const int64_t kDateHi = CivilToDays(1998, 8, 2);
+
+  // ---------------------------------------------------------------- region
+  CONQUER_RETURN_NOT_OK(db.CreateTable(TableSchema(
+      "region", {{"id", DataType::kString},
+                 {"r_regionkey", DataType::kInt64},
+                 {"r_name", DataType::kString},
+                 {"r_comment", DataType::kString},
+                 {"prob", DataType::kDouble}})));
+  EntityPlan region_plan = DrawPlan(card.region, iff,
+                                    config.dirty_dimension_tables, &ctx.rng);
+  {
+    Table* t = db.GetTable("region").value();
+    for (size_t e = 0; e < card.region; ++e) {
+      int k = region_plan.cluster_sizes[e];
+      auto probs = DrawClusterProbs(k, &ctx.rng);
+      for (int j = 0; j < k; ++j) {
+        std::string name = kRegions[e];
+        if (j > 0) name = ctx.MaybePerturb(Value::String(name)).string_value();
+        t->InsertUnchecked(
+            {Value::String("R" + std::to_string(e)),
+             Value::Int(RecordKey(e, j)), Value::String(std::move(name)),
+             Value::String(RandomWords(&ctx.rng, 2, 4)),
+             config.fill_probabilities ? Value::Double(probs[j])
+                                       : Value::Null()});
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------- nation
+  CONQUER_RETURN_NOT_OK(db.CreateTable(TableSchema(
+      "nation", {{"id", DataType::kString},
+                 {"n_nationkey", DataType::kInt64},
+                 {"n_name", DataType::kString},
+                 {"n_regionkey", DataType::kInt64},
+                 {"n_region_id", DataType::kString},
+                 {"n_comment", DataType::kString},
+                 {"prob", DataType::kDouble}})));
+  EntityPlan nation_plan = DrawPlan(card.nation, iff,
+                                    config.dirty_dimension_tables, &ctx.rng);
+  {
+    Table* t = db.GetTable("nation").value();
+    for (size_t e = 0; e < card.nation; ++e) {
+      int k = nation_plan.cluster_sizes[e];
+      auto probs = DrawClusterProbs(k, &ctx.rng);
+      for (int j = 0; j < k; ++j) {
+        std::string name = kNations[e];
+        if (j > 0) name = ctx.MaybePerturb(Value::String(name)).string_value();
+        t->InsertUnchecked(
+            {Value::String("N" + std::to_string(e)),
+             Value::Int(RecordKey(e, j)), Value::String(std::move(name)),
+             Value::Int(region_plan.RandomRecordRef(
+                 kNationRegion[e], &ctx.rng,
+                 j > 0 ? config.fk_entity_error_rate : 0.0)),
+             Value::Null(), Value::String(RandomWords(&ctx.rng, 2, 5)),
+             config.fill_probabilities ? Value::Double(probs[j])
+                                       : Value::Null()});
+      }
+    }
+  }
+
+  // -------------------------------------------------------------- supplier
+  CONQUER_RETURN_NOT_OK(db.CreateTable(TableSchema(
+      "supplier", {{"id", DataType::kString},
+                   {"s_suppkey", DataType::kInt64},
+                   {"s_name", DataType::kString},
+                   {"s_address", DataType::kString},
+                   {"s_nationkey", DataType::kInt64},
+                   {"s_nation_id", DataType::kString},
+                   {"s_phone", DataType::kString},
+                   {"s_acctbal", DataType::kDouble},
+                   {"s_comment", DataType::kString},
+                   {"prob", DataType::kDouble}})));
+  EntityPlan supplier_plan = DrawPlan(card.supplier, iff, true, &ctx.rng);
+  {
+    Table* t = db.GetTable("supplier").value();
+    for (size_t e = 0; e < card.supplier; ++e) {
+      int k = supplier_plan.cluster_sizes[e];
+      auto probs = DrawClusterProbs(k, &ctx.rng);
+      int64_t nation = ctx.rng.Uniform(0, 24);
+      std::string name = StringPrintf("Supplier#%09zu", e);
+      std::string address = RandomAddress(&ctx.rng);
+      std::string phone = RandomPhone(&ctx.rng);
+      double acctbal = -999.99 + ctx.rng.NextDouble() * 10999.98;
+      for (int j = 0; j < k; ++j) {
+        Value vname = Value::String(name), vaddr = Value::String(address);
+        Value vphone = Value::String(phone), vbal = Value::Double(acctbal);
+        if (j > 0) {
+          vname = ctx.MaybePerturb(vname);
+          vaddr = ctx.MaybePerturb(vaddr);
+          vphone = ctx.MaybePerturb(vphone);
+          vbal = ctx.MaybePerturb(vbal);
+        }
+        t->InsertUnchecked(
+            {Value::String("S" + std::to_string(e)),
+             Value::Int(RecordKey(e, j)), std::move(vname), std::move(vaddr),
+             Value::Int(nation_plan.RandomRecordRef(
+                 nation, &ctx.rng,
+                 j > 0 ? config.fk_entity_error_rate : 0.0)),
+             Value::Null(), std::move(vphone), std::move(vbal),
+             Value::String(RandomWords(&ctx.rng, 3, 6)),
+             config.fill_probabilities ? Value::Double(probs[j])
+                                       : Value::Null()});
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------ part
+  CONQUER_RETURN_NOT_OK(db.CreateTable(TableSchema(
+      "part", {{"id", DataType::kString},
+               {"p_partkey", DataType::kInt64},
+               {"p_name", DataType::kString},
+               {"p_mfgr", DataType::kString},
+               {"p_brand", DataType::kString},
+               {"p_type", DataType::kString},
+               {"p_size", DataType::kInt64},
+               {"p_container", DataType::kString},
+               {"p_retailprice", DataType::kDouble},
+               {"p_comment", DataType::kString},
+               {"prob", DataType::kDouble}})));
+  EntityPlan part_plan = DrawPlan(card.part, iff, true, &ctx.rng);
+  {
+    Table* t = db.GetTable("part").value();
+    for (size_t e = 0; e < card.part; ++e) {
+      int k = part_plan.cluster_sizes[e];
+      auto probs = DrawClusterProbs(k, &ctx.rng);
+      int mfgr = static_cast<int>(ctx.rng.Uniform(1, 5));
+      std::string name = std::string(kColors[ctx.rng.Uniform(0, 15)]) + " " +
+                         kColors[ctx.rng.Uniform(0, 15)];
+      std::string brand = StringPrintf("Brand#%d%d", mfgr,
+                                       static_cast<int>(ctx.rng.Uniform(1, 5)));
+      std::string type = std::string(kTypeSyl1[ctx.rng.Uniform(0, 5)]) + " " +
+                         kTypeSyl2[ctx.rng.Uniform(0, 4)] + " " +
+                         kTypeSyl3[ctx.rng.Uniform(0, 4)];
+      int64_t size = ctx.rng.Uniform(1, 50);
+      std::string container = kContainers[ctx.rng.Uniform(0, 7)];
+      double price = 900.0 + (static_cast<double>(e % 1000) / 10.0) +
+                     100 * static_cast<double>(e % 10);
+      for (int j = 0; j < k; ++j) {
+        Value vname = Value::String(name), vtype = Value::String(type);
+        Value vsize = Value::Int(size), vcont = Value::String(container);
+        Value vbrand = Value::String(brand), vprice = Value::Double(price);
+        if (j > 0) {
+          vname = ctx.MaybePerturb(vname);
+          vtype = ctx.MaybeReroll(kTypeSyl3, vtype);  // swap material suffix
+          if (vtype.string_value().find(' ') == std::string::npos) {
+            // Reroll produced a bare material; rebuild a full type string.
+            vtype = Value::String(std::string(kTypeSyl1[ctx.rng.Uniform(0, 5)]) +
+                                  " " + kTypeSyl2[ctx.rng.Uniform(0, 4)] + " " +
+                                  vtype.string_value());
+          }
+          vsize = ctx.MaybePerturb(vsize);
+          vcont = ctx.MaybeReroll(kContainers, vcont);
+          // Brands stay stable across duplicates (they are catalog codes).
+          vprice = ctx.MaybePerturb(vprice);
+        }
+        t->InsertUnchecked(
+            {Value::String("P" + std::to_string(e)),
+             Value::Int(RecordKey(e, j)), std::move(vname),
+             Value::String(StringPrintf("Manufacturer#%d", mfgr)),
+             std::move(vbrand), std::move(vtype), std::move(vsize),
+             std::move(vcont), std::move(vprice),
+             Value::String(RandomWords(&ctx.rng, 2, 4)),
+             config.fill_probabilities ? Value::Double(probs[j])
+                                       : Value::Null()});
+      }
+    }
+  }
+
+  // -------------------------------------------------------------- partsupp
+  CONQUER_RETURN_NOT_OK(db.CreateTable(TableSchema(
+      "partsupp", {{"id", DataType::kString},
+                   {"ps_pskey", DataType::kInt64},
+                   {"ps_partkey", DataType::kInt64},
+                   {"ps_part_id", DataType::kString},
+                   {"ps_suppkey", DataType::kInt64},
+                   {"ps_supp_id", DataType::kString},
+                   {"ps_availqty", DataType::kInt64},
+                   {"ps_supplycost", DataType::kDouble},
+                   {"ps_comment", DataType::kString},
+                   {"prob", DataType::kDouble}})));
+  // Supplier for the j-th offer of part entity `pe` (TPC-H-style spread).
+  auto supplier_for = [&](size_t pe, int j) -> int64_t {
+    return static_cast<int64_t>((pe + j * (card.supplier / 4 + 1)) %
+                                card.supplier);
+  };
+  EntityPlan partsupp_plan = DrawPlan(card.partsupp, iff, true, &ctx.rng);
+  {
+    Table* t = db.GetTable("partsupp").value();
+    for (size_t pe = 0; pe < card.part; ++pe) {
+      for (int offer = 0; offer < 4; ++offer) {
+        size_t e = pe * 4 + offer;  // partsupp entity key
+        int k = partsupp_plan.cluster_sizes[e];
+        auto probs = DrawClusterProbs(k, &ctx.rng);
+        int64_t availqty = ctx.rng.Uniform(1, 9999);
+        double cost = 1.0 + ctx.rng.NextDouble() * 999.0;
+        for (int j = 0; j < k; ++j) {
+          Value vqty = Value::Int(availqty), vcost = Value::Double(cost);
+          if (j > 0) {
+            vqty = ctx.MaybePerturb(vqty);
+            vcost = ctx.MaybePerturb(vcost);
+          }
+          t->InsertUnchecked(
+              {Value::String("PS" + std::to_string(e)),
+               Value::Int(RecordKey(e, j)),
+               Value::Int(part_plan.RandomRecordRef(
+                   pe, &ctx.rng, j > 0 ? config.fk_entity_error_rate : 0.0)),
+               Value::Null(),
+               Value::Int(supplier_plan.RandomRecordRef(
+                   supplier_for(pe, offer), &ctx.rng,
+                   j > 0 ? config.fk_entity_error_rate : 0.0)),
+               Value::Null(), std::move(vqty), std::move(vcost),
+               Value::String(RandomWords(&ctx.rng, 2, 5)),
+               config.fill_probabilities ? Value::Double(probs[j])
+                                         : Value::Null()});
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------- customer
+  CONQUER_RETURN_NOT_OK(db.CreateTable(TableSchema(
+      "customer", {{"id", DataType::kString},
+                   {"c_custkey", DataType::kInt64},
+                   {"c_name", DataType::kString},
+                   {"c_address", DataType::kString},
+                   {"c_nationkey", DataType::kInt64},
+                   {"c_nation_id", DataType::kString},
+                   {"c_phone", DataType::kString},
+                   {"c_acctbal", DataType::kDouble},
+                   {"c_mktsegment", DataType::kString},
+                   {"c_comment", DataType::kString},
+                   {"prob", DataType::kDouble}})));
+  EntityPlan customer_plan = DrawPlan(card.customer, iff, true, &ctx.rng);
+  {
+    Table* t = db.GetTable("customer").value();
+    for (size_t e = 0; e < card.customer; ++e) {
+      int k = customer_plan.cluster_sizes[e];
+      auto probs = DrawClusterProbs(k, &ctx.rng);
+      int64_t nation = ctx.rng.Uniform(0, 24);
+      std::string name = StringPrintf("Customer#%09zu", e);
+      std::string address = RandomAddress(&ctx.rng);
+      std::string phone = RandomPhone(&ctx.rng);
+      double acctbal = -999.99 + ctx.rng.NextDouble() * 10999.98;
+      std::string segment = kSegments[ctx.rng.Uniform(0, 4)];
+      for (int j = 0; j < k; ++j) {
+        Value vname = Value::String(name), vaddr = Value::String(address);
+        Value vphone = Value::String(phone), vbal = Value::Double(acctbal);
+        Value vseg = Value::String(segment);
+        if (j > 0) {
+          vname = ctx.MaybePerturb(vname);
+          vaddr = ctx.MaybePerturb(vaddr);
+          vphone = ctx.MaybePerturb(vphone);
+          vbal = ctx.MaybePerturb(vbal);
+          vseg = ctx.MaybeReroll(kSegments, vseg);
+        }
+        t->InsertUnchecked(
+            {Value::String("C" + std::to_string(e)),
+             Value::Int(RecordKey(e, j)), std::move(vname), std::move(vaddr),
+             Value::Int(nation_plan.RandomRecordRef(
+                 nation, &ctx.rng,
+                 j > 0 ? config.fk_entity_error_rate : 0.0)),
+             Value::Null(), std::move(vphone), std::move(vbal),
+             std::move(vseg), Value::String(RandomWords(&ctx.rng, 3, 6)),
+             config.fill_probabilities ? Value::Double(probs[j])
+                                       : Value::Null()});
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------- orders
+  CONQUER_RETURN_NOT_OK(db.CreateTable(TableSchema(
+      "orders", {{"id", DataType::kString},
+                 {"o_orderkey", DataType::kInt64},
+                 {"o_custkey", DataType::kInt64},
+                 {"o_cust_id", DataType::kString},
+                 {"o_orderstatus", DataType::kString},
+                 {"o_totalprice", DataType::kDouble},
+                 {"o_orderdate", DataType::kDate},
+                 {"o_orderpriority", DataType::kString},
+                 {"o_clerk", DataType::kString},
+                 {"o_shippriority", DataType::kInt64},
+                 {"o_comment", DataType::kString},
+                 {"prob", DataType::kDouble}})));
+  EntityPlan orders_plan = DrawPlan(card.orders, iff, true, &ctx.rng);
+  std::vector<int64_t> order_dates(card.orders);
+  {
+    Table* t = db.GetTable("orders").value();
+    for (size_t e = 0; e < card.orders; ++e) {
+      int k = orders_plan.cluster_sizes[e];
+      auto probs = DrawClusterProbs(k, &ctx.rng);
+      int64_t customer = ctx.rng.Uniform(
+          0, static_cast<int64_t>(card.customer) - 1);
+      int64_t date = ctx.rng.Uniform(kDateLo, kDateHi);
+      order_dates[e] = date;
+      double total = 100.0 + ctx.rng.NextDouble() * 400000.0;
+      std::string priority = kPriorities[ctx.rng.Uniform(0, 4)];
+      const char* status = ctx.rng.Chance(0.5) ? "F" : "O";
+      for (int j = 0; j < k; ++j) {
+        Value vdate = Value::Date(date), vtotal = Value::Double(total);
+        Value vprio = Value::String(priority);
+        if (j > 0) {
+          vdate = ctx.MaybePerturb(vdate);
+          vtotal = ctx.MaybePerturb(vtotal);
+          vprio = ctx.MaybeReroll(kPriorities, vprio);
+        }
+        t->InsertUnchecked(
+            {Value::String("O" + std::to_string(e)),
+             Value::Int(RecordKey(e, j)),
+             Value::Int(customer_plan.RandomRecordRef(
+                 customer, &ctx.rng,
+                 j > 0 ? config.fk_entity_error_rate : 0.0)),
+             Value::Null(), Value::String(status), std::move(vtotal),
+             std::move(vdate), std::move(vprio),
+             Value::String(StringPrintf(
+                 "Clerk#%09d", static_cast<int>(ctx.rng.Uniform(1, 1000)))),
+             Value::Int(0), Value::String(RandomWords(&ctx.rng, 2, 5)),
+             config.fill_probabilities ? Value::Double(probs[j])
+                                       : Value::Null()});
+      }
+    }
+  }
+
+  // -------------------------------------------------------------- lineitem
+  CONQUER_RETURN_NOT_OK(db.CreateTable(TableSchema(
+      "lineitem", {{"id", DataType::kString},
+                   {"l_linekey", DataType::kInt64},
+                   {"l_orderkey", DataType::kInt64},
+                   {"l_order_id", DataType::kString},
+                   {"l_partkey", DataType::kInt64},
+                   {"l_part_id", DataType::kString},
+                   {"l_suppkey", DataType::kInt64},
+                   {"l_supp_id", DataType::kString},
+                   {"l_pskey", DataType::kInt64},
+                   {"l_partsupp_id", DataType::kString},
+                   {"l_linenumber", DataType::kInt64},
+                   {"l_quantity", DataType::kInt64},
+                   {"l_extendedprice", DataType::kDouble},
+                   {"l_discount", DataType::kDouble},
+                   {"l_tax", DataType::kDouble},
+                   {"l_returnflag", DataType::kString},
+                   {"l_linestatus", DataType::kString},
+                   {"l_shipdate", DataType::kDate},
+                   {"l_commitdate", DataType::kDate},
+                   {"l_receiptdate", DataType::kDate},
+                   {"l_shipinstruct", DataType::kString},
+                   {"l_shipmode", DataType::kString},
+                   {"l_comment", DataType::kString},
+                   {"prob", DataType::kDouble}})));
+  {
+    Table* t = db.GetTable("lineitem").value();
+    size_t line_entity = 0;
+    for (size_t oe = 0; oe < card.orders; ++oe) {
+      int lines = static_cast<int>(ctx.rng.Uniform(1, 7));
+      for (int ln = 1; ln <= lines; ++ln) {
+        size_t e = line_entity++;
+        int k = 1;
+        if (iff > 1) k = static_cast<int>(ctx.rng.Uniform(1, 2 * iff - 1));
+        auto probs = DrawClusterProbs(k, &ctx.rng);
+        int64_t pe = ctx.rng.Uniform(0, static_cast<int64_t>(card.part) - 1);
+        int offer = static_cast<int>(ctx.rng.Uniform(0, 3));
+        int64_t se = supplier_for(pe, offer);
+        int64_t pse = pe * 4 + offer;
+        int64_t quantity = ctx.rng.Uniform(1, 50);
+        double extprice =
+            static_cast<double>(quantity) * (900.0 + ctx.rng.NextDouble() * 1100);
+        double discount = ctx.rng.Uniform(0, 10) / 100.0;
+        double tax = ctx.rng.Uniform(0, 8) / 100.0;
+        int64_t ship = order_dates[oe] + ctx.rng.Uniform(1, 121);
+        int64_t commit = order_dates[oe] + ctx.rng.Uniform(30, 90);
+        int64_t receipt = ship + ctx.rng.Uniform(1, 30);
+        const char* returnflag =
+            receipt <= CivilToDays(1995, 6, 17)
+                ? (ctx.rng.Chance(0.5) ? "R" : "A")
+                : "N";
+        const char* linestatus = ship > CivilToDays(1995, 6, 17) ? "O" : "F";
+        std::string shipmode = kShipModes[ctx.rng.Uniform(0, 6)];
+        std::string instruct = kInstructions[ctx.rng.Uniform(0, 3)];
+        for (int j = 0; j < k; ++j) {
+          Value vqty = Value::Int(quantity), vprice = Value::Double(extprice);
+          Value vdisc = Value::Double(discount);
+          Value vship = Value::Date(ship), vcommit = Value::Date(commit);
+          Value vreceipt = Value::Date(receipt);
+          Value vmode = Value::String(shipmode);
+          if (j > 0) {
+            vqty = ctx.MaybePerturb(vqty);
+            vprice = ctx.MaybePerturb(vprice);
+            if (ctx.rng.Chance(config.perturb.attribute_error_rate)) {
+              vdisc = Value::Double(ctx.rng.Uniform(0, 10) / 100.0);
+            }
+            vship = ctx.MaybePerturb(vship);
+            vcommit = ctx.MaybePerturb(vcommit);
+            vreceipt = ctx.MaybePerturb(vreceipt);
+            vmode = ctx.MaybeReroll(kShipModes, vmode);
+          }
+          t->InsertUnchecked(
+              {Value::String("L" + std::to_string(e)),
+               Value::Int(RecordKey(e, j)),
+               Value::Int(orders_plan.RandomRecordRef(
+                   oe, &ctx.rng, j > 0 ? config.fk_entity_error_rate : 0.0)),
+               Value::Null(),
+               Value::Int(part_plan.RandomRecordRef(
+                   pe, &ctx.rng, j > 0 ? config.fk_entity_error_rate : 0.0)),
+               Value::Null(),
+               Value::Int(supplier_plan.RandomRecordRef(
+                   se, &ctx.rng, j > 0 ? config.fk_entity_error_rate : 0.0)),
+               Value::Null(),
+               Value::Int(partsupp_plan.RandomRecordRef(
+                   pse, &ctx.rng, j > 0 ? config.fk_entity_error_rate : 0.0)),
+               Value::Null(), Value::Int(ln), std::move(vqty),
+               std::move(vprice), std::move(vdisc), Value::Double(tax),
+               Value::String(returnflag), Value::String(linestatus),
+               std::move(vship), std::move(vcommit), std::move(vreceipt),
+               Value::String(std::move(instruct)), std::move(vmode),
+               Value::String(RandomWords(&ctx.rng, 1, 3)),
+               config.fill_probabilities ? Value::Double(probs[j])
+                                         : Value::Null()});
+        }
+      }
+    }
+  }
+
+  // ---- Dirty-schema registration. ----
+  auto add = [&](DirtyTableInfo info) {
+    Status s = out.dirty.AddTable(std::move(info));
+    assert(s.ok());
+    (void)s;
+  };
+  add({"region", "id", "prob", {}});
+  add({"nation", "id", "prob", {{"n_region_id", "region"}}});
+  add({"supplier", "id", "prob", {{"s_nation_id", "nation"}}});
+  add({"part", "id", "prob", {}});
+  add({"partsupp",
+       "id",
+       "prob",
+       {{"ps_part_id", "part"}, {"ps_supp_id", "supplier"}}});
+  add({"customer", "id", "prob", {{"c_nation_id", "nation"}}});
+  add({"orders", "id", "prob", {{"o_cust_id", "customer"}}});
+  add({"lineitem",
+       "id",
+       "prob",
+       {{"l_order_id", "orders"},
+        {"l_part_id", "part"},
+        {"l_supp_id", "supplier"},
+        {"l_partsupp_id", "partsupp"}}});
+
+  out.propagation_specs = {
+      {"nation", "n_regionkey", "n_region_id", "region", "r_regionkey"},
+      {"supplier", "s_nationkey", "s_nation_id", "nation", "n_nationkey"},
+      {"partsupp", "ps_partkey", "ps_part_id", "part", "p_partkey"},
+      {"partsupp", "ps_suppkey", "ps_supp_id", "supplier", "s_suppkey"},
+      {"customer", "c_nationkey", "c_nation_id", "nation", "n_nationkey"},
+      {"orders", "o_custkey", "o_cust_id", "customer", "c_custkey"},
+      {"lineitem", "l_orderkey", "l_order_id", "orders", "o_orderkey"},
+      {"lineitem", "l_partkey", "l_part_id", "part", "p_partkey"},
+      {"lineitem", "l_suppkey", "l_supp_id", "supplier", "s_suppkey"},
+      {"lineitem", "l_pskey", "l_partsupp_id", "partsupp", "ps_pskey"},
+  };
+
+  if (config.propagate_identifiers) {
+    CONQUER_RETURN_NOT_OK(out.Propagate().status());
+  }
+  return out;
+}
+
+}  // namespace conquer

@@ -1,0 +1,89 @@
+#ifndef CONQUER_GEN_TPCH_DIRTY_H_
+#define CONQUER_GEN_TPCH_DIRTY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dirty_schema.h"
+#include "engine/database.h"
+#include "gen/perturb.h"
+#include "prob/propagate.h"
+
+namespace conquer {
+
+/// \brief Configuration of the dirty TPC-H generator (the in-process
+/// substitute for the paper's UIS Database Generator driving Section 5).
+///
+/// `scale_factor` plays the paper's sf role (fraction of the TPC-H 1 GB
+/// cardinalities: sf = 1 ~ 150k customer / 1.5M order / ~6M lineitem
+/// tuples); `inconsistency_factor` plays the paper's if role: cluster
+/// cardinalities are drawn uniformly from [1, 2*if - 1], so the mean
+/// cluster size is if and if = 1 yields a completely clean database.
+/// Matching the UIS generator, sf fixes the *total* (dirty) tuple count and
+/// if trades entities for duplicates: entity counts shrink by 1/if.
+struct TpchDirtyConfig {
+  double scale_factor = 0.01;
+  int inconsistency_factor = 3;
+  uint64_t seed = 20060402;  // ICDE 2006
+
+  /// Fill each cluster's prob column with a random normalized distribution
+  /// during generation. When false the prob column is left NULL (for
+  /// pipelines that run AssignProbabilities, as the Fig. 7 bench does).
+  bool fill_probabilities = true;
+
+  /// Run identifier propagation during generation. When false the
+  /// propagated *_id columns are left NULL and the caller must run
+  /// PropagateIdentifiers with `propagation_specs`.
+  bool propagate_identifiers = true;
+
+  /// Inject duplicates into nation/region as well (off by default; the
+  /// dimension tables stay clean like typical reference data).
+  bool dirty_dimension_tables = false;
+
+  /// Probability that a duplicate's foreign key points at a *different*
+  /// entity (referential disagreement, as in the paper's Figure 1 where the
+  /// two loyalty-card duplicates name different customers).
+  double fk_entity_error_rate = 0.02;
+
+  /// Attribute-level perturbation model for duplicates.
+  PerturbOptions perturb;
+};
+
+/// \brief A generated dirty TPC-H database with all ConQuer metadata.
+struct TpchDirtyDatabase {
+  std::unique_ptr<Database> db;
+  DirtySchema dirty;
+  std::vector<PropagationSpec> propagation_specs;
+  TpchDirtyConfig config;
+
+  /// Runs identifier propagation over all foreign keys.
+  Result<PropagationStats> Propagate();
+
+  /// Builds hash indexes on every identifier column and refreshes
+  /// optimizer statistics (the paper's index + RUNSTATS setup).
+  Status BuildIndexesAndStats();
+
+  /// Total number of rows across all tables.
+  size_t TotalRows() const;
+};
+
+/// \brief Generates the eight-table dirty TPC-H database.
+///
+/// Every table carries: a cluster identifier column `id`, its original
+/// record-key column (each duplicate gets a distinct record key), foreign
+/// keys referencing record keys, propagated `*_id` foreign-identifier
+/// columns, and a `prob` column. Deterministic for a fixed config.
+Result<TpchDirtyDatabase> MakeTpchDirtyDatabase(const TpchDirtyConfig& config);
+
+/// Entity counts (before duplicate expansion) for a scale factor.
+struct TpchCardinalities {
+  size_t region, nation, supplier, part, partsupp, customer, orders;
+  /// Lineitems are 1..7 per order (average ~4).
+  static TpchCardinalities For(double scale_factor);
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_GEN_TPCH_DIRTY_H_

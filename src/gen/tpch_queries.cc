@@ -1,0 +1,150 @@
+#include "gen/tpch_queries.h"
+
+namespace conquer {
+
+const std::vector<TpchQuery>& TpchQueries() {
+  static const std::vector<TpchQuery> kQueries = {
+      {1,
+       "pricing summary: lineitems shipped by 1998-09-02",
+       "aggregates removed (paper); root identifier l.id projected",
+       "select l.id, l.l_returnflag, l.l_linestatus, l.l_quantity, "
+       "l.l_extendedprice, l.l_discount "
+       "from lineitem l where l.l_shipdate <= date '1998-09-02'"},
+
+      {2,
+       "minimum-cost supplier: European suppliers of size-15 BRASS parts",
+       "MIN(ps_supplycost) subquery flattened to the SPJ join core",
+       "select ps.id, s.id, p.id, s.s_acctbal, s.s_name, n.n_name, "
+       "p.p_mfgr, s.s_address, s.s_phone, ps.ps_supplycost "
+       "from part p, supplier s, partsupp ps, nation n, region r "
+       "where p.id = ps.ps_part_id and s.id = ps.ps_supp_id "
+       "and p.p_size = 15 and p.p_type like '%BRASS' "
+       "and s.s_nation_id = n.id and n.n_region_id = r.id "
+       "and r.r_name = 'EUROPE'"},
+
+      {3,
+       "shipping priority: urgent BUILDING-segment orders",
+       "aggregates removed; l.id added for root projection (paper keeps the "
+       "ORDER BY)",
+       "select l.id, o.id, l.l_extendedprice * (1 - l.l_discount) as revenue, "
+       "o.o_orderdate, o.o_shippriority "
+       "from customer c, orders o, lineitem l "
+       "where c.c_mktsegment = 'BUILDING' and o.o_cust_id = c.id "
+       "and l.l_order_id = o.id and o.o_orderdate < date '1995-03-15' "
+       "and l.l_shipdate > date '1995-03-15' "
+       "order by revenue desc, o.o_orderdate"},
+
+      {4,
+       "order priority checking: orders with late lineitems in 1993Q3",
+       "EXISTS subquery flattened to a join; l.id added for root projection",
+       "select l.id, o.id, o.o_orderdate, o.o_orderpriority "
+       "from orders o, lineitem l "
+       "where l.l_order_id = o.id and l.l_commitdate < l.l_receiptdate "
+       "and o.o_orderdate >= date '1993-07-01' "
+       "and o.o_orderdate < date '1993-10-01'"},
+
+      {6,
+       "forecasting revenue change: discounted 1994 shipments",
+       "aggregates removed",
+       "select l.id, l.l_extendedprice, l.l_discount, l.l_quantity "
+       "from lineitem l "
+       "where l.l_shipdate >= date '1994-01-01' "
+       "and l.l_shipdate < date '1995-01-01' "
+       "and l.l_discount between 0.05 and 0.07 and l.l_quantity < 24"},
+
+      {9,
+       "product type profit: green parts across nations (six-way join)",
+       "aggregates and EXTRACT removed; l.id projected as root",
+       "select l.id, p.id, s.id, o.id, n.n_name, o.o_orderdate, "
+       "l.l_extendedprice, l.l_discount, ps.ps_supplycost, l.l_quantity "
+       "from part p, supplier s, lineitem l, partsupp ps, orders o, nation n "
+       "where s.id = l.l_supp_id and ps.id = l.l_partsupp_id "
+       "and p.id = l.l_part_id and o.id = l.l_order_id "
+       "and s.s_nation_id = n.id and p.p_name like '%green%'"},
+
+      {10,
+       "returned item reporting: 1993Q4 customers with returns",
+       "aggregates removed; l.id projected as root",
+       "select l.id, c.id, c.c_name, c.c_acctbal, n.n_name, c.c_address, "
+       "c.c_phone "
+       "from customer c, orders o, lineitem l, nation n "
+       "where c.id = o.o_cust_id and l.l_order_id = o.id "
+       "and o.o_orderdate >= date '1993-10-01' "
+       "and o.o_orderdate < date '1994-01-01' "
+       "and l.l_returnflag = 'R' and c.c_nation_id = n.id"},
+
+      {11,
+       "important stock identification: German supplier stock",
+       "SUM-threshold HAVING subquery dropped; SPJ core kept",
+       "select ps.id, ps.ps_availqty, ps.ps_supplycost "
+       "from partsupp ps, supplier s, nation n "
+       "where ps.ps_supp_id = s.id and s.s_nation_id = n.id "
+       "and n.n_name = 'GERMANY'"},
+
+      {12,
+       "shipping modes and order priority: late MAIL/SHIP lineitems of 1994",
+       "aggregates removed; l.id projected as root",
+       "select l.id, o.id, o.o_orderpriority, l.l_shipmode "
+       "from orders o, lineitem l "
+       "where o.id = l.l_order_id and l.l_shipmode in ('MAIL', 'SHIP') "
+       "and l.l_commitdate < l.l_receiptdate "
+       "and l.l_shipdate < l.l_commitdate "
+       "and l.l_receiptdate >= date '1994-01-01' "
+       "and l.l_receiptdate < date '1995-01-01'"},
+
+      {14,
+       "promotion effect: parts shipped in 1995-09",
+       "aggregates and CASE removed",
+       "select l.id, p.id, p.p_type, l.l_extendedprice, l.l_discount "
+       "from lineitem l, part p "
+       "where l.l_part_id = p.id and l.l_shipdate >= date '1995-09-01' "
+       "and l.l_shipdate < date '1995-10-01'"},
+
+      {17,
+       "small-quantity-order revenue: Brand#23 MED BOX parts",
+       "AVG(l_quantity) subquery replaced by its validation-scale constant "
+       "threshold (quantity < 10)",
+       "select l.id, p.id, l.l_extendedprice, l.l_quantity "
+       "from lineitem l, part p "
+       "where p.id = l.l_part_id and p.p_brand = 'Brand#23' "
+       "and p.p_container = 'MED BOX' and l.l_quantity < 10"},
+
+      {18,
+       "large volume customer: orders with big lineitems",
+       "SUM(l_quantity) HAVING subquery replaced by a per-lineitem quantity "
+       "threshold; l.id projected as root",
+       "select l.id, o.id, c.id, c.c_name, o.o_orderdate, o.o_totalprice, "
+       "l.l_quantity "
+       "from customer c, orders o, lineitem l "
+       "where c.id = o.o_cust_id and o.id = l.l_order_id "
+       "and l.l_quantity > 45"},
+
+      {20,
+       "potential part promotion: Canadian suppliers of forest parts",
+       "nested IN subqueries flattened to joins; availability threshold kept",
+       "select ps.id, s.id, s.s_name, s.s_address "
+       "from supplier s, nation n, partsupp ps, part p "
+       "where ps.ps_supp_id = s.id and ps.ps_part_id = p.id "
+       "and p.p_name like 'forest%' and s.s_nation_id = n.id "
+       "and n.n_name = 'CANADA' and ps.ps_availqty > 100"},
+  };
+  return kQueries;
+}
+
+const TpchQuery* FindTpchQuery(int number) {
+  for (const TpchQuery& q : TpchQueries()) {
+    if (q.number == number) return &q;
+  }
+  return nullptr;
+}
+
+std::string TpchQuery3(bool with_order_by) {
+  std::string sql = FindTpchQuery(3)->sql;
+  if (!with_order_by) {
+    size_t pos = sql.find(" order by");
+    sql = sql.substr(0, pos);
+  }
+  return sql;
+}
+
+}  // namespace conquer

@@ -1,0 +1,351 @@
+#include "plan/binder.h"
+
+#include <cassert>
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+namespace {
+
+/// True when every column reference in `e` appears (as a subexpression)
+/// inside one of the grouping expressions — i.e. `e` is a function of the
+/// group key. The common case (e IS a grouping expression) is caught first.
+bool IsGroupInvariant(const Expr& e, const std::vector<ExprPtr>& group_by) {
+  for (const auto& g : group_by) {
+    if (e.StructurallyEquals(*g)) return true;
+  }
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return true;
+    case Expr::Kind::kColumnRef:
+      return false;  // not matched by any group expression above
+    case Expr::Kind::kBinary:
+      return IsGroupInvariant(*e.left, group_by) &&
+             IsGroupInvariant(*e.right, group_by);
+    case Expr::Kind::kUnary:
+      return IsGroupInvariant(*e.left, group_by);
+    case Expr::Kind::kAggregate:
+      return true;  // aggregates are per-group by definition
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Binder::ResolveColumnRef(Expr* e, const BoundQuery& q) {
+  assert(e->kind == Expr::Kind::kColumnRef);
+  int found_from = -1;
+  int found_col = -1;
+  for (size_t i = 0; i < q.stmt->from.size(); ++i) {
+    const TableRef& ref = q.stmt->from[i];
+    if (!e->table_alias.empty() &&
+        !EqualsIgnoreCase(e->table_alias, ref.effective_alias())) {
+      continue;
+    }
+    auto col = q.tables[i]->schema().FindColumn(e->column_name);
+    if (!col) continue;
+    if (found_from >= 0) {
+      return Status::InvalidArgument("ambiguous column reference '" +
+                                     e->ToString() + "'");
+    }
+    found_from = static_cast<int>(i);
+    found_col = static_cast<int>(*col);
+  }
+  if (found_from < 0) {
+    return Status::NotFound("unknown column '" + e->ToString() + "'");
+  }
+  e->from_index = found_from;
+  e->column_index = found_col;
+  e->slot = static_cast<int>(q.slot_offsets[found_from]) + found_col;
+  e->resolved_type =
+      q.tables[found_from]->schema().column(found_col).type;
+  return Status::OK();
+}
+
+Result<DataType> Binder::InferType(Expr* e) {
+  switch (e->kind) {
+    case Expr::Kind::kColumnRef:
+      return e->resolved_type;  // set by ResolveColumnRef
+    case Expr::Kind::kLiteral:
+      return e->literal.type();
+    case Expr::Kind::kUnary: {
+      DataType operand = e->left->resolved_type;
+      switch (e->uop) {
+        case UnaryOp::kNot:
+          if (operand != DataType::kBool && operand != DataType::kNull) {
+            return Status::TypeError("NOT requires a boolean operand, got " +
+                                     std::string(DataTypeToString(operand)));
+          }
+          return DataType::kBool;
+        case UnaryOp::kNeg:
+          if (operand != DataType::kInt64 && operand != DataType::kDouble) {
+            return Status::TypeError("unary '-' requires a numeric operand");
+          }
+          return operand;
+        case UnaryOp::kIsNull:
+        case UnaryOp::kIsNotNull:
+          return DataType::kBool;
+      }
+      return Status::Internal("unhandled unary op");
+    }
+    case Expr::Kind::kBinary: {
+      DataType lt = e->left->resolved_type;
+      DataType rt = e->right->resolved_type;
+      switch (e->bop) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          if ((lt != DataType::kBool && lt != DataType::kNull) ||
+              (rt != DataType::kBool && rt != DataType::kNull)) {
+            return Status::TypeError(
+                std::string(BinaryOpToString(e->bop)) +
+                " requires boolean operands in '" + e->ToString() + "'");
+          }
+          return DataType::kBool;
+        case BinaryOp::kLike:
+          if ((lt != DataType::kString && lt != DataType::kNull) ||
+              (rt != DataType::kString && rt != DataType::kNull)) {
+            return Status::TypeError("LIKE requires string operands in '" +
+                                     e->ToString() + "'");
+          }
+          return DataType::kBool;
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          if (!TypesComparable(lt, rt)) {
+            return Status::TypeError(
+                StringPrintf("cannot compare %s with %s in '%s'",
+                             DataTypeToString(lt), DataTypeToString(rt),
+                             e->ToString().c_str()));
+          }
+          return DataType::kBool;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub: {
+          // DATE +/- INT64 -> DATE; otherwise numeric.
+          if (lt == DataType::kDate && rt == DataType::kInt64) {
+            return DataType::kDate;
+          }
+          if (e->bop == BinaryOp::kSub && lt == DataType::kDate &&
+              rt == DataType::kDate) {
+            return DataType::kInt64;  // day difference
+          }
+          [[fallthrough]];
+        }
+        case BinaryOp::kMul: {
+          bool l_num = lt == DataType::kInt64 || lt == DataType::kDouble;
+          bool r_num = rt == DataType::kInt64 || rt == DataType::kDouble;
+          if (!l_num || !r_num) {
+            return Status::TypeError(
+                StringPrintf("arithmetic requires numeric operands in '%s' "
+                             "(%s %s %s)",
+                             e->ToString().c_str(), DataTypeToString(lt),
+                             BinaryOpToString(e->bop), DataTypeToString(rt)));
+          }
+          if (lt == DataType::kDouble || rt == DataType::kDouble) {
+            return DataType::kDouble;
+          }
+          return DataType::kInt64;
+        }
+        case BinaryOp::kDiv: {
+          bool l_num = lt == DataType::kInt64 || lt == DataType::kDouble;
+          bool r_num = rt == DataType::kInt64 || rt == DataType::kDouble;
+          if (!l_num || !r_num) {
+            return Status::TypeError("division requires numeric operands");
+          }
+          return DataType::kDouble;  // always exact-ish division
+        }
+      }
+      return Status::Internal("unhandled binary op");
+    }
+    case Expr::Kind::kAggregate: {
+      switch (e->agg) {
+        case AggFunc::kCount:
+          return DataType::kInt64;
+        case AggFunc::kSum: {
+          DataType at = e->left->resolved_type;
+          if (at != DataType::kInt64 && at != DataType::kDouble) {
+            return Status::TypeError("SUM requires a numeric argument");
+          }
+          return at;
+        }
+        case AggFunc::kAvg: {
+          DataType at = e->left->resolved_type;
+          if (at != DataType::kInt64 && at != DataType::kDouble) {
+            return Status::TypeError("AVG requires a numeric argument");
+          }
+          return DataType::kDouble;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          return e->left->resolved_type;
+        case AggFunc::kNone:
+          break;
+      }
+      return Status::Internal("unhandled aggregate");
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Status Binder::BindExprInternal(Expr* e, const BoundQuery& q,
+                                bool allow_aggregates) {
+  if (e->kind == Expr::Kind::kAggregate) {
+    if (!allow_aggregates) {
+      return Status::InvalidArgument(
+          "aggregate function not allowed here: '" + e->ToString() + "'");
+    }
+    // Aggregate arguments must not nest aggregates.
+    if (e->left != nullptr) {
+      CONQUER_RETURN_NOT_OK(BindExprInternal(e->left.get(), q, false));
+    }
+  } else {
+    if (e->left) {
+      CONQUER_RETURN_NOT_OK(
+          BindExprInternal(e->left.get(), q, allow_aggregates));
+    }
+    if (e->right) {
+      CONQUER_RETURN_NOT_OK(
+          BindExprInternal(e->right.get(), q, allow_aggregates));
+    }
+    if (e->kind == Expr::Kind::kColumnRef) {
+      CONQUER_RETURN_NOT_OK(ResolveColumnRef(e, q));
+    }
+  }
+  CONQUER_ASSIGN_OR_RETURN(e->resolved_type, InferType(e));
+  return Status::OK();
+}
+
+Status Binder::BindExpr(Expr* e, const BoundQuery& q) {
+  return BindExprInternal(e, q, /*allow_aggregates=*/true);
+}
+
+Result<BoundQuery> Binder::Bind(std::unique_ptr<SelectStatement> stmt) {
+  BoundQuery q;
+  q.stmt = std::move(stmt);
+
+  if (q.stmt->from.empty()) {
+    return Status::InvalidArgument("FROM list is empty");
+  }
+
+  // Resolve FROM tables and assign slot ranges in FROM order.
+  for (size_t i = 0; i < q.stmt->from.size(); ++i) {
+    const TableRef& ref = q.stmt->from[i];
+    CONQUER_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ref.table_name));
+    // Reject duplicate effective aliases.
+    for (size_t j = 0; j < i; ++j) {
+      if (EqualsIgnoreCase(q.stmt->from[j].effective_alias(),
+                           ref.effective_alias())) {
+        return Status::InvalidArgument("duplicate table alias '" +
+                                       ref.effective_alias() + "' in FROM");
+      }
+    }
+    q.slot_offsets.push_back(q.total_slots);
+    q.total_slots += table->schema().num_columns();
+    q.tables.push_back(table);
+  }
+
+  // Expand SELECT *.
+  if (q.stmt->select_list.empty()) {
+    for (size_t i = 0; i < q.stmt->from.size(); ++i) {
+      const TableSchema& schema = q.tables[i]->schema();
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        SelectItem item;
+        item.expr = Expr::MakeColumnRef(q.stmt->from[i].effective_alias(),
+                                        schema.column(c).name);
+        q.stmt->select_list.push_back(std::move(item));
+      }
+    }
+  }
+
+  // Bind SELECT items (aggregates allowed).
+  bool has_aggregate = false;
+  for (auto& item : q.stmt->select_list) {
+    CONQUER_RETURN_NOT_OK(BindExprInternal(item.expr.get(), q, true));
+    has_aggregate = has_aggregate || item.expr->ContainsAggregate();
+  }
+
+  // Bind WHERE (no aggregates) and require a boolean predicate.
+  if (q.stmt->where) {
+    CONQUER_RETURN_NOT_OK(BindExprInternal(q.stmt->where.get(), q, false));
+    DataType wt = q.stmt->where->resolved_type;
+    if (wt != DataType::kBool && wt != DataType::kNull) {
+      return Status::TypeError("WHERE clause is not boolean");
+    }
+  }
+
+  // Bind GROUP BY (no aggregates inside keys).
+  for (auto& g : q.stmt->group_by) {
+    CONQUER_RETURN_NOT_OK(BindExprInternal(g.get(), q, false));
+  }
+
+  q.is_aggregate = has_aggregate || !q.stmt->group_by.empty();
+  if (q.is_aggregate) {
+    // Every non-aggregate select item must be derivable from the group key.
+    for (const auto& item : q.stmt->select_list) {
+      if (item.expr->ContainsAggregate()) continue;
+      if (!IsGroupInvariant(*item.expr, q.stmt->group_by)) {
+        return Status::InvalidArgument(
+            "'" + item.expr->ToString() +
+            "' must appear in GROUP BY or be used in an aggregate");
+      }
+    }
+  }
+
+  q.num_visible_columns = q.stmt->select_list.size();
+
+  // Bind ORDER BY: resolve against select aliases/items first; otherwise
+  // append a hidden select column carrying the sort key.
+  for (auto& item : q.stmt->order_by) {
+    // Alias reference?
+    if (item.expr->kind == Expr::Kind::kColumnRef &&
+        item.expr->table_alias.empty()) {
+      bool matched = false;
+      for (size_t i = 0; i < q.num_visible_columns && !matched; ++i) {
+        if (!q.stmt->select_list[i].alias.empty() &&
+            EqualsIgnoreCase(q.stmt->select_list[i].alias,
+                             item.expr->column_name)) {
+          item.expr = q.stmt->select_list[i].expr->Clone();
+          q.order_by_output_columns.push_back(i);
+          matched = true;
+        }
+      }
+      if (matched) continue;
+    }
+    CONQUER_RETURN_NOT_OK(BindExprInternal(item.expr.get(), q, true));
+    if (item.expr->ContainsAggregate() && !q.is_aggregate) {
+      return Status::InvalidArgument(
+          "aggregate in ORDER BY of a non-aggregate query");
+    }
+    // Structural match against an existing select item?
+    bool matched = false;
+    for (size_t i = 0; i < q.stmt->select_list.size() && !matched; ++i) {
+      if (item.expr->StructurallyEquals(*q.stmt->select_list[i].expr)) {
+        q.order_by_output_columns.push_back(i);
+        matched = true;
+      }
+    }
+    if (matched) continue;
+    if (q.is_aggregate && !IsGroupInvariant(*item.expr, q.stmt->group_by)) {
+      return Status::InvalidArgument(
+          "ORDER BY expression '" + item.expr->ToString() +
+          "' is neither grouped nor aggregated");
+    }
+    // Hidden sort column.
+    SelectItem hidden;
+    hidden.expr = item.expr->Clone();
+    q.order_by_output_columns.push_back(q.stmt->select_list.size());
+    q.stmt->select_list.push_back(std::move(hidden));
+  }
+
+  // Output metadata for the visible and hidden columns.
+  for (const auto& item : q.stmt->select_list) {
+    q.output_names.push_back(item.OutputName());
+    q.output_types.push_back(item.expr->resolved_type);
+  }
+  return q;
+}
+
+}  // namespace conquer

@@ -1,0 +1,66 @@
+#ifndef CONQUER_PLAN_BINDER_H_
+#define CONQUER_PLAN_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace conquer {
+
+/// \brief A SELECT statement resolved against a catalog.
+///
+/// Column references are annotated with (from_index, column_index) and a
+/// global `slot` in the concatenated join row: table `i` of the FROM list
+/// occupies slots [slot_offsets[i], slot_offsets[i] + arity_i). `SELECT *`
+/// has been expanded, ORDER BY aliases resolved, and every expression
+/// type-checked.
+struct BoundQuery {
+  std::unique_ptr<SelectStatement> stmt;
+  std::vector<Table*> tables;        ///< parallel to stmt->from
+  std::vector<size_t> slot_offsets;  ///< parallel to stmt->from
+  size_t total_slots = 0;
+
+  /// True when the query computes aggregates (explicitly or via GROUP BY).
+  bool is_aggregate = false;
+
+  /// For each ORDER BY item: the index of the SELECT item it sorts on.
+  /// Items beyond the original SELECT list are hidden sort columns that are
+  /// stripped from the final result (`num_visible_columns`).
+  std::vector<size_t> order_by_output_columns;
+  size_t num_visible_columns = 0;
+
+  /// Output column names, parallel to stmt->select_list.
+  std::vector<std::string> output_names;
+  /// Output column types, parallel to stmt->select_list.
+  std::vector<DataType> output_types;
+};
+
+/// \brief Resolves and validates a parsed statement against the catalog.
+///
+/// The binder consumes the statement (it may rewrite parts of it, e.g.
+/// expanding `*` and appending hidden ORDER BY columns).
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  Result<BoundQuery> Bind(std::unique_ptr<SelectStatement> stmt);
+
+  /// Binds a single expression against an existing bound FROM list.
+  /// Exposed for the rewriting layer, which post-processes bound queries.
+  Status BindExpr(Expr* e, const BoundQuery& q);
+
+ private:
+  Status BindExprInternal(Expr* e, const BoundQuery& q, bool allow_aggregates);
+  Status ResolveColumnRef(Expr* e, const BoundQuery& q);
+  Result<DataType> InferType(Expr* e);
+
+  const Catalog* catalog_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_PLAN_BINDER_H_

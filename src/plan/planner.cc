@@ -1,0 +1,428 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <set>
+
+#include "exec/operators.h"
+
+namespace conquer {
+
+namespace {
+
+void CollectFromIndices(const Expr& e, std::set<int>* out) {
+  if (e.kind == Expr::Kind::kColumnRef) {
+    out->insert(e.from_index);
+    return;
+  }
+  if (e.left) CollectFromIndices(*e.left, out);
+  if (e.right) CollectFromIndices(*e.right, out);
+}
+
+/// Crude single-conjunct selectivity for join ordering.
+double EstimateSelectivity(const Expr& e, const std::vector<Table*>& tables) {
+  if (e.kind != Expr::Kind::kBinary) return 0.5;
+  switch (e.bop) {
+    case BinaryOp::kEq: {
+      // col = literal: 1/NDV when statistics exist.
+      const Expr* col = nullptr;
+      if (e.left->kind == Expr::Kind::kColumnRef &&
+          e.right->kind == Expr::Kind::kLiteral) {
+        col = e.left.get();
+      } else if (e.right->kind == Expr::Kind::kColumnRef &&
+                 e.left->kind == Expr::Kind::kLiteral) {
+        col = e.right.get();
+      }
+      if (col != nullptr) {
+        const Table* t = tables[col->from_index];
+        size_t ndv = t->column_stats(col->column_index).num_distinct;
+        if (ndv > 0) return 1.0 / static_cast<double>(ndv);
+      }
+      return 0.05;
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return 0.33;
+    case BinaryOp::kNe:
+      return 0.9;
+    case BinaryOp::kLike:
+      return 0.25;
+    case BinaryOp::kAnd: {
+      return EstimateSelectivity(*e.left, tables) *
+             EstimateSelectivity(*e.right, tables);
+    }
+    case BinaryOp::kOr: {
+      double a = EstimateSelectivity(*e.left, tables);
+      double b = EstimateSelectivity(*e.right, tables);
+      return std::min(1.0, a + b);
+    }
+    default:
+      return 0.5;
+  }
+}
+
+/// One equi-join predicate between two FROM tables.
+struct JoinEdge {
+  int left_from;
+  int left_slot;
+  int right_from;
+  int right_slot;
+  bool used = false;
+};
+
+ExprPtr AndCombine(ExprPtr a, ExprPtr b) {
+  if (!a) return b;
+  if (!b) return a;
+  return Expr::MakeBinary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+
+/// A point-lookup candidate: `col = literal` on an indexed column.
+struct IndexLookup {
+  const HashIndex* index = nullptr;
+  Value key;
+};
+
+/// Per-edge join selectivity from distinct-value statistics: the classic
+/// 1/max(NDV_left, NDV_right); 0.05 when statistics are missing.
+double EdgeSelectivity(const BoundQuery& q, const JoinEdge& e) {
+  auto ndv_of = [&q](int from, int slot) -> size_t {
+    size_t col = static_cast<size_t>(slot) - q.slot_offsets[from];
+    return q.tables[from]->column_stats(col).num_distinct;
+  };
+  size_t l = ndv_of(e.left_from, e.left_slot);
+  size_t r = ndv_of(e.right_from, e.right_slot);
+  size_t m = std::max(l, r);
+  if (m == 0) return 0.05;
+  return 1.0 / static_cast<double>(m);
+}
+
+/// Selinger-style left-deep join ordering over bitmask subsets: minimizes
+/// the summed estimated cardinality of every intermediate result. Returns
+/// the table sequence, or empty when n exceeds the configured bound.
+std::vector<int> DpJoinOrder(const BoundQuery& q,
+                             const std::vector<double>& est,
+                             const std::vector<JoinEdge>& edges, int n,
+                             int max_dp_tables) {
+  if (n < 2 || n > max_dp_tables || n > 20) return {};
+  const uint32_t full = (1u << n) - 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  struct State {
+    double cost = kInf;   // sum of intermediate result sizes
+    double rows = 0.0;    // estimated rows of this subset's join
+    int last = -1;        // table joined last
+  };
+  std::vector<State> best(full + 1);
+  for (int i = 0; i < n; ++i) {
+    best[1u << i] = {0.0, est[i], i};
+  }
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (best[mask].cost == kInf) continue;
+    for (int t = 0; t < n; ++t) {
+      uint32_t bit = 1u << t;
+      if (mask & bit) continue;
+      double sel = 1.0;
+      bool connected = false;
+      for (const JoinEdge& e : edges) {
+        bool joins_t = false;
+        if (e.left_from == t && (mask & (1u << e.right_from))) joins_t = true;
+        if (e.right_from == t && (mask & (1u << e.left_from))) joins_t = true;
+        if (joins_t) {
+          connected = true;
+          sel *= EdgeSelectivity(q, e);
+        }
+      }
+      // Discourage (but allow) cross products: they keep selectivity 1.
+      if (!connected && mask != full) {
+        // Only consider a cross product when nothing connects at all;
+        // skipping here keeps the DP from exploring useless orders, and the
+        // final fallback below handles fully disconnected queries.
+        bool t_connects_anything = false;
+        for (const JoinEdge& e : edges) {
+          t_connects_anything = t_connects_anything || e.left_from == t ||
+                                e.right_from == t;
+        }
+        if (t_connects_anything) continue;
+      }
+      double rows = std::max(1.0, best[mask].rows * est[t] * sel);
+      double cost = best[mask].cost + rows;
+      uint32_t next = mask | bit;
+      if (cost < best[next].cost) {
+        best[next] = {cost, rows, t};
+      }
+    }
+  }
+  if (best[full].cost == kInf) return {};  // disconnected beyond repair
+  std::vector<int> order(n);
+  uint32_t mask = full;
+  for (int i = n - 1; i >= 0; --i) {
+    order[i] = best[mask].last;
+    mask &= ~(1u << best[mask].last);
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
+                                  const PlannerOptions& options) {
+  const SelectStatement& stmt = *q.stmt;
+  size_t n = stmt.from.size();
+
+  // ---- Classify WHERE conjuncts. ----
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(stmt.where.get(), &conjuncts);
+
+  std::vector<ExprPtr> table_filters(n);  // single-table predicates
+  std::vector<JoinEdge> edges;
+  struct Residual {
+    const Expr* expr;
+    std::set<int> tables;
+    bool applied = false;
+  };
+  std::vector<Residual> residuals;
+  std::vector<IndexLookup> lookups(n);
+
+  for (const Expr* c : conjuncts) {
+    std::set<int> refs;
+    CollectFromIndices(*c, &refs);
+    if (refs.empty()) {
+      // Constant predicate: keep as residual applied at the first chance.
+      residuals.push_back({c, refs, false});
+      continue;
+    }
+    if (refs.size() == 1) {
+      int t = *refs.begin();
+      // Candidate for an index point lookup?
+      if (c->kind == Expr::Kind::kBinary && c->bop == BinaryOp::kEq &&
+          lookups[t].index == nullptr) {
+        const Expr* col = nullptr;
+        const Expr* lit = nullptr;
+        if (c->left->kind == Expr::Kind::kColumnRef &&
+            c->right->kind == Expr::Kind::kLiteral) {
+          col = c->left.get();
+          lit = c->right.get();
+        } else if (c->right->kind == Expr::Kind::kColumnRef &&
+                   c->left->kind == Expr::Kind::kLiteral) {
+          col = c->right.get();
+          lit = c->left.get();
+        }
+        if (col != nullptr && !lit->literal.is_null()) {
+          const HashIndex* idx = q.tables[t]->GetIndex(col->column_index);
+          if (idx != nullptr) {
+            lookups[t].index = idx;
+            lookups[t].key = lit->literal;
+            continue;  // consumed by the index scan
+          }
+        }
+      }
+      table_filters[t] = AndCombine(std::move(table_filters[t]), c->Clone());
+      continue;
+    }
+    if (refs.size() == 2 && c->kind == Expr::Kind::kBinary &&
+        c->bop == BinaryOp::kEq &&
+        c->left->kind == Expr::Kind::kColumnRef &&
+        c->right->kind == Expr::Kind::kColumnRef) {
+      edges.push_back({c->left->from_index, c->left->slot,
+                       c->right->from_index, c->right->slot, false});
+      continue;
+    }
+    residuals.push_back({c, refs, false});
+  }
+
+  // ---- Per-table scans and cardinality estimates. ----
+  std::vector<OperatorPtr> scans(n);
+  std::vector<double> est(n);
+  std::vector<std::pair<size_t, size_t>> ranges(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Table* t = q.tables[i];
+    ranges[i] = {q.slot_offsets[i], t->schema().num_columns()};
+    double rows = static_cast<double>(t->num_rows());
+    if (lookups[i].index != nullptr) {
+      rows = std::max(1.0, rows / std::max<double>(
+                               1.0, static_cast<double>(
+                                        lookups[i].index->num_keys())));
+      scans[i] = std::make_unique<IndexScanOp>(
+          t, lookups[i].index, lookups[i].key, q.slot_offsets[i],
+          q.total_slots, std::move(table_filters[i]));
+    } else {
+      if (table_filters[i]) {
+        rows *= EstimateSelectivity(*table_filters[i], q.tables);
+      }
+      scans[i] = std::make_unique<SeqScanOp>(t, q.slot_offsets[i],
+                                             q.total_slots,
+                                             std::move(table_filters[i]));
+    }
+    est[i] = std::max(rows, 1.0);
+  }
+
+  // ---- Join ordering. ----
+  // When dynamic programming is selected (and feasible), the full table
+  // sequence is fixed up front; otherwise each step picks greedily.
+  std::vector<int> fixed_order;
+  if (options.join_ordering == PlannerOptions::JoinOrdering::kDynamicProgramming) {
+    fixed_order = DpJoinOrder(q, est, edges, static_cast<int>(n),
+                              options.max_dp_tables);
+  }
+  size_t order_step = 0;
+
+  std::set<int> joined;
+  std::vector<std::pair<size_t, size_t>> joined_ranges;
+  // Start from the DP choice or the smallest estimated table.
+  int first = 0;
+  if (!fixed_order.empty()) {
+    first = fixed_order[order_step++];
+  } else {
+    for (size_t i = 1; i < n; ++i) {
+      if (est[i] < est[first]) first = static_cast<int>(i);
+    }
+  }
+  OperatorPtr plan = std::move(scans[first]);
+  joined.insert(first);
+  joined_ranges.push_back(ranges[first]);
+  double plan_est = est[first];
+
+  auto apply_ready_residuals = [&](OperatorPtr p) {
+    for (auto& r : residuals) {
+      if (r.applied) continue;
+      bool ready = true;
+      for (int t : r.tables) ready = ready && joined.count(t) > 0;
+      if (ready) {
+        p = std::make_unique<FilterOp>(std::move(p), r.expr->Clone());
+        r.applied = true;
+      }
+    }
+    return p;
+  };
+  plan = apply_ready_residuals(std::move(plan));
+
+  while (joined.size() < n) {
+    int best = -1;
+    if (!fixed_order.empty()) {
+      best = fixed_order[order_step++];
+    } else {
+      // Greedy: the smallest table connected to the joined set by an edge.
+      for (const JoinEdge& e : edges) {
+        int other = -1;
+        if (joined.count(e.left_from) && !joined.count(e.right_from)) {
+          other = e.right_from;
+        } else if (joined.count(e.right_from) && !joined.count(e.left_from)) {
+          other = e.left_from;
+        }
+        if (other >= 0 && (best < 0 || est[other] < est[best])) best = other;
+      }
+    }
+    bool cross = false;
+    if (best < 0) {
+      // No connecting edge: cross product with the smallest remaining table.
+      cross = true;
+      for (size_t i = 0; i < n; ++i) {
+        if (joined.count(static_cast<int>(i))) continue;
+        if (best < 0 || est[i] < est[best]) best = static_cast<int>(i);
+      }
+    } else if (!fixed_order.empty()) {
+      // The DP order may join a table with no edge into the current set
+      // (cross product by decision); detect that for key gathering.
+      bool connected = false;
+      for (const JoinEdge& e : edges) {
+        connected = connected ||
+                    (e.left_from == best && joined.count(e.right_from)) ||
+                    (e.right_from == best && joined.count(e.left_from));
+      }
+      cross = !connected;
+    }
+
+    std::vector<int> new_keys, old_keys;
+    if (!cross) {
+      for (JoinEdge& e : edges) {
+        if (e.used) continue;
+        if (e.left_from == best && joined.count(e.right_from)) {
+          new_keys.push_back(e.left_slot);
+          old_keys.push_back(e.right_slot);
+          e.used = true;
+        } else if (e.right_from == best && joined.count(e.left_from)) {
+          new_keys.push_back(e.right_slot);
+          old_keys.push_back(e.left_slot);
+          e.used = true;
+        }
+      }
+    }
+
+    // Build on the smaller side. Scans of base tables have known estimates;
+    // the running plan uses its rolling estimate.
+    OperatorPtr next;
+    if (est[best] <= plan_est) {
+      next = std::make_unique<HashJoinOp>(
+          std::move(scans[best]), std::move(plan), new_keys, old_keys,
+          std::vector<std::pair<size_t, size_t>>{ranges[best]});
+    } else {
+      next = std::make_unique<HashJoinOp>(std::move(plan),
+                                          std::move(scans[best]), old_keys,
+                                          new_keys, joined_ranges);
+    }
+    plan = std::move(next);
+    joined.insert(best);
+    joined_ranges.push_back(ranges[best]);
+    double join_sel = cross ? 1.0 : 1.0 / std::max(plan_est, est[best]);
+    plan_est = std::max(1.0, plan_est * est[best] * join_sel);
+
+    // Edges that became internal to the joined set turn into filters.
+    for (JoinEdge& e : edges) {
+      if (e.used) continue;
+      if (joined.count(e.left_from) && joined.count(e.right_from)) {
+        ExprPtr lhs = std::make_unique<Expr>();
+        lhs->kind = Expr::Kind::kColumnRef;
+        lhs->slot = e.left_slot;
+        ExprPtr rhs = std::make_unique<Expr>();
+        rhs->kind = Expr::Kind::kColumnRef;
+        rhs->slot = e.right_slot;
+        plan = std::make_unique<FilterOp>(
+            std::move(plan),
+            Expr::MakeBinary(BinaryOp::kEq, std::move(lhs), std::move(rhs)));
+        e.used = true;
+      }
+    }
+    plan = apply_ready_residuals(std::move(plan));
+  }
+
+  // ---- Aggregation or projection to narrow rows. ----
+  std::vector<const Expr*> items;
+  for (const auto& item : stmt.select_list) items.push_back(item.expr.get());
+
+  if (q.is_aggregate) {
+    std::vector<const Expr*> keys;
+    for (const auto& g : stmt.group_by) keys.push_back(g.get());
+    plan = std::make_unique<HashAggregateOp>(std::move(plan), keys, items);
+  } else {
+    plan = std::make_unique<ProjectOp>(std::move(plan), items);
+  }
+
+  if (stmt.distinct) {
+    plan = std::make_unique<DistinctOp>(std::move(plan));
+  }
+
+  if (!stmt.order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      keys.push_back(
+          {q.order_by_output_columns[i], stmt.order_by[i].descending});
+    }
+    plan = std::make_unique<SortOp>(std::move(plan), std::move(keys));
+  }
+
+  if (q.num_visible_columns < stmt.select_list.size()) {
+    plan = std::make_unique<StripColumnsOp>(std::move(plan),
+                                            q.num_visible_columns);
+  }
+
+  if (stmt.limit >= 0) {
+    plan = std::make_unique<LimitOp>(std::move(plan), stmt.limit);
+  }
+
+  return plan;
+}
+
+}  // namespace conquer

@@ -1,0 +1,45 @@
+#ifndef CONQUER_PLAN_PLANNER_H_
+#define CONQUER_PLAN_PLANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/binder.h"
+
+namespace conquer {
+
+/// \brief Planner knobs.
+struct PlannerOptions {
+  enum class JoinOrdering {
+    /// Greedy: repeatedly join the smallest connected table (fast, the
+    /// default).
+    kGreedy,
+    /// Selinger-style dynamic programming over left-deep orders, minimizing
+    /// the summed intermediate-result estimate. Exponential in the FROM
+    /// count; falls back to greedy beyond `max_dp_tables`.
+    kDynamicProgramming,
+  };
+  JoinOrdering join_ordering = JoinOrdering::kGreedy;
+  int max_dp_tables = 14;
+};
+
+/// \brief Builds a physical operator tree from a bound query.
+///
+/// Pipeline: per-table scans with pushed-down single-table predicates
+/// (hash-index point lookups when available) -> equi-join ordering (greedy
+/// or DP per options; hash joins, cross product only when no join edge
+/// connects) -> residual filters as soon as their tables are joined ->
+/// aggregation or projection -> DISTINCT -> ORDER BY -> hidden-column strip
+/// -> LIMIT.
+class Planner {
+ public:
+  /// Plans `q`; the returned operator tree borrows expressions from `q`, so
+  /// the BoundQuery must outlive execution.
+  static Result<OperatorPtr> Plan(const BoundQuery& q,
+                                  const PlannerOptions& options = {});
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_PLAN_PLANNER_H_

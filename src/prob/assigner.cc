@@ -1,0 +1,137 @@
+#include "prob/assigner.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+namespace {
+constexpr double kZeroDistanceEpsilon = 1e-12;
+
+Result<std::vector<size_t>> ResolveAttributeColumns(
+    const Table& table, const DirtyTableInfo& info,
+    const AssignerOptions& options) {
+  std::vector<size_t> cols;
+  if (!options.attribute_columns.empty()) {
+    for (const std::string& name : options.attribute_columns) {
+      CONQUER_ASSIGN_OR_RETURN(size_t idx,
+                               table.schema().GetColumnIndex(name));
+      cols.push_back(idx);
+    }
+    return cols;
+  }
+  CONQUER_ASSIGN_OR_RETURN(size_t id_col,
+                           table.schema().GetColumnIndex(info.id_column));
+  int prob_col = -1;
+  if (!info.prob_column.empty()) {
+    CONQUER_ASSIGN_OR_RETURN(size_t idx,
+                             table.schema().GetColumnIndex(info.prob_column));
+    prob_col = static_cast<int>(idx);
+  }
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    if (c == id_col || static_cast<int>(c) == prob_col) continue;
+    cols.push_back(c);
+  }
+  return cols;
+}
+
+std::vector<uint32_t> TupleValueIndices(const Table& table, size_t row,
+                                        const std::vector<size_t>& attrs,
+                                        ValueSpace* space) {
+  std::vector<uint32_t> out;
+  out.reserve(attrs.size());
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    out.push_back(space->Intern(a, table.row(row)[attrs[a]]));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Dcf> BuildClusterRepresentative(const Table& table,
+                                       const std::vector<size_t>& rows,
+                                       const std::vector<size_t>& attr_columns,
+                                       ValueSpace* space) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("cluster has no rows");
+  }
+  Dcf rep = Dcf::ForTuple(TupleValueIndices(table, rows[0], attr_columns,
+                                            space));
+  for (size_t i = 1; i < rows.size(); ++i) {
+    rep = Dcf::Merge(rep, Dcf::ForTuple(TupleValueIndices(
+                              table, rows[i], attr_columns, space)));
+  }
+  return rep;
+}
+
+Result<std::vector<TupleProbability>> AssignProbabilities(
+    Table* table, const DirtyTableInfo& info, const AssignerOptions& options) {
+  if (info.prob_column.empty()) {
+    return Status::InvalidArgument(
+        "table '" + info.table_name +
+        "' has no probability column to assign into");
+  }
+  CONQUER_ASSIGN_OR_RETURN(size_t id_col,
+                           table->schema().GetColumnIndex(info.id_column));
+  CONQUER_ASSIGN_OR_RETURN(size_t prob_col,
+                           table->schema().GetColumnIndex(info.prob_column));
+  CONQUER_ASSIGN_OR_RETURN(std::vector<size_t> attrs,
+                           ResolveAttributeColumns(*table, info, options));
+
+  // Group rows into clusters by identifier value.
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> clusters;
+  std::vector<Value> order;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const Value& id = table->row(r)[id_col];
+    auto [it, inserted] = clusters.try_emplace(id);
+    if (inserted) order.push_back(id);
+    it->second.push_back(r);
+  }
+
+  const double total_weight = static_cast<double>(table->num_rows());
+  std::vector<TupleProbability> out(table->num_rows());
+  ValueSpace space;
+
+  for (const Value& id : order) {
+    const std::vector<size_t>& members = clusters.at(id);
+    if (members.size() == 1) {
+      // Step 3, singleton case: certainty.
+      size_t r = members[0];
+      out[r] = {r, 0.0, 1.0, 1.0};
+      (*table->mutable_row(r))[prob_col] = Value::Double(1.0);
+      continue;
+    }
+    // Step 1: representative and distance accumulator.
+    CONQUER_ASSIGN_OR_RETURN(
+        Dcf rep, BuildClusterRepresentative(*table, members, attrs, &space));
+    // Step 2: distances to the representative.
+    double s_sum = 0.0;
+    std::vector<double> dist(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      Dcf tuple = Dcf::ForTuple(
+          TupleValueIndices(*table, members[i], attrs, &space));
+      dist[i] = InformationLossDistance(tuple, rep, total_weight);
+      s_sum += dist[i];
+    }
+    // Step 3: similarities and probabilities.
+    for (size_t i = 0; i < members.size(); ++i) {
+      size_t r = members[i];
+      double prob, sim;
+      if (s_sum <= kZeroDistanceEpsilon) {
+        // All members identical to the representative: uniform.
+        sim = 1.0;
+        prob = 1.0 / static_cast<double>(members.size());
+      } else {
+        sim = 1.0 - dist[i] / s_sum;
+        prob = sim / static_cast<double>(members.size() - 1);
+      }
+      out[r] = {r, dist[i], sim, prob};
+      (*table->mutable_row(r))[prob_col] = Value::Double(prob);
+    }
+  }
+  return out;
+}
+
+}  // namespace conquer

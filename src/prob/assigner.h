@@ -1,0 +1,58 @@
+#ifndef CONQUER_PROB_ASSIGNER_H_
+#define CONQUER_PROB_ASSIGNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dirty_schema.h"
+#include "prob/dcf.h"
+#include "storage/table.h"
+
+namespace conquer {
+
+/// \brief Per-tuple output of the probability assignment, exposed so tests
+/// and reports can reproduce the paper's Table 3 (distance, similarity,
+/// probability per tuple).
+struct TupleProbability {
+  size_t row = 0;        ///< row position in the table
+  double distance = 0.0;    ///< d(t, rep) — information loss
+  double similarity = 0.0;  ///< s_t = 1 - d_t / S(c_i)
+  double probability = 0.0; ///< final prob(t)
+};
+
+/// \brief Options for AssignProbabilities.
+struct AssignerOptions {
+  /// Columns used to build the categorical representation. Empty = every
+  /// column except the identifier and probability columns.
+  std::vector<std::string> attribute_columns;
+};
+
+/// \brief The paper's Figure 5 algorithm: assigns a probability to every
+/// tuple of a clustered relation.
+///
+/// Step 1 computes each cluster's representative by merging the member
+/// tuples' DCFs; Step 2 measures each member's information-loss distance to
+/// the representative; Step 3 converts distances to similarities
+/// (s_t = 1 - d_t/S) and normalizes them into probabilities
+/// (prob(t) = s_t / (|c|-1); singleton clusters get probability 1).
+///
+/// Degenerate clusters whose members are all at distance ~0 from the
+/// representative (identical duplicates) get the uniform distribution.
+///
+/// Writes the probabilities into `info.prob_column` of the table and
+/// returns the per-tuple details in row order.
+Result<std::vector<TupleProbability>> AssignProbabilities(
+    Table* table, const DirtyTableInfo& info,
+    const AssignerOptions& options = {});
+
+/// \brief Builds the cluster representative (merged DCF) of the given rows.
+/// Exposed for tests that pin the paper's Table 2 values.
+Result<Dcf> BuildClusterRepresentative(const Table& table,
+                                       const std::vector<size_t>& rows,
+                                       const std::vector<size_t>& attr_columns,
+                                       ValueSpace* space);
+
+}  // namespace conquer
+
+#endif  // CONQUER_PROB_ASSIGNER_H_

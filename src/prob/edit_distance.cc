@@ -1,0 +1,171 @@
+#include "prob/edit_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace conquer {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Two-row dynamic program over the shorter string.
+  std::vector<size_t> prev(a.size() + 1), curr(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    curr[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t substitute = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[i] = std::min({prev[i] + 1, curr[i - 1] + 1, substitute});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[a.size()];
+}
+
+double NormalizedEditDistance(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(LevenshteinDistance(a, b)) /
+         static_cast<double>(longest);
+}
+
+double MixedEditDistance::Distance(
+    const Table& table, size_t row_a, size_t row_b,
+    const std::vector<size_t>& attribute_columns) const {
+  if (attribute_columns.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t c : attribute_columns) {
+    const Value& a = table.row(row_a)[c];
+    const Value& b = table.row(row_b)[c];
+    if (a.is_null() && b.is_null()) continue;  // both missing: no evidence
+    if (a.is_null() != b.is_null()) {
+      total += 1.0;
+      continue;
+    }
+    switch (a.type()) {
+      case DataType::kString:
+        total += NormalizedEditDistance(a.string_value(),
+                                        b.type() == DataType::kString
+                                            ? b.string_value()
+                                            : b.ToString());
+        break;
+      case DataType::kInt64:
+      case DataType::kDouble:
+      case DataType::kDate: {
+        double x = a.AsDouble(), y = b.AsDouble();
+        double denom = std::max(std::abs(x), std::abs(y));
+        total += denom > 0 ? std::min(1.0, std::abs(x - y) / denom) : 0.0;
+        break;
+      }
+      default:
+        total += a.TotalCompare(b) == 0 ? 0.0 : 1.0;
+        break;
+    }
+  }
+  return total / static_cast<double>(attribute_columns.size());
+}
+
+namespace {
+
+constexpr double kZeroDistanceEpsilon = 1e-12;
+
+Result<std::vector<size_t>> ResolveAttributeColumns(
+    const Table& table, const DirtyTableInfo& info,
+    const AssignerOptions& options) {
+  std::vector<size_t> cols;
+  if (!options.attribute_columns.empty()) {
+    for (const std::string& name : options.attribute_columns) {
+      CONQUER_ASSIGN_OR_RETURN(size_t idx,
+                               table.schema().GetColumnIndex(name));
+      cols.push_back(idx);
+    }
+    return cols;
+  }
+  CONQUER_ASSIGN_OR_RETURN(size_t id_col,
+                           table.schema().GetColumnIndex(info.id_column));
+  int prob_col = -1;
+  if (!info.prob_column.empty()) {
+    CONQUER_ASSIGN_OR_RETURN(size_t idx,
+                             table.schema().GetColumnIndex(info.prob_column));
+    prob_col = static_cast<int>(idx);
+  }
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    if (c == id_col || static_cast<int>(c) == prob_col) continue;
+    cols.push_back(c);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Result<std::vector<TupleProbability>> AssignProbabilitiesWithDistance(
+    Table* table, const DirtyTableInfo& info,
+    const TupleDistanceMeasure& measure, const AssignerOptions& options) {
+  if (info.prob_column.empty()) {
+    return Status::InvalidArgument(
+        "table '" + info.table_name +
+        "' has no probability column to assign into");
+  }
+  CONQUER_ASSIGN_OR_RETURN(size_t id_col,
+                           table->schema().GetColumnIndex(info.id_column));
+  CONQUER_ASSIGN_OR_RETURN(size_t prob_col,
+                           table->schema().GetColumnIndex(info.prob_column));
+  CONQUER_ASSIGN_OR_RETURN(std::vector<size_t> attrs,
+                           ResolveAttributeColumns(*table, info, options));
+
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> clusters;
+  std::vector<Value> order;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const Value& id = table->row(r)[id_col];
+    auto [it, inserted] = clusters.try_emplace(id);
+    if (inserted) order.push_back(id);
+    it->second.push_back(r);
+  }
+
+  std::vector<TupleProbability> out(table->num_rows());
+  for (const Value& id : order) {
+    const std::vector<size_t>& members = clusters.at(id);
+    size_t n = members.size();
+    if (n == 1) {
+      out[members[0]] = {members[0], 0.0, 1.0, 1.0};
+      (*table->mutable_row(members[0]))[prob_col] = Value::Double(1.0);
+      continue;
+    }
+    // Pairwise distances; representative = medoid.
+    std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        d[i][j] = d[j][i] =
+            measure.Distance(*table, members[i], members[j], attrs);
+      }
+    }
+    size_t medoid = 0;
+    double best_total = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (size_t j = 0; j < n; ++j) total += d[i][j];
+      if (total < best_total) {
+        best_total = total;
+        medoid = i;
+      }
+    }
+    double s_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) s_sum += d[i][medoid];
+    for (size_t i = 0; i < n; ++i) {
+      size_t r = members[i];
+      double sim, prob;
+      if (s_sum <= kZeroDistanceEpsilon) {
+        sim = 1.0;
+        prob = 1.0 / static_cast<double>(n);
+      } else {
+        sim = 1.0 - d[i][medoid] / s_sum;
+        prob = sim / static_cast<double>(n - 1);
+      }
+      out[r] = {r, d[i][medoid], sim, prob};
+      (*table->mutable_row(r))[prob_col] = Value::Double(prob);
+    }
+  }
+  return out;
+}
+
+}  // namespace conquer

@@ -1,0 +1,49 @@
+#include "prob/propagate.h"
+
+#include <unordered_map>
+
+namespace conquer {
+
+Result<PropagationStats> PropagateIdentifiers(
+    Database* db, const DirtySchema& dirty,
+    const std::vector<PropagationSpec>& specs) {
+  PropagationStats stats;
+  for (const PropagationSpec& spec : specs) {
+    CONQUER_ASSIGN_OR_RETURN(Table * table, db->GetTable(spec.table));
+    CONQUER_ASSIGN_OR_RETURN(Table * ref, db->GetTable(spec.ref_table));
+    CONQUER_ASSIGN_OR_RETURN(const DirtyTableInfo* ref_info,
+                             dirty.Get(spec.ref_table));
+
+    CONQUER_ASSIGN_OR_RETURN(size_t fk_col,
+                             table->schema().GetColumnIndex(spec.fk_column));
+    CONQUER_ASSIGN_OR_RETURN(
+        size_t target_col, table->schema().GetColumnIndex(spec.target_column));
+    CONQUER_ASSIGN_OR_RETURN(
+        size_t ref_key_col,
+        ref->schema().GetColumnIndex(spec.ref_key_column));
+    CONQUER_ASSIGN_OR_RETURN(size_t ref_id_col,
+                             ref->schema().GetColumnIndex(ref_info->id_column));
+
+    // Record key -> cluster identifier of the referenced table.
+    std::unordered_map<Value, Value, ValueHash> crossref;
+    crossref.reserve(ref->num_rows());
+    for (size_t r = 0; r < ref->num_rows(); ++r) {
+      crossref.emplace(ref->row(r)[ref_key_col], ref->row(r)[ref_id_col]);
+    }
+
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      Row* row = table->mutable_row(r);
+      auto it = crossref.find((*row)[fk_col]);
+      if (it == crossref.end()) {
+        (*row)[target_col] = Value::Null();
+        ++stats.dangling_references;
+      } else {
+        (*row)[target_col] = it->second;
+        ++stats.rows_updated;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace conquer

@@ -1,0 +1,84 @@
+#include "prob/providers.h"
+
+#include <vector>
+
+namespace conquer {
+
+namespace {
+
+/// Groups row positions by identifier value, preserving first-seen order.
+Result<std::vector<std::vector<size_t>>> CollectClusters(
+    const Table& table, const DirtyTableInfo& info) {
+  CONQUER_ASSIGN_OR_RETURN(size_t id_col,
+                           table.schema().GetColumnIndex(info.id_column));
+  std::unordered_map<Value, size_t, ValueHash> index;
+  std::vector<std::vector<size_t>> clusters;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& id = table.row(r)[id_col];
+    auto [it, inserted] = index.try_emplace(id, clusters.size());
+    if (inserted) clusters.emplace_back();
+    clusters[it->second].push_back(r);
+  }
+  return clusters;
+}
+
+Result<size_t> ProbColumn(const Table& table, const DirtyTableInfo& info) {
+  if (info.prob_column.empty()) {
+    return Status::InvalidArgument("table '" + info.table_name +
+                                   "' has no probability column");
+  }
+  return table.schema().GetColumnIndex(info.prob_column);
+}
+
+}  // namespace
+
+Status AssignUniformProbabilities(Table* table, const DirtyTableInfo& info) {
+  CONQUER_ASSIGN_OR_RETURN(size_t prob_col, ProbColumn(*table, info));
+  CONQUER_ASSIGN_OR_RETURN(auto clusters, CollectClusters(*table, info));
+  for (const auto& members : clusters) {
+    double p = 1.0 / static_cast<double>(members.size());
+    for (size_t r : members) {
+      (*table->mutable_row(r))[prob_col] = Value::Double(p);
+    }
+  }
+  return Status::OK();
+}
+
+Status AssignSourceReliabilityProbabilities(
+    Table* table, const DirtyTableInfo& info, std::string_view source_column,
+    const std::unordered_map<std::string, double>& reliability,
+    double default_reliability) {
+  if (default_reliability < 0.0) {
+    return Status::InvalidArgument("default reliability must be >= 0");
+  }
+  for (const auto& [source, weight] : reliability) {
+    if (weight < 0.0) {
+      return Status::InvalidArgument("negative reliability for source '" +
+                                     source + "'");
+    }
+  }
+  CONQUER_ASSIGN_OR_RETURN(size_t prob_col, ProbColumn(*table, info));
+  CONQUER_ASSIGN_OR_RETURN(size_t source_col,
+                           table->schema().GetColumnIndex(source_column));
+  CONQUER_ASSIGN_OR_RETURN(auto clusters, CollectClusters(*table, info));
+
+  auto weight_of = [&](size_t row) {
+    const Value& v = table->row(row)[source_col];
+    if (v.is_null()) return default_reliability;
+    auto it = reliability.find(v.ToString());
+    return it == reliability.end() ? default_reliability : it->second;
+  };
+
+  for (const auto& members : clusters) {
+    double total = 0.0;
+    for (size_t r : members) total += weight_of(r);
+    for (size_t r : members) {
+      double p = total > 0.0 ? weight_of(r) / total
+                             : 1.0 / static_cast<double>(members.size());
+      (*table->mutable_row(r))[prob_col] = Value::Double(p);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace conquer

@@ -1,0 +1,277 @@
+#include "sql/ast.h"
+
+#include <cassert>
+
+namespace conquer {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kLike:
+      return "LIKE";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kLike:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeColumnRef(std::string table_alias, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->table_alias = std::move(table_alias);
+  e->column_name = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->bop = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->uop = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::MakeAggregate(AggFunc f, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAggregate;
+  e->agg = f;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->table_alias = table_alias;
+  e->column_name = column_name;
+  e->literal = literal;
+  e->bop = bop;
+  e->uop = uop;
+  e->agg = agg;
+  if (left) e->left = left->Clone();
+  if (right) e->right = right->Clone();
+  e->from_index = from_index;
+  e->column_index = column_index;
+  e->slot = slot;
+  e->resolved_type = resolved_type;
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kColumnRef:
+      return table_alias.empty() ? column_name
+                                 : table_alias + "." + column_name;
+    case Kind::kLiteral:
+      return literal.ToSqlLiteral();
+    case Kind::kBinary: {
+      std::string l = left->ToString();
+      std::string r = right->ToString();
+      // Parenthesize nested binary operands conservatively; column refs and
+      // literals never need parens.
+      auto wrap = [](const Expr& e, const std::string& s) {
+        if (e.kind == Kind::kBinary) return "(" + s + ")";
+        return s;
+      };
+      return wrap(*left, l) + " " + BinaryOpToString(bop) + " " +
+             wrap(*right, r);
+    }
+    case Kind::kUnary:
+      switch (uop) {
+        case UnaryOp::kNot:
+          return "NOT (" + left->ToString() + ")";
+        case UnaryOp::kNeg:
+          return "-(" + left->ToString() + ")";
+        case UnaryOp::kIsNull:
+          return "(" + left->ToString() + ") IS NULL";
+        case UnaryOp::kIsNotNull:
+          return "(" + left->ToString() + ") IS NOT NULL";
+      }
+      return "?";
+    case Kind::kAggregate: {
+      std::string arg = left ? left->ToString() : "*";
+      return std::string(AggFuncToString(agg)) + "(" + arg + ")";
+    }
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == Kind::kAggregate) return true;
+  if (left && left->ContainsAggregate()) return true;
+  if (right && right->ContainsAggregate()) return true;
+  return false;
+}
+
+bool Expr::StructurallyEquals(const Expr& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kColumnRef:
+      // After binding, slots identify columns; before binding compare names.
+      if (slot >= 0 && other.slot >= 0) return slot == other.slot;
+      return table_alias == other.table_alias &&
+             column_name == other.column_name;
+    case Kind::kLiteral:
+      return literal.TotalCompare(other.literal) == 0;
+    case Kind::kBinary:
+      return bop == other.bop && left->StructurallyEquals(*other.left) &&
+             right->StructurallyEquals(*other.right);
+    case Kind::kUnary:
+      return uop == other.uop && left->StructurallyEquals(*other.left);
+    case Kind::kAggregate:
+      if (agg != other.agg) return false;
+      if ((left == nullptr) != (other.left == nullptr)) return false;
+      return left == nullptr || left->StructurallyEquals(*other.left);
+  }
+  return false;
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem out;
+  out.expr = expr->Clone();
+  out.alias = alias;
+  return out;
+}
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  if (expr->kind == Expr::Kind::kColumnRef) return expr->column_name;
+  return expr->ToString();
+}
+
+OrderItem OrderItem::Clone() const {
+  OrderItem out;
+  out.expr = expr->Clone();
+  out.descending = descending;
+  return out;
+}
+
+std::unique_ptr<SelectStatement> SelectStatement::Clone() const {
+  auto out = std::make_unique<SelectStatement>();
+  out->distinct = distinct;
+  for (const auto& item : select_list) out->select_list.push_back(item.Clone());
+  out->from = from;
+  if (where) out->where = where->Clone();
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  for (const auto& o : order_by) out->order_by.push_back(o.Clone());
+  out->limit = limit;
+  return out;
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select_list[i].expr->ToString();
+    if (!select_list[i].alias.empty()) out += " AS " + select_list[i].alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table_name;
+    if (!from[i].alias.empty() && from[i].alias != from[i].table_name) {
+      out += " " + from[i].alias;
+    }
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+void CollectConjuncts(const Expr* pred, std::vector<const Expr*>* out) {
+  if (pred == nullptr) return;
+  if (pred->kind == Expr::Kind::kBinary && pred->bop == BinaryOp::kAnd) {
+    CollectConjuncts(pred->left.get(), out);
+    CollectConjuncts(pred->right.get(), out);
+  } else {
+    out->push_back(pred);
+  }
+}
+
+}  // namespace conquer

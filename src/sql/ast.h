@@ -1,0 +1,166 @@
+#ifndef CONQUER_SQL_AST_H_
+#define CONQUER_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace conquer {
+
+/// Binary operators, in increasing binding strength groups.
+enum class BinaryOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+/// SQL spelling of a binary operator ("=", "AND", ...).
+const char* BinaryOpToString(BinaryOp op);
+
+/// True for =, <>, <, <=, >, >=, LIKE.
+bool IsComparisonOp(BinaryOp op);
+
+enum class UnaryOp {
+  kNot,
+  kNeg,
+  kIsNull,
+  kIsNotNull,
+};
+
+/// Aggregate functions supported in the SELECT list.
+enum class AggFunc {
+  kNone = 0,
+  kSum,
+  kCount,  ///< COUNT(expr) or COUNT(*) (operand == nullptr)
+  kAvg,
+  kMin,
+  kMax,
+};
+
+const char* AggFuncToString(AggFunc f);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// \brief Expression tree node.
+///
+/// One struct with a Kind tag (rather than a class hierarchy) keeps cloning,
+/// printing and binder annotation straightforward; the expression grammar is
+/// small and fixed.
+struct Expr {
+  enum class Kind {
+    kColumnRef,  ///< [table_alias.]column_name
+    kLiteral,    ///< literal
+    kBinary,     ///< left op right
+    kUnary,      ///< op left
+    kAggregate,  ///< agg(left), left == nullptr for COUNT(*)
+  };
+
+  Kind kind;
+
+  // kColumnRef
+  std::string table_alias;  ///< empty when unqualified
+  std::string column_name;
+
+  // kLiteral
+  Value literal;
+
+  // kBinary / kUnary / kAggregate
+  BinaryOp bop = BinaryOp::kEq;
+  UnaryOp uop = UnaryOp::kNot;
+  AggFunc agg = AggFunc::kNone;
+  ExprPtr left;
+  ExprPtr right;
+
+  // ---- Binder annotations (set by plan/binder.cc) ----
+  int from_index = -1;    ///< kColumnRef: index into the FROM list
+  int column_index = -1;  ///< kColumnRef: column position within that table
+  int slot = -1;          ///< kColumnRef: slot in the concatenated join row
+  DataType resolved_type = DataType::kNull;
+
+  // ---- Factory helpers ----
+  static ExprPtr MakeColumnRef(std::string table_alias, std::string column);
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+  static ExprPtr MakeAggregate(AggFunc f, ExprPtr operand);
+
+  /// Deep copy, including binder annotations.
+  ExprPtr Clone() const;
+
+  /// SQL text of the expression (parenthesized conservatively).
+  std::string ToString() const;
+
+  /// True if any node in the tree is an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// Structural equality ignoring binder annotations; used to match
+  /// ORDER BY / GROUP BY expressions against SELECT items.
+  bool StructurallyEquals(const Expr& other) const;
+};
+
+/// \brief One SELECT-list entry: expression plus optional alias.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< empty when none given
+
+  SelectItem Clone() const;
+  /// Name the output column takes: alias, column name, or expression text.
+  std::string OutputName() const;
+};
+
+/// \brief One FROM-list entry: base table with optional alias.
+struct TableRef {
+  std::string table_name;
+  std::string alias;  ///< defaults to table_name when absent
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+/// \brief One ORDER BY entry.
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+
+  OrderItem Clone() const;
+};
+
+/// \brief Parsed SELECT statement of the supported subset:
+///
+///   SELECT [DISTINCT] items FROM t1 [a1], ... [WHERE pred]
+///   [GROUP BY exprs] [ORDER BY exprs [ASC|DESC], ...] [LIMIT n]
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  ExprPtr where;  ///< nullptr when absent
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  ///< -1 = no limit
+
+  std::unique_ptr<SelectStatement> Clone() const;
+
+  /// Round-trips the statement to SQL text.
+  std::string ToString() const;
+};
+
+/// Splits a predicate tree into its top-level AND conjuncts.
+void CollectConjuncts(const Expr* pred, std::vector<const Expr*>* out);
+
+}  // namespace conquer
+
+#endif  // CONQUER_SQL_AST_H_

@@ -1,0 +1,225 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "DISTINCT", "FROM",    "WHERE", "GROUP", "BY",    "ORDER",
+      "ASC",    "DESC",     "LIMIT",   "AND",   "OR",    "NOT",   "LIKE",
+      "BETWEEN", "IN",      "IS",      "NULL",  "AS",    "DATE",  "TRUE",
+      "FALSE",  "SUM",      "COUNT",   "AVG",   "MIN",   "MAX",   "HAVING",
+      "JOIN",   "ON",       "INNER",   "EXISTS"};
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (pos_ < sql_.size()) {
+    char c = sql_[pos_];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+    } else if (c == '-' && pos_ + 1 < sql_.size() && sql_[pos_ + 1] == '-') {
+      while (pos_ < sql_.size() && sql_[pos_] != '\n') ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+Result<Token> Lexer::NextToken() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.position = pos_;
+  if (pos_ >= sql_.size()) {
+    tok.type = TokenType::kEof;
+    return tok;
+  }
+  char c = sql_[pos_];
+
+  if (IsIdentStart(c)) {
+    size_t start = pos_;
+    while (pos_ < sql_.size() && IsIdentChar(sql_[pos_])) ++pos_;
+    std::string word(sql_.substr(start, pos_ - start));
+    std::string upper = ToUpper(word);
+    if (Keywords().count(upper) > 0) {
+      tok.type = TokenType::kKeyword;
+      tok.text = upper;
+    } else {
+      tok.type = TokenType::kIdentifier;
+      tok.text = word;
+    }
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && pos_ + 1 < sql_.size() &&
+       std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+    size_t start = pos_;
+    bool is_double = false;
+    while (pos_ < sql_.size() &&
+           std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < sql_.size() && sql_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < sql_.size() &&
+             std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < sql_.size() && (sql_[pos_] == 'e' || sql_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < sql_.size() && (sql_[pos_] == '+' || sql_[pos_] == '-')) ++pos_;
+      while (pos_ < sql_.size() &&
+             std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string spelling(sql_.substr(start, pos_ - start));
+    tok.text = spelling;
+    if (is_double) {
+      tok.type = TokenType::kDoubleLiteral;
+      tok.double_value = std::strtod(spelling.c_str(), nullptr);
+    } else {
+      tok.type = TokenType::kIntLiteral;
+      tok.int_value = std::strtoll(spelling.c_str(), nullptr, 10);
+    }
+    return tok;
+  }
+
+  if (c == '\'') {
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= sql_.size()) {
+        return Status::InvalidArgument(StringPrintf(
+            "unterminated string literal at offset %zu", tok.position));
+      }
+      char ch = sql_[pos_];
+      if (ch == '\'') {
+        if (pos_ + 1 < sql_.size() && sql_[pos_ + 1] == '\'') {
+          out += '\'';
+          pos_ += 2;
+        } else {
+          ++pos_;
+          break;
+        }
+      } else {
+        out += ch;
+        ++pos_;
+      }
+    }
+    tok.type = TokenType::kStringLiteral;
+    tok.text = std::move(out);
+    return tok;
+  }
+
+  if (c == '"') {
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < sql_.size() && sql_[pos_] != '"') ++pos_;
+    if (pos_ >= sql_.size()) {
+      return Status::InvalidArgument(StringPrintf(
+          "unterminated quoted identifier at offset %zu", tok.position));
+    }
+    tok.type = TokenType::kIdentifier;
+    tok.text = std::string(sql_.substr(start, pos_ - start));
+    ++pos_;
+    return tok;
+  }
+
+  ++pos_;
+  switch (c) {
+    case ',':
+      tok.type = TokenType::kComma;
+      return tok;
+    case '.':
+      tok.type = TokenType::kDot;
+      return tok;
+    case '(':
+      tok.type = TokenType::kLParen;
+      return tok;
+    case ')':
+      tok.type = TokenType::kRParen;
+      return tok;
+    case '*':
+      tok.type = TokenType::kStar;
+      return tok;
+    case '+':
+      tok.type = TokenType::kPlus;
+      return tok;
+    case '-':
+      tok.type = TokenType::kMinus;
+      return tok;
+    case '/':
+      tok.type = TokenType::kSlash;
+      return tok;
+    case '=':
+      tok.type = TokenType::kEq;
+      return tok;
+    case '!':
+      if (pos_ < sql_.size() && sql_[pos_] == '=') {
+        ++pos_;
+        tok.type = TokenType::kNe;
+        return tok;
+      }
+      return Status::InvalidArgument(
+          StringPrintf("unexpected '!' at offset %zu", tok.position));
+    case '<':
+      if (pos_ < sql_.size() && sql_[pos_] == '=') {
+        ++pos_;
+        tok.type = TokenType::kLe;
+      } else if (pos_ < sql_.size() && sql_[pos_] == '>') {
+        ++pos_;
+        tok.type = TokenType::kNe;
+      } else {
+        tok.type = TokenType::kLt;
+      }
+      return tok;
+    case '>':
+      if (pos_ < sql_.size() && sql_[pos_] == '=') {
+        ++pos_;
+        tok.type = TokenType::kGe;
+      } else {
+        tok.type = TokenType::kGt;
+      }
+      return tok;
+    default:
+      return Status::InvalidArgument(
+          StringPrintf("unexpected character '%c' at offset %zu", c,
+                       tok.position));
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    CONQUER_ASSIGN_OR_RETURN(Token tok, NextToken());
+    bool eof = tok.type == TokenType::kEof;
+    out.push_back(std::move(tok));
+    if (eof) break;
+  }
+  return out;
+}
+
+}  // namespace conquer

@@ -1,0 +1,34 @@
+#ifndef CONQUER_SQL_LEXER_H_
+#define CONQUER_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace conquer {
+
+/// \brief Tokenizes a SQL string.
+///
+/// Keywords are recognized case-insensitively and reported upper-cased.
+/// Comments: `-- to end of line`. Returns InvalidArgument with the byte
+/// offset on any unrecognized character or unterminated literal.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  /// Tokenizes the entire input; the last token is kEof.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> NextToken();
+  void SkipWhitespaceAndComments();
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_SQL_LEXER_H_

@@ -1,0 +1,408 @@
+#include "sql/parser.h"
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace conquer {
+
+bool Parser::Match(TokenType t) {
+  if (Peek().type == t) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenType t, const char* what) {
+  if (Peek().type != t) {
+    return ErrorHere(std::string("expected ") + what);
+  }
+  ++pos_;
+  return Status::OK();
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (!Peek().IsKeyword(kw)) {
+    return ErrorHere(std::string("expected keyword ") + kw);
+  }
+  ++pos_;
+  return Status::OK();
+}
+
+Status Parser::ErrorHere(const std::string& msg) const {
+  const Token& tok = Peek();
+  std::string got = tok.type == TokenType::kEof ? "end of input"
+                                                : "'" + tok.text + "'";
+  if (got == "''") got = "token";
+  return Status::InvalidArgument(
+      StringPrintf("%s at offset %zu (got %s)", msg.c_str(), tok.position,
+                   got.c_str()));
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::Parse(std::string_view sql) {
+  Lexer lexer(sql);
+  CONQUER_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  CONQUER_ASSIGN_OR_RETURN(auto stmt, parser.ParseSelect());
+  if (parser.Peek().type != TokenType::kEof) {
+    return parser.ErrorHere("unexpected trailing input");
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseSelect() {
+  CONQUER_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStatement>();
+  stmt->distinct = MatchKeyword("DISTINCT");
+
+  // SELECT list. `SELECT *` expands during binding; represent it as an empty
+  // select list with distinct flag preserved — but an explicit marker is
+  // clearer, so use a single item with column_name "*" is avoided; instead we
+  // treat bare '*' as "all columns" via an empty list + flag.
+  if (Peek().type == TokenType::kStar) {
+    Advance();
+    // Empty select_list means "all columns of all FROM tables".
+  } else {
+    while (true) {
+      SelectItem item;
+      CONQUER_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return ErrorHere("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Advance().text;
+      }
+      stmt->select_list.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+
+  CONQUER_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  while (true) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected table name in FROM");
+    }
+    TableRef ref;
+    ref.table_name = Advance().text;
+    if (MatchKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return ErrorHere("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    stmt->from.push_back(std::move(ref));
+    if (!Match(TokenType::kComma)) break;
+  }
+
+  if (MatchKeyword("WHERE")) {
+    CONQUER_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+
+  if (MatchKeyword("GROUP")) {
+    CONQUER_RETURN_NOT_OK(ExpectKeyword("BY"));
+    while (true) {
+      CONQUER_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->group_by.push_back(std::move(e));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+
+  if (MatchKeyword("HAVING")) {
+    return ErrorHere("HAVING is not supported");
+  }
+
+  if (MatchKeyword("ORDER")) {
+    CONQUER_RETURN_NOT_OK(ExpectKeyword("BY"));
+    while (true) {
+      OrderItem item;
+      CONQUER_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kIntLiteral) {
+      return ErrorHere("expected integer after LIMIT");
+    }
+    stmt->limit = Advance().int_value;
+  }
+
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  CONQUER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchKeyword("OR")) {
+    CONQUER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  CONQUER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (MatchKeyword("AND")) {
+    CONQUER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = Expr::MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    CONQUER_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+    return Expr::MakeUnary(UnaryOp::kNot, std::move(e));
+  }
+  return ParsePredicate();
+}
+
+Result<ExprPtr> Parser::ParsePredicate() {
+  CONQUER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+  // IS [NOT] NULL
+  if (MatchKeyword("IS")) {
+    bool negated = MatchKeyword("NOT");
+    CONQUER_RETURN_NOT_OK(ExpectKeyword("NULL"));
+    return Expr::MakeUnary(negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                           std::move(lhs));
+  }
+
+  bool negated = false;
+  if (Peek().IsKeyword("NOT") &&
+      (PeekAhead(1).IsKeyword("LIKE") || PeekAhead(1).IsKeyword("BETWEEN") ||
+       PeekAhead(1).IsKeyword("IN"))) {
+    Advance();
+    negated = true;
+  }
+
+  if (MatchKeyword("LIKE")) {
+    CONQUER_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+    ExprPtr like =
+        Expr::MakeBinary(BinaryOp::kLike, std::move(lhs), std::move(pattern));
+    if (negated) return Expr::MakeUnary(UnaryOp::kNot, std::move(like));
+    return like;
+  }
+
+  if (MatchKeyword("BETWEEN")) {
+    CONQUER_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    CONQUER_RETURN_NOT_OK(ExpectKeyword("AND"));
+    CONQUER_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    // x BETWEEN a AND b  ==>  x >= a AND x <= b
+    ExprPtr ge =
+        Expr::MakeBinary(BinaryOp::kGe, lhs->Clone(), std::move(lo));
+    ExprPtr le = Expr::MakeBinary(BinaryOp::kLe, std::move(lhs), std::move(hi));
+    ExprPtr both =
+        Expr::MakeBinary(BinaryOp::kAnd, std::move(ge), std::move(le));
+    if (negated) return Expr::MakeUnary(UnaryOp::kNot, std::move(both));
+    return both;
+  }
+
+  if (MatchKeyword("IN")) {
+    CONQUER_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after IN"));
+    // x IN (v1, v2, ...)  ==>  x = v1 OR x = v2 OR ...
+    ExprPtr disjunction;
+    while (true) {
+      CONQUER_ASSIGN_OR_RETURN(ExprPtr v, ParseAdditive());
+      ExprPtr eq = Expr::MakeBinary(BinaryOp::kEq, lhs->Clone(), std::move(v));
+      if (disjunction) {
+        disjunction = Expr::MakeBinary(BinaryOp::kOr, std::move(disjunction),
+                                       std::move(eq));
+      } else {
+        disjunction = std::move(eq);
+      }
+      if (!Match(TokenType::kComma)) break;
+    }
+    CONQUER_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    if (negated) return Expr::MakeUnary(UnaryOp::kNot, std::move(disjunction));
+    return disjunction;
+  }
+
+  // Plain comparison (optional — a bare additive expression is also valid,
+  // e.g. in the SELECT list).
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq:
+      op = BinaryOp::kEq;
+      break;
+    case TokenType::kNe:
+      op = BinaryOp::kNe;
+      break;
+    case TokenType::kLt:
+      op = BinaryOp::kLt;
+      break;
+    case TokenType::kLe:
+      op = BinaryOp::kLe;
+      break;
+    case TokenType::kGt:
+      op = BinaryOp::kGt;
+      break;
+    case TokenType::kGe:
+      op = BinaryOp::kGe;
+      break;
+    default:
+      return lhs;
+  }
+  Advance();
+  CONQUER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+  return Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  CONQUER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  while (true) {
+    BinaryOp op;
+    if (Peek().type == TokenType::kPlus) {
+      op = BinaryOp::kAdd;
+    } else if (Peek().type == TokenType::kMinus) {
+      op = BinaryOp::kSub;
+    } else {
+      break;
+    }
+    Advance();
+    CONQUER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  CONQUER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (true) {
+    BinaryOp op;
+    if (Peek().type == TokenType::kStar) {
+      op = BinaryOp::kMul;
+    } else if (Peek().type == TokenType::kSlash) {
+      op = BinaryOp::kDiv;
+    } else {
+      break;
+    }
+    Advance();
+    CONQUER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Peek().type == TokenType::kMinus) {
+    Advance();
+    CONQUER_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+    // Fold negation of numeric literals so "-3" is a literal, not an op.
+    if (e->kind == Expr::Kind::kLiteral) {
+      if (e->literal.type() == DataType::kInt64) {
+        return Expr::MakeLiteral(Value::Int(-e->literal.int_value()));
+      }
+      if (e->literal.type() == DataType::kDouble) {
+        return Expr::MakeLiteral(Value::Double(-e->literal.double_value()));
+      }
+    }
+    return Expr::MakeUnary(UnaryOp::kNeg, std::move(e));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+
+  switch (tok.type) {
+    case TokenType::kIntLiteral: {
+      Token t = Advance();
+      return Expr::MakeLiteral(Value::Int(t.int_value));
+    }
+    case TokenType::kDoubleLiteral: {
+      Token t = Advance();
+      return Expr::MakeLiteral(Value::Double(t.double_value));
+    }
+    case TokenType::kStringLiteral: {
+      Token t = Advance();
+      return Expr::MakeLiteral(Value::String(std::move(t.text)));
+    }
+    case TokenType::kLParen: {
+      Advance();
+      CONQUER_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      CONQUER_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return e;
+    }
+    case TokenType::kKeyword: {
+      if (tok.IsKeyword("NULL")) {
+        Advance();
+        return Expr::MakeLiteral(Value::Null());
+      }
+      if (tok.IsKeyword("TRUE")) {
+        Advance();
+        return Expr::MakeLiteral(Value::Bool(true));
+      }
+      if (tok.IsKeyword("FALSE")) {
+        Advance();
+        return Expr::MakeLiteral(Value::Bool(false));
+      }
+      if (tok.IsKeyword("DATE")) {
+        Advance();
+        if (Peek().type != TokenType::kStringLiteral) {
+          return ErrorHere("expected string after DATE");
+        }
+        Token t = Advance();
+        CONQUER_ASSIGN_OR_RETURN(int64_t days, ParseDate(t.text));
+        return Expr::MakeLiteral(Value::Date(days));
+      }
+      AggFunc agg = AggFunc::kNone;
+      if (tok.IsKeyword("SUM")) agg = AggFunc::kSum;
+      else if (tok.IsKeyword("COUNT")) agg = AggFunc::kCount;
+      else if (tok.IsKeyword("AVG")) agg = AggFunc::kAvg;
+      else if (tok.IsKeyword("MIN")) agg = AggFunc::kMin;
+      else if (tok.IsKeyword("MAX")) agg = AggFunc::kMax;
+      if (agg != AggFunc::kNone) {
+        Advance();
+        CONQUER_RETURN_NOT_OK(
+            Expect(TokenType::kLParen, "'(' after aggregate function"));
+        if (agg == AggFunc::kCount && Peek().type == TokenType::kStar) {
+          Advance();
+          CONQUER_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+          return Expr::MakeAggregate(AggFunc::kCount, nullptr);
+        }
+        CONQUER_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        CONQUER_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        return Expr::MakeAggregate(agg, std::move(arg));
+      }
+      if (tok.IsKeyword("EXISTS")) {
+        return ErrorHere("subqueries (EXISTS) are not supported");
+      }
+      return ErrorHere("unexpected keyword in expression");
+    }
+    case TokenType::kIdentifier: {
+      Token t = Advance();
+      if (Match(TokenType::kDot)) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return ErrorHere("expected column name after '.'");
+        }
+        Token col = Advance();
+        return Expr::MakeColumnRef(std::move(t.text), std::move(col.text));
+      }
+      return Expr::MakeColumnRef("", std::move(t.text));
+    }
+    default:
+      return ErrorHere("expected expression");
+  }
+}
+
+}  // namespace conquer

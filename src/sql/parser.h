@@ -1,0 +1,76 @@
+#ifndef CONQUER_SQL_PARSER_H_
+#define CONQUER_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace conquer {
+
+/// \brief Recursive-descent parser for the supported SQL subset.
+///
+/// Grammar (informal):
+///   select    := SELECT [DISTINCT] items FROM tables [WHERE expr]
+///                [GROUP BY exprs] [ORDER BY order_items] [LIMIT int]
+///   items     := '*' | item (',' item)*
+///   item      := expr [[AS] alias]
+///   tables    := table (',' table)*           -- comma joins only
+///   table     := ident [[AS] alias]
+///   expr      := or_expr
+///   or_expr   := and_expr (OR and_expr)*
+///   and_expr  := not_expr (AND not_expr)*
+///   not_expr  := NOT not_expr | predicate
+///   predicate := additive [cmp additive | [NOT] LIKE string |
+///                [NOT] BETWEEN additive AND additive |
+///                [NOT] IN '(' literal (',' literal)* ')' |
+///                IS [NOT] NULL]
+///   additive  := multiplicative (('+'|'-') multiplicative)*
+///   mult      := unary (('*'|'/') unary)*
+///   unary     := '-' unary | primary
+///   primary   := literal | DATE string | agg '(' expr|'*' ')' |
+///                ident ['.' ident] | '(' expr ')'
+///
+/// BETWEEN/IN/NOT LIKE are desugared into AND/OR/NOT during parsing, so the
+/// downstream planner only sees the core operator set.
+class Parser {
+ public:
+  /// Parses one SELECT statement; trailing semicolon allowed.
+  static Result<std::unique_ptr<SelectStatement>> Parse(std::string_view sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelect();
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t n) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Advance() { return tokens_[pos_++]; }
+  bool Match(TokenType t);
+  bool MatchKeyword(const char* kw);
+  Status Expect(TokenType t, const char* what);
+  Status ExpectKeyword(const char* kw);
+  Status ErrorHere(const std::string& msg) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_SQL_PARSER_H_

@@ -1,0 +1,46 @@
+#ifndef CONQUER_SQL_TOKEN_H_
+#define CONQUER_SQL_TOKEN_H_
+
+#include <string>
+
+namespace conquer {
+
+/// \brief Lexical token categories of the SQL subset.
+enum class TokenType {
+  kEof = 0,
+  kIdentifier,   ///< bare or "quoted" identifier
+  kKeyword,      ///< reserved word, normalized to upper case in `text`
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  ///< contents with quotes stripped and '' unescaped
+  // punctuation / operators
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,      ///< =
+  kNe,      ///< <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// \brief One token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     ///< identifier/keyword text or literal spelling
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  ///< byte offset in the SQL string
+
+  bool IsKeyword(const char* kw) const;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_SQL_TOKEN_H_

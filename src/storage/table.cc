@@ -1,0 +1,93 @@
+#include "storage/table.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+const std::vector<size_t>& HashIndex::Lookup(const Value& key) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = map_.find(key);
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+namespace {
+bool ValueFitsColumn(const Value& v, DataType col_type) {
+  if (v.is_null()) return true;
+  if (v.type() == col_type) return true;
+  // Numeric widening.
+  if (col_type == DataType::kDouble && v.type() == DataType::kInt64) return true;
+  return false;
+}
+}  // namespace
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StringPrintf("row arity %zu does not match table '%s' arity %zu",
+                     row.size(), name().c_str(), schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!ValueFitsColumn(row[i], schema_.column(i).type)) {
+      return Status::TypeError(StringPrintf(
+          "value of type %s does not fit column '%s' (%s) of table '%s'",
+          DataTypeToString(row[i].type()), schema_.column(i).name.c_str(),
+          DataTypeToString(schema_.column(i).type), name().c_str()));
+    }
+    // Normalize INT64 into DOUBLE columns so comparisons and hashing see a
+    // uniform representation.
+    if (schema_.column(i).type == DataType::kDouble &&
+        row[i].type() == DataType::kInt64) {
+      row[i] = Value::Double(static_cast<double>(row[i].int_value()));
+    }
+  }
+  // Maintain any existing indexes.
+  size_t pos = rows_.size();
+  for (auto& idx : indexes_) {
+    if (idx) idx->Insert(row[idx->column()], pos);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::CreateIndex(std::string_view column_name) {
+  CONQUER_ASSIGN_OR_RETURN(size_t col, schema_.GetColumnIndex(column_name));
+  if (indexes_.size() < schema_.num_columns()) {
+    indexes_.resize(schema_.num_columns());
+  }
+  auto idx = std::make_unique<HashIndex>(col);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    idx->Insert(rows_[i][col], i);
+  }
+  indexes_[col] = std::move(idx);
+  return Status::OK();
+}
+
+const HashIndex* Table::GetIndex(size_t column) const {
+  if (column >= indexes_.size()) return nullptr;
+  return indexes_[column].get();
+}
+
+void Table::AnalyzeStatistics() {
+  stats_.assign(schema_.num_columns(), ColumnStats{});
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    std::unordered_set<Value, ValueHash> distinct;
+    for (const Row& r : rows_) {
+      if (r[c].is_null()) {
+        ++stats_[c].num_nulls;
+      } else {
+        distinct.insert(r[c]);
+      }
+    }
+    stats_[c].num_distinct = distinct.size();
+  }
+}
+
+const ColumnStats& Table::column_stats(size_t column) const {
+  static const ColumnStats kZero;
+  if (column >= stats_.size()) return kZero;
+  return stats_[column];
+}
+
+}  // namespace conquer

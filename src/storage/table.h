@@ -1,0 +1,101 @@
+#ifndef CONQUER_STORAGE_TABLE_H_
+#define CONQUER_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "types/value.h"
+
+namespace conquer {
+
+/// \brief One tuple: a vector of values aligned with a schema.
+using Row = std::vector<Value>;
+
+/// \brief Hash index over a single column: value -> row positions.
+///
+/// Built eagerly from the table contents; used by the planner for
+/// index-nested-loop joins and point lookups on identifier columns.
+class HashIndex {
+ public:
+  explicit HashIndex(size_t column) : column_(column) {}
+
+  size_t column() const { return column_; }
+
+  void Insert(const Value& key, size_t row_pos) {
+    map_[key].push_back(row_pos);
+  }
+
+  /// Row positions whose indexed column equals `key` (empty if none).
+  const std::vector<size_t>& Lookup(const Value& key) const;
+
+  size_t num_keys() const { return map_.size(); }
+
+ private:
+  size_t column_;
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> map_;
+};
+
+/// \brief Per-column statistics gathered by Table::AnalyzeStatistics
+/// (the RUNSTATS analogue from the paper's experimental setup).
+struct ColumnStats {
+  size_t num_distinct = 0;
+  size_t num_nulls = 0;
+};
+
+/// \brief In-memory row-store table.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.table_name(); }
+
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Mutable row access for in-place maintenance passes (identifier
+  /// propagation, probability assignment). Invalidates indexes/statistics:
+  /// callers must re-run CreateIndex / AnalyzeStatistics afterwards.
+  Row* mutable_row(size_t i) { return &rows_[i]; }
+
+  /// Appends a row after arity and type checks (numeric widening allowed:
+  /// an INT64 value may populate a DOUBLE column).
+  Status Insert(Row row);
+
+  /// Appends without validation; caller guarantees schema conformance.
+  void InsertUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() {
+    rows_.clear();
+    indexes_.clear();
+    stats_.clear();
+  }
+
+  /// Builds (or rebuilds) a hash index on the named column.
+  Status CreateIndex(std::string_view column_name);
+
+  /// Index on the given column position, or nullptr.
+  const HashIndex* GetIndex(size_t column) const;
+
+  /// Recomputes per-column distinct/null counts.
+  void AnalyzeStatistics();
+
+  /// Statistics for a column; zeros if AnalyzeStatistics was never run.
+  const ColumnStats& column_stats(size_t column) const;
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<HashIndex>> indexes_;
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_STORAGE_TABLE_H_

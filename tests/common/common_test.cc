@@ -1,0 +1,178 @@
+// Unit tests for the common layer: Status/Result, string utilities, RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace conquer {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("thing is missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "thing is missing");
+  EXPECT_EQ(s.ToString(), "Not found: thing is missing");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    CONQUER_RETURN_NOT_OK(Status::Internal("boom"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kInternal);
+}
+
+// GCC 12 raises a false-positive -Wmaybe-uninitialized inside the variant
+// destructor when the whole Result lifetime is visible to the inliner.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto maybe = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("nope");
+    return 5;
+  };
+  auto user = [&](bool fail) -> Result<int> {
+    CONQUER_ASSIGN_OR_RETURN(int x, maybe(fail));
+    return x * 2;
+  };
+  EXPECT_EQ(*user(false), 10);
+  EXPECT_EQ(user(true).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(StrUtilTest, CaseConversions) {
+  EXPECT_EQ(ToLower("MiXeD_123"), "mixed_123");
+  EXPECT_EQ(ToUpper("MiXeD_123"), "MIXED_123");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StrUtilTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("abc", ',').size(), 1u);
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\n x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StrUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%05.2f", 3.14159), "03.14");
+}
+
+TEST(LikeMatchTest, Wildcards) {
+  EXPECT_TRUE(LikeMatch("BUILDING", "BUILD%"));
+  EXPECT_TRUE(LikeMatch("forest green", "forest%"));
+  EXPECT_TRUE(LikeMatch("STANDARD BRASS", "%BRASS"));
+  EXPECT_TRUE(LikeMatch("a green part", "%green%"));
+  EXPECT_TRUE(LikeMatch("Mary", "M_ry"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_FALSE(LikeMatch("Mary", "M_r"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  // Backtracking case: '%' must retry shorter matches.
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%Xc"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%iss%ppi"));
+  EXPECT_FALSE(LikeMatch("mississippi", "%issx%"));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(99);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // every value hit
+}
+
+TEST(RngTest, UniformHandlesSinglePoint) {
+  Rng rng(5);
+  EXPECT_EQ(rng.Uniform(4, 4), 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(77);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kNotRewritable, StatusCode::kResourceExhausted,
+        StatusCode::kTypeError, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace conquer

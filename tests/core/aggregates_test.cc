@@ -1,0 +1,180 @@
+// Tests of the aggregate-extension semantics (expected values over the
+// candidate-database distribution) and answer classification.
+
+#include "core/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_eval.h"
+#include "sql/parser.h"
+#include "tests/core/paper_fixtures.h"
+
+namespace conquer {
+namespace {
+
+class AggregatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LoadFigure2(&db_, &dirty_);
+    engine_ = std::make_unique<CleanAggregateEngine>(&db_, &dirty_);
+  }
+
+  /// Ground truth by candidate enumeration: E[agg] = sum over candidates of
+  /// P(c) * agg(q(c)).
+  double NaiveExpectedValue(const std::string& spj_core, AggFunc func) {
+    NaiveCandidateEvaluator naive(&db_, &dirty_);
+    auto answers = naive.Evaluate(spj_core);
+    EXPECT_TRUE(answers.ok()) << answers.status().ToString();
+    double sum = 0, count = 0;
+    for (const CleanAnswer& a : answers->answers) {
+      count += a.probability;
+      if (!a.row.back().is_null()) {
+        sum += a.probability * a.row.back().AsDouble();
+      }
+    }
+    if (func == AggFunc::kCount) return count;
+    if (func == AggFunc::kAvg) return count > 0 ? sum / count : 0;
+    return sum;
+  }
+
+  Database db_;
+  DirtySchema dirty_;
+  std::unique_ptr<CleanAggregateEngine> engine_;
+};
+
+TEST_F(AggregatesTest, ExpectedCountSingleTable) {
+  // E[#customers with balance > 10000]: c1 contributes 1 (both duplicates
+  // qualify), c2 contributes 0.2 (only Mary).
+  auto r = engine_->ExpectedValue(
+      "select count(*) from customer c where balance > 10000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->func, AggFunc::kCount);
+  EXPECT_NEAR(r->expected_value, 1.2, 1e-12);
+  EXPECT_EQ(r->support, 2u);
+}
+
+TEST_F(AggregatesTest, ExpectedSumSingleTable) {
+  // E[sum of balances]: c1: 0.7*20000 + 0.3*30000 = 23000;
+  // c2: 0.2*27000 + 0.8*5000 = 9400. Total = 32400.
+  auto r = engine_->ExpectedValue("select sum(balance) from customer c");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->expected_value, 32400.0, 1e-9);
+}
+
+TEST_F(AggregatesTest, ExpectedSumWithPredicate) {
+  auto r = engine_->ExpectedValue(
+      "select sum(balance) from customer c where balance > 10000");
+  ASSERT_TRUE(r.ok());
+  // c1: 23000 (always qualifies); c2: only Mary's 27000 at 0.2 -> 5400.
+  EXPECT_NEAR(r->expected_value, 28400.0, 1e-9);
+}
+
+TEST_F(AggregatesTest, ExpectedCountOverJoin) {
+  auto r = engine_->ExpectedValue(
+      "select count(*) from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Answers (o1,c1)=1, (o2,c1)=.5, (o2,c2)=.1 -> E[count] = 1.6.
+  EXPECT_NEAR(r->expected_value, 1.6, 1e-12);
+}
+
+TEST_F(AggregatesTest, ExpectedSumMatchesNaiveOracle) {
+  auto fast = engine_->ExpectedValue(
+      "select sum(o.quantity) from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000");
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  double slow = NaiveExpectedValue(
+      "select o.id, c.id, o.quantity as agg_arg from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000",
+      AggFunc::kSum);
+  EXPECT_NEAR(fast->expected_value, slow, 1e-9);
+}
+
+TEST_F(AggregatesTest, AvgIsRatioOfExpectations) {
+  auto r = engine_->ExpectedValue("select avg(balance) from customer c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->expected_value, 32400.0 / 2.0, 1e-9);
+  EXPECT_NEAR(r->expected_count, 2.0, 1e-12);
+}
+
+TEST_F(AggregatesTest, CountColumnSkipsNulls) {
+  ASSERT_TRUE(db_.Insert("customer", {Value::String("c3"), Value::String("m9"),
+                                      Value::String("Nia"), Value::Null(),
+                                      Value::Double(1.0)})
+                  .ok());
+  auto r = engine_->ExpectedValue("select count(balance) from customer c");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->expected_value, 2.0, 1e-12);  // c3's NULL not counted
+}
+
+TEST_F(AggregatesTest, CoreSqlProjectsAllIdentifiers) {
+  auto core = engine_->CoreSql(
+      "select sum(o.quantity) from orders o, customer c "
+      "where o.cidfk = c.id");
+  ASSERT_TRUE(core.ok());
+  EXPECT_NE(core->find("o.id"), std::string::npos) << *core;
+  EXPECT_NE(core->find("c.id"), std::string::npos) << *core;
+  EXPECT_NE(core->find("AS agg_arg"), std::string::npos) << *core;
+}
+
+TEST_F(AggregatesTest, UnsupportedShapesAreRejected) {
+  EXPECT_FALSE(engine_->ExpectedValue("select min(balance) from customer c")
+                   .ok());
+  EXPECT_FALSE(engine_->ExpectedValue("select max(balance) from customer c")
+                   .ok());
+  EXPECT_FALSE(engine_->ExpectedValue("select balance from customer c").ok());
+  EXPECT_FALSE(engine_
+                   ->ExpectedValue(
+                       "select count(*), sum(balance) from customer c")
+                   .ok());
+  EXPECT_FALSE(engine_
+                   ->ExpectedValue(
+                       "select count(*) from customer c group by name")
+                   .ok());
+}
+
+TEST_F(AggregatesTest, NonRewritableCoreIsReported) {
+  // A cross product between two dirty tables has a disconnected join graph.
+  auto r = engine_->ExpectedValue(
+      "select count(*) from orders o, customer c");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotRewritable);
+}
+
+TEST(ClassifyAnswerTest, Bands) {
+  EXPECT_EQ(ClassifyAnswer(1.0), AnswerCertainty::kConsistent);
+  EXPECT_EQ(ClassifyAnswer(1.0 - 1e-12), AnswerCertainty::kConsistent);
+  EXPECT_EQ(ClassifyAnswer(0.7), AnswerCertainty::kProbable);
+  EXPECT_EQ(ClassifyAnswer(0.5), AnswerCertainty::kProbable);
+  EXPECT_EQ(ClassifyAnswer(0.3), AnswerCertainty::kPossible);
+  EXPECT_EQ(ClassifyAnswer(0.05), AnswerCertainty::kUnlikely);
+}
+
+TEST(ClassifyAnswerTest, CustomThresholds) {
+  EXPECT_EQ(ClassifyAnswer(0.7, 0.9, 0.2), AnswerCertainty::kPossible);
+  EXPECT_EQ(ClassifyAnswer(0.95, 0.9, 0.2), AnswerCertainty::kProbable);
+  EXPECT_EQ(ClassifyAnswer(0.1, 0.9, 0.2), AnswerCertainty::kUnlikely);
+}
+
+TEST(ClassifyAnswerTest, Names) {
+  EXPECT_STREQ(AnswerCertaintyToString(AnswerCertainty::kConsistent),
+               "consistent");
+  EXPECT_STREQ(AnswerCertaintyToString(AnswerCertainty::kUnlikely),
+               "unlikely");
+}
+
+TEST_F(AggregatesTest, TopKAnswers) {
+  CleanAnswerEngine engine(&db_, &dirty_);
+  auto answers = engine.Query(
+      "select o.id, c.id from orders o, customer c where o.cidfk = c.id");
+  ASSERT_TRUE(answers.ok());
+  auto top2 = answers->TopK(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_GE(top2[0].probability, top2[1].probability);
+  EXPECT_NEAR(top2[0].probability, 1.0, 1e-12);  // (o1, c1)
+  auto top99 = answers->TopK(99);
+  EXPECT_EQ(top99.size(), answers->answers.size());
+}
+
+}  // namespace
+}  // namespace conquer

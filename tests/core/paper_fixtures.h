@@ -1,0 +1,95 @@
+#ifndef CONQUER_TESTS_CORE_PAPER_FIXTURES_H_
+#define CONQUER_TESTS_CORE_PAPER_FIXTURES_H_
+
+#include <gtest/gtest.h>
+
+#include "core/dirty_schema.h"
+#include "engine/database.h"
+
+namespace conquer {
+
+/// Loads the paper's Figure 1 database (loyaltycard / customer with incomes).
+inline void LoadFigure1(Database* db, DirtySchema* dirty) {
+  TableSchema loyaltycard("loyaltycard", {{"cardid", DataType::kInt64},
+                                          {"custfk", DataType::kString},
+                                          {"prob", DataType::kDouble}});
+  ASSERT_TRUE(db->CreateTable(loyaltycard).ok());
+  ASSERT_TRUE(db->Insert("loyaltycard", {Value::Int(111), Value::String("c1"),
+                                         Value::Double(0.4)})
+                  .ok());
+  ASSERT_TRUE(db->Insert("loyaltycard", {Value::Int(111), Value::String("c2"),
+                                         Value::Double(0.6)})
+                  .ok());
+
+  TableSchema customer("customer", {{"custid", DataType::kString},
+                                    {"name", DataType::kString},
+                                    {"income", DataType::kInt64},
+                                    {"prob", DataType::kDouble}});
+  ASSERT_TRUE(db->CreateTable(customer).ok());
+  auto ins = [&](const char* id, const char* name, int64_t income, double p) {
+    ASSERT_TRUE(db->Insert("customer", {Value::String(id), Value::String(name),
+                                        Value::Int(income), Value::Double(p)})
+                    .ok());
+  };
+  ins("c1", "John", 120000, 0.9);
+  ins("c1", "John", 80000, 0.1);
+  ins("c2", "Mary", 140000, 0.4);
+  ins("c2", "Marion", 40000, 0.6);
+
+  ASSERT_TRUE(dirty
+                  ->AddTable({"loyaltycard",
+                              "cardid",
+                              "prob",
+                              {{"custfk", "customer"}}})
+                  .ok());
+  ASSERT_TRUE(dirty->AddTable({"customer", "custid", "prob", {}}).ok());
+}
+
+/// Loads the paper's Figure 2 database (orders / customer with balances).
+/// "order" is a keyword-free table name; the paper calls it `order`.
+inline void LoadFigure2(Database* db, DirtySchema* dirty) {
+  TableSchema orders("orders", {{"id", DataType::kString},
+                                {"orderid", DataType::kString},
+                                {"cidfk", DataType::kString},
+                                {"quantity", DataType::kInt64},
+                                {"prob", DataType::kDouble}});
+  ASSERT_TRUE(db->CreateTable(orders).ok());
+  auto ord = [&](const char* id, const char* oid, const char* cid, int64_t q,
+                 double p) {
+    ASSERT_TRUE(db->Insert("orders",
+                           {Value::String(id), Value::String(oid),
+                            Value::String(cid), Value::Int(q),
+                            Value::Double(p)})
+                    .ok());
+  };
+  ord("o1", "11", "c1", 3, 1.0);  // t1
+  ord("o2", "12", "c1", 2, 0.5);  // t2
+  ord("o2", "13", "c2", 5, 0.5);  // t3
+
+  TableSchema customer("customer", {{"id", DataType::kString},
+                                    {"custid", DataType::kString},
+                                    {"name", DataType::kString},
+                                    {"balance", DataType::kInt64},
+                                    {"prob", DataType::kDouble}});
+  ASSERT_TRUE(db->CreateTable(customer).ok());
+  auto cust = [&](const char* id, const char* key, const char* name,
+                  int64_t balance, double p) {
+    ASSERT_TRUE(db->Insert("customer",
+                           {Value::String(id), Value::String(key),
+                            Value::String(name), Value::Int(balance),
+                            Value::Double(p)})
+                    .ok());
+  };
+  cust("c1", "m1", "John", 20000, 0.7);   // t4
+  cust("c1", "m2", "John", 30000, 0.3);   // t5
+  cust("c2", "m3", "Mary", 27000, 0.2);   // t6
+  cust("c2", "m4", "Marion", 5000, 0.8);  // t7
+
+  ASSERT_TRUE(
+      dirty->AddTable({"orders", "id", "prob", {{"cidfk", "customer"}}}).ok());
+  ASSERT_TRUE(dirty->AddTable({"customer", "id", "prob", {}}).ok());
+}
+
+}  // namespace conquer
+
+#endif  // CONQUER_TESTS_CORE_PAPER_FIXTURES_H_

@@ -1,0 +1,187 @@
+// Tests of the rewritable-query class (paper Dfn 6-7) and the join graph.
+
+#include <gtest/gtest.h>
+
+#include "core/clean_engine.h"
+
+#include "sql/parser.h"
+#include "tests/core/paper_fixtures.h"
+
+namespace conquer {
+namespace {
+
+class RewritabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LoadFigure2(&db_, &dirty_);
+    engine_ = std::make_unique<CleanAnswerEngine>(&db_, &dirty_);
+  }
+
+  RewritabilityCheck Check(const std::string& sql) {
+    auto check = engine_->Check(sql);
+    EXPECT_TRUE(check.ok()) << check.status().ToString() << " for: " << sql;
+    if (!check.ok()) return RewritabilityCheck{};
+    return std::move(check).value();
+  }
+
+  Database db_;
+  DirtySchema dirty_;
+  std::unique_ptr<CleanAnswerEngine> engine_;
+};
+
+TEST_F(RewritabilityTest, PaperQ1IsRewritable) {
+  auto check = Check("select id from customer c where balance > 10000");
+  EXPECT_TRUE(check.rewritable) << check.reason;
+}
+
+TEST_F(RewritabilityTest, PaperQ2IsRewritable) {
+  auto check = Check(
+      "select o.id, c.id from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000");
+  ASSERT_TRUE(check.rewritable) << check.reason;
+  // The root of the join tree is `orders` (FROM index 0).
+  EXPECT_EQ(check.root_from_index, 0);
+  ASSERT_EQ(check.graph.arcs.size(), 1u);
+  EXPECT_EQ(check.graph.arcs[0].from, 0);  // orders -> customer
+  EXPECT_EQ(check.graph.arcs[0].to, 1);
+}
+
+// Example 7 / Dfn 7 condition 4: root identifier missing from SELECT.
+TEST_F(RewritabilityTest, PaperQ3ViolatesRootProjection) {
+  auto check = Check(
+      "select c.id from orders o, customer c "
+      "where o.quantity < 5 and o.cidfk = c.id and c.balance > 25000");
+  EXPECT_FALSE(check.rewritable);
+  EXPECT_NE(check.reason.find("condition 4"), std::string::npos)
+      << check.reason;
+  // And RewriteClean refuses with kNotRewritable.
+  auto rewritten = engine_->RewrittenSql(
+      "select c.id from orders o, customer c "
+      "where o.quantity < 5 and o.cidfk = c.id and c.balance > 25000");
+  ASSERT_FALSE(rewritten.ok());
+  EXPECT_EQ(rewritten.status().code(), StatusCode::kNotRewritable);
+}
+
+// Dfn 7 condition 1: joins on two non-identifier attributes.
+TEST_F(RewritabilityTest, NonIdentifierJoinRejected) {
+  auto check = Check(
+      "select o.id, c.id from orders o, customer c "
+      "where o.quantity = c.balance");
+  EXPECT_FALSE(check.rewritable);
+  EXPECT_NE(check.reason.find("non-identifier"), std::string::npos)
+      << check.reason;
+}
+
+// Dfn 7 condition 3: self-joins.
+TEST_F(RewritabilityTest, SelfJoinRejected) {
+  auto check = Check(
+      "select a.id, b.id from customer a, customer b where a.id = b.id");
+  EXPECT_FALSE(check.rewritable);
+  EXPECT_NE(check.reason.find("self-join"), std::string::npos) << check.reason;
+}
+
+// Dfn 7 condition 2: disconnected join graph (cartesian product).
+TEST_F(RewritabilityTest, DisconnectedGraphRejected) {
+  auto check = Check("select o.id, c.id from orders o, customer c");
+  EXPECT_FALSE(check.rewritable);
+  EXPECT_NE(check.reason.find("not connected"), std::string::npos)
+      << check.reason;
+}
+
+// Dfn 7 condition 2: a relation with two parents is not a tree.
+TEST_F(RewritabilityTest, TwoParentsRejected) {
+  TableSchema wish("wishlist", {{"id", DataType::kString},
+                                {"cidfk", DataType::kString},
+                                {"prob", DataType::kDouble}});
+  ASSERT_TRUE(db_.CreateTable(wish).ok());
+  ASSERT_TRUE(db_.Insert("wishlist", {Value::String("w1"), Value::String("c1"),
+                                      Value::Double(1.0)})
+                  .ok());
+  ASSERT_TRUE(
+      dirty_.AddTable({"wishlist", "id", "prob", {{"cidfk", "customer"}}})
+          .ok());
+  // Both orders and wishlist point at customer: two in-arcs at customer, and
+  // the two "roots" cannot both be covered by one identifier projection.
+  auto check = Check(
+      "select o.id, w.id, c.id from orders o, wishlist w, customer c "
+      "where o.cidfk = c.id and w.cidfk = c.id");
+  EXPECT_FALSE(check.rewritable);
+  EXPECT_NE(check.reason.find("two parents"), std::string::npos)
+      << check.reason;
+}
+
+// Non-equality join conditions are outside the class.
+TEST_F(RewritabilityTest, ThetaJoinRejected) {
+  auto check = Check(
+      "select o.id, c.id from orders o, customer c where o.cidfk < c.id");
+  EXPECT_FALSE(check.rewritable);
+}
+
+// Joins hidden inside OR are not simple equality joins.
+TEST_F(RewritabilityTest, DisjunctiveJoinRejected) {
+  auto check = Check(
+      "select o.id, c.id from orders o, customer c "
+      "where o.cidfk = c.id or o.quantity = 3");
+  EXPECT_FALSE(check.rewritable);
+}
+
+// Aggregates / GROUP BY / DISTINCT / LIMIT make the input non-SPJ: that is
+// an InvalidArgument, not merely non-rewritable.
+TEST_F(RewritabilityTest, NonSpjQueriesAreInvalid) {
+  auto c1 = engine_->Check("select sum(balance) from customer c");
+  EXPECT_FALSE(c1.ok());
+  auto c2 = engine_->Check("select id from customer c group by id");
+  EXPECT_FALSE(c2.ok());
+  auto c3 = engine_->Check("select distinct id from customer c");
+  EXPECT_FALSE(c3.ok());
+  auto c4 = engine_->Check("select id from customer c limit 3");
+  EXPECT_FALSE(c4.ok());
+}
+
+// Queries over tables missing from the dirty schema are reported NotFound.
+TEST_F(RewritabilityTest, UnregisteredTableReported) {
+  TableSchema plain("plain", {{"x", DataType::kInt64}});
+  ASSERT_TRUE(db_.CreateTable(plain).ok());
+  auto check = engine_->Check("select x from plain p");
+  EXPECT_FALSE(check.ok());
+  EXPECT_EQ(check.status().code(), StatusCode::kNotFound);
+}
+
+// The join graph renders for diagnostics.
+TEST_F(RewritabilityTest, JoinGraphToString) {
+  auto check = Check(
+      "select o.id, c.id from orders o, customer c where o.cidfk = c.id");
+  ASSERT_TRUE(check.rewritable);
+  auto stmt = Parser::Parse(
+      "select o.id, c.id from orders o, customer c where o.cidfk = c.id");
+  ASSERT_TRUE(stmt.ok());
+  std::string graph = check.graph.ToString(**stmt);
+  EXPECT_NE(graph.find("o -> c"), std::string::npos) << graph;
+}
+
+// Single-relation queries are trivially trees with the relation as root.
+TEST_F(RewritabilityTest, SingleTableRootProjectionStillRequired) {
+  auto check = Check("select name from customer c where balance > 10000");
+  EXPECT_FALSE(check.rewritable);
+  EXPECT_NE(check.reason.find("condition 4"), std::string::npos)
+      << check.reason;
+}
+
+// Identifier-identifier joins unify the relations; either identifier
+// projected satisfies condition 4.
+TEST_F(RewritabilityTest, IdIdJoinEitherIdentifierServesAsRoot) {
+  TableSchema vip("vip", {{"id", DataType::kString},
+                          {"level", DataType::kString},
+                          {"prob", DataType::kDouble}});
+  ASSERT_TRUE(db_.CreateTable(vip).ok());
+  ASSERT_TRUE(dirty_.AddTable({"vip", "id", "prob", {}}).ok());
+  auto c1 = Check("select c.id from customer c, vip v where c.id = v.id");
+  EXPECT_TRUE(c1.rewritable) << c1.reason;
+  auto c2 = Check("select v.id from customer c, vip v where c.id = v.id");
+  EXPECT_TRUE(c2.rewritable) << c2.reason;
+  auto c3 = Check("select v.level from customer c, vip v where c.id = v.id");
+  EXPECT_FALSE(c3.rewritable);
+}
+
+}  // namespace
+}  // namespace conquer

@@ -1,0 +1,213 @@
+// Tests of RewriteClean (paper Section 3, Fig. 4) against the worked
+// examples and against the naive oracle.
+
+#include <gtest/gtest.h>
+
+#include "core/clean_engine.h"
+#include "core/naive_eval.h"
+#include "tests/core/paper_fixtures.h"
+
+namespace conquer {
+namespace {
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LoadFigure2(&db_, &dirty_); }
+
+  /// Asserts that the rewriting and the naive oracle agree on `sql`.
+  void ExpectRewriteMatchesNaive(const std::string& sql) {
+    CleanAnswerEngine engine(&db_, &dirty_);
+    NaiveCandidateEvaluator naive(&db_, &dirty_);
+    auto fast = engine.Query(sql);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString() << " for: " << sql;
+    auto slow = naive.Evaluate(sql);
+    ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+    EXPECT_EQ(fast->answers.size(), slow->answers.size()) << "for: " << sql;
+    for (const CleanAnswer& a : slow->answers) {
+      EXPECT_NEAR(fast->ProbabilityOf(a.row), a.probability, 1e-9)
+          << "row mismatch for " << sql;
+    }
+    for (const CleanAnswer& a : fast->answers) {
+      EXPECT_NEAR(slow->ProbabilityOf(a.row), a.probability, 1e-9)
+          << "extra rewritten row for " << sql;
+    }
+  }
+
+  Database db_;
+  DirtySchema dirty_;
+};
+
+// Example 5: single-relation selection rewrites to group-and-sum.
+TEST_F(RewriteTest, Example5SingleTable) {
+  CleanAnswerEngine engine(&db_, &dirty_);
+  auto answers =
+      engine.Query("select id from customer c where balance > 10000");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->answers.size(), 2u);
+  EXPECT_NEAR(answers->ProbabilityOf({Value::String("c1")}), 1.0, 1e-12);
+  EXPECT_NEAR(answers->ProbabilityOf({Value::String("c2")}), 0.2, 1e-12);
+}
+
+// Example 6: foreign-key join rewrites to group-and-sum over the product.
+TEST_F(RewriteTest, Example6Join) {
+  CleanAnswerEngine engine(&db_, &dirty_);
+  auto answers = engine.Query(
+      "select o.id, c.id from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->answers.size(), 3u);
+  EXPECT_NEAR(
+      answers->ProbabilityOf({Value::String("o1"), Value::String("c1")}), 1.0,
+      1e-12);
+  EXPECT_NEAR(
+      answers->ProbabilityOf({Value::String("o2"), Value::String("c1")}), 0.5,
+      1e-12);
+  EXPECT_NEAR(
+      answers->ProbabilityOf({Value::String("o2"), Value::String("c2")}), 0.1,
+      1e-12);
+}
+
+// The rewritten SQL has the Fig. 4 shape: original items + SUM(prob
+// product), grouped by the original items.
+TEST_F(RewriteTest, RewrittenSqlShape) {
+  CleanAnswerEngine engine(&db_, &dirty_);
+  auto sql = engine.RewrittenSql(
+      "select o.id, c.id from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000");
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_NE(sql->find("SUM(o.prob * c.prob) AS clean_prob"),
+            std::string::npos)
+      << *sql;
+  EXPECT_NE(sql->find("GROUP BY o.id, c.id"), std::string::npos) << *sql;
+}
+
+// The rewritten statement is itself parseable and executable SQL.
+TEST_F(RewriteTest, RewrittenSqlRoundTrips) {
+  CleanAnswerEngine engine(&db_, &dirty_);
+  auto sql = engine.RewrittenSql(
+      "select o.id, c.id from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000");
+  ASSERT_TRUE(sql.ok());
+  auto rs = db_.Query(*sql);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString() << "\nSQL: " << *sql;
+  EXPECT_EQ(rs->num_rows(), 3u);
+}
+
+TEST_F(RewriteTest, AgreesWithNaiveOnPaperQueries) {
+  ExpectRewriteMatchesNaive("select id from customer c where balance > 10000");
+  ExpectRewriteMatchesNaive(
+      "select o.id, c.id from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000");
+  ExpectRewriteMatchesNaive(
+      "select o.id, c.id from orders o, customer c where o.cidfk = c.id");
+  ExpectRewriteMatchesNaive(
+      "select o.id, c.id, c.name from orders o, customer c "
+      "where o.cidfk = c.id and o.quantity < 5");
+  ExpectRewriteMatchesNaive("select id, name from customer c");
+  ExpectRewriteMatchesNaive(
+      "select o.id, o.quantity from orders o where o.quantity >= 3");
+}
+
+// Selections on the probability column itself are legal SPJ predicates.
+TEST_F(RewriteTest, SelectionOnProbabilityColumn) {
+  ExpectRewriteMatchesNaive(
+      "select id from customer c where prob > 0.5 and balance < 25000");
+}
+
+// An answer that appears in no candidate is simply absent (not probability
+// zero rows).
+TEST_F(RewriteTest, ImpossibleAnswersAbsent) {
+  CleanAnswerEngine engine(&db_, &dirty_);
+  auto answers =
+      engine.Query("select id from customer c where balance > 99999999");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->answers.empty());
+}
+
+// ORDER BY on the original query survives the rewriting (paper Section 5
+// measures Query 3 with its ORDER BY in place).
+TEST_F(RewriteTest, OrderByPreserved) {
+  CleanAnswerEngine engine(&db_, &dirty_);
+  auto answers = engine.Query(
+      "select o.id, c.id from orders o, customer c "
+      "where o.cidfk = c.id order by o.id desc");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  // Groups: (o1,c1), (o2,c1), (o2,c2), sorted by o.id descending.
+  ASSERT_EQ(answers->answers.size(), 3u);
+  EXPECT_EQ(answers->answers[0].row[0].string_value(), "o2");
+  EXPECT_EQ(answers->answers[2].row[0].string_value(), "o1");
+}
+
+// Identifier-identifier joins are allowed by Dfn 7 (they correspond to key
+// joins between dirty relations).
+TEST_F(RewriteTest, IdentifierIdentifierJoin) {
+  // A second table keyed by the same customer identifiers.
+  TableSchema vip("vip", {{"id", DataType::kString},
+                          {"level", DataType::kString},
+                          {"prob", DataType::kDouble}});
+  ASSERT_TRUE(db_.CreateTable(vip).ok());
+  ASSERT_TRUE(db_.Insert("vip", {Value::String("c1"), Value::String("gold"),
+                                 Value::Double(0.6)})
+                  .ok());
+  ASSERT_TRUE(db_.Insert("vip", {Value::String("c1"), Value::String("silver"),
+                                 Value::Double(0.4)})
+                  .ok());
+  ASSERT_TRUE(db_.Insert("vip", {Value::String("c2"), Value::String("bronze"),
+                                 Value::Double(1.0)})
+                  .ok());
+  ASSERT_TRUE(dirty_.AddTable({"vip", "id", "prob", {}}).ok());
+
+  ExpectRewriteMatchesNaive(
+      "select c.id, v.level from customer c, vip v where c.id = v.id");
+  ExpectRewriteMatchesNaive(
+      "select c.id, v.level, c.name from customer c, vip v "
+      "where c.id = v.id and c.balance > 10000");
+}
+
+// Clean relations (no prob column) participate with probability 1.
+TEST_F(RewriteTest, CleanRelationInJoin) {
+  TableSchema region("region", {{"rid", DataType::kString},
+                                {"rname", DataType::kString}});
+  ASSERT_TRUE(db_.CreateTable(region).ok());
+  ASSERT_TRUE(
+      db_.Insert("region", {Value::String("c1"), Value::String("north")})
+          .ok());
+  ASSERT_TRUE(
+      db_.Insert("region", {Value::String("c2"), Value::String("south")})
+          .ok());
+  ASSERT_TRUE(dirty_.AddTable({"region", "rid", "", {}}).ok());
+
+  ExpectRewriteMatchesNaive(
+      "select c.id, r.rname from customer c, region r where c.id = r.rid");
+}
+
+// Three-level chain: a table referencing orders, which references customer.
+TEST_F(RewriteTest, ThreeLevelJoinChain) {
+  TableSchema shipment("shipment", {{"id", DataType::kString},
+                                    {"oidfk", DataType::kString},
+                                    {"mode", DataType::kString},
+                                    {"prob", DataType::kDouble}});
+  ASSERT_TRUE(db_.CreateTable(shipment).ok());
+  auto ship = [&](const char* id, const char* oid, const char* mode,
+                  double p) {
+    ASSERT_TRUE(db_.Insert("shipment",
+                           {Value::String(id), Value::String(oid),
+                            Value::String(mode), Value::Double(p)})
+                    .ok());
+  };
+  ship("s1", "o1", "air", 0.5);
+  ship("s1", "o2", "sea", 0.5);
+  ship("s2", "o2", "rail", 1.0);
+  ASSERT_TRUE(
+      dirty_.AddTable({"shipment", "id", "prob", {{"oidfk", "orders"}}}).ok());
+
+  ExpectRewriteMatchesNaive(
+      "select s.id, o.id, c.id from shipment s, orders o, customer c "
+      "where s.oidfk = o.id and o.cidfk = c.id");
+  ExpectRewriteMatchesNaive(
+      "select s.id, s.mode, o.id, c.id from shipment s, orders o, customer c "
+      "where s.oidfk = o.id and o.cidfk = c.id and c.balance > 10000");
+}
+
+}  // namespace
+}  // namespace conquer

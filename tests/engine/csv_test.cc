@@ -1,0 +1,147 @@
+// Unit tests for CSV import/export.
+
+#include "engine/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace conquer {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(TableSchema("t", {{"a", DataType::kInt64},
+                                                  {"b", DataType::kString},
+                                                  {"c", DataType::kDouble},
+                                                  {"d", DataType::kDate}}))
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST(ParseCsvLineTest, BasicFields) {
+  CsvOptions options;
+  auto fields = ParseCsvLine("a,b,,d", options);
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 4u);
+  EXPECT_EQ((*fields)[0], "a");
+  EXPECT_EQ((*fields)[2], "");
+}
+
+TEST(ParseCsvLineTest, QuotedFieldsWithEscapes) {
+  CsvOptions options;
+  auto fields = ParseCsvLine(R"("hello, world","she said ""hi""",plain)",
+                             options);
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[0], "hello, world");
+  EXPECT_EQ((*fields)[1], "she said \"hi\"");
+  EXPECT_EQ((*fields)[2], "plain");
+}
+
+TEST(ParseCsvLineTest, UnterminatedQuoteIsError) {
+  CsvOptions options;
+  EXPECT_FALSE(ParseCsvLine("\"oops", options).ok());
+}
+
+TEST(ParseCsvLineTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = '|';
+  auto fields = ParseCsvLine("x|y,z|w", options);
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[1], "y,z");
+}
+
+TEST(FormatCsvLineTest, QuotesOnlyWhenNeeded) {
+  CsvOptions options;
+  EXPECT_EQ(FormatCsvLine({"plain", "with,comma", "with\"quote"}, options),
+            R"(plain,"with,comma","with""quote")");
+}
+
+TEST(FormatCsvLineTest, RoundTripsThroughParse) {
+  CsvOptions options;
+  std::vector<std::string> fields = {"a,b", "\"x\"", "", "line\nbreak"};
+  auto reparsed = ParseCsvLine(FormatCsvLine(fields, options), options);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, fields);
+}
+
+TEST_F(CsvTest, LoadsTypedRows) {
+  const char* csv =
+      "a,b,c,d\n"
+      "1,hello,2.5,1995-03-15\n"
+      "2,\"with,comma\",0.125,2000-01-01\n";
+  auto n = LoadCsvString(&db_, "t", csv);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  auto rs = db_.Query("select a, b, c, d from t where a = 2");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_EQ(rs->rows[0][1].string_value(), "with,comma");
+  EXPECT_EQ(rs->rows[0][3].ToString(), "2000-01-01");
+}
+
+TEST_F(CsvTest, NullLiteralLoadsAsNull) {
+  CsvOptions options;
+  options.null_literal = "NULL";
+  auto n = LoadCsvString(&db_, "t", "a,b,c,d\nNULL,x,NULL,NULL\n", options);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  auto table = db_.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->row(0)[0].is_null());
+  EXPECT_TRUE((*table)->row(0)[3].is_null());
+}
+
+TEST_F(CsvTest, HeaderMismatchRejected) {
+  EXPECT_FALSE(LoadCsvString(&db_, "t", "a,b,c\n1,x,2.5\n").ok());
+  EXPECT_FALSE(LoadCsvString(&db_, "t", "a,b,WRONG,d\n1,x,2.5,2000-01-01\n")
+                   .ok());
+}
+
+TEST_F(CsvTest, HeaderlessMode) {
+  CsvOptions options;
+  options.has_header = false;
+  auto n = LoadCsvString(&db_, "t", "7,y,1.0,1999-12-31\n", options);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST_F(CsvTest, BadValuesReportLineAndColumn) {
+  auto n = LoadCsvString(&db_, "t", "a,b,c,d\nnot_int,x,2.5,2000-01-01\n");
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(n.status().message().find("'a'"), std::string::npos);
+}
+
+TEST_F(CsvTest, WrongArityReportsLine) {
+  auto n = LoadCsvString(&db_, "t", "a,b,c,d\n1,x\n");
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(CsvTest, SkipsBlankLinesAndCarriageReturns) {
+  auto n = LoadCsvString(&db_, "t",
+                         "a,b,c,d\r\n1,x,2.5,2000-01-01\r\n\n"
+                         "2,y,3.5,2001-01-01\n");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+}
+
+TEST_F(CsvTest, ResultSetRoundTrip) {
+  ASSERT_TRUE(LoadCsvString(&db_, "t",
+                            "a,b,c,d\n1,x,2.5,2000-01-01\n2,y,3.5,2001-01-01\n")
+                  .ok());
+  auto rs = db_.Query("select a, b from t order by a");
+  ASSERT_TRUE(rs.ok());
+  std::string csv = ResultSetToCsv(*rs);
+  EXPECT_EQ(csv, "a,b\n1,x\n2,y\n");
+}
+
+TEST_F(CsvTest, UnknownTableRejected) {
+  EXPECT_EQ(LoadCsvString(&db_, "nosuch", "x\n1\n").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace conquer

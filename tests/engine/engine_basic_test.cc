@@ -1,0 +1,281 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include "types/value.h"
+
+namespace conquer {
+namespace {
+
+class EngineBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema customer("customer", {{"id", DataType::kString},
+                                      {"name", DataType::kString},
+                                      {"balance", DataType::kInt64},
+                                      {"prob", DataType::kDouble}});
+    ASSERT_TRUE(db_.CreateTable(customer).ok());
+    Insert("customer", {Value::String("c1"), Value::String("John"),
+                        Value::Int(20000), Value::Double(0.7)});
+    Insert("customer", {Value::String("c1"), Value::String("John"),
+                        Value::Int(30000), Value::Double(0.3)});
+    Insert("customer", {Value::String("c2"), Value::String("Mary"),
+                        Value::Int(27000), Value::Double(0.2)});
+    Insert("customer", {Value::String("c2"), Value::String("Marion"),
+                        Value::Int(5000), Value::Double(0.8)});
+
+    TableSchema orders("orders", {{"id", DataType::kString},
+                                  {"cidfk", DataType::kString},
+                                  {"quantity", DataType::kInt64},
+                                  {"prob", DataType::kDouble}});
+    ASSERT_TRUE(db_.CreateTable(orders).ok());
+    Insert("orders", {Value::String("o1"), Value::String("c1"), Value::Int(3),
+                      Value::Double(1.0)});
+    Insert("orders", {Value::String("o2"), Value::String("c1"), Value::Int(2),
+                      Value::Double(0.5)});
+    Insert("orders", {Value::String("o2"), Value::String("c2"), Value::Int(5),
+                      Value::Double(0.5)});
+  }
+
+  void Insert(const std::string& table, Row row) {
+    ASSERT_TRUE(db_.Insert(table, std::move(row)).ok());
+  }
+
+  ResultSet Query(const std::string& sql) {
+    auto rs = db_.Query(sql);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString() << " for: " << sql;
+    if (!rs.ok()) return ResultSet{};
+    return std::move(rs).value();
+  }
+
+  Database db_;
+};
+
+TEST_F(EngineBasicTest, SelectAllColumns) {
+  ResultSet rs = Query("select * from customer");
+  EXPECT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.num_columns(), 4u);
+  EXPECT_EQ(rs.column_names[0], "id");
+  EXPECT_EQ(rs.column_names[2], "balance");
+}
+
+TEST_F(EngineBasicTest, SelectWithFilter) {
+  ResultSet rs = Query("select name from customer where balance > 10000");
+  EXPECT_EQ(rs.num_rows(), 3u);
+}
+
+TEST_F(EngineBasicTest, FilterWithAndOr) {
+  ResultSet rs = Query(
+      "select name from customer where balance > 10000 and name = 'John'");
+  EXPECT_EQ(rs.num_rows(), 2u);
+  rs = Query(
+      "select name from customer where name = 'Mary' or name = 'Marion'");
+  EXPECT_EQ(rs.num_rows(), 2u);
+}
+
+TEST_F(EngineBasicTest, InListDesugaring) {
+  ResultSet rs =
+      Query("select name from customer where name in ('Mary', 'Marion')");
+  EXPECT_EQ(rs.num_rows(), 2u);
+}
+
+TEST_F(EngineBasicTest, BetweenDesugaring) {
+  ResultSet rs = Query(
+      "select name from customer where balance between 20000 and 30000");
+  EXPECT_EQ(rs.num_rows(), 3u);
+}
+
+TEST_F(EngineBasicTest, LikePredicate) {
+  ResultSet rs = Query("select name from customer where name like 'Mar%'");
+  EXPECT_EQ(rs.num_rows(), 2u);
+  rs = Query("select name from customer where name like '%ohn'");
+  EXPECT_EQ(rs.num_rows(), 2u);
+  rs = Query("select name from customer where name like 'M_ry'");
+  EXPECT_EQ(rs.num_rows(), 1u);
+}
+
+TEST_F(EngineBasicTest, JoinTwoTables) {
+  ResultSet rs = Query(
+      "select o.id, c.id from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000");
+  // (o1,c1)x2 joins, (o2,c1)x2, (o2,c2)x1 -> 5 rows.
+  EXPECT_EQ(rs.num_rows(), 5u);
+}
+
+TEST_F(EngineBasicTest, JoinWithGroupBySum) {
+  ResultSet rs = Query(
+      "select o.id, c.id, sum(o.prob * c.prob) from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000 group by o.id, c.id");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  // Probe expected probabilities from the paper's Example 6.
+  double p_o1c1 = -1, p_o2c1 = -1, p_o2c2 = -1;
+  for (const Row& r : rs.rows) {
+    std::string key = r[0].string_value() + r[1].string_value();
+    if (key == "o1c1") p_o1c1 = r[2].double_value();
+    if (key == "o2c1") p_o2c1 = r[2].double_value();
+    if (key == "o2c2") p_o2c2 = r[2].double_value();
+  }
+  EXPECT_NEAR(p_o1c1, 1.0, 1e-9);
+  EXPECT_NEAR(p_o2c1, 0.5, 1e-9);
+  EXPECT_NEAR(p_o2c2, 0.1, 1e-9);
+}
+
+TEST_F(EngineBasicTest, OrderByDesc) {
+  ResultSet rs =
+      Query("select name, balance from customer order by balance desc");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.rows[0][1].int_value(), 30000);
+  EXPECT_EQ(rs.rows[3][1].int_value(), 5000);
+}
+
+TEST_F(EngineBasicTest, OrderByAlias) {
+  ResultSet rs = Query(
+      "select name, balance * 2 as doubled from customer order by doubled");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.rows[0][1].int_value(), 10000);
+}
+
+TEST_F(EngineBasicTest, OrderByHiddenColumn) {
+  ResultSet rs = Query("select name from customer order by balance desc");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.num_columns(), 1u);  // hidden sort column stripped
+  EXPECT_EQ(rs.rows[0][0].string_value(), "John");
+  EXPECT_EQ(rs.rows[3][0].string_value(), "Marion");
+}
+
+TEST_F(EngineBasicTest, Distinct) {
+  ResultSet rs = Query("select distinct name from customer");
+  EXPECT_EQ(rs.num_rows(), 3u);
+}
+
+TEST_F(EngineBasicTest, Limit) {
+  ResultSet rs = Query("select name from customer order by balance limit 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0].string_value(), "Marion");
+}
+
+TEST_F(EngineBasicTest, AggregatesWithoutGroupBy) {
+  ResultSet rs = Query(
+      "select count(*), sum(balance), min(balance), max(balance), "
+      "avg(balance) from customer");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0].int_value(), 4);
+  EXPECT_EQ(rs.rows[0][1].int_value(), 82000);
+  EXPECT_EQ(rs.rows[0][2].int_value(), 5000);
+  EXPECT_EQ(rs.rows[0][3].int_value(), 30000);
+  EXPECT_NEAR(rs.rows[0][4].double_value(), 20500.0, 1e-9);
+}
+
+TEST_F(EngineBasicTest, AggregateOnEmptyInput) {
+  ResultSet rs = Query(
+      "select count(*), sum(balance) from customer where balance > 99999999");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0].int_value(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(EngineBasicTest, GroupByOnEmptyInputYieldsNoRows) {
+  ResultSet rs = Query(
+      "select name, count(*) from customer where balance > 99999999 "
+      "group by name");
+  EXPECT_EQ(rs.num_rows(), 0u);
+}
+
+TEST_F(EngineBasicTest, ArithmeticExpressions) {
+  ResultSet rs = Query(
+      "select balance * (1 + 1), balance / 2, balance - 1000 "
+      "from customer where id = 'c2' and name = 'Mary'");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0].int_value(), 54000);
+  EXPECT_NEAR(rs.rows[0][1].double_value(), 13500.0, 1e-9);
+  EXPECT_EQ(rs.rows[0][2].int_value(), 26000);
+}
+
+TEST_F(EngineBasicTest, IndexScanEquivalentToSeqScan) {
+  ASSERT_TRUE(db_.CreateIndex("customer", "id").ok());
+  ResultSet rs = Query("select name from customer where id = 'c1'");
+  EXPECT_EQ(rs.num_rows(), 2u);
+  // Explain should mention the index scan.
+  auto plan = db_.Explain("select name from customer where id = 'c1'");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+}
+
+TEST_F(EngineBasicTest, ThreeWayJoin) {
+  TableSchema card("card", {{"cardid", DataType::kInt64},
+                            {"custfk", DataType::kString}});
+  ASSERT_TRUE(db_.CreateTable(card).ok());
+  Insert("card", {Value::Int(111), Value::String("c1")});
+  Insert("card", {Value::Int(222), Value::String("c2")});
+  ResultSet rs = Query(
+      "select k.cardid, o.id, c.name from card k, customer c, orders o "
+      "where k.custfk = c.id and o.cidfk = c.id and o.quantity < 5");
+  // orders with quantity<5: (o1,c1),(o2,c1); each joins 2 customer dups and
+  // 1 card -> 4 rows.
+  EXPECT_EQ(rs.num_rows(), 4u);
+}
+
+TEST_F(EngineBasicTest, ErrorUnknownTable) {
+  auto rs = db_.Query("select * from nosuch");
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineBasicTest, ErrorUnknownColumn) {
+  auto rs = db_.Query("select nosuch from customer");
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineBasicTest, ErrorAmbiguousColumn) {
+  auto rs = db_.Query(
+      "select id from customer c, orders o where c.id = o.cidfk");
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineBasicTest, ErrorUngroupedColumn) {
+  auto rs = db_.Query("select name, sum(balance) from customer");
+  EXPECT_FALSE(rs.ok());
+}
+
+TEST_F(EngineBasicTest, ErrorTypeMismatch) {
+  auto rs = db_.Query("select * from customer where name > 5");
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(EngineBasicTest, DateLiteralsAndComparison) {
+  TableSchema t("events", {{"d", DataType::kDate}});
+  ASSERT_TRUE(db_.CreateTable(t).ok());
+  auto d1 = ParseDate("1995-03-10");
+  auto d2 = ParseDate("1995-03-20");
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  Insert("events", {Value::Date(*d1)});
+  Insert("events", {Value::Date(*d2)});
+  ResultSet rs = Query("select d from events where d < date '1995-03-15'");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0].ToString(), "1995-03-10");
+}
+
+TEST_F(EngineBasicTest, CrossProductWhenNoJoinEdge) {
+  ResultSet rs = Query("select c.id, o.id from customer c, orders o");
+  EXPECT_EQ(rs.num_rows(), 12u);
+}
+
+TEST_F(EngineBasicTest, NullHandlingInPredicates) {
+  TableSchema t("nt", {{"a", DataType::kInt64}});
+  ASSERT_TRUE(db_.CreateTable(t).ok());
+  Insert("nt", {Value::Int(1)});
+  Insert("nt", {Value::Null()});
+  // NULL comparisons exclude the row.
+  EXPECT_EQ(Query("select a from nt where a = 1").num_rows(), 1u);
+  EXPECT_EQ(Query("select a from nt where a <> 1").num_rows(), 0u);
+  EXPECT_EQ(Query("select a from nt where a is null").num_rows(), 1u);
+  EXPECT_EQ(Query("select a from nt where a is not null").num_rows(), 1u);
+  // NOT(NULL) is NULL -> excluded.
+  EXPECT_EQ(Query("select a from nt where not (a = 1)").num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace conquer

@@ -1,0 +1,134 @@
+// Tests of database save/load round-trips.
+
+#include "engine/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/clean_engine.h"
+#include "tests/core/paper_fixtures.h"
+
+namespace conquer {
+namespace {
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("conquer_persist_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistTest, RoundTripsTablesAndDirtySchema) {
+  Database db;
+  DirtySchema dirty;
+  LoadFigure2(&db, &dirty);
+
+  ASSERT_TRUE(SaveDatabase(db, dir_.string(), &dirty).ok());
+  DirtySchema dirty2;
+  auto loaded = LoadDatabase(dir_.string(), &dirty2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Same tables, same rows.
+  for (const std::string& name : db.catalog().TableNames()) {
+    auto orig = db.GetTable(name);
+    auto copy = (*loaded)->GetTable(name);
+    ASSERT_TRUE(orig.ok() && copy.ok()) << name;
+    ASSERT_EQ((*orig)->num_rows(), (*copy)->num_rows()) << name;
+    for (size_t r = 0; r < (*orig)->num_rows(); ++r) {
+      for (size_t c = 0; c < (*orig)->schema().num_columns(); ++c) {
+        ASSERT_EQ((*orig)->row(r)[c].TotalCompare((*copy)->row(r)[c]), 0)
+            << name << " row " << r << " col " << c;
+      }
+    }
+  }
+  // Dirty annotations survive.
+  const DirtyTableInfo* info = dirty2.Find("orders");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->id_column, "id");
+  EXPECT_EQ(info->prob_column, "prob");
+  ASSERT_EQ(info->foreign_ids.size(), 1u);
+  EXPECT_EQ(info->foreign_ids[0].referenced_table, "customer");
+
+  // Clean answers over the reloaded database match the original.
+  CleanAnswerEngine before(&db, &dirty);
+  CleanAnswerEngine after(loaded->get(), &dirty2);
+  const char* q =
+      "select o.id, c.id from orders o, customer c "
+      "where o.cidfk = c.id and c.balance > 10000";
+  auto a1 = before.Query(q);
+  auto a2 = after.Query(q);
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  ASSERT_EQ(a1->answers.size(), a2->answers.size());
+  for (const CleanAnswer& a : a1->answers) {
+    EXPECT_NEAR(a2->ProbabilityOf(a.row), a.probability, 1e-9);
+  }
+}
+
+TEST_F(PersistTest, NullsSurviveRoundTrip) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema("t", {{"a", DataType::kInt64},
+                                               {"b", DataType::kString}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Null(), Value::String("\\N")}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(1), Value::Null()}).ok());
+  ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto t = (*loaded)->GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE((*t)->row(0)[0].is_null());
+  EXPECT_TRUE((*t)->row(1)[1].is_null());
+  EXPECT_EQ((*t)->row(1)[0].int_value(), 1);
+  // Caveat of the plain-text format: a literal string equal to the NULL
+  // spelling reads back as NULL.
+  EXPECT_TRUE((*t)->row(0)[1].is_null());
+}
+
+TEST_F(PersistTest, DatesAndDoublesRoundTrip) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema("t", {{"d", DataType::kDate},
+                                               {"x", DataType::kDouble}}))
+                  .ok());
+  auto day = ParseDate("1995-03-15");
+  ASSERT_TRUE(day.ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Date(*day), Value::Double(0.125)}).ok());
+  ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  auto t = (*loaded)->GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->row(0)[0].ToString(), "1995-03-15");
+  EXPECT_DOUBLE_EQ((*t)->row(0)[1].double_value(), 0.125);
+}
+
+TEST_F(PersistTest, MissingDirectoryReportsNotFound) {
+  auto loaded = LoadDatabase((dir_ / "nope").string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PersistTest, SaveWithoutDirtySchemaOmitsFile) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(TableSchema("t", {{"a", DataType::kInt64}})).ok());
+  ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "dirty_schema.txt"));
+  DirtySchema dirty;
+  auto loaded = LoadDatabase(dir_.string(), &dirty);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(dirty.tables().empty());
+}
+
+}  // namespace
+}  // namespace conquer

@@ -1,0 +1,223 @@
+// Unit tests for the Volcano operators, exercised directly (not through
+// SQL) to pin the wide-row contract and per-operator behaviour.
+
+#include "exec/operators.h"
+
+#include <gtest/gtest.h>
+
+namespace conquer {
+namespace {
+
+std::unique_ptr<Table> MakeNumbersTable(int n) {
+  auto table = std::make_unique<Table>(
+      TableSchema("nums", {{"a", DataType::kInt64}, {"b", DataType::kInt64}}));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(table->Insert({Value::Int(i), Value::Int(i % 3)}).ok());
+  }
+  return table;
+}
+
+std::vector<Row> Drain(Operator* op) {
+  std::vector<Row> rows;
+  EXPECT_TRUE(op->Open().ok());
+  Row row;
+  while (true) {
+    auto more = op->Next(&row);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    rows.push_back(row);
+  }
+  op->Close();
+  return rows;
+}
+
+ExprPtr Slot(int slot, DataType type = DataType::kInt64) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kColumnRef;
+  e->slot = slot;
+  e->resolved_type = type;
+  return e;
+}
+
+TEST(SeqScanOpTest, ProducesWideRowsAtOffset) {
+  auto table = MakeNumbersTable(3);
+  SeqScanOp scan(table.get(), /*slot_offset=*/2, /*total_slots=*/5, nullptr);
+  auto rows = Drain(&scan);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[0][0].is_null());
+  EXPECT_TRUE(rows[0][1].is_null());
+  EXPECT_EQ(rows[0][2].int_value(), 0);  // column a at offset 2
+  EXPECT_EQ(rows[2][2].int_value(), 2);
+  EXPECT_TRUE(rows[0][4].is_null());
+}
+
+TEST(SeqScanOpTest, PushedFilterApplies) {
+  auto table = MakeNumbersTable(9);
+  ExprPtr pred = Expr::MakeBinary(BinaryOp::kEq, Slot(1),
+                                  Expr::MakeLiteral(Value::Int(0)));
+  SeqScanOp scan(table.get(), 0, 2, std::move(pred));
+  auto rows = Drain(&scan);
+  EXPECT_EQ(rows.size(), 3u);  // b == 0 for a in {0,3,6}
+}
+
+TEST(SeqScanOpTest, ReopenRestartsTheScan) {
+  auto table = MakeNumbersTable(4);
+  SeqScanOp scan(table.get(), 0, 2, nullptr);
+  EXPECT_EQ(Drain(&scan).size(), 4u);
+  EXPECT_EQ(Drain(&scan).size(), 4u);  // second Open() rewinds
+}
+
+TEST(IndexScanOpTest, LooksUpOnlyMatchingRows) {
+  auto table = MakeNumbersTable(9);
+  ASSERT_TRUE(table->CreateIndex("b").ok());
+  IndexScanOp scan(table.get(), table->GetIndex(1), Value::Int(1), 0, 2,
+                   nullptr);
+  auto rows = Drain(&scan);
+  EXPECT_EQ(rows.size(), 3u);  // a in {1,4,7}
+  for (const Row& r : rows) EXPECT_EQ(r[1].int_value(), 1);
+}
+
+TEST(FilterOpTest, DropsNonMatching) {
+  auto table = MakeNumbersTable(10);
+  auto scan = std::make_unique<SeqScanOp>(table.get(), 0, 2, nullptr);
+  ExprPtr pred = Expr::MakeBinary(BinaryOp::kGt, Slot(0),
+                                  Expr::MakeLiteral(Value::Int(6)));
+  FilterOp filter(std::move(scan), std::move(pred));
+  EXPECT_EQ(Drain(&filter).size(), 3u);  // 7, 8, 9
+}
+
+TEST(HashJoinOpTest, JoinsOnSlots) {
+  // Two tables sharing the wide layout [t1.a, t1.b, t2.x, t2.y].
+  auto t1 = MakeNumbersTable(6);  // slots 0,1
+  auto t2 = std::make_unique<Table>(
+      TableSchema("other", {{"x", DataType::kInt64}, {"y", DataType::kString}}));
+  ASSERT_TRUE(t2->Insert({Value::Int(0), Value::String("zero")}).ok());
+  ASSERT_TRUE(t2->Insert({Value::Int(2), Value::String("two")}).ok());
+
+  auto build = std::make_unique<SeqScanOp>(t2.get(), 2, 4, nullptr);
+  auto probe = std::make_unique<SeqScanOp>(t1.get(), 0, 4, nullptr);
+  // join on t1.b (slot 1) == t2.x (slot 2)
+  HashJoinOp join(std::move(build), std::move(probe), {2}, {1},
+                  {{2, 2}});
+  auto rows = Drain(&join);
+  // t1.b values: 0,1,2,0,1,2 -> matches for 0 (x2) and 2 (x2) = 4 rows.
+  ASSERT_EQ(rows.size(), 4u);
+  for (const Row& r : rows) {
+    EXPECT_EQ(r[1].int_value(), r[2].int_value());  // join key equal
+    EXPECT_FALSE(r[3].is_null());                   // build columns merged
+  }
+}
+
+TEST(HashJoinOpTest, NullKeysNeverMatch) {
+  auto t1 = std::make_unique<Table>(
+      TableSchema("l", {{"k", DataType::kInt64}}));
+  ASSERT_TRUE(t1->Insert({Value::Null()}).ok());
+  ASSERT_TRUE(t1->Insert({Value::Int(1)}).ok());
+  auto t2 = std::make_unique<Table>(
+      TableSchema("r", {{"k", DataType::kInt64}}));
+  ASSERT_TRUE(t2->Insert({Value::Null()}).ok());
+  ASSERT_TRUE(t2->Insert({Value::Int(1)}).ok());
+
+  auto build = std::make_unique<SeqScanOp>(t2.get(), 1, 2, nullptr);
+  auto probe = std::make_unique<SeqScanOp>(t1.get(), 0, 2, nullptr);
+  HashJoinOp join(std::move(build), std::move(probe), {1}, {0}, {{1, 1}});
+  EXPECT_EQ(Drain(&join).size(), 1u);  // only 1 = 1; NULL != NULL
+}
+
+TEST(HashJoinOpTest, EmptyKeysMakeCrossProduct) {
+  auto t1 = MakeNumbersTable(3);
+  auto t2 = MakeNumbersTable(4);
+  auto build = std::make_unique<SeqScanOp>(t2.get(), 2, 4, nullptr);
+  auto probe = std::make_unique<SeqScanOp>(t1.get(), 0, 4, nullptr);
+  HashJoinOp join(std::move(build), std::move(probe), {}, {}, {{2, 2}});
+  EXPECT_EQ(Drain(&join).size(), 12u);
+}
+
+TEST(ProjectOpTest, EvaluatesExpressions) {
+  auto table = MakeNumbersTable(3);
+  auto scan = std::make_unique<SeqScanOp>(table.get(), 0, 2, nullptr);
+  ExprPtr doubled = Expr::MakeBinary(BinaryOp::kMul, Slot(0),
+                                     Expr::MakeLiteral(Value::Int(2)));
+  std::vector<const Expr*> items = {doubled.get()};
+  ProjectOp project(std::move(scan), items);
+  auto rows = Drain(&project);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2][0].int_value(), 4);
+  EXPECT_EQ(rows[2].size(), 1u);  // narrow row
+}
+
+TEST(SortOpTest, SortsByMultipleKeys) {
+  auto table = MakeNumbersTable(6);
+  auto scan = std::make_unique<SeqScanOp>(table.get(), 0, 2, nullptr);
+  ExprPtr a = Slot(0), b = Slot(1);
+  std::vector<const Expr*> items = {b.get(), a.get()};
+  auto project = std::make_unique<ProjectOp>(std::move(scan), items);
+  SortOp sort(std::move(project), {{0, false}, {1, true}});
+  auto rows = Drain(&sort);
+  ASSERT_EQ(rows.size(), 6u);
+  // b ascending, then a descending: (0,3),(0,0),(1,4),(1,1),(2,5),(2,2)
+  EXPECT_EQ(rows[0][1].int_value(), 3);
+  EXPECT_EQ(rows[1][1].int_value(), 0);
+  EXPECT_EQ(rows[4][1].int_value(), 5);
+}
+
+TEST(DistinctOpTest, RemovesDuplicates) {
+  auto table = MakeNumbersTable(9);
+  auto scan = std::make_unique<SeqScanOp>(table.get(), 0, 2, nullptr);
+  ExprPtr b = Slot(1);
+  std::vector<const Expr*> items = {b.get()};
+  auto project = std::make_unique<ProjectOp>(std::move(scan), items);
+  DistinctOp distinct(std::move(project));
+  EXPECT_EQ(Drain(&distinct).size(), 3u);
+}
+
+TEST(LimitOpTest, StopsEarly) {
+  auto table = MakeNumbersTable(100);
+  auto scan = std::make_unique<SeqScanOp>(table.get(), 0, 2, nullptr);
+  LimitOp limit(std::move(scan), 7);
+  EXPECT_EQ(Drain(&limit).size(), 7u);
+}
+
+TEST(StripColumnsOpTest, TruncatesRows) {
+  auto table = MakeNumbersTable(2);
+  auto scan = std::make_unique<SeqScanOp>(table.get(), 0, 2, nullptr);
+  ExprPtr a = Slot(0), b = Slot(1);
+  std::vector<const Expr*> items = {a.get(), b.get()};
+  auto project = std::make_unique<ProjectOp>(std::move(scan), items);
+  StripColumnsOp strip(std::move(project), 1);
+  auto rows = Drain(&strip);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].size(), 1u);
+}
+
+TEST(HashAggregateOpTest, GroupsAndAggregates) {
+  auto table = MakeNumbersTable(9);
+  auto scan = std::make_unique<SeqScanOp>(table.get(), 0, 2, nullptr);
+  ExprPtr key = Slot(1);
+  ExprPtr sum_arg = Slot(0);
+  ExprPtr sum = Expr::MakeAggregate(AggFunc::kSum, sum_arg->Clone());
+  sum->resolved_type = DataType::kInt64;
+  ExprPtr count = Expr::MakeAggregate(AggFunc::kCount, nullptr);
+  std::vector<const Expr*> keys = {key.get()};
+  std::vector<const Expr*> items = {key.get(), sum.get(), count.get()};
+  HashAggregateOp agg(std::move(scan), keys, items);
+  auto rows = Drain(&agg);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const Row& r : rows) {
+    int64_t k = r[0].int_value();
+    // a values for key k: k, k+3, k+6 -> sum = 3k + 9, count = 3.
+    EXPECT_EQ(r[1].int_value(), 3 * k + 9);
+    EXPECT_EQ(r[2].int_value(), 3);
+  }
+}
+
+TEST(ExplainPlanTest, RendersIndentedTree) {
+  auto table = MakeNumbersTable(1);
+  auto scan = std::make_unique<SeqScanOp>(table.get(), 0, 2, nullptr);
+  LimitOp limit(std::move(scan), 1);
+  std::string text = ExplainPlan(limit);
+  EXPECT_NE(text.find("Limit(1)\n  SeqScan(nums)"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace conquer

@@ -1,0 +1,122 @@
+// Unit tests for ResultSet utilities and AST printing corner cases.
+
+#include "exec/result_set.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace conquer {
+namespace {
+
+ResultSet MakeResultSet() {
+  ResultSet rs;
+  rs.column_names = {"id", "amount"};
+  rs.column_types = {DataType::kString, DataType::kInt64};
+  rs.rows.push_back({Value::String("a"), Value::Int(10)});
+  rs.rows.push_back({Value::String("b"), Value::Int(20)});
+  return rs;
+}
+
+TEST(ResultSetTest, FindColumnIsCaseInsensitive) {
+  ResultSet rs = MakeResultSet();
+  EXPECT_EQ(rs.FindColumn("ID"), 0);
+  EXPECT_EQ(rs.FindColumn("Amount"), 1);
+  EXPECT_EQ(rs.FindColumn("missing"), -1);
+}
+
+TEST(ResultSetTest, ContainsRowComparesByValue) {
+  ResultSet rs = MakeResultSet();
+  EXPECT_TRUE(rs.ContainsRow({Value::String("a"), Value::Int(10)}));
+  EXPECT_FALSE(rs.ContainsRow({Value::String("a"), Value::Int(11)}));
+  EXPECT_FALSE(rs.ContainsRow({Value::String("a")}));  // arity mismatch
+}
+
+TEST(ResultSetTest, ToStringRendersHeaderAndRows) {
+  ResultSet rs = MakeResultSet();
+  std::string text = rs.ToString();
+  EXPECT_NE(text.find("| id"), std::string::npos) << text;
+  EXPECT_NE(text.find("| 20"), std::string::npos) << text;
+  EXPECT_NE(text.find("(2 rows)"), std::string::npos) << text;
+}
+
+TEST(ResultSetTest, ToStringCapsRows) {
+  ResultSet rs = MakeResultSet();
+  std::string text = rs.ToString(/*max_rows=*/1);
+  EXPECT_NE(text.find("(1 of 2 rows shown)"), std::string::npos) << text;
+}
+
+TEST(ResultSetTest, EmptyResultStillRendersHeader) {
+  ResultSet rs;
+  rs.column_names = {"x"};
+  rs.column_types = {DataType::kInt64};
+  std::string text = rs.ToString();
+  EXPECT_NE(text.find("| x |"), std::string::npos) << text;
+  EXPECT_NE(text.find("(0 rows)"), std::string::npos) << text;
+}
+
+// ---- AST corner cases ----
+
+TEST(AstTest, CollectConjunctsFlattensNestedAnds) {
+  auto stmt = Parser::Parse(
+      "select a from t where a = 1 and (b = 2 and c = 3) and d = 4");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts((*stmt)->where.get(), &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 4u);
+}
+
+TEST(AstTest, CollectConjunctsDoesNotSplitOr) {
+  auto stmt = Parser::Parse("select a from t where a = 1 or b = 2");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts((*stmt)->where.get(), &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 1u);
+}
+
+TEST(AstTest, CollectConjunctsOnNullIsEmpty) {
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(nullptr, &conjuncts);
+  EXPECT_TRUE(conjuncts.empty());
+}
+
+TEST(AstTest, ContainsAggregateFindsNestedCalls) {
+  auto stmt = Parser::Parse("select 1 + sum(a) * 2 from t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->select_list[0].expr->ContainsAggregate());
+  auto plain = Parser::Parse("select 1 + a * 2 from t");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE((*plain)->select_list[0].expr->ContainsAggregate());
+}
+
+TEST(AstTest, OutputNamePrefersAliasThenColumnThenText) {
+  auto stmt = Parser::Parse("select a as x, b, a + b from t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->select_list[0].OutputName(), "x");
+  EXPECT_EQ((*stmt)->select_list[1].OutputName(), "b");
+  EXPECT_EQ((*stmt)->select_list[2].OutputName(), "a + b");
+}
+
+TEST(AstTest, ToStringEscapesStringLiterals) {
+  auto stmt = Parser::Parse("select a from t where b = 'it''s'");
+  ASSERT_TRUE(stmt.ok());
+  std::string printed = (*stmt)->ToString();
+  EXPECT_NE(printed.find("'it''s'"), std::string::npos) << printed;
+  // And the printed form reparses to the same value.
+  auto again = Parser::Parse(printed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->where->right->literal.string_value(), "it's");
+}
+
+TEST(AstTest, BinaryOpNames) {
+  EXPECT_STREQ(BinaryOpToString(BinaryOp::kEq), "=");
+  EXPECT_STREQ(BinaryOpToString(BinaryOp::kNe), "<>");
+  EXPECT_STREQ(BinaryOpToString(BinaryOp::kAnd), "AND");
+  EXPECT_STREQ(BinaryOpToString(BinaryOp::kLike), "LIKE");
+  EXPECT_TRUE(IsComparisonOp(BinaryOp::kLe));
+  EXPECT_FALSE(IsComparisonOp(BinaryOp::kAdd));
+  EXPECT_FALSE(IsComparisonOp(BinaryOp::kAnd));
+}
+
+}  // namespace
+}  // namespace conquer

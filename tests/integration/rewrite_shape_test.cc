@@ -1,0 +1,101 @@
+// Shape checks of the RewriteClean output for all thirteen TPC-H queries:
+// the rewritten SQL must append exactly one SUM over the product of every
+// FROM relation's prob column and group by every original SELECT item.
+
+#include <gtest/gtest.h>
+
+#include "core/clean_engine.h"
+#include "gen/tpch_dirty.h"
+#include "gen/tpch_queries.h"
+#include "sql/parser.h"
+
+namespace conquer {
+namespace {
+
+class RewriteShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchDirtyConfig config;
+    config.scale_factor = 0.001;
+    config.inconsistency_factor = 2;
+    auto gen = MakeTpchDirtyDatabase(config);
+    ASSERT_TRUE(gen.ok());
+    db_ = new TpchDirtyDatabase(std::move(gen).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static TpchDirtyDatabase* db_;
+};
+
+TpchDirtyDatabase* RewriteShapeTest::db_ = nullptr;
+
+class PerQueryShape : public RewriteShapeTest,
+                      public ::testing::WithParamInterface<int> {};
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST_P(PerQueryShape, RewrittenSqlHasFig4Shape) {
+  const TpchQuery* q = FindTpchQuery(GetParam());
+  ASSERT_NE(q, nullptr);
+  CleanAnswerEngine engine(db_->db.get(), &db_->dirty);
+  auto rewritten_sql = engine.RewrittenSql(q->sql);
+  ASSERT_TRUE(rewritten_sql.ok()) << rewritten_sql.status().ToString();
+
+  auto original = Parser::Parse(q->sql);
+  auto rewritten = Parser::Parse(*rewritten_sql);
+  ASSERT_TRUE(original.ok() && rewritten.ok()) << *rewritten_sql;
+
+  // Exactly one extra SELECT item: the SUM, aliased clean_prob.
+  ASSERT_EQ((*rewritten)->select_list.size(),
+            (*original)->select_list.size() + 1);
+  const SelectItem& prob_item = (*rewritten)->select_list.back();
+  EXPECT_EQ(prob_item.alias, "clean_prob");
+  ASSERT_EQ(prob_item.expr->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(prob_item.expr->agg, AggFunc::kSum);
+
+  // The product has one prob factor per FROM relation.
+  EXPECT_EQ(CountOccurrences(*rewritten_sql, ".prob"),
+            (*original)->from.size());
+
+  // GROUP BY mirrors the original SELECT list exactly.
+  ASSERT_EQ((*rewritten)->group_by.size(), (*original)->select_list.size());
+  for (size_t i = 0; i < (*rewritten)->group_by.size(); ++i) {
+    EXPECT_TRUE((*rewritten)->group_by[i]->StructurallyEquals(
+        *(*original)->select_list[i].expr))
+        << "group key " << i << " in Q" << q->number;
+  }
+
+  // FROM / WHERE / ORDER BY are untouched.
+  EXPECT_EQ((*rewritten)->from.size(), (*original)->from.size());
+  EXPECT_EQ((*rewritten)->order_by.size(), (*original)->order_by.size());
+  EXPECT_EQ((*rewritten)->where == nullptr, (*original)->where == nullptr);
+  if ((*original)->where) {
+    EXPECT_TRUE(
+        (*rewritten)->where->StructurallyEquals(*(*original)->where));
+  }
+
+  // Rewriting is idempotent in effect: the rewritten query is no longer
+  // SPJ, so rewriting it again must fail cleanly.
+  auto twice = engine.RewrittenSql(*rewritten_sql);
+  EXPECT_FALSE(twice.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQueries, PerQueryShape,
+                         ::testing::Values(1, 2, 3, 4, 6, 9, 10, 11, 12, 14,
+                                           17, 18, 20),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace conquer

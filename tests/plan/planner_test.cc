@@ -1,0 +1,200 @@
+// Unit tests for the binder and planner: resolution, type checking,
+// plan shapes (pushdown, join ordering, index selection), and EXPLAIN.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace conquer {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(TableSchema("small", {{"k", DataType::kInt64},
+                                                      {"v", DataType::kString}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(TableSchema("big", {{"k", DataType::kInt64},
+                                                    {"fk", DataType::kInt64},
+                                                    {"x", DataType::kDouble}}))
+                    .ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db_.Insert("small", {Value::Int(i),
+                                       Value::String("s" + std::to_string(i))})
+                      .ok());
+    }
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db_.Insert("big", {Value::Int(i), Value::Int(i % 5),
+                                     Value::Double(i * 0.5)})
+                      .ok());
+    }
+    ASSERT_TRUE(db_.AnalyzeAll().ok());
+  }
+
+  std::string Explain(const std::string& sql) {
+    auto plan = db_.Explain(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString() << " for: " << sql;
+    return plan.ok() ? *plan : "";
+  }
+
+  Database db_;
+};
+
+TEST_F(PlannerTest, SingleTablePredicateIsPushedIntoScan) {
+  std::string plan = Explain("select v from small s where k = 3 and v <> 'x'");
+  // No standalone Filter node: the predicate lives in the scan.
+  EXPECT_EQ(plan.find("Filter("), std::string::npos) << plan;
+  EXPECT_NE(plan.find("SeqScan(small"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, EquiJoinUsesHashJoin) {
+  std::string plan =
+      Explain("select s.v from small s, big b where b.fk = s.k");
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("CrossJoin"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, NoJoinPredicateMeansCrossJoin) {
+  std::string plan = Explain("select s.v from small s, big b");
+  EXPECT_NE(plan.find("CrossJoin"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, IndexPointLookupIsChosenWhenAvailable) {
+  ASSERT_TRUE(db_.CreateIndex("big", "k").ok());
+  std::string plan = Explain("select x from big b where k = 42");
+  EXPECT_NE(plan.find("IndexScan(big"), std::string::npos) << plan;
+  // Without an index the same query sequential-scans.
+  std::string plan2 = Explain("select x from big b where fk = 2");
+  EXPECT_NE(plan2.find("SeqScan(big"), std::string::npos) << plan2;
+}
+
+TEST_F(PlannerTest, NonEquiJoinBecomesResidualFilter) {
+  std::string plan =
+      Explain("select s.v from small s, big b where b.x > s.k");
+  EXPECT_NE(plan.find("Filter("), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, AggregatePlansHashAggregate) {
+  std::string plan =
+      Explain("select fk, count(*) from big b group by fk");
+  EXPECT_NE(plan.find("HashAggregate"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, OrderByPlansSortAndStripsHiddenColumn) {
+  std::string plan = Explain("select v from small s order by k desc");
+  EXPECT_NE(plan.find("Sort("), std::string::npos) << plan;
+  EXPECT_NE(plan.find("StripColumns"), std::string::npos) << plan;
+}
+
+TEST_F(PlannerTest, DistinctAndLimitAppearInPlan) {
+  std::string plan = Explain("select distinct fk from big b limit 3");
+  EXPECT_NE(plan.find("Distinct"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Limit(3)"), std::string::npos) << plan;
+}
+
+class BinderTest : public PlannerTest {};
+
+TEST_F(BinderTest, ResolvesSlotsAcrossFromList) {
+  auto stmt = Parser::Parse(
+      "select s.v, b.x from small s, big b where b.fk = s.k");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&db_.catalog());
+  auto bound = binder.Bind(std::move(*stmt));
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  // small occupies slots [0,2), big [2,5).
+  EXPECT_EQ(bound->total_slots, 5u);
+  EXPECT_EQ(bound->stmt->select_list[0].expr->slot, 1);  // s.v
+  EXPECT_EQ(bound->stmt->select_list[1].expr->slot, 4);  // b.x
+  EXPECT_EQ(bound->output_names[0], "v");
+  EXPECT_EQ(bound->output_types[1], DataType::kDouble);
+}
+
+TEST_F(BinderTest, UnqualifiedColumnsResolveWhenUnambiguous) {
+  auto stmt = Parser::Parse("select v, x from small s, big b "
+                            "where fk = 1");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&db_.catalog());
+  EXPECT_TRUE(binder.Bind(std::move(*stmt)).ok());
+}
+
+TEST_F(BinderTest, AmbiguousColumnsAreRejected) {
+  auto stmt = Parser::Parse("select k from small s, big b");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&db_.catalog());
+  auto bound = binder.Bind(std::move(*stmt));
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, DuplicateAliasesAreRejected) {
+  auto stmt = Parser::Parse("select 1 from small t, big t");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&db_.catalog());
+  EXPECT_FALSE(binder.Bind(std::move(*stmt)).ok());
+}
+
+TEST_F(BinderTest, WhereMustBeBoolean) {
+  auto stmt = Parser::Parse("select v from small s where k + 1");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&db_.catalog());
+  EXPECT_EQ(binder.Bind(std::move(*stmt)).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(BinderTest, AggregatesForbiddenInWhere) {
+  auto stmt = Parser::Parse("select v from small s where sum(k) > 1");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&db_.catalog());
+  EXPECT_FALSE(binder.Bind(std::move(*stmt)).ok());
+}
+
+TEST_F(BinderTest, TypeInference) {
+  auto stmt = Parser::Parse(
+      "select s.k + 1, x * 2, s.k / 2, v, count(*), avg(s.k) "
+      "from big b, small s "
+      "where b.fk = s.k group by s.k + 1, x * 2, s.k / 2, v");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&db_.catalog());
+  auto bound = binder.Bind(std::move(*stmt));
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->output_types[0], DataType::kInt64);   // int + int
+  EXPECT_EQ(bound->output_types[1], DataType::kDouble);  // double * int
+  EXPECT_EQ(bound->output_types[2], DataType::kDouble);  // '/' widens
+  EXPECT_EQ(bound->output_types[3], DataType::kString);
+  EXPECT_EQ(bound->output_types[4], DataType::kInt64);   // COUNT
+  EXPECT_EQ(bound->output_types[5], DataType::kDouble);  // AVG
+}
+
+TEST_F(BinderTest, DateArithmeticTypes) {
+  ASSERT_TRUE(
+      db_.CreateTable(TableSchema("ev", {{"d", DataType::kDate}})).ok());
+  auto stmt = Parser::Parse("select d + 30, d - d from ev e");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&db_.catalog());
+  auto bound = binder.Bind(std::move(*stmt));
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->output_types[0], DataType::kDate);
+  EXPECT_EQ(bound->output_types[1], DataType::kInt64);
+}
+
+TEST_F(BinderTest, SelectStarExpandsAllColumns) {
+  auto stmt = Parser::Parse("select * from small s, big b where b.fk = s.k");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&db_.catalog());
+  auto bound = binder.Bind(std::move(*stmt));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->num_visible_columns, 5u);
+}
+
+TEST_F(BinderTest, OrderByUngroupedExpressionRejected) {
+  auto stmt = Parser::Parse(
+      "select fk, count(*) from big b group by fk order by x");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&db_.catalog());
+  EXPECT_FALSE(binder.Bind(std::move(*stmt)).ok());
+}
+
+}  // namespace
+}  // namespace conquer

@@ -1,0 +1,154 @@
+// Property sweeps for probability assignment: on randomized clustered
+// tables, both the information-loss assigner (Fig. 5) and the
+// edit-distance variant must produce per-cluster probability distributions
+// whose ordering is anti-monotone in the distance to the representative.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "prob/assigner.h"
+#include "prob/edit_distance.h"
+
+namespace conquer {
+namespace {
+
+std::unique_ptr<Table> RandomClusteredTable(uint64_t seed, size_t* clusters) {
+  Rng rng(seed);
+  auto table = std::make_unique<Table>(
+      TableSchema("t", {{"id", DataType::kString},
+                        {"a", DataType::kString},
+                        {"b", DataType::kString},
+                        {"c", DataType::kInt64},
+                        {"prob", DataType::kDouble}}));
+  const char* words[] = {"alpha", "beta", "gamma", "delta", "epsilon",
+                         "zeta",  "eta",  "theta"};
+  *clusters = static_cast<size_t>(rng.Uniform(1, 6));
+  for (size_t k = 0; k < *clusters; ++k) {
+    std::string id = "c" + std::to_string(k);
+    // A canonical pattern with random per-member corruption.
+    std::string a = words[rng.Uniform(0, 7)];
+    std::string b = words[rng.Uniform(0, 7)];
+    int64_t c = rng.Uniform(0, 99);
+    int members = static_cast<int>(rng.Uniform(1, 6));
+    for (int m = 0; m < members; ++m) {
+      std::string am = rng.Chance(0.3) ? words[rng.Uniform(0, 7)] : a;
+      std::string bm = rng.Chance(0.3) ? words[rng.Uniform(0, 7)] : b;
+      int64_t cm = rng.Chance(0.3) ? rng.Uniform(0, 99) : c;
+      EXPECT_TRUE(table
+                      ->Insert({Value::String(id), Value::String(am),
+                                Value::String(bm), Value::Int(cm),
+                                Value::Null()})
+                      .ok());
+    }
+  }
+  return table;
+}
+
+const DirtyTableInfo kInfo{"t", "id", "prob", {}};
+
+class AssignerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+void CheckInvariants(const Table& table,
+                     const std::vector<TupleProbability>& details) {
+  ASSERT_EQ(details.size(), table.num_rows());
+  std::map<std::string, double> mass;
+  std::map<std::string, size_t> sizes;
+  for (const auto& d : details) {
+    // Probabilities and similarities are proper fractions.
+    ASSERT_GE(d.probability, -1e-12);
+    ASSERT_LE(d.probability, 1.0 + 1e-12);
+    ASSERT_GE(d.distance, -1e-12);
+    std::string id = table.row(d.row)[0].string_value();
+    mass[id] += d.probability;
+    sizes[id] += 1;
+  }
+  // Dfn 2: probabilities within each cluster sum to 1.
+  for (const auto& [id, m] : mass) {
+    ASSERT_NEAR(m, 1.0, 1e-9) << "cluster " << id;
+  }
+  // Singletons are certain.
+  for (const auto& d : details) {
+    std::string id = table.row(d.row)[0].string_value();
+    if (sizes[id] == 1) {
+      ASSERT_NEAR(d.probability, 1.0, 1e-12);
+    }
+  }
+  // Within a cluster, probability ordering is anti-monotone in distance.
+  std::map<std::string, std::vector<const TupleProbability*>> per_cluster;
+  for (const auto& d : details) {
+    per_cluster[table.row(d.row)[0].string_value()].push_back(&d);
+  }
+  for (const auto& [id, members] : per_cluster) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = 0; j < members.size(); ++j) {
+        if (members[i]->distance < members[j]->distance - 1e-12) {
+          ASSERT_GE(members[i]->probability,
+                    members[j]->probability - 1e-12)
+              << "cluster " << id;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(AssignerPropertyTest, InformationLossInvariants) {
+  size_t clusters = 0;
+  auto table = RandomClusteredTable(GetParam(), &clusters);
+  auto details = AssignProbabilities(table.get(), kInfo);
+  ASSERT_TRUE(details.ok()) << details.status().ToString();
+  CheckInvariants(*table, *details);
+}
+
+TEST_P(AssignerPropertyTest, EditDistanceInvariants) {
+  size_t clusters = 0;
+  auto table = RandomClusteredTable(GetParam() ^ 0x5555, &clusters);
+  MixedEditDistance measure;
+  auto details =
+      AssignProbabilitiesWithDistance(table.get(), kInfo, measure);
+  ASSERT_TRUE(details.ok()) << details.status().ToString();
+  CheckInvariants(*table, *details);
+}
+
+// The two assigners agree on which member of a cluster is "most canonical"
+// when one member dominates by exact duplication.
+TEST_P(AssignerPropertyTest, DominantDuplicateWinsUnderBothMeasures) {
+  Rng rng(GetParam() * 31 + 5);
+  auto table = std::make_unique<Table>(
+      TableSchema("t", {{"id", DataType::kString},
+                        {"a", DataType::kString},
+                        {"b", DataType::kString},
+                        {"c", DataType::kInt64},
+                        {"prob", DataType::kDouble}}));
+  // Four identical tuples plus one fully distinct outlier.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(table
+                    ->Insert({Value::String("c0"), Value::String("common"),
+                              Value::String("shape"), Value::Int(7),
+                              Value::Null()})
+                    .ok());
+  }
+  ASSERT_TRUE(table
+                  ->Insert({Value::String("c0"), Value::String("utterly"),
+                            Value::String("different"),
+                            Value::Int(rng.Uniform(1000, 2000)),
+                            Value::Null()})
+                  .ok());
+
+  auto info_loss = AssignProbabilities(table.get(), kInfo);
+  ASSERT_TRUE(info_loss.ok());
+  EXPECT_LT((*info_loss)[4].probability, (*info_loss)[0].probability);
+
+  MixedEditDistance measure;
+  auto edit = AssignProbabilitiesWithDistance(table.get(), kInfo, measure);
+  ASSERT_TRUE(edit.ok());
+  EXPECT_LT((*edit)[4].probability, (*edit)[0].probability);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignerPropertyTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace conquer

@@ -1,0 +1,154 @@
+// Unit tests for the categorical representation, DCF summaries, and the
+// information-loss distance (paper Section 4.1).
+
+#include "prob/dcf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace conquer {
+namespace {
+
+TEST(ValueSpaceTest, AttributeQualification) {
+  // "identical values from different attributes are treated as distinct"
+  ValueSpace space;
+  uint32_t a = space.Intern(0, Value::String("Mary"));
+  uint32_t b = space.Intern(1, Value::String("Mary"));
+  uint32_t c = space.Intern(0, Value::String("Mary"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(space.size(), 2u);
+}
+
+TEST(ValueSpaceTest, FindReturnsMinusOneForUnknown) {
+  ValueSpace space;
+  space.Intern(0, Value::String("x"));
+  EXPECT_EQ(space.Find(0, Value::String("x")), 0);
+  EXPECT_EQ(space.Find(0, Value::String("y")), -1);
+  EXPECT_EQ(space.Find(1, Value::String("x")), -1);
+}
+
+TEST(SparseDistTest, TupleDistributionIsUniformOverItsValues) {
+  SparseDist d = SparseDist::FromIndices({3, 7, 1, 9});
+  EXPECT_NEAR(d.At(1), 0.25, 1e-12);
+  EXPECT_NEAR(d.At(3), 0.25, 1e-12);
+  EXPECT_NEAR(d.At(5), 0.0, 1e-12);
+  EXPECT_NEAR(d.Mass(), 1.0, 1e-12);
+}
+
+TEST(SparseDistTest, RepeatedIndicesAccumulate) {
+  SparseDist d = SparseDist::FromIndices({2, 2, 5, 8});
+  EXPECT_NEAR(d.At(2), 0.5, 1e-12);
+  EXPECT_NEAR(d.Mass(), 1.0, 1e-12);
+}
+
+TEST(SparseDistTest, MixIsWeightedAverage) {
+  SparseDist a = SparseDist::FromIndices({0, 1});
+  SparseDist b = SparseDist::FromIndices({1, 2});
+  SparseDist m = SparseDist::Mix(a, 0.5, b, 0.5);
+  EXPECT_NEAR(m.At(0), 0.25, 1e-12);
+  EXPECT_NEAR(m.At(1), 0.5, 1e-12);
+  EXPECT_NEAR(m.At(2), 0.25, 1e-12);
+  EXPECT_NEAR(m.Mass(), 1.0, 1e-12);
+}
+
+TEST(DcfTest, MergeFollowsPaperEquations) {
+  // |c*| = |c1| + |c2|; p(v|c*) = weighted average.
+  Dcf c1 = Dcf::ForTuple({0, 1});
+  Dcf c2 = Dcf::ForTuple({1, 2});
+  Dcf c3 = Dcf::ForTuple({2, 3});
+  Dcf merged = Dcf::Merge(Dcf::Merge(c1, c2), c3);
+  EXPECT_NEAR(merged.weight, 3.0, 1e-12);
+  EXPECT_NEAR(merged.dist.At(0), 0.5 / 3, 1e-12);
+  EXPECT_NEAR(merged.dist.At(1), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(merged.dist.At(2), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(merged.dist.At(3), 0.5 / 3, 1e-12);
+  EXPECT_NEAR(merged.dist.Mass(), 1.0, 1e-12);
+}
+
+TEST(DcfTest, MergeIsCommutativeAndAssociativeInDistribution) {
+  Dcf a = Dcf::ForTuple({0, 1, 2});
+  Dcf b = Dcf::ForTuple({2, 3, 4});
+  Dcf c = Dcf::ForTuple({4, 5, 0});
+  Dcf ab_c = Dcf::Merge(Dcf::Merge(a, b), c);
+  Dcf a_bc = Dcf::Merge(a, Dcf::Merge(b, c));
+  ASSERT_NEAR(ab_c.weight, a_bc.weight, 1e-12);
+  for (uint32_t v = 0; v <= 5; ++v) {
+    EXPECT_NEAR(ab_c.dist.At(v), a_bc.dist.At(v), 1e-12) << "value " << v;
+  }
+}
+
+TEST(DistanceTest, IdenticalDistributionsHaveZeroDistance) {
+  Dcf a = Dcf::ForTuple({0, 1, 2});
+  Dcf b = Dcf::ForTuple({0, 1, 2});
+  EXPECT_NEAR(InformationLossDistance(a, b, 10.0), 0.0, 1e-12);
+}
+
+TEST(DistanceTest, DisjointDistributionsMaximizeDivergence) {
+  // JS divergence of disjoint distributions is 1 bit; the distance scales it
+  // by (n1+n2)/N = 2/2 = 1.
+  Dcf a = Dcf::ForTuple({0, 1});
+  Dcf b = Dcf::ForTuple({2, 3});
+  EXPECT_NEAR(InformationLossDistance(a, b, 2.0), 1.0, 1e-12);
+}
+
+TEST(DistanceTest, SymmetricAndNonNegative) {
+  Dcf a = Dcf::ForTuple({0, 1, 2, 3});
+  Dcf b = Dcf::ForTuple({2, 3, 4, 5});
+  double dab = InformationLossDistance(a, b, 6.0);
+  double dba = InformationLossDistance(b, a, 6.0);
+  EXPECT_NEAR(dab, dba, 1e-12);
+  EXPECT_GT(dab, 0.0);
+}
+
+TEST(DistanceTest, ScalesInverselyWithEnsembleSize) {
+  Dcf a = Dcf::ForTuple({0, 1});
+  Dcf b = Dcf::ForTuple({1, 2});
+  double d_small = InformationLossDistance(a, b, 4.0);
+  double d_large = InformationLossDistance(a, b, 8.0);
+  EXPECT_NEAR(d_small, 2.0 * d_large, 1e-12);
+}
+
+// The central identity: d(s1, s2) computed via weighted JS divergence equals
+// the direct mutual-information difference I(C;V) - I(C';V) where C' merges
+// s1 and s2 within the partition (paper Section 4.1.3).
+TEST(DistanceTest, EqualsMutualInformationLoss) {
+  std::vector<Dcf> clusters = {
+      Dcf::Merge(Dcf::ForTuple({0, 1, 2}), Dcf::ForTuple({0, 1, 3})),
+      Dcf::ForTuple({2, 3, 4}),
+      Dcf::Merge(Dcf::ForTuple({4, 5, 6}), Dcf::ForTuple({5, 6, 7})),
+  };
+  double n = 0.0;
+  for (const Dcf& c : clusters) n += c.weight;
+
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    for (size_t j = i + 1; j < clusters.size(); ++j) {
+      std::vector<Dcf> merged;
+      for (size_t k = 0; k < clusters.size(); ++k) {
+        if (k != i && k != j) merged.push_back(clusters[k]);
+      }
+      merged.push_back(Dcf::Merge(clusters[i], clusters[j]));
+      double direct = MutualInformation(clusters, n) -
+                      MutualInformation(merged, n);
+      double shortcut = InformationLossDistance(clusters[i], clusters[j], n);
+      EXPECT_NEAR(direct, shortcut, 1e-10)
+          << "merging clusters " << i << " and " << j;
+    }
+  }
+}
+
+TEST(MutualInformationTest, SingleClusterCarriesNoInformation) {
+  std::vector<Dcf> one = {
+      Dcf::Merge(Dcf::ForTuple({0, 1}), Dcf::ForTuple({2, 3}))};
+  EXPECT_NEAR(MutualInformation(one, 2.0), 0.0, 1e-12);
+}
+
+TEST(MutualInformationTest, DistinctSingletonsCarryFullEntropy) {
+  // Two singleton clusters with disjoint values: I(C;V) = H(C) = 1 bit.
+  std::vector<Dcf> two = {Dcf::ForTuple({0, 1}), Dcf::ForTuple({2, 3})};
+  EXPECT_NEAR(MutualInformation(two, 2.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace conquer

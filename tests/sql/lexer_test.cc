@@ -1,0 +1,115 @@
+// Unit tests for the SQL lexer.
+
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace conquer {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? std::move(tokens).value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndUppercased) {
+  auto tokens = Lex("SeLeCt FROM where");
+  ASSERT_EQ(tokens.size(), 4u);  // + EOF
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "FROM");
+  EXPECT_EQ(tokens[2].text, "WHERE");
+  EXPECT_EQ(tokens[3].type, TokenType::kEof);
+}
+
+TEST(LexerTest, IdentifiersKeepTheirSpelling) {
+  auto tokens = Lex("c_MktSegment lineitem");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "c_MktSegment");
+  EXPECT_EQ(tokens[1].text, "lineitem");
+}
+
+TEST(LexerTest, IntegerAndDoubleLiterals) {
+  auto tokens = Lex("42 3.14 0.05 1e3 2.5e-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.14);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 0.05);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 0.025);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuotes) {
+  auto tokens = Lex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  auto tokens = Lex("\"order\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "order");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Lex("= <> != < <= > >= + - * / ( ) , .");
+  std::vector<TokenType> expected = {
+      TokenType::kEq, TokenType::kNe, TokenType::kNe,    TokenType::kLt,
+      TokenType::kLe, TokenType::kGt, TokenType::kGe,    TokenType::kPlus,
+      TokenType::kMinus, TokenType::kStar, TokenType::kSlash,
+      TokenType::kLParen, TokenType::kRParen, TokenType::kComma,
+      TokenType::kDot, TokenType::kEof};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  auto tokens = Lex("select -- this is a comment\n 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].int_value, 1);
+}
+
+TEST(LexerTest, PositionsAreByteOffsets) {
+  auto tokens = Lex("ab  cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 4u);
+}
+
+TEST(LexerTest, ErrorsReportOffsets) {
+  Lexer bad("select #");
+  auto tokens = bad.Tokenize();
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("offset 7"), std::string::npos)
+      << tokens.status().ToString();
+}
+
+TEST(LexerTest, UnterminatedStringIsAnError) {
+  Lexer bad("'oops");
+  EXPECT_FALSE(bad.Tokenize().ok());
+}
+
+TEST(LexerTest, UnterminatedQuotedIdentifierIsAnError) {
+  Lexer bad("\"oops");
+  EXPECT_FALSE(bad.Tokenize().ok());
+}
+
+TEST(LexerTest, BangWithoutEqualsIsAnError) {
+  Lexer bad("a ! b");
+  EXPECT_FALSE(bad.Tokenize().ok());
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = Lex("   \n\t ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+}  // namespace
+}  // namespace conquer

@@ -1,0 +1,232 @@
+// Unit tests for the SQL parser: statement shapes, desugaring, precedence,
+// round-trip printing, and error reporting.
+
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace conquer {
+namespace {
+
+std::unique_ptr<SelectStatement> Parse(const std::string& sql) {
+  auto stmt = Parser::Parse(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString() << " for: " << sql;
+  return stmt.ok() ? std::move(stmt).value() : nullptr;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = Parse("select a from t");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->select_list.size(), 1u);
+  EXPECT_EQ(stmt->select_list[0].expr->column_name, "a");
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table_name, "t");
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, SelectStarIsEmptyList) {
+  auto stmt = Parse("select * from t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->select_list.empty());
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto stmt = Parse("select a as x, b y from t1 u, t2 as v");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->select_list[0].alias, "x");
+  EXPECT_EQ(stmt->select_list[1].alias, "y");
+  EXPECT_EQ(stmt->from[0].alias, "u");
+  EXPECT_EQ(stmt->from[1].alias, "v");
+  EXPECT_EQ(stmt->from[1].effective_alias(), "v");
+}
+
+TEST(ParserTest, QualifiedColumnRefs) {
+  auto stmt = Parse("select t.a from t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->select_list[0].expr->table_alias, "t");
+  EXPECT_EQ(stmt->select_list[0].expr->column_name, "a");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = Parse("select a + b * c from t");
+  const Expr& e = *stmt->select_list[0].expr;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.bop, BinaryOp::kAdd);
+  EXPECT_EQ(e.right->bop, BinaryOp::kMul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = Parse("select (a + b) * c from t");
+  const Expr& e = *stmt->select_list[0].expr;
+  EXPECT_EQ(e.bop, BinaryOp::kMul);
+  EXPECT_EQ(e.left->bop, BinaryOp::kAdd);
+}
+
+TEST(ParserTest, BooleanPrecedenceOrBindsLoosest) {
+  auto stmt = Parse("select a from t where x = 1 and y = 2 or z = 3");
+  const Expr& w = *stmt->where;
+  EXPECT_EQ(w.bop, BinaryOp::kOr);
+  EXPECT_EQ(w.left->bop, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, NotBindsTighterThanAnd) {
+  auto stmt = Parse("select a from t where not x = 1 and y = 2");
+  const Expr& w = *stmt->where;
+  EXPECT_EQ(w.bop, BinaryOp::kAnd);
+  EXPECT_EQ(w.left->kind, Expr::Kind::kUnary);
+  EXPECT_EQ(w.left->uop, UnaryOp::kNot);
+}
+
+TEST(ParserTest, BetweenDesugarsToConjunction) {
+  auto stmt = Parse("select a from t where a between 1 and 5");
+  const Expr& w = *stmt->where;
+  EXPECT_EQ(w.bop, BinaryOp::kAnd);
+  EXPECT_EQ(w.left->bop, BinaryOp::kGe);
+  EXPECT_EQ(w.right->bop, BinaryOp::kLe);
+}
+
+TEST(ParserTest, InListDesugarsToDisjunction) {
+  auto stmt = Parse("select a from t where m in ('MAIL', 'SHIP', 'RAIL')");
+  const Expr& w = *stmt->where;
+  EXPECT_EQ(w.bop, BinaryOp::kOr);
+  std::vector<const Expr*> leaves;
+  CollectConjuncts(&w, &leaves);  // no ANDs: single conjunct
+  ASSERT_EQ(leaves.size(), 1u);
+}
+
+TEST(ParserTest, NotLikeAndNotBetween) {
+  auto stmt = Parse("select a from t where a not like 'x%' and b not in (1)");
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(stmt->where.get(), &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(conjuncts[0]->kind, Expr::Kind::kUnary);
+  EXPECT_EQ(conjuncts[0]->uop, UnaryOp::kNot);
+  EXPECT_EQ(conjuncts[1]->uop, UnaryOp::kNot);
+}
+
+TEST(ParserTest, IsNullPredicates) {
+  auto stmt = Parse("select a from t where a is null and b is not null");
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(stmt->where.get(), &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(conjuncts[0]->uop, UnaryOp::kIsNull);
+  EXPECT_EQ(conjuncts[1]->uop, UnaryOp::kIsNotNull);
+}
+
+TEST(ParserTest, DateLiteral) {
+  auto stmt = Parse("select a from t where d < date '1995-03-15'");
+  const Expr& lit = *stmt->where->right;
+  EXPECT_EQ(lit.kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(lit.literal.type(), DataType::kDate);
+  EXPECT_EQ(lit.literal.ToString(), "1995-03-15");
+}
+
+TEST(ParserTest, MalformedDateLiteralFails) {
+  EXPECT_FALSE(Parser::Parse("select a from t where d < date 'xyz'").ok());
+}
+
+TEST(ParserTest, NegativeNumbersFoldToLiterals) {
+  auto stmt = Parse("select a from t where a > -5 and b > -2.5");
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(stmt->where.get(), &conjuncts);
+  EXPECT_EQ(conjuncts[0]->right->literal.int_value(), -5);
+  EXPECT_DOUBLE_EQ(conjuncts[1]->right->literal.double_value(), -2.5);
+}
+
+TEST(ParserTest, AggregateCalls) {
+  auto stmt =
+      Parse("select count(*), sum(a * b), min(c) from t group by d");
+  EXPECT_EQ(stmt->select_list[0].expr->agg, AggFunc::kCount);
+  EXPECT_EQ(stmt->select_list[0].expr->left, nullptr);  // COUNT(*)
+  EXPECT_EQ(stmt->select_list[1].expr->agg, AggFunc::kSum);
+  EXPECT_EQ(stmt->select_list[1].expr->left->bop, BinaryOp::kMul);
+  EXPECT_EQ(stmt->select_list[2].expr->agg, AggFunc::kMin);
+  ASSERT_EQ(stmt->group_by.size(), 1u);
+}
+
+TEST(ParserTest, OrderByWithDirections) {
+  auto stmt = Parse("select a, b from t order by a desc, b asc, a + b");
+  ASSERT_EQ(stmt->order_by.size(), 3u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_FALSE(stmt->order_by[1].descending);
+  EXPECT_FALSE(stmt->order_by[2].descending);
+}
+
+TEST(ParserTest, DistinctAndLimit) {
+  auto stmt = Parse("select distinct a from t limit 10");
+  EXPECT_TRUE(stmt->distinct);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* queries[] = {
+      "select a from t",
+      "select t.a, t.b as x from t where (t.a = 1) and (t.b < 'z')",
+      "select a from t1, t2 where (t1.x = t2.y) and (t1.z > 3) "
+      "group by a order by a desc limit 5",
+      "select sum(a.p * b.p) as clean_prob from a, b where a.x = b.id",
+  };
+  for (const char* sql : queries) {
+    auto stmt = Parse(sql);
+    ASSERT_NE(stmt, nullptr) << sql;
+    std::string printed = stmt->ToString();
+    auto reparsed = Parser::Parse(printed);
+    ASSERT_TRUE(reparsed.ok()) << "reparsing failed: " << printed;
+    EXPECT_EQ((*reparsed)->ToString(), printed) << "not a fixpoint: " << sql;
+  }
+}
+
+TEST(ParserTest, ErrorsNameTheProblem) {
+  auto r1 = Parser::Parse("selec a from t");
+  EXPECT_FALSE(r1.ok());
+  auto r2 = Parser::Parse("select a");
+  EXPECT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("FROM"), std::string::npos);
+  auto r3 = Parser::Parse("select a from t where");
+  EXPECT_FALSE(r3.ok());
+  // Note "from t xyz" is legal (xyz is a table alias); real trailing junk
+  // after a complete statement must be rejected.
+  auto r4 = Parser::Parse("select a from t limit 3 4");
+  EXPECT_FALSE(r4.ok());
+  EXPECT_NE(r4.status().message().find("trailing"), std::string::npos);
+  auto r5 = Parser::Parse("select sum(a from t");
+  EXPECT_FALSE(r5.ok());
+  auto r6 = Parser::Parse("select a from t limit x");
+  EXPECT_FALSE(r6.ok());
+}
+
+TEST(ParserTest, SubqueriesAreRejectedWithClearMessage) {
+  auto r = Parser::Parse(
+      "select a from t where exists (select 1 from u)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("not supported"), std::string::npos);
+}
+
+TEST(ParserTest, HavingIsRejected) {
+  auto r = Parser::Parse("select a from t group by a having a > 1");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, CloneProducesDeepCopy) {
+  auto stmt = Parse("select a, sum(b) from t where c = 1 group by a "
+                    "order by a desc limit 3");
+  auto copy = stmt->Clone();
+  EXPECT_EQ(copy->ToString(), stmt->ToString());
+  // Mutating the copy leaves the original untouched.
+  copy->select_list.pop_back();
+  copy->limit = 99;
+  EXPECT_NE(copy->ToString(), stmt->ToString());
+}
+
+TEST(ParserTest, StructuralEqualityIgnoresUnboundAnnotations) {
+  auto a = Parse("select x + 1 from t");
+  auto b = Parse("select x + 1 from t");
+  auto c = Parse("select x + 2 from t");
+  EXPECT_TRUE(a->select_list[0].expr->StructurallyEquals(
+      *b->select_list[0].expr));
+  EXPECT_FALSE(a->select_list[0].expr->StructurallyEquals(
+      *c->select_list[0].expr));
+}
+
+}  // namespace
+}  // namespace conquer

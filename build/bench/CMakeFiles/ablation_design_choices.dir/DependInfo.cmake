@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_design_choices.cc" "bench/CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cc.o" "gcc" "bench/CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/conquer_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_paper_example.dir/table3_paper_example.cc.o"
+  "CMakeFiles/table3_paper_example.dir/table3_paper_example.cc.o.d"
+  "table3_paper_example"
+  "table3_paper_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_paper_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cora_ranking.dir/table4_cora_ranking.cc.o"
+  "CMakeFiles/table4_cora_ranking.dir/table4_cora_ranking.cc.o.d"
+  "table4_cora_ranking"
+  "table4_cora_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cora_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquer_shell.dir/conquer_shell.cpp.o"
+  "CMakeFiles/conquer_shell.dir/conquer_shell.cpp.o.d"
+  "conquer_shell"
+  "conquer_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquer_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

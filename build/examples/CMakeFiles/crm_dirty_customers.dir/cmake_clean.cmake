@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crm_dirty_customers.dir/crm_dirty_customers.cpp.o"
+  "CMakeFiles/crm_dirty_customers.dir/crm_dirty_customers.cpp.o.d"
+  "crm_dirty_customers"
+  "crm_dirty_customers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crm_dirty_customers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

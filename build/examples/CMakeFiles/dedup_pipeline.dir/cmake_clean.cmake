@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_pipeline.dir/dedup_pipeline.cpp.o"
+  "CMakeFiles/dedup_pipeline.dir/dedup_pipeline.cpp.o.d"
+  "dedup_pipeline"
+  "dedup_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_clean_answers.dir/tpch_clean_answers.cpp.o"
+  "CMakeFiles/tpch_clean_answers.dir/tpch_clean_answers.cpp.o.d"
+  "tpch_clean_answers"
+  "tpch_clean_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_clean_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_generate.dir/tpch_generate.cpp.o"
+  "CMakeFiles/tpch_generate.dir/tpch_generate.cpp.o.d"
+  "tpch_generate"
+  "tpch_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquer_common.dir/common/rng.cc.o"
+  "CMakeFiles/conquer_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/conquer_common.dir/common/status.cc.o"
+  "CMakeFiles/conquer_common.dir/common/status.cc.o.d"
+  "CMakeFiles/conquer_common.dir/common/str_util.cc.o"
+  "CMakeFiles/conquer_common.dir/common/str_util.cc.o.d"
+  "libconquer_common.a"
+  "libconquer_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregates.cc" "src/CMakeFiles/conquer_core.dir/core/aggregates.cc.o" "gcc" "src/CMakeFiles/conquer_core.dir/core/aggregates.cc.o.d"
+  "/root/repo/src/core/clean_answer.cc" "src/CMakeFiles/conquer_core.dir/core/clean_answer.cc.o" "gcc" "src/CMakeFiles/conquer_core.dir/core/clean_answer.cc.o.d"
+  "/root/repo/src/core/clean_engine.cc" "src/CMakeFiles/conquer_core.dir/core/clean_engine.cc.o" "gcc" "src/CMakeFiles/conquer_core.dir/core/clean_engine.cc.o.d"
+  "/root/repo/src/core/dirty_schema.cc" "src/CMakeFiles/conquer_core.dir/core/dirty_schema.cc.o" "gcc" "src/CMakeFiles/conquer_core.dir/core/dirty_schema.cc.o.d"
+  "/root/repo/src/core/naive_eval.cc" "src/CMakeFiles/conquer_core.dir/core/naive_eval.cc.o" "gcc" "src/CMakeFiles/conquer_core.dir/core/naive_eval.cc.o.d"
+  "/root/repo/src/core/rewrite.cc" "src/CMakeFiles/conquer_core.dir/core/rewrite.cc.o" "gcc" "src/CMakeFiles/conquer_core.dir/core/rewrite.cc.o.d"
+  "/root/repo/src/engine/persist.cc" "src/CMakeFiles/conquer_core.dir/engine/persist.cc.o" "gcc" "src/CMakeFiles/conquer_core.dir/engine/persist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/conquer_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

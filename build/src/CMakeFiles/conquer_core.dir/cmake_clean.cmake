@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquer_core.dir/core/aggregates.cc.o"
+  "CMakeFiles/conquer_core.dir/core/aggregates.cc.o.d"
+  "CMakeFiles/conquer_core.dir/core/clean_answer.cc.o"
+  "CMakeFiles/conquer_core.dir/core/clean_answer.cc.o.d"
+  "CMakeFiles/conquer_core.dir/core/clean_engine.cc.o"
+  "CMakeFiles/conquer_core.dir/core/clean_engine.cc.o.d"
+  "CMakeFiles/conquer_core.dir/core/dirty_schema.cc.o"
+  "CMakeFiles/conquer_core.dir/core/dirty_schema.cc.o.d"
+  "CMakeFiles/conquer_core.dir/core/naive_eval.cc.o"
+  "CMakeFiles/conquer_core.dir/core/naive_eval.cc.o.d"
+  "CMakeFiles/conquer_core.dir/core/rewrite.cc.o"
+  "CMakeFiles/conquer_core.dir/core/rewrite.cc.o.d"
+  "CMakeFiles/conquer_core.dir/engine/persist.cc.o"
+  "CMakeFiles/conquer_core.dir/engine/persist.cc.o.d"
+  "libconquer_core.a"
+  "libconquer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquer_engine.dir/engine/csv.cc.o"
+  "CMakeFiles/conquer_engine.dir/engine/csv.cc.o.d"
+  "CMakeFiles/conquer_engine.dir/engine/database.cc.o"
+  "CMakeFiles/conquer_engine.dir/engine/database.cc.o.d"
+  "libconquer_engine.a"
+  "libconquer_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquer_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

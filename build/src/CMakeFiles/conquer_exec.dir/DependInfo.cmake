@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/eval.cc" "src/CMakeFiles/conquer_exec.dir/exec/eval.cc.o" "gcc" "src/CMakeFiles/conquer_exec.dir/exec/eval.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/conquer_exec.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/conquer_exec.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/result_set.cc" "src/CMakeFiles/conquer_exec.dir/exec/result_set.cc.o" "gcc" "src/CMakeFiles/conquer_exec.dir/exec/result_set.cc.o.d"
+  "/root/repo/src/plan/binder.cc" "src/CMakeFiles/conquer_exec.dir/plan/binder.cc.o" "gcc" "src/CMakeFiles/conquer_exec.dir/plan/binder.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/CMakeFiles/conquer_exec.dir/plan/planner.cc.o" "gcc" "src/CMakeFiles/conquer_exec.dir/plan/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/conquer_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

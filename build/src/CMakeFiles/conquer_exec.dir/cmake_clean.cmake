@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquer_exec.dir/exec/eval.cc.o"
+  "CMakeFiles/conquer_exec.dir/exec/eval.cc.o.d"
+  "CMakeFiles/conquer_exec.dir/exec/operators.cc.o"
+  "CMakeFiles/conquer_exec.dir/exec/operators.cc.o.d"
+  "CMakeFiles/conquer_exec.dir/exec/result_set.cc.o"
+  "CMakeFiles/conquer_exec.dir/exec/result_set.cc.o.d"
+  "CMakeFiles/conquer_exec.dir/plan/binder.cc.o"
+  "CMakeFiles/conquer_exec.dir/plan/binder.cc.o.d"
+  "CMakeFiles/conquer_exec.dir/plan/planner.cc.o"
+  "CMakeFiles/conquer_exec.dir/plan/planner.cc.o.d"
+  "libconquer_exec.a"
+  "libconquer_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquer_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

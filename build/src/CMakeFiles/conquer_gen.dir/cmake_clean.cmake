@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquer_gen.dir/gen/cora.cc.o"
+  "CMakeFiles/conquer_gen.dir/gen/cora.cc.o.d"
+  "CMakeFiles/conquer_gen.dir/gen/perturb.cc.o"
+  "CMakeFiles/conquer_gen.dir/gen/perturb.cc.o.d"
+  "CMakeFiles/conquer_gen.dir/gen/tpch_dirty.cc.o"
+  "CMakeFiles/conquer_gen.dir/gen/tpch_dirty.cc.o.d"
+  "CMakeFiles/conquer_gen.dir/gen/tpch_queries.cc.o"
+  "CMakeFiles/conquer_gen.dir/gen/tpch_queries.cc.o.d"
+  "libconquer_gen.a"
+  "libconquer_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquer_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

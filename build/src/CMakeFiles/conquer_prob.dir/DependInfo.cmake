@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/assigner.cc" "src/CMakeFiles/conquer_prob.dir/prob/assigner.cc.o" "gcc" "src/CMakeFiles/conquer_prob.dir/prob/assigner.cc.o.d"
+  "/root/repo/src/prob/dcf.cc" "src/CMakeFiles/conquer_prob.dir/prob/dcf.cc.o" "gcc" "src/CMakeFiles/conquer_prob.dir/prob/dcf.cc.o.d"
+  "/root/repo/src/prob/edit_distance.cc" "src/CMakeFiles/conquer_prob.dir/prob/edit_distance.cc.o" "gcc" "src/CMakeFiles/conquer_prob.dir/prob/edit_distance.cc.o.d"
+  "/root/repo/src/prob/matcher.cc" "src/CMakeFiles/conquer_prob.dir/prob/matcher.cc.o" "gcc" "src/CMakeFiles/conquer_prob.dir/prob/matcher.cc.o.d"
+  "/root/repo/src/prob/propagate.cc" "src/CMakeFiles/conquer_prob.dir/prob/propagate.cc.o" "gcc" "src/CMakeFiles/conquer_prob.dir/prob/propagate.cc.o.d"
+  "/root/repo/src/prob/providers.cc" "src/CMakeFiles/conquer_prob.dir/prob/providers.cc.o" "gcc" "src/CMakeFiles/conquer_prob.dir/prob/providers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/conquer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/conquer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

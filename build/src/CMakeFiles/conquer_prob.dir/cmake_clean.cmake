@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquer_prob.dir/prob/assigner.cc.o"
+  "CMakeFiles/conquer_prob.dir/prob/assigner.cc.o.d"
+  "CMakeFiles/conquer_prob.dir/prob/dcf.cc.o"
+  "CMakeFiles/conquer_prob.dir/prob/dcf.cc.o.d"
+  "CMakeFiles/conquer_prob.dir/prob/edit_distance.cc.o"
+  "CMakeFiles/conquer_prob.dir/prob/edit_distance.cc.o.d"
+  "CMakeFiles/conquer_prob.dir/prob/matcher.cc.o"
+  "CMakeFiles/conquer_prob.dir/prob/matcher.cc.o.d"
+  "CMakeFiles/conquer_prob.dir/prob/propagate.cc.o"
+  "CMakeFiles/conquer_prob.dir/prob/propagate.cc.o.d"
+  "CMakeFiles/conquer_prob.dir/prob/providers.cc.o"
+  "CMakeFiles/conquer_prob.dir/prob/providers.cc.o.d"
+  "libconquer_prob.a"
+  "libconquer_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquer_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

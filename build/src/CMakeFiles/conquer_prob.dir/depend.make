@@ -1,0 +1,2 @@
+# Empty dependencies file for conquer_prob.
+# This may be replaced when dependencies are built.

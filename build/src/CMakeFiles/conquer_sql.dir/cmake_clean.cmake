@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquer_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/conquer_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/conquer_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/conquer_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/conquer_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/conquer_sql.dir/sql/parser.cc.o.d"
+  "libconquer_sql.a"
+  "libconquer_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquer_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

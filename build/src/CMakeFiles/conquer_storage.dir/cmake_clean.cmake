@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquer_storage.dir/catalog/catalog.cc.o"
+  "CMakeFiles/conquer_storage.dir/catalog/catalog.cc.o.d"
+  "CMakeFiles/conquer_storage.dir/catalog/schema.cc.o"
+  "CMakeFiles/conquer_storage.dir/catalog/schema.cc.o.d"
+  "CMakeFiles/conquer_storage.dir/storage/table.cc.o"
+  "CMakeFiles/conquer_storage.dir/storage/table.cc.o.d"
+  "libconquer_storage.a"
+  "libconquer_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquer_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

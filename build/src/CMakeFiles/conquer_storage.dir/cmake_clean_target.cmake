@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconquer_storage.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquer_types.dir/types/value.cc.o"
+  "CMakeFiles/conquer_types.dir/types/value.cc.o.d"
+  "libconquer_types.a"
+  "libconquer_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquer_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assigner_property_test.dir/prob/assigner_property_test.cc.o"
+  "CMakeFiles/assigner_property_test.dir/prob/assigner_property_test.cc.o.d"
+  "assigner_property_test"
+  "assigner_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assigner_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

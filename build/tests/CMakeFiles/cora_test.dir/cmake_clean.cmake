@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cora_test.dir/gen/cora_test.cc.o"
+  "CMakeFiles/cora_test.dir/gen/cora_test.cc.o.d"
+  "cora_test"
+  "cora_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cora_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

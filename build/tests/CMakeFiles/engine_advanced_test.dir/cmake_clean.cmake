@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_advanced_test.dir/engine/engine_advanced_test.cc.o"
+  "CMakeFiles/engine_advanced_test.dir/engine/engine_advanced_test.cc.o.d"
+  "engine_advanced_test"
+  "engine_advanced_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

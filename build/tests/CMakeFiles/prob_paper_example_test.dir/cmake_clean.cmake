@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prob_paper_example_test.dir/prob/paper_example_test.cc.o"
+  "CMakeFiles/prob_paper_example_test.dir/prob/paper_example_test.cc.o.d"
+  "prob_paper_example_test"
+  "prob_paper_example_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prob_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagate_test.dir/prob/propagate_test.cc.o"
+  "CMakeFiles/propagate_test.dir/prob/propagate_test.cc.o.d"
+  "propagate_test"
+  "propagate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

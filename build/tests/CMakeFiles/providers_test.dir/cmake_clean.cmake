@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/providers_test.dir/prob/providers_test.cc.o"
+  "CMakeFiles/providers_test.dir/prob/providers_test.cc.o.d"
+  "providers_test"
+  "providers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/providers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

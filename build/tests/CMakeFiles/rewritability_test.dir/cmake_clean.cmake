@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewritability_test.dir/core/rewritability_test.cc.o"
+  "CMakeFiles/rewritability_test.dir/core/rewritability_test.cc.o.d"
+  "rewritability_test"
+  "rewritability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewritability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

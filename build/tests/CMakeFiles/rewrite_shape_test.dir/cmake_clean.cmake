@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_shape_test.dir/integration/rewrite_shape_test.cc.o"
+  "CMakeFiles/rewrite_shape_test.dir/integration/rewrite_shape_test.cc.o.d"
+  "rewrite_shape_test"
+  "rewrite_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

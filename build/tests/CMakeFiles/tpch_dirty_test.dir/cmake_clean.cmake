@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_dirty_test.dir/gen/tpch_dirty_test.cc.o"
+  "CMakeFiles/tpch_dirty_test.dir/gen/tpch_dirty_test.cc.o.d"
+  "tpch_dirty_test"
+  "tpch_dirty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_dirty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,10 +6,12 @@
 //
 // Commands:
 //   <select ...>;          ordinary SQL over the dirty data
+//                          (EXPLAIN / EXPLAIN ANALYZE prefixes work here)
 //   .clean <select ...>;   clean answers (probability per answer)
 //   .rewrite <select ...>; show the RewriteClean SQL
 //   .check <select ...>;   rewritability verdict (Dfn 7)
 //   .explain <select ...>; physical plan
+//   .stats                 toggle per-query timing/operator stats
 //   .tables                list tables
 //   .save <dir>            persist the database
 //   .quit
@@ -70,6 +72,7 @@ int main(int argc, char** argv) {
   CleanAnswerEngine engine(db, &dirty);
   std::printf("Type .help for commands; statements end with ';'.\n");
 
+  bool show_stats = false;
   std::string buffer;
   std::string line;
   while (std::printf("conquer> "), std::fflush(stdout),
@@ -85,9 +88,16 @@ int main(int argc, char** argv) {
           "  .rewrite select ...;   show RewriteClean output\n"
           "  .check select ...;     rewritability verdict\n"
           "  .explain select ...;   physical plan\n"
+          "  .stats                 toggle per-query stats (phases + operators)\n"
           "  .tables                list tables\n"
           "  .save <dir>            persist database\n"
           "  .quit\n");
+      buffer.clear();
+      continue;
+    }
+    if (buffer == ".stats") {
+      show_stats = !show_stats;
+      std::printf("per-query stats %s\n", show_stats ? "on" : "off");
       buffer.clear();
       continue;
     }
@@ -119,10 +129,12 @@ int main(int argc, char** argv) {
 
     auto run = [&](const std::string& cmd, const std::string& sql) {
       if (cmd == "clean") {
-        auto answers = engine.Query(sql);
+        QueryStats stats;
+        auto answers = engine.Query(sql, show_stats ? &stats : nullptr);
         if (!answers.ok()) return PrintStatus(answers.status());
         answers->SortByProbabilityDesc();
         std::printf("%s", answers->ToString(25).c_str());
+        if (show_stats) std::printf("%s", stats.ToString().c_str());
       } else if (cmd == "rewrite") {
         auto rewritten = engine.RewrittenSql(sql);
         if (!rewritten.ok()) return PrintStatus(rewritten.status());
@@ -141,9 +153,12 @@ int main(int argc, char** argv) {
         if (!plan.ok()) return PrintStatus(plan.status());
         std::printf("%s", plan->c_str());
       } else {
-        auto rs = db->Query(sql);
+        // Plain SQL, including EXPLAIN / EXPLAIN ANALYZE prefixes.
+        QueryStats stats;
+        auto rs = db->Query(sql, show_stats ? &stats : nullptr);
         if (!rs.ok()) return PrintStatus(rs.status());
-        std::printf("%s", rs->ToString(25).c_str());
+        std::printf("%s", rs->ToString(50).c_str());
+        if (show_stats) std::printf("%s", stats.ToString().c_str());
       }
     };
 

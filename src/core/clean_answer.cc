@@ -17,6 +17,12 @@ bool RowsEqual(const Row& a, const Row& b) {
 }
 }  // namespace
 
+double ClampProbability(double p) {
+  if (p >= 1.0 - kProbabilityEpsilon) return 1.0;
+  if (p <= kProbabilityEpsilon) return p < 0.0 ? 0.0 : p;
+  return p;
+}
+
 double CleanAnswerSet::ProbabilityOf(const Row& row) const {
   for (const CleanAnswer& a : answers) {
     if (RowsEqual(a.row, row)) return a.probability;

@@ -8,6 +8,18 @@
 
 namespace conquer {
 
+/// Tolerance for floating-point drift in accumulated probabilities: sums
+/// within this distance of an exact bound are snapped to it, and
+/// ConsistentAnswers treats probabilities within it of 1 as certain.
+inline constexpr double kProbabilityEpsilon = 1e-9;
+
+/// Clamps an accumulated probability into [0, 1]. SUM over a cluster's
+/// tuple probabilities can exceed 1 (or fall just short of it) by a few
+/// ulps of floating-point error; values within kProbabilityEpsilon of a
+/// bound snap exactly to it so that `probability == 1.0` consistency checks
+/// and certainty bands stay reliable.
+double ClampProbability(double p);
+
 /// \brief One clean answer (paper Dfn 5): an answer tuple together with the
 /// probability that it is an answer over the (unknown) clean database.
 struct CleanAnswer {
@@ -26,7 +38,7 @@ struct CleanAnswerSet {
   /// Answers with probability within `epsilon` of 1 — exactly the
   /// *consistent answers* of Arenas et al. when all tuple probabilities are
   /// non-zero (paper Section 2.2).
-  std::vector<Row> ConsistentAnswers(double epsilon = 1e-9) const;
+  std::vector<Row> ConsistentAnswers(double epsilon = kProbabilityEpsilon) const;
 
   /// Sorts answers by decreasing probability (ties: row order).
   void SortByProbabilityDesc();

@@ -6,10 +6,12 @@
 
 namespace conquer {
 
-Result<CleanAnswerSet> CleanAnswerEngine::Query(std::string_view sql) const {
+Result<CleanAnswerSet> CleanAnswerEngine::Query(std::string_view sql,
+                                                QueryStats* stats) const {
   CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
   CONQUER_ASSIGN_OR_RETURN(auto rewritten, rewriter_.RewriteClean(*stmt));
-  CONQUER_ASSIGN_OR_RETURN(ResultSet rs, db_->Execute(std::move(rewritten)));
+  CONQUER_ASSIGN_OR_RETURN(ResultSet rs,
+                           db_->Execute(std::move(rewritten), stats));
 
   CleanAnswerSet out;
   // The last column is the SUM(prob product) appended by the rewriting.
@@ -21,7 +23,9 @@ Result<CleanAnswerSet> CleanAnswerEngine::Query(std::string_view sql) const {
   out.answers.reserve(rs.rows.size());
   for (Row& row : rs.rows) {
     CleanAnswer a;
-    a.probability = row.back().AsDouble();
+    // SUM over a cluster's tuple probabilities can drift past 1.0 by a few
+    // ulps; clamp so consistency checks on probability == 1.0 stay exact.
+    a.probability = ClampProbability(row.back().AsDouble());
     row.pop_back();
     a.row = std::move(row);
     out.answers.push_back(std::move(a));

@@ -32,7 +32,13 @@ class CleanAnswerEngine {
 
   /// Clean answers for a rewritable SPJ query. NotRewritable (with the
   /// violated Dfn 7 condition) when outside the rewritable class.
-  Result<CleanAnswerSet> Query(std::string_view sql) const;
+  ///
+  /// When `stats` is non-null it receives the QueryStats of the *rewritten*
+  /// query as executed — including per-operator metrics for the
+  /// HashAggregate the rewriting adds — so callers can attribute the
+  /// clean-answer overhead to specific operators.
+  Result<CleanAnswerSet> Query(std::string_view sql,
+                               QueryStats* stats = nullptr) const;
 
   /// The rewritten SQL that Query executes (for inspection / logging).
   Result<std::string> RewrittenSql(std::string_view sql) const {

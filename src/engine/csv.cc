@@ -8,44 +8,90 @@
 
 namespace conquer {
 
-Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
-                                              const CsvOptions& options) {
+namespace {
+
+/// RFC 4180 parser core. When `continues` is non-null and the input ends
+/// inside an open quoted field, sets *continues = true instead of failing —
+/// the caller appends the next physical line (the quoted field contains a
+/// newline) and re-parses.
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line,
+                                                const CsvOptions& options,
+                                                bool* continues) {
+  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteClosed };
   std::vector<std::string> fields;
   std::string current;
-  bool in_quotes = false;
+  State state = State::kFieldStart;
   size_t i = 0;
   while (i < line.size()) {
     char c = line[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          current += '"';
-          i += 2;
+    switch (state) {
+      case State::kFieldStart:
+        if (c == '"') {
+          state = State::kQuoted;
+        } else if (c == options.delimiter) {
+          fields.emplace_back();
         } else {
-          in_quotes = false;
+          current += c;
+          state = State::kUnquoted;
+        }
+        ++i;
+        break;
+      case State::kUnquoted:
+        if (c == '"') {
+          return Status::InvalidArgument(StringPrintf(
+              "stray '\"' at position %zu: a quote must open the field", i));
+        }
+        if (c == options.delimiter) {
+          fields.push_back(std::move(current));
+          current.clear();
+          state = State::kFieldStart;
+        } else {
+          current += c;
+        }
+        ++i;
+        break;
+      case State::kQuoted:
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            current += '"';
+            i += 2;
+          } else {
+            state = State::kQuoteClosed;
+            ++i;
+          }
+        } else {
+          current += c;
           ++i;
         }
-      } else {
-        current += c;
+        break;
+      case State::kQuoteClosed:
+        if (c != options.delimiter) {
+          return Status::InvalidArgument(StringPrintf(
+              "unexpected '%c' at position %zu after closing quote", c, i));
+        }
+        fields.push_back(std::move(current));
+        current.clear();
+        state = State::kFieldStart;
         ++i;
-      }
-    } else if (c == '"' && current.empty()) {
-      in_quotes = true;
-      ++i;
-    } else if (c == options.delimiter) {
-      fields.push_back(std::move(current));
-      current.clear();
-      ++i;
-    } else {
-      current += c;
-      ++i;
+        break;
     }
   }
-  if (in_quotes) {
+  if (state == State::kQuoted) {
+    if (continues != nullptr) {
+      *continues = true;
+      return fields;
+    }
     return Status::InvalidArgument("unterminated quoted CSV field");
   }
   fields.push_back(std::move(current));
   return fields;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              const CsvOptions& options) {
+  return ParseCsvRecord(line, options, nullptr);
 }
 
 std::string FormatCsvLine(const std::vector<std::string>& fields,
@@ -144,23 +190,44 @@ Result<size_t> LoadCsv(Database* db, std::string_view table_name,
   }
 
   size_t loaded = 0;
+  // A logical record may span physical lines when a quoted field contains a
+  // newline; accumulate until the parse no longer ends inside quotes.
+  std::string record;
+  size_t record_start_line = 0;
+  bool in_record = false;
   while (std::getline(*input, line)) {
     ++line_number;
-    if (line.empty()) continue;
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    CONQUER_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line, options));
-    if (fields.size() != schema.num_columns()) {
+    if (!in_record) {
+      if (line.empty()) continue;  // blank lines between records are skipped
+      record = std::move(line);
+      record_start_line = line_number;
+      in_record = true;
+    } else {
+      record += '\n';
+      record += line;
+    }
+    bool continues = false;
+    auto fields = ParseCsvRecord(record, options, &continues);
+    if (continues) continue;  // open quoted field: pull the next line
+    if (!fields.ok()) {
       return Status::InvalidArgument(
-          StringPrintf("line %zu: expected %zu fields, got %zu", line_number,
-                       schema.num_columns(), fields.size()));
+          StringPrintf("line %zu: %s", record_start_line,
+                       fields.status().message().c_str()));
+    }
+    in_record = false;
+    if (fields->size() != schema.num_columns()) {
+      return Status::InvalidArgument(StringPrintf(
+          "line %zu: expected %zu fields, got %zu", record_start_line,
+          schema.num_columns(), fields->size()));
     }
     Row row;
-    row.reserve(fields.size());
-    for (size_t c = 0; c < fields.size(); ++c) {
-      auto value = ConvertField(fields[c], schema.column(c).type, options);
+    row.reserve(fields->size());
+    for (size_t c = 0; c < fields->size(); ++c) {
+      auto value = ConvertField((*fields)[c], schema.column(c).type, options);
       if (!value.ok()) {
         return Status::InvalidArgument(
-            StringPrintf("line %zu, column '%s': %s", line_number,
+            StringPrintf("line %zu, column '%s': %s", record_start_line,
                          schema.column(c).name.c_str(),
                          value.status().message().c_str()));
       }
@@ -168,6 +235,11 @@ Result<size_t> LoadCsv(Database* db, std::string_view table_name,
     }
     CONQUER_RETURN_NOT_OK(table->Insert(std::move(row)));
     ++loaded;
+  }
+  if (in_record) {
+    return Status::InvalidArgument(StringPrintf(
+        "unterminated quoted field in record starting on line %zu",
+        record_start_line));
   }
   return loaded;
 }

@@ -19,8 +19,12 @@ struct CsvOptions {
   bool has_header = true;
 };
 
-/// \brief Parses one CSV line into fields (RFC-4180 quoting: fields may be
-/// "quoted", with "" as an escaped quote). Exposed for testing.
+/// \brief Parses one CSV record into fields (strict RFC-4180 quoting: a
+/// quote may only open at the start of a field, "" escapes a quote inside a
+/// quoted field, and nothing may follow a closing quote except the
+/// delimiter). A quote in the middle of an unquoted field, trailing
+/// characters after a closing quote, or an unterminated quote are
+/// InvalidArgument errors. Exposed for testing.
 Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
                                               const CsvOptions& options);
 
@@ -33,7 +37,14 @@ std::string FormatCsvLine(const std::vector<std::string>& fields,
 /// true/false, STRING). Returns the number of rows loaded.
 ///
 /// Fields equal to `options.null_literal` load as NULL. Malformed rows
-/// abort the load with the 1-based line number in the error message.
+/// abort the load with the 1-based line number (of the record's first
+/// physical line) in the error message.
+///
+/// Quoted fields may contain the delimiter, escaped quotes ("") and
+/// newlines: a record whose quoted field spans physical lines is
+/// accumulated until the quote closes, so FormatCsvLine output always
+/// loads back. `\r\n` line endings are accepted; blank lines *between*
+/// records are skipped (blank lines inside a quoted field are data).
 Result<size_t> LoadCsv(Database* db, std::string_view table_name,
                        std::istream* input, const CsvOptions& options = {});
 

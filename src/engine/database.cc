@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include "common/timer.h"
 #include "exec/operators.h"
 #include "plan/planner.h"
 #include "sql/parser.h"
@@ -46,22 +47,74 @@ Status Database::AnalyzeAll() {
   return Status::OK();
 }
 
-Result<ResultSet> Database::Query(std::string_view sql) const {
-  CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
-  return Execute(std::move(stmt));
+namespace {
+
+/// Wraps rendered multi-line text as a one-column result set (one row per
+/// line), the shape EXPLAIN [ANALYZE] results take.
+ResultSet TextResultSet(const std::string& column, const std::string& text) {
+  ResultSet rs;
+  rs.column_names.push_back(column);
+  rs.column_types.push_back(DataType::kString);
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    rs.rows.push_back({Value::String(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  return rs;
 }
 
-Result<ResultSet> Database::Execute(
-    std::unique_ptr<SelectStatement> stmt) const {
+}  // namespace
+
+Result<ResultSet> Database::Query(std::string_view sql,
+                                  QueryStats* stats) const {
+  Timer parse_timer;
+  CONQUER_ASSIGN_OR_RETURN(ParsedStatement parsed,
+                           Parser::ParseStatement(sql));
+  double parse_seconds = parse_timer.ElapsedSeconds();
+  if (stats != nullptr) stats->parse_seconds = parse_seconds;
+
+  switch (parsed.explain) {
+    case ExplainMode::kNone:
+      return Execute(std::move(parsed.select), stats);
+    case ExplainMode::kPlan: {
+      Binder binder(&catalog_);
+      CONQUER_ASSIGN_OR_RETURN(BoundQuery bound,
+                               binder.Bind(std::move(parsed.select)));
+      CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan,
+                               Planner::Plan(bound, planner_options_));
+      return TextResultSet("QUERY PLAN", ExplainPlan(*plan));
+    }
+    case ExplainMode::kAnalyze: {
+      QueryStats local;
+      QueryStats* out = stats != nullptr ? stats : &local;
+      CONQUER_ASSIGN_OR_RETURN(ResultSet rs,
+                               Execute(std::move(parsed.select), out));
+      out->parse_seconds = parse_seconds;
+      return TextResultSet("QUERY PLAN", out->ToString());
+    }
+  }
+  return Status::Internal("unhandled explain mode");
+}
+
+Result<ResultSet> Database::Execute(std::unique_ptr<SelectStatement> stmt,
+                                    QueryStats* stats) const {
+  Timer timer;
   Binder binder(&catalog_);
   CONQUER_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(std::move(stmt)));
+  if (stats != nullptr) stats->bind_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
   CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan, Planner::Plan(bound, planner_options_));
+  if (stats != nullptr) stats->plan_seconds = timer.ElapsedSeconds();
 
   ResultSet rs;
   for (size_t i = 0; i < bound.num_visible_columns; ++i) {
     rs.column_names.push_back(bound.output_names[i]);
     rs.column_types.push_back(bound.output_types[i]);
   }
+  timer.Restart();
   CONQUER_RETURN_NOT_OK(plan->Open());
   Row row;
   while (true) {
@@ -70,6 +123,12 @@ Result<ResultSet> Database::Execute(
     rs.rows.push_back(row);
   }
   plan->Close();
+  if (stats != nullptr) {
+    stats->exec_seconds = timer.ElapsedSeconds();
+    stats->rows_returned = rs.rows.size();
+    stats->plan = CollectPlanStats(*plan);
+    stats->peak_memory_bytes = EstimatePlanPeakMemory(stats->plan);
+  }
   return rs;
 }
 
@@ -79,6 +138,17 @@ Result<std::string> Database::Explain(std::string_view sql) const {
   CONQUER_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(std::move(stmt)));
   CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan, Planner::Plan(bound, planner_options_));
   return ExplainPlan(*plan);
+}
+
+Result<std::string> Database::ExplainAnalyze(std::string_view sql,
+                                             QueryStats* stats) const {
+  QueryStats local;
+  QueryStats* out = stats != nullptr ? stats : &local;
+  Timer parse_timer;
+  CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  out->parse_seconds = parse_timer.ElapsedSeconds();
+  CONQUER_RETURN_NOT_OK(Execute(std::move(stmt), out).status());
+  return out->ToString();
 }
 
 Result<Table*> Database::GetTable(std::string_view name) const {

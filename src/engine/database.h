@@ -7,6 +7,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "exec/query_stats.h"
 #include "exec/result_set.h"
 #include "plan/binder.h"
 #include "plan/planner.h"
@@ -53,14 +54,30 @@ class Database {
   /// Recomputes optimizer statistics for every table.
   Status AnalyzeAll();
 
-  /// Parses, binds, plans and executes a SELECT statement.
-  Result<ResultSet> Query(std::string_view sql) const;
+  /// Parses, binds, plans and executes a statement. Plain SELECTs return
+  /// their rows; `EXPLAIN SELECT ...` returns the plan tree and
+  /// `EXPLAIN ANALYZE SELECT ...` executes the query and returns the plan
+  /// annotated with per-operator counters — both as a single-column result
+  /// set with one row per output line.
+  ///
+  /// When `stats` is non-null it receives phase timings, per-operator
+  /// metrics and the executed plan shape (unchanged for plain EXPLAIN,
+  /// which does not execute).
+  Result<ResultSet> Query(std::string_view sql,
+                          QueryStats* stats = nullptr) const;
 
-  /// Executes an already-parsed statement (consumed).
-  Result<ResultSet> Execute(std::unique_ptr<SelectStatement> stmt) const;
+  /// Executes an already-parsed statement (consumed). Fills `stats` with
+  /// bind/plan/exec timings and per-operator metrics when non-null.
+  Result<ResultSet> Execute(std::unique_ptr<SelectStatement> stmt,
+                            QueryStats* stats = nullptr) const;
 
   /// Physical plan of the statement, as an indented tree.
   Result<std::string> Explain(std::string_view sql) const;
+
+  /// Executes the statement and renders the annotated plan tree (the string
+  /// form of `EXPLAIN ANALYZE <sql>`). Fills `stats` when non-null.
+  Result<std::string> ExplainAnalyze(std::string_view sql,
+                                     QueryStats* stats = nullptr) const;
 
   /// Direct table access for bulk loading and inspection.
   Result<Table*> GetTable(std::string_view name) const;

@@ -44,6 +44,14 @@ Result<Value> EvalBinary(const Expr& e, const Row& row) {
     case BinaryOp::kGe:
       return Value::Bool(l.Compare(r) >= 0);
     case BinaryOp::kLike:
+      // The binder rejects non-string LIKE in SQL, but expressions built
+      // programmatically bypass it; without this check string_value() on an
+      // INT/DATE operand is undefined behaviour.
+      if (l.type() != DataType::kString || r.type() != DataType::kString) {
+        return Status::TypeError(
+            std::string("LIKE requires string operands, got ") +
+            DataTypeToString(l.type()) + " and " + DataTypeToString(r.type()));
+      }
       return Value::Bool(LikeMatch(l.string_value(), r.string_value()));
     case BinaryOp::kAdd:
     case BinaryOp::kSub: {

@@ -1,14 +1,44 @@
 #ifndef CONQUER_EXEC_OPERATOR_H_
 #define CONQUER_EXEC_OPERATOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/timer.h"
 #include "storage/table.h"
 
 namespace conquer {
+
+/// \brief Execution counters collected by every operator (EXPLAIN ANALYZE).
+///
+/// Times are wall-clock and *cumulative*: an operator's seconds include time
+/// spent inside its children, because children are pulled from within the
+/// parent's Next()/Open(). Self time is derived at reporting time by
+/// subtracting the children's totals (see PlanNodeStats::self_seconds).
+struct OperatorMetrics {
+  uint64_t next_calls = 0;     ///< Next() invocations (including the EOS one)
+  uint64_t rows_produced = 0;  ///< rows returned from Next()
+  double open_seconds = 0.0;   ///< time inside Open(); the build phase for
+                               ///< blocking operators (hash build, sort)
+  double next_seconds = 0.0;   ///< cumulative time across all Next() calls
+
+  // Hash-based operators (HashJoinOp / HashAggregateOp / DistinctOp).
+  uint64_t hash_entries = 0;        ///< entries resident in the hash table
+  uint64_t peak_memory_bytes = 0;   ///< estimated bytes of materialized state
+
+  // HashJoinOp build-vs-probe split.
+  uint64_t build_rows = 0;  ///< rows drained from the build input
+  uint64_t probe_rows = 0;  ///< rows drained from the probe input
+
+  /// Total time attributed to this operator (including children).
+  double total_seconds() const { return open_seconds + next_seconds; }
+};
+
+/// Rough heap footprint of one materialized row (vector + string payloads).
+uint64_t EstimateRowBytes(const Row& row);
 
 /// \brief Volcano-style pull operator.
 ///
@@ -18,24 +48,58 @@ namespace conquer {
 /// (the rest are NULL). This keeps every expression bound once, to a global
 /// slot, regardless of join order. Projection/aggregation switch to narrow
 /// output rows indexed by select-item position.
+///
+/// The public Open()/Next()/Close() entry points are non-virtual: they
+/// collect OperatorMetrics (row counts, wall time) around the virtual
+/// OpenImpl()/NextImpl()/CloseImpl() that subclasses implement.
 class Operator {
  public:
   virtual ~Operator() = default;
 
-  /// Prepares the operator (builds hash tables, sorts, resets cursors).
-  virtual Status Open() = 0;
+  /// Prepares the operator (builds hash tables, sorts, resets cursors) and
+  /// resets its metrics.
+  Status Open() {
+    metrics_ = OperatorMetrics{};
+    Timer t;
+    Status s = OpenImpl();
+    metrics_.open_seconds = t.ElapsedSeconds();
+    return s;
+  }
 
   /// Produces the next row into *out. Returns false at end of stream.
-  virtual Result<bool> Next(Row* out) = 0;
+  Result<bool> Next(Row* out) {
+    Timer t;
+    Result<bool> r = NextImpl(out);
+    metrics_.next_seconds += t.ElapsedSeconds();
+    ++metrics_.next_calls;
+    if (r.ok() && *r) ++metrics_.rows_produced;
+    return r;
+  }
 
-  /// Releases per-execution state. Idempotent.
-  virtual void Close() {}
+  /// Releases per-execution state. Idempotent. Metrics survive Close so
+  /// they can be harvested after execution.
+  void Close() { CloseImpl(); }
 
   /// One-line description of this node (no children).
   virtual std::string Describe() const = 0;
 
   /// Children, for plan printing.
   virtual std::vector<const Operator*> Children() const { return {}; }
+
+  /// Counters collected since the last Open().
+  const OperatorMetrics& metrics() const { return metrics_; }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Row* out) = 0;
+  virtual void CloseImpl() {}
+
+  /// Subclass access for operator-specific counters (hash sizes, build/probe
+  /// splits) not measurable from the outside.
+  OperatorMetrics& mutable_metrics() { return metrics_; }
+
+ private:
+  OperatorMetrics metrics_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

@@ -26,6 +26,14 @@ bool ValuesEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
 }
 }  // namespace
 
+uint64_t EstimateRowBytes(const Row& row) {
+  uint64_t bytes = sizeof(Row) + row.capacity() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.type() == DataType::kString) bytes += v.string_value().capacity();
+  }
+  return bytes;
+}
+
 std::string ExplainPlan(const Operator& root) {
   std::string out;
   struct Frame {
@@ -55,12 +63,12 @@ SeqScanOp::SeqScanOp(const Table* table, size_t slot_offset,
       total_slots_(total_slots),
       filter_(std::move(pushed_filter)) {}
 
-Status SeqScanOp::Open() {
+Status SeqScanOp::OpenImpl() {
   cursor_ = 0;
   return Status::OK();
 }
 
-Result<bool> SeqScanOp::Next(Row* out) {
+Result<bool> SeqScanOp::NextImpl(Row* out) {
   while (cursor_ < table_->num_rows()) {
     const Row& src = table_->row(cursor_++);
     out->assign(total_slots_, Value::Null());
@@ -95,13 +103,13 @@ IndexScanOp::IndexScanOp(const Table* table, const HashIndex* index, Value key,
       total_slots_(total_slots),
       filter_(std::move(residual_filter)) {}
 
-Status IndexScanOp::Open() {
+Status IndexScanOp::OpenImpl() {
   matches_ = &index_->Lookup(key_);
   cursor_ = 0;
   return Status::OK();
 }
 
-Result<bool> IndexScanOp::Next(Row* out) {
+Result<bool> IndexScanOp::NextImpl(Row* out) {
   while (matches_ != nullptr && cursor_ < matches_->size()) {
     const Row& src = table_->row((*matches_)[cursor_++]);
     out->assign(total_slots_, Value::Null());
@@ -131,9 +139,9 @@ std::string IndexScanOp::Describe() const {
 FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-Status FilterOp::Open() { return child_->Open(); }
+Status FilterOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> FilterOp::Next(Row* out) {
+Result<bool> FilterOp::NextImpl(Row* out) {
   while (true) {
     CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
@@ -142,7 +150,7 @@ Result<bool> FilterOp::Next(Row* out) {
   }
 }
 
-void FilterOp::Close() { child_->Close(); }
+void FilterOp::CloseImpl() { child_->Close(); }
 
 std::string FilterOp::Describe() const {
   return "Filter(" + predicate_->ToString() + ")";
@@ -174,14 +182,16 @@ HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
   assert(build_keys_.size() == probe_keys_.size());
 }
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   table_.clear();
   build_rows_ = 0;
   CONQUER_RETURN_NOT_OK(build_->Open());
   Row row;
+  uint64_t table_bytes = 0;
   while (true) {
     CONQUER_ASSIGN_OR_RETURN(bool more, build_->Next(&row));
     if (!more) break;
+    mutable_metrics().build_rows += 1;
     std::vector<Value> key;
     key.reserve(build_keys_.size());
     bool has_null_key = false;
@@ -191,10 +201,13 @@ Status HashJoinOp::Open() {
     }
     // NULL join keys never match anything in SQL; drop them at build.
     if (has_null_key) continue;
+    table_bytes += EstimateRowBytes(row) + key.size() * sizeof(Value);
     table_[std::move(key)].push_back(row);
     ++build_rows_;
   }
   build_->Close();
+  mutable_metrics().hash_entries = build_rows_;
+  mutable_metrics().peak_memory_bytes = table_bytes;
   CONQUER_RETURN_NOT_OK(probe_->Open());
   current_matches_ = nullptr;
   match_cursor_ = 0;
@@ -205,6 +218,7 @@ Result<bool> HashJoinOp::AdvanceProbe() {
   while (true) {
     CONQUER_ASSIGN_OR_RETURN(bool more, probe_->Next(&probe_row_));
     if (!more) return false;
+    mutable_metrics().probe_rows += 1;
     std::vector<Value> key;
     key.reserve(probe_keys_.size());
     bool has_null_key = false;
@@ -221,7 +235,7 @@ Result<bool> HashJoinOp::AdvanceProbe() {
   }
 }
 
-Result<bool> HashJoinOp::Next(Row* out) {
+Result<bool> HashJoinOp::NextImpl(Row* out) {
   while (true) {
     if (current_matches_ == nullptr ||
         match_cursor_ >= current_matches_->size()) {
@@ -239,7 +253,7 @@ Result<bool> HashJoinOp::Next(Row* out) {
   }
 }
 
-void HashJoinOp::Close() {
+void HashJoinOp::CloseImpl() {
   table_.clear();
   probe_->Close();
 }
@@ -269,9 +283,9 @@ std::vector<const Operator*> HashJoinOp::Children() const {
 ProjectOp::ProjectOp(OperatorPtr child, std::vector<const Expr*> exprs)
     : child_(std::move(child)), exprs_(std::move(exprs)) {}
 
-Status ProjectOp::Open() { return child_->Open(); }
+Status ProjectOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> ProjectOp::Next(Row* out) {
+Result<bool> ProjectOp::NextImpl(Row* out) {
   Row wide;
   CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(&wide));
   if (!more) return false;
@@ -284,7 +298,7 @@ Result<bool> ProjectOp::Next(Row* out) {
   return true;
 }
 
-void ProjectOp::Close() { child_->Close(); }
+void ProjectOp::CloseImpl() { child_->Close(); }
 
 std::string ProjectOp::Describe() const {
   std::string out = "Project(";
@@ -493,7 +507,7 @@ Result<Value> HashAggregateOp::Finalize(const Expr& e,
   return Status::Internal("unhandled select item in aggregate finalize");
 }
 
-Status HashAggregateOp::Open() {
+Status HashAggregateOp::OpenImpl() {
   groups_.clear();
   output_order_.clear();
   cursor_ = 0;
@@ -508,10 +522,24 @@ Status HashAggregateOp::Open() {
   }
   child_->Close();
   no_input_ = (n == 0);
+  mutable_metrics().hash_entries = groups_.size();
+  uint64_t table_bytes = 0;
+  for (const auto& [key, group] : groups_) {
+    table_bytes += key.size() * sizeof(Value) + sizeof(Group) +
+                   group.aggs.size() * sizeof(AggState);
+    for (const Value& v : key) {
+      if (v.type() == DataType::kString) table_bytes += v.string_value().capacity();
+    }
+    if (!group.representative.empty()) {
+      table_bytes += EstimateRowBytes(group.representative);
+    }
+    table_bytes += group.extra_values.size() * sizeof(Value);
+  }
+  mutable_metrics().peak_memory_bytes = table_bytes;
   return Status::OK();
 }
 
-Result<bool> HashAggregateOp::Next(Row* out) {
+Result<bool> HashAggregateOp::NextImpl(Row* out) {
   // SQL corner case: an aggregate query with no GROUP BY produces exactly one
   // row even on empty input (SUM -> NULL, COUNT -> 0).
   if (no_input_ && group_exprs_.empty() && cursor_ == 0) {
@@ -547,7 +575,7 @@ Result<bool> HashAggregateOp::Next(Row* out) {
   return true;
 }
 
-void HashAggregateOp::Close() {
+void HashAggregateOp::CloseImpl() {
   groups_.clear();
   output_order_.clear();
 }
@@ -571,7 +599,7 @@ std::vector<const Operator*> HashAggregateOp::Children() const {
 SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys)
     : child_(std::move(child)), keys_(std::move(keys)) {}
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   rows_.clear();
   cursor_ = 0;
   CONQUER_RETURN_NOT_OK(child_->Open());
@@ -582,6 +610,9 @@ Status SortOp::Open() {
     rows_.push_back(std::move(row));
   }
   child_->Close();
+  uint64_t buffered = 0;
+  for (const Row& r : rows_) buffered += EstimateRowBytes(r);
+  mutable_metrics().peak_memory_bytes = buffered;
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const Row& a, const Row& b) {
                      for (const SortKey& k : keys_) {
@@ -593,13 +624,13 @@ Status SortOp::Open() {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Row* out) {
+Result<bool> SortOp::NextImpl(Row* out) {
   if (cursor_ >= rows_.size()) return false;
   *out = std::move(rows_[cursor_++]);
   return true;
 }
 
-void SortOp::Close() { rows_.clear(); }
+void SortOp::CloseImpl() { rows_.clear(); }
 
 std::string SortOp::Describe() const {
   std::string out = "Sort(";
@@ -627,22 +658,26 @@ bool DistinctOp::RowEq::operator()(const Row& a, const Row& b) const {
 
 DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
 
-Status DistinctOp::Open() {
+Status DistinctOp::OpenImpl() {
   seen_.clear();
   return child_->Open();
 }
 
-Result<bool> DistinctOp::Next(Row* out) {
+Result<bool> DistinctOp::NextImpl(Row* out) {
   while (true) {
     CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
     auto [it, inserted] = seen_.try_emplace(*out, true);
     (void)it;
-    if (inserted) return true;
+    if (inserted) {
+      mutable_metrics().hash_entries = seen_.size();
+      mutable_metrics().peak_memory_bytes += EstimateRowBytes(*out);
+      return true;
+    }
   }
 }
 
-void DistinctOp::Close() {
+void DistinctOp::CloseImpl() {
   seen_.clear();
   child_->Close();
 }
@@ -658,12 +693,12 @@ std::vector<const Operator*> DistinctOp::Children() const {
 LimitOp::LimitOp(OperatorPtr child, int64_t limit)
     : child_(std::move(child)), limit_(limit) {}
 
-Status LimitOp::Open() {
+Status LimitOp::OpenImpl() {
   produced_ = 0;
   return child_->Open();
 }
 
-Result<bool> LimitOp::Next(Row* out) {
+Result<bool> LimitOp::NextImpl(Row* out) {
   if (produced_ >= limit_) return false;
   CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;
@@ -671,7 +706,7 @@ Result<bool> LimitOp::Next(Row* out) {
   return true;
 }
 
-void LimitOp::Close() { child_->Close(); }
+void LimitOp::CloseImpl() { child_->Close(); }
 
 std::string LimitOp::Describe() const {
   return "Limit(" + std::to_string(limit_) + ")";
@@ -686,16 +721,16 @@ std::vector<const Operator*> LimitOp::Children() const {
 StripColumnsOp::StripColumnsOp(OperatorPtr child, size_t num_visible)
     : child_(std::move(child)), num_visible_(num_visible) {}
 
-Status StripColumnsOp::Open() { return child_->Open(); }
+Status StripColumnsOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> StripColumnsOp::Next(Row* out) {
+Result<bool> StripColumnsOp::NextImpl(Row* out) {
   CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;
   out->resize(num_visible_);
   return true;
 }
 
-void StripColumnsOp::Close() { child_->Close(); }
+void StripColumnsOp::CloseImpl() { child_->Close(); }
 
 std::string StripColumnsOp::Describe() const {
   return "StripColumns(keep " + std::to_string(num_visible_) + ")";

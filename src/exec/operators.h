@@ -23,9 +23,11 @@ class SeqScanOp : public Operator {
   SeqScanOp(const Table* table, size_t slot_offset, size_t total_slots,
             ExprPtr pushed_filter);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
   std::string Describe() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   const Table* table_;
@@ -44,9 +46,11 @@ class IndexScanOp : public Operator {
   IndexScanOp(const Table* table, const HashIndex* index, Value key,
               size_t slot_offset, size_t total_slots, ExprPtr residual_filter);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
   std::string Describe() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   const Table* table_;
@@ -64,11 +68,13 @@ class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, ExprPtr predicate);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -81,17 +87,23 @@ class FilterOp : public Operator {
 /// slots; probe rows stream through. Outputs merge the two wide rows (each
 /// populates disjoint slot ranges). With empty key lists this degrades to a
 /// cross product.
+///
+/// Metrics: open_seconds is the build phase; build_rows / hash_entries /
+/// peak_memory_bytes describe the build table; probe_rows counts rows pulled
+/// from the probe input during Next().
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(OperatorPtr build, OperatorPtr probe,
              std::vector<int> build_key_slots, std::vector<int> probe_key_slots,
              std::vector<std::pair<size_t, size_t>> build_filled_ranges);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   struct KeyHash {
@@ -124,11 +136,13 @@ class ProjectOp : public Operator {
  public:
   ProjectOp(OperatorPtr child, std::vector<const Expr*> exprs);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -140,16 +154,21 @@ class ProjectOp : public Operator {
 /// Consumes wide rows, produces narrow rows ordered as the select list.
 /// Non-aggregate items are evaluated on the first row of each group (the
 /// binder guarantees they are group-invariant).
+///
+/// Metrics: open_seconds is the accumulate phase; hash_entries is the number
+/// of groups; peak_memory_bytes estimates the group table footprint.
 class HashAggregateOp : public Operator {
  public:
   HashAggregateOp(OperatorPtr child, std::vector<const Expr*> group_exprs,
                   std::vector<const Expr*> select_items);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   struct AggState {
@@ -217,11 +236,13 @@ class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<SortKey> keys);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -235,11 +256,13 @@ class DistinctOp : public Operator {
  public:
   explicit DistinctOp(OperatorPtr child);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   struct RowHash {
@@ -257,11 +280,13 @@ class LimitOp : public Operator {
  public:
   LimitOp(OperatorPtr child, int64_t limit);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -274,11 +299,13 @@ class StripColumnsOp : public Operator {
  public:
   StripColumnsOp(OperatorPtr child, size_t num_visible);
 
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

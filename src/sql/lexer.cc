@@ -19,7 +19,7 @@ const std::unordered_set<std::string>& Keywords() {
       "ASC",    "DESC",     "LIMIT",   "AND",   "OR",    "NOT",   "LIKE",
       "BETWEEN", "IN",      "IS",      "NULL",  "AS",    "DATE",  "TRUE",
       "FALSE",  "SUM",      "COUNT",   "AVG",   "MIN",   "MAX",   "HAVING",
-      "JOIN",   "ON",       "INNER",   "EXISTS"};
+      "JOIN",   "ON",       "INNER",   "EXISTS", "EXPLAIN", "ANALYZE"};
   return kKeywords;
 }
 

@@ -58,6 +58,22 @@ Result<std::unique_ptr<SelectStatement>> Parser::Parse(std::string_view sql) {
   return stmt;
 }
 
+Result<ParsedStatement> Parser::ParseStatement(std::string_view sql) {
+  Lexer lexer(sql);
+  CONQUER_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  ParsedStatement parsed;
+  if (parser.MatchKeyword("EXPLAIN")) {
+    parsed.explain = parser.MatchKeyword("ANALYZE") ? ExplainMode::kAnalyze
+                                                    : ExplainMode::kPlan;
+  }
+  CONQUER_ASSIGN_OR_RETURN(parsed.select, parser.ParseSelect());
+  if (parser.Peek().type != TokenType::kEof) {
+    return parser.ErrorHere("unexpected trailing input");
+  }
+  return parsed;
+}
+
 Result<std::unique_ptr<SelectStatement>> Parser::ParseSelect() {
   CONQUER_RETURN_NOT_OK(ExpectKeyword("SELECT"));
   auto stmt = std::make_unique<SelectStatement>();

@@ -36,10 +36,32 @@ namespace conquer {
 ///
 /// BETWEEN/IN/NOT LIKE are desugared into AND/OR/NOT during parsing, so the
 /// downstream planner only sees the core operator set.
+///
+/// A statement may be prefixed with `EXPLAIN` (plan only) or
+/// `EXPLAIN ANALYZE` (execute and report per-operator statistics); use
+/// ParseStatement to receive the mode alongside the SELECT.
+
+/// How a statement asked to be explained.
+enum class ExplainMode {
+  kNone,     ///< plain SELECT
+  kPlan,     ///< EXPLAIN: print the physical plan, do not execute
+  kAnalyze,  ///< EXPLAIN ANALYZE: execute, print plan + runtime counters
+};
+
+/// \brief A parsed top-level statement: optional EXPLAIN prefix + SELECT.
+struct ParsedStatement {
+  ExplainMode explain = ExplainMode::kNone;
+  std::unique_ptr<SelectStatement> select;
+};
+
 class Parser {
  public:
-  /// Parses one SELECT statement; trailing semicolon allowed.
+  /// Parses one SELECT statement; trailing semicolon allowed. Rejects
+  /// EXPLAIN prefixes (see ParseStatement).
   static Result<std::unique_ptr<SelectStatement>> Parse(std::string_view sql);
+
+  /// Parses `[EXPLAIN [ANALYZE]] SELECT ...`.
+  static Result<ParsedStatement> ParseStatement(std::string_view sql);
 
  private:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}

@@ -206,6 +206,52 @@ TEST_F(Figure2Test, AnswerProbabilitiesAreWithinUnitInterval) {
   }
 }
 
+TEST(ClampProbabilityTest, SnapsFloatingPointDriftToBounds) {
+  EXPECT_EQ(ClampProbability(1.0000000000000002), 1.0);
+  EXPECT_EQ(ClampProbability(1.0 - 1e-12), 1.0);
+  EXPECT_EQ(ClampProbability(-1e-300), 0.0);
+  EXPECT_EQ(ClampProbability(0.0), 0.0);
+  EXPECT_EQ(ClampProbability(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ClampProbability(0.6), 0.6);
+  EXPECT_DOUBLE_EQ(ClampProbability(1e-8), 1e-8);  // outside epsilon: kept
+}
+
+// Regression: a full cluster whose tuple probabilities sum past 1.0 in
+// floating point. 0.33 + 0.56 + 0.11 accumulated left-to-right in double is
+// 1.0000000000000002; without the clamp the clean answer reported a
+// probability > 1 and, depending on the consistency epsilon, arguably not a
+// consistent answer. The insertion order matters — SeqScan feeds the
+// rewriting's SUM in table order.
+TEST(ProbabilityClampTest, OvershootingClusterSnapsToExactlyOne) {
+  const double probs[] = {0.33, 0.56, 0.11};
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  ASSERT_GT(sum, 1.0);  // the premise: this cluster overshoots in double
+
+  Database db;
+  DirtySchema dirty;
+  TableSchema items("items", {{"id", DataType::kInt64},
+                              {"name", DataType::kString},
+                              {"prob", DataType::kDouble}});
+  ASSERT_TRUE(db.CreateTable(items).ok());
+  for (double p : probs) {
+    ASSERT_TRUE(db.Insert("items", {Value::Int(7), Value::String("widget"),
+                                    Value::Double(p)})
+                    .ok());
+  }
+  ASSERT_TRUE(dirty.AddTable({"items", "id", "prob", {}}).ok());
+
+  CleanAnswerEngine engine(&db, &dirty);
+  auto answers = engine.Query("select i.id, i.name from items i");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->answers.size(), 1u);
+  EXPECT_EQ(answers->answers[0].probability, 1.0);  // exactly, post-clamp
+  // A cluster that is certain to produce the answer is a consistent answer.
+  auto consistent = answers->ConsistentAnswers();
+  ASSERT_EQ(consistent.size(), 1u);
+  EXPECT_EQ(consistent[0][1].string_value(), "widget");
+}
+
 // The candidate cap is honored.
 TEST_F(Figure2Test, CandidateCapReportsResourceExhausted) {
   NaiveCandidateEvaluator naive(&db_, &dirty_);

@@ -44,6 +44,24 @@ TEST(ParseCsvLineTest, UnterminatedQuoteIsError) {
   EXPECT_FALSE(ParseCsvLine("\"oops", options).ok());
 }
 
+TEST(ParseCsvLineTest, QuoteInUnquotedFieldIsError) {
+  CsvOptions options;
+  // RFC 4180: a quote may only open at the start of a field. These used to
+  // parse silently (the quote was swallowed or treated as data).
+  EXPECT_FALSE(ParseCsvLine("ab\"cd,x", options).ok());
+  EXPECT_FALSE(ParseCsvLine("a,b\"", options).ok());
+}
+
+TEST(ParseCsvLineTest, TrailingCharactersAfterClosingQuoteIsError) {
+  CsvOptions options;
+  EXPECT_FALSE(ParseCsvLine("\"ab\"cd,x", options).ok());
+  EXPECT_FALSE(ParseCsvLine("\"ab\" ,x", options).ok());
+  // ...but an escaped quote inside the field is fine.
+  auto ok = ParseCsvLine("\"ab\"\"cd\",x", options);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0], "ab\"cd");
+}
+
 TEST(ParseCsvLineTest, CustomDelimiter) {
   CsvOptions options;
   options.delimiter = '|';
@@ -126,6 +144,75 @@ TEST_F(CsvTest, SkipsBlankLinesAndCarriageReturns) {
                          "2,y,3.5,2001-01-01\n");
   ASSERT_TRUE(n.ok()) << n.status().ToString();
   EXPECT_EQ(*n, 2u);
+}
+
+TEST_F(CsvTest, QuotedFieldSpansPhysicalLines) {
+  // FormatCsvLine quotes embedded newlines, so the loader must keep reading
+  // physical lines until the quote closes. This used to fail with a
+  // "unterminated quoted CSV field" error on the first physical line.
+  const char* csv =
+      "a,b,c,d\n"
+      "1,\"first\nsecond\",2.5,2000-01-01\n"
+      "2,\"one\n\ntwo\",3.5,2001-01-01\n";
+  auto n = LoadCsvString(&db_, "t", csv);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  auto table = db_.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row(0)[1].string_value(), "first\nsecond");
+  // Blank physical lines inside a quoted field are data, not skipped.
+  EXPECT_EQ((*table)->row(1)[1].string_value(), "one\n\ntwo");
+}
+
+TEST_F(CsvTest, UnterminatedQuoteReportsRecordStartLine) {
+  auto n = LoadCsvString(&db_, "t", "a,b,c,d\n1,x,2.5,2000-01-01\n2,\"open\n");
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("line 3"), std::string::npos)
+      << n.status().ToString();
+}
+
+TEST_F(CsvTest, ErrorsAfterMultiLineRecordReportItsFirstLine) {
+  auto n = LoadCsvString(&db_, "t",
+                         "a,b,c,d\n"
+                         "not_int,\"x\ny\",2.5,2000-01-01\n");
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("line 2"), std::string::npos)
+      << n.status().ToString();
+}
+
+TEST_F(CsvTest, ExportImportRoundTripPreservesAwkwardStrings) {
+  // Strings exercising every quoting rule: delimiter, quotes, newlines and
+  // their combinations. (The empty string is excluded: it is the default
+  // null literal and deliberately reloads as NULL.)
+  const std::vector<std::string> awkward = {
+      "plain",        "comma,inside",    "\"quoted\"",  "line\nbreak",
+      "two\n\nblank", "mix,\"of\nall\"", "trailing\n",
+  };
+  int64_t id = 0;
+  for (const std::string& s : awkward) {
+    ASSERT_TRUE(db_.Insert("t", {Value::Int(id++), Value::String(s),
+                                 Value::Double(0.5), Value::Date(0)})
+                    .ok());
+  }
+  auto rs = db_.Query("select a, b, c, d from t order by a");
+  ASSERT_TRUE(rs.ok());
+  std::string csv = ResultSetToCsv(*rs);
+
+  Database db2;
+  ASSERT_TRUE(db2.CreateTable(TableSchema("t", {{"a", DataType::kInt64},
+                                                {"b", DataType::kString},
+                                                {"c", DataType::kDouble},
+                                                {"d", DataType::kDate}}))
+                  .ok());
+  auto n = LoadCsvString(&db2, "t", csv);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  ASSERT_EQ(*n, awkward.size());
+  auto rs2 = db2.Query("select a, b, c, d from t order by a");
+  ASSERT_TRUE(rs2.ok());
+  ASSERT_EQ(rs2->num_rows(), rs->num_rows());
+  for (size_t r = 0; r < rs->num_rows(); ++r) {
+    EXPECT_EQ(rs2->rows[r][1].string_value(), awkward[r]) << "row " << r;
+  }
 }
 
 TEST_F(CsvTest, ResultSetRoundTrip) {

@@ -44,6 +44,18 @@ TEST_F(EngineAdvancedTest, TripleSelfJoin) {
   EXPECT_EQ(rs->num_rows(), 6u);  // 2 triangles x 3 rotations
 }
 
+// LIKE on non-string columns must be rejected at bind time with a type
+// error, never reach the evaluator.
+TEST_F(EngineAdvancedTest, LikeOnNonStringColumnsIsTypeError) {
+  auto rs = db_.Query("select src from edge where src like '1%'");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kTypeError);
+
+  rs = db_.Query("select src from edge where src like dst");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kTypeError);
+}
+
 class PlanEquivalenceTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -115,6 +115,29 @@ TEST(EvalTest, LikeUsesPatternSemantics) {
   EXPECT_TRUE(v.bool_value());
 }
 
+TEST(EvalTest, LikeOnNonStringOperandsIsTypeError) {
+  // The binder rejects these in SQL, but programmatically built expressions
+  // reach the evaluator directly; this used to read a string out of an
+  // INT64 Value (undefined behaviour).
+  static const Row kEmpty;
+  ExprPtr int_scrutinee = Expr::MakeBinary(
+      BinaryOp::kLike, Lit(Value::Int(123)), Lit(Value::String("1%")));
+  auto v = EvalExpr(*int_scrutinee, kEmpty);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kTypeError);
+
+  ExprPtr int_pattern = Expr::MakeBinary(
+      BinaryOp::kLike, Lit(Value::String("abc")), Lit(Value::Int(7)));
+  v = EvalExpr(*int_pattern, kEmpty);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kTypeError);
+
+  // NULL operands still yield NULL (checked before the type guard).
+  EXPECT_TRUE(Eval(Expr::MakeBinary(BinaryOp::kLike, Lit(Value::Null()),
+                                    Lit(Value::Int(7))))
+                  .is_null());
+}
+
 TEST(EvalTest, ComparisonChainOfTypes) {
   EXPECT_TRUE(Eval(Expr::MakeBinary(BinaryOp::kLe, Lit(Value::Int(3)),
                                     Lit(Value::Double(3.0))))

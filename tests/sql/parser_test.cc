@@ -207,6 +207,30 @@ TEST(ParserTest, HavingIsRejected) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(ParserTest, ExplainPrefixesParse) {
+  auto plain = Parser::ParseStatement("select a from t");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->explain, ExplainMode::kNone);
+  ASSERT_NE(plain->select, nullptr);
+
+  auto explain = Parser::ParseStatement("explain select a from t");
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_EQ(explain->explain, ExplainMode::kPlan);
+  ASSERT_NE(explain->select, nullptr);
+  EXPECT_EQ(explain->select->select_list[0].expr->column_name, "a");
+
+  auto analyze = Parser::ParseStatement("EXPLAIN ANALYZE select a from t");
+  ASSERT_TRUE(analyze.ok()) << analyze.status().ToString();
+  EXPECT_EQ(analyze->explain, ExplainMode::kAnalyze);
+  ASSERT_NE(analyze->select, nullptr);
+}
+
+TEST(ParserTest, ExplainRequiresASelect) {
+  EXPECT_FALSE(Parser::ParseStatement("explain").ok());
+  EXPECT_FALSE(Parser::ParseStatement("explain analyze").ok());
+  EXPECT_FALSE(Parser::ParseStatement("analyze select a from t").ok());
+}
+
 TEST(ParserTest, CloneProducesDeepCopy) {
   auto stmt = Parse("select a, sum(b) from t where c = 1 group by a "
                     "order by a desc limit 3");

@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "gen/tpch_dirty.h"
 
@@ -40,6 +42,31 @@ inline TpchDirtyDatabase& GetCachedDb(int sf_milli, int iff) {
     it = cache.emplace(key, std::move(db)).first;
   }
   return *it->second;
+}
+
+/// Parses and strips a `--threads=N` flag from argv. Call before
+/// benchmark::Initialize (which rejects flags it does not know). Returns
+/// the worker-thread sweep the benchmark should register: powers of two up
+/// to N plus N itself, e.g. `--threads=6` -> {1, 2, 4, 6}. Without the
+/// flag the sweep is {1} (sequential only).
+inline std::vector<int> ParseThreadSweep(int* argc, char** argv) {
+  int max_threads = 1;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    std::string_view arg = argv[r];
+    if (arg.rfind("--threads=", 0) == 0) {
+      // argv strings are NUL-terminated, so the tail is atoi-safe.
+      max_threads = std::atoi(arg.data() + 10);
+      if (max_threads < 1) max_threads = 1;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  std::vector<int> sweep;
+  for (int t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  if (sweep.empty() || sweep.back() != max_threads) sweep.push_back(max_threads);
+  return sweep;
 }
 
 }  // namespace bench

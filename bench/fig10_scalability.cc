@@ -5,8 +5,18 @@
 // Paper claims: for all plotted queries (Q9 excluded from the plot, Q3's
 // sort makes it the steepest) running times grow linearly with database
 // size.
+//
+// Pass `--threads=N` to also sweep the morsel-driven parallel executor at
+// the largest scale ({1, 2, 4, ..., N} workers; smaller scales stay
+// sequential). Every parallel run is checked against the sequential
+// answers: the `prob_bits_equal` counter is 1 only when all clean-answer
+// probabilities are BIT-identical to the threads=1 run.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+#include <tuple>
 
 #include "bench/bench_util.h"
 #include "core/clean_engine.h"
@@ -19,10 +29,25 @@ constexpr int kIf = 3;
 // 20x range mirroring the paper's 0.1 GB .. 2 GB sweep.
 const int kSfMilli[] = {2, 10, 20, 40};
 
+std::vector<int> g_thread_sweep = {1};
+
+std::vector<uint64_t> ProbabilityBits(const CleanAnswerSet& answers) {
+  std::vector<uint64_t> bits;
+  bits.reserve(answers.answers.size());
+  for (const CleanAnswer& a : answers.answers) {
+    uint64_t u;
+    std::memcpy(&u, &a.probability, sizeof u);
+    bits.push_back(u);
+  }
+  return bits;
+}
+
 void BM_RewrittenAtScale(benchmark::State& state) {
   const TpchQuery* q = FindTpchQuery(static_cast<int>(state.range(0)));
   int sf_milli = static_cast<int>(state.range(1));
+  int threads = static_cast<int>(state.range(2));
   TpchDirtyDatabase& db = bench::GetCachedDb(sf_milli, kIf);
+  db.db->SetThreads(static_cast<size_t>(threads));
   CleanAnswerEngine engine(db.db.get(), &db.dirty);
   size_t rows = 0;
   for (auto _ : state) {
@@ -33,19 +58,43 @@ void BM_RewrittenAtScale(benchmark::State& state) {
   }
   state.counters["result_rows"] = static_cast<double>(rows);
   state.counters["total_db_rows"] = static_cast<double>(db.TotalRows());
+
+  // Determinism audit (outside the timed loop): the threads=1 run records
+  // the probability bit patterns; every parallel run must reproduce them.
+  static std::map<std::tuple<int, int>, std::vector<uint64_t>> baselines;
+  auto audit = engine.Query(q->sql);
+  if (audit.ok()) {
+    auto key = std::make_tuple(q->number, sf_milli);
+    std::vector<uint64_t> bits = ProbabilityBits(*audit);
+    if (threads == 1) {
+      baselines[key] = std::move(bits);
+    } else {
+      auto it = baselines.find(key);
+      state.counters["prob_bits_equal"] =
+          (it != baselines.end() && it->second == bits) ? 1.0 : 0.0;
+    }
+  }
+  db.db->SetThreads(1);
 }
 
 void RegisterAll() {
+  const int max_sf = kSfMilli[sizeof(kSfMilli) / sizeof(kSfMilli[0]) - 1];
   // The paper's Figure 10 plots queries 1,2,3,4,6,10,11,12,14,17,18,20
   // (Q9 reported separately for its higher absolute time).
   for (int number : {1, 2, 3, 4, 6, 10, 11, 12, 14, 17, 18, 20}) {
     for (int sf_milli : kSfMilli) {
-      std::string name = "Fig10/Q" + std::to_string(number) + "/sf_milli:" +
-                         std::to_string(sf_milli);
-      benchmark::RegisterBenchmark(name.c_str(), BM_RewrittenAtScale)
-          ->Args({number, sf_milli})
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(2);
+      const std::vector<int> threads = sf_milli == max_sf
+                                           ? g_thread_sweep
+                                           : std::vector<int>{1};
+      for (int t : threads) {
+        std::string name = "Fig10/Q" + std::to_string(number) +
+                           "/sf_milli:" + std::to_string(sf_milli) +
+                           "/threads:" + std::to_string(t);
+        benchmark::RegisterBenchmark(name.c_str(), BM_RewrittenAtScale)
+            ->Args({number, sf_milli, t})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(2);
+      }
     }
   }
 }
@@ -54,6 +103,7 @@ void RegisterAll() {
 }  // namespace conquer
 
 int main(int argc, char** argv) {
+  conquer::g_thread_sweep = conquer::bench::ParseThreadSweep(&argc, argv);
   conquer::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,11 +12,13 @@
 //   .check <select ...>;   rewritability verdict (Dfn 7)
 //   .explain <select ...>; physical plan
 //   .stats                 toggle per-query timing/operator stats
+//   .threads <n>           worker threads for parallel execution (1 = off)
 //   .tables                list tables
 //   .save <dir>            persist the database
 //   .quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -89,6 +91,7 @@ int main(int argc, char** argv) {
           "  .check select ...;     rewritability verdict\n"
           "  .explain select ...;   physical plan\n"
           "  .stats                 toggle per-query stats (phases + operators)\n"
+          "  .threads <n>           worker threads for parallel execution\n"
           "  .tables                list tables\n"
           "  .save <dir>            persist database\n"
           "  .quit\n");
@@ -107,6 +110,18 @@ int main(int argc, char** argv) {
         std::printf("  %-12s %zu rows%s\n", name.c_str(),
                     t.ok() ? (*t)->num_rows() : 0,
                     dirty.Find(name) != nullptr ? "  [dirty]" : "");
+      }
+      buffer.clear();
+      continue;
+    }
+    if (buffer.rfind(".threads ", 0) == 0) {
+      int n = std::atoi(buffer.substr(9).c_str());
+      if (n < 1) {
+        std::printf("usage: .threads <n>  (n >= 1)\n");
+      } else {
+        db->SetThreads(static_cast<size_t>(n));
+        std::printf("worker threads: %zu%s\n", db->num_threads(),
+                    db->num_threads() == 1 ? " (sequential)" : "");
       }
       buffer.clear();
       continue;

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sanitizer gate, suitable for CI:
+#   1. ASan + UBSan build, fast tier-1 suite   (memory / UB bugs)
+#   2. TSan build, concurrency-labeled suite   (data races in the
+#      morsel-driven parallel executor and the task pool)
+#
+# Usage: scripts/check_sanitizers.sh [jobs]
+# Build trees live in build-asan/ and build-tsan/ next to build/ and are
+# reused across runs.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  local dir="$1" sanitize="$2" label="$3"
+  echo "=== ${sanitize}: configuring ${dir} ==="
+  # Instrumented trees only need the test binaries, not benches/examples.
+  cmake -B "${dir}" -S . -DCONQUER_SANITIZE="${sanitize}" \
+        -DCONQUER_BUILD_AUX=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "=== ${sanitize}: building ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ${sanitize}: ctest -L ${label} ==="
+  ctest --test-dir "${dir}" -L "${label}" --output-on-failure -j "${JOBS}"
+}
+
+run_suite build-asan address tier1
+run_suite build-tsan thread concurrency
+
+echo "=== sanitizers clean ==="

@@ -1,0 +1,107 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace conquer {
+
+TaskPool::TaskPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Workers only exit once the queue is empty (see WorkerLoop), so any
+  // TaskGroup waiting on queued work has been satisfied by now.
+}
+
+void TaskPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool TaskPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void TaskPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskGroup::Submit(std::function<Status()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  auto task = [this, fn = std::move(fn)]() {
+    Status s = cancelled() ? Status::OK() : fn();
+    Finish(std::move(s));
+  };
+  if (pool_ == nullptr) {
+    task();
+  } else {
+    pool_->Enqueue(std::move(task));
+  }
+}
+
+Status TaskGroup::Wait() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) return first_error_;
+    }
+    // Drain queued work on this thread first: with every worker busy (or
+    // when the waiter *is* a worker, as happens for nested groups) this is
+    // what guarantees forward progress.
+    if (pool_ != nullptr && pool_->RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (pending_ == 0) return first_error_;
+    // Tasks of this group are in flight on other threads; sleep until one
+    // finishes. The timeout re-checks the pool queue in the rare race where
+    // a task was enqueued after RunOneTask saw an empty queue.
+    done_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+void TaskGroup::Finish(Status s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!s.ok() && first_error_.ok()) {
+    first_error_ = std::move(s);
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  --pending_;
+  if (pending_ == 0) done_cv_.notify_all();
+}
+
+}  // namespace conquer

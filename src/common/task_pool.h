@@ -1,0 +1,114 @@
+#ifndef CONQUER_COMMON_TASK_POOL_H_
+#define CONQUER_COMMON_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace conquer {
+
+/// \brief Fixed-size worker-thread pool with a FIFO task queue.
+///
+/// The pool is the shared execution substrate for morsel-driven parallel
+/// operators: a Database owns one pool sized by Database::SetThreads and
+/// every query executed against it schedules its morsel/partition tasks
+/// here. Tasks are opaque void() callables; error propagation and
+/// completion tracking live in TaskGroup.
+///
+/// Destruction is graceful: remaining queued tasks are *executed* (not
+/// dropped) before the workers join, so no TaskGroup can be left waiting
+/// on a task that will never run.
+class TaskPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit TaskPool(size_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  friend class TaskGroup;
+
+  /// Appends a task to the queue and wakes one worker.
+  void Enqueue(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread; false when the queue was
+  /// empty. Used by TaskGroup::Wait so that a waiter (possibly itself a
+  /// pool worker running a task that spawned a nested group) helps drain
+  /// the queue instead of deadlocking on exhausted workers.
+  bool RunOneTask();
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+/// \brief A batch of related tasks with barrier semantics and
+/// first-error-wins Status propagation.
+///
+/// Usage (one query phase):
+/// \code
+///   TaskGroup group(pool);            // pool == nullptr -> run inline
+///   for (int w = 0; w < workers; ++w)
+///     group.Submit([&, w]() -> Status { ...morsel loop... });
+///   CONQUER_RETURN_NOT_OK(group.Wait());
+/// \endcode
+///
+/// The first task to complete with a non-OK Status records it and flips
+/// `cancelled()`; tasks that start afterwards are skipped (their callable
+/// never runs) and long-running tasks may poll `cancelled()` to stop
+/// early. Wait() returns the recorded error. A group is reusable after
+/// Wait() and empty groups return OK immediately.
+class TaskGroup {
+ public:
+  /// With a null pool every Submit runs the task inline on the caller.
+  explicit TaskGroup(TaskPool* pool) : pool_(pool) {}
+
+  /// Waits for any outstanding tasks (errors are dropped at this point;
+  /// call Wait() explicitly to observe them).
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn` on the pool (or runs it inline without one).
+  void Submit(std::function<Status()> fn);
+
+  /// Blocks until every submitted task has finished; returns the first
+  /// error recorded (OK when all succeeded). Helps execute queued pool
+  /// tasks while waiting, so nested groups cannot deadlock the pool.
+  Status Wait();
+
+  /// True once any task has failed; new and polling tasks short-circuit.
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  void Finish(Status s);
+
+  TaskPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  size_t pending_ = 0;
+  Status first_error_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_COMMON_TASK_POOL_H_

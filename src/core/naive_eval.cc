@@ -113,12 +113,13 @@ Result<std::vector<double>> NaiveCandidateEvaluator::CandidateProbabilities(
       double p = prob_col < 0 ? 1.0 : table->row(m)[prob_col].AsDouble();
       probs[i].push_back(p);
     }
-    total *= clusters[i].members.size();
-    if (total > max_candidates) {
+    // Divide-before-multiply so the running product cannot wrap uint64_t.
+    if (total > max_candidates / clusters[i].members.size()) {
       return Status::ResourceExhausted(StringPrintf(
           "candidate databases exceed the cap (%llu)",
           static_cast<unsigned long long>(max_candidates)));
     }
+    total *= clusters[i].members.size();
   }
 
   std::vector<double> out;
@@ -146,12 +147,13 @@ Result<CleanAnswerSet> NaiveCandidateEvaluator::Evaluate(
 
   uint64_t total = 1;
   for (const Cluster& c : clusters) {
-    total *= c.members.size();
-    if (total > max_candidates) {
+    // Divide-before-multiply so the running product cannot wrap uint64_t.
+    if (total > max_candidates / c.members.size()) {
       return Status::ResourceExhausted(StringPrintf(
           "candidate databases exceed the cap (%llu)",
           static_cast<unsigned long long>(max_candidates)));
     }
+    total *= c.members.size();
   }
 
   // The candidate database: same schemas, contents swapped per assignment.

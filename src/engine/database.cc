@@ -83,7 +83,7 @@ Result<ResultSet> Database::Query(std::string_view sql,
       CONQUER_ASSIGN_OR_RETURN(BoundQuery bound,
                                binder.Bind(std::move(parsed.select)));
       CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan,
-                               Planner::Plan(bound, planner_options_));
+                               Planner::Plan(bound, planner_options_, &exec_ctx_));
       return TextResultSet("QUERY PLAN", ExplainPlan(*plan));
     }
     case ExplainMode::kAnalyze: {
@@ -106,7 +106,7 @@ Result<ResultSet> Database::Execute(std::unique_ptr<SelectStatement> stmt,
   if (stats != nullptr) stats->bind_seconds = timer.ElapsedSeconds();
 
   timer.Restart();
-  CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan, Planner::Plan(bound, planner_options_));
+  CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan, Planner::Plan(bound, planner_options_, &exec_ctx_));
   if (stats != nullptr) stats->plan_seconds = timer.ElapsedSeconds();
 
   ResultSet rs;
@@ -136,7 +136,7 @@ Result<std::string> Database::Explain(std::string_view sql) const {
   CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
   Binder binder(&catalog_);
   CONQUER_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(std::move(stmt)));
-  CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan, Planner::Plan(bound, planner_options_));
+  CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan, Planner::Plan(bound, planner_options_, &exec_ctx_));
   return ExplainPlan(*plan);
 }
 

@@ -7,6 +7,8 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "common/task_pool.h"
+#include "exec/exec_context.h"
 #include "exec/query_stats.h"
 #include "exec/result_set.h"
 #include "plan/binder.h"
@@ -92,9 +94,37 @@ class Database {
   }
   const PlannerOptions& planner_options() const { return planner_options_; }
 
+  /// Sizes the worker pool used by morsel-driven parallel operators.
+  /// `n <= 1` (the default) destroys the pool and restores strictly
+  /// sequential execution. Not safe to call concurrently with Query.
+  void SetThreads(size_t n) {
+    if (n <= 1) {
+      exec_ctx_.pool = nullptr;
+      pool_.reset();
+      return;
+    }
+    if (pool_ != nullptr && pool_->num_threads() == n) return;
+    exec_ctx_.pool = nullptr;
+    pool_ = std::make_unique<TaskPool>(n);
+    exec_ctx_.pool = pool_.get();
+  }
+
+  /// Worker threads queries run with (1 means sequential).
+  size_t num_threads() const {
+    return pool_ != nullptr ? pool_->num_threads() : 1;
+  }
+
+  /// Execution tuning (morsel size, hash-partition fanout). The pool
+  /// pointer inside is managed by SetThreads; tests lower morsel_size to
+  /// exercise the parallel paths on small tables.
+  ExecContext* mutable_exec_context() { return &exec_ctx_; }
+  const ExecContext& exec_context() const { return exec_ctx_; }
+
  private:
   Catalog catalog_;
   PlannerOptions planner_options_;
+  std::unique_ptr<TaskPool> pool_;
+  ExecContext exec_ctx_;
 };
 
 }  // namespace conquer

@@ -1,0 +1,49 @@
+#ifndef CONQUER_EXEC_EXEC_CONTEXT_H_
+#define CONQUER_EXEC_EXEC_CONTEXT_H_
+
+#include <cstddef>
+
+#include "common/task_pool.h"
+
+namespace conquer {
+
+/// \brief Per-database execution settings shared by all parallel-capable
+/// operators (morsel-driven scan, partitioned hash build, partitioned
+/// aggregation).
+///
+/// A null `pool` (the default, and what Database::SetThreads(1) restores)
+/// means strictly sequential execution — operators take their original
+/// single-threaded code paths and produce output bit-identical to the
+/// pre-parallel engine. With a pool, operators split their input into
+/// `morsel_size`-row morsels claimed dynamically by `pool->num_threads()`
+/// worker tasks, and hash state is split into `num_partitions` partitions
+/// by key hash. `num_partitions` is deliberately independent of the thread
+/// count: each group/bucket lives in exactly one partition and every
+/// partition accumulates its rows in global input order, which keeps
+/// floating-point sums (the clean-answer SUM(prob) path) bit-identical for
+/// every thread count, including 1.
+struct ExecContext {
+  TaskPool* pool = nullptr;
+
+  /// Rows per morsel; also the granularity below which operators do not
+  /// bother going parallel (inputs under 2 morsels run sequentially).
+  size_t morsel_size = 1024;
+
+  /// Hash-partition fanout for parallel join builds and aggregations.
+  size_t num_partitions = 32;
+
+  /// Worker tasks a parallel phase schedules (the pool size, or 1).
+  size_t parallelism() const {
+    return pool != nullptr ? pool->num_threads() : 1;
+  }
+
+  /// True when an operator with `rows` input rows should parallelize.
+  bool ShouldParallelize(size_t rows) const {
+    return pool != nullptr && pool->num_threads() > 1 &&
+           rows >= morsel_size * 2;
+  }
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_EXEC_EXEC_CONTEXT_H_

@@ -33,6 +33,11 @@ struct OperatorMetrics {
   uint64_t build_rows = 0;  ///< rows drained from the build input
   uint64_t probe_rows = 0;  ///< rows drained from the probe input
 
+  // Morsel-driven parallel phases (scan filter, join build, aggregation).
+  // Zero parallel_degree means the operator ran its sequential path.
+  uint32_t parallel_degree = 0;     ///< worker tasks used by the last Open()
+  std::vector<uint64_t> worker_rows;  ///< input rows processed per worker
+
   /// Total time attributed to this operator (including children).
   double total_seconds() const { return open_seconds + next_seconds; }
 };

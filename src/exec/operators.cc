@@ -1,9 +1,11 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "common/str_util.h"
+#include "common/task_pool.h"
 
 namespace conquer {
 
@@ -57,24 +59,86 @@ std::string ExplainPlan(const Operator& root) {
 // ---------------------------------------------------------------- SeqScanOp
 
 SeqScanOp::SeqScanOp(const Table* table, size_t slot_offset,
-                     size_t total_slots, ExprPtr pushed_filter)
+                     size_t total_slots, ExprPtr pushed_filter,
+                     const ExecContext* exec)
     : table_(table),
       slot_offset_(slot_offset),
       total_slots_(total_slots),
-      filter_(std::move(pushed_filter)) {}
+      filter_(std::move(pushed_filter)),
+      exec_(exec) {}
+
+void SeqScanOp::MaterializeWide(size_t row_pos, Row* out) const {
+  const Row& src = table_->row(row_pos);
+  out->assign(total_slots_, Value::Null());
+  for (size_t c = 0; c < src.size(); ++c) {
+    (*out)[slot_offset_ + c] = src[c];
+  }
+}
+
+Status SeqScanOp::ParallelFilter() {
+  const size_t n = table_->num_rows();
+  const size_t morsel = exec_->morsel_size;
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+  morsel_matches_.assign(num_morsels, {});
+  const size_t workers = std::min(exec_->parallelism(), num_morsels);
+  mutable_metrics().parallel_degree = static_cast<uint32_t>(workers);
+  mutable_metrics().worker_rows.assign(workers, 0);
+
+  std::atomic<size_t> next_morsel{0};
+  TaskGroup group(exec_->pool);
+  for (size_t w = 0; w < workers; ++w) {
+    group.Submit([this, w, n, morsel, num_morsels, &next_morsel,
+                  &group]() -> Status {
+      Row wide;
+      uint64_t scanned = 0;
+      while (!group.cancelled()) {
+        size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
+        if (m >= num_morsels) break;
+        std::vector<uint32_t>& matches = morsel_matches_[m];
+        const size_t end = std::min(n, (m + 1) * morsel);
+        for (size_t r = m * morsel; r < end; ++r) {
+          MaterializeWide(r, &wide);
+          CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*filter_, wide));
+          if (pass) matches.push_back(static_cast<uint32_t>(r));
+          ++scanned;
+        }
+      }
+      mutable_metrics().worker_rows[w] = scanned;
+      return Status::OK();
+    });
+  }
+  return group.Wait();
+}
 
 Status SeqScanOp::OpenImpl() {
   cursor_ = 0;
+  morsel_cursor_ = 0;
+  match_cursor_ = 0;
+  morsel_matches_.clear();
+  parallel_ = filter_ != nullptr && exec_ != nullptr &&
+              exec_->ShouldParallelize(table_->num_rows());
+  if (parallel_) return ParallelFilter();
   return Status::OK();
 }
 
 Result<bool> SeqScanOp::NextImpl(Row* out) {
-  while (cursor_ < table_->num_rows()) {
-    const Row& src = table_->row(cursor_++);
-    out->assign(total_slots_, Value::Null());
-    for (size_t c = 0; c < src.size(); ++c) {
-      (*out)[slot_offset_ + c] = src[c];
+  if (parallel_) {
+    // Stream the pre-filtered positions in morsel order: same output order
+    // as the sequential scan.
+    while (morsel_cursor_ < morsel_matches_.size()) {
+      const std::vector<uint32_t>& matches = morsel_matches_[morsel_cursor_];
+      if (match_cursor_ >= matches.size()) {
+        ++morsel_cursor_;
+        match_cursor_ = 0;
+        continue;
+      }
+      MaterializeWide(matches[match_cursor_++], out);
+      return true;
     }
+    return false;
+  }
+  while (cursor_ < table_->num_rows()) {
+    MaterializeWide(cursor_++, out);
     if (filter_) {
       CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*filter_, *out));
       if (!pass) continue;
@@ -173,25 +237,124 @@ bool HashJoinOp::KeyEq::operator()(const std::vector<Value>& a,
 HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
                        std::vector<int> build_key_slots,
                        std::vector<int> probe_key_slots,
-                       std::vector<std::pair<size_t, size_t>> build_ranges)
+                       std::vector<std::pair<size_t, size_t>> build_ranges,
+                       const ExecContext* exec)
     : build_(std::move(build)),
       probe_(std::move(probe)),
       build_keys_(std::move(build_key_slots)),
       probe_keys_(std::move(probe_key_slots)),
-      build_ranges_(std::move(build_ranges)) {
+      build_ranges_(std::move(build_ranges)),
+      exec_(exec) {
   assert(build_keys_.size() == probe_keys_.size());
 }
 
+Status HashJoinOp::ParallelBuild(std::vector<Row> rows) {
+  const size_t n = rows.size();
+  const size_t morsel = exec_->morsel_size;
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+  num_partitions_ = std::max<size_t>(1, exec_->num_partitions);
+  partitions_.assign(num_partitions_, BuildTable{});
+
+  // Phase 1 (morsel-parallel): extract join keys and route each row to its
+  // hash partition. by_part[m][p] lists the row positions of morsel m that
+  // fall in partition p, preserving input order.
+  std::vector<std::vector<Value>> keys(n);
+  std::vector<std::vector<std::vector<uint32_t>>> by_part(
+      num_morsels, std::vector<std::vector<uint32_t>>(num_partitions_));
+  const size_t workers = std::min(exec_->parallelism(), num_morsels);
+  std::atomic<size_t> next_morsel{0};
+  {
+    TaskGroup group(exec_->pool);
+    for (size_t w = 0; w < workers; ++w) {
+      group.Submit([this, n, morsel, num_morsels, &rows, &keys, &by_part,
+                    &next_morsel, &group]() -> Status {
+        while (!group.cancelled()) {
+          size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
+          if (m >= num_morsels) break;
+          const size_t end = std::min(n, (m + 1) * morsel);
+          for (size_t r = m * morsel; r < end; ++r) {
+            std::vector<Value>& key = keys[r];
+            key.reserve(build_keys_.size());
+            bool has_null_key = false;
+            for (int slot : build_keys_) {
+              key.push_back(rows[r][slot]);
+              has_null_key = has_null_key || rows[r][slot].is_null();
+            }
+            // NULL join keys never match anything in SQL; drop at build.
+            if (has_null_key) continue;
+            size_t p = HashValues(key) % num_partitions_;
+            by_part[m][p].push_back(static_cast<uint32_t>(r));
+          }
+        }
+        return Status::OK();
+      });
+    }
+    CONQUER_RETURN_NOT_OK(group.Wait());
+  }
+
+  // Phase 2 (partition-parallel): each partition is built by exactly one
+  // worker, inserting rows in global build order — bucket row order is
+  // identical to the sequential build whatever the thread count.
+  const size_t part_workers = std::min(exec_->parallelism(), num_partitions_);
+  mutable_metrics().parallel_degree = static_cast<uint32_t>(part_workers);
+  mutable_metrics().worker_rows.assign(part_workers, 0);
+  std::atomic<size_t> next_part{0};
+  std::atomic<uint64_t> table_bytes{0};
+  std::atomic<uint64_t> inserted{0};
+  {
+    TaskGroup group(exec_->pool);
+    for (size_t w = 0; w < part_workers; ++w) {
+      group.Submit([this, w, num_morsels, &rows, &keys, &by_part, &next_part,
+                    &table_bytes, &inserted, &group]() -> Status {
+        uint64_t my_rows = 0;
+        uint64_t my_bytes = 0;
+        while (!group.cancelled()) {
+          size_t p = next_part.fetch_add(1, std::memory_order_relaxed);
+          if (p >= num_partitions_) break;
+          BuildTable& table = partitions_[p];
+          for (size_t m = 0; m < num_morsels; ++m) {
+            for (uint32_t r : by_part[m][p]) {
+              my_bytes += EstimateRowBytes(rows[r]) +
+                          keys[r].size() * sizeof(Value);
+              table[std::move(keys[r])].push_back(std::move(rows[r]));
+              ++my_rows;
+            }
+          }
+        }
+        mutable_metrics().worker_rows[w] = my_rows;
+        table_bytes.fetch_add(my_bytes, std::memory_order_relaxed);
+        inserted.fetch_add(my_rows, std::memory_order_relaxed);
+        return Status::OK();
+      });
+    }
+    CONQUER_RETURN_NOT_OK(group.Wait());
+  }
+  build_rows_ = inserted.load();
+  mutable_metrics().peak_memory_bytes = table_bytes.load();
+  return Status::OK();
+}
+
 Status HashJoinOp::OpenImpl() {
-  table_.clear();
+  partitions_.clear();
+  num_partitions_ = 1;
   build_rows_ = 0;
   CONQUER_RETURN_NOT_OK(build_->Open());
   Row row;
+  // Drain the build input. With a parallel context the rows are buffered
+  // and bulk-built; otherwise they stream into the single partition table.
+  const bool buffer_rows = exec_ != nullptr && exec_->pool != nullptr &&
+                           exec_->pool->num_threads() > 1;
+  std::vector<Row> buffered;
+  partitions_.assign(1, BuildTable{});
   uint64_t table_bytes = 0;
   while (true) {
     CONQUER_ASSIGN_OR_RETURN(bool more, build_->Next(&row));
     if (!more) break;
     mutable_metrics().build_rows += 1;
+    if (buffer_rows) {
+      buffered.push_back(std::move(row));
+      continue;
+    }
     std::vector<Value> key;
     key.reserve(build_keys_.size());
     bool has_null_key = false;
@@ -202,12 +365,32 @@ Status HashJoinOp::OpenImpl() {
     // NULL join keys never match anything in SQL; drop them at build.
     if (has_null_key) continue;
     table_bytes += EstimateRowBytes(row) + key.size() * sizeof(Value);
-    table_[std::move(key)].push_back(row);
+    partitions_[0][std::move(key)].push_back(row);
     ++build_rows_;
   }
   build_->Close();
+  if (buffer_rows) {
+    if (exec_->ShouldParallelize(buffered.size())) {
+      CONQUER_RETURN_NOT_OK(ParallelBuild(std::move(buffered)));
+    } else {
+      // Too small to fan out: sequential insert of the buffered rows.
+      for (Row& r : buffered) {
+        std::vector<Value> key;
+        key.reserve(build_keys_.size());
+        bool has_null_key = false;
+        for (int slot : build_keys_) {
+          key.push_back(r[slot]);
+          has_null_key = has_null_key || r[slot].is_null();
+        }
+        if (has_null_key) continue;
+        table_bytes += EstimateRowBytes(r) + key.size() * sizeof(Value);
+        partitions_[0][std::move(key)].push_back(std::move(r));
+        ++build_rows_;
+      }
+    }
+  }
   mutable_metrics().hash_entries = build_rows_;
-  mutable_metrics().peak_memory_bytes = table_bytes;
+  if (num_partitions_ == 1) mutable_metrics().peak_memory_bytes = table_bytes;
   CONQUER_RETURN_NOT_OK(probe_->Open());
   current_matches_ = nullptr;
   match_cursor_ = 0;
@@ -227,8 +410,11 @@ Result<bool> HashJoinOp::AdvanceProbe() {
       has_null_key = has_null_key || probe_row_[slot].is_null();
     }
     if (has_null_key) continue;
-    auto it = table_.find(key);
-    if (it == table_.end()) continue;
+    const BuildTable& table =
+        partitions_[num_partitions_ == 1 ? 0
+                                         : HashValues(key) % num_partitions_];
+    auto it = table.find(key);
+    if (it == table.end()) continue;
     current_matches_ = &it->second;
     match_cursor_ = 0;
     return true;
@@ -254,7 +440,7 @@ Result<bool> HashJoinOp::NextImpl(Row* out) {
 }
 
 void HashJoinOp::CloseImpl() {
-  table_.clear();
+  partitions_.clear();
   probe_->Close();
 }
 
@@ -349,10 +535,12 @@ bool HasColumnRefOutsideAggregate(const Expr& e) {
 
 HashAggregateOp::HashAggregateOp(OperatorPtr child,
                                  std::vector<const Expr*> group_exprs,
-                                 std::vector<const Expr*> select_items)
+                                 std::vector<const Expr*> select_items,
+                                 const ExecContext* exec)
     : child_(std::move(child)),
       group_exprs_(std::move(group_exprs)),
-      select_items_(std::move(select_items)) {
+      select_items_(std::move(select_items)),
+      exec_(exec) {
   for (const Expr* item : select_items_) {
     CollectAggCalls(item, &agg_calls_);
   }
@@ -380,14 +568,26 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child,
   }
 }
 
-Status HashAggregateOp::Accumulate(const Row& row) {
+Result<std::vector<Value>> HashAggregateOp::GroupKey(const Row& row) const {
   std::vector<Value> key;
   key.reserve(group_exprs_.size());
   for (const Expr* g : group_exprs_) {
     CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
     key.push_back(std::move(v));
   }
-  auto [it, inserted] = groups_.try_emplace(std::move(key));
+  return key;
+}
+
+Status HashAggregateOp::Accumulate(const Row& row, uint64_t row_index) {
+  CONQUER_ASSIGN_OR_RETURN(std::vector<Value> key, GroupKey(row));
+  return AccumulateRow(&partition_groups_[0], std::move(key), row, row_index,
+                       &output_order_);
+}
+
+Status HashAggregateOp::AccumulateRow(GroupMap* map, std::vector<Value> key,
+                                      const Row& row, uint64_t row_index,
+                                      std::vector<OutEntry>* order) {
+  auto [it, inserted] = map->try_emplace(std::move(key));
   Group& group = it->second;
   if (inserted) {
     if (needs_representative_) group.representative = row;
@@ -401,7 +601,7 @@ Status HashAggregateOp::Accumulate(const Row& row) {
       }
     }
     group.aggs.resize(agg_calls_.size());
-    output_order_.emplace_back(&it->first, &group);
+    order->push_back({&it->first, &group, row_index});
   }
   for (size_t i = 0; i < agg_calls_.size(); ++i) {
     const Expr& call = *agg_calls_[i];
@@ -507,34 +707,145 @@ Result<Value> HashAggregateOp::Finalize(const Expr& e,
   return Status::Internal("unhandled select item in aggregate finalize");
 }
 
+Status HashAggregateOp::ParallelAccumulate(const std::vector<Row>& rows) {
+  const size_t n = rows.size();
+  const size_t morsel = exec_->morsel_size;
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+  num_partitions_ = std::max<size_t>(1, exec_->num_partitions);
+  partition_groups_.assign(num_partitions_, GroupMap{});
+
+  // Phase 1 (morsel-parallel): evaluate group keys and route each row to
+  // its hash partition, preserving input order within every (morsel,
+  // partition) list.
+  std::vector<std::vector<Value>> keys(n);
+  std::vector<std::vector<std::vector<uint32_t>>> by_part(
+      num_morsels, std::vector<std::vector<uint32_t>>(num_partitions_));
+  const size_t workers = std::min(exec_->parallelism(), num_morsels);
+  std::atomic<size_t> next_morsel{0};
+  {
+    TaskGroup group(exec_->pool);
+    for (size_t w = 0; w < workers; ++w) {
+      group.Submit([this, n, morsel, num_morsels, &rows, &keys, &by_part,
+                    &next_morsel, &group]() -> Status {
+        while (!group.cancelled()) {
+          size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
+          if (m >= num_morsels) break;
+          const size_t end = std::min(n, (m + 1) * morsel);
+          for (size_t r = m * morsel; r < end; ++r) {
+            CONQUER_ASSIGN_OR_RETURN(keys[r], GroupKey(rows[r]));
+            size_t p = HashValues(keys[r]) % num_partitions_;
+            by_part[m][p].push_back(static_cast<uint32_t>(r));
+          }
+        }
+        return Status::OK();
+      });
+    }
+    CONQUER_RETURN_NOT_OK(group.Wait());
+  }
+
+  // Phase 2 (partition-parallel): each partition accumulates its rows in
+  // global input order. All rows of one group share a partition, so the
+  // per-group addition order equals the sequential accumulate — float
+  // aggregates (SUM(prob)) come out bit-identical for any thread count.
+  const size_t part_workers = std::min(exec_->parallelism(), num_partitions_);
+  mutable_metrics().parallel_degree = static_cast<uint32_t>(part_workers);
+  mutable_metrics().worker_rows.assign(part_workers, 0);
+  std::vector<std::vector<OutEntry>> part_entries(num_partitions_);
+  std::atomic<size_t> next_part{0};
+  {
+    TaskGroup group(exec_->pool);
+    for (size_t w = 0; w < part_workers; ++w) {
+      group.Submit([this, w, num_morsels, &rows, &keys, &by_part,
+                    &part_entries, &next_part, &group]() -> Status {
+        uint64_t my_rows = 0;
+        while (!group.cancelled()) {
+          size_t p = next_part.fetch_add(1, std::memory_order_relaxed);
+          if (p >= num_partitions_) break;
+          for (size_t m = 0; m < num_morsels; ++m) {
+            for (uint32_t r : by_part[m][p]) {
+              CONQUER_RETURN_NOT_OK(AccumulateRow(&partition_groups_[p],
+                                                  std::move(keys[r]), rows[r],
+                                                  r, &part_entries[p]));
+              ++my_rows;
+            }
+          }
+        }
+        mutable_metrics().worker_rows[w] = my_rows;
+        return Status::OK();
+      });
+    }
+    CONQUER_RETURN_NOT_OK(group.Wait());
+  }
+
+  // Final merge: concatenate partitions and restore global first-seen
+  // order. first_row is the deterministic tie-free sort key.
+  size_t total = 0;
+  for (const auto& entries : part_entries) total += entries.size();
+  output_order_.reserve(total);
+  for (auto& entries : part_entries) {
+    output_order_.insert(output_order_.end(), entries.begin(), entries.end());
+  }
+  std::sort(output_order_.begin(), output_order_.end(),
+            [](const OutEntry& a, const OutEntry& b) {
+              return a.first_row < b.first_row;
+            });
+  return Status::OK();
+}
+
 Status HashAggregateOp::OpenImpl() {
-  groups_.clear();
+  partition_groups_.assign(1, GroupMap{});
+  num_partitions_ = 1;
   output_order_.clear();
   cursor_ = 0;
   CONQUER_RETURN_NOT_OK(child_->Open());
   Row row;
   size_t n = 0;
+  uint64_t buffered_bytes = 0;
+  // With a parallel context, buffer the input and bulk-accumulate;
+  // otherwise accumulate streaming (no extra memory).
+  const bool buffer_rows = exec_ != nullptr && exec_->pool != nullptr &&
+                           exec_->pool->num_threads() > 1;
+  std::vector<Row> buffered;
   while (true) {
     CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
     if (!more) break;
-    CONQUER_RETURN_NOT_OK(Accumulate(row));
+    if (buffer_rows) {
+      buffered_bytes += EstimateRowBytes(row);
+      buffered.push_back(std::move(row));
+    } else {
+      CONQUER_RETURN_NOT_OK(Accumulate(row, n));
+    }
     ++n;
   }
   child_->Close();
   no_input_ = (n == 0);
-  mutable_metrics().hash_entries = groups_.size();
-  uint64_t table_bytes = 0;
-  for (const auto& [key, group] : groups_) {
-    table_bytes += key.size() * sizeof(Value) + sizeof(Group) +
-                   group.aggs.size() * sizeof(AggState);
-    for (const Value& v : key) {
-      if (v.type() == DataType::kString) table_bytes += v.string_value().capacity();
+  if (buffer_rows) {
+    if (exec_->ShouldParallelize(buffered.size())) {
+      CONQUER_RETURN_NOT_OK(ParallelAccumulate(buffered));
+    } else {
+      for (size_t r = 0; r < buffered.size(); ++r) {
+        CONQUER_RETURN_NOT_OK(Accumulate(buffered[r], r));
+      }
     }
-    if (!group.representative.empty()) {
-      table_bytes += EstimateRowBytes(group.representative);
-    }
-    table_bytes += group.extra_values.size() * sizeof(Value);
   }
+  size_t num_groups = 0;
+  uint64_t table_bytes = buffer_rows ? buffered_bytes : 0;
+  for (const GroupMap& groups : partition_groups_) {
+    num_groups += groups.size();
+    for (const auto& [key, group] : groups) {
+      table_bytes += key.size() * sizeof(Value) + sizeof(Group) +
+                     group.aggs.size() * sizeof(AggState);
+      for (const Value& v : key) {
+        if (v.type() == DataType::kString)
+          table_bytes += v.string_value().capacity();
+      }
+      if (!group.representative.empty()) {
+        table_bytes += EstimateRowBytes(group.representative);
+      }
+      table_bytes += group.extra_values.size() * sizeof(Value);
+    }
+  }
+  mutable_metrics().hash_entries = num_groups;
   mutable_metrics().peak_memory_bytes = table_bytes;
   return Status::OK();
 }
@@ -554,19 +865,20 @@ Result<bool> HashAggregateOp::NextImpl(Row* out) {
     return true;
   }
   if (cursor_ >= output_order_.size()) return false;
-  const auto& [key, group] = output_order_[cursor_++];
+  const OutEntry& entry = output_order_[cursor_++];
   out->clear();
   out->reserve(select_items_.size());
   for (size_t i = 0; i < select_items_.size(); ++i) {
     switch (item_plans_[i].source) {
       case ItemPlan::Source::kFromKey:
-        out->push_back((*key)[item_plans_[i].index]);
+        out->push_back((*entry.key)[item_plans_[i].index]);
         break;
       case ItemPlan::Source::kInvariantEval:
-        out->push_back(group->extra_values[item_plans_[i].index]);
+        out->push_back(entry.group->extra_values[item_plans_[i].index]);
         break;
       case ItemPlan::Source::kFinalize: {
-        CONQUER_ASSIGN_OR_RETURN(Value v, Finalize(*select_items_[i], *group));
+        CONQUER_ASSIGN_OR_RETURN(Value v,
+                                 Finalize(*select_items_[i], *entry.group));
         out->push_back(std::move(v));
         break;
       }
@@ -576,7 +888,7 @@ Result<bool> HashAggregateOp::NextImpl(Row* out) {
 }
 
 void HashAggregateOp::CloseImpl() {
-  groups_.clear();
+  partition_groups_.clear();
   output_order_.clear();
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/eval.h"
+#include "exec/exec_context.h"
 #include "exec/operator.h"
 #include "sql/ast.h"
 #include "storage/table.h"
@@ -18,10 +19,16 @@ namespace conquer {
 /// Each produced row has `total_slots` entries; the table's columns occupy
 /// [slot_offset, slot_offset + arity). An optional pushed-down predicate
 /// (bound to the wide layout) filters during the scan.
+///
+/// With an ExecContext that has a TaskPool and a pushed-down predicate, the
+/// predicate is evaluated morsel-parallel at Open(): workers claim morsels
+/// from a shared counter and record the passing row positions per morsel.
+/// Next() then streams matches in morsel order, so the output row order is
+/// identical to the sequential scan for every thread count.
 class SeqScanOp : public Operator {
  public:
   SeqScanOp(const Table* table, size_t slot_offset, size_t total_slots,
-            ExprPtr pushed_filter);
+            ExprPtr pushed_filter, const ExecContext* exec = nullptr);
 
   std::string Describe() const override;
 
@@ -30,11 +37,20 @@ class SeqScanOp : public Operator {
   Result<bool> NextImpl(Row* out) override;
 
  private:
+  /// Parallel pre-filter: fills morsel_matches_ with passing row positions.
+  Status ParallelFilter();
+  void MaterializeWide(size_t row_pos, Row* out) const;
+
   const Table* table_;
   size_t slot_offset_;
   size_t total_slots_;
   ExprPtr filter_;  ///< may be null
+  const ExecContext* exec_;
   size_t cursor_ = 0;
+  bool parallel_ = false;
+  std::vector<std::vector<uint32_t>> morsel_matches_;
+  size_t morsel_cursor_ = 0;
+  size_t match_cursor_ = 0;
 };
 
 /// \brief Point lookup via a hash index, producing wide rows.
@@ -91,11 +107,19 @@ class FilterOp : public Operator {
 /// Metrics: open_seconds is the build phase; build_rows / hash_entries /
 /// peak_memory_bytes describe the build table; probe_rows counts rows pulled
 /// from the probe input during Next().
+///
+/// With an ExecContext the build is hash-partitioned: workers extract join
+/// keys morsel-parallel, then each of `num_partitions` partition tables is
+/// built by exactly one worker, inserting its rows in global build order.
+/// Bucket row order therefore matches the sequential build, and the probe
+/// (which routes each key to its partition) produces bit-identical output
+/// for every thread count.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(OperatorPtr build, OperatorPtr probe,
              std::vector<int> build_key_slots, std::vector<int> probe_key_slots,
-             std::vector<std::pair<size_t, size_t>> build_filled_ranges);
+             std::vector<std::pair<size_t, size_t>> build_filled_ranges,
+             const ExecContext* exec = nullptr);
 
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
@@ -113,8 +137,12 @@ class HashJoinOp : public Operator {
     bool operator()(const std::vector<Value>& a,
                     const std::vector<Value>& b) const;
   };
+  using BuildTable =
+      std::unordered_map<std::vector<Value>, std::vector<Row>, KeyHash, KeyEq>;
 
   Result<bool> AdvanceProbe();
+  /// Partitioned parallel build over the drained build rows.
+  Status ParallelBuild(std::vector<Row> rows);
 
   OperatorPtr build_;
   OperatorPtr probe_;
@@ -122,9 +150,11 @@ class HashJoinOp : public Operator {
   std::vector<int> probe_keys_;
   /// Slot ranges the build side populates; copied into probe rows on match.
   std::vector<std::pair<size_t, size_t>> build_ranges_;
+  const ExecContext* exec_;
 
-  std::unordered_map<std::vector<Value>, std::vector<Row>, KeyHash, KeyEq>
-      table_;
+  /// One table per hash partition; sequential builds use a single partition.
+  std::vector<BuildTable> partitions_;
+  size_t num_partitions_ = 1;
   Row probe_row_;
   const std::vector<Row>* current_matches_ = nullptr;
   size_t match_cursor_ = 0;
@@ -157,10 +187,21 @@ class ProjectOp : public Operator {
 ///
 /// Metrics: open_seconds is the accumulate phase; hash_entries is the number
 /// of groups; peak_memory_bytes estimates the group table footprint.
+///
+/// With an ExecContext the accumulate phase is partitioned: the input is
+/// buffered, group keys are computed morsel-parallel, and each of
+/// `num_partitions` partitions (chosen by key hash, so a group lives in
+/// exactly one partition) is accumulated by one worker in global input
+/// order. Because every group's values are added in the same order as the
+/// sequential accumulate, floating-point aggregates (the clean-answer
+/// SUM(prob) path) are bit-identical for every thread count; the final
+/// merge just concatenates partitions and restores global first-seen group
+/// order by sorting on each group's first input row.
 class HashAggregateOp : public Operator {
  public:
   HashAggregateOp(OperatorPtr child, std::vector<const Expr*> group_exprs,
-                  std::vector<const Expr*> select_items);
+                  std::vector<const Expr*> select_items,
+                  const ExecContext* exec = nullptr);
 
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
@@ -205,12 +246,30 @@ class HashAggregateOp : public Operator {
     size_t index = 0;  ///< key position or extra_values position
   };
 
-  Status Accumulate(const Row& row);
+  using GroupMap = std::unordered_map<std::vector<Value>, Group, KeyHash, KeyEq>;
+  /// One output group in partition-local discovery order; `first_row` is
+  /// the global input position that created the group (used to restore the
+  /// sequential first-seen output order after a parallel accumulate).
+  struct OutEntry {
+    const std::vector<Value>* key;
+    const Group* group;
+    uint64_t first_row;
+  };
+
+  /// Evaluates the group key of `row` and accumulates sequentially.
+  Status Accumulate(const Row& row, uint64_t row_index);
+  /// Accumulates `row` into `map` under the precomputed `key`.
+  Status AccumulateRow(GroupMap* map, std::vector<Value> key, const Row& row,
+                       uint64_t row_index, std::vector<OutEntry>* order);
+  /// Partitioned parallel accumulate over the buffered input rows.
+  Status ParallelAccumulate(const std::vector<Row>& rows);
   Result<Value> Finalize(const Expr& e, const Group& group) const;
+  Result<std::vector<Value>> GroupKey(const Row& row) const;
 
   OperatorPtr child_;
   std::vector<const Expr*> group_exprs_;
   std::vector<const Expr*> select_items_;
+  const ExecContext* exec_;
   std::vector<ItemPlan> item_plans_;  ///< parallel to select_items_
   bool needs_representative_ = false;
   size_t num_invariant_evals_ = 0;
@@ -218,9 +277,10 @@ class HashAggregateOp : public Operator {
   /// order; AggState vectors are parallel to this.
   std::vector<const Expr*> agg_calls_;
 
-  std::unordered_map<std::vector<Value>, Group, KeyHash, KeyEq> groups_;
-  std::vector<std::pair<const std::vector<Value>*, const Group*>>
-      output_order_;
+  /// Group tables, one per hash partition (a single one when sequential).
+  std::vector<GroupMap> partition_groups_;
+  size_t num_partitions_ = 1;
+  std::vector<OutEntry> output_order_;
   size_t cursor_ = 0;
   bool no_input_ = false;  ///< true when child yielded zero rows
 };

@@ -59,6 +59,15 @@ void RenderNode(const PlanNodeStats& node, int depth, std::string* out) {
   if (m.peak_memory_bytes > 0) {
     out->append(" mem=" + HumanBytes(m.peak_memory_bytes));
   }
+  if (m.parallel_degree > 0) {
+    out->append(StringPrintf(" workers=%u", m.parallel_degree));
+    out->append(" worker_rows=[");
+    for (size_t i = 0; i < m.worker_rows.size(); ++i) {
+      if (i > 0) out->append(",");
+      out->append(StringPrintf("%llu", (unsigned long long)m.worker_rows[i]));
+    }
+    out->append("]");
+  }
   out->append(")\n");
   for (const PlanNodeStats& c : node.children) {
     RenderNode(c, depth + 1, out);

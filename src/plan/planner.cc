@@ -168,7 +168,8 @@ std::vector<int> DpJoinOrder(const BoundQuery& q,
 }  // namespace
 
 Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
-                                  const PlannerOptions& options) {
+                                  const PlannerOptions& options,
+                                  const ExecContext* exec) {
   const SelectStatement& stmt = *q.stmt;
   size_t n = stmt.from.size();
 
@@ -254,7 +255,7 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
       }
       scans[i] = std::make_unique<SeqScanOp>(t, q.slot_offsets[i],
                                              q.total_slots,
-                                             std::move(table_filters[i]));
+                                             std::move(table_filters[i]), exec);
     }
     est[i] = std::max(rows, 1.0);
   }
@@ -357,11 +358,11 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
     if (est[best] <= plan_est) {
       next = std::make_unique<HashJoinOp>(
           std::move(scans[best]), std::move(plan), new_keys, old_keys,
-          std::vector<std::pair<size_t, size_t>>{ranges[best]});
+          std::vector<std::pair<size_t, size_t>>{ranges[best]}, exec);
     } else {
       next = std::make_unique<HashJoinOp>(std::move(plan),
                                           std::move(scans[best]), old_keys,
-                                          new_keys, joined_ranges);
+                                          new_keys, joined_ranges, exec);
     }
     plan = std::move(next);
     joined.insert(best);
@@ -395,7 +396,8 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
   if (q.is_aggregate) {
     std::vector<const Expr*> keys;
     for (const auto& g : stmt.group_by) keys.push_back(g.get());
-    plan = std::make_unique<HashAggregateOp>(std::move(plan), keys, items);
+    plan = std::make_unique<HashAggregateOp>(std::move(plan), keys, items,
+                                             exec);
   } else {
     plan = std::make_unique<ProjectOp>(std::move(plan), items);
   }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "exec/operator.h"
 #include "plan/binder.h"
 
@@ -35,9 +36,13 @@ struct PlannerOptions {
 class Planner {
  public:
   /// Plans `q`; the returned operator tree borrows expressions from `q`, so
-  /// the BoundQuery must outlive execution.
+  /// the BoundQuery must outlive execution. When `exec` is non-null it is
+  /// borrowed by the parallel-capable operators (scan / hash join / hash
+  /// aggregate) and must outlive execution too; a null pool inside it — or
+  /// a null `exec` — yields strictly sequential operators.
   static Result<OperatorPtr> Plan(const BoundQuery& q,
-                                  const PlannerOptions& options = {});
+                                  const PlannerOptions& options = {},
+                                  const ExecContext* exec = nullptr);
 };
 
 }  // namespace conquer

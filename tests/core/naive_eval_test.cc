@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "tests/core/paper_fixtures.h"
 
 namespace conquer {
@@ -95,6 +97,63 @@ TEST_F(NaiveEvalTest, CandidateProbabilitiesHonorCap) {
   NaiveCandidateEvaluator naive(&db_, &dirty_);
   auto probs = naive.CandidateProbabilities({"orders", "customer"}, 4);
   EXPECT_FALSE(probs.ok());
+  EXPECT_EQ(probs.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NaiveEvalTest, EvaluateHonorsCap) {
+  // customer has two clusters of two duplicates each (4 candidates), so a
+  // cap of 3 must be a hard error, never a silent truncation.
+  NaiveCandidateEvaluator naive(&db_, &dirty_);
+  auto answers = naive.Evaluate("select id from customer c",
+                                /*max_candidates=*/3);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kResourceExhausted);
+}
+
+// A table with 64 clusters of two duplicates induces 2^64 candidates —
+// enough to wrap the uint64_t running product back to zero. Every capped
+// entry point must report ResourceExhausted instead of wrapping (a wrapped
+// product of 0 would sail under any cap and start enumerating).
+class NaiveEvalOverflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.CreateTable(TableSchema("big", {{"id", DataType::kString},
+                                            {"prob", DataType::kDouble}}))
+            .ok());
+    ASSERT_TRUE(dirty_.AddTable({"big", "id", "prob", {}}).ok());
+    for (int e = 0; e < 64; ++e) {
+      for (int j = 0; j < 2; ++j) {
+        ASSERT_TRUE(db_.Insert("big", {Value::String("e" + std::to_string(e)),
+                                       Value::Double(0.5)})
+                        .ok());
+      }
+    }
+  }
+  Database db_;
+  DirtySchema dirty_;
+};
+
+TEST_F(NaiveEvalOverflowTest, CountCandidatesReportsOverflow) {
+  NaiveCandidateEvaluator naive(&db_, &dirty_);
+  auto count = naive.CountCandidates("select id from big");
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NaiveEvalOverflowTest, EvaluateCapSurvivesProductOverflow) {
+  NaiveCandidateEvaluator naive(&db_, &dirty_);
+  auto answers = naive.Evaluate(
+      "select id from big", std::numeric_limits<uint64_t>::max());
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NaiveEvalOverflowTest, CandidateProbabilitiesCapSurvivesOverflow) {
+  NaiveCandidateEvaluator naive(&db_, &dirty_);
+  auto probs = naive.CandidateProbabilities(
+      {"big"}, std::numeric_limits<uint64_t>::max());
+  ASSERT_FALSE(probs.ok());
   EXPECT_EQ(probs.status().code(), StatusCode::kResourceExhausted);
 }
 

@@ -1,14 +1,19 @@
 #ifndef CONQUER_BENCH_BENCH_UTIL_H_
 #define CONQUER_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "exec/batch.h"
 #include "gen/tpch_dirty.h"
 
 namespace conquer {
@@ -68,6 +73,143 @@ inline std::vector<int> ParseThreadSweep(int* argc, char** argv) {
   if (sweep.empty() || sweep.back() != max_threads) sweep.push_back(max_threads);
   return sweep;
 }
+
+/// Parses and strips a `--json=PATH` flag from argv (same contract as
+/// ParseThreadSweep: call before benchmark::Initialize). Returns PATH, or
+/// an empty string when the flag is absent.
+inline std::string ParseJsonPath(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    std::string_view arg = argv[r];
+    if (arg.rfind("--json=", 0) == 0) {
+      path.assign(arg.substr(7));
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return path;
+}
+
+/// Best-effort short git revision of the working tree, "unknown" when the
+/// binary runs outside a checkout. Recorded in benchmark JSON so results
+/// can be matched to the code that produced them.
+inline std::string GitShortSha() {
+  std::string sha = "unknown";
+  FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      std::string_view line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.remove_suffix(1);
+      }
+      if (!line.empty()) sha.assign(line);
+    }
+    pclose(pipe);
+  }
+  return sha;
+}
+
+/// Console reporter that additionally records every run into a JSON file:
+/// per-benchmark wall-clock ms, rows/sec (from the `result_rows` counter
+/// when the benchmark sets one), thread count, plus top-level batch size
+/// and git sha. Pass an empty path to get plain console behaviour.
+class JsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const double wall_s = run.real_accumulated_time /
+                            static_cast<double>(run.iterations);
+      Entry e;
+      e.name = run.benchmark_name();
+      e.wall_ms = wall_s * 1e3;
+      e.threads = ThreadsFromName(e.name);
+      auto rows = run.counters.find("result_rows");
+      if (rows != run.counters.end() && wall_s > 0) {
+        e.rows_per_sec = rows->second.value / wall_s;
+      }
+      entries_.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    if (!path_.empty()) WriteJson();
+    ConsoleReporter::Finalize();
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double wall_ms = 0;
+    double rows_per_sec = -1;  // absent when < 0
+    int threads = 1;
+  };
+
+  /// Benchmark names embed the worker count as ".../threads:N".
+  static int ThreadsFromName(const std::string& name) {
+    size_t pos = name.rfind("threads:");
+    if (pos == std::string::npos) return 1;
+    int t = std::atoi(name.c_str() + pos + 8);
+    return t >= 1 ? t : 1;
+  }
+
+  static void AppendEscaped(const std::string& s, std::string* out) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        *out += '\\';
+        *out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char hex[8];
+        std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+        *out += hex;
+      } else {
+        *out += c;
+      }
+    }
+  }
+
+  void WriteJson() const {
+    std::string out = "{\n";
+    out += "  \"git_sha\": \"";
+    AppendEscaped(GitShortSha(), &out);
+    out += "\",\n";
+    out += "  \"batch_size\": " + std::to_string(RowBatch::kDefaultCapacity) +
+           ",\n";
+    out += "  \"results\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      char buf[160];
+      out += "    {\"name\": \"";
+      AppendEscaped(e.name, &out);
+      std::snprintf(buf, sizeof(buf), "\", \"wall_ms\": %.3f, \"threads\": %d",
+                    e.wall_ms, e.threads);
+      out += buf;
+      if (e.rows_per_sec >= 0) {
+        std::snprintf(buf, sizeof(buf), ", \"rows_per_sec\": %.1f",
+                      e.rows_per_sec);
+        out += buf;
+      }
+      out += i + 1 < entries_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    std::ofstream file(path_, std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "cannot write benchmark JSON to %s\n",
+                   path_.c_str());
+      return;
+    }
+    file << out;
+  }
+
+  std::string path_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace bench
 }  // namespace conquer

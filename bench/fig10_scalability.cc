@@ -104,9 +104,11 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   conquer::g_thread_sweep = conquer::bench::ParseThreadSweep(&argc, argv);
+  std::string json_path = conquer::bench::ParseJsonPath(&argc, argv);
   conquer::RegisterAll();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  conquer::bench::JsonReporter reporter(std::move(json_path));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

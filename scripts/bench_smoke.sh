@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds the Release tree and records the headline benchmark numbers as
+# JSON in the repo root:
+#
+#   BENCH_fig8.json   - clean-answer query overhead (Figure 8)
+#   BENCH_fig10.json  - scalability with database size (Figure 10)
+#
+# Each file carries per-benchmark wall-clock ms, rows/sec, thread count,
+# plus the batch size and git sha the numbers were taken at.
+#
+# Environment knobs:
+#   THREADS=N   also sweep the parallel executor up to N workers (default 1)
+#   FILTER=RE   restrict to benchmarks matching RE (--benchmark_filter)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THREADS="${THREADS:-1}"
+FILTER="${FILTER:-}"
+
+cmake --preset release >/dev/null
+cmake --build build-release -j"$(nproc)" --target fig8_query_overhead fig10_scalability
+
+filter_args=()
+if [[ -n "$FILTER" ]]; then
+  filter_args+=("--benchmark_filter=$FILTER")
+fi
+
+echo "== Figure 8: query overhead (threads=$THREADS) =="
+./build-release/bench/fig8_query_overhead \
+  --threads="$THREADS" --json=BENCH_fig8.json "${filter_args[@]}"
+
+echo "== Figure 10: scalability (threads=$THREADS) =="
+./build-release/bench/fig10_scalability \
+  --threads="$THREADS" --json=BENCH_fig10.json "${filter_args[@]}"
+
+echo "Wrote BENCH_fig8.json and BENCH_fig10.json"

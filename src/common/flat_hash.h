@@ -1,0 +1,172 @@
+#ifndef CONQUER_COMMON_FLAT_HASH_H_
+#define CONQUER_COMMON_FLAT_HASH_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace conquer {
+
+/// Finalizing mixer (splitmix64): spreads entropy of a raw hash over all 64
+/// bits. Flat tables index with the *low* bits of the mixed hash while the
+/// partitioned parallel operators route with the *high* bits, so bucket
+/// choice inside a partition stays independent of partition choice.
+inline uint64_t HashMix(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+/// Partition index from a mixed hash: the top bits, so it never correlates
+/// with the in-table probe position (low bits). `num_partitions` need not be
+/// a power of two.
+inline size_t HashPartition(uint64_t mixed, size_t num_partitions) {
+  // Multiply-shift map of the high 32 bits onto [0, num_partitions).
+  return static_cast<size_t>(((mixed >> 32) * num_partitions) >> 32);
+}
+
+/// \brief Open-addressing hash map: linear probing, power-of-two capacity,
+/// precomputed 64-bit hashes stored next to the entries.
+///
+/// Designed for the executor's build-then-probe pattern (hash join builds,
+/// aggregation group tables, hash indexes):
+///   - no erase, hence no tombstones — rehash is a clean reinsertion;
+///   - `*Hashed` entry points accept a caller-computed raw hash so a key is
+///     hashed exactly once even when the same hash also routes the key to a
+///     parallel partition;
+///   - pointers to mapped values are stable only while no insert happens,
+///     which the operators respect (probe/finalize phases never insert).
+///
+/// Not thread-safe; each parallel partition owns a private map.
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+class FlatHashMap {
+ public:
+  struct Entry {
+    uint64_t hash;  ///< mixed hash of `key`
+    K key;
+    V value;
+  };
+
+  FlatHashMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Number of slots currently allocated (power of two, or 0).
+  size_t capacity() const { return slots_.size(); }
+
+  void clear() {
+    slots_.clear();
+    entries_.clear();
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for `n` entries so inserts never rehash below that
+  /// count. Call with table statistics (row counts) before a build phase.
+  void Reserve(size_t n) {
+    entries_.reserve(n);
+    size_t want = NextPow2(n * 4 / 3 + 1);
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  /// Finds the mapped value, or nullptr.
+  V* Find(const K& key) { return FindHashed(hasher_(key), key); }
+  const V* Find(const K& key) const {
+    return const_cast<FlatHashMap*>(this)->FindHashed(hasher_(key), key);
+  }
+
+  /// Find with a caller-computed *raw* hash (the map applies its own mixer).
+  V* FindHashed(uint64_t raw_hash, const K& key) {
+    if (size_ == 0) return nullptr;
+    const uint64_t h = HashMix(raw_hash);
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = h & mask;; i = (i + 1) & mask) {
+      uint32_t s = slots_[i];
+      if (s == kEmptySlot) return nullptr;
+      Entry& e = entries_[s];
+      if (e.hash == h && eq_(e.key, key)) return &e.value;
+    }
+  }
+  const V* FindHashed(uint64_t raw_hash, const K& key) const {
+    return const_cast<FlatHashMap*>(this)->FindHashed(raw_hash, key);
+  }
+
+  /// Inserts a default-constructed value under `key` unless present.
+  /// Returns {value pointer, inserted}. The pointer is invalidated by the
+  /// next insert.
+  std::pair<V*, bool> TryEmplace(K key) {
+    uint64_t raw = hasher_(key);
+    return TryEmplaceHashed(raw, std::move(key));
+  }
+
+  /// TryEmplace with a caller-computed raw hash (hash-once pattern).
+  std::pair<V*, bool> TryEmplaceHashed(uint64_t raw_hash, K key) {
+    if (NeedsGrow()) Rehash(slots_.empty() ? kMinSlots : slots_.size() * 2);
+    const uint64_t h = HashMix(raw_hash);
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = h & mask;; i = (i + 1) & mask) {
+      uint32_t s = slots_[i];
+      if (s == kEmptySlot) {
+        entries_.push_back(Entry{h, std::move(key), V{}});
+        slots_[i] = static_cast<uint32_t>(entries_.size() - 1);
+        ++size_;
+        return {&entries_.back().value, true};
+      }
+      Entry& e = entries_[s];
+      if (e.hash == h && eq_(e.key, key)) return {&e.value, false};
+    }
+  }
+
+  /// Entries in insertion order (stable across rehashes: a rehash moves only
+  /// the slot directory, never the entry array).
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::vector<Entry>& mutable_entries() { return entries_; }
+
+  /// Approximate heap footprint of the table structure itself (slot
+  /// directory + entry array), excluding key/value payload allocations.
+  uint64_t StructureBytes() const {
+    return slots_.capacity() * sizeof(uint32_t) +
+           entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+  static constexpr size_t kMinSlots = 16;
+
+  static size_t NextPow2(size_t n) {
+    size_t p = kMinSlots;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  bool NeedsGrow() const {
+    // Max load factor 3/4; entries are indexed by uint32_t.
+    assert(entries_.size() < kEmptySlot);
+    return slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3;
+  }
+
+  void Rehash(size_t new_slots) {
+    slots_.assign(new_slots, kEmptySlot);
+    const size_t mask = new_slots - 1;
+    // No tombstones to skip: every entry is live, reinsert by stored hash.
+    for (uint32_t s = 0; s < entries_.size(); ++s) {
+      size_t i = entries_[s].hash & mask;
+      while (slots_[i] != kEmptySlot) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<uint32_t> slots_;  ///< probe directory: index into entries_
+  std::vector<Entry> entries_;   ///< dense storage in insertion order
+  size_t size_ = 0;
+  [[no_unique_address]] Hash hasher_;
+  [[no_unique_address]] Eq eq_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_COMMON_FLAT_HASH_H_

@@ -167,6 +167,26 @@ Result<size_t> LoadCsv(Database* db, std::string_view table_name,
   CONQUER_ASSIGN_OR_RETURN(Table * table, db->GetTable(table_name));
   const TableSchema& schema = table->schema();
 
+  // Pre-size the table: a seekable input is scanned once for its newline
+  // count — a cheap upper bound on the number of records (header, blank
+  // lines and quoted newlines overshoot slightly) — so the row storage
+  // does not reallocate during the load.
+  std::streampos start = input->tellg();
+  if (start != std::streampos(-1)) {
+    size_t newlines = 0;
+    char buf[1 << 16];
+    while (input->good()) {
+      input->read(buf, sizeof(buf));
+      const std::streamsize got = input->gcount();
+      for (std::streamsize i = 0; i < got; ++i) {
+        newlines += buf[i] == '\n' ? 1 : 0;
+      }
+    }
+    input->clear();
+    input->seekg(start);
+    table->Reserve(table->num_rows() + newlines + 1);
+  }
+
   std::string line;
   size_t line_number = 0;
   if (options.has_header) {

@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include <algorithm>
+
 #include "common/timer.h"
 #include "exec/operators.h"
 #include "plan/planner.h"
@@ -116,11 +118,13 @@ Result<ResultSet> Database::Execute(std::unique_ptr<SelectStatement> stmt,
   }
   timer.Restart();
   CONQUER_RETURN_NOT_OK(plan->Open());
-  Row row;
+  // Batch-at-a-time drain: the root batch capacity seeds the whole pipeline.
+  RowBatch batch;
+  batch.capacity = std::max<size_t>(1, exec_ctx_.batch_size);
   while (true) {
-    CONQUER_ASSIGN_OR_RETURN(bool more, plan->Next(&row));
+    CONQUER_ASSIGN_OR_RETURN(bool more, plan->NextBatch(&batch));
     if (!more) break;
-    rs.rows.push_back(row);
+    for (Row& row : batch.rows) rs.rows.push_back(std::move(row));
   }
   plan->Close();
   if (stats != nullptr) {

@@ -1,0 +1,37 @@
+#ifndef CONQUER_EXEC_BATCH_H_
+#define CONQUER_EXEC_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace conquer {
+
+/// \brief A batch of rows flowing through Operator::NextBatch().
+///
+/// `capacity` is the number of rows the producer should aim for per call
+/// (the consumer sets it before pulling; operators propagate it to their
+/// children so one batch size governs the whole pipeline). Producers may
+/// return fewer rows — the only hard contract is that a `true` return
+/// carries at least one row and a `false` return means end of stream.
+struct RowBatch {
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  size_t capacity = kDefaultCapacity;
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+  void clear() { rows.clear(); }
+};
+
+/// \brief Selection vector: positions (into some row array) that survived
+/// the filters applied so far. Filters compact it in place, preserving
+/// order, so downstream work touches only passing rows.
+using SelVector = std::vector<uint32_t>;
+
+}  // namespace conquer
+
+#endif  // CONQUER_EXEC_BATCH_H_

@@ -1,0 +1,246 @@
+#include "exec/eval_batch.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "exec/eval.h"
+
+namespace conquer {
+
+namespace {
+
+bool IsOrderedComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool CmpMatches(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return c == 0;
+    case BinaryOp::kNe:
+      return c != 0;
+    case BinaryOp::kLt:
+      return c < 0;
+    case BinaryOp::kLe:
+      return c <= 0;
+    case BinaryOp::kGt:
+      return c > 0;
+    case BinaryOp::kGe:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+/// `lit op col` rewritten as `col op' lit`.
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+/// Scalar fallback: per-row EvalPredicate over the selection.
+Status FilterScalar(const Expr& e, const std::vector<Row>& rows,
+                    SelVector* sel) {
+  size_t out = 0;
+  for (uint32_t i : *sel) {
+    CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(e, rows[i]));
+    if (pass) (*sel)[out++] = i;
+  }
+  sel->resize(out);
+  return Status::OK();
+}
+
+/// Equality of a string column against a dictionary-resolved constant.
+/// `target` is the interned storage pointer of the literal, or nullptr when
+/// the literal is absent from the column's dictionary (then no interned row
+/// can match, only plain strings written after the last analyze could).
+void FilterDictEquality(BinaryOp op, int slot, const std::string* target,
+                        const std::string& lit_text,
+                        const std::vector<Row>& rows, SelVector* sel,
+                        uint64_t* dict_hits) {
+  const bool want_equal = op == BinaryOp::kEq;
+  uint64_t hits = 0;
+  size_t out = 0;
+  for (uint32_t i : *sel) {
+    const Value& v = rows[i][slot];
+    if (v.is_null()) continue;
+    bool equal;
+    if (const std::string* p = v.interned_ptr()) {
+      equal = (p == target);
+      ++hits;
+    } else {
+      equal = (v.string_value() == lit_text);
+    }
+    if (equal == want_equal) (*sel)[out++] = i;
+  }
+  sel->resize(out);
+  *dict_hits += hits;
+}
+
+/// Comparison of a column slot against a non-NULL literal.
+void FilterColumnConst(BinaryOp op, int slot, const Value& lit,
+                       const std::vector<Row>& rows, SelVector* sel) {
+  size_t out = 0;
+  for (uint32_t i : *sel) {
+    const Value& v = rows[i][slot];
+    if (v.is_null()) continue;
+    if (CmpMatches(op, v.Compare(lit))) (*sel)[out++] = i;
+  }
+  sel->resize(out);
+}
+
+/// Comparison between two column slots of the same row array.
+void FilterColumnColumn(BinaryOp op, int lslot, int rslot,
+                        const std::vector<Row>& rows, SelVector* sel) {
+  size_t out = 0;
+  for (uint32_t i : *sel) {
+    const Value& l = rows[i][lslot];
+    const Value& r = rows[i][rslot];
+    if (l.is_null() || r.is_null()) continue;
+    if (CmpMatches(op, l.Compare(r))) (*sel)[out++] = i;
+  }
+  sel->resize(out);
+}
+
+/// LIKE of a string column against a constant pattern.
+Status FilterColumnLike(int slot, const std::string& pattern,
+                        const std::vector<Row>& rows, SelVector* sel) {
+  size_t out = 0;
+  for (uint32_t i : *sel) {
+    const Value& v = rows[i][slot];
+    if (v.is_null()) continue;
+    if (v.type() != DataType::kString) {
+      return Status::TypeError(
+          std::string("LIKE requires string operands, got ") +
+          DataTypeToString(v.type()) + " and STRING");
+    }
+    if (LikeMatch(v.string_value(), pattern)) (*sel)[out++] = i;
+  }
+  sel->resize(out);
+  return Status::OK();
+}
+
+/// Dispatches a comparison node to its vectorized shape, or falls back.
+Status FilterComparison(const Expr& e, const std::vector<Row>& rows,
+                        const Table* table, SelVector* sel,
+                        uint64_t* dict_hits) {
+  const Expr& l = *e.left;
+  const Expr& r = *e.right;
+
+  // Normalize to column-on-the-left.
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  BinaryOp op = e.bop;
+  if (l.kind == Expr::Kind::kColumnRef && r.kind == Expr::Kind::kLiteral) {
+    col = &l;
+    lit = &r;
+  } else if (l.kind == Expr::Kind::kLiteral &&
+             r.kind == Expr::Kind::kColumnRef && e.bop != BinaryOp::kLike) {
+    col = &r;
+    lit = &l;
+    op = FlipComparison(e.bop);
+  } else if (l.kind == Expr::Kind::kColumnRef &&
+             r.kind == Expr::Kind::kColumnRef &&
+             IsOrderedComparison(e.bop)) {
+    FilterColumnColumn(e.bop, l.slot, r.slot, rows, sel);
+    return Status::OK();
+  }
+  if (col == nullptr) return FilterScalar(e, rows, sel);
+
+  if (lit->literal.is_null()) {
+    // A comparison with NULL is never TRUE.
+    sel->clear();
+    return Status::OK();
+  }
+  if (op == BinaryOp::kLike) {
+    if (lit->literal.type() != DataType::kString) {
+      return FilterScalar(e, rows, sel);  // scalar path raises the TypeError
+    }
+    return FilterColumnLike(col->slot, lit->literal.string_value(), rows, sel);
+  }
+  // String (in)equality through the column's dictionary: resolve the
+  // constant to an interned pointer once, compare pointers per row.
+  if ((op == BinaryOp::kEq || op == BinaryOp::kNe) &&
+      lit->literal.type() == DataType::kString && table != nullptr &&
+      col->slot >= 0 &&
+      static_cast<size_t>(col->slot) < table->schema().num_columns()) {
+    if (const StringDictionary* dict = table->dictionary(col->slot)) {
+      const std::string& text = lit->literal.string_value();
+      const uint32_t code = dict->Find(text);
+      const std::string* target =
+          code != StringDictionary::kInvalidCode ? dict->StringAt(code)
+                                                 : nullptr;
+      FilterDictEquality(op, col->slot, target, text, rows, sel, dict_hits);
+      return Status::OK();
+    }
+  }
+  FilterColumnConst(op, col->slot, lit->literal, rows, sel);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FilterSelection(const Expr& e, const std::vector<Row>& rows,
+                       const Table* table, SelVector* sel,
+                       uint64_t* dict_hits) {
+  if (sel->empty()) return Status::OK();
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      if (e.literal.is_null() || !e.literal.bool_value()) sel->clear();
+      return Status::OK();
+    case Expr::Kind::kBinary:
+      if (e.bop == BinaryOp::kAnd) {
+        // A row passes a conjunction iff both sides are TRUE: filter the
+        // survivors of the left conjunct through the right one.
+        CONQUER_RETURN_NOT_OK(
+            FilterSelection(*e.left, rows, table, sel, dict_hits));
+        return FilterSelection(*e.right, rows, table, sel, dict_hits);
+      }
+      if (e.bop == BinaryOp::kOr) {
+        // A row passes a disjunction iff either side is TRUE. Evaluate the
+        // left side, give only the rejected rows to the right side, then
+        // merge the two (disjoint, ordered) position sets.
+        SelVector left = *sel;
+        CONQUER_RETURN_NOT_OK(
+            FilterSelection(*e.left, rows, table, &left, dict_hits));
+        SelVector right;
+        right.reserve(sel->size() - left.size());
+        std::set_difference(sel->begin(), sel->end(), left.begin(),
+                            left.end(), std::back_inserter(right));
+        CONQUER_RETURN_NOT_OK(
+            FilterSelection(*e.right, rows, table, &right, dict_hits));
+        sel->clear();
+        std::merge(left.begin(), left.end(), right.begin(), right.end(),
+                   std::back_inserter(*sel));
+        return Status::OK();
+      }
+      if (IsOrderedComparison(e.bop) || e.bop == BinaryOp::kLike) {
+        return FilterComparison(e, rows, table, sel, dict_hits);
+      }
+      return FilterScalar(e, rows, sel);
+    default:
+      return FilterScalar(e, rows, sel);
+  }
+}
+
+}  // namespace conquer

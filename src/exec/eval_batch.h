@@ -1,0 +1,42 @@
+#ifndef CONQUER_EXEC_EVAL_BATCH_H_
+#define CONQUER_EXEC_EVAL_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/batch.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace conquer {
+
+/// \brief Vectorized predicate evaluation over a selection vector.
+///
+/// Compacts `sel` (positions into `rows`) in place, keeping exactly the
+/// rows where `e` evaluates to TRUE (SQL semantics: NULL drops the row,
+/// matching EvalPredicate). Order is preserved, so output row order is
+/// identical to the per-row scalar path.
+///
+/// Fast paths, applied per predicate node:
+///   - AND: evaluate the left conjunct, then the right over the survivors;
+///   - OR: evaluate both sides over disjoint position sets and merge;
+///   - column-vs-literal and column-vs-column comparisons: one tight loop
+///     over the selection, no Value copies and no per-row Result plumbing;
+///   - `string_col = 'literal'` with a table dictionary: the literal is
+///     resolved to its interned pointer once, each row is then a pointer
+///     compare (counted in `*dict_hits`); a dictionary miss proves no
+///     interned row can match.
+/// Anything else falls back to scalar EvalPredicate per row.
+///
+/// `table` supplies per-column dictionaries when `rows` are base-table rows
+/// (column references bound to table-local slots); pass nullptr for wide or
+/// narrow intermediate rows. `dict_hits` (required) accumulates the number
+/// of rows decided by an interned pointer compare.
+Status FilterSelection(const Expr& e, const std::vector<Row>& rows,
+                       const Table* table, SelVector* sel,
+                       uint64_t* dict_hits);
+
+}  // namespace conquer
+
+#endif  // CONQUER_EXEC_EVAL_BATCH_H_

@@ -32,6 +32,11 @@ struct ExecContext {
   /// Hash-partition fanout for parallel join builds and aggregations.
   size_t num_partitions = 32;
 
+  /// Rows per RowBatch in the batch-at-a-time executor path. The root
+  /// consumer seeds its batch with this capacity and operators propagate it
+  /// down the pipeline. Output is bit-identical for every batch size.
+  size_t batch_size = 1024;
+
   /// Worker tasks a parallel phase schedules (the pool size, or 1).
   size_t parallelism() const {
     return pool != nullptr ? pool->num_threads() : 1;

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/timer.h"
+#include "exec/batch.h"
 #include "storage/table.h"
 
 namespace conquer {
@@ -20,7 +21,11 @@ namespace conquer {
 /// subtracting the children's totals (see PlanNodeStats::self_seconds).
 struct OperatorMetrics {
   uint64_t next_calls = 0;     ///< Next() invocations (including the EOS one)
-  uint64_t rows_produced = 0;  ///< rows returned from Next()
+  uint64_t batches = 0;        ///< NextBatch() invocations (incl. the EOS one)
+  uint64_t rows_produced = 0;  ///< rows returned from Next()/NextBatch()
+  /// Rows decided by an interned-pointer compare against a
+  /// dictionary-resolved string constant (vectorized filter fast path).
+  uint64_t dict_hits = 0;
   double open_seconds = 0.0;   ///< time inside Open(); the build phase for
                                ///< blocking operators (hash build, sort)
   double next_seconds = 0.0;   ///< cumulative time across all Next() calls
@@ -81,6 +86,19 @@ class Operator {
     return r;
   }
 
+  /// Produces up to out->capacity rows into out->rows. Returns false at end
+  /// of stream (with out empty); a true return carries at least one row.
+  /// A single execution must drive an operator through either Next() or
+  /// NextBatch(), not both — the two cursors share state.
+  Result<bool> NextBatch(RowBatch* out) {
+    Timer t;
+    Result<bool> r = NextBatchImpl(out);
+    metrics_.next_seconds += t.ElapsedSeconds();
+    ++metrics_.batches;
+    if (r.ok() && *r) metrics_.rows_produced += out->rows.size();
+    return r;
+  }
+
   /// Releases per-execution state. Idempotent. Metrics survive Close so
   /// they can be harvested after execution.
   void Close() { CloseImpl(); }
@@ -97,6 +115,21 @@ class Operator {
  protected:
   virtual Status OpenImpl() = 0;
   virtual Result<bool> NextImpl(Row* out) = 0;
+
+  /// Batch production. The default shim loops NextImpl so every operator is
+  /// batch-drivable; operators on the hot path override it with genuinely
+  /// vectorized implementations.
+  virtual Result<bool> NextBatchImpl(RowBatch* out) {
+    out->rows.clear();
+    Row row;
+    while (out->rows.size() < out->capacity) {
+      CONQUER_ASSIGN_OR_RETURN(bool more, NextImpl(&row));
+      if (!more) break;
+      out->rows.push_back(std::move(row));
+    }
+    return !out->rows.empty();
+  }
+
   virtual void CloseImpl() {}
 
   /// Subclass access for operator-specific counters (hash sizes, build/probe

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <numeric>
 
 #include "common/str_util.h"
 #include "common/task_pool.h"
+#include "exec/eval_batch.h"
 
 namespace conquer {
 
@@ -26,13 +28,36 @@ bool ValuesEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
   }
   return true;
 }
+
+/// Shifts every column-reference slot in the tree by `delta` (used to rebase
+/// a wide-layout predicate onto raw table rows: slot -= slot_offset).
+void ShiftSlots(Expr* e, int delta) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kColumnRef) e->slot += delta;
+  ShiftSlots(e->left.get(), delta);
+  ShiftSlots(e->right.get(), delta);
+}
+
+ExprPtr RebaseFilter(const Expr* filter, size_t slot_offset) {
+  if (filter == nullptr) return nullptr;
+  ExprPtr local = filter->Clone();
+  ShiftSlots(local.get(), -static_cast<int>(slot_offset));
+  return local;
+}
+
+/// Heap bytes of a Value beyond its inline footprint. Interned strings are
+/// shared with the table dictionary, so they cost the holder nothing.
+uint64_t ValueHeapBytes(const Value& v) {
+  if (v.type() == DataType::kString && !v.is_interned()) {
+    return v.string_value().capacity();
+  }
+  return 0;
+}
 }  // namespace
 
 uint64_t EstimateRowBytes(const Row& row) {
   uint64_t bytes = sizeof(Row) + row.capacity() * sizeof(Value);
-  for (const Value& v : row) {
-    if (v.type() == DataType::kString) bytes += v.string_value().capacity();
-  }
+  for (const Value& v : row) bytes += ValueHeapBytes(v);
   return bytes;
 }
 
@@ -60,16 +85,36 @@ std::string ExplainPlan(const Operator& root) {
 
 SeqScanOp::SeqScanOp(const Table* table, size_t slot_offset,
                      size_t total_slots, ExprPtr pushed_filter,
-                     const ExecContext* exec)
+                     const ExecContext* exec,
+                     const std::vector<bool>* referenced_slots)
     : table_(table),
       slot_offset_(slot_offset),
       total_slots_(total_slots),
       filter_(std::move(pushed_filter)),
-      exec_(exec) {}
+      local_filter_(RebaseFilter(filter_.get(), slot_offset)),
+      exec_(exec) {
+  if (referenced_slots != nullptr) {
+    prune_ = true;
+    for (size_t c = 0; c < table_->schema().num_columns(); ++c) {
+      if ((*referenced_slots)[slot_offset_ + c]) {
+        materialize_cols_.push_back(static_cast<uint32_t>(c));
+      }
+    }
+  }
+}
 
 void SeqScanOp::MaterializeWide(size_t row_pos, Row* out) const {
   const Row& src = table_->row(row_pos);
-  out->assign(total_slots_, Value::Null());
+  // A recycled row of the right width only ever held this scan's
+  // materialized slots; the NULLs elsewhere are intact, so only those
+  // slots are rewritten.
+  if (out->size() != total_slots_) out->assign(total_slots_, Value::Null());
+  if (prune_) {
+    for (uint32_t c : materialize_cols_) {
+      (*out)[slot_offset_ + c] = src[c];
+    }
+    return;
+  }
   for (size_t c = 0; c < src.size(); ++c) {
     (*out)[slot_offset_ + c] = src[c];
   }
@@ -85,29 +130,35 @@ Status SeqScanOp::ParallelFilter() {
   mutable_metrics().worker_rows.assign(workers, 0);
 
   std::atomic<size_t> next_morsel{0};
+  std::atomic<uint64_t> dict_hits{0};
   TaskGroup group(exec_->pool);
   for (size_t w = 0; w < workers; ++w) {
-    group.Submit([this, w, n, morsel, num_morsels, &next_morsel,
+    group.Submit([this, w, n, morsel, num_morsels, &next_morsel, &dict_hits,
                   &group]() -> Status {
-      Row wide;
       uint64_t scanned = 0;
+      uint64_t my_hits = 0;
       while (!group.cancelled()) {
         size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
         if (m >= num_morsels) break;
-        std::vector<uint32_t>& matches = morsel_matches_[m];
+        // The rebased predicate runs vectorized on the raw table rows; only
+        // passing positions are ever materialized into wide rows.
+        SelVector& matches = morsel_matches_[m];
         const size_t end = std::min(n, (m + 1) * morsel);
-        for (size_t r = m * morsel; r < end; ++r) {
-          MaterializeWide(r, &wide);
-          CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*filter_, wide));
-          if (pass) matches.push_back(static_cast<uint32_t>(r));
-          ++scanned;
-        }
+        matches.resize(end - m * morsel);
+        std::iota(matches.begin(), matches.end(),
+                  static_cast<uint32_t>(m * morsel));
+        CONQUER_RETURN_NOT_OK(FilterSelection(
+            *local_filter_, table_->rows(), table_, &matches, &my_hits));
+        scanned += end - m * morsel;
       }
       mutable_metrics().worker_rows[w] = scanned;
+      dict_hits.fetch_add(my_hits, std::memory_order_relaxed);
       return Status::OK();
     });
   }
-  return group.Wait();
+  Status s = group.Wait();
+  mutable_metrics().dict_hits += dict_hits.load();
+  return s;
 }
 
 Status SeqScanOp::OpenImpl() {
@@ -138,14 +189,59 @@ Result<bool> SeqScanOp::NextImpl(Row* out) {
     return false;
   }
   while (cursor_ < table_->num_rows()) {
-    MaterializeWide(cursor_++, out);
-    if (filter_) {
-      CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*filter_, *out));
+    const size_t r = cursor_++;
+    if (local_filter_) {
+      // Filter on the raw table row; materialize the wide row only on pass.
+      CONQUER_ASSIGN_OR_RETURN(bool pass,
+                               EvalPredicate(*local_filter_, table_->row(r)));
       if (!pass) continue;
     }
+    MaterializeWide(r, out);
     return true;
   }
   return false;
+}
+
+Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
+  // Rows are materialized in place (recycling each wide row's buffer when
+  // the consumer left it behind) instead of cleared and re-pushed.
+  size_t filled = 0;
+  if (parallel_) {
+    while (filled < out->capacity && morsel_cursor_ < morsel_matches_.size()) {
+      const SelVector& matches = morsel_matches_[morsel_cursor_];
+      if (match_cursor_ >= matches.size()) {
+        ++morsel_cursor_;
+        match_cursor_ = 0;
+        continue;
+      }
+      if (filled == out->rows.size()) out->rows.emplace_back();
+      MaterializeWide(matches[match_cursor_++], &out->rows[filled++]);
+    }
+    out->rows.resize(filled);
+    return filled > 0;
+  }
+  const size_t n = table_->num_rows();
+  while (filled < out->capacity && cursor_ < n) {
+    // Vectorize in chunks sized to the remaining batch space: the filter
+    // runs over the raw table rows, then only survivors materialize.
+    const size_t chunk_end = std::min(n, cursor_ + (out->capacity - filled));
+    sel_scratch_.resize(chunk_end - cursor_);
+    std::iota(sel_scratch_.begin(), sel_scratch_.end(),
+              static_cast<uint32_t>(cursor_));
+    cursor_ = chunk_end;
+    if (local_filter_) {
+      uint64_t hits = 0;
+      CONQUER_RETURN_NOT_OK(FilterSelection(*local_filter_, table_->rows(),
+                                            table_, &sel_scratch_, &hits));
+      mutable_metrics().dict_hits += hits;
+    }
+    for (uint32_t r : sel_scratch_) {
+      if (filled == out->rows.size()) out->rows.emplace_back();
+      MaterializeWide(r, &out->rows[filled++]);
+    }
+  }
+  out->rows.resize(filled);
+  return filled > 0;
 }
 
 std::string SeqScanOp::Describe() const {
@@ -165,7 +261,8 @@ IndexScanOp::IndexScanOp(const Table* table, const HashIndex* index, Value key,
       key_(std::move(key)),
       slot_offset_(slot_offset),
       total_slots_(total_slots),
-      filter_(std::move(residual_filter)) {}
+      filter_(std::move(residual_filter)),
+      local_filter_(RebaseFilter(filter_.get(), slot_offset)) {}
 
 Status IndexScanOp::OpenImpl() {
   matches_ = &index_->Lookup(key_);
@@ -176,13 +273,14 @@ Status IndexScanOp::OpenImpl() {
 Result<bool> IndexScanOp::NextImpl(Row* out) {
   while (matches_ != nullptr && cursor_ < matches_->size()) {
     const Row& src = table_->row((*matches_)[cursor_++]);
+    if (local_filter_) {
+      // Residual filter on the raw table row, before wide materialization.
+      CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*local_filter_, src));
+      if (!pass) continue;
+    }
     out->assign(total_slots_, Value::Null());
     for (size_t c = 0; c < src.size(); ++c) {
       (*out)[slot_offset_ + c] = src[c];
-    }
-    if (filter_) {
-      CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*filter_, *out));
-      if (!pass) continue;
     }
     return true;
   }
@@ -214,6 +312,25 @@ Result<bool> FilterOp::NextImpl(Row* out) {
   }
 }
 
+Result<bool> FilterOp::NextBatchImpl(RowBatch* out) {
+  out->rows.clear();
+  while (out->rows.empty()) {
+    child_batch_.capacity = out->capacity;
+    CONQUER_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
+    if (!more) return false;
+    sel_.resize(child_batch_.rows.size());
+    std::iota(sel_.begin(), sel_.end(), 0u);
+    uint64_t hits = 0;
+    CONQUER_RETURN_NOT_OK(FilterSelection(*predicate_, child_batch_.rows,
+                                          /*table=*/nullptr, &sel_, &hits));
+    mutable_metrics().dict_hits += hits;
+    for (uint32_t i : sel_) {
+      out->rows.push_back(std::move(child_batch_.rows[i]));
+    }
+  }
+  return true;
+}
+
 void FilterOp::CloseImpl() { child_->Close(); }
 
 std::string FilterOp::Describe() const {
@@ -237,15 +354,26 @@ bool HashJoinOp::KeyEq::operator()(const std::vector<Value>& a,
 HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
                        std::vector<int> build_key_slots,
                        std::vector<int> probe_key_slots,
-                       std::vector<std::pair<size_t, size_t>> build_ranges,
+                       std::vector<uint32_t> build_slots,
+                       std::vector<uint32_t> probe_slots,
                        const ExecContext* exec)
     : build_(std::move(build)),
       probe_(std::move(probe)),
       build_keys_(std::move(build_key_slots)),
       probe_keys_(std::move(probe_key_slots)),
-      build_ranges_(std::move(build_ranges)),
+      build_slots_(std::move(build_slots)),
+      probe_slots_(std::move(probe_slots)),
       exec_(exec) {
   assert(build_keys_.size() == probe_keys_.size());
+}
+
+void HashJoinOp::EmitRow(const Row& probe_row, const Row& build_row,
+                         Row* dst) const {
+  // Only the referenced probe/build slots ever hold values; everything else
+  // is NULL in probe_row, build_row and (by this invariant) a recycled dst.
+  if (dst->size() != probe_row.size()) dst->assign(probe_row.size(), Value());
+  for (uint32_t s : probe_slots_) (*dst)[s] = probe_row[s];
+  for (uint32_t s : build_slots_) (*dst)[s] = build_row[s];
 }
 
 Status HashJoinOp::ParallelBuild(std::vector<Row> rows) {
@@ -255,10 +383,14 @@ Status HashJoinOp::ParallelBuild(std::vector<Row> rows) {
   num_partitions_ = std::max<size_t>(1, exec_->num_partitions);
   partitions_.assign(num_partitions_, BuildTable{});
 
-  // Phase 1 (morsel-parallel): extract join keys and route each row to its
-  // hash partition. by_part[m][p] lists the row positions of morsel m that
-  // fall in partition p, preserving input order.
+  // Phase 1 (morsel-parallel): extract join keys, hash each key once, and
+  // route each row to its hash partition. The same raw hash later probes
+  // the partition's flat table: HashPartition routes with the *high* bits
+  // of the mixed hash while the table indexes with the low bits, so the two
+  // decisions stay independent. by_part[m][p] lists the row positions of
+  // morsel m that fall in partition p, preserving input order.
   std::vector<std::vector<Value>> keys(n);
+  std::vector<uint64_t> hashes(n);
   std::vector<std::vector<std::vector<uint32_t>>> by_part(
       num_morsels, std::vector<std::vector<uint32_t>>(num_partitions_));
   const size_t workers = std::min(exec_->parallelism(), num_morsels);
@@ -266,8 +398,8 @@ Status HashJoinOp::ParallelBuild(std::vector<Row> rows) {
   {
     TaskGroup group(exec_->pool);
     for (size_t w = 0; w < workers; ++w) {
-      group.Submit([this, n, morsel, num_morsels, &rows, &keys, &by_part,
-                    &next_morsel, &group]() -> Status {
+      group.Submit([this, n, morsel, num_morsels, &rows, &keys, &hashes,
+                    &by_part, &next_morsel, &group]() -> Status {
         while (!group.cancelled()) {
           size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
           if (m >= num_morsels) break;
@@ -282,7 +414,8 @@ Status HashJoinOp::ParallelBuild(std::vector<Row> rows) {
             }
             // NULL join keys never match anything in SQL; drop at build.
             if (has_null_key) continue;
-            size_t p = HashValues(key) % num_partitions_;
+            hashes[r] = HashValues(key);
+            size_t p = HashPartition(HashMix(hashes[r]), num_partitions_);
             by_part[m][p].push_back(static_cast<uint32_t>(r));
           }
         }
@@ -304,22 +437,27 @@ Status HashJoinOp::ParallelBuild(std::vector<Row> rows) {
   {
     TaskGroup group(exec_->pool);
     for (size_t w = 0; w < part_workers; ++w) {
-      group.Submit([this, w, num_morsels, &rows, &keys, &by_part, &next_part,
-                    &table_bytes, &inserted, &group]() -> Status {
+      group.Submit([this, w, num_morsels, &rows, &keys, &hashes, &by_part,
+                    &next_part, &table_bytes, &inserted, &group]() -> Status {
         uint64_t my_rows = 0;
         uint64_t my_bytes = 0;
         while (!group.cancelled()) {
           size_t p = next_part.fetch_add(1, std::memory_order_relaxed);
           if (p >= num_partitions_) break;
           BuildTable& table = partitions_[p];
+          size_t routed = 0;
+          for (size_t m = 0; m < num_morsels; ++m) routed += by_part[m][p].size();
+          table.Reserve(routed);  // keys per partition <= rows routed to it
           for (size_t m = 0; m < num_morsels; ++m) {
             for (uint32_t r : by_part[m][p]) {
               my_bytes += EstimateRowBytes(rows[r]) +
                           keys[r].size() * sizeof(Value);
-              table[std::move(keys[r])].push_back(std::move(rows[r]));
+              table.TryEmplaceHashed(hashes[r], std::move(keys[r]))
+                  .first->push_back(std::move(rows[r]));
               ++my_rows;
             }
           }
+          my_bytes += table.StructureBytes();
         }
         mutable_metrics().worker_rows[w] = my_rows;
         table_bytes.fetch_add(my_bytes, std::memory_order_relaxed);
@@ -334,39 +472,51 @@ Status HashJoinOp::ParallelBuild(std::vector<Row> rows) {
   return Status::OK();
 }
 
+void HashJoinOp::InsertBuildRow(Row row, uint64_t* table_bytes) {
+  std::vector<Value> key;
+  key.reserve(build_keys_.size());
+  bool has_null_key = false;
+  for (int slot : build_keys_) {
+    key.push_back(row[slot]);
+    has_null_key = has_null_key || row[slot].is_null();
+  }
+  // NULL join keys never match anything in SQL; drop them at build.
+  if (has_null_key) return;
+  *table_bytes += EstimateRowBytes(row) + key.size() * sizeof(Value);
+  const uint64_t raw = HashValues(key);
+  partitions_[0]
+      .TryEmplaceHashed(raw, std::move(key))
+      .first->push_back(std::move(row));
+  ++build_rows_;
+}
+
 Status HashJoinOp::OpenImpl() {
   partitions_.clear();
   num_partitions_ = 1;
   build_rows_ = 0;
   CONQUER_RETURN_NOT_OK(build_->Open());
-  Row row;
-  // Drain the build input. With a parallel context the rows are buffered
-  // and bulk-built; otherwise they stream into the single partition table.
+  // Drain the build input batch-at-a-time. With a parallel context the rows
+  // are buffered and bulk-built; otherwise they stream into the single
+  // partition table.
   const bool buffer_rows = exec_ != nullptr && exec_->pool != nullptr &&
                            exec_->pool->num_threads() > 1;
   std::vector<Row> buffered;
   partitions_.assign(1, BuildTable{});
   uint64_t table_bytes = 0;
+  RowBatch batch;
+  batch.capacity =
+      exec_ != nullptr ? std::max<size_t>(1, exec_->batch_size) : batch.capacity;
   while (true) {
-    CONQUER_ASSIGN_OR_RETURN(bool more, build_->Next(&row));
+    CONQUER_ASSIGN_OR_RETURN(bool more, build_->NextBatch(&batch));
     if (!more) break;
-    mutable_metrics().build_rows += 1;
-    if (buffer_rows) {
-      buffered.push_back(std::move(row));
-      continue;
+    mutable_metrics().build_rows += batch.rows.size();
+    for (Row& row : batch.rows) {
+      if (buffer_rows) {
+        buffered.push_back(std::move(row));
+      } else {
+        InsertBuildRow(std::move(row), &table_bytes);
+      }
     }
-    std::vector<Value> key;
-    key.reserve(build_keys_.size());
-    bool has_null_key = false;
-    for (int slot : build_keys_) {
-      key.push_back(row[slot]);
-      has_null_key = has_null_key || row[slot].is_null();
-    }
-    // NULL join keys never match anything in SQL; drop them at build.
-    if (has_null_key) continue;
-    table_bytes += EstimateRowBytes(row) + key.size() * sizeof(Value);
-    partitions_[0][std::move(key)].push_back(row);
-    ++build_rows_;
   }
   build_->Close();
   if (buffer_rows) {
@@ -374,27 +524,39 @@ Status HashJoinOp::OpenImpl() {
       CONQUER_RETURN_NOT_OK(ParallelBuild(std::move(buffered)));
     } else {
       // Too small to fan out: sequential insert of the buffered rows.
-      for (Row& r : buffered) {
-        std::vector<Value> key;
-        key.reserve(build_keys_.size());
-        bool has_null_key = false;
-        for (int slot : build_keys_) {
-          key.push_back(r[slot]);
-          has_null_key = has_null_key || r[slot].is_null();
-        }
-        if (has_null_key) continue;
-        table_bytes += EstimateRowBytes(r) + key.size() * sizeof(Value);
-        partitions_[0][std::move(key)].push_back(std::move(r));
-        ++build_rows_;
-      }
+      for (Row& r : buffered) InsertBuildRow(std::move(r), &table_bytes);
     }
   }
   mutable_metrics().hash_entries = build_rows_;
-  if (num_partitions_ == 1) mutable_metrics().peak_memory_bytes = table_bytes;
+  if (num_partitions_ == 1) {
+    mutable_metrics().peak_memory_bytes =
+        table_bytes + partitions_[0].StructureBytes();
+  }
   CONQUER_RETURN_NOT_OK(probe_->Open());
   current_matches_ = nullptr;
+  probe_current_ = nullptr;
   match_cursor_ = 0;
+  probe_batch_.clear();
+  probe_cursor_ = 0;
   return Status::OK();
+}
+
+const std::vector<Row>* HashJoinOp::ProbeLookup(const Row& probe_row) {
+  probe_key_.clear();
+  bool has_null_key = false;
+  for (int slot : probe_keys_) {
+    probe_key_.push_back(probe_row[slot]);
+    has_null_key = has_null_key || probe_row[slot].is_null();
+  }
+  if (has_null_key) return nullptr;
+  // Hash once: the raw hash routes to the partition (high mixed bits) and
+  // probes its flat table (low mixed bits).
+  const uint64_t raw = HashValues(probe_key_);
+  const BuildTable& table =
+      partitions_[num_partitions_ == 1
+                      ? 0
+                      : HashPartition(HashMix(raw), num_partitions_)];
+  return table.FindHashed(raw, probe_key_);
 }
 
 Result<bool> HashJoinOp::AdvanceProbe() {
@@ -402,20 +564,9 @@ Result<bool> HashJoinOp::AdvanceProbe() {
     CONQUER_ASSIGN_OR_RETURN(bool more, probe_->Next(&probe_row_));
     if (!more) return false;
     mutable_metrics().probe_rows += 1;
-    std::vector<Value> key;
-    key.reserve(probe_keys_.size());
-    bool has_null_key = false;
-    for (int slot : probe_keys_) {
-      key.push_back(probe_row_[slot]);
-      has_null_key = has_null_key || probe_row_[slot].is_null();
-    }
-    if (has_null_key) continue;
-    const BuildTable& table =
-        partitions_[num_partitions_ == 1 ? 0
-                                         : HashValues(key) % num_partitions_];
-    auto it = table.find(key);
-    if (it == table.end()) continue;
-    current_matches_ = &it->second;
+    const std::vector<Row>* hit = ProbeLookup(probe_row_);
+    if (hit == nullptr) continue;
+    current_matches_ = hit;
     match_cursor_ = 0;
     return true;
   }
@@ -429,14 +580,45 @@ Result<bool> HashJoinOp::NextImpl(Row* out) {
       if (!more) return false;
     }
     const Row& build_row = (*current_matches_)[match_cursor_++];
-    *out = probe_row_;
-    for (const auto& [offset, len] : build_ranges_) {
-      for (size_t i = 0; i < len; ++i) {
-        (*out)[offset + i] = build_row[offset + i];
-      }
-    }
+    EmitRow(probe_row_, build_row, out);
     return true;
   }
+}
+
+Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
+  // Assign output rows in place instead of clear()+push_back: a consumer
+  // that reads the batch without moving rows out (e.g. a streaming
+  // aggregate) lets each wide row's buffer be recycled across calls, so the
+  // steady state emits with zero per-row allocation.
+  size_t n = 0;
+  while (n < out->capacity) {
+    if (current_matches_ != nullptr &&
+        match_cursor_ < current_matches_->size()) {
+      const Row& build_row = (*current_matches_)[match_cursor_++];
+      if (n == out->rows.size()) out->rows.emplace_back();
+      EmitRow(*probe_current_, build_row, &out->rows[n++]);
+      continue;
+    }
+    current_matches_ = nullptr;
+    if (probe_cursor_ >= probe_batch_.rows.size()) {
+      probe_batch_.capacity = out->capacity;
+      CONQUER_ASSIGN_OR_RETURN(bool more, probe_->NextBatch(&probe_batch_));
+      if (!more) break;
+      probe_cursor_ = 0;
+    }
+    // Probe in place: the row stays inside probe_batch_ (so the child can
+    // recycle its buffer on the next fill) and is read via pointer while
+    // its matches are emitted.
+    const Row& pr = probe_batch_.rows[probe_cursor_++];
+    mutable_metrics().probe_rows += 1;
+    const std::vector<Row>* hit = ProbeLookup(pr);
+    if (hit == nullptr) continue;
+    probe_current_ = &pr;
+    current_matches_ = hit;
+    match_cursor_ = 0;
+  }
+  out->rows.resize(n);
+  return n > 0;
 }
 
 void HashJoinOp::CloseImpl() {
@@ -480,6 +662,28 @@ Result<bool> ProjectOp::NextImpl(Row* out) {
   for (const Expr* e : exprs_) {
     CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, wide));
     out->push_back(std::move(v));
+  }
+  // Projection is the boundary where dictionary-interned strings leave the
+  // executor: decode them into owning values.
+  DecodeRowInPlace(out);
+  return true;
+}
+
+Result<bool> ProjectOp::NextBatchImpl(RowBatch* out) {
+  out->rows.clear();
+  child_batch_.capacity = out->capacity;
+  CONQUER_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
+  if (!more) return false;
+  out->rows.reserve(child_batch_.rows.size());
+  for (const Row& wide : child_batch_.rows) {
+    Row narrow;
+    narrow.reserve(exprs_.size());
+    for (const Expr* e : exprs_) {
+      CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, wide));
+      narrow.push_back(std::move(v));
+    }
+    DecodeRowInPlace(&narrow);
+    out->rows.push_back(std::move(narrow));
   }
   return true;
 }
@@ -568,41 +772,73 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child,
   }
 }
 
+Status HashAggregateOp::GroupKeyInto(const Row& row,
+                                     std::vector<Value>* key) const {
+  key->clear();
+  key->reserve(group_exprs_.size());
+  for (const Expr* g : group_exprs_) {
+    // Plain column keys (the clean-answer rewriting groups by the SELECT
+    // attributes) copy straight out of the row, skipping the evaluator.
+    if (g->kind == Expr::Kind::kColumnRef) {
+      key->push_back(row[g->slot]);
+      continue;
+    }
+    CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
+    key->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
 Result<std::vector<Value>> HashAggregateOp::GroupKey(const Row& row) const {
   std::vector<Value> key;
-  key.reserve(group_exprs_.size());
-  for (const Expr* g : group_exprs_) {
-    CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
-    key.push_back(std::move(v));
-  }
+  CONQUER_RETURN_NOT_OK(GroupKeyInto(row, &key));
   return key;
 }
 
 Status HashAggregateOp::Accumulate(const Row& row, uint64_t row_index) {
-  CONQUER_ASSIGN_OR_RETURN(std::vector<Value> key, GroupKey(row));
-  return AccumulateRow(&partition_groups_[0], std::move(key), row, row_index,
-                       &output_order_);
+  // Probe with the scratch key; only the first row of a group pays for a
+  // fresh key vector (copied out of the scratch into the table).
+  CONQUER_RETURN_NOT_OK(GroupKeyInto(row, &key_scratch_));
+  const uint64_t raw = HashValues(key_scratch_);
+  GroupMap& map = partition_groups_[0];
+  Group* group = map.FindHashed(raw, key_scratch_);
+  if (group == nullptr) {
+    group = map.TryEmplaceHashed(raw, key_scratch_).first;
+    CONQUER_RETURN_NOT_OK(InitGroup(group, row, row_index));
+  }
+  return UpdateGroup(group, row);
 }
 
-Status HashAggregateOp::AccumulateRow(GroupMap* map, std::vector<Value> key,
-                                      const Row& row, uint64_t row_index,
-                                      std::vector<OutEntry>* order) {
-  auto [it, inserted] = map->try_emplace(std::move(key));
-  Group& group = it->second;
+Status HashAggregateOp::AccumulateRow(GroupMap* map, uint64_t raw_hash,
+                                      std::vector<Value> key, const Row& row,
+                                      uint64_t row_index) {
+  auto [group, inserted] = map->TryEmplaceHashed(raw_hash, std::move(key));
   if (inserted) {
-    if (needs_representative_) group.representative = row;
-    if (num_invariant_evals_ > 0) {
-      group.extra_values.reserve(num_invariant_evals_);
-      for (size_t i = 0; i < select_items_.size(); ++i) {
-        if (item_plans_[i].source == ItemPlan::Source::kInvariantEval) {
-          CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*select_items_[i], row));
-          group.extra_values.push_back(std::move(v));
-        }
+    CONQUER_RETURN_NOT_OK(InitGroup(group, row, row_index));
+  }
+  return UpdateGroup(group, row);
+}
+
+Status HashAggregateOp::InitGroup(Group* group_ptr, const Row& row,
+                                  uint64_t row_index) {
+  Group& group = *group_ptr;
+  group.first_row = row_index;
+  if (needs_representative_) group.representative = row;
+  if (num_invariant_evals_ > 0) {
+    group.extra_values.reserve(num_invariant_evals_);
+    for (size_t i = 0; i < select_items_.size(); ++i) {
+      if (item_plans_[i].source == ItemPlan::Source::kInvariantEval) {
+        CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*select_items_[i], row));
+        group.extra_values.push_back(std::move(v));
       }
     }
-    group.aggs.resize(agg_calls_.size());
-    order->push_back({&it->first, &group, row_index});
   }
+  group.aggs.resize(agg_calls_.size());
+  return Status::OK();
+}
+
+Status HashAggregateOp::UpdateGroup(Group* group_ptr, const Row& row) {
+  Group& group = *group_ptr;
   for (size_t i = 0; i < agg_calls_.size(); ++i) {
     const Expr& call = *agg_calls_[i];
     AggState& st = group.aggs[i];
@@ -714,10 +950,12 @@ Status HashAggregateOp::ParallelAccumulate(const std::vector<Row>& rows) {
   num_partitions_ = std::max<size_t>(1, exec_->num_partitions);
   partition_groups_.assign(num_partitions_, GroupMap{});
 
-  // Phase 1 (morsel-parallel): evaluate group keys and route each row to
-  // its hash partition, preserving input order within every (morsel,
-  // partition) list.
+  // Phase 1 (morsel-parallel): evaluate group keys, hash each key once, and
+  // route each row to its hash partition (high mixed bits; the same raw
+  // hash later indexes the partition's flat table through the low bits),
+  // preserving input order within every (morsel, partition) list.
   std::vector<std::vector<Value>> keys(n);
+  std::vector<uint64_t> hashes(n);
   std::vector<std::vector<std::vector<uint32_t>>> by_part(
       num_morsels, std::vector<std::vector<uint32_t>>(num_partitions_));
   const size_t workers = std::min(exec_->parallelism(), num_morsels);
@@ -725,15 +963,16 @@ Status HashAggregateOp::ParallelAccumulate(const std::vector<Row>& rows) {
   {
     TaskGroup group(exec_->pool);
     for (size_t w = 0; w < workers; ++w) {
-      group.Submit([this, n, morsel, num_morsels, &rows, &keys, &by_part,
-                    &next_morsel, &group]() -> Status {
+      group.Submit([this, n, morsel, num_morsels, &rows, &keys, &hashes,
+                    &by_part, &next_morsel, &group]() -> Status {
         while (!group.cancelled()) {
           size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
           if (m >= num_morsels) break;
           const size_t end = std::min(n, (m + 1) * morsel);
           for (size_t r = m * morsel; r < end; ++r) {
             CONQUER_ASSIGN_OR_RETURN(keys[r], GroupKey(rows[r]));
-            size_t p = HashValues(keys[r]) % num_partitions_;
+            hashes[r] = HashValues(keys[r]);
+            size_t p = HashPartition(HashMix(hashes[r]), num_partitions_);
             by_part[m][p].push_back(static_cast<uint32_t>(r));
           }
         }
@@ -750,13 +989,12 @@ Status HashAggregateOp::ParallelAccumulate(const std::vector<Row>& rows) {
   const size_t part_workers = std::min(exec_->parallelism(), num_partitions_);
   mutable_metrics().parallel_degree = static_cast<uint32_t>(part_workers);
   mutable_metrics().worker_rows.assign(part_workers, 0);
-  std::vector<std::vector<OutEntry>> part_entries(num_partitions_);
   std::atomic<size_t> next_part{0};
   {
     TaskGroup group(exec_->pool);
     for (size_t w = 0; w < part_workers; ++w) {
-      group.Submit([this, w, num_morsels, &rows, &keys, &by_part,
-                    &part_entries, &next_part, &group]() -> Status {
+      group.Submit([this, w, num_morsels, &rows, &keys, &hashes, &by_part,
+                    &next_part, &group]() -> Status {
         uint64_t my_rows = 0;
         while (!group.cancelled()) {
           size_t p = next_part.fetch_add(1, std::memory_order_relaxed);
@@ -764,8 +1002,9 @@ Status HashAggregateOp::ParallelAccumulate(const std::vector<Row>& rows) {
           for (size_t m = 0; m < num_morsels; ++m) {
             for (uint32_t r : by_part[m][p]) {
               CONQUER_RETURN_NOT_OK(AccumulateRow(&partition_groups_[p],
+                                                  hashes[r],
                                                   std::move(keys[r]), rows[r],
-                                                  r, &part_entries[p]));
+                                                  r));
               ++my_rows;
             }
           }
@@ -776,20 +1015,27 @@ Status HashAggregateOp::ParallelAccumulate(const std::vector<Row>& rows) {
     }
     CONQUER_RETURN_NOT_OK(group.Wait());
   }
+  return Status::OK();
+}
 
-  // Final merge: concatenate partitions and restore global first-seen
-  // order. first_row is the deterministic tie-free sort key.
+void HashAggregateOp::BuildOutputOrder() {
+  // Collect groups only after every insert is done: flat-table value
+  // pointers are stable from here on. Sorting on first_row restores the
+  // sequential first-seen order (for a sequential accumulate the entries
+  // are already in that order and the sort is a no-op).
+  output_order_.clear();
   size_t total = 0;
-  for (const auto& entries : part_entries) total += entries.size();
+  for (const GroupMap& groups : partition_groups_) total += groups.size();
   output_order_.reserve(total);
-  for (auto& entries : part_entries) {
-    output_order_.insert(output_order_.end(), entries.begin(), entries.end());
+  for (const GroupMap& groups : partition_groups_) {
+    for (const auto& e : groups.entries()) {
+      output_order_.push_back({&e.key, &e.value, e.value.first_row});
+    }
   }
   std::sort(output_order_.begin(), output_order_.end(),
             [](const OutEntry& a, const OutEntry& b) {
               return a.first_row < b.first_row;
             });
-  return Status::OK();
 }
 
 Status HashAggregateOp::OpenImpl() {
@@ -798,7 +1044,6 @@ Status HashAggregateOp::OpenImpl() {
   output_order_.clear();
   cursor_ = 0;
   CONQUER_RETURN_NOT_OK(child_->Open());
-  Row row;
   size_t n = 0;
   uint64_t buffered_bytes = 0;
   // With a parallel context, buffer the input and bulk-accumulate;
@@ -806,16 +1051,21 @@ Status HashAggregateOp::OpenImpl() {
   const bool buffer_rows = exec_ != nullptr && exec_->pool != nullptr &&
                            exec_->pool->num_threads() > 1;
   std::vector<Row> buffered;
+  RowBatch batch;
+  batch.capacity =
+      exec_ != nullptr ? std::max<size_t>(1, exec_->batch_size) : batch.capacity;
   while (true) {
-    CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    CONQUER_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
     if (!more) break;
-    if (buffer_rows) {
-      buffered_bytes += EstimateRowBytes(row);
-      buffered.push_back(std::move(row));
-    } else {
-      CONQUER_RETURN_NOT_OK(Accumulate(row, n));
+    for (Row& row : batch.rows) {
+      if (buffer_rows) {
+        buffered_bytes += EstimateRowBytes(row);
+        buffered.push_back(std::move(row));
+      } else {
+        CONQUER_RETURN_NOT_OK(Accumulate(row, n));
+      }
+      ++n;
     }
-    ++n;
   }
   child_->Close();
   no_input_ = (n == 0);
@@ -828,17 +1078,18 @@ Status HashAggregateOp::OpenImpl() {
       }
     }
   }
+  BuildOutputOrder();
   size_t num_groups = 0;
   uint64_t table_bytes = buffer_rows ? buffered_bytes : 0;
   for (const GroupMap& groups : partition_groups_) {
     num_groups += groups.size();
-    for (const auto& [key, group] : groups) {
+    table_bytes += groups.StructureBytes();
+    for (const auto& e : groups.entries()) {
+      const std::vector<Value>& key = e.key;
+      const Group& group = e.value;
       table_bytes += key.size() * sizeof(Value) + sizeof(Group) +
                      group.aggs.size() * sizeof(AggState);
-      for (const Value& v : key) {
-        if (v.type() == DataType::kString)
-          table_bytes += v.string_value().capacity();
-      }
+      for (const Value& v : key) table_bytes += ValueHeapBytes(v);
       if (!group.representative.empty()) {
         table_bytes += EstimateRowBytes(group.representative);
       }
@@ -862,6 +1113,7 @@ Result<bool> HashAggregateOp::NextImpl(Row* out) {
       CONQUER_ASSIGN_OR_RETURN(Value v, Finalize(*item, empty));
       out->push_back(std::move(v));
     }
+    DecodeRowInPlace(out);
     return true;
   }
   if (cursor_ >= output_order_.size()) return false;
@@ -884,6 +1136,9 @@ Result<bool> HashAggregateOp::NextImpl(Row* out) {
       }
     }
   }
+  // Aggregation produces narrow output rows: the boundary where interned
+  // strings (group keys) leave the executor.
+  DecodeRowInPlace(out);
   return true;
 }
 
@@ -915,11 +1170,11 @@ Status SortOp::OpenImpl() {
   rows_.clear();
   cursor_ = 0;
   CONQUER_RETURN_NOT_OK(child_->Open());
-  Row row;
+  RowBatch batch;
   while (true) {
-    CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    CONQUER_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
     if (!more) break;
-    rows_.push_back(std::move(row));
+    for (Row& row : batch.rows) rows_.push_back(std::move(row));
   }
   child_->Close();
   uint64_t buffered = 0;
@@ -940,6 +1195,14 @@ Result<bool> SortOp::NextImpl(Row* out) {
   if (cursor_ >= rows_.size()) return false;
   *out = std::move(rows_[cursor_++]);
   return true;
+}
+
+Result<bool> SortOp::NextBatchImpl(RowBatch* out) {
+  out->rows.clear();
+  while (out->rows.size() < out->capacity && cursor_ < rows_.size()) {
+    out->rows.push_back(std::move(rows_[cursor_++]));
+  }
+  return !out->rows.empty();
 }
 
 void SortOp::CloseImpl() { rows_.clear(); }
@@ -979,14 +1242,32 @@ Result<bool> DistinctOp::NextImpl(Row* out) {
   while (true) {
     CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
-    auto [it, inserted] = seen_.try_emplace(*out, true);
-    (void)it;
+    auto [value_ptr, inserted] = seen_.TryEmplace(*out);
+    (void)value_ptr;
     if (inserted) {
       mutable_metrics().hash_entries = seen_.size();
       mutable_metrics().peak_memory_bytes += EstimateRowBytes(*out);
       return true;
     }
   }
+}
+
+Result<bool> DistinctOp::NextBatchImpl(RowBatch* out) {
+  out->rows.clear();
+  while (out->rows.empty()) {
+    child_batch_.capacity = out->capacity;
+    CONQUER_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
+    if (!more) return false;
+    for (Row& row : child_batch_.rows) {
+      auto [value_ptr, inserted] = seen_.TryEmplace(row);
+      (void)value_ptr;
+      if (!inserted) continue;
+      mutable_metrics().hash_entries = seen_.size();
+      mutable_metrics().peak_memory_bytes += EstimateRowBytes(row);
+      out->rows.push_back(std::move(row));
+    }
+  }
+  return true;
 }
 
 void DistinctOp::CloseImpl() {
@@ -1018,6 +1299,23 @@ Result<bool> LimitOp::NextImpl(Row* out) {
   return true;
 }
 
+Result<bool> LimitOp::NextBatchImpl(RowBatch* out) {
+  out->rows.clear();
+  if (produced_ >= limit_) return false;
+  // Cap the child pull at the remaining budget so no extra rows are drawn.
+  child_batch_.capacity =
+      std::min(out->capacity, static_cast<size_t>(limit_ - produced_));
+  CONQUER_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
+  if (!more) return false;
+  const size_t take = std::min(child_batch_.rows.size(),
+                               static_cast<size_t>(limit_ - produced_));
+  for (size_t i = 0; i < take; ++i) {
+    out->rows.push_back(std::move(child_batch_.rows[i]));
+  }
+  produced_ += static_cast<int64_t>(take);
+  return !out->rows.empty();
+}
+
 void LimitOp::CloseImpl() { child_->Close(); }
 
 std::string LimitOp::Describe() const {
@@ -1039,6 +1337,13 @@ Result<bool> StripColumnsOp::NextImpl(Row* out) {
   CONQUER_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;
   out->resize(num_visible_);
+  return true;
+}
+
+Result<bool> StripColumnsOp::NextBatchImpl(RowBatch* out) {
+  CONQUER_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+  if (!more) return false;
+  for (Row& row : out->rows) row.resize(num_visible_);
   return true;
 }
 

@@ -3,9 +3,10 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
+#include "exec/batch.h"
 #include "exec/eval.h"
 #include "exec/exec_context.h"
 #include "exec/operator.h"
@@ -27,14 +28,20 @@ namespace conquer {
 /// identical to the sequential scan for every thread count.
 class SeqScanOp : public Operator {
  public:
+  /// `referenced_slots`, when given, is the planner's bitmap (indexed by
+  /// wide slot) of slots some expression in the query actually reads; the
+  /// scan then materializes only those of its columns and leaves the rest
+  /// NULL (column pruning). Pass nullptr to materialize every column.
   SeqScanOp(const Table* table, size_t slot_offset, size_t total_slots,
-            ExprPtr pushed_filter, const ExecContext* exec = nullptr);
+            ExprPtr pushed_filter, const ExecContext* exec = nullptr,
+            const std::vector<bool>* referenced_slots = nullptr);
 
   std::string Describe() const override;
 
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   /// Parallel pre-filter: fills morsel_matches_ with passing row positions.
@@ -44,13 +51,20 @@ class SeqScanOp : public Operator {
   const Table* table_;
   size_t slot_offset_;
   size_t total_slots_;
-  ExprPtr filter_;  ///< may be null
+  ExprPtr filter_;  ///< may be null; bound to the wide layout (for Describe)
+  /// `filter_` rebased to table-local slots, so the predicate runs on raw
+  /// table rows *before* wide materialization (and with dictionary access).
+  ExprPtr local_filter_;
+  bool prune_ = false;  ///< true when materialize_cols_ limits the copy
+  /// Table-local column indices to materialize (column pruning).
+  std::vector<uint32_t> materialize_cols_;
   const ExecContext* exec_;
   size_t cursor_ = 0;
   bool parallel_ = false;
-  std::vector<std::vector<uint32_t>> morsel_matches_;
+  std::vector<SelVector> morsel_matches_;
   size_t morsel_cursor_ = 0;
   size_t match_cursor_ = 0;
+  SelVector sel_scratch_;
 };
 
 /// \brief Point lookup via a hash index, producing wide rows.
@@ -74,7 +88,8 @@ class IndexScanOp : public Operator {
   Value key_;
   size_t slot_offset_;
   size_t total_slots_;
-  ExprPtr filter_;
+  ExprPtr filter_;        ///< bound to the wide layout (for Describe)
+  ExprPtr local_filter_;  ///< rebased to table-local slots
   const std::vector<size_t>* matches_ = nullptr;
   size_t cursor_ = 0;
 };
@@ -90,11 +105,14 @@ class FilterOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
   OperatorPtr child_;
   ExprPtr predicate_;
+  RowBatch child_batch_;
+  SelVector sel_;
 };
 
 /// \brief In-memory hash equi-join of two wide-row inputs.
@@ -116,9 +134,13 @@ class FilterOp : public Operator {
 /// for every thread count.
 class HashJoinOp : public Operator {
  public:
+  /// `build_slots` / `probe_slots` are the wide slots the build resp. probe
+  /// subtree populates *and* some query expression reads (the planner
+  /// intersects the subtree's slot ranges with its referenced-slot bitmap);
+  /// emitted rows copy exactly these slots and leave every other slot NULL.
   HashJoinOp(OperatorPtr build, OperatorPtr probe,
              std::vector<int> build_key_slots, std::vector<int> probe_key_slots,
-             std::vector<std::pair<size_t, size_t>> build_filled_ranges,
+             std::vector<uint32_t> build_slots, std::vector<uint32_t> probe_slots,
              const ExecContext* exec = nullptr);
 
   std::string Describe() const override;
@@ -127,6 +149,7 @@ class HashJoinOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
@@ -138,27 +161,47 @@ class HashJoinOp : public Operator {
                     const std::vector<Value>& b) const;
   };
   using BuildTable =
-      std::unordered_map<std::vector<Value>, std::vector<Row>, KeyHash, KeyEq>;
+      FlatHashMap<std::vector<Value>, std::vector<Row>, KeyHash, KeyEq>;
 
   Result<bool> AdvanceProbe();
+  /// Looks up `probe_row` in the build table: extracts the key, hashes it
+  /// once (the hash both routes to a partition and probes its flat table)
+  /// and returns the matching build rows, or nullptr.
+  const std::vector<Row>* ProbeLookup(const Row& probe_row);
   /// Partitioned parallel build over the drained build rows.
   Status ParallelBuild(std::vector<Row> rows);
+  /// Streams one build row into the single sequential partition.
+  void InsertBuildRow(Row row, uint64_t* table_bytes);
+  /// Writes the joined row for (probe_row, build_row) into `dst`, copying
+  /// only the referenced probe/build slots. Slots outside both sets are
+  /// NULL in every emitted row, so a recycled `dst` (same width, last
+  /// written by this operator) needs no re-clearing.
+  void EmitRow(const Row& probe_row, const Row& build_row, Row* dst) const;
 
   OperatorPtr build_;
   OperatorPtr probe_;
   std::vector<int> build_keys_;
   std::vector<int> probe_keys_;
-  /// Slot ranges the build side populates; copied into probe rows on match.
-  std::vector<std::pair<size_t, size_t>> build_ranges_;
+  /// Referenced wide slots the build side populates; copied on match.
+  std::vector<uint32_t> build_slots_;
+  /// Referenced wide slots the probe side populates; copied on match.
+  std::vector<uint32_t> probe_slots_;
   const ExecContext* exec_;
 
   /// One table per hash partition; sequential builds use a single partition.
   std::vector<BuildTable> partitions_;
   size_t num_partitions_ = 1;
-  Row probe_row_;
+  Row probe_row_;  ///< scalar-path probe row (batch path probes in place)
+  /// Batch-path probe row with pending matches; points into probe_batch_,
+  /// valid until that batch is refilled (which only happens once the
+  /// matches are exhausted).
+  const Row* probe_current_ = nullptr;
   const std::vector<Row>* current_matches_ = nullptr;
   size_t match_cursor_ = 0;
   size_t build_rows_ = 0;
+  std::vector<Value> probe_key_;  ///< scratch, reused across probe rows
+  RowBatch probe_batch_;          ///< batch-path probe input buffer
+  size_t probe_cursor_ = 0;
 };
 
 /// \brief Projects wide rows to narrow output rows (one value per item).
@@ -172,11 +215,13 @@ class ProjectOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
   OperatorPtr child_;
   std::vector<const Expr*> exprs_;  ///< owned by the bound statement
+  RowBatch child_batch_;
 };
 
 /// \brief Hash aggregation: GROUP BY keys + aggregate select items.
@@ -227,6 +272,9 @@ class HashAggregateOp : public Operator {
     /// mixes column references with its aggregates.
     Row representative;
     std::vector<AggState> aggs;  ///< parallel to agg_calls_
+    /// Global input position of the row that created the group; the
+    /// deterministic output-order sort key (sequential first-seen order).
+    uint64_t first_row = 0;
   };
   struct KeyHash {
     size_t operator()(const std::vector<Value>& key) const;
@@ -246,25 +294,39 @@ class HashAggregateOp : public Operator {
     size_t index = 0;  ///< key position or extra_values position
   };
 
-  using GroupMap = std::unordered_map<std::vector<Value>, Group, KeyHash, KeyEq>;
-  /// One output group in partition-local discovery order; `first_row` is
-  /// the global input position that created the group (used to restore the
-  /// sequential first-seen output order after a parallel accumulate).
+  using GroupMap = FlatHashMap<std::vector<Value>, Group, KeyHash, KeyEq>;
+  /// One output group; collected from the partition tables *after* all
+  /// accumulation (flat-table value pointers are stable only once inserts
+  /// stop) and sorted by first_row to restore sequential first-seen order.
   struct OutEntry {
     const std::vector<Value>* key;
     const Group* group;
     uint64_t first_row;
   };
 
-  /// Evaluates the group key of `row` and accumulates sequentially.
+  /// Evaluates the group key of `row` and accumulates sequentially. Probes
+  /// with a reusable scratch key first and only materializes a key vector on
+  /// the first row of each group (the hot path for low-cardinality inputs).
   Status Accumulate(const Row& row, uint64_t row_index);
-  /// Accumulates `row` into `map` under the precomputed `key`.
-  Status AccumulateRow(GroupMap* map, std::vector<Value> key, const Row& row,
-                       uint64_t row_index, std::vector<OutEntry>* order);
+  /// Accumulates `row` into `map` under the precomputed `key` and its raw
+  /// hash (hash-once: the same hash routed the row to its partition).
+  Status AccumulateRow(GroupMap* map, uint64_t raw_hash,
+                       std::vector<Value> key, const Row& row,
+                       uint64_t row_index);
+  /// One-time group setup on first-seen row (representative, invariant
+  /// select items, agg state sizing).
+  Status InitGroup(Group* group, const Row& row, uint64_t row_index);
+  /// Folds `row` into the running aggregate states of `group`.
+  Status UpdateGroup(Group* group, const Row& row);
   /// Partitioned parallel accumulate over the buffered input rows.
   Status ParallelAccumulate(const std::vector<Row>& rows);
+  /// Rebuilds output_order_ from the partition tables (post-accumulate).
+  void BuildOutputOrder();
   Result<Value> Finalize(const Expr& e, const Group& group) const;
   Result<std::vector<Value>> GroupKey(const Row& row) const;
+  /// GroupKey into a caller-owned vector (cleared first); lets the
+  /// sequential path reuse one scratch allocation across all input rows.
+  Status GroupKeyInto(const Row& row, std::vector<Value>* key) const;
 
   OperatorPtr child_;
   std::vector<const Expr*> group_exprs_;
@@ -279,6 +341,8 @@ class HashAggregateOp : public Operator {
 
   /// Group tables, one per hash partition (a single one when sequential).
   std::vector<GroupMap> partition_groups_;
+  /// Scratch key for the sequential accumulate probe (reused every row).
+  std::vector<Value> key_scratch_;
   size_t num_partitions_ = 1;
   std::vector<OutEntry> output_order_;
   size_t cursor_ = 0;
@@ -302,6 +366,7 @@ class SortOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
@@ -322,6 +387,7 @@ class DistinctOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
@@ -332,7 +398,8 @@ class DistinctOp : public Operator {
     bool operator()(const Row& a, const Row& b) const;
   };
   OperatorPtr child_;
-  std::unordered_map<Row, bool, RowHash, RowEq> seen_;
+  FlatHashMap<Row, bool, RowHash, RowEq> seen_;
+  RowBatch child_batch_;
 };
 
 /// \brief Emits at most `limit` rows.
@@ -346,12 +413,14 @@ class LimitOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:
   OperatorPtr child_;
   int64_t limit_;
   int64_t produced_ = 0;
+  RowBatch child_batch_;
 };
 
 /// \brief Strips hidden trailing sort columns from narrow rows.
@@ -365,6 +434,7 @@ class StripColumnsOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
 
  private:

@@ -43,6 +43,13 @@ void RenderNode(const PlanNodeStats& node, int depth, std::string* out) {
       "  (rows=%llu nexts=%llu time=%.3fms self=%.3fms",
       (unsigned long long)m.rows_produced, (unsigned long long)m.next_calls,
       m.total_seconds() * 1e3, node.self_seconds * 1e3));
+  if (m.batches > 0) {
+    out->append(StringPrintf(" batches=%llu", (unsigned long long)m.batches));
+  }
+  if (m.dict_hits > 0) {
+    out->append(
+        StringPrintf(" dict_hit=%llu", (unsigned long long)m.dict_hits));
+  }
   if (m.open_seconds > 0.0 && (m.hash_entries > 0 || m.build_rows > 0 ||
                                m.peak_memory_bytes > 0)) {
     out->append(StringPrintf(" open=%.3fms", m.open_seconds * 1e3));

@@ -21,6 +21,16 @@ void CollectFromIndices(const Expr& e, std::set<int>* out) {
   if (e.right) CollectFromIndices(*e.right, out);
 }
 
+/// Marks every wide slot some expression reads (column pruning input).
+void CollectSlots(const Expr& e, std::vector<bool>* referenced) {
+  if (e.kind == Expr::Kind::kColumnRef) {
+    (*referenced)[e.slot] = true;
+    return;
+  }
+  if (e.left) CollectSlots(*e.left, referenced);
+  if (e.right) CollectSlots(*e.right, referenced);
+}
+
 /// Crude single-conjunct selectivity for join ordering.
 double EstimateSelectivity(const Expr& e, const std::vector<Table*>& tables) {
   if (e.kind != Expr::Kind::kBinary) return 0.5;
@@ -173,6 +183,18 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
   const SelectStatement& stmt = *q.stmt;
   size_t n = stmt.from.size();
 
+  // ---- Column pruning: which wide slots does the query actually read? ----
+  // Every expression the executor evaluates on a wide row comes from the
+  // WHERE clause, the select list, GROUP BY, or ORDER BY; scans materialize
+  // only these slots and joins copy only these slots, leaving the rest NULL.
+  std::vector<bool> referenced(q.total_slots, false);
+  if (stmt.where) CollectSlots(*stmt.where, &referenced);
+  for (const auto& item : stmt.select_list) {
+    CollectSlots(*item.expr, &referenced);
+  }
+  for (const auto& g : stmt.group_by) CollectSlots(*g, &referenced);
+  for (const auto& o : stmt.order_by) CollectSlots(*o.expr, &referenced);
+
   // ---- Classify WHERE conjuncts. ----
   std::vector<const Expr*> conjuncts;
   CollectConjuncts(stmt.where.get(), &conjuncts);
@@ -255,7 +277,8 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
       }
       scans[i] = std::make_unique<SeqScanOp>(t, q.slot_offsets[i],
                                              q.total_slots,
-                                             std::move(table_filters[i]), exec);
+                                             std::move(table_filters[i]), exec,
+                                             &referenced);
     }
     est[i] = std::max(rows, 1.0);
   }
@@ -352,17 +375,34 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
       }
     }
 
+    // Referenced slots each side populates: the emitted row copies exactly
+    // these (unreferenced slots stay NULL all the way up the plan).
+    auto referenced_slots =
+        [&referenced](const std::vector<std::pair<size_t, size_t>>& rs) {
+          std::vector<uint32_t> out;
+          for (const auto& [offset, len] : rs) {
+            for (size_t i = 0; i < len; ++i) {
+              if (referenced[offset + i]) {
+                out.push_back(static_cast<uint32_t>(offset + i));
+              }
+            }
+          }
+          return out;
+        };
+    std::vector<uint32_t> new_slots = referenced_slots({ranges[best]});
+    std::vector<uint32_t> old_slots = referenced_slots(joined_ranges);
+
     // Build on the smaller side. Scans of base tables have known estimates;
     // the running plan uses its rolling estimate.
     OperatorPtr next;
     if (est[best] <= plan_est) {
       next = std::make_unique<HashJoinOp>(
           std::move(scans[best]), std::move(plan), new_keys, old_keys,
-          std::vector<std::pair<size_t, size_t>>{ranges[best]}, exec);
+          std::move(new_slots), std::move(old_slots), exec);
     } else {
-      next = std::make_unique<HashJoinOp>(std::move(plan),
-                                          std::move(scans[best]), old_keys,
-                                          new_keys, joined_ranges, exec);
+      next = std::make_unique<HashJoinOp>(
+          std::move(plan), std::move(scans[best]), old_keys, new_keys,
+          std::move(old_slots), std::move(new_slots), exec);
     }
     plan = std::move(next);
     joined.insert(best);

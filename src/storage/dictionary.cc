@@ -1,0 +1,41 @@
+#include "storage/dictionary.h"
+
+#include <functional>
+
+namespace conquer {
+
+namespace {
+// The raw hash fed to the lookup table. Computed over the view; the hash
+// stored for Value::Hash compatibility is std::hash<std::string> over the
+// owned copy (the two may differ by implementation — each is used only in
+// its own domain).
+size_t ViewHash(std::string_view s) { return std::hash<std::string_view>()(s); }
+}  // namespace
+
+uint32_t StringDictionary::Intern(std::string_view s) {
+  const size_t raw = ViewHash(s);
+  if (const uint32_t* code = lookup_.FindHashed(raw, s)) return *code;
+  entries_.emplace_back(s);
+  hashes_.push_back(std::hash<std::string>()(entries_.back()));
+  const uint32_t code = static_cast<uint32_t>(entries_.size() - 1);
+  // Key the lookup by a view into the deque-owned copy, not the caller's
+  // transient buffer.
+  *lookup_.TryEmplaceHashed(raw, std::string_view(entries_.back())).first =
+      code;
+  return code;
+}
+
+uint32_t StringDictionary::Find(std::string_view s) const {
+  const uint32_t* code = lookup_.FindHashed(ViewHash(s), s);
+  return code != nullptr ? *code : kInvalidCode;
+}
+
+uint64_t StringDictionary::MemoryBytes() const {
+  uint64_t bytes = lookup_.StructureBytes() +
+                   hashes_.capacity() * sizeof(size_t) +
+                   entries_.size() * sizeof(std::string);
+  for (const std::string& s : entries_) bytes += s.capacity();
+  return bytes;
+}
+
+}  // namespace conquer

@@ -1,0 +1,65 @@
+#ifndef CONQUER_STORAGE_DICTIONARY_H_
+#define CONQUER_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/flat_hash.h"
+#include "types/value.h"
+
+namespace conquer {
+
+/// \brief Per-column string interning pool.
+///
+/// Every distinct string of a column is stored once; rows carry
+/// `Value::Interned` references (stable `const std::string*` plus the
+/// precomputed hash), so string equality in joins and group-bys is a pointer
+/// compare and hashing is an array lookup instead of a byte scan.
+///
+/// Codes are dense and assigned in first-intern order; an existing string's
+/// code never changes (`AnalyzeStatistics` may re-intern rows freely).
+/// Entry storage is a deque so the `std::string*` handed to values stays
+/// valid as the dictionary grows. Writes are not thread-safe; interning
+/// happens at load/insert/analyze time, while parallel query execution only
+/// reads.
+class StringDictionary {
+ public:
+  static constexpr uint32_t kInvalidCode = 0xffffffffu;
+
+  /// Code of `s`, interning it first if absent.
+  uint32_t Intern(std::string_view s);
+
+  /// Code of `s` without interning, or kInvalidCode. Predicate constants
+  /// resolve through this: a miss proves no row of the column can match.
+  uint32_t Find(std::string_view s) const;
+
+  /// Precondition for the accessors: `code < size()`.
+  const std::string* StringAt(uint32_t code) const { return &entries_[code]; }
+  size_t HashAt(uint32_t code) const { return hashes_[code]; }
+
+  /// The interned Value for a code (what scans place into rows).
+  Value ValueAt(uint32_t code) const {
+    return Value::Interned(&entries_[code], hashes_[code]);
+  }
+
+  /// Interns `s` and returns its interned Value in one step.
+  Value InternValue(std::string_view s) { return ValueAt(Intern(s)); }
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return entries_.size(); }
+
+  /// Approximate heap footprint (entries + hash array + lookup table).
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::deque<std::string> entries_;  ///< deque: grow never moves strings
+  std::vector<size_t> hashes_;      ///< std::hash<std::string> per entry
+  /// Lookup keyed by views into entries_ (stable), valued by code.
+  FlatHashMap<std::string_view, uint32_t> lookup_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_STORAGE_DICTIONARY_H_

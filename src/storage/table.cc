@@ -8,8 +8,8 @@ namespace conquer {
 
 const std::vector<size_t>& HashIndex::Lookup(const Value& key) const {
   static const std::vector<size_t> kEmpty;
-  auto it = map_.find(key);
-  return it == map_.end() ? kEmpty : it->second;
+  const std::vector<size_t>* hit = map_.FindHashed(key.Hash(), key);
+  return hit != nullptr ? *hit : kEmpty;
 }
 
 namespace {
@@ -21,6 +21,25 @@ bool ValueFitsColumn(const Value& v, DataType col_type) {
   return false;
 }
 }  // namespace
+
+StringDictionary* Table::DictionaryFor(size_t column) {
+  if (dicts_.size() < schema_.num_columns()) {
+    dicts_.resize(schema_.num_columns());
+  }
+  if (dicts_[column] == nullptr) {
+    dicts_[column] = std::make_unique<StringDictionary>();
+  }
+  return dicts_[column].get();
+}
+
+void Table::InternRow(Row* row) {
+  for (size_t i = 0; i < row->size(); ++i) {
+    Value& v = (*row)[i];
+    if (v.type() == DataType::kString && !v.is_interned()) {
+      v = DictionaryFor(i)->InternValue(v.string_value());
+    }
+  }
+}
 
 Status Table::Insert(Row row) {
   if (row.size() != schema_.num_columns()) {
@@ -36,10 +55,20 @@ Status Table::Insert(Row row) {
           DataTypeToString(schema_.column(i).type), name().c_str()));
     }
     // Normalize INT64 into DOUBLE columns so comparisons and hashing see a
-    // uniform representation.
+    // uniform representation, then re-check the widened value and intern
+    // strings — normalization must never store a value that would fail the
+    // column check it just passed.
     if (schema_.column(i).type == DataType::kDouble &&
         row[i].type() == DataType::kInt64) {
       row[i] = Value::Double(static_cast<double>(row[i].int_value()));
+    }
+    if (!ValueFitsColumn(row[i], schema_.column(i).type)) {
+      return Status::Internal(StringPrintf(
+          "normalized value no longer fits column '%s' of table '%s'",
+          schema_.column(i).name.c_str(), name().c_str()));
+    }
+    if (row[i].type() == DataType::kString && !row[i].is_interned()) {
+      row[i] = DictionaryFor(i)->InternValue(row[i].string_value());
     }
   }
   // Maintain any existing indexes.
@@ -51,12 +80,23 @@ Status Table::Insert(Row row) {
   return Status::OK();
 }
 
+void Table::InsertUnchecked(Row row) {
+  InternRow(&row);
+  rows_.push_back(std::move(row));
+}
+
 Status Table::CreateIndex(std::string_view column_name) {
   CONQUER_ASSIGN_OR_RETURN(size_t col, schema_.GetColumnIndex(column_name));
   if (indexes_.size() < schema_.num_columns()) {
     indexes_.resize(schema_.num_columns());
   }
   auto idx = std::make_unique<HashIndex>(col);
+  // Size the key table from statistics when available, else assume unique.
+  size_t expected = rows_.size();
+  if (col < stats_.size() && stats_[col].num_distinct > 0) {
+    expected = stats_[col].num_distinct;
+  }
+  idx->Reserve(expected);
   for (size_t i = 0; i < rows_.size(); ++i) {
     idx->Insert(rows_[i][col], i);
   }
@@ -69,7 +109,15 @@ const HashIndex* Table::GetIndex(size_t column) const {
   return indexes_[column].get();
 }
 
+void Table::InternStrings() {
+  for (Row& r : rows_) InternRow(&r);
+}
+
 void Table::AnalyzeStatistics() {
+  // Maintenance passes may have written plain strings via mutable_row;
+  // fold them into the dictionaries before counting (existing codes are
+  // stable, so interned values in untouched rows are unaffected).
+  InternStrings();
   stats_.assign(schema_.num_columns(), ColumnStats{});
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
     std::unordered_set<Value, ValueHash> distinct;

@@ -3,11 +3,12 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/flat_hash.h"
 #include "common/result.h"
+#include "storage/dictionary.h"
 #include "types/value.h"
 
 namespace conquer {
@@ -19,14 +20,19 @@ using Row = std::vector<Value>;
 ///
 /// Built eagerly from the table contents; used by the planner for
 /// index-nested-loop joins and point lookups on identifier columns.
+/// Backed by an open-addressing flat table (no per-node allocations,
+/// reserved up-front from table statistics).
 class HashIndex {
  public:
   explicit HashIndex(size_t column) : column_(column) {}
 
   size_t column() const { return column_; }
 
+  /// Pre-sizes the key table (pass the column's expected distinct count).
+  void Reserve(size_t expected_keys) { map_.Reserve(expected_keys); }
+
   void Insert(const Value& key, size_t row_pos) {
-    map_[key].push_back(row_pos);
+    map_.TryEmplaceHashed(key.Hash(), key).first->push_back(row_pos);
   }
 
   /// Row positions whose indexed column equals `key` (empty if none).
@@ -36,7 +42,7 @@ class HashIndex {
 
  private:
   size_t column_;
-  std::unordered_map<Value, std::vector<size_t>, ValueHash> map_;
+  FlatHashMap<Value, std::vector<size_t>, ValueHash> map_;
 };
 
 /// \brief Per-column statistics gathered by Table::AnalyzeStatistics
@@ -47,6 +53,12 @@ struct ColumnStats {
 };
 
 /// \brief In-memory row-store table.
+///
+/// String columns are dictionary-encoded: Insert/InsertUnchecked intern
+/// every string into a per-column StringDictionary and store interned
+/// references in the row, so downstream joins/aggregations hash and compare
+/// strings as integers. Maintenance passes writing plain strings through
+/// mutable_row() are re-interned by the next AnalyzeStatistics.
 class Table {
  public:
   explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
@@ -60,21 +72,26 @@ class Table {
 
   /// Mutable row access for in-place maintenance passes (identifier
   /// propagation, probability assignment). Invalidates indexes/statistics:
-  /// callers must re-run CreateIndex / AnalyzeStatistics afterwards.
+  /// callers must re-run CreateIndex / AnalyzeStatistics afterwards (which
+  /// also re-interns any plain strings the pass wrote).
   Row* mutable_row(size_t i) { return &rows_[i]; }
 
   /// Appends a row after arity and type checks (numeric widening allowed:
-  /// an INT64 value may populate a DOUBLE column).
+  /// an INT64 value may populate a DOUBLE column). The stored row is
+  /// normalized: widened numerics are re-validated and strings interned
+  /// *after* widening, in one pass.
   Status Insert(Row row);
 
-  /// Appends without validation; caller guarantees schema conformance.
-  void InsertUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  /// Appends without validation (caller guarantees schema conformance);
+  /// still interns string values so bulk generators feed the dictionary.
+  void InsertUnchecked(Row row);
 
   void Reserve(size_t n) { rows_.reserve(n); }
   void Clear() {
     rows_.clear();
     indexes_.clear();
     stats_.clear();
+    dicts_.clear();
   }
 
   /// Builds (or rebuilds) a hash index on the named column.
@@ -83,17 +100,35 @@ class Table {
   /// Index on the given column position, or nullptr.
   const HashIndex* GetIndex(size_t column) const;
 
-  /// Recomputes per-column distinct/null counts.
+  /// Recomputes per-column distinct/null counts; also re-interns any plain
+  /// string values written through mutable_row (codes of already-interned
+  /// strings are stable).
   void AnalyzeStatistics();
 
   /// Statistics for a column; zeros if AnalyzeStatistics was never run.
   const ColumnStats& column_stats(size_t column) const;
 
+  /// The string dictionary of a column, or nullptr (non-string column, or
+  /// no string seen yet). Scans use it to resolve predicate constants to
+  /// interned pointers.
+  const StringDictionary* dictionary(size_t column) const {
+    return column < dicts_.size() ? dicts_[column].get() : nullptr;
+  }
+
+  /// Interns every plain (non-interned) string value in place. Idempotent.
+  void InternStrings();
+
  private:
+  /// Lazily creates the dictionary of a string column.
+  StringDictionary* DictionaryFor(size_t column);
+  /// Interns string values of `row` into the column dictionaries.
+  void InternRow(Row* row);
+
   TableSchema schema_;
   std::vector<Row> rows_;
   std::vector<std::unique_ptr<HashIndex>> indexes_;
   std::vector<ColumnStats> stats_;
+  std::vector<std::unique_ptr<StringDictionary>> dicts_;
 };
 
 }  // namespace conquer

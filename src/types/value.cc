@@ -114,10 +114,14 @@ int Value::Compare(const Value& other) const {
         double a = double_value(), b = other.double_value();
         return (a > b) - (a < b);
       }
-      case DataType::kString:
+      case DataType::kString: {
+        // Interned fast path: same dictionary entry => equal, no byte scan.
+        const std::string* a = interned_ptr();
+        if (a != nullptr && a == other.interned_ptr()) return 0;
         return string_value().compare(other.string_value()) < 0
                    ? -1
                    : (string_value() == other.string_value() ? 0 : 1);
+      }
       default:
         break;
     }
@@ -152,22 +156,32 @@ int Value::TotalCompare(const Value& other) const {
 }
 
 size_t Value::Hash() const {
+  // Hot path of every hash join build/probe and group-by: reach into the
+  // variant with unchecked get_if (the type tag already discriminates)
+  // instead of the throwing std::get / visitor machinery.
   switch (type_) {
     case DataType::kNull:
       return 0x9e3779b9u;
     case DataType::kBool:
-      return bool_value() ? 0x1234u : 0x4321u;
-    case DataType::kInt64:
-    case DataType::kDouble: {
+      return *std::get_if<bool>(&rep_) ? 0x1234u : 0x4321u;
+    case DataType::kInt64: {
       // Hash the double image so 3 and 3.0 collide (they compare equal).
-      double d = AsDouble();
+      double d = static_cast<double>(*std::get_if<int64_t>(&rep_));
+      return std::hash<double>()(d) ^ 0x5bd1e995u;
+    }
+    case DataType::kDouble: {
+      double d = *std::get_if<double>(&rep_);
       if (d == 0.0) d = 0.0;  // normalize -0.0
       return std::hash<double>()(d) ^ 0x5bd1e995u;
     }
-    case DataType::kString:
-      return std::hash<std::string>()(string_value());
+    case DataType::kString: {
+      if (const InternedStr* i = std::get_if<InternedStr>(&rep_)) {
+        return i->hash;  // precomputed at intern time
+      }
+      return std::hash<std::string>()(*std::get_if<std::string>(&rep_));
+    }
     case DataType::kDate:
-      return std::hash<int64_t>()(date_value()) ^ 0x85ebca6bu;
+      return std::hash<int64_t>()(*std::get_if<int64_t>(&rep_)) ^ 0x85ebca6bu;
   }
   return 0;
 }

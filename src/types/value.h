@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 #include <variant>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -45,8 +46,26 @@ std::string FormatDate(int64_t days);
 /// Values use SQL comparison semantics at the expression-evaluation layer
 /// (NULL comparisons yield unknown); `Value` itself also provides a total
 /// order (`TotalCompare`, NULLs first) for sorting and grouping.
+///
+/// STRING values come in two representations: an owned `std::string`, or an
+/// *interned* reference into a `StringDictionary` (a stable `const
+/// std::string*` plus the string's precomputed hash). Interned values copy
+/// in O(1), hash in O(1), and compare by pointer when both sides are
+/// interned in the same dictionary; all accessors (`string_value`,
+/// comparison, hashing) behave identically for both representations, and
+/// hashes of the two representations of the same text always agree. The
+/// referenced dictionary must outlive the value — the executor guarantees
+/// this by decoding interned values into owned strings at the
+/// projection/result-set boundary (`DecodeInPlace`).
 class Value {
  public:
+  /// Interned string payload: a pointer to dictionary-owned storage plus
+  /// the precomputed `std::hash<std::string>` of the text.
+  struct InternedStr {
+    const std::string* str;
+    size_t hash;
+  };
+
   /// NULL value.
   Value() : type_(DataType::kNull) {}
 
@@ -58,6 +77,11 @@ class Value {
     return Value(DataType::kString, std::move(v));
   }
   static Value Date(int64_t days) { return Value(DataType::kDate, days); }
+  /// STRING referencing dictionary-owned storage; `hash` must equal
+  /// `std::hash<std::string>{}(*s)` (StringDictionary precomputes it).
+  static Value Interned(const std::string* s, size_t hash) {
+    return Value(DataType::kString, InternedStr{s, hash});
+  }
 
   DataType type() const { return type_; }
   bool is_null() const { return type_ == DataType::kNull; }
@@ -66,8 +90,31 @@ class Value {
   bool bool_value() const { return std::get<bool>(rep_); }
   int64_t int_value() const { return std::get<int64_t>(rep_); }
   double double_value() const { return std::get<double>(rep_); }
-  const std::string& string_value() const { return std::get<std::string>(rep_); }
+  const std::string& string_value() const {
+    if (const InternedStr* i = std::get_if<InternedStr>(&rep_)) return *i->str;
+    return std::get<std::string>(rep_);
+  }
   int64_t date_value() const { return std::get<int64_t>(rep_); }
+
+  /// True for a STRING in the interned (dictionary-backed) representation.
+  bool is_interned() const {
+    return std::holds_alternative<InternedStr>(rep_);
+  }
+  /// The interned storage pointer, or nullptr for other representations.
+  /// Two values interned in the same dictionary are equal iff the pointers
+  /// are — the executor's string-equality fast path.
+  const std::string* interned_ptr() const {
+    const InternedStr* i = std::get_if<InternedStr>(&rep_);
+    return i != nullptr ? i->str : nullptr;
+  }
+
+  /// Converts an interned STRING into an owning one (no-op otherwise), so
+  /// the value survives its source dictionary.
+  void DecodeInPlace() {
+    if (const InternedStr* i = std::get_if<InternedStr>(&rep_)) {
+      rep_ = *i->str;
+    }
+  }
 
   /// Numeric value widened to double (INT64, DOUBLE, DATE, BOOL).
   double AsDouble() const;
@@ -101,8 +148,15 @@ class Value {
   Value(DataType t, T v) : type_(t), rep_(std::move(v)) {}
 
   DataType type_;
-  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+  std::variant<std::monostate, bool, int64_t, double, std::string, InternedStr>
+      rep_;
 };
+
+/// Decodes every interned string in the row into owning storage (the
+/// projection/result-set boundary of the batch executor).
+inline void DecodeRowInPlace(std::vector<Value>* row) {
+  for (Value& v : *row) v.DecodeInPlace();
+}
 
 /// Hasher for containers keyed on Value.
 struct ValueHash {

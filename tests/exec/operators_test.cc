@@ -98,7 +98,7 @@ TEST(HashJoinOpTest, JoinsOnSlots) {
   auto probe = std::make_unique<SeqScanOp>(t1.get(), 0, 4, nullptr);
   // join on t1.b (slot 1) == t2.x (slot 2)
   HashJoinOp join(std::move(build), std::move(probe), {2}, {1},
-                  {{2, 2}});
+                  /*build_slots=*/{2, 3}, /*probe_slots=*/{0, 1});
   auto rows = Drain(&join);
   // t1.b values: 0,1,2,0,1,2 -> matches for 0 (x2) and 2 (x2) = 4 rows.
   ASSERT_EQ(rows.size(), 4u);
@@ -120,7 +120,8 @@ TEST(HashJoinOpTest, NullKeysNeverMatch) {
 
   auto build = std::make_unique<SeqScanOp>(t2.get(), 1, 2, nullptr);
   auto probe = std::make_unique<SeqScanOp>(t1.get(), 0, 2, nullptr);
-  HashJoinOp join(std::move(build), std::move(probe), {1}, {0}, {{1, 1}});
+  HashJoinOp join(std::move(build), std::move(probe), {1}, {0},
+                  /*build_slots=*/{1}, /*probe_slots=*/{0});
   EXPECT_EQ(Drain(&join).size(), 1u);  // only 1 = 1; NULL != NULL
 }
 
@@ -129,7 +130,8 @@ TEST(HashJoinOpTest, EmptyKeysMakeCrossProduct) {
   auto t2 = MakeNumbersTable(4);
   auto build = std::make_unique<SeqScanOp>(t2.get(), 2, 4, nullptr);
   auto probe = std::make_unique<SeqScanOp>(t1.get(), 0, 4, nullptr);
-  HashJoinOp join(std::move(build), std::move(probe), {}, {}, {{2, 2}});
+  HashJoinOp join(std::move(build), std::move(probe), {}, {},
+                  /*build_slots=*/{2, 3}, /*probe_slots=*/{0, 1});
   EXPECT_EQ(Drain(&join).size(), 12u);
 }
 

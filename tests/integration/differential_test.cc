@@ -222,22 +222,31 @@ TEST_P(DifferentialTest, EngineMatchesOracleSequentiallyAndInParallel) {
       ASSERT_NEAR(sequential->ProbabilityOf(a.row), a.probability, 1e-9);
     }
 
-    rdb.db.SetThreads(3);
-    auto parallel = engine.Query(sql);
-    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
-
-    // Parallel execution must reproduce the sequential answers exactly:
-    // same rows, same order, bit-identical probabilities.
-    ASSERT_EQ(parallel->answers.size(), sequential->answers.size());
-    for (size_t i = 0; i < parallel->answers.size(); ++i) {
-      EXPECT_TRUE(RowsEqual(parallel->answers[i].row,
-                            sequential->answers[i].row))
-          << "answer row " << i << " differs between thread counts";
-      EXPECT_EQ(Bits(parallel->answers[i].probability),
-                Bits(sequential->answers[i].probability))
-          << "probability of answer " << i
-          << " is not bit-identical across thread counts";
+    // Every (batch size, thread count) combination must reproduce the
+    // sequential baseline exactly: same rows, same order, bit-identical
+    // SUM(prob) probabilities. Batch size 1 degenerates to row-at-a-time,
+    // 7 leaves ragged final batches everywhere, 1024 is the default.
+    for (size_t batch_size : {size_t{1}, size_t{7}, size_t{1024}}) {
+      for (size_t threads : {size_t{1}, size_t{3}}) {
+        rdb.db.mutable_exec_context()->batch_size = batch_size;
+        rdb.db.SetThreads(threads);
+        auto run = engine.Query(sql);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        const std::string label = " (batch_size=" + std::to_string(batch_size) +
+                                  ", threads=" + std::to_string(threads) + ")";
+        ASSERT_EQ(run->answers.size(), sequential->answers.size()) << label;
+        for (size_t i = 0; i < run->answers.size(); ++i) {
+          EXPECT_TRUE(
+              RowsEqual(run->answers[i].row, sequential->answers[i].row))
+              << "answer row " << i << " differs" << label;
+          EXPECT_EQ(Bits(run->answers[i].probability),
+                    Bits(sequential->answers[i].probability))
+              << "probability of answer " << i << " is not bit-identical"
+              << label;
+        }
+      }
     }
+    rdb.db.mutable_exec_context()->batch_size = 1024;
     rdb.db.SetThreads(1);
   }
 }

@@ -1,0 +1,100 @@
+// Unit tests for the per-column string dictionary: round-trips, code
+// stability (AnalyzeStatistics may re-intern freely), pointer stability as
+// the pool grows, and NULL handling through Table::Insert.
+
+#include "storage/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "storage/table.h"
+
+namespace conquer {
+namespace {
+
+TEST(StringDictionaryTest, RoundTripAndCodeStability) {
+  StringDictionary dict;
+  uint32_t a = dict.Intern("alpha");
+  uint32_t b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.size(), 2u);
+
+  // Re-interning an existing string returns the original code.
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  EXPECT_EQ(dict.Intern("beta"), b);
+  EXPECT_EQ(dict.size(), 2u);
+
+  EXPECT_EQ(*dict.StringAt(a), "alpha");
+  Value v = dict.ValueAt(b);
+  EXPECT_TRUE(v.is_interned());
+  EXPECT_EQ(v.string_value(), "beta");
+  EXPECT_EQ(v.interned_ptr(), dict.StringAt(b));
+}
+
+TEST(StringDictionaryTest, FindDoesNotIntern) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.Find("missing"), StringDictionary::kInvalidCode);
+  EXPECT_EQ(dict.size(), 0u);
+
+  uint32_t c = dict.Intern("x");
+  EXPECT_EQ(dict.Find("x"), c);
+  EXPECT_EQ(dict.Find(""), StringDictionary::kInvalidCode);
+  uint32_t empty = dict.Intern("");  // empty string is a valid entry
+  EXPECT_EQ(dict.Find(""), empty);
+}
+
+TEST(StringDictionaryTest, PointersSurviveGrowth) {
+  StringDictionary dict;
+  const std::string* first = dict.StringAt(dict.Intern("first"));
+  for (int i = 0; i < 10000; ++i) dict.Intern("s" + std::to_string(i));
+  // Entry storage is a deque: the pointer handed out before 10k further
+  // interns (and the rehashes they force) must still be valid.
+  EXPECT_EQ(dict.StringAt(0), first);
+  EXPECT_EQ(*first, "first");
+}
+
+TEST(TableDictionaryTest, InsertInternsStringsAndKeepsNulls) {
+  Table table(TableSchema(
+      "t", {{"s", DataType::kString}, {"n", DataType::kInt64}}));
+  ASSERT_TRUE(table.Insert({Value::String("dup"), Value::Int(1)}).ok());
+  ASSERT_TRUE(table.Insert({Value::String("dup"), Value::Int(2)}).ok());
+  ASSERT_TRUE(table.Insert({Value::Null(), Value::Int(3)}).ok());
+
+  const StringDictionary* dict = table.dictionary(0);
+  ASSERT_NE(dict, nullptr);
+  EXPECT_EQ(dict->size(), 1u);               // "dup" stored once
+  EXPECT_EQ(table.dictionary(1), nullptr);   // INT64 column: no dictionary
+
+  // Both string rows share the interned storage; NULL stays NULL.
+  ASSERT_TRUE(table.row(0)[0].is_interned());
+  ASSERT_TRUE(table.row(1)[0].is_interned());
+  EXPECT_EQ(table.row(0)[0].interned_ptr(), table.row(1)[0].interned_ptr());
+  EXPECT_TRUE(table.row(2)[0].is_null());
+}
+
+TEST(TableDictionaryTest, CodesStableAcrossAnalyzeStatistics) {
+  Table table(TableSchema("t", {{"s", DataType::kString}}));
+  ASSERT_TRUE(table.Insert({Value::String("a")}).ok());
+  ASSERT_TRUE(table.Insert({Value::String("b")}).ok());
+
+  const StringDictionary* dict = table.dictionary(0);
+  ASSERT_NE(dict, nullptr);
+  uint32_t code_a = dict->Find("a");
+  uint32_t code_b = dict->Find("b");
+  ASSERT_NE(code_a, StringDictionary::kInvalidCode);
+  ASSERT_NE(code_b, StringDictionary::kInvalidCode);
+
+  // AnalyzeStatistics may re-intern every row; existing codes (and the
+  // interned pointers built from them) must not move.
+  const std::string* ptr_a = dict->StringAt(code_a);
+  table.AnalyzeStatistics();
+  table.AnalyzeStatistics();  // idempotent
+  EXPECT_EQ(dict->Find("a"), code_a);
+  EXPECT_EQ(dict->Find("b"), code_b);
+  EXPECT_EQ(dict->StringAt(code_a), ptr_a);
+  EXPECT_EQ(table.row(0)[0].interned_ptr(), ptr_a);
+}
+
+}  // namespace
+}  // namespace conquer

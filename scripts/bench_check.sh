@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Regression gate for the rewritten-query benchmark numbers.
+#
+# Runs a fresh Figure-8 sweep and compares the Rewritten/* wall-clock times
+# against the committed baseline (BENCH_fig8.json). Fails when any rewritten
+# query is more than TOLERANCE_PCT slower than its committed number, so a
+# perf regression in the clean-answer execution path shows up as a red test
+# instead of a silently re-recorded baseline.
+#
+# Usage:
+#   scripts/bench_check.sh [FIG8_BINARY] [BASELINE_JSON]
+#
+# With no arguments, builds the Release tree and uses its fig8 binary
+# against the repo-root baseline. CTest (label `bench`, Release builds
+# only) passes the current build's binary explicitly.
+#
+# Environment knobs:
+#   TOLERANCE_PCT=N  allowed slowdown per query, percent (default 25)
+#   MIN_DELTA_MS=X   absolute slack: a query only fails when it is ALSO
+#                    more than X ms slower (default 2.0) — sub-10ms queries
+#                    show >25% run-to-run noise on a shared machine
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="${1:-}"
+BASELINE="${2:-BENCH_fig8.json}"
+TOLERANCE_PCT="${TOLERANCE_PCT:-25}"
+MIN_DELTA_MS="${MIN_DELTA_MS:-2.0}"
+
+if [[ -z "$BIN" ]]; then
+  cmake --preset release >/dev/null
+  cmake --build build-release -j"$(nproc)" --target fig8_query_overhead \
+    >/dev/null
+  BIN=./build-release/bench/fig8_query_overhead
+fi
+
+if [[ ! -x "$BIN" ]]; then
+  echo "bench_check: fig8 binary not found at $BIN" >&2
+  exit 2
+fi
+if [[ ! -f "$BASELINE" ]]; then
+  echo "bench_check: baseline $BASELINE not found" >&2
+  exit 2
+fi
+
+FRESH="$(mktemp /tmp/bench_check_fig8.XXXXXX.json)"
+trap 'rm -f "$FRESH"' EXIT
+
+echo "== bench_check: fresh Figure-8 run ($BIN) =="
+"$BIN" --json="$FRESH" >/dev/null
+
+python3 - "$BASELINE" "$FRESH" "$TOLERANCE_PCT" "$MIN_DELTA_MS" <<'PY'
+import json
+import sys
+
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+tol_pct, min_delta_ms = float(sys.argv[3]), float(sys.argv[4])
+
+
+def rewritten_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for r in doc["results"]:
+        if "/Rewritten/" not in r["name"] or r.get("threads", 1) != 1:
+            continue
+        # "Fig8/Rewritten/Q9/threads:1/..." -> "Q9"
+        query = r["name"].split("/Rewritten/")[1].split("/")[0]
+        out[query] = r["wall_ms"]
+    return out
+
+
+base = rewritten_times(baseline_path)
+fresh = rewritten_times(fresh_path)
+missing = sorted(set(base) - set(fresh))
+if missing:
+    print(f"bench_check: FAIL — queries missing from fresh run: {missing}")
+    sys.exit(1)
+
+failed = []
+for query in sorted(base, key=lambda q: (len(q), q)):
+    ratio = fresh[query] / base[query] if base[query] > 0 else float("inf")
+    delta = fresh[query] - base[query]
+    status = "ok"
+    if ratio > 1 + tol_pct / 100 and delta > min_delta_ms:
+        status = "REGRESSED"
+        failed.append(query)
+    print(f"  {query:>4}: baseline {base[query]:9.3f} ms, "
+          f"fresh {fresh[query]:9.3f} ms  ({ratio:5.2f}x)  {status}")
+
+if failed:
+    print(f"bench_check: FAIL — rewritten queries slower than baseline "
+          f"by >{tol_pct:.0f}%: {failed}")
+    sys.exit(1)
+print(f"bench_check: OK — all rewritten queries within {tol_pct:.0f}% "
+      f"of the committed baseline")
+PY

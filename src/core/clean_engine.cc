@@ -60,13 +60,13 @@ OfflineCleaningBaseline::BuildCleanedDatabase() const {
     std::unordered_map<Value, size_t, ValueHash> best;  // id -> row position
     std::vector<Value> order;
     for (size_t r = 0; r < src->num_rows(); ++r) {
-      const Value& id = src->row(r)[id_col];
+      Value id = src->ValueAt(r, id_col);
       auto it = best.find(id);
       if (it == best.end()) {
         best.emplace(id, r);
-        order.push_back(id);
-      } else if (src->row(r)[prob_col].AsDouble() >
-                 src->row(it->second)[prob_col].AsDouble()) {
+        order.push_back(std::move(id));
+      } else if (src->ValueAt(r, prob_col).AsDouble() >
+                 src->ValueAt(it->second, prob_col).AsDouble()) {
         it->second = r;
       }
     }

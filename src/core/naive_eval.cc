@@ -64,10 +64,10 @@ NaiveCandidateEvaluator::CollectClusters(
     // Group rows by identifier value, preserving first-seen order.
     std::unordered_map<Value, size_t, ValueHash> index;  // id -> cluster pos
     for (size_t r = 0; r < table->num_rows(); ++r) {
-      const Value& id = table->row(r)[id_col];
+      Value id = table->ValueAt(r, id_col);
       auto it = index.find(id);
       if (it == index.end()) {
-        index.emplace(id, clusters.size());
+        index.emplace(std::move(id), clusters.size());
         clusters.push_back({name, {r}});
       } else {
         clusters[it->second].members.push_back(r);
@@ -110,7 +110,10 @@ Result<std::vector<double>> NaiveCandidateEvaluator::CandidateProbabilities(
       prob_col = static_cast<int>(idx);
     }
     for (size_t m : clusters[i].members) {
-      double p = prob_col < 0 ? 1.0 : table->row(m)[prob_col].AsDouble();
+      double p = prob_col < 0
+                     ? 1.0
+                     : table->ValueAt(m, static_cast<size_t>(prob_col))
+                           .AsDouble();
       probs[i].push_back(p);
     }
     // Divide-before-multiply so the running product cannot wrap uint64_t.

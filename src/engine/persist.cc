@@ -63,7 +63,11 @@ Status SaveDatabase(const Database& db, const std::string& dir,
     }
     data << FormatCsvLine(header, csv) << '\n';
     std::vector<std::string> fields(header.size());
-    for (const Row& row : table->rows()) {
+    Row row;
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      // Materialize one row at a time: chunked tables have no contiguous
+      // row vector to iterate, and a full copy would double peak memory.
+      table->GetRowInto(r, &row);
       for (size_t c = 0; c < row.size(); ++c) {
         fields[c] =
             row[c].is_null() ? csv.null_literal : row[c].ToString();

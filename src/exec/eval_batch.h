@@ -37,6 +37,35 @@ Status FilterSelection(const Expr& e, const std::vector<Row>& rows,
                        const Table* table, SelVector* sel,
                        uint64_t* dict_hits);
 
+/// \brief Chunk-native predicate evaluation over a selection vector.
+///
+/// Same contract as FilterSelection — `sel` holds *chunk-local* positions
+/// into chunk `chunk_index` of `table` and is compacted in place, order
+/// preserved — but the fast paths read the chunk's typed column vectors
+/// directly, with no row materialization:
+///   - int64/date/bool columns compare raw int64 payloads;
+///   - double columns compare raw doubles (INT64 literals widened once);
+///   - string (in)equality resolves the literal to its dictionary code once
+///     and compares codes per row (counted in `*dict_hits`); ordering and
+///     LIKE decode through the dictionary without copying;
+///   - an equality on a chunk whose zone map proves all-distinct values
+///     stops after the first match.
+/// Rows are materialized only for predicate shapes outside these paths
+/// (scalar EvalPredicate fallback, one row at a time).
+Status FilterChunkSelection(const Expr& e, const Table& table,
+                            size_t chunk_index, SelVector* sel,
+                            uint64_t* dict_hits);
+
+/// \brief True when the chunk's zone maps prove no row can satisfy `e`.
+///
+/// Conservative: comparisons of a column against a literal are tested
+/// against the column's min/max (an all-NULL chunk fails every comparison);
+/// AND skips when either side skips, OR when both do; every other predicate
+/// shape returns false. Only literal/column type pairings that the row-wise
+/// evaluator would compare without error participate, so pruning never
+/// suppresses a type error the scan would have raised.
+bool ZoneMapCanSkip(const Expr& e, const Table& table, const Chunk& chunk);
+
 }  // namespace conquer
 
 #endif  // CONQUER_EXEC_EVAL_BATCH_H_

@@ -37,6 +37,16 @@ struct ExecContext {
   /// down the pipeline. Output is bit-identical for every batch size.
   size_t batch_size = 1024;
 
+  /// Let scans skip whole chunks whose zone maps prove no row can match the
+  /// pushed-down predicate. Pruning only drops provably-dead chunks, so
+  /// results are identical either way (A/B knob for tests and benchmarks).
+  bool enable_zone_pruning = true;
+
+  /// Let the planner push hash-join build-side Bloom filters into
+  /// probe-side scans (runtime semi-join filtering). Filters only drop rows
+  /// the join would reject, so results are identical either way.
+  bool enable_runtime_filters = true;
+
   /// Worker tasks a parallel phase schedules (the pool size, or 1).
   size_t parallelism() const {
     return pool != nullptr ? pool->num_threads() : 1;

@@ -26,6 +26,12 @@ struct OperatorMetrics {
   /// Rows decided by an interned-pointer compare against a
   /// dictionary-resolved string constant (vectorized filter fast path).
   uint64_t dict_hits = 0;
+  /// Chunks a scan skipped wholesale because the zone maps proved no row
+  /// could satisfy the pushed-down predicate.
+  uint64_t chunks_skipped = 0;
+  /// Rows a scan dropped through a pushed-down join Bloom filter (runtime
+  /// semi-join filtering) before wide materialization.
+  uint64_t bloom_filtered = 0;
   double open_seconds = 0.0;   ///< time inside Open(); the build phase for
                                ///< blocking operators (hash build, sort)
   double next_seconds = 0.0;   ///< cumulative time across all Next() calls

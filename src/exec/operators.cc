@@ -103,103 +103,157 @@ SeqScanOp::SeqScanOp(const Table* table, size_t slot_offset,
   }
 }
 
-void SeqScanOp::MaterializeWide(size_t row_pos, Row* out) const {
-  const Row& src = table_->row(row_pos);
+void SeqScanOp::MaterializeWide(size_t chunk_index, uint32_t row,
+                                Row* out) const {
+  const Chunk& ch = table_->chunk(chunk_index);
   // A recycled row of the right width only ever held this scan's
   // materialized slots; the NULLs elsewhere are intact, so only those
   // slots are rewritten.
   if (out->size() != total_slots_) out->assign(total_slots_, Value::Null());
   if (prune_) {
     for (uint32_t c : materialize_cols_) {
-      (*out)[slot_offset_ + c] = src[c];
+      (*out)[slot_offset_ + c] =
+          ch.column(c).GetValue(row, table_->dictionary(c));
     }
     return;
   }
-  for (size_t c = 0; c < src.size(); ++c) {
-    (*out)[slot_offset_ + c] = src[c];
+  for (size_t c = 0; c < ch.num_columns(); ++c) {
+    (*out)[slot_offset_ + c] = ch.column(c).GetValue(row, table_->dictionary(c));
   }
 }
 
+Status SeqScanOp::FilterChunk(size_t chunk_index, SelVector* sel,
+                              uint64_t* dict_hits, uint64_t* chunks_skipped,
+                              uint64_t* bloom_dropped) const {
+  const Chunk& ch = table_->chunk(chunk_index);
+  sel->clear();
+  const bool prune_chunks =
+      exec_ == nullptr || exec_->enable_zone_pruning;
+  if (local_filter_ && prune_chunks &&
+      ZoneMapCanSkip(*local_filter_, *table_, ch)) {
+    ++*chunks_skipped;
+    return Status::OK();
+  }
+  sel->resize(ch.num_rows());
+  std::iota(sel->begin(), sel->end(), 0u);
+  if (local_filter_) {
+    CONQUER_RETURN_NOT_OK(
+        FilterChunkSelection(*local_filter_, *table_, chunk_index, sel,
+                             dict_hits));
+  }
+  // Runtime semi-join filters: drop rows whose join key provably cannot be
+  // in the build side (NULL keys can never join either). Order among
+  // survivors is preserved, so output is bit-identical with filters off.
+  for (const ScanFilter& rf : runtime_filters_) {
+    if (sel->empty()) break;
+    if (!rf.filter->ready.load(std::memory_order_acquire)) continue;
+    const ColumnVector& cv = ch.column(rf.column);
+    const StringDictionary* dict = table_->dictionary(rf.column);
+    size_t out = 0;
+    for (uint32_t i : *sel) {
+      if (!cv.is_null(i) &&
+          rf.filter->bloom.MayContain(cv.GetValue(i, dict).Hash())) {
+        (*sel)[out++] = i;
+      } else {
+        ++*bloom_dropped;
+      }
+    }
+    sel->resize(out);
+  }
+  return Status::OK();
+}
+
 Status SeqScanOp::ParallelFilter() {
-  const size_t n = table_->num_rows();
-  const size_t morsel = exec_->morsel_size;
-  const size_t num_morsels = (n + morsel - 1) / morsel;
-  morsel_matches_.assign(num_morsels, {});
-  const size_t workers = std::min(exec_->parallelism(), num_morsels);
+  const size_t num_chunks = table_->num_chunks();
+  chunk_matches_.assign(num_chunks, {});
+  const size_t workers = std::min(exec_->parallelism(), num_chunks);
   mutable_metrics().parallel_degree = static_cast<uint32_t>(workers);
   mutable_metrics().worker_rows.assign(workers, 0);
 
-  std::atomic<size_t> next_morsel{0};
+  std::atomic<size_t> next_chunk{0};
   std::atomic<uint64_t> dict_hits{0};
+  std::atomic<uint64_t> chunks_skipped{0};
+  std::atomic<uint64_t> bloom_dropped{0};
   TaskGroup group(exec_->pool);
   for (size_t w = 0; w < workers; ++w) {
-    group.Submit([this, w, n, morsel, num_morsels, &next_morsel, &dict_hits,
-                  &group]() -> Status {
+    group.Submit([this, w, num_chunks, &next_chunk, &dict_hits,
+                  &chunks_skipped, &bloom_dropped, &group]() -> Status {
       uint64_t scanned = 0;
-      uint64_t my_hits = 0;
+      uint64_t my_hits = 0, my_skipped = 0, my_bloom = 0;
       while (!group.cancelled()) {
-        size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
-        if (m >= num_morsels) break;
-        // The rebased predicate runs vectorized on the raw table rows; only
-        // passing positions are ever materialized into wide rows.
-        SelVector& matches = morsel_matches_[m];
-        const size_t end = std::min(n, (m + 1) * morsel);
-        matches.resize(end - m * morsel);
-        std::iota(matches.begin(), matches.end(),
-                  static_cast<uint32_t>(m * morsel));
-        CONQUER_RETURN_NOT_OK(FilterSelection(
-            *local_filter_, table_->rows(), table_, &matches, &my_hits));
-        scanned += end - m * morsel;
+        size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) break;
+        // A morsel is a whole chunk: zone-map pruning decides per claim,
+        // and only surviving positions are ever materialized into wide
+        // rows.
+        const uint64_t skipped_before = my_skipped;
+        CONQUER_RETURN_NOT_OK(FilterChunk(c, &chunk_matches_[c], &my_hits,
+                                          &my_skipped, &my_bloom));
+        if (my_skipped == skipped_before) {
+          scanned += table_->chunk(c).num_rows();
+        }
       }
       mutable_metrics().worker_rows[w] = scanned;
       dict_hits.fetch_add(my_hits, std::memory_order_relaxed);
+      chunks_skipped.fetch_add(my_skipped, std::memory_order_relaxed);
+      bloom_dropped.fetch_add(my_bloom, std::memory_order_relaxed);
       return Status::OK();
     });
   }
   Status s = group.Wait();
   mutable_metrics().dict_hits += dict_hits.load();
+  mutable_metrics().chunks_skipped += chunks_skipped.load();
+  mutable_metrics().bloom_filtered += bloom_dropped.load();
   return s;
 }
 
 Status SeqScanOp::OpenImpl() {
-  cursor_ = 0;
-  morsel_cursor_ = 0;
+  chunk_cursor_ = 0;
   match_cursor_ = 0;
-  morsel_matches_.clear();
-  parallel_ = filter_ != nullptr && exec_ != nullptr &&
+  chunk_matches_.clear();
+  sel_scratch_.clear();
+  current_chunk_ = 0;
+  next_chunk_ = 0;
+  const bool has_filter = filter_ != nullptr || !runtime_filters_.empty();
+  parallel_ = has_filter && exec_ != nullptr &&
               exec_->ShouldParallelize(table_->num_rows());
   if (parallel_) return ParallelFilter();
   return Status::OK();
 }
 
+/// Sequential path: advances to the next chunk with surviving rows, leaving
+/// its matches in sel_scratch_. Returns false at end of table.
 Result<bool> SeqScanOp::NextImpl(Row* out) {
   if (parallel_) {
-    // Stream the pre-filtered positions in morsel order: same output order
+    // Stream the pre-filtered positions in chunk order: same output order
     // as the sequential scan.
-    while (morsel_cursor_ < morsel_matches_.size()) {
-      const std::vector<uint32_t>& matches = morsel_matches_[morsel_cursor_];
+    while (chunk_cursor_ < chunk_matches_.size()) {
+      const SelVector& matches = chunk_matches_[chunk_cursor_];
       if (match_cursor_ >= matches.size()) {
-        ++morsel_cursor_;
+        ++chunk_cursor_;
         match_cursor_ = 0;
         continue;
       }
-      MaterializeWide(matches[match_cursor_++], out);
+      MaterializeWide(chunk_cursor_, matches[match_cursor_++], out);
       return true;
     }
     return false;
   }
-  while (cursor_ < table_->num_rows()) {
-    const size_t r = cursor_++;
-    if (local_filter_) {
-      // Filter on the raw table row; materialize the wide row only on pass.
-      CONQUER_ASSIGN_OR_RETURN(bool pass,
-                               EvalPredicate(*local_filter_, table_->row(r)));
-      if (!pass) continue;
+  while (true) {
+    if (match_cursor_ < sel_scratch_.size()) {
+      MaterializeWide(current_chunk_, sel_scratch_[match_cursor_++], out);
+      return true;
     }
-    MaterializeWide(r, out);
-    return true;
+    if (next_chunk_ >= table_->num_chunks()) return false;
+    current_chunk_ = next_chunk_++;
+    match_cursor_ = 0;
+    uint64_t hits = 0, skipped = 0, bloom = 0;
+    CONQUER_RETURN_NOT_OK(FilterChunk(current_chunk_, &sel_scratch_, &hits,
+                                      &skipped, &bloom));
+    mutable_metrics().dict_hits += hits;
+    mutable_metrics().chunks_skipped += skipped;
+    mutable_metrics().bloom_filtered += bloom;
   }
-  return false;
 }
 
 Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
@@ -207,38 +261,36 @@ Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
   // the consumer left it behind) instead of cleared and re-pushed.
   size_t filled = 0;
   if (parallel_) {
-    while (filled < out->capacity && morsel_cursor_ < morsel_matches_.size()) {
-      const SelVector& matches = morsel_matches_[morsel_cursor_];
+    while (filled < out->capacity && chunk_cursor_ < chunk_matches_.size()) {
+      const SelVector& matches = chunk_matches_[chunk_cursor_];
       if (match_cursor_ >= matches.size()) {
-        ++morsel_cursor_;
+        ++chunk_cursor_;
         match_cursor_ = 0;
         continue;
       }
       if (filled == out->rows.size()) out->rows.emplace_back();
-      MaterializeWide(matches[match_cursor_++], &out->rows[filled++]);
+      MaterializeWide(chunk_cursor_, matches[match_cursor_++],
+                      &out->rows[filled++]);
     }
     out->rows.resize(filled);
     return filled > 0;
   }
-  const size_t n = table_->num_rows();
-  while (filled < out->capacity && cursor_ < n) {
-    // Vectorize in chunks sized to the remaining batch space: the filter
-    // runs over the raw table rows, then only survivors materialize.
-    const size_t chunk_end = std::min(n, cursor_ + (out->capacity - filled));
-    sel_scratch_.resize(chunk_end - cursor_);
-    std::iota(sel_scratch_.begin(), sel_scratch_.end(),
-              static_cast<uint32_t>(cursor_));
-    cursor_ = chunk_end;
-    if (local_filter_) {
-      uint64_t hits = 0;
-      CONQUER_RETURN_NOT_OK(FilterSelection(*local_filter_, table_->rows(),
-                                            table_, &sel_scratch_, &hits));
-      mutable_metrics().dict_hits += hits;
-    }
-    for (uint32_t r : sel_scratch_) {
+  while (filled < out->capacity) {
+    if (match_cursor_ < sel_scratch_.size()) {
       if (filled == out->rows.size()) out->rows.emplace_back();
-      MaterializeWide(r, &out->rows[filled++]);
+      MaterializeWide(current_chunk_, sel_scratch_[match_cursor_++],
+                      &out->rows[filled++]);
+      continue;
     }
+    if (next_chunk_ >= table_->num_chunks()) break;
+    current_chunk_ = next_chunk_++;
+    match_cursor_ = 0;
+    uint64_t hits = 0, skipped = 0, bloom = 0;
+    CONQUER_RETURN_NOT_OK(FilterChunk(current_chunk_, &sel_scratch_, &hits,
+                                      &skipped, &bloom));
+    mutable_metrics().dict_hits += hits;
+    mutable_metrics().chunks_skipped += skipped;
+    mutable_metrics().bloom_filtered += bloom;
   }
   out->rows.resize(filled);
   return filled > 0;
@@ -272,15 +324,16 @@ Status IndexScanOp::OpenImpl() {
 
 Result<bool> IndexScanOp::NextImpl(Row* out) {
   while (matches_ != nullptr && cursor_ < matches_->size()) {
-    const Row& src = table_->row((*matches_)[cursor_++]);
+    table_->GetRowInto((*matches_)[cursor_++], &row_scratch_);
     if (local_filter_) {
       // Residual filter on the raw table row, before wide materialization.
-      CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*local_filter_, src));
+      CONQUER_ASSIGN_OR_RETURN(bool pass,
+                               EvalPredicate(*local_filter_, row_scratch_));
       if (!pass) continue;
     }
     out->assign(total_slots_, Value::Null());
-    for (size_t c = 0; c < src.size(); ++c) {
-      (*out)[slot_offset_ + c] = src[c];
+    for (size_t c = 0; c < row_scratch_.size(); ++c) {
+      (*out)[slot_offset_ + c] = row_scratch_[c];
     }
     return true;
   }
@@ -490,10 +543,32 @@ void HashJoinOp::InsertBuildRow(Row row, uint64_t* table_bytes) {
   ++build_rows_;
 }
 
+void HashJoinOp::FillRuntimeFilters() {
+  if (filter_targets_.empty()) return;
+  size_t total_keys = 0;
+  for (const BuildTable& part : partitions_) total_keys += part.size();
+  for (FilterTarget& target : filter_targets_) {
+    target.filter->bloom.Init(total_keys);
+    for (const BuildTable& part : partitions_) {
+      for (const auto& entry : part.entries()) {
+        // Single-column hash: the consuming scan hashes its key column the
+        // same way, so membership tests line up even for composite joins.
+        target.filter->bloom.Add(entry.key[target.key_index].Hash());
+      }
+    }
+    target.filter->ready.store(true, std::memory_order_release);
+  }
+}
+
 Status HashJoinOp::OpenImpl() {
   partitions_.clear();
   num_partitions_ = 1;
   build_rows_ = 0;
+  // Re-execution starts from a clean slate: consumers must not observe a
+  // stale filter from the previous run while this build is in progress.
+  for (FilterTarget& target : filter_targets_) {
+    target.filter->ready.store(false, std::memory_order_release);
+  }
   CONQUER_RETURN_NOT_OK(build_->Open());
   // Drain the build input batch-at-a-time. With a parallel context the rows
   // are buffered and bulk-built; otherwise they stream into the single
@@ -532,6 +607,9 @@ Status HashJoinOp::OpenImpl() {
     mutable_metrics().peak_memory_bytes =
         table_bytes + partitions_[0].StructureBytes();
   }
+  // The build side is final; publish its keys to any probe-side scans
+  // before they open (scans in the probe subtree open strictly after this).
+  FillRuntimeFilters();
   CONQUER_RETURN_NOT_OK(probe_->Open());
   current_matches_ = nullptr;
   probe_current_ = nullptr;

@@ -10,6 +10,7 @@
 #include "exec/eval.h"
 #include "exec/exec_context.h"
 #include "exec/operator.h"
+#include "exec/runtime_filter.h"
 #include "sql/ast.h"
 #include "storage/table.h"
 
@@ -21,11 +22,19 @@ namespace conquer {
 /// [slot_offset, slot_offset + arity). An optional pushed-down predicate
 /// (bound to the wide layout) filters during the scan.
 ///
-/// With an ExecContext that has a TaskPool and a pushed-down predicate, the
-/// predicate is evaluated morsel-parallel at Open(): workers claim morsels
-/// from a shared counter and record the passing row positions per morsel.
-/// Next() then streams matches in morsel order, so the output row order is
-/// identical to the sequential scan for every thread count.
+/// The scan walks the table chunk by chunk. Per chunk it first consults the
+/// zone maps: when they prove no row can match the pushed-down predicate the
+/// whole chunk is skipped (metrics: chunks_skipped). Surviving chunks are
+/// filtered column-at-a-time (FilterChunkSelection) and then through any
+/// runtime Bloom filters pushed down from ancestor hash joins (metrics:
+/// bloom_filtered); only rows passing everything are materialized into wide
+/// rows.
+///
+/// With an ExecContext that has a TaskPool and any filter, the per-chunk
+/// filtering runs morsel-parallel at Open() — a morsel is a whole chunk, so
+/// zone-map pruning composes with the TaskPool — and Next() streams matches
+/// in chunk order, so the output row order is identical to the sequential
+/// scan for every thread count.
 class SeqScanOp : public Operator {
  public:
   /// `referenced_slots`, when given, is the planner's bitmap (indexed by
@@ -36,6 +45,12 @@ class SeqScanOp : public Operator {
             ExprPtr pushed_filter, const ExecContext* exec = nullptr,
             const std::vector<bool>* referenced_slots = nullptr);
 
+  /// Registers a runtime semi-join filter over table-local column `column`
+  /// (planner wiring; the producing join fills it before this scan opens).
+  void AddRuntimeFilter(RuntimeFilterPtr filter, size_t column) {
+    runtime_filters_.push_back({std::move(filter), column});
+  }
+
   std::string Describe() const override;
 
  protected:
@@ -44,27 +59,44 @@ class SeqScanOp : public Operator {
   Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
-  /// Parallel pre-filter: fills morsel_matches_ with passing row positions.
+  struct ScanFilter {
+    RuntimeFilterPtr filter;
+    size_t column;  ///< table-local column the Bloom filter keys on
+  };
+
+  /// Computes the surviving positions of one chunk: zone-map skip test,
+  /// chunk-native predicate, then runtime Bloom filters. Counters are
+  /// caller-owned so parallel workers can accumulate locally.
+  Status FilterChunk(size_t chunk_index, SelVector* sel, uint64_t* dict_hits,
+                     uint64_t* chunks_skipped, uint64_t* bloom_dropped) const;
+  /// Parallel pre-filter: fills chunk_matches_ with passing positions,
+  /// one claimable unit per chunk.
   Status ParallelFilter();
-  void MaterializeWide(size_t row_pos, Row* out) const;
+  void MaterializeWide(size_t chunk_index, uint32_t row, Row* out) const;
 
   const Table* table_;
   size_t slot_offset_;
   size_t total_slots_;
   ExprPtr filter_;  ///< may be null; bound to the wide layout (for Describe)
-  /// `filter_` rebased to table-local slots, so the predicate runs on raw
-  /// table rows *before* wide materialization (and with dictionary access).
+  /// `filter_` rebased to table-local slots, so the predicate runs on the
+  /// chunk columns *before* wide materialization (and with dictionary
+  /// access).
   ExprPtr local_filter_;
   bool prune_ = false;  ///< true when materialize_cols_ limits the copy
   /// Table-local column indices to materialize (column pruning).
   std::vector<uint32_t> materialize_cols_;
   const ExecContext* exec_;
-  size_t cursor_ = 0;
+  std::vector<ScanFilter> runtime_filters_;
   bool parallel_ = false;
-  std::vector<SelVector> morsel_matches_;
-  size_t morsel_cursor_ = 0;
+  /// Parallel path: surviving positions per chunk (chunk-local indices).
+  std::vector<SelVector> chunk_matches_;
+  /// Streaming cursor: chunk being emitted and position within its matches.
+  size_t chunk_cursor_ = 0;
   size_t match_cursor_ = 0;
+  /// Sequential path: matches of the chunk currently being emitted.
   SelVector sel_scratch_;
+  size_t current_chunk_ = 0;
+  size_t next_chunk_ = 0;  ///< next chunk the sequential path will filter
 };
 
 /// \brief Point lookup via a hash index, producing wide rows.
@@ -92,6 +124,7 @@ class IndexScanOp : public Operator {
   ExprPtr local_filter_;  ///< rebased to table-local slots
   const std::vector<size_t>* matches_ = nullptr;
   size_t cursor_ = 0;
+  Row row_scratch_;  ///< reused table-local materialization buffer
 };
 
 /// \brief Filters wide rows by a bound predicate.
@@ -143,6 +176,13 @@ class HashJoinOp : public Operator {
              std::vector<uint32_t> build_slots, std::vector<uint32_t> probe_slots,
              const ExecContext* exec = nullptr);
 
+  /// Registers a runtime filter this join fills from the distinct build-side
+  /// values of key column `key_index` once its build phase completes —
+  /// before the probe subtree (which holds the consuming scan) opens.
+  void AddRuntimeFilterTarget(RuntimeFilterPtr filter, size_t key_index) {
+    filter_targets_.push_back({std::move(filter), key_index});
+  }
+
   std::string Describe() const override;
   std::vector<const Operator*> Children() const override;
 
@@ -163,6 +203,15 @@ class HashJoinOp : public Operator {
   using BuildTable =
       FlatHashMap<std::vector<Value>, std::vector<Row>, KeyHash, KeyEq>;
 
+  struct FilterTarget {
+    RuntimeFilterPtr filter;
+    size_t key_index;  ///< position in build_keys_ the filter keys on
+  };
+
+  /// Fills every registered runtime filter from the built partitions'
+  /// distinct keys and marks them ready (called between build and probe
+  /// open).
+  void FillRuntimeFilters();
   Result<bool> AdvanceProbe();
   /// Looks up `probe_row` in the build table: extracts the key, hashes it
   /// once (the hash both routes to a partition and probes its flat table)
@@ -187,6 +236,7 @@ class HashJoinOp : public Operator {
   /// Referenced wide slots the probe side populates; copied on match.
   std::vector<uint32_t> probe_slots_;
   const ExecContext* exec_;
+  std::vector<FilterTarget> filter_targets_;
 
   /// One table per hash partition; sequential builds use a single partition.
   std::vector<BuildTable> partitions_;

@@ -50,6 +50,14 @@ void RenderNode(const PlanNodeStats& node, int depth, std::string* out) {
     out->append(
         StringPrintf(" dict_hit=%llu", (unsigned long long)m.dict_hits));
   }
+  if (m.chunks_skipped > 0) {
+    out->append(StringPrintf(" chunks_skipped=%llu",
+                             (unsigned long long)m.chunks_skipped));
+  }
+  if (m.bloom_filtered > 0) {
+    out->append(StringPrintf(" bloom_filtered=%llu",
+                             (unsigned long long)m.bloom_filtered));
+  }
   if (m.open_seconds > 0.0 && (m.hash_entries > 0 || m.build_rows > 0 ||
                                m.peak_memory_bytes > 0)) {
     out->append(StringPrintf(" open=%.3fms", m.open_seconds * 1e3));

@@ -1,0 +1,37 @@
+#ifndef CONQUER_EXEC_RUNTIME_FILTER_H_
+#define CONQUER_EXEC_RUNTIME_FILTER_H_
+
+#include <atomic>
+#include <memory>
+
+#include "common/bloom.h"
+
+namespace conquer {
+
+/// \brief A semi-join filter flowing from a hash join's build side into a
+/// probe-side base-table scan.
+///
+/// The planner creates one per (join, key column), shared between the
+/// producing HashJoinOp and the consuming SeqScanOp. The join fills the
+/// Bloom filter with the distinct build-side key values after its build
+/// phase and flips `ready`; the scan — which a join always opens *after*
+/// its build is drained, for every nesting of joins — then drops probe rows
+/// whose key cannot be in the build table before wide materialization.
+///
+/// Safety: the filter only ever *drops* rows, and only rows whose join key
+/// is provably absent from the build side (Bloom filters have no false
+/// negatives) or NULL (which an inner equi-join drops anyway). False
+/// positives merely pass a row the join will reject. Surviving rows keep
+/// their scan order, so downstream results — including floating-point
+/// SUM(prob) accumulation order — are bit-identical with or without the
+/// filter.
+struct RuntimeFilter {
+  BlockedBloomFilter bloom;
+  std::atomic<bool> ready{false};
+};
+
+using RuntimeFilterPtr = std::shared_ptr<RuntimeFilter>;
+
+}  // namespace conquer
+
+#endif  // CONQUER_EXEC_RUNTIME_FILTER_H_

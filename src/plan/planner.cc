@@ -258,6 +258,9 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
 
   // ---- Per-table scans and cardinality estimates. ----
   std::vector<OperatorPtr> scans(n);
+  // Raw scan pointers survive the moves into the join tree; runtime filters
+  // are attached through them as joins above each scan are constructed.
+  std::vector<SeqScanOp*> seq_scans(n, nullptr);
   std::vector<double> est(n);
   std::vector<std::pair<size_t, size_t>> ranges(n);
   for (size_t i = 0; i < n; ++i) {
@@ -275,13 +278,40 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
       if (table_filters[i]) {
         rows *= EstimateSelectivity(*table_filters[i], q.tables);
       }
-      scans[i] = std::make_unique<SeqScanOp>(t, q.slot_offsets[i],
-                                             q.total_slots,
-                                             std::move(table_filters[i]), exec,
-                                             &referenced);
+      auto scan = std::make_unique<SeqScanOp>(t, q.slot_offsets[i],
+                                              q.total_slots,
+                                              std::move(table_filters[i]),
+                                              exec, &referenced);
+      seq_scans[i] = scan.get();
+      scans[i] = std::move(scan);
     }
     est[i] = std::max(rows, 1.0);
   }
+
+  const bool push_runtime_filters =
+      exec == nullptr || exec->enable_runtime_filters;
+  // Pushes one Bloom filter per join key from `join` into the SeqScan that
+  // owns each probe-side key slot. Safe because every scan in the probe
+  // subtree opens only after the join's build completes (FillRuntimeFilters
+  // runs between the two), and a Bloom filter only drops rows the join
+  // itself would reject.
+  auto attach_runtime_filters = [&](HashJoinOp* join,
+                                    const std::vector<int>& probe_keys) {
+    if (!push_runtime_filters) return;
+    for (size_t k = 0; k < probe_keys.size(); ++k) {
+      const size_t slot = static_cast<size_t>(probe_keys[k]);
+      for (size_t t = 0; t < n; ++t) {
+        if (seq_scans[t] == nullptr) continue;
+        if (slot < ranges[t].first || slot >= ranges[t].first + ranges[t].second) {
+          continue;
+        }
+        auto rf = std::make_shared<RuntimeFilter>();
+        join->AddRuntimeFilterTarget(rf, k);
+        seq_scans[t]->AddRuntimeFilter(std::move(rf), slot - ranges[t].first);
+        break;
+      }
+    }
+  };
 
   // ---- Join ordering. ----
   // When dynamic programming is selected (and feasible), the full table
@@ -360,6 +390,7 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
     }
 
     std::vector<int> new_keys, old_keys;
+    double step_sel = 1.0;  // product of the consumed edges' selectivities
     if (!cross) {
       for (JoinEdge& e : edges) {
         if (e.used) continue;
@@ -367,10 +398,12 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
           new_keys.push_back(e.left_slot);
           old_keys.push_back(e.right_slot);
           e.used = true;
+          step_sel *= EdgeSelectivity(q, e);
         } else if (e.right_from == best && joined.count(e.left_from)) {
           new_keys.push_back(e.right_slot);
           old_keys.push_back(e.left_slot);
           e.used = true;
+          step_sel *= EdgeSelectivity(q, e);
         }
       }
     }
@@ -396,19 +429,26 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
     // the running plan uses its rolling estimate.
     OperatorPtr next;
     if (est[best] <= plan_est) {
-      next = std::make_unique<HashJoinOp>(
+      auto join = std::make_unique<HashJoinOp>(
           std::move(scans[best]), std::move(plan), new_keys, old_keys,
           std::move(new_slots), std::move(old_slots), exec);
+      attach_runtime_filters(join.get(), old_keys);
+      next = std::move(join);
     } else {
-      next = std::make_unique<HashJoinOp>(
+      auto join = std::make_unique<HashJoinOp>(
           std::move(plan), std::move(scans[best]), old_keys, new_keys,
           std::move(old_slots), std::move(new_slots), exec);
+      attach_runtime_filters(join.get(), new_keys);
+      next = std::move(join);
     }
     plan = std::move(next);
     joined.insert(best);
     joined_ranges.push_back(ranges[best]);
-    double join_sel = cross ? 1.0 : 1.0 / std::max(plan_est, est[best]);
-    plan_est = std::max(1.0, plan_est * est[best] * join_sel);
+    // NDV-based rolling estimate (the DP cost model's EdgeSelectivity): the
+    // old 1/max(rows) formula collapsed every join to min(inputs), which on
+    // duplicate-heavy data underestimated the running plan by orders of
+    // magnitude and made later joins build on the (huge) plan side.
+    plan_est = std::max(1.0, plan_est * est[best] * (cross ? 1.0 : step_sel));
 
     // Edges that became internal to the joined set turn into filters.
     for (JoinEdge& e : edges) {

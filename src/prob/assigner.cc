@@ -43,7 +43,7 @@ std::vector<uint32_t> TupleValueIndices(const Table& table, size_t row,
   std::vector<uint32_t> out;
   out.reserve(attrs.size());
   for (size_t a = 0; a < attrs.size(); ++a) {
-    out.push_back(space->Intern(a, table.row(row)[attrs[a]]));
+    out.push_back(space->Intern(a, table.ValueAt(row, attrs[a])));
   }
   return out;
 }
@@ -84,9 +84,9 @@ Result<std::vector<TupleProbability>> AssignProbabilities(
   std::unordered_map<Value, std::vector<size_t>, ValueHash> clusters;
   std::vector<Value> order;
   for (size_t r = 0; r < table->num_rows(); ++r) {
-    const Value& id = table->row(r)[id_col];
+    Value id = table->ValueAt(r, id_col);
     auto [it, inserted] = clusters.try_emplace(id);
-    if (inserted) order.push_back(id);
+    if (inserted) order.push_back(std::move(id));
     it->second.push_back(r);
   }
 
@@ -100,7 +100,7 @@ Result<std::vector<TupleProbability>> AssignProbabilities(
       // Step 3, singleton case: certainty.
       size_t r = members[0];
       out[r] = {r, 0.0, 1.0, 1.0};
-      (*table->mutable_row(r))[prob_col] = Value::Double(1.0);
+      table->SetValue(r, prob_col, Value::Double(1.0));
       continue;
     }
     // Step 1: representative and distance accumulator.
@@ -128,7 +128,7 @@ Result<std::vector<TupleProbability>> AssignProbabilities(
         prob = sim / static_cast<double>(members.size() - 1);
       }
       out[r] = {r, dist[i], sim, prob};
-      (*table->mutable_row(r))[prob_col] = Value::Double(prob);
+      table->SetValue(r, prob_col, Value::Double(prob));
     }
   }
   return out;

@@ -35,8 +35,8 @@ double MixedEditDistance::Distance(
   if (attribute_columns.empty()) return 0.0;
   double total = 0.0;
   for (size_t c : attribute_columns) {
-    const Value& a = table.row(row_a)[c];
-    const Value& b = table.row(row_b)[c];
+    Value a = table.ValueAt(row_a, c);
+    Value b = table.ValueAt(row_b, c);
     if (a.is_null() && b.is_null()) continue;  // both missing: no evidence
     if (a.is_null() != b.is_null()) {
       total += 1.0;
@@ -116,9 +116,9 @@ Result<std::vector<TupleProbability>> AssignProbabilitiesWithDistance(
   std::unordered_map<Value, std::vector<size_t>, ValueHash> clusters;
   std::vector<Value> order;
   for (size_t r = 0; r < table->num_rows(); ++r) {
-    const Value& id = table->row(r)[id_col];
+    Value id = table->ValueAt(r, id_col);
     auto [it, inserted] = clusters.try_emplace(id);
-    if (inserted) order.push_back(id);
+    if (inserted) order.push_back(std::move(id));
     it->second.push_back(r);
   }
 
@@ -128,7 +128,7 @@ Result<std::vector<TupleProbability>> AssignProbabilitiesWithDistance(
     size_t n = members.size();
     if (n == 1) {
       out[members[0]] = {members[0], 0.0, 1.0, 1.0};
-      (*table->mutable_row(members[0]))[prob_col] = Value::Double(1.0);
+      table->SetValue(members[0], prob_col, Value::Double(1.0));
       continue;
     }
     // Pairwise distances; representative = medoid.
@@ -162,7 +162,7 @@ Result<std::vector<TupleProbability>> AssignProbabilitiesWithDistance(
         prob = sim / static_cast<double>(n - 1);
       }
       out[r] = {r, d[i][medoid], sim, prob};
-      (*table->mutable_row(r))[prob_col] = Value::Double(prob);
+      table->SetValue(r, prob_col, Value::Double(prob));
     }
   }
   return out;

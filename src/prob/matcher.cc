@@ -51,7 +51,7 @@ Result<MatchResult> MatchTuples(const Table& table,
     std::vector<uint32_t> values;
     values.reserve(cols.size());
     for (size_t a = 0; a < cols.size(); ++a) {
-      values.push_back(space.Intern(a, table.row(r)[cols[a]]));
+      values.push_back(space.Intern(a, table.ValueAt(r, cols[a])));
     }
     Dcf tuple = Dcf::ForTuple(std::move(values));
 
@@ -92,8 +92,11 @@ Result<MatchResult> AssignClusterIdentifiers(Table* table,
   }
   CONQUER_ASSIGN_OR_RETURN(MatchResult result, MatchTuples(*table, effective));
   for (size_t r = 0; r < table->num_rows(); ++r) {
-    (*table->mutable_row(r))[id_col] = Value::String(
-        std::string(prefix) + std::to_string(result.cluster_of_row[r]));
+    // SetValue re-interns the string through the column dictionary, so the
+    // rewritten identifiers stay on the interned-compare fast path.
+    table->SetValue(r, id_col,
+                    Value::String(std::string(prefix) +
+                                  std::to_string(result.cluster_of_row[r])));
   }
   return result;
 }

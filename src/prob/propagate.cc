@@ -28,17 +28,17 @@ Result<PropagationStats> PropagateIdentifiers(
     std::unordered_map<Value, Value, ValueHash> crossref;
     crossref.reserve(ref->num_rows());
     for (size_t r = 0; r < ref->num_rows(); ++r) {
-      crossref.emplace(ref->row(r)[ref_key_col], ref->row(r)[ref_id_col]);
+      crossref.emplace(ref->ValueAt(r, ref_key_col),
+                       ref->ValueAt(r, ref_id_col));
     }
 
     for (size_t r = 0; r < table->num_rows(); ++r) {
-      Row* row = table->mutable_row(r);
-      auto it = crossref.find((*row)[fk_col]);
+      auto it = crossref.find(table->ValueAt(r, fk_col));
       if (it == crossref.end()) {
-        (*row)[target_col] = Value::Null();
+        table->SetValue(r, target_col, Value::Null());
         ++stats.dangling_references;
       } else {
-        (*row)[target_col] = it->second;
+        table->SetValue(r, target_col, it->second);
         ++stats.rows_updated;
       }
     }

@@ -14,8 +14,8 @@ Result<std::vector<std::vector<size_t>>> CollectClusters(
   std::unordered_map<Value, size_t, ValueHash> index;
   std::vector<std::vector<size_t>> clusters;
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    const Value& id = table.row(r)[id_col];
-    auto [it, inserted] = index.try_emplace(id, clusters.size());
+    Value id = table.ValueAt(r, id_col);
+    auto [it, inserted] = index.try_emplace(std::move(id), clusters.size());
     if (inserted) clusters.emplace_back();
     clusters[it->second].push_back(r);
   }
@@ -38,7 +38,7 @@ Status AssignUniformProbabilities(Table* table, const DirtyTableInfo& info) {
   for (const auto& members : clusters) {
     double p = 1.0 / static_cast<double>(members.size());
     for (size_t r : members) {
-      (*table->mutable_row(r))[prob_col] = Value::Double(p);
+      table->SetValue(r, prob_col, Value::Double(p));
     }
   }
   return Status::OK();
@@ -63,7 +63,7 @@ Status AssignSourceReliabilityProbabilities(
   CONQUER_ASSIGN_OR_RETURN(auto clusters, CollectClusters(*table, info));
 
   auto weight_of = [&](size_t row) {
-    const Value& v = table->row(row)[source_col];
+    Value v = table->ValueAt(row, source_col);
     if (v.is_null()) return default_reliability;
     auto it = reliability.find(v.ToString());
     return it == reliability.end() ? default_reliability : it->second;
@@ -75,7 +75,7 @@ Status AssignSourceReliabilityProbabilities(
     for (size_t r : members) {
       double p = total > 0.0 ? weight_of(r) / total
                              : 1.0 / static_cast<double>(members.size());
-      (*table->mutable_row(r))[prob_col] = Value::Double(p);
+      table->SetValue(r, prob_col, Value::Double(p));
     }
   }
   return Status::OK();

@@ -1,0 +1,214 @@
+#include "storage/chunk.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace conquer {
+
+namespace {
+/// Physical storage class of a schema column type.
+enum class Phys { kFixed, kDouble, kCode };
+
+Phys PhysOf(DataType t) {
+  switch (t) {
+    case DataType::kDouble:
+      return Phys::kDouble;
+    case DataType::kString:
+      return Phys::kCode;
+    default:
+      return Phys::kFixed;
+  }
+}
+}  // namespace
+
+void ColumnVector::Reserve(size_t n) {
+  switch (PhysOf(type_)) {
+    case Phys::kFixed:
+      fixed_.reserve(n);
+      break;
+    case Phys::kDouble:
+      dbl_.reserve(n);
+      break;
+    case Phys::kCode:
+      codes_.reserve(n);
+      break;
+  }
+  nulls_.reserve(n);
+}
+
+Value ColumnVector::Append(const Value& v, StringDictionary* dict) {
+  if (v.is_null()) {
+    switch (PhysOf(type_)) {
+      case Phys::kFixed:
+        fixed_.push_back(0);
+        break;
+      case Phys::kDouble:
+        dbl_.push_back(0.0);
+        break;
+      case Phys::kCode:
+        codes_.push_back(StringDictionary::kInvalidCode);
+        break;
+    }
+    nulls_.push_back(1);
+    return Value::Null();
+  }
+  nulls_.push_back(0);
+  switch (PhysOf(type_)) {
+    case Phys::kDouble: {
+      // Numeric widening: INT64 values land in DOUBLE columns as doubles,
+      // so readers always see a uniform representation.
+      double d = v.AsDouble();
+      dbl_.push_back(d);
+      return Value::Double(d);
+    }
+    case Phys::kCode: {
+      assert(v.type() == DataType::kString && dict != nullptr);
+      uint32_t code = dict->Intern(v.string_value());
+      codes_.push_back(code);
+      return dict->ValueAt(code);
+    }
+    case Phys::kFixed: {
+      int64_t raw;
+      if (type_ == DataType::kBool) {
+        raw = v.bool_value() ? 1 : 0;
+      } else {
+        assert(v.type() == DataType::kInt64 || v.type() == DataType::kDate);
+        raw = v.int_value();
+      }
+      fixed_.push_back(raw);
+      return GetValue(nulls_.size() - 1, nullptr);
+    }
+  }
+  return Value::Null();  // unreachable
+}
+
+Value ColumnVector::Set(size_t i, const Value& v, StringDictionary* dict) {
+  assert(i < size());
+  if (v.is_null()) {
+    nulls_[i] = 1;
+    return Value::Null();
+  }
+  nulls_[i] = 0;
+  switch (PhysOf(type_)) {
+    case Phys::kDouble: {
+      double d = v.AsDouble();
+      dbl_[i] = d;
+      return Value::Double(d);
+    }
+    case Phys::kCode: {
+      assert(v.type() == DataType::kString && dict != nullptr);
+      uint32_t code = dict->Intern(v.string_value());
+      codes_[i] = code;
+      return dict->ValueAt(code);
+    }
+    case Phys::kFixed: {
+      if (type_ == DataType::kBool) {
+        fixed_[i] = v.bool_value() ? 1 : 0;
+      } else {
+        fixed_[i] = v.int_value();
+      }
+      return GetValue(i, nullptr);
+    }
+  }
+  return Value::Null();  // unreachable
+}
+
+Value ColumnVector::GetValue(size_t i, const StringDictionary* dict) const {
+  if (nulls_[i] != 0) return Value::Null();
+  switch (type_) {
+    case DataType::kBool:
+      return Value::Bool(fixed_[i] != 0);
+    case DataType::kInt64:
+      return Value::Int(fixed_[i]);
+    case DataType::kDate:
+      return Value::Date(fixed_[i]);
+    case DataType::kDouble:
+      return Value::Double(dbl_[i]);
+    case DataType::kString:
+      assert(dict != nullptr);
+      return dict->ValueAt(codes_[i]);
+    default:
+      return Value::Null();
+  }
+}
+
+Chunk::Chunk(const TableSchema* schema, size_t capacity) : capacity_(capacity) {
+  columns_.reserve(schema->num_columns());
+  for (size_t c = 0; c < schema->num_columns(); ++c) {
+    columns_.emplace_back(schema->column(c).type);
+  }
+  zones_.resize(schema->num_columns());
+}
+
+void Chunk::Reserve(size_t rows) {
+  for (ColumnVector& cv : columns_) cv.Reserve(rows);
+}
+
+void Chunk::AppendRow(
+    const Row& row,
+    const std::vector<std::unique_ptr<StringDictionary>>& dicts) {
+  assert(!full() && row.size() == columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Value stored = columns_[c].Append(row[c], dicts[c].get());
+    if (stored.is_null()) {
+      ++zones_[c].null_count;
+    } else {
+      zones_[c].Widen(stored);
+    }
+  }
+  ++num_rows_;
+}
+
+void Chunk::SetValue(size_t row, size_t col, const Value& v,
+                     StringDictionary* dict) {
+  ZoneMap& z = zones_[col];
+  const bool was_null = columns_[col].is_null(row);
+  Value stored = columns_[col].Set(row, v, dict);
+  if (stored.is_null()) {
+    if (!was_null) ++z.null_count;
+  } else {
+    if (was_null) --z.null_count;
+    // The old value may have been the extremum, so min/max only widen here;
+    // AnalyzeStatistics tightens them again.
+    z.Widen(stored);
+  }
+  z.all_distinct = false;
+}
+
+void Chunk::MaterializeRow(
+    size_t row, Row* out,
+    const std::vector<std::unique_ptr<StringDictionary>>& dicts) const {
+  out->resize(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    (*out)[c] = columns_[c].GetValue(row, dicts[c].get());
+  }
+}
+
+void Chunk::RecomputeZones(
+    const std::vector<std::unique_ptr<StringDictionary>>& dicts) {
+  std::unordered_set<Value, ValueHash> distinct;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ZoneMap z;
+    distinct.clear();
+    for (size_t r = 0; r < num_rows_; ++r) {
+      Value v = columns_[c].GetValue(r, dicts[c].get());
+      if (v.is_null()) {
+        ++z.null_count;
+      } else {
+        z.Widen(v);
+        distinct.insert(v);
+      }
+    }
+    z.all_distinct = distinct.size() == num_rows_ - z.null_count &&
+                     z.null_count < num_rows_;
+    zones_[c] = z;
+  }
+}
+
+uint64_t Chunk::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const ColumnVector& cv : columns_) bytes += cv.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace conquer

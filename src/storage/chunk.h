@@ -1,0 +1,139 @@
+#ifndef CONQUER_STORAGE_CHUNK_H_
+#define CONQUER_STORAGE_CHUNK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/dictionary.h"
+#include "types/value.h"
+
+namespace conquer {
+
+/// \brief One tuple: a vector of values aligned with a schema.
+using Row = std::vector<Value>;
+
+/// \brief Per-chunk, per-column statistics used for scan-time skipping.
+///
+/// min/max are maintained incrementally on append and only *widened* by
+/// in-place writes (Table::SetValue), so they are always a superset of the
+/// live value range — pruning against them can never drop a matching chunk.
+/// null_count is kept exact. all_distinct is computed by AnalyzeStatistics
+/// and cleared pessimistically by any in-place write.
+struct ZoneMap {
+  Value min;  ///< NULL until the chunk holds a non-null value
+  Value max;
+  uint32_t null_count = 0;
+  bool all_distinct = false;
+
+  bool has_values() const { return !min.is_null(); }
+
+  /// Folds one non-null stored value into min/max.
+  void Widen(const Value& v) {
+    if (min.is_null() || v.TotalCompare(min) < 0) min = v;
+    if (max.is_null() || v.TotalCompare(max) > 0) max = v;
+  }
+};
+
+/// \brief One column of one chunk: a contiguous typed vector.
+///
+/// The physical representation is keyed by the schema column type:
+/// int64/date/bool share an int64 array, doubles get a double array, and
+/// strings store dense dictionary codes. A parallel byte array marks NULLs
+/// (the slot in the typed array is a zero placeholder).
+class ColumnVector {
+ public:
+  explicit ColumnVector(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return nulls_.size(); }
+  bool is_null(size_t i) const { return nulls_[i] != 0; }
+
+  const int64_t* fixed_data() const { return fixed_.data(); }
+  const double* double_data() const { return dbl_.data(); }
+  const uint32_t* code_data() const { return codes_.data(); }
+  const uint8_t* null_data() const { return nulls_.data(); }
+
+  void Reserve(size_t n);
+
+  /// Appends `v`, interning strings through `dict` and widening INT64 into
+  /// DOUBLE storage; returns the normalized value as stored (what a reader
+  /// will get back), so the caller can fold it into the zone map.
+  Value Append(const Value& v, StringDictionary* dict);
+
+  /// Overwrites position `i` (same normalization as Append).
+  Value Set(size_t i, const Value& v, StringDictionary* dict);
+
+  /// The stored value at `i`; strings come back interned through `dict`.
+  Value GetValue(size_t i, const StringDictionary* dict) const;
+
+  uint64_t MemoryBytes() const {
+    return fixed_.capacity() * sizeof(int64_t) +
+           dbl_.capacity() * sizeof(double) +
+           codes_.capacity() * sizeof(uint32_t) + nulls_.capacity();
+  }
+
+ private:
+  DataType type_;
+  std::vector<int64_t> fixed_;   ///< kInt64 / kDate / kBool payloads
+  std::vector<double> dbl_;      ///< kDouble payloads
+  std::vector<uint32_t> codes_;  ///< kString dictionary codes
+  std::vector<uint8_t> nulls_;   ///< 1 = NULL (payload slot is a placeholder)
+};
+
+/// \brief A fixed-capacity horizontal partition of a table.
+///
+/// Columns are stored as independent ColumnVectors; every column of a chunk
+/// has exactly num_rows() entries. Each column carries a ZoneMap maintained
+/// on append, which scans consult to skip the whole chunk.
+class Chunk {
+ public:
+  Chunk(const TableSchema* schema, size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t num_rows() const { return num_rows_; }
+  bool full() const { return num_rows_ >= capacity_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const ColumnVector& column(size_t c) const { return columns_[c]; }
+  const ZoneMap& zone(size_t c) const { return zones_[c]; }
+
+  void Reserve(size_t rows);
+
+  /// Appends one row (caller guarantees arity/types and !full()); interns
+  /// strings through the per-column dictionaries and updates zone maps.
+  void AppendRow(const Row& row,
+                 const std::vector<std::unique_ptr<StringDictionary>>& dicts);
+
+  /// Overwrites one cell, keeping null_count exact, widening min/max and
+  /// clearing all_distinct (AnalyzeStatistics restores exact zones).
+  void SetValue(size_t row, size_t col, const Value& v, StringDictionary* dict);
+
+  Value GetValue(size_t row, size_t col, const StringDictionary* dict) const {
+    return columns_[col].GetValue(row, dict);
+  }
+
+  /// Materializes one row in table-local layout into `*out` (resized to the
+  /// chunk arity).
+  void MaterializeRow(
+      size_t row, Row* out,
+      const std::vector<std::unique_ptr<StringDictionary>>& dicts) const;
+
+  /// Recomputes every zone map exactly from the stored values (min/max,
+  /// null_count, all_distinct). Called by Table::AnalyzeStatistics.
+  void RecomputeZones(
+      const std::vector<std::unique_ptr<StringDictionary>>& dicts);
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  size_t capacity_;
+  size_t num_rows_ = 0;
+  std::vector<ColumnVector> columns_;
+  std::vector<ZoneMap> zones_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_STORAGE_CHUNK_H_

@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -22,23 +23,61 @@ bool ValueFitsColumn(const Value& v, DataType col_type) {
 }
 }  // namespace
 
-StringDictionary* Table::DictionaryFor(size_t column) {
-  if (dicts_.size() < schema_.num_columns()) {
-    dicts_.resize(schema_.num_columns());
-  }
-  if (dicts_[column] == nullptr) {
-    dicts_[column] = std::make_unique<StringDictionary>();
-  }
-  return dicts_[column].get();
-}
-
-void Table::InternRow(Row* row) {
-  for (size_t i = 0; i < row->size(); ++i) {
-    Value& v = (*row)[i];
-    if (v.type() == DataType::kString && !v.is_interned()) {
-      v = DictionaryFor(i)->InternValue(v.string_value());
+Table::Table(TableSchema schema, size_t chunk_capacity)
+    : schema_(std::move(schema)),
+      chunk_capacity_(std::max<size_t>(1, chunk_capacity)) {
+  dicts_.resize(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (schema_.column(c).type == DataType::kString) {
+      dicts_[c] = std::make_unique<StringDictionary>();
     }
   }
+}
+
+Chunk* Table::AppendChunk() {
+  if (chunks_.empty() || chunks_.back()->full()) {
+    chunks_.push_back(std::make_unique<Chunk>(&schema_, chunk_capacity_));
+    if (reserve_hint_ > num_rows_) {
+      chunks_.back()->Reserve(
+          std::min(chunk_capacity_, reserve_hint_ - num_rows_));
+    }
+  }
+  return chunks_.back().get();
+}
+
+void Table::AppendToStorage(const Row& row) {
+  AppendChunk()->AppendRow(row, dicts_);
+  ++num_rows_;
+}
+
+Row Table::row(size_t i) const {
+  Row out;
+  GetRowInto(i, &out);
+  return out;
+}
+
+std::vector<Row> Table::rows() const {
+  std::vector<Row> out(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) GetRowInto(i, &out[i]);
+  return out;
+}
+
+void Table::GetRowInto(size_t i, Row* out) const {
+  chunks_[i / chunk_capacity_]->MaterializeRow(i % chunk_capacity_, out,
+                                               dicts_);
+}
+
+Value Table::ValueAt(size_t row, size_t col) const {
+  return chunks_[row / chunk_capacity_]->GetValue(row % chunk_capacity_, col,
+                                                  dicts_[col].get());
+}
+
+void Table::SetValue(size_t row, size_t col, const Value& v) {
+  chunks_[row / chunk_capacity_]->SetValue(row % chunk_capacity_, col, v,
+                                           dicts_[col].get());
+  // A hash index on this column would now map stale keys; drop it rather
+  // than let a lookup consult it (CreateIndex rebuilds on demand).
+  if (col < indexes_.size()) indexes_[col].reset();
 }
 
 Status Table::Insert(Row row) {
@@ -54,35 +93,45 @@ Status Table::Insert(Row row) {
           DataTypeToString(row[i].type()), schema_.column(i).name.c_str(),
           DataTypeToString(schema_.column(i).type), name().c_str()));
     }
-    // Normalize INT64 into DOUBLE columns so comparisons and hashing see a
-    // uniform representation, then re-check the widened value and intern
-    // strings — normalization must never store a value that would fail the
-    // column check it just passed.
-    if (schema_.column(i).type == DataType::kDouble &&
-        row[i].type() == DataType::kInt64) {
-      row[i] = Value::Double(static_cast<double>(row[i].int_value()));
-    }
-    if (!ValueFitsColumn(row[i], schema_.column(i).type)) {
-      return Status::Internal(StringPrintf(
-          "normalized value no longer fits column '%s' of table '%s'",
-          schema_.column(i).name.c_str(), name().c_str()));
-    }
-    if (row[i].type() == DataType::kString && !row[i].is_interned()) {
-      row[i] = DictionaryFor(i)->InternValue(row[i].string_value());
-    }
   }
-  // Maintain any existing indexes.
-  size_t pos = rows_.size();
+  // Columnar storage normalizes on write (INT64 widens into DOUBLE columns,
+  // strings are interned); indexes are fed the stored representation.
+  const size_t pos = num_rows_;
+  AppendToStorage(row);
   for (auto& idx : indexes_) {
-    if (idx) idx->Insert(row[idx->column()], pos);
+    if (idx) idx->Insert(ValueAt(pos, idx->column()), pos);
   }
-  rows_.push_back(std::move(row));
   return Status::OK();
 }
 
-void Table::InsertUnchecked(Row row) {
-  InternRow(&row);
-  rows_.push_back(std::move(row));
+void Table::InsertUnchecked(const Row& row) { AppendToStorage(row); }
+
+void Table::Clear() {
+  chunks_.clear();
+  num_rows_ = 0;
+  reserve_hint_ = 0;
+  indexes_.clear();
+  stats_.clear();
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    dicts_[c] = schema_.column(c).type == DataType::kString
+                    ? std::make_unique<StringDictionary>()
+                    : nullptr;
+  }
+}
+
+void Table::Rechunk(size_t capacity) {
+  capacity = std::max<size_t>(1, capacity);
+  std::vector<std::unique_ptr<Chunk>> old = std::move(chunks_);
+  chunks_.clear();
+  chunk_capacity_ = capacity;
+  Row scratch;
+  size_t pos = 0;
+  for (const auto& ch : old) {
+    for (size_t r = 0; r < ch->num_rows(); ++r, ++pos) {
+      ch->MaterializeRow(r, &scratch, dicts_);
+      AppendChunk()->AppendRow(scratch, dicts_);
+    }
+  }
 }
 
 Status Table::CreateIndex(std::string_view column_name) {
@@ -92,13 +141,17 @@ Status Table::CreateIndex(std::string_view column_name) {
   }
   auto idx = std::make_unique<HashIndex>(col);
   // Size the key table from statistics when available, else assume unique.
-  size_t expected = rows_.size();
+  size_t expected = num_rows_;
   if (col < stats_.size() && stats_[col].num_distinct > 0) {
     expected = stats_[col].num_distinct;
   }
   idx->Reserve(expected);
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    idx->Insert(rows_[i][col], i);
+  size_t pos = 0;
+  for (const auto& ch : chunks_) {
+    const ColumnVector& cv = ch->column(col);
+    for (size_t r = 0; r < ch->num_rows(); ++r, ++pos) {
+      idx->Insert(cv.GetValue(r, dicts_[col].get()), pos);
+    }
   }
   indexes_[col] = std::move(idx);
   return Status::OK();
@@ -109,23 +162,19 @@ const HashIndex* Table::GetIndex(size_t column) const {
   return indexes_[column].get();
 }
 
-void Table::InternStrings() {
-  for (Row& r : rows_) InternRow(&r);
-}
-
 void Table::AnalyzeStatistics() {
-  // Maintenance passes may have written plain strings via mutable_row;
-  // fold them into the dictionaries before counting (existing codes are
-  // stable, so interned values in untouched rows are unaffected).
-  InternStrings();
+  // Re-tighten zone maps first: in-place writes only widen min/max and
+  // clear all-distinct flags; this restores exact per-chunk statistics.
+  for (auto& ch : chunks_) ch->RecomputeZones(dicts_);
   stats_.assign(schema_.num_columns(), ColumnStats{});
+  std::unordered_set<Value, ValueHash> distinct;
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
-    std::unordered_set<Value, ValueHash> distinct;
-    for (const Row& r : rows_) {
-      if (r[c].is_null()) {
-        ++stats_[c].num_nulls;
-      } else {
-        distinct.insert(r[c]);
+    distinct.clear();
+    for (const auto& ch : chunks_) {
+      const ColumnVector& cv = ch->column(c);
+      stats_[c].num_nulls += ch->zone(c).null_count;
+      for (size_t r = 0; r < ch->num_rows(); ++r) {
+        if (!cv.is_null(r)) distinct.insert(cv.GetValue(r, dicts_[c].get()));
       }
     }
     stats_[c].num_distinct = distinct.size();

@@ -8,13 +8,11 @@
 #include "catalog/schema.h"
 #include "common/flat_hash.h"
 #include "common/result.h"
+#include "storage/chunk.h"
 #include "storage/dictionary.h"
 #include "types/value.h"
 
 namespace conquer {
-
-/// \brief One tuple: a vector of values aligned with a schema.
-using Row = std::vector<Value>;
 
 /// \brief Hash index over a single column: value -> row positions.
 ///
@@ -52,47 +50,72 @@ struct ColumnStats {
   size_t num_nulls = 0;
 };
 
-/// \brief In-memory row-store table.
+/// \brief In-memory chunked columnar table.
 ///
-/// String columns are dictionary-encoded: Insert/InsertUnchecked intern
-/// every string into a per-column StringDictionary and store interned
-/// references in the row, so downstream joins/aggregations hash and compare
-/// strings as integers. Maintenance passes writing plain strings through
-/// mutable_row() are re-interned by the next AnalyzeStatistics.
+/// Rows are stored across fixed-capacity chunks (kDefaultChunkCapacity rows
+/// each; all chunks except the last are full, so a global row position maps
+/// to (pos / capacity, pos % capacity)). Within a chunk every column is a
+/// contiguous typed vector: strings as dense dictionary codes into the
+/// per-column StringDictionary, numerics/dates as raw arrays. Each
+/// chunk×column carries a ZoneMap (min/max, null count, all-distinct flag)
+/// maintained on insert, which scans use to skip whole chunks.
+///
+/// All writes intern strings eagerly — including in-place SetValue — so
+/// dictionaries, zone maps and the dictionary fast path of filters are never
+/// stale. SetValue drops any hash index on the written column (the next
+/// CreateIndex rebuilds it); it never leaves a stale index consultable.
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  static constexpr size_t kDefaultChunkCapacity = 64 * 1024;
+
+  explicit Table(TableSchema schema,
+                 size_t chunk_capacity = kDefaultChunkCapacity);
 
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.table_name(); }
 
-  size_t num_rows() const { return rows_.size(); }
-  const Row& row(size_t i) const { return rows_[i]; }
-  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return num_rows_; }
 
-  /// Mutable row access for in-place maintenance passes (identifier
-  /// propagation, probability assignment). Invalidates indexes/statistics:
-  /// callers must re-run CreateIndex / AnalyzeStatistics afterwards (which
-  /// also re-interns any plain strings the pass wrote).
-  Row* mutable_row(size_t i) { return &rows_[i]; }
+  // ---- Chunk-level access (vectorized scans). ----
+  size_t num_chunks() const { return chunks_.size(); }
+  const Chunk& chunk(size_t i) const { return *chunks_[i]; }
+  size_t chunk_capacity() const { return chunk_capacity_; }
+
+  // ---- Row-level access (maintenance passes, persistence, tests). ----
+  /// Materializes row `i` BY VALUE (the storage is columnar; there is no
+  /// resident Row to reference). Strings come back interned.
+  Row row(size_t i) const;
+  /// Materializes every row, in order (persistence / test convenience).
+  std::vector<Row> rows() const;
+  /// Materializes row `i` into a caller-owned buffer (no allocation when
+  /// the buffer already has the right arity).
+  void GetRowInto(size_t i, Row* out) const;
+  /// The single value at (row, col); cheaper than materializing the row.
+  Value ValueAt(size_t row, size_t col) const;
+
+  /// Overwrites one cell in place (maintenance passes: identifier
+  /// propagation, probability assignment). Strings are re-interned
+  /// immediately and the zone map stays conservative (null count exact,
+  /// min/max widened), so scans never consult stale statistics. Any hash
+  /// index on `col` is dropped eagerly; re-run CreateIndex to restore it.
+  void SetValue(size_t row, size_t col, const Value& v);
 
   /// Appends a row after arity and type checks (numeric widening allowed:
-  /// an INT64 value may populate a DOUBLE column). The stored row is
-  /// normalized: widened numerics are re-validated and strings interned
-  /// *after* widening, in one pass.
+  /// an INT64 value may populate a DOUBLE column). Storage normalizes the
+  /// values: widened numerics are stored as doubles and strings interned.
   Status Insert(Row row);
 
   /// Appends without validation (caller guarantees schema conformance);
   /// still interns string values so bulk generators feed the dictionary.
-  void InsertUnchecked(Row row);
+  void InsertUnchecked(const Row& row);
 
-  void Reserve(size_t n) { rows_.reserve(n); }
-  void Clear() {
-    rows_.clear();
-    indexes_.clear();
-    stats_.clear();
-    dicts_.clear();
-  }
+  void Reserve(size_t n) { reserve_hint_ = n; }
+  void Clear();
+
+  /// Rebuilds the chunked storage with a new per-chunk capacity (row order,
+  /// positions, dictionaries and indexes are preserved; zone maps are
+  /// recomputed exactly). Used by tests to sweep chunk geometries.
+  void Rechunk(size_t capacity);
 
   /// Builds (or rebuilds) a hash index on the named column.
   Status CreateIndex(std::string_view column_name);
@@ -100,32 +123,32 @@ class Table {
   /// Index on the given column position, or nullptr.
   const HashIndex* GetIndex(size_t column) const;
 
-  /// Recomputes per-column distinct/null counts; also re-interns any plain
-  /// string values written through mutable_row (codes of already-interned
-  /// strings are stable).
+  /// Recomputes per-column distinct/null counts and re-tightens every
+  /// chunk's zone maps (min/max exact again after in-place writes, and the
+  /// all-distinct flags are restored).
   void AnalyzeStatistics();
 
   /// Statistics for a column; zeros if AnalyzeStatistics was never run.
   const ColumnStats& column_stats(size_t column) const;
 
-  /// The string dictionary of a column, or nullptr (non-string column, or
-  /// no string seen yet). Scans use it to resolve predicate constants to
-  /// interned pointers.
+  /// The string dictionary of a column (created with the table for string
+  /// columns), or nullptr for non-string columns. Scans use it to resolve
+  /// predicate constants to interned pointers/codes.
   const StringDictionary* dictionary(size_t column) const {
-    return column < dicts_.size() ? dicts_[column].get() : nullptr;
+    return dicts_[column].get();
   }
 
-  /// Interns every plain (non-interned) string value in place. Idempotent.
-  void InternStrings();
-
  private:
-  /// Lazily creates the dictionary of a string column.
-  StringDictionary* DictionaryFor(size_t column);
-  /// Interns string values of `row` into the column dictionaries.
-  void InternRow(Row* row);
+  /// The chunk accepting the next append (created on demand).
+  Chunk* AppendChunk();
+  /// Appends one schema-conforming row to storage (no index maintenance).
+  void AppendToStorage(const Row& row);
 
   TableSchema schema_;
-  std::vector<Row> rows_;
+  size_t chunk_capacity_ = kDefaultChunkCapacity;
+  size_t num_rows_ = 0;
+  size_t reserve_hint_ = 0;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
   std::vector<std::unique_ptr<HashIndex>> indexes_;
   std::vector<ColumnStats> stats_;
   std::vector<std::unique_ptr<StringDictionary>> dicts_;

@@ -1,0 +1,247 @@
+// Zone-map pruning and runtime Bloom-filter edge cases.
+//
+// The unit half drives ZoneMapCanSkip directly on hand-built chunks: the
+// dangerous inputs are the degenerate chunks (all-NULL, single row,
+// min == max) and predicates sitting exactly on a zone boundary, where an
+// off-by-one in the Compare logic silently drops or keeps a whole chunk.
+// The end-to-end half checks that the counters surfaced in EXPLAIN ANALYZE
+// (chunks_skipped, bloom_filtered) match a known chunk layout, and that an
+// EMPTY build side yields a Bloom filter that rejects every probe row
+// rather than degenerating into a full scan.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "exec/eval_batch.h"
+#include "exec/query_stats.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace conquer {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ZoneMapCanSkip unit tests.
+// ---------------------------------------------------------------------------
+
+ExprPtr ColSlot(int slot) {
+  ExprPtr e = Expr::MakeColumnRef("t", "a");
+  e->slot = slot;  // scans rebase local filters to column indexes
+  return e;
+}
+
+ExprPtr Cmp(BinaryOp op, int slot, Value lit) {
+  return Expr::MakeBinary(op, ColSlot(slot), Expr::MakeLiteral(std::move(lit)));
+}
+
+class ZoneSkipTest : public ::testing::Test {
+ protected:
+  // One chunk holding ints [10, 20] in column 0, an all-NULL column 1,
+  // and a single-valued (min == max) column 2.
+  ZoneSkipTest()
+      : table_(TableSchema("t", {{"a", DataType::kInt64},
+                                 {"b", DataType::kInt64},
+                                 {"c", DataType::kInt64}})) {
+    for (int v : {10, 15, 20}) {
+      EXPECT_TRUE(
+          table_.Insert({Value::Int(v), Value::Null(), Value::Int(7)}).ok());
+    }
+  }
+
+  bool Skips(ExprPtr e) { return ZoneMapCanSkip(*e, table_, table_.chunk(0)); }
+
+  Table table_;
+};
+
+TEST_F(ZoneSkipTest, EqOutsideAndInsideZone) {
+  EXPECT_TRUE(Skips(Cmp(BinaryOp::kEq, 0, Value::Int(9))));
+  EXPECT_TRUE(Skips(Cmp(BinaryOp::kEq, 0, Value::Int(21))));
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kEq, 0, Value::Int(10))));   // == min
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kEq, 0, Value::Int(20))));   // == max
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kEq, 0, Value::Int(11))));   // gap: zones
+  // only bound the range; a value absent from the chunk may not prune.
+}
+
+TEST_F(ZoneSkipTest, BoundaryOrderedComparisons) {
+  // zone [10, 20]; each operator tested exactly on the boundary it prunes at.
+  EXPECT_TRUE(Skips(Cmp(BinaryOp::kLt, 0, Value::Int(10))));    // a < min
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kLt, 0, Value::Int(11))));
+  EXPECT_TRUE(Skips(Cmp(BinaryOp::kLe, 0, Value::Int(9))));
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kLe, 0, Value::Int(10))));   // a <= min hits
+  EXPECT_TRUE(Skips(Cmp(BinaryOp::kGt, 0, Value::Int(20))));    // a > max
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kGt, 0, Value::Int(19))));
+  EXPECT_TRUE(Skips(Cmp(BinaryOp::kGe, 0, Value::Int(21))));
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kGe, 0, Value::Int(20))));   // a >= max hits
+}
+
+TEST_F(ZoneSkipTest, AllNullColumnSkipsEveryComparison) {
+  for (BinaryOp op : {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                      BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe}) {
+    EXPECT_TRUE(Skips(Cmp(op, 1, Value::Int(0)))) << BinaryOpToString(op);
+  }
+}
+
+TEST_F(ZoneSkipTest, MinEqualsMaxColumn) {
+  // Every value is 7: a <> 7 matches nothing, a = 7 everything.
+  EXPECT_TRUE(Skips(Cmp(BinaryOp::kNe, 2, Value::Int(7))));
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kNe, 2, Value::Int(8))));
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kEq, 2, Value::Int(7))));
+  EXPECT_TRUE(Skips(Cmp(BinaryOp::kEq, 2, Value::Int(8))));
+}
+
+TEST_F(ZoneSkipTest, NullLiteralNeverMatchesARow) {
+  EXPECT_TRUE(Skips(Cmp(BinaryOp::kEq, 0, Value::Null())));
+  EXPECT_TRUE(Skips(Cmp(BinaryOp::kLt, 0, Value::Null())));
+}
+
+TEST_F(ZoneSkipTest, TypeMismatchNeverPrunes) {
+  // A string literal against an int column raises in evaluation; pruning
+  // must not silently swallow the type error by skipping the chunk.
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kEq, 0, Value::String("x"))));
+  EXPECT_FALSE(Skips(Cmp(BinaryOp::kLt, 0, Value::String("x"))));
+}
+
+TEST_F(ZoneSkipTest, ConjunctionAndDisjunction) {
+  auto in_zone = [&] { return Cmp(BinaryOp::kEq, 0, Value::Int(15)); };
+  auto off_zone = [&] { return Cmp(BinaryOp::kEq, 0, Value::Int(99)); };
+  // AND skips if either side proves empty; OR needs both.
+  EXPECT_TRUE(Skips(
+      Expr::MakeBinary(BinaryOp::kAnd, in_zone(), off_zone())));
+  EXPECT_FALSE(Skips(
+      Expr::MakeBinary(BinaryOp::kAnd, in_zone(), in_zone())));
+  EXPECT_TRUE(Skips(
+      Expr::MakeBinary(BinaryOp::kOr, off_zone(), off_zone())));
+  EXPECT_FALSE(Skips(
+      Expr::MakeBinary(BinaryOp::kOr, in_zone(), off_zone())));
+}
+
+TEST(ZoneSkipSingleRowTest, SingleRowChunksPruneExactly) {
+  Table table(TableSchema("t", {{"a", DataType::kInt64}}),
+              /*chunk_capacity=*/1);
+  for (int v : {3, 5, 8}) ASSERT_TRUE(table.Insert({Value::Int(v)}).ok());
+  ASSERT_EQ(table.num_chunks(), 3u);
+  ExprPtr eq5 = Cmp(BinaryOp::kEq, 0, Value::Int(5));
+  EXPECT_TRUE(ZoneMapCanSkip(*eq5, table, table.chunk(0)));
+  EXPECT_FALSE(ZoneMapCanSkip(*eq5, table, table.chunk(1)));
+  EXPECT_TRUE(ZoneMapCanSkip(*eq5, table, table.chunk(2)));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: counters in QueryStats must match a known chunk layout.
+// ---------------------------------------------------------------------------
+
+uint64_t SumMetric(const PlanNodeStats& node,
+                   uint64_t OperatorMetrics::*field) {
+  uint64_t total = node.metrics.*field;
+  for (const auto& child : node.children) total += SumMetric(child, field);
+  return total;
+}
+
+class PruningE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.CreateTable(TableSchema("fact", {{"k", DataType::kInt64},
+                                             {"v", DataType::kDouble}}))
+            .ok());
+    ASSERT_TRUE(db_.CreateTable(TableSchema("dim", {{"k", DataType::kInt64},
+                                                    {"w", DataType::kDouble}}))
+                    .ok());
+    std::vector<Row> fact;
+    for (int i = 0; i < 100; ++i) {
+      fact.push_back({Value::Int(i), Value::Double(i * 0.25)});
+    }
+    ASSERT_TRUE(db_.InsertMany("fact", std::move(fact)).ok());
+    std::vector<Row> dim;
+    for (int i = 0; i < 10; ++i) {
+      dim.push_back({Value::Int(i * 10), Value::Double(i)});
+    }
+    ASSERT_TRUE(db_.InsertMany("dim", std::move(dim)).ok());
+    // fact rows are inserted in key order, so capacity 10 gives ten chunks
+    // with disjoint zones [0,9], [10,19], ..., [90,99].
+    Rechunk("fact", 10);
+  }
+
+  void Rechunk(const std::string& name, size_t capacity) {
+    auto t = db_.GetTable(name);
+    ASSERT_TRUE(t.ok());
+    (*t)->Rechunk(capacity);
+  }
+
+  ResultSet Run(const std::string& sql, QueryStats* stats) {
+    auto rs = db_.Query(sql, stats);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    return rs.ok() ? std::move(rs).value() : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(PruningE2eTest, ChunksSkippedMatchesLayout) {
+  QueryStats stats;
+  ResultSet rs = Run("select v from fact where k >= 95", &stats);
+  EXPECT_EQ(rs.rows.size(), 5u);
+  // Chunks [0,9] ... [80,89] are provably empty; only [90,99] is scanned.
+  EXPECT_EQ(SumMetric(stats.plan, &OperatorMetrics::chunks_skipped), 9u);
+}
+
+TEST_F(PruningE2eTest, PruningDisabledScansEverything) {
+  db_.mutable_exec_context()->enable_zone_pruning = false;
+  QueryStats stats;
+  ResultSet rs = Run("select v from fact where k >= 95", &stats);
+  db_.mutable_exec_context()->enable_zone_pruning = true;
+  EXPECT_EQ(rs.rows.size(), 5u);
+  EXPECT_EQ(SumMetric(stats.plan, &OperatorMetrics::chunks_skipped), 0u);
+}
+
+TEST_F(PruningE2eTest, EmptyBuildSideBloomRejectsAllProbeRows) {
+  QueryStats stats;
+  // No dim row has w < -100: the join build side is empty, so its Bloom
+  // filter must reject every fact row at the scan — not fall back to
+  // probing the (empty) hash table with the full fact table.
+  ResultSet rs = Run(
+      "select f.v from fact f, dim d where f.k = d.k and d.w < -100", &stats);
+  EXPECT_EQ(rs.rows.size(), 0u);
+  EXPECT_EQ(SumMetric(stats.plan, &OperatorMetrics::bloom_filtered), 100u);
+  EXPECT_EQ(SumMetric(stats.plan, &OperatorMetrics::probe_rows), 0u);
+}
+
+TEST_F(PruningE2eTest, BloomFilterDropsNonMatchingProbeRows) {
+  QueryStats stats;
+  ResultSet rs = Run(
+      "select f.v, d.w from fact f, dim d where f.k = d.k", &stats);
+  EXPECT_EQ(rs.rows.size(), 10u);  // keys 0, 10, ..., 90
+  // 90 of the 100 fact keys miss the 10 build keys; the Bloom filter drops
+  // (almost) all of them before the join. Allow false positives but insist
+  // the filter does real work, and that no true match was dropped (the
+  // result size above proves that).
+  uint64_t dropped = SumMetric(stats.plan, &OperatorMetrics::bloom_filtered);
+  EXPECT_GE(dropped, 80u);
+  EXPECT_LE(dropped, 90u);
+  EXPECT_EQ(SumMetric(stats.plan, &OperatorMetrics::probe_rows), 100u - dropped);
+}
+
+TEST_F(PruningE2eTest, RuntimeFiltersDisabledProbesEverything) {
+  db_.mutable_exec_context()->enable_runtime_filters = false;
+  QueryStats stats;
+  ResultSet rs = Run(
+      "select f.v from fact f, dim d where f.k = d.k and d.w < -100", &stats);
+  db_.mutable_exec_context()->enable_runtime_filters = true;
+  EXPECT_EQ(rs.rows.size(), 0u);
+  EXPECT_EQ(SumMetric(stats.plan, &OperatorMetrics::bloom_filtered), 0u);
+  EXPECT_EQ(SumMetric(stats.plan, &OperatorMetrics::probe_rows), 100u);
+}
+
+TEST_F(PruningE2eTest, ExplainAnalyzeRendersCounters) {
+  auto rs = db_.Query("explain analyze select v from fact where k >= 95");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  std::string text;
+  for (const Row& r : rs->rows) text += r[0].string_value() + "\n";
+  EXPECT_NE(text.find("chunks_skipped="), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace conquer

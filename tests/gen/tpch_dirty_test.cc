@@ -128,8 +128,11 @@ TEST(TpchDirtyTest, DuplicatesPerturbAttributes) {
   auto customer = gen->db->GetTable("customer");
   ASSERT_TRUE(customer.ok());
   // Within clusters of size > 1, at least some attribute values disagree.
+  // rows() materializes a fresh copy; keep it alive while pointers into it
+  // are held below.
+  std::vector<Row> rows = (*customer)->rows();
   std::unordered_map<std::string, std::vector<const Row*>> clusters;
-  for (const Row& r : (*customer)->rows()) {
+  for (const Row& r : rows) {
     clusters[r[0].string_value()].push_back(&r);
   }
   size_t name_col = (*customer)->schema().GetColumnIndex("c_name").value();

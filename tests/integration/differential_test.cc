@@ -247,6 +247,43 @@ TEST_P(DifferentialTest, EngineMatchesOracleSequentiallyAndInParallel) {
       }
     }
     rdb.db.mutable_exec_context()->batch_size = 1024;
+
+    // Chunk geometry must be invisible: capacity 1 makes every zone map
+    // trivially tight (maximum pruning opportunity), 7 leaves ragged chunk
+    // tails, 65536 is the production default with everything in one chunk.
+    // Results must stay bit-identical to the sequential baseline across
+    // capacities and thread counts.
+    for (size_t capacity : {size_t{1}, size_t{7}, size_t{1024},
+                            size_t{65536}}) {
+      for (const std::string& name : rdb.tables) {
+        auto t = rdb.db.GetTable(name);
+        ASSERT_TRUE(t.ok());
+        (*t)->Rechunk(capacity);
+      }
+      for (size_t threads : {size_t{1}, size_t{3}}) {
+        rdb.db.SetThreads(threads);
+        auto run = engine.Query(sql);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        const std::string label = " (chunk_capacity=" +
+                                  std::to_string(capacity) +
+                                  ", threads=" + std::to_string(threads) + ")";
+        ASSERT_EQ(run->answers.size(), sequential->answers.size()) << label;
+        for (size_t i = 0; i < run->answers.size(); ++i) {
+          EXPECT_TRUE(
+              RowsEqual(run->answers[i].row, sequential->answers[i].row))
+              << "answer row " << i << " differs" << label;
+          EXPECT_EQ(Bits(run->answers[i].probability),
+                    Bits(sequential->answers[i].probability))
+              << "probability of answer " << i << " is not bit-identical"
+              << label;
+        }
+      }
+    }
+    for (const std::string& name : rdb.tables) {
+      auto t = rdb.db.GetTable(name);
+      ASSERT_TRUE(t.ok());
+      (*t)->Rechunk(Table::kDefaultChunkCapacity);
+    }
     rdb.db.SetThreads(1);
   }
 }

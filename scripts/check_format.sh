@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Format gate (check-only, never rewrites): clang-format --dry-run over the
+# fuzzing subsystem and its tests — the directories introduced together with
+# .clang-format. Pre-existing sources are deliberately NOT checked, so this
+# gate cannot force a repo-wide reformat.
+#
+# Usage: scripts/check_format.sh [extra files...]
+# Skips gracefully (exit 0) when clang-format is not installed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not found, skipping format check"
+  exit 0
+fi
+
+mapfile -t files < <(find src/fuzz tests/fuzz -name '*.cc' -o -name '*.h' \
+                     | sort)
+files+=("$@")
+
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "check_format: nothing to check"
+  exit 0
+fi
+
+echo "check_format: $CLANG_FORMAT --dry-run on ${#files[@]} file(s)"
+"$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+echo "check_format: clean"

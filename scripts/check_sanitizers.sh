@@ -1,31 +1,61 @@
 #!/usr/bin/env bash
 # Sanitizer gate, suitable for CI:
-#   1. ASan + UBSan build, fast tier-1 suite   (memory / UB bugs)
-#   2. TSan build, concurrency-labeled suite   (data races in the
-#      morsel-driven parallel executor and the task pool)
+#   asan  ASan + UBSan build, fast tier-1 suite  (memory / UB bugs)
+#   tsan  TSan build, concurrency-labeled suite  (data races in the
+#         morsel-driven parallel executor and the task pool)
 #
-# Usage: scripts/check_sanitizers.sh [jobs]
+# Usage: scripts/check_sanitizers.sh [asan|tsan|all] [jobs]
+#
 # Build trees live in build-asan/ and build-tsan/ next to build/ and are
-# reused across runs.
+# reused across runs. Every requested configuration runs even when an
+# earlier one fails; the exit code is non-zero if ANY configuration failed
+# (not just the last one).
 
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS="${1:-$(nproc)}"
+CONFIG="${1:-all}"
+JOBS="${2:-$(nproc)}"
+
+case "$CONFIG" in
+  asan|tsan|all) ;;
+  *)
+    echo "usage: $0 [asan|tsan|all] [jobs]" >&2
+    exit 2
+    ;;
+esac
 
 run_suite() {
   local dir="$1" sanitize="$2" label="$3"
-  echo "=== ${sanitize}: configuring ${dir} ==="
+  echo "=== ${sanitize}: configuring ${dir} ===" &&
   # Instrumented trees only need the test binaries, not benches/examples.
   cmake -B "${dir}" -S . -DCONQUER_SANITIZE="${sanitize}" \
-        -DCONQUER_BUILD_AUX=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  echo "=== ${sanitize}: building ==="
-  cmake --build "${dir}" -j "${JOBS}"
-  echo "=== ${sanitize}: ctest -L ${label} ==="
+        -DCONQUER_BUILD_AUX=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+  echo "=== ${sanitize}: building ===" &&
+  cmake --build "${dir}" -j "${JOBS}" &&
+  echo "=== ${sanitize}: ctest -L ${label} ===" &&
   ctest --test-dir "${dir}" -L "${label}" --output-on-failure -j "${JOBS}"
 }
 
-run_suite build-asan address tier1
-run_suite build-tsan thread concurrency
+status=0
 
-echo "=== sanitizers clean ==="
+if [[ "$CONFIG" == "asan" || "$CONFIG" == "all" ]]; then
+  if ! run_suite build-asan address tier1; then
+    echo "=== address: FAILED ===" >&2
+    status=1
+  fi
+fi
+
+if [[ "$CONFIG" == "tsan" || "$CONFIG" == "all" ]]; then
+  if ! run_suite build-tsan thread concurrency; then
+    echo "=== thread: FAILED ===" >&2
+    status=1
+  fi
+fi
+
+if [[ "$status" -eq 0 ]]; then
+  echo "=== sanitizers clean ==="
+else
+  echo "=== sanitizer failures detected ===" >&2
+fi
+exit "$status"

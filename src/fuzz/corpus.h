@@ -1,0 +1,60 @@
+#ifndef CONQUER_FUZZ_CORPUS_H_
+#define CONQUER_FUZZ_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_case.h"
+
+namespace conquer {
+namespace fuzz {
+
+/// \brief The committed regression corpus: every reproducer the fuzzer ever
+/// shrank is written as a `.case` file and replayed as a tier-1 test, so a
+/// found bug can never silently return.
+///
+/// File format (line-oriented, `#` comments, one table block per table):
+///
+///   conquer-fuzz-case v1
+///   seed <u64>
+///   table <name>
+///   column <name> <string|int64|double|date|bool>
+///   dirty <id_column> <prob_column|->      # '-' marks a clean relation
+///   fk <column> <referenced_table>
+///   chunk <capacity>                       # optional, 0/absent = default
+///   csv <n>                                # n physical lines follow
+///   <RFC 4180 CSV: header + rows; quoted fields may span lines; \N = NULL>
+///   endtable
+///   op rechunk <table> <capacity>
+///   op setvalue <table> <row> <column> <csv-field>
+///   query <sql on one line>
+///   expect rewritable|reject
+///
+/// Row payloads are parsed by the engine's own strict RFC 4180 reader, so
+/// every corpus replay also exercises the multi-line quoted-field CSV path.
+inline constexpr char kCorpusHeader[] = "conquer-fuzz-case v1";
+inline constexpr char kCorpusNull[] = "\\N";
+
+/// Renders the case in the corpus format; `note` lines (e.g. the violation
+/// text) are embedded as leading comments.
+std::string SerializeCase(const FuzzCase& c, const std::string& note = "");
+
+/// Parses the corpus format. The query comes back as raw SQL (structured
+/// shrinking does not apply to corpus-loaded cases).
+Result<FuzzCase> ParseCaseText(const std::string& text);
+
+/// Reads and parses one `.case` file.
+Result<FuzzCase> LoadCaseFile(const std::string& path);
+
+/// Serializes the case to `path` (parent directories are created).
+Status SaveCaseFile(const FuzzCase& c, const std::string& path,
+                    const std::string& note = "");
+
+/// The `.case` files directly inside `dir`, sorted by name; empty when the
+/// directory does not exist.
+std::vector<std::string> ListCaseFiles(const std::string& dir);
+
+}  // namespace fuzz
+}  // namespace conquer
+
+#endif  // CONQUER_FUZZ_CORPUS_H_

@@ -1,0 +1,123 @@
+#include "fuzz/fuzz_case.h"
+
+#include <map>
+
+#include "common/str_util.h"
+#include "storage/table.h"
+
+namespace conquer {
+namespace fuzz {
+
+TableSchema FuzzTable::Schema() const {
+  std::vector<ColumnDef> cols;
+  cols.reserve(columns.size());
+  for (const FuzzColumn& c : columns) cols.push_back({c.name, c.type});
+  return TableSchema(name, std::move(cols));
+}
+
+DirtyTableInfo FuzzTable::DirtyInfo() const {
+  DirtyTableInfo info;
+  info.table_name = name;
+  info.id_column = id_column;
+  info.prob_column = prob_column;
+  info.foreign_ids = foreign_ids;
+  return info;
+}
+
+std::optional<size_t> FuzzTable::FindColumn(std::string_view n) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, n)) return i;
+  }
+  return std::nullopt;
+}
+
+std::string FuzzQuery::Sql() const {
+  if (!raw_sql.empty()) return raw_sql;
+  std::string sql = "select " + Join(select, ", ") + " from " + Join(from, ", ");
+  std::vector<std::string> where;
+  for (const FuzzJoin& j : joins) {
+    where.push_back(j.left_table + "." + j.left_column + " = " +
+                    j.right_table + "." + j.right_column);
+  }
+  for (const FuzzPredicate& p : filters) {
+    where.push_back(p.table + "." + p.column + " " + p.op + " " +
+                    p.literal.ToSqlLiteral());
+  }
+  if (!where.empty()) sql += " where " + Join(where, " and ");
+  return sql;
+}
+
+size_t FuzzCase::TotalRows() const {
+  size_t n = 0;
+  for (const FuzzTable& t : tables) n += t.rows.size();
+  return n;
+}
+
+const FuzzTable* FuzzCase::FindTable(std::string_view name) const {
+  for (const FuzzTable& t : tables) {
+    if (EqualsIgnoreCase(t.name, name)) return &t;
+  }
+  return nullptr;
+}
+
+Result<BuiltDb> BuildFuzzDatabase(const FuzzCase& c) {
+  BuiltDb out;
+  out.db = std::make_unique<Database>();
+  for (const FuzzTable& t : c.tables) {
+    CONQUER_RETURN_NOT_OK(out.db->CreateTable(t.Schema()));
+    CONQUER_RETURN_NOT_OK(out.dirty.AddTable(t.DirtyInfo()));
+    if (t.chunk_capacity > 0) {
+      CONQUER_ASSIGN_OR_RETURN(Table * table, out.db->GetTable(t.name));
+      table->Rechunk(t.chunk_capacity);
+    }
+    CONQUER_RETURN_NOT_OK(out.db->InsertMany(t.name, t.rows));
+  }
+  for (const FuzzOp& op : c.ops) {
+    CONQUER_ASSIGN_OR_RETURN(Table * table, out.db->GetTable(op.table));
+    switch (op.kind) {
+      case FuzzOp::Kind::kRechunk:
+        if (op.capacity == 0) {
+          return Status::InvalidArgument("rechunk op with capacity 0");
+        }
+        table->Rechunk(op.capacity);
+        break;
+      case FuzzOp::Kind::kSetValue: {
+        if (op.row >= table->num_rows()) {
+          return Status::OutOfRange(
+              StringPrintf("setvalue row %zu out of range for table '%s'",
+                           op.row, op.table.c_str()));
+        }
+        CONQUER_ASSIGN_OR_RETURN(size_t col,
+                                 table->schema().GetColumnIndex(op.column));
+        table->SetValue(op.row, col, op.value);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ClusterSum> ClusterProbabilitySums(const FuzzCase& c) {
+  std::vector<ClusterSum> out;
+  for (const FuzzTable& t : c.tables) {
+    if (t.prob_column.empty()) continue;
+    auto id_col = t.FindColumn(t.id_column);
+    auto prob_col = t.FindColumn(t.prob_column);
+    if (!id_col.has_value() || !prob_col.has_value()) continue;
+    std::map<std::string, size_t> index;
+    for (const Row& row : t.rows) {
+      const Value& id = row[*id_col];
+      const Value& prob = row[*prob_col];
+      std::string key = id.is_null() ? "<null>" : id.ToString();
+      auto [it, inserted] = index.try_emplace(key, out.size());
+      if (inserted) out.push_back({t.name, key, 0.0, 0});
+      ClusterSum& sum = out[it->second];
+      if (!prob.is_null()) sum.sum += prob.AsDouble();
+      sum.rows += 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace fuzz
+}  // namespace conquer

@@ -1,0 +1,128 @@
+#ifndef CONQUER_FUZZ_FUZZ_CASE_H_
+#define CONQUER_FUZZ_FUZZ_CASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "core/dirty_schema.h"
+#include "engine/database.h"
+#include "types/value.h"
+
+namespace conquer {
+namespace fuzz {
+
+/// \brief One column of a fuzzed dirty table.
+struct FuzzColumn {
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// \brief One table of a fuzz case: schema, dirty-schema annotations and the
+/// full row payload. Self-contained so a case can be rebuilt, mutated by the
+/// shrinker, and serialized into the regression corpus.
+struct FuzzTable {
+  std::string name;
+  std::vector<FuzzColumn> columns;
+  std::string id_column = "id";
+  /// Empty = clean relation (every tuple its own cluster, probability 1).
+  std::string prob_column = "prob";
+  std::vector<DirtyTableInfo::ForeignId> foreign_ids;
+  /// Per-chunk row capacity the table is built with (0 = engine default).
+  size_t chunk_capacity = 0;
+  std::vector<Row> rows;
+
+  TableSchema Schema() const;
+  DirtyTableInfo DirtyInfo() const;
+  std::optional<size_t> FindColumn(std::string_view name) const;
+};
+
+/// \brief A post-load maintenance operation replayed against the built
+/// database before the query runs. Exercises the in-place update paths
+/// (SetValue zone widening / index dropping) and chunk-geometry rebuilds.
+struct FuzzOp {
+  enum class Kind { kRechunk, kSetValue };
+  Kind kind = Kind::kRechunk;
+  std::string table;
+  size_t capacity = 0;  ///< kRechunk
+  size_t row = 0;       ///< kSetValue
+  std::string column;   ///< kSetValue
+  Value value;          ///< kSetValue
+};
+
+/// \brief An equi-join edge `left.left_column = right.right_column`.
+struct FuzzJoin {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+};
+
+/// \brief A single-relation selection predicate `table.column op literal`.
+/// `op` is one of =, <>, <, <=, >, >= or `like`.
+struct FuzzPredicate {
+  std::string table;
+  std::string column;
+  std::string op = "=";
+  Value literal;
+};
+
+/// \brief The query of a fuzz case in structured form, so the shrinker can
+/// drop predicates/joins/select items and re-render valid SQL.
+struct FuzzQuery {
+  std::vector<std::string> select;  ///< qualified names, e.g. "t0.id"
+  std::vector<std::string> from;
+  std::vector<FuzzJoin> joins;
+  std::vector<FuzzPredicate> filters;
+  /// False for deliberately non-rewritable mutants that must be rejected by
+  /// the Dfn 7 checker (the reject-path oracle).
+  bool expect_rewritable = true;
+  /// Label of the applied non-rewritable mutation, empty when none.
+  std::string mutation;
+  /// Corpus-loaded cases carry verbatim SQL instead of structure; when
+  /// non-empty it wins over rendering (such cases cannot be shrunk).
+  std::string raw_sql;
+
+  /// The SQL text executed by the oracles.
+  std::string Sql() const;
+};
+
+/// \brief A complete self-contained fuzz case.
+struct FuzzCase {
+  uint64_t seed = 0;
+  std::vector<FuzzTable> tables;
+  std::vector<FuzzOp> ops;
+  FuzzQuery query;
+
+  size_t TotalRows() const;
+  const FuzzTable* FindTable(std::string_view name) const;
+};
+
+/// \brief A materialized fuzz-case database plus its dirty annotations.
+struct BuiltDb {
+  std::unique_ptr<Database> db;
+  DirtySchema dirty;
+};
+
+/// Builds the case's tables, inserts every row, registers the dirty schema
+/// and applies the maintenance ops, in declaration order.
+Result<BuiltDb> BuildFuzzDatabase(const FuzzCase& c);
+
+/// \brief Probability mass of one cluster, for the input-integrity oracle.
+struct ClusterSum {
+  std::string table;
+  std::string id;
+  double sum = 0.0;
+  size_t rows = 0;
+};
+
+/// Per-cluster probability sums of every dirty table, grouped by identifier
+/// value, in first-occurrence order. Clean relations are skipped.
+std::vector<ClusterSum> ClusterProbabilitySums(const FuzzCase& c);
+
+}  // namespace fuzz
+}  // namespace conquer
+
+#endif  // CONQUER_FUZZ_FUZZ_CASE_H_

@@ -1,0 +1,127 @@
+#include "fuzz/fuzzer.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "fuzz/corpus.h"
+#include "fuzz/shrinker.h"
+
+namespace conquer {
+namespace fuzz {
+namespace {
+
+/// Per-iteration case seed: a Weyl sequence over the golden ratio keeps the
+/// seeds decorrelated while staying reproducible from the campaign seed.
+uint64_t CaseSeed(uint64_t campaign_seed, size_t iteration) {
+  return campaign_seed +
+         0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(iteration + 1);
+}
+
+/// Shrink probe: a candidate "fails" with the kind its oracle run reports;
+/// infrastructure errors (unbuildable candidate) count as not failing, so
+/// the shrinker discards such candidates instead of chasing them.
+ViolationKind Probe(const FuzzCase& c, const OracleOptions& oracle) {
+  auto report = RunOracles(c, oracle);
+  if (!report.ok()) return ViolationKind::kNone;
+  return report->kind;
+}
+
+}  // namespace
+
+Result<OracleReport> ReplayCase(const FuzzCase& c,
+                                const OracleOptions& oracle) {
+  return RunOracles(c, oracle);
+}
+
+Result<FuzzSummary> RunFuzz(const FuzzOptions& options) {
+  FuzzSummary summary;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < options.iterations; ++i) {
+    const uint64_t seed = CaseSeed(options.seed, i);
+    FuzzCase c = GenerateCase(seed, options.config);
+    summary.cases += 1;
+    if (options.dump_cases) {
+      std::fputs(SerializeCase(c, StringPrintf("iteration %zu", i)).c_str(),
+                 stdout);
+      std::fputs("\n", stdout);
+    }
+    if (c.query.expect_rewritable) {
+      summary.rewritable += 1;
+    } else {
+      summary.mutants += 1;
+    }
+
+    CONQUER_ASSIGN_OR_RETURN(OracleReport report,
+                             RunOracles(c, options.oracle));
+    if (report.naive_checked) {
+      summary.naive_checked += 1;
+    } else if (c.query.expect_rewritable) {
+      summary.naive_skipped += 1;
+    }
+
+    if (options.verbose) {
+      std::fprintf(stderr,
+                   "[fuzz] case %zu/%zu seed=%llu tables=%zu rows=%zu "
+                   "answers=%zu %s%s\n",
+                   i + 1, options.iterations,
+                   static_cast<unsigned long long>(seed), c.tables.size(),
+                   c.TotalRows(), report.num_answers,
+                   c.query.expect_rewritable ? "rewritable" : "mutant",
+                   report.ok() ? "" : " VIOLATION");
+    }
+    if (report.ok()) continue;
+
+    summary.violations += 1;
+    std::string message = StringPrintf(
+        "iteration %zu (case seed %llu): [%s] %s", i,
+        static_cast<unsigned long long>(seed),
+        ViolationKindToString(report.kind), report.violation.c_str());
+
+    ShrinkStats stats;
+    FuzzCase shrunk = ShrinkCase(
+        c, [&](const FuzzCase& cand) { return Probe(cand, options.oracle); },
+        &stats);
+    message += StringPrintf(
+        "; shrunk to %zu tables / %zu rows (%zu attempts, %zu passes)",
+        shrunk.tables.size(), shrunk.TotalRows(), stats.attempts,
+        stats.passes);
+
+    if (!options.out_dir.empty()) {
+      std::string path = options.out_dir +
+                         StringPrintf("/fuzz_%llu_%zu.case",
+                                      static_cast<unsigned long long>(
+                                          options.seed),
+                                      i);
+      std::string note =
+          "reproducer shrunk from " + message + "\nreplay: conquer_fuzz "
+          "--replay=" + path;
+      Status saved = SaveCaseFile(shrunk, path, note);
+      if (saved.ok()) {
+        summary.reproducer_paths.push_back(path);
+        message += "; saved " + path;
+      } else {
+        message += "; FAILED to save reproducer: " + saved.ToString();
+      }
+    }
+    summary.violation_messages.push_back(message);
+    std::fprintf(stderr, "[fuzz] VIOLATION %s\n", message.c_str());
+    if (options.fail_fast) break;
+  }
+
+  if (options.verbose || summary.violations > 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    std::fprintf(stderr,
+                 "[fuzz] %zu cases (%zu rewritable, %zu mutants) in %lld ms; "
+                 "naive-checked %zu, skipped %zu; %zu violations\n",
+                 summary.cases, summary.rewritable, summary.mutants,
+                 static_cast<long long>(elapsed), summary.naive_checked,
+                 summary.naive_skipped, summary.violations);
+  }
+  return summary;
+}
+
+}  // namespace fuzz
+}  // namespace conquer

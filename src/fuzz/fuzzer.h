@@ -1,0 +1,55 @@
+#ifndef CONQUER_FUZZ_FUZZER_H_
+#define CONQUER_FUZZ_FUZZER_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
+
+namespace conquer {
+namespace fuzz {
+
+/// \brief One fuzzing campaign: how many cases, from which master seed, and
+/// where shrunk reproducers land.
+struct FuzzOptions {
+  uint64_t seed = 1;
+  size_t iterations = 100;
+  /// Directory receiving shrunk `.case` reproducers; empty = don't save.
+  std::string out_dir;
+  bool fail_fast = false;
+  bool verbose = false;
+  /// Print every generated case in corpus format on stdout (debugging aid).
+  bool dump_cases = false;
+  FuzzConfig config;
+  OracleOptions oracle;
+};
+
+/// \brief Aggregate campaign outcome.
+struct FuzzSummary {
+  size_t cases = 0;
+  size_t rewritable = 0;       ///< cases expected (and checked) rewritable
+  size_t mutants = 0;          ///< cases exercising the checker's reject path
+  size_t naive_checked = 0;    ///< cases differentially checked vs the oracle
+  size_t naive_skipped = 0;    ///< naive oracle bowed out (candidate blow-up)
+  size_t violations = 0;
+  std::vector<std::string> reproducer_paths;
+  std::vector<std::string> violation_messages;
+
+  bool ok() const { return violations == 0; }
+};
+
+/// Runs `iterations` generated cases through the oracles; every failure is
+/// shrunk with the identical oracle configuration and, when `out_dir` is set,
+/// saved as a corpus-format reproducer. Case seeds derive deterministically
+/// from `seed`, so a campaign is replayable from its command line alone.
+/// Status errors signal infrastructure failures, not oracle violations.
+Result<FuzzSummary> RunFuzz(const FuzzOptions& options);
+
+/// Replays one corpus case (or a freshly generated case) through the oracles.
+Result<OracleReport> ReplayCase(const FuzzCase& c, const OracleOptions& oracle);
+
+}  // namespace fuzz
+}  // namespace conquer
+
+#endif  // CONQUER_FUZZ_FUZZER_H_

@@ -1,0 +1,356 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "gen/perturb.h"
+
+namespace conquer {
+namespace fuzz {
+namespace {
+
+/// Column layout of a generated table: id, attrs, fks, prob.
+struct TablePlan {
+  std::vector<DataType> attr_types;
+  std::vector<int> children;  ///< table indices whose fk columns we carry
+  std::vector<std::vector<double>> cluster_probs;  ///< one per entity
+};
+
+std::vector<double> MakeClusterProbs(Rng* rng, const FuzzConfig& cfg) {
+  if (rng->Chance(cfg.exact_dyadic_rate)) {
+    switch (rng->Uniform(0, 2)) {
+      case 0:
+        return {1.0};
+      case 1:
+        return {0.5, 0.5};
+      default:
+        return {0.25, 0.25, 0.25, 0.25};
+    }
+  }
+  int k = 1;
+  while (k < cfg.max_cluster_size && rng->Chance(cfg.cluster_skew)) ++k;
+  std::vector<double> probs(k);
+  double sum = 0;
+  for (double& p : probs) {
+    p = 0.05 + rng->NextDouble();
+    sum += p;
+  }
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+std::string Word(int i) { return StringPrintf("w%02d", i); }
+
+std::string EntityId(int table, size_t entity) {
+  return StringPrintf("t%d_e%zu", table, entity);
+}
+
+Value RandomAttrValue(Rng* rng, DataType type, const FuzzConfig& cfg) {
+  if (rng->Chance(cfg.null_density)) return Value::Null();
+  if (type == DataType::kString) {
+    return Value::String(Word(static_cast<int>(
+        rng->Uniform(0, cfg.dict_cardinality - 1))));
+  }
+  return Value::Int(rng->Uniform(0, cfg.int_domain - 1));
+}
+
+/// A duplicate's attribute: NULL, a typo/jitter of the base, or a fresh draw.
+Value DuplicateAttrValue(Rng* rng, DataType type, const Value& base,
+                         const FuzzConfig& cfg) {
+  if (rng->Chance(cfg.null_density)) return Value::Null();
+  if (!base.is_null() && rng->Chance(cfg.perturb_rate)) {
+    if (type == DataType::kString) {
+      return Value::String(PerturbString(base.string_value(), rng, 1));
+    }
+    return Value::Int(base.int_value() + rng->Uniform(-1, 1));
+  }
+  if (base.is_null()) return RandomAttrValue(rng, type, cfg);
+  return rng->Chance(0.5) ? base : RandomAttrValue(rng, type, cfg);
+}
+
+/// Applies one of the five Dfn 7 violations, picked uniformly among the
+/// mutations applicable to this case. Returns the mutation label.
+std::string ApplyMutation(Rng* rng, const FuzzCase& c, FuzzQuery* q) {
+  struct AttrRef {
+    std::string table, column;
+    DataType type;
+  };
+  std::vector<AttrRef> attrs;
+  for (const FuzzTable& t : c.tables) {
+    for (const FuzzColumn& col : t.columns) {
+      if (EqualsIgnoreCase(col.name, t.id_column) ||
+          EqualsIgnoreCase(col.name, t.prob_column)) {
+        continue;
+      }
+      bool is_fk = false;
+      for (const auto& fk : t.foreign_ids) {
+        if (EqualsIgnoreCase(fk.column, col.name)) is_fk = true;
+      }
+      if (!is_fk) attrs.push_back({t.name, col.name, col.type});
+    }
+  }
+  // A cross-table attribute pair of equal type, if one exists.
+  const AttrRef* pair_a = nullptr;
+  const AttrRef* pair_b = nullptr;
+  for (const AttrRef& a : attrs) {
+    for (const AttrRef& b : attrs) {
+      if (a.table != b.table && a.type == b.type) {
+        pair_a = &a;
+        pair_b = &b;
+        break;
+      }
+    }
+    if (pair_a != nullptr) break;
+  }
+
+  std::vector<std::string> applicable = {"self_join", "no_root_id"};
+  if (pair_a != nullptr) applicable.push_back("attr_attr_join");
+  if (c.tables.size() >= 2) applicable.push_back("id_id_unify");
+  if (!q->joins.empty()) applicable.push_back("dup_join_arc");
+
+  const std::string& pick = applicable[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(applicable.size()) - 1))];
+  if (pick == "attr_attr_join") {
+    q->joins.push_back(
+        {pair_a->table, pair_a->column, pair_b->table, pair_b->column});
+  } else if (pick == "id_id_unify") {
+    size_t a = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(c.tables.size()) - 1));
+    size_t b = (a + 1) % c.tables.size();
+    q->joins.push_back({c.tables[a].name, c.tables[a].id_column,
+                        c.tables[b].name, c.tables[b].id_column});
+  } else if (pick == "dup_join_arc") {
+    q->joins.push_back(q->joins[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(q->joins.size()) - 1))]);
+  } else if (pick == "self_join") {
+    q->from.push_back(q->from[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(q->from.size()) - 1))]);
+  } else {  // no_root_id
+    const std::string root_id = c.tables[0].name + "." + c.tables[0].id_column;
+    q->select.erase(std::remove(q->select.begin(), q->select.end(), root_id),
+                    q->select.end());
+    if (q->select.empty()) {
+      q->select.push_back(c.tables[0].name + "." + c.tables[0].columns[1].name);
+    }
+  }
+  return pick;
+}
+
+}  // namespace
+
+FuzzCase GenerateCase(uint64_t seed, const FuzzConfig& cfg) {
+  Rng rng(seed ^ 0xc0ffee5eedULL);
+  FuzzCase c;
+  c.seed = seed;
+
+  int n = static_cast<int>(rng.Uniform(cfg.min_tables, cfg.max_tables));
+  std::vector<int> parent_of(n, -1);
+  for (int t = 1; t < n; ++t) {
+    parent_of[t] = static_cast<int>(rng.Uniform(0, t - 1));
+  }
+
+  // Decide shapes and cluster distributions up front so the candidate count
+  // can be capped before any row exists.
+  std::vector<TablePlan> plans(n);
+  uint64_t product = 1;
+  for (int t = 0; t < n; ++t) {
+    int num_attrs = static_cast<int>(rng.Uniform(1, cfg.max_attrs));
+    for (int a = 0; a < num_attrs; ++a) {
+      plans[t].attr_types.push_back(rng.Chance(cfg.string_attr_rate)
+                                        ? DataType::kString
+                                        : DataType::kInt64);
+    }
+    for (int child = 1; child < n; ++child) {
+      if (parent_of[child] == t) plans[t].children.push_back(child);
+    }
+    int entities =
+        static_cast<int>(rng.Uniform(cfg.min_entities, cfg.max_entities));
+    for (int e = 0; e < entities; ++e) {
+      plans[t].cluster_probs.push_back(MakeClusterProbs(&rng, cfg));
+      product *= plans[t].cluster_probs.back().size();
+    }
+  }
+  for (TablePlan& plan : plans) {
+    for (std::vector<double>& probs : plan.cluster_probs) {
+      if (probs.size() > 1 && product > cfg.max_candidate_product) {
+        product /= probs.size();
+        probs = {1.0};
+      }
+    }
+  }
+
+  // Materialize tables and rows.
+  for (int t = 0; t < n; ++t) {
+    const TablePlan& plan = plans[t];
+    FuzzTable table;
+    table.name = StringPrintf("t%d", t);
+    table.columns.push_back({"id", DataType::kString});
+    std::vector<std::string> attr_names;
+    for (size_t a = 0; a < plan.attr_types.size(); ++a) {
+      attr_names.push_back(StringPrintf("a%d_%zu", t, a));
+      table.columns.push_back({attr_names.back(), plan.attr_types[a]});
+    }
+    for (int child : plan.children) {
+      std::string fk = StringPrintf("fk%d", child);
+      table.columns.push_back({fk, DataType::kString});
+      table.foreign_ids.push_back({fk, StringPrintf("t%d", child)});
+    }
+    table.columns.push_back({"prob", DataType::kDouble});
+
+    for (size_t e = 0; e < plan.cluster_probs.size(); ++e) {
+      const std::vector<double>& probs = plan.cluster_probs[e];
+      // Cluster base values; duplicates perturb or redraw them.
+      std::vector<Value> base_attrs;
+      for (DataType type : plan.attr_types) {
+        base_attrs.push_back(RandomAttrValue(&rng, type, cfg));
+      }
+      std::vector<size_t> base_fk_targets;
+      for (int child : plan.children) {
+        base_fk_targets.push_back(static_cast<size_t>(rng.Uniform(
+            0,
+            static_cast<int64_t>(plans[child].cluster_probs.size()) - 1)));
+      }
+      for (size_t j = 0; j < probs.size(); ++j) {
+        Row row;
+        row.push_back(Value::String(EntityId(t, e)));
+        for (size_t a = 0; a < plan.attr_types.size(); ++a) {
+          row.push_back(j == 0 ? base_attrs[a]
+                               : DuplicateAttrValue(&rng, plan.attr_types[a],
+                                                    base_attrs[a], cfg));
+        }
+        for (size_t ci = 0; ci < plan.children.size(); ++ci) {
+          size_t target = base_fk_targets[ci];
+          if (j > 0 && rng.Chance(cfg.fk_error_rate)) {
+            target = static_cast<size_t>(rng.Uniform(
+                0, static_cast<int64_t>(
+                       plans[plan.children[ci]].cluster_probs.size()) -
+                       1));
+          }
+          row.push_back(Value::String(EntityId(plan.children[ci], target)));
+        }
+        row.push_back(Value::Double(probs[j]));
+        table.rows.push_back(std::move(row));
+      }
+    }
+    c.tables.push_back(std::move(table));
+  }
+
+  // The query: the join tree, random projections, random selections.
+  FuzzQuery q;
+  q.select.push_back("t0.id");
+  for (int t = 0; t < n; ++t) {
+    q.from.push_back(c.tables[t].name);
+    if (t > 0 && rng.Chance(cfg.select_id_rate)) {
+      q.select.push_back(c.tables[t].name + ".id");
+    }
+    for (size_t a = 0; a < plans[t].attr_types.size(); ++a) {
+      if (rng.Chance(cfg.select_attr_rate)) {
+        q.select.push_back(c.tables[t].name + "." +
+                           StringPrintf("a%d_%zu", t, a));
+      }
+    }
+  }
+  for (int t = 1; t < n; ++t) {
+    q.joins.push_back({StringPrintf("t%d", parent_of[t]),
+                       StringPrintf("fk%d", t), StringPrintf("t%d", t), "id"});
+  }
+  static const char* kIntOps[] = {"=", "<>", "<", "<=", ">", ">="};
+  static const char* kBroadIntOps[] = {"<>", "<=", ">="};
+  // Literal choice is deliberately biased toward *satisfiable* predicates:
+  // sampled from rows the join can actually reach (parent-referenced
+  // entities), mostly with broad operators, at most one predicate per table.
+  // Blind conjunctions over the tiny domains empty nearly every result set,
+  // and all-empty answers are invisible to the probability oracles.
+  const double kBlindLiteralRate = 0.1;
+  const size_t kMaxFilters = 3;
+  for (int t = 0; t < n && q.filters.size() < kMaxFilters; ++t) {
+    // Identifiers of this table the join can reach: every entity for the
+    // root, the parent's foreign-key targets otherwise.
+    std::vector<std::string> reachable_ids;
+    if (t > 0) {
+      const FuzzTable& parent = c.tables[static_cast<size_t>(parent_of[t])];
+      auto fk_col = parent.FindColumn(StringPrintf("fk%d", t));
+      if (fk_col.has_value()) {
+        for (const Row& row : parent.rows) {
+          if (!row[*fk_col].is_null()) {
+            reachable_ids.push_back(row[*fk_col].string_value());
+          }
+        }
+      }
+    }
+    auto reachable = [&](const Row& row) {
+      if (t == 0) return true;
+      if (row[0].is_null()) return false;
+      const std::string& id = row[0].string_value();
+      return std::find(reachable_ids.begin(), reachable_ids.end(), id) !=
+             reachable_ids.end();
+    };
+
+    bool table_filtered = false;
+    for (size_t a = 0; a < plans[t].attr_types.size() && !table_filtered;
+         ++a) {
+      if (!rng.Chance(cfg.pred_rate)) continue;
+      FuzzPredicate pred;
+      pred.table = c.tables[t].name;
+      pred.column = StringPrintf("a%d_%zu", t, a);
+      const size_t col = 1 + a;  // id column precedes the attributes
+      std::vector<Value> present;
+      for (const Row& row : c.tables[t].rows) {
+        if (!row[col].is_null() && reachable(row)) present.push_back(row[col]);
+      }
+      Value sample;
+      if (present.empty() || rng.Chance(kBlindLiteralRate)) {
+        sample = RandomAttrValue(&rng, plans[t].attr_types[a], cfg);
+        if (sample.is_null()) continue;
+      } else {
+        sample = present[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(present.size()) - 1))];
+      }
+      if (plans[t].attr_types[a] == DataType::kString) {
+        const std::string& word = sample.string_value();
+        if (rng.Chance(cfg.like_rate)) {
+          pred.op = "like";
+          pred.literal = Value::String(
+              word.substr(0, static_cast<size_t>(rng.Uniform(1, 2))) + "%");
+        } else {
+          pred.op = rng.Chance(0.5) ? "=" : "<>";
+          pred.literal = std::move(sample);
+        }
+      } else {
+        pred.op = rng.Chance(0.25) ? kIntOps[rng.Uniform(0, 5)]
+                                   : kBroadIntOps[rng.Uniform(0, 2)];
+        pred.literal = std::move(sample);
+      }
+      q.filters.push_back(std::move(pred));
+      table_filtered = true;
+    }
+    if (!table_filtered && rng.Chance(cfg.id_pred_rate)) {
+      // A point predicate on an unreferenced entity empties the join no
+      // matter what the rest of the query does, hence reachable ids only.
+      std::string id_literal;
+      if (t == 0) {
+        id_literal = EntityId(0, static_cast<size_t>(rng.Uniform(
+                                  0, static_cast<int64_t>(
+                                         plans[0].cluster_probs.size()) -
+                                         1)));
+      } else {
+        if (reachable_ids.empty()) continue;
+        id_literal = reachable_ids[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(reachable_ids.size()) - 1))];
+      }
+      q.filters.push_back(
+          {c.tables[t].name, "id", "=", Value::String(id_literal)});
+    }
+  }
+
+  if (rng.Chance(cfg.mutant_rate)) {
+    q.expect_rewritable = false;
+    q.mutation = ApplyMutation(&rng, c, &q);
+  }
+  c.query = std::move(q);
+  return c;
+}
+
+}  // namespace fuzz
+}  // namespace conquer

@@ -1,0 +1,352 @@
+#include "fuzz/oracles.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/str_util.h"
+#include "core/clean_engine.h"
+#include "core/naive_eval.h"
+#include "storage/table.h"
+
+namespace conquer {
+namespace fuzz {
+namespace {
+
+uint64_t Bits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].TotalCompare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+void ApplyInjection(BugInjection inject, size_t threads, CleanAnswerSet* set) {
+  switch (inject) {
+    case BugInjection::kNone:
+      break;
+    case BugInjection::kProbBias:
+      for (CleanAnswer& a : set->answers) {
+        a.probability *= 1.0 + 1.0 / 1024.0;
+      }
+      break;
+    case BugInjection::kDropAnswer:
+      if (!set->answers.empty()) set->answers.pop_back();
+      break;
+    case BugInjection::kParallelSkew:
+      if (threads > 1) {
+        for (CleanAnswer& a : set->answers) {
+          a.probability += 1.0 / (1 << 30);
+        }
+      }
+      break;
+  }
+}
+
+/// "" when `run` reproduces `baseline` exactly (same rows, same order,
+/// bit-identical probabilities); otherwise a description of the divergence.
+std::string DiffAnswerSets(const CleanAnswerSet& baseline,
+                           const CleanAnswerSet& run,
+                           const std::string& label) {
+  if (run.answers.size() != baseline.answers.size()) {
+    return StringPrintf("answer count %zu != baseline %zu %s",
+                        run.answers.size(), baseline.answers.size(),
+                        label.c_str());
+  }
+  for (size_t i = 0; i < run.answers.size(); ++i) {
+    if (!RowsEqual(run.answers[i].row, baseline.answers[i].row)) {
+      return StringPrintf("answer row %zu differs from baseline %s", i,
+                          label.c_str());
+    }
+    if (Bits(run.answers[i].probability) !=
+        Bits(baseline.answers[i].probability)) {
+      return StringPrintf(
+          "probability of answer %zu not bit-identical to baseline "
+          "(%.17g vs %.17g) %s",
+          i, run.answers[i].probability, baseline.answers[i].probability,
+          label.c_str());
+    }
+  }
+  return "";
+}
+
+struct OracleRun {
+  const FuzzCase& c;
+  const OracleOptions& opts;
+  BuiltDb built;
+  std::string sql;
+  OracleReport report;
+
+  void Fail(ViolationKind kind, std::string message) {
+    if (!report.ok()) return;  // keep the first violation
+    report.kind = kind;
+    report.violation = std::move(message);
+  }
+
+  /// One engine run under the current database configuration, with the
+  /// injected bug applied. Engine errors become kEngineError violations.
+  bool Query(const CleanAnswerEngine& engine, size_t threads,
+             const std::string& label, CleanAnswerSet* out) {
+    built.db->SetThreads(threads);
+    auto run = engine.Query(sql);
+    if (!run.ok()) {
+      Fail(ViolationKind::kEngineError,
+           "engine error " + label + ": " + run.status().ToString());
+      return false;
+    }
+    *out = std::move(run).value();
+    ApplyInjection(opts.inject, threads, out);
+    return true;
+  }
+
+  void RestoreChunkCapacities() {
+    for (const FuzzTable& t : c.tables) {
+      auto table = built.db->GetTable(t.name);
+      if (!table.ok()) continue;
+      size_t capacity =
+          t.chunk_capacity > 0 ? t.chunk_capacity : Table::kDefaultChunkCapacity;
+      (*table)->Rechunk(capacity);
+    }
+  }
+};
+
+void CheckInputIntegrity(OracleRun* r) {
+  for (const ClusterSum& cluster : ClusterProbabilitySums(r->c)) {
+    if (std::abs(cluster.sum - 1.0) > 1e-9) {
+      r->Fail(ViolationKind::kInputIntegrity,
+              StringPrintf(
+                  "cluster %s.%s probabilities sum to %.17g, expected ~1 "
+                  "(%zu rows)",
+                  cluster.table.c_str(), cluster.id.c_str(), cluster.sum,
+                  cluster.rows));
+      return;
+    }
+  }
+}
+
+/// The reject path: a deliberately non-rewritable mutant must be diagnosed
+/// by the checker with a reason, and refused by Query.
+void CheckRejectPath(OracleRun* r, const CleanAnswerEngine& engine) {
+  auto check = engine.Check(r->sql);
+  if (!check.ok()) {
+    r->Fail(ViolationKind::kExpectation,
+            "checker errored on mutant '" + r->c.query.mutation +
+                "': " + check.status().ToString());
+    return;
+  }
+  if (check->rewritable) {
+    r->Fail(ViolationKind::kExpectation,
+            "mutant '" + r->c.query.mutation +
+                "' was accepted as rewritable: " + r->sql);
+    return;
+  }
+  if (check->reason.empty()) {
+    r->Fail(ViolationKind::kExpectation,
+            "mutant '" + r->c.query.mutation + "' rejected without a reason");
+    return;
+  }
+  auto run = engine.Query(r->sql);
+  if (run.ok()) {
+    r->Fail(ViolationKind::kExpectation,
+            "Query executed a non-rewritable mutant '" + r->c.query.mutation +
+                "' instead of rejecting it");
+  }
+}
+
+void CheckProbabilityRange(OracleRun* r, const CleanAnswerSet& answers,
+                           const std::string& label, double tolerance) {
+  for (size_t i = 0; i < answers.answers.size(); ++i) {
+    double p = answers.answers[i].probability;
+    if (!(p >= -tolerance && p <= 1.0 + tolerance) || std::isnan(p)) {
+      r->Fail(ViolationKind::kRange,
+              StringPrintf("%s probability of answer %zu is %.17g, outside "
+                           "[0, 1]",
+                           label.c_str(), i, p));
+      return;
+    }
+  }
+}
+
+void CheckAgainstNaive(OracleRun* r, const CleanAnswerSet& baseline) {
+  NaiveCandidateEvaluator naive(r->built.db.get(), &r->built.dirty);
+  auto slow = naive.Evaluate(r->sql, r->opts.max_candidates);
+  if (!slow.ok()) {
+    if (slow.status().code() == StatusCode::kResourceExhausted) {
+      return;  // candidate cap hit; sweeps still gate the run
+    }
+    r->Fail(ViolationKind::kEngineError,
+            "naive oracle error: " + slow.status().ToString());
+    return;
+  }
+  r->report.naive_checked = true;
+  CheckProbabilityRange(r, *slow, "naive", r->opts.naive_tolerance);
+  if (slow->answers.size() != baseline.answers.size()) {
+    r->Fail(ViolationKind::kNaiveMismatch,
+            StringPrintf("engine returned %zu answers, naive oracle %zu",
+                         baseline.answers.size(), slow->answers.size()));
+    return;
+  }
+  for (const CleanAnswer& a : slow->answers) {
+    double engine_p = baseline.ProbabilityOf(a.row);
+    if (std::abs(engine_p - a.probability) > r->opts.naive_tolerance) {
+      r->Fail(ViolationKind::kNaiveMismatch,
+              StringPrintf("engine probability %.17g != naive %.17g for an "
+                           "answer of: %s",
+                           engine_p, a.probability, r->sql.c_str()));
+      return;
+    }
+  }
+}
+
+void RunConfigSweeps(OracleRun* r, const CleanAnswerEngine& engine,
+                     const CleanAnswerSet& baseline) {
+  ExecContext* ctx = r->built.db->mutable_exec_context();
+  const size_t default_batch = ctx->batch_size;
+  CleanAnswerSet run;
+
+  for (size_t threads : r->opts.thread_counts) {
+    for (size_t batch : r->opts.batch_sizes) {
+      ctx->batch_size = batch;
+      std::string label = StringPrintf("(threads=%zu, batch_size=%zu)",
+                                       threads, batch);
+      if (!r->Query(engine, threads, label, &run)) return;
+      std::string diff = DiffAnswerSets(baseline, run, label);
+      if (!diff.empty()) {
+        r->Fail(ViolationKind::kConfigMismatch, diff);
+        return;
+      }
+    }
+  }
+  ctx->batch_size = default_batch;
+
+  for (size_t capacity : r->opts.chunk_capacities) {
+    for (const FuzzTable& t : r->c.tables) {
+      auto table = r->built.db->GetTable(t.name);
+      if (table.ok()) (*table)->Rechunk(capacity);
+    }
+    for (size_t threads : r->opts.thread_counts) {
+      std::string label = StringPrintf("(chunk_capacity=%zu, threads=%zu)",
+                                       capacity, threads);
+      if (!r->Query(engine, threads, label, &run)) return;
+      std::string diff = DiffAnswerSets(baseline, run, label);
+      if (!diff.empty()) {
+        r->Fail(ViolationKind::kConfigMismatch, diff);
+        return;
+      }
+    }
+  }
+  r->RestoreChunkCapacities();
+
+  if (r->opts.sweep_pruning_flags) {
+    struct FlagConfig {
+      bool zone, bloom;
+      const char* label;
+    };
+    static const FlagConfig kFlagConfigs[] = {
+        {false, true, "(zone_pruning=off)"},
+        {true, false, "(runtime_filters=off)"},
+        {false, false, "(zone_pruning=off, runtime_filters=off)"},
+    };
+    for (const FlagConfig& fc : kFlagConfigs) {
+      ctx->enable_zone_pruning = fc.zone;
+      ctx->enable_runtime_filters = fc.bloom;
+      for (size_t threads : r->opts.thread_counts) {
+        std::string label =
+            StringPrintf("%s threads=%zu", fc.label, threads);
+        if (!r->Query(engine, threads, label, &run)) break;
+        std::string diff = DiffAnswerSets(baseline, run, label);
+        if (!diff.empty()) {
+          r->Fail(ViolationKind::kConfigMismatch, diff);
+          break;
+        }
+      }
+      if (!r->report.ok()) break;
+    }
+    ctx->enable_zone_pruning = true;
+    ctx->enable_runtime_filters = true;
+  }
+}
+
+}  // namespace
+
+Result<BugInjection> ParseBugInjection(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower == "none" || lower.empty()) return BugInjection::kNone;
+  if (lower == "prob_bias") return BugInjection::kProbBias;
+  if (lower == "drop_answer") return BugInjection::kDropAnswer;
+  if (lower == "parallel_skew") return BugInjection::kParallelSkew;
+  return Status::InvalidArgument(
+      "unknown bug injection '" + std::string(name) +
+      "' (expected none, prob_bias, drop_answer or parallel_skew)");
+}
+
+const char* ViolationKindToString(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kNone:
+      return "none";
+    case ViolationKind::kExpectation:
+      return "expectation";
+    case ViolationKind::kInputIntegrity:
+      return "input-integrity";
+    case ViolationKind::kEngineError:
+      return "engine-error";
+    case ViolationKind::kRange:
+      return "probability-range";
+    case ViolationKind::kNaiveMismatch:
+      return "naive-mismatch";
+    case ViolationKind::kConfigMismatch:
+      return "config-mismatch";
+  }
+  return "unknown";
+}
+
+Result<OracleReport> RunOracles(const FuzzCase& c, const OracleOptions& opts) {
+  CONQUER_ASSIGN_OR_RETURN(BuiltDb built, BuildFuzzDatabase(c));
+  OracleRun r{c, opts, std::move(built), c.query.Sql(), {}};
+
+  CheckInputIntegrity(&r);
+  if (!r.report.ok()) return r.report;
+
+  CleanAnswerEngine engine(r.built.db.get(), &r.built.dirty);
+
+  if (!c.query.expect_rewritable) {
+    CheckRejectPath(&r, engine);
+    return r.report;
+  }
+
+  auto check = engine.Check(r.sql);
+  if (!check.ok()) {
+    r.Fail(ViolationKind::kExpectation,
+           "checker error on expected-rewritable query: " +
+               check.status().ToString() + " sql: " + r.sql);
+    return r.report;
+  }
+  if (!check->rewritable) {
+    r.Fail(ViolationKind::kExpectation,
+           "expected-rewritable query rejected (" + check->reason +
+               "): " + r.sql);
+    return r.report;
+  }
+
+  // Sequential baseline under default execution settings.
+  CleanAnswerSet baseline;
+  if (!r.Query(engine, 1, "(baseline)", &baseline)) return r.report;
+  r.report.num_answers = baseline.answers.size();
+  CheckProbabilityRange(&r, baseline, "engine", 0.0);
+  if (!r.report.ok()) return r.report;
+
+  CheckAgainstNaive(&r, baseline);
+  if (!r.report.ok()) return r.report;
+
+  RunConfigSweeps(&r, engine, baseline);
+  r.built.db->SetThreads(1);
+  return r.report;
+}
+
+}  // namespace fuzz
+}  // namespace conquer

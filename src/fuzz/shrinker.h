@@ -1,0 +1,38 @@
+#ifndef CONQUER_FUZZ_SHRINKER_H_
+#define CONQUER_FUZZ_SHRINKER_H_
+
+#include <functional>
+
+#include "fuzz/fuzz_case.h"
+#include "fuzz/oracles.h"
+
+namespace conquer {
+namespace fuzz {
+
+/// \brief Counters describing one shrink run.
+struct ShrinkStats {
+  size_t attempts = 0;   ///< candidate cases evaluated
+  size_t accepted = 0;   ///< candidates that kept the failure alive
+  size_t passes = 0;     ///< full drop-tables/rows/predicates sweeps
+};
+
+/// Re-runs the oracles over a candidate case and reports its failure kind
+/// (kNone when the candidate passes). Supplied by the caller so the shrink
+/// reproduces the exact oracle configuration (including any injected bug).
+using OracleProbe = std::function<ViolationKind(const FuzzCase&)>;
+
+/// Greedily minimizes a failing case while the failure persists, in passes:
+/// drop leaf tables (with their joins, predicates and projections), drop
+/// whole clusters, drop single rows (renormalizing the cluster's remaining
+/// probabilities), drop selection predicates, drop projections. A shrink
+/// candidate is accepted only when the probe still fails — and not with a
+/// *new* expectation failure, so structural shrinks cannot degenerate into
+/// trivially-rejected queries. Cases loaded from the corpus (raw SQL, no
+/// query structure) are returned unchanged.
+FuzzCase ShrinkCase(const FuzzCase& failing, const OracleProbe& probe,
+                    ShrinkStats* stats = nullptr);
+
+}  // namespace fuzz
+}  // namespace conquer
+
+#endif  // CONQUER_FUZZ_SHRINKER_H_

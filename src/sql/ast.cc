@@ -146,18 +146,23 @@ std::string Expr::ToString() const {
       return wrap(*left, l) + " " + BinaryOpToString(bop) + " " +
              wrap(*right, r);
     }
-    case Kind::kUnary:
+    case Kind::kUnary: {
+      // Bind the operand to a named lvalue: the rvalue-string overload of
+      // operator+ routes through insert(), which GCC 12 -O3 flags with a
+      // false-positive -Wrestrict (PR105329).
+      std::string inner = left->ToString();
       switch (uop) {
         case UnaryOp::kNot:
-          return "NOT (" + left->ToString() + ")";
+          return "NOT (" + inner + ")";
         case UnaryOp::kNeg:
-          return "-(" + left->ToString() + ")";
+          return "-(" + inner + ")";
         case UnaryOp::kIsNull:
-          return "(" + left->ToString() + ") IS NULL";
+          return "(" + inner + ") IS NULL";
         case UnaryOp::kIsNotNull:
-          return "(" + left->ToString() + ") IS NOT NULL";
+          return "(" + inner + ") IS NOT NULL";
       }
       return "?";
+    }
     case Kind::kAggregate: {
       std::string arg = left ? left->ToString() : "*";
       return std::string(AggFuncToString(agg)) + "(" + arg + ")";

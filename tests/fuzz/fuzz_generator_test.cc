@@ -1,0 +1,140 @@
+// Properties of the random case generator: determinism, well-formed dirty
+// databases, rewritability expectations that the real checker agrees with.
+
+#include "fuzz/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/clean_engine.h"
+#include "fuzz/corpus.h"
+
+namespace conquer {
+namespace fuzz {
+namespace {
+
+TEST(FuzzGeneratorTest, DeterministicForSeed) {
+  FuzzConfig cfg;
+  for (uint64_t seed : {1ULL, 42ULL, 0xdeadbeefULL}) {
+    FuzzCase a = GenerateCase(seed, cfg);
+    FuzzCase b = GenerateCase(seed, cfg);
+    EXPECT_EQ(SerializeCase(a), SerializeCase(b)) << "seed " << seed;
+  }
+}
+
+TEST(FuzzGeneratorTest, DistinctSeedsDiffer) {
+  FuzzConfig cfg;
+  EXPECT_NE(SerializeCase(GenerateCase(7, cfg)),
+            SerializeCase(GenerateCase(8, cfg)));
+}
+
+TEST(FuzzGeneratorTest, ClusterProbabilitiesSumToOne) {
+  FuzzConfig cfg;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    FuzzCase c = GenerateCase(seed, cfg);
+    for (const ClusterSum& cluster : ClusterProbabilitySums(c)) {
+      EXPECT_NEAR(cluster.sum, 1.0, 1e-9)
+          << "seed " << seed << " cluster " << cluster.table << "."
+          << cluster.id;
+    }
+  }
+}
+
+TEST(FuzzGeneratorTest, CandidateProductRespectsCap) {
+  FuzzConfig cfg;
+  cfg.max_candidate_product = 64;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    FuzzCase c = GenerateCase(seed, cfg);
+    uint64_t product = 1;
+    for (const auto& cluster : ClusterProbabilitySums(c)) {
+      product *= cluster.rows;
+    }
+    EXPECT_LE(product, cfg.max_candidate_product) << "seed " << seed;
+  }
+}
+
+TEST(FuzzGeneratorTest, TableCountWithinBounds) {
+  FuzzConfig cfg;
+  cfg.min_tables = 2;
+  cfg.max_tables = 3;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    FuzzCase c = GenerateCase(seed, cfg);
+    EXPECT_GE(c.tables.size(), 2u);
+    EXPECT_LE(c.tables.size(), 3u);
+    EXPECT_GE(c.query.from.size(), c.tables.size());
+  }
+}
+
+TEST(FuzzGeneratorTest, NullDensityZeroMeansNoNulls) {
+  FuzzConfig cfg;
+  cfg.null_density = 0.0;
+  FuzzCase c = GenerateCase(3, cfg);
+  for (const FuzzTable& t : c.tables) {
+    for (const Row& row : t.rows) {
+      for (const Value& v : row) EXPECT_FALSE(v.is_null());
+    }
+  }
+}
+
+TEST(FuzzGeneratorTest, HighNullDensityProducesNulls) {
+  FuzzConfig cfg;
+  cfg.null_density = 0.9;
+  size_t nulls = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    FuzzCase c = GenerateCase(seed, cfg);
+    for (const FuzzTable& t : c.tables) {
+      for (const Row& row : t.rows) {
+        for (const Value& v : row) nulls += v.is_null() ? 1 : 0;
+      }
+    }
+  }
+  EXPECT_GT(nulls, 0u);
+}
+
+// Every case the generator expects to be rewritable must be accepted by the
+// actual Dfn 7 checker, and every mutant must be rejected with a reason.
+TEST(FuzzGeneratorTest, ExpectationsAgreeWithChecker) {
+  FuzzConfig cfg;
+  cfg.mutant_rate = 0.5;  // plenty of both kinds
+  size_t rewritable = 0;
+  size_t mutants = 0;
+  for (uint64_t seed = 100; seed < 160; ++seed) {
+    FuzzCase c = GenerateCase(seed, cfg);
+    auto built = BuildFuzzDatabase(c);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    CleanAnswerEngine engine(built->db.get(), &built->dirty);
+    auto check = engine.Check(c.query.Sql());
+    ASSERT_TRUE(check.ok()) << "seed " << seed << ": "
+                            << check.status().ToString() << "\nsql: "
+                            << c.query.Sql();
+    if (c.query.expect_rewritable) {
+      ++rewritable;
+      EXPECT_TRUE(check->rewritable)
+          << "seed " << seed << " rejected: " << check->reason << "\nsql: "
+          << c.query.Sql();
+    } else {
+      ++mutants;
+      EXPECT_FALSE(check->rewritable)
+          << "seed " << seed << " mutant '" << c.query.mutation
+          << "' accepted\nsql: " << c.query.Sql();
+      EXPECT_FALSE(check->reason.empty()) << "seed " << seed;
+    }
+  }
+  EXPECT_GT(rewritable, 0u);
+  EXPECT_GT(mutants, 0u);
+}
+
+TEST(FuzzGeneratorTest, MutantsCoverMultipleMutationKinds) {
+  FuzzConfig cfg;
+  cfg.mutant_rate = 1.0;
+  std::set<std::string> kinds;
+  for (uint64_t seed = 0; seed < 80; ++seed) {
+    kinds.insert(GenerateCase(seed, cfg).query.mutation);
+  }
+  EXPECT_GE(kinds.size(), 4u) << "mutation diversity too low";
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace conquer

@@ -1,0 +1,51 @@
+// Replays every committed reproducer in tests/fuzz/corpus/ through the full
+// oracle battery. A case that ever fails here means a previously-fixed bug
+// (or a fresh regression) is back.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
+
+#ifndef CONQUER_FUZZ_CORPUS_DIR
+#error "CONQUER_FUZZ_CORPUS_DIR must point at tests/fuzz/corpus"
+#endif
+
+namespace conquer {
+namespace fuzz {
+namespace {
+
+TEST(FuzzReplayTest, CorpusIsNonEmpty) {
+  EXPECT_FALSE(ListCaseFiles(CONQUER_FUZZ_CORPUS_DIR).empty())
+      << "no .case files under " << CONQUER_FUZZ_CORPUS_DIR;
+}
+
+TEST(FuzzReplayTest, EveryCorpusCaseReplaysClean) {
+  OracleOptions opts;
+  for (const std::string& path : ListCaseFiles(CONQUER_FUZZ_CORPUS_DIR)) {
+    SCOPED_TRACE(path);
+    auto loaded = LoadCaseFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    auto report = ReplayCase(*loaded, opts);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok())
+        << "[" << ViolationKindToString(report->kind) << "] "
+        << report->violation;
+  }
+}
+
+TEST(FuzzReplayTest, EveryCorpusCaseRoundTrips) {
+  for (const std::string& path : ListCaseFiles(CONQUER_FUZZ_CORPUS_DIR)) {
+    SCOPED_TRACE(path);
+    auto loaded = LoadCaseFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    std::string text = SerializeCase(*loaded);
+    auto reparsed = ParseCaseText(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(SerializeCase(*reparsed), text);
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace conquer

@@ -11,19 +11,29 @@
 //   .rewrite <select ...>; show the RewriteClean SQL
 //   .check <select ...>;   rewritability verdict (Dfn 7)
 //   .explain <select ...>; physical plan
+//   .prepare <name> <select ...>;  prepare a statement ('?' placeholders)
+//   .exec <name> [v1, v2, ...];    execute it with bound parameters
 //   .stats                 toggle per-query timing/operator stats
+//   .sessions              serving-layer stats (plan cache, admission)
 //   .threads <n>           worker threads for parallel execution (1 = off)
 //   .tables                list tables
 //   .save <dir>            persist the database
 //   .quit
+//
+// Plain SQL runs through a QueryService session, so repeated statements hit
+// the plan cache (visible in .sessions / .stats output).
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/str_util.h"
 #include "core/clean_engine.h"
 #include "engine/persist.h"
+#include "engine/service.h"
 #include "gen/tpch_dirty.h"
 
 using namespace conquer;
@@ -32,6 +42,69 @@ namespace {
 
 void PrintStatus(const Status& s) {
   std::printf("error: %s\n", s.ToString().c_str());
+}
+
+/// Parses a comma-separated parameter list: integers, doubles, 'strings'
+/// (with '' escaping) and NULL.
+Result<std::vector<Value>> ParseParams(const std::string& text) {
+  std::vector<Value> params;
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  skip_ws();
+  while (pos < text.size()) {
+    if (text[pos] == '\'') {
+      std::string s;
+      ++pos;
+      while (true) {
+        if (pos >= text.size()) {
+          return Status::InvalidArgument("unterminated string parameter");
+        }
+        if (text[pos] == '\'') {
+          if (pos + 1 < text.size() && text[pos + 1] == '\'') {
+            s += '\'';
+            pos += 2;
+            continue;
+          }
+          ++pos;
+          break;
+        }
+        s += text[pos++];
+      }
+      params.push_back(Value::String(std::move(s)));
+    } else {
+      size_t start = pos;
+      while (pos < text.size() && text[pos] != ',') ++pos;
+      std::string tok = text.substr(start, pos - start);
+      while (!tok.empty() &&
+             std::isspace(static_cast<unsigned char>(tok.back()))) {
+        tok.pop_back();
+      }
+      if (tok.empty()) {
+        return Status::InvalidArgument("empty parameter in list");
+      }
+      if (EqualsIgnoreCase(tok, "null")) {
+        params.push_back(Value::Null());
+      } else if (tok.find_first_of(".eE") != std::string::npos) {
+        params.push_back(Value::Double(std::atof(tok.c_str())));
+      } else {
+        params.push_back(Value::Int(std::atoll(tok.c_str())));
+      }
+    }
+    skip_ws();
+    if (pos < text.size()) {
+      if (text[pos] != ',') {
+        return Status::InvalidArgument("expected ',' between parameters");
+      }
+      ++pos;
+      skip_ws();
+    }
+  }
+  return params;
 }
 
 }  // namespace
@@ -72,6 +145,8 @@ int main(int argc, char** argv) {
   }
 
   CleanAnswerEngine engine(db, &dirty);
+  QueryService service(db);
+  std::unique_ptr<Session> session = service.CreateSession("shell");
   std::printf("Type .help for commands; statements end with ';'.\n");
 
   bool show_stats = false;
@@ -90,7 +165,10 @@ int main(int argc, char** argv) {
           "  .rewrite select ...;   show RewriteClean output\n"
           "  .check select ...;     rewritability verdict\n"
           "  .explain select ...;   physical plan\n"
+          "  .prepare <name> select ...;  prepare ('?' placeholders allowed)\n"
+          "  .exec <name> v1, v2, ...;    run a prepared statement\n"
           "  .stats                 toggle per-query stats (phases + operators)\n"
+          "  .sessions              serving-layer stats (plan cache, admission)\n"
           "  .threads <n>           worker threads for parallel execution\n"
           "  .tables                list tables\n"
           "  .save <dir>            persist database\n"
@@ -101,6 +179,37 @@ int main(int argc, char** argv) {
     if (buffer == ".stats") {
       show_stats = !show_stats;
       std::printf("per-query stats %s\n", show_stats ? "on" : "off");
+      buffer.clear();
+      continue;
+    }
+    if (buffer == ".sessions") {
+      const ServiceStats ss = service.stats();
+      std::printf(
+          "sessions created:    %llu\n"
+          "queries executed:    %llu  (%llu errors, %llu prepared)\n"
+          "plan cache:          %llu hits / %llu misses (%.1f%% hit rate), "
+          "%zu entries\n"
+          "  invalidated:       %llu  evicted: %llu  reprepares: %llu\n"
+          "admission:           %llu admitted, %llu waited, peak %zu "
+          "concurrent (max %zu)\n",
+          static_cast<unsigned long long>(ss.sessions_created),
+          static_cast<unsigned long long>(ss.queries_executed),
+          static_cast<unsigned long long>(ss.query_errors),
+          static_cast<unsigned long long>(ss.prepared_executions),
+          static_cast<unsigned long long>(ss.plan_cache.hits),
+          static_cast<unsigned long long>(ss.plan_cache.misses),
+          100.0 * ss.plan_cache.hit_rate(), ss.plan_cache.entries,
+          static_cast<unsigned long long>(ss.plan_cache.invalidated),
+          static_cast<unsigned long long>(ss.plan_cache.evicted),
+          static_cast<unsigned long long>(ss.reprepares),
+          static_cast<unsigned long long>(ss.admission.admitted),
+          static_cast<unsigned long long>(ss.admission.waited),
+          ss.admission.peak_active, service.max_concurrent_queries());
+      for (const std::string& name : session->PreparedNames()) {
+        const PreparedStatement* ps = session->GetPrepared(name);
+        std::printf("  prepared %-10s (%d params): %s\n", name.c_str(),
+                    ps->num_params, ps->sql.c_str());
+      }
       buffer.clear();
       continue;
     }
@@ -119,7 +228,7 @@ int main(int argc, char** argv) {
       if (n < 1) {
         std::printf("usage: .threads <n>  (n >= 1)\n");
       } else {
-        db->SetThreads(static_cast<size_t>(n));
+        service.SetThreads(static_cast<size_t>(n));
         std::printf("worker threads: %zu%s\n", db->num_threads(),
                     db->num_threads() == 1 ? " (sequential)" : "");
       }
@@ -167,13 +276,49 @@ int main(int argc, char** argv) {
         auto plan = db->Explain(sql);
         if (!plan.ok()) return PrintStatus(plan.status());
         std::printf("%s", plan->c_str());
-      } else {
-        // Plain SQL, including EXPLAIN / EXPLAIN ANALYZE prefixes.
+      } else if (cmd == "prepare") {
+        // sql here is "<name> <select ...>".
+        size_t space = sql.find(' ');
+        if (space == std::string::npos) {
+          std::printf("usage: .prepare <name> <select ...>;\n");
+          return;
+        }
+        std::string name = sql.substr(0, space);
+        Status s = session->Prepare(name, sql.substr(space + 1));
+        if (!s.ok()) return PrintStatus(s);
+        std::printf("prepared '%s' (%d params)\n", name.c_str(),
+                    session->GetPrepared(name)->num_params);
+      } else if (cmd == "exec") {
+        // sql here is "<name> [v1, v2, ...]".
+        size_t space = sql.find(' ');
+        std::string name = sql.substr(0, space);
+        auto params = ParseParams(
+            space == std::string::npos ? "" : sql.substr(space + 1));
+        if (!params.ok()) return PrintStatus(params.status());
         QueryStats stats;
-        auto rs = db->Query(sql, show_stats ? &stats : nullptr);
+        ExecInfo info;
+        auto rs = session->ExecutePrepared(name, *params,
+                                           show_stats ? &stats : nullptr,
+                                           &info);
         if (!rs.ok()) return PrintStatus(rs.status());
         std::printf("%s", rs->ToString(50).c_str());
-        if (show_stats) std::printf("%s", stats.ToString().c_str());
+        if (show_stats) {
+          std::printf("plan cache: %s%s\n%s", info.cache_hit ? "hit" : "miss",
+                      info.reprepared ? " (reprepared)" : "",
+                      stats.ToString().c_str());
+        }
+      } else {
+        // Plain SQL, including EXPLAIN / EXPLAIN ANALYZE prefixes. Runs
+        // through the session so repeated statements hit the plan cache.
+        QueryStats stats;
+        ExecInfo info;
+        auto rs = session->Execute(sql, show_stats ? &stats : nullptr, &info);
+        if (!rs.ok()) return PrintStatus(rs.status());
+        std::printf("%s", rs->ToString(50).c_str());
+        if (show_stats) {
+          std::printf("plan cache: %s\n%s", info.cache_hit ? "hit" : "miss",
+                      stats.ToString().c_str());
+        }
       }
     };
 
@@ -181,6 +326,8 @@ int main(int argc, char** argv) {
     else if (stmt.rfind(".rewrite ", 0) == 0) run("rewrite", stmt.substr(9));
     else if (stmt.rfind(".check ", 0) == 0) run("check", stmt.substr(7));
     else if (stmt.rfind(".explain ", 0) == 0) run("explain", stmt.substr(9));
+    else if (stmt.rfind(".prepare ", 0) == 0) run("prepare", stmt.substr(9));
+    else if (stmt.rfind(".exec ", 0) == 0) run("exec", stmt.substr(6));
     else run("sql", stmt);
   }
   return 0;

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Serving-layer sweep comparison: fresh BENCH_clients.json vs the committed
+# baseline. Reports per-client-count QPS and p99 movement plus the plan-
+# cache hit rate; flags a client count when QPS drops by more than
+# TOLERANCE_PCT.
+#
+# Throughput on shared CI runners is far noisier than single-query wall
+# clock, and the committed baseline records a different machine (its
+# hardware_threads field says which) — so unlike bench_check.sh this
+# script is report-only unless GATING=1.
+#
+# Usage:
+#   scripts/bench_clients_report.sh [BASELINE_JSON] [FRESH_JSON]
+#
+# Environment knobs:
+#   TOLERANCE_PCT=N  allowed QPS drop per client count, percent (default 30)
+#   GATING=1         exit non-zero on a flagged drop (default: report only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_clients.json}"
+FRESH="${2:-BENCH_clients.json}"
+TOLERANCE_PCT="${TOLERANCE_PCT:-30}"
+GATING="${GATING:-0}"
+
+for f in "$BASELINE" "$FRESH"; do
+  if [[ ! -f "$f" ]]; then
+    echo "bench_clients_report: $f not found" >&2
+    exit 2
+  fi
+done
+
+compare_status=0
+python3 - "$BASELINE" "$FRESH" "$TOLERANCE_PCT" <<'PY' || compare_status=$?
+import json
+import sys
+
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+tol_pct = float(sys.argv[3])
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc, {r["clients"]: r for r in doc["results"]}
+
+
+base_doc, base = load(baseline_path)
+fresh_doc, fresh = load(fresh_path)
+print(f"  baseline: {base_doc.get('hardware_threads', '?')} hw threads "
+      f"@ {base_doc.get('git_sha', '?')}, "
+      f"fresh: {fresh_doc.get('hardware_threads', '?')} hw threads "
+      f"@ {fresh_doc.get('git_sha', '?')}")
+
+flagged = []
+for clients in sorted(set(base) | set(fresh)):
+    b, f = base.get(clients), fresh.get(clients)
+    if b is None or f is None:
+        print(f"  {clients:>3} clients: only in "
+              f"{'fresh' if b is None else 'baseline'} run")
+        continue
+    ratio = f["qps"] / b["qps"] if b["qps"] > 0 else float("inf")
+    status = "ok"
+    if ratio < 1 - tol_pct / 100:
+        status = "REGRESSED"
+        flagged.append(clients)
+    print(f"  {clients:>3} clients: qps {b['qps']:8.1f} -> {f['qps']:8.1f} "
+          f"({ratio:5.2f}x)  p99 {b['p99_ms']:8.3f} -> {f['p99_ms']:8.3f} ms"
+          f"  hit rate {100 * f['cache_hit_rate']:5.1f}%  {status}")
+
+low_hit = [c for c, r in fresh.items() if r["cache_hit_rate"] < 0.9]
+if low_hit:
+    print(f"bench_clients_report: WARNING — plan-cache hit rate below 90% "
+          f"at client counts {sorted(low_hit)}")
+
+if flagged:
+    print(f"bench_clients_report: QPS drop >{tol_pct:.0f}% at client "
+          f"counts {flagged}")
+    sys.exit(1)
+print("bench_clients_report: OK")
+PY
+
+if [[ "$compare_status" -ne 0 && "$GATING" != "1" ]]; then
+  echo "bench_clients_report: report-only — differences reported above, exit 0"
+  exit 0
+fi
+exit "$compare_status"

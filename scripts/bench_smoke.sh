@@ -2,8 +2,10 @@
 # Builds the Release tree and records the headline benchmark numbers as
 # JSON in the repo root:
 #
-#   BENCH_fig8.json   - clean-answer query overhead (Figure 8)
-#   BENCH_fig10.json  - scalability with database size (Figure 10)
+#   BENCH_fig8.json     - clean-answer query overhead (Figure 8)
+#   BENCH_fig10.json    - scalability with database size (Figure 10)
+#   BENCH_clients.json  - serving-layer client sweep (QPS + latency
+#                         percentiles + plan-cache hit rate per client count)
 #
 # Each file carries per-benchmark wall-clock ms, rows/sec, thread count,
 # plus the batch size and git sha the numbers were taken at.
@@ -19,7 +21,8 @@ THREADS="${THREADS:-1}"
 FILTER="${FILTER:-}"
 
 cmake --preset release >/dev/null
-cmake --build build-release -j"$(nproc)" --target fig8_query_overhead fig10_scalability
+cmake --build build-release -j"$(nproc)" --target fig8_query_overhead \
+  fig10_scalability clients_throughput
 
 filter_args=()
 if [[ -n "$FILTER" ]]; then
@@ -34,4 +37,13 @@ echo "== Figure 10: scalability (threads=$THREADS) =="
 ./build-release/bench/fig10_scalability \
   --threads="$THREADS" --json=BENCH_fig10.json "${filter_args[@]}"
 
-echo "Wrote BENCH_fig8.json and BENCH_fig10.json"
+# The serving sweep always uses a multi-threaded pool — the point is
+# concurrent clients over one scheduler, not the single-query sweep above.
+CLIENT_THREADS="$THREADS"
+if [[ "$CLIENT_THREADS" -lt 4 ]]; then CLIENT_THREADS=4; fi
+echo "== Serving layer: client sweep (db threads=$CLIENT_THREADS) =="
+./build-release/bench/clients_throughput \
+  --clients=1,2,4,8 --threads="$CLIENT_THREADS" --seconds=2 --sf-milli=10 \
+  --json=BENCH_clients.json
+
+echo "Wrote BENCH_fig8.json, BENCH_fig10.json and BENCH_clients.json"

@@ -1,0 +1,69 @@
+#include "common/admission.h"
+
+#include <algorithm>
+
+namespace conquer {
+
+AdmissionGate::AdmissionGate(size_t max_shared)
+    : max_shared_(std::max<size_t>(1, max_shared)) {}
+
+void AdmissionGate::AcquireShared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  if (ticket != head_ || !SharedAdmissible()) {
+    ++waited_;
+    ++waiting_now_;
+    cv_.wait(lock, [&] { return ticket == head_ && SharedAdmissible(); });
+    --waiting_now_;
+  }
+  ++head_;
+  ++active_shared_;
+  peak_active_ = std::max(peak_active_, active_shared_);
+  ++admitted_;
+  lock.unlock();
+  // Consecutive shared tickets can be admitted together; wake the queue.
+  cv_.notify_all();
+}
+
+void AdmissionGate::ReleaseShared() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_shared_;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionGate::AcquireExclusive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  if (ticket != head_ || !ExclusiveAdmissible()) {
+    ++waited_;
+    ++waiting_now_;
+    cv_.wait(lock, [&] { return ticket == head_ && ExclusiveAdmissible(); });
+    --waiting_now_;
+  }
+  ++head_;
+  exclusive_held_ = true;
+  ++admitted_;
+}
+
+void AdmissionGate::ReleaseExclusive() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    exclusive_held_ = false;
+  }
+  cv_.notify_all();
+}
+
+AdmissionGate::Stats AdmissionGate::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.admitted = admitted_;
+  s.waited = waited_;
+  s.active_now = active_shared_ + (exclusive_held_ ? 1 : 0);
+  s.waiting_now = waiting_now_;
+  s.peak_active = peak_active_;
+  return s;
+}
+
+}  // namespace conquer

@@ -1,0 +1,104 @@
+#ifndef CONQUER_COMMON_ADMISSION_H_
+#define CONQUER_COMMON_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace conquer {
+
+/// \brief FIFO-fair shared/exclusive admission gate.
+///
+/// The serving layer's concurrency throttle: at most `max_shared` shared
+/// holders (queries) run at once — so N clients multiplex onto the one
+/// TaskPool morsel scheduler instead of oversubscribing it — and an
+/// exclusive holder (DDL, bulk write, pool resize) runs alone.
+///
+/// Admission is strictly in arrival order: every acquirer takes a ticket
+/// and is admitted only when it reaches the head of the ticket queue and
+/// its mode is compatible (shared: no exclusive holder and a free slot;
+/// exclusive: nothing else active). Head-of-line ordering is what makes
+/// the gate fair — a stream of short queries cannot starve an exclusive
+/// acquirer, and early arrivals are never overtaken.
+class AdmissionGate {
+ public:
+  /// `max_shared` is clamped to at least 1.
+  explicit AdmissionGate(size_t max_shared);
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Blocks until admitted as one of up to `max_shared` shared holders.
+  void AcquireShared();
+  void ReleaseShared();
+
+  /// Blocks until admitted as the sole holder.
+  void AcquireExclusive();
+  void ReleaseExclusive();
+
+  size_t max_shared() const { return max_shared_; }
+
+  /// Counters for observability; `waited` counts acquisitions that could
+  /// not be admitted immediately (the queue-depth signal).
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t waited = 0;
+    size_t active_now = 0;
+    size_t waiting_now = 0;
+    size_t peak_active = 0;
+  };
+  Stats stats() const;
+
+ private:
+  bool SharedAdmissible() const {
+    return !exclusive_held_ && active_shared_ < max_shared_;
+  }
+  bool ExclusiveAdmissible() const {
+    return !exclusive_held_ && active_shared_ == 0;
+  }
+
+  const size_t max_shared_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_ticket_ = 0;  ///< ticket handed to the next arrival
+  uint64_t head_ = 0;         ///< ticket currently eligible for admission
+  size_t active_shared_ = 0;
+  bool exclusive_held_ = false;
+  uint64_t admitted_ = 0;
+  uint64_t waited_ = 0;
+  size_t waiting_now_ = 0;
+  size_t peak_active_ = 0;
+};
+
+/// RAII shared admission.
+class SharedAdmission {
+ public:
+  explicit SharedAdmission(AdmissionGate* gate) : gate_(gate) {
+    gate_->AcquireShared();
+  }
+  ~SharedAdmission() { gate_->ReleaseShared(); }
+  SharedAdmission(const SharedAdmission&) = delete;
+  SharedAdmission& operator=(const SharedAdmission&) = delete;
+
+ private:
+  AdmissionGate* gate_;
+};
+
+/// RAII exclusive admission.
+class ExclusiveAdmission {
+ public:
+  explicit ExclusiveAdmission(AdmissionGate* gate) : gate_(gate) {
+    gate_->AcquireExclusive();
+  }
+  ~ExclusiveAdmission() { gate_->ReleaseExclusive(); }
+  ExclusiveAdmission(const ExclusiveAdmission&) = delete;
+  ExclusiveAdmission& operator=(const ExclusiveAdmission&) = delete;
+
+ private:
+  AdmissionGate* gate_;
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_COMMON_ADMISSION_H_

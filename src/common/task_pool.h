@@ -38,6 +38,13 @@ class TaskPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks queued but not yet claimed by a worker (observability: the
+  /// serving layer reports it as scheduler backlog).
+  size_t num_queued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
  private:
   friend class TaskGroup;
 
@@ -52,7 +59,7 @@ class TaskPool {
 
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;

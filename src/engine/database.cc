@@ -9,12 +9,49 @@
 
 namespace conquer {
 
+Database::ActiveQueryGuard::ActiveQueryGuard(const Database* db) : db_(db) {
+  std::unique_lock<std::mutex> lock(db_->exec_mu_);
+  db_->exec_cv_.wait(lock, [db] { return !db->reconfig_waiting_; });
+  ++db_->active_queries_;
+}
+
+Database::ActiveQueryGuard::~ActiveQueryGuard() {
+  {
+    std::lock_guard<std::mutex> lock(db_->exec_mu_);
+    --db_->active_queries_;
+  }
+  db_->exec_cv_.notify_all();
+}
+
+void Database::SetThreads(size_t n) {
+  std::unique_lock<std::mutex> lock(exec_mu_);
+  // Wait out in-flight queries; block new ones from being admitted so a
+  // steady stream cannot starve the reconfiguration.
+  reconfig_waiting_ = true;
+  exec_cv_.wait(lock, [this] { return active_queries_ == 0; });
+  if (n <= 1) {
+    exec_ctx_.pool = nullptr;
+    pool_.reset();
+  } else if (pool_ == nullptr || pool_->num_threads() != n) {
+    exec_ctx_.pool = nullptr;
+    pool_ = std::make_unique<TaskPool>(n);
+    exec_ctx_.pool = pool_.get();
+  }
+  reconfig_waiting_ = false;
+  lock.unlock();
+  exec_cv_.notify_all();
+}
+
 Status Database::CreateTable(TableSchema schema) {
-  return catalog_.CreateTable(std::move(schema)).status();
+  Status s = catalog_.CreateTable(std::move(schema)).status();
+  if (s.ok()) BumpCatalogVersion();
+  return s;
 }
 
 Status Database::DropTable(std::string_view name) {
-  return catalog_.DropTable(name);
+  Status s = catalog_.DropTable(name);
+  if (s.ok()) BumpCatalogVersion();
+  return s;
 }
 
 Status Database::Insert(std::string_view table, Row row) {
@@ -39,6 +76,7 @@ Status Database::CreateIndex(std::string_view table, std::string_view column) {
 Status Database::Analyze(std::string_view table) {
   CONQUER_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
   t->AnalyzeStatistics();
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -84,6 +122,7 @@ Result<ResultSet> Database::Query(std::string_view sql,
       Binder binder(&catalog_);
       CONQUER_ASSIGN_OR_RETURN(BoundQuery bound,
                                binder.Bind(std::move(parsed.select)));
+      ActiveQueryGuard guard(this);
       CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan,
                                Planner::Plan(bound, planner_options_, &exec_ctx_));
       return TextResultSet("QUERY PLAN", ExplainPlan(*plan));
@@ -106,8 +145,18 @@ Result<ResultSet> Database::Execute(std::unique_ptr<SelectStatement> stmt,
   Binder binder(&catalog_);
   CONQUER_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(std::move(stmt)));
   if (stats != nullptr) stats->bind_seconds = timer.ElapsedSeconds();
+  return ExecuteBound(std::move(bound), stats);
+}
 
-  timer.Restart();
+Result<ResultSet> Database::ExecuteBound(BoundQuery bound,
+                                         QueryStats* stats) const {
+  if (bound.stmt->num_params > 0) {
+    return Status::InvalidArgument(
+        "statement contains unbound '?' parameters; prepare it and bind "
+        "values before executing");
+  }
+  ActiveQueryGuard guard(this);
+  Timer timer;
   CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan, Planner::Plan(bound, planner_options_, &exec_ctx_));
   if (stats != nullptr) stats->plan_seconds = timer.ElapsedSeconds();
 
@@ -140,6 +189,7 @@ Result<std::string> Database::Explain(std::string_view sql) const {
   CONQUER_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
   Binder binder(&catalog_);
   CONQUER_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(std::move(stmt)));
+  ActiveQueryGuard guard(this);
   CONQUER_ASSIGN_OR_RETURN(OperatorPtr plan, Planner::Plan(bound, planner_options_, &exec_ctx_));
   return ExplainPlan(*plan);
 }

@@ -1,7 +1,11 @@
 #ifndef CONQUER_ENGINE_DATABASE_H_
 #define CONQUER_ENGINE_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,6 +77,13 @@ class Database {
   Result<ResultSet> Execute(std::unique_ptr<SelectStatement> stmt,
                             QueryStats* stats = nullptr) const;
 
+  /// Executes an already-bound query (what the serving layer's plan cache
+  /// stores): plans and drains it without re-parsing or re-binding. The
+  /// bound query must have been produced against this database's catalog
+  /// at its current version, with every parameter already substituted.
+  Result<ResultSet> ExecuteBound(BoundQuery bound,
+                                 QueryStats* stats = nullptr) const;
+
   /// Physical plan of the statement, as an indented tree.
   Result<std::string> Explain(std::string_view sql) const;
 
@@ -96,18 +107,15 @@ class Database {
 
   /// Sizes the worker pool used by morsel-driven parallel operators.
   /// `n <= 1` (the default) destroys the pool and restores strictly
-  /// sequential execution. Not safe to call concurrently with Query.
-  void SetThreads(size_t n) {
-    if (n <= 1) {
-      exec_ctx_.pool = nullptr;
-      pool_.reset();
-      return;
-    }
-    if (pool_ != nullptr && pool_->num_threads() == n) return;
-    exec_ctx_.pool = nullptr;
-    pool_ = std::make_unique<TaskPool>(n);
-    exec_ctx_.pool = pool_.get();
-  }
+  /// sequential execution.
+  ///
+  /// Safe to call concurrently with Query: the swap is DEFERRED until every
+  /// in-flight query has drained (in-flight plans hold a pointer to the
+  /// current pool through their shared ExecContext, so swapping under them
+  /// would race). While a reconfiguration waits, new queries block at
+  /// admission, so a steady query stream cannot starve the swap. Do not
+  /// call from inside a running query's thread — it would wait on itself.
+  void SetThreads(size_t n);
 
   /// Worker threads queries run with (1 means sequential).
   size_t num_threads() const {
@@ -120,11 +128,59 @@ class Database {
   ExecContext* mutable_exec_context() { return &exec_ctx_; }
   const ExecContext& exec_context() const { return exec_ctx_; }
 
+  /// Monotone counter bumped by every catalog-shape or statistics change
+  /// (CreateTable, DropTable, Analyze). The serving layer's plan cache
+  /// tags entries with the version they were bound at and discards entries
+  /// from older versions, since cached bound queries hold raw Table
+  /// pointers and plans built from pre-Analyze statistics.
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
+
+  /// Queries currently inside ExecuteBound/Explain (approximate; for
+  /// stats and tests).
+  size_t active_queries() const {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    return active_queries_;
+  }
+
+  /// Morsel tasks queued but not yet running (0 without a pool). Reads the
+  /// pool under the same mutex SetThreads swaps it under.
+  size_t scheduler_backlog() const {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    return pool_ != nullptr ? pool_->num_queued() : 0;
+  }
+
  private:
+  /// RAII in-flight marker. Blocks while a SetThreads reconfiguration is
+  /// waiting so the swap cannot be starved, then counts the query in;
+  /// releases and wakes any waiting reconfiguration on destruction.
+  class ActiveQueryGuard {
+   public:
+    explicit ActiveQueryGuard(const Database* db);
+    ~ActiveQueryGuard();
+    ActiveQueryGuard(const ActiveQueryGuard&) = delete;
+    ActiveQueryGuard& operator=(const ActiveQueryGuard&) = delete;
+
+   private:
+    const Database* db_;
+  };
+
+  void BumpCatalogVersion() {
+    catalog_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   Catalog catalog_;
   PlannerOptions planner_options_;
   std::unique_ptr<TaskPool> pool_;
   ExecContext exec_ctx_;
+  std::atomic<uint64_t> catalog_version_{0};
+
+  // Query/reconfiguration interlock (see SetThreads).
+  mutable std::mutex exec_mu_;
+  mutable std::condition_variable exec_cv_;
+  mutable size_t active_queries_ = 0;
+  mutable bool reconfig_waiting_ = false;
 };
 
 }  // namespace conquer

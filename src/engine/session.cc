@@ -1,0 +1,59 @@
+#include "engine/session.h"
+
+#include <utility>
+
+#include "engine/service.h"
+
+namespace conquer {
+
+Result<ResultSet> Session::Execute(std::string_view sql, QueryStats* stats,
+                                   ExecInfo* info) {
+  ++queries_executed_;
+  return service_->ExecuteSql(sql, stats, info);
+}
+
+Status Session::Prepare(std::string_view name, std::string_view sql) {
+  if (name.empty()) {
+    return Status::InvalidArgument("prepared statement name must not be empty");
+  }
+  Result<PreparedStatement> ps = service_->PrepareInternal(name, sql);
+  if (!ps.ok()) return ps.status();
+  prepared_[std::string(name)] = std::move(ps).value();
+  return Status::OK();
+}
+
+Result<ResultSet> Session::ExecutePrepared(std::string_view name,
+                                           const std::vector<Value>& params,
+                                           QueryStats* stats, ExecInfo* info) {
+  auto it = prepared_.find(name);
+  if (it == prepared_.end()) {
+    return Status::NotFound("no prepared statement named '" +
+                            std::string(name) + "' in this session");
+  }
+  ++queries_executed_;
+  return service_->ExecutePreparedInternal(it->second, params, stats, info);
+}
+
+Status Session::DeallocatePrepared(std::string_view name) {
+  auto it = prepared_.find(name);
+  if (it == prepared_.end()) {
+    return Status::NotFound("no prepared statement named '" +
+                            std::string(name) + "' in this session");
+  }
+  prepared_.erase(it);
+  return Status::OK();
+}
+
+const PreparedStatement* Session::GetPrepared(std::string_view name) const {
+  auto it = prepared_.find(name);
+  return it == prepared_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Session::PreparedNames() const {
+  std::vector<std::string> names;
+  names.reserve(prepared_.size());
+  for (const auto& [name, ps] : prepared_) names.push_back(name);
+  return names;
+}
+
+}  // namespace conquer

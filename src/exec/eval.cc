@@ -122,6 +122,9 @@ Result<Value> EvalExpr(const Expr& e, const Row& row) {
     case Expr::Kind::kAggregate:
       return Status::Internal(
           "aggregate reached the row-level evaluator: '" + e.ToString() + "'");
+    case Expr::Kind::kParameter:
+      return Status::InvalidArgument(
+          "unbound parameter '?': bind values via a prepared statement");
   }
   return Status::Internal("unhandled expression kind in eval");
 }

@@ -17,6 +17,7 @@ bool IsGroupInvariant(const Expr& e, const std::vector<ExprPtr>& group_by) {
   }
   switch (e.kind) {
     case Expr::Kind::kLiteral:
+    case Expr::Kind::kParameter:  // substituted with a constant at execution
       return true;
     case Expr::Kind::kColumnRef:
       return false;  // not matched by any group expression above
@@ -31,7 +32,82 @@ bool IsGroupInvariant(const Expr& e, const std::vector<ExprPtr>& group_by) {
   return false;
 }
 
+/// Coerces a caller-supplied parameter value to the binder-inferred type.
+/// `target == kNull` means the statement never pinned the type; the value
+/// passes through as-is.
+Result<Value> CoerceParam(const Value& v, DataType target, int index) {
+  if (v.is_null() || target == DataType::kNull || v.type() == target) {
+    return v;
+  }
+  if (target == DataType::kDouble && v.type() == DataType::kInt64) {
+    return Value::Double(static_cast<double>(v.int_value()));
+  }
+  if (target == DataType::kDate && v.type() == DataType::kString) {
+    CONQUER_ASSIGN_OR_RETURN(int64_t days, ParseDate(v.string_value()));
+    return Value::Date(days);
+  }
+  return Status::TypeError(StringPrintf(
+      "parameter %d expects %s, got %s", index + 1, DataTypeToString(target),
+      DataTypeToString(v.type())));
+}
+
+Status SubstituteParams(Expr* e, const std::vector<Value>& params) {
+  if (e == nullptr) return Status::OK();
+  if (e->kind == Expr::Kind::kParameter) {
+    if (e->param_index < 0 ||
+        static_cast<size_t>(e->param_index) >= params.size()) {
+      return Status::Internal("parameter index out of range");
+    }
+    CONQUER_ASSIGN_OR_RETURN(
+        Value v, CoerceParam(params[e->param_index], e->resolved_type,
+                             e->param_index));
+    DataType pinned = e->resolved_type;
+    e->kind = Expr::Kind::kLiteral;
+    e->literal = std::move(v);
+    e->resolved_type =
+        pinned != DataType::kNull ? pinned : e->literal.type();
+    return Status::OK();
+  }
+  CONQUER_RETURN_NOT_OK(SubstituteParams(e->left.get(), params));
+  return SubstituteParams(e->right.get(), params);
+}
+
 }  // namespace
+
+BoundQuery BoundQuery::Clone() const {
+  BoundQuery out;
+  out.stmt = stmt != nullptr ? stmt->Clone() : nullptr;
+  out.tables = tables;
+  out.slot_offsets = slot_offsets;
+  out.total_slots = total_slots;
+  out.is_aggregate = is_aggregate;
+  out.order_by_output_columns = order_by_output_columns;
+  out.num_visible_columns = num_visible_columns;
+  out.output_names = output_names;
+  out.output_types = output_types;
+  return out;
+}
+
+Status BindParameters(SelectStatement* stmt,
+                      const std::vector<Value>& params) {
+  if (static_cast<int>(params.size()) != stmt->num_params) {
+    return Status::InvalidArgument(StringPrintf(
+        "statement has %d parameter(s), %zu value(s) bound",
+        stmt->num_params, params.size()));
+  }
+  for (auto& item : stmt->select_list) {
+    CONQUER_RETURN_NOT_OK(SubstituteParams(item.expr.get(), params));
+  }
+  CONQUER_RETURN_NOT_OK(SubstituteParams(stmt->where.get(), params));
+  for (auto& g : stmt->group_by) {
+    CONQUER_RETURN_NOT_OK(SubstituteParams(g.get(), params));
+  }
+  for (auto& o : stmt->order_by) {
+    CONQUER_RETURN_NOT_OK(SubstituteParams(o.expr.get(), params));
+  }
+  stmt->num_params = 0;
+  return Status::OK();
+}
 
 Status Binder::ResolveColumnRef(Expr* e, const BoundQuery& q) {
   assert(e->kind == Expr::Kind::kColumnRef);
@@ -69,6 +145,10 @@ Result<DataType> Binder::InferType(Expr* e) {
       return e->resolved_type;  // set by ResolveColumnRef
     case Expr::Kind::kLiteral:
       return e->literal.type();
+    case Expr::Kind::kParameter:
+      // kNull until a surrounding expression infers the type (below); a
+      // parameter whose type is never pinned accepts any bound value.
+      return e->resolved_type;
     case Expr::Kind::kUnary: {
       DataType operand = e->left->resolved_type;
       switch (e->uop) {
@@ -90,6 +170,29 @@ Result<DataType> Binder::InferType(Expr* e) {
       return Status::Internal("unhandled unary op");
     }
     case Expr::Kind::kBinary: {
+      // Infer '?' parameter types from the sibling operand: in `col = ?`
+      // the parameter takes the column's type; in `x AND ?` it is boolean;
+      // in `name LIKE ?` it is a string. `? = ?` has no type source.
+      const bool l_param = e->left->kind == Expr::Kind::kParameter;
+      const bool r_param = e->right->kind == Expr::Kind::kParameter;
+      if (l_param && r_param) {
+        return Status::TypeError(
+            "cannot infer parameter types in '" + e->ToString() +
+            "': both operands are placeholders");
+      }
+      if (l_param || r_param) {
+        Expr* param = l_param ? e->left.get() : e->right.get();
+        const Expr* other = l_param ? e->right.get() : e->left.get();
+        if (param->resolved_type == DataType::kNull) {
+          if (e->bop == BinaryOp::kAnd || e->bop == BinaryOp::kOr) {
+            param->resolved_type = DataType::kBool;
+          } else if (e->bop == BinaryOp::kLike) {
+            param->resolved_type = DataType::kString;
+          } else {
+            param->resolved_type = other->resolved_type;
+          }
+        }
+      }
       DataType lt = e->left->resolved_type;
       DataType rt = e->right->resolved_type;
       switch (e->bop) {

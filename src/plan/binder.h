@@ -37,7 +37,22 @@ struct BoundQuery {
   std::vector<std::string> output_names;
   /// Output column types, parallel to stmt->select_list.
   std::vector<DataType> output_types;
+
+  /// Deep copy, including every binder annotation, sharing the same Table
+  /// pointers. A cached bound query is cloned per execution because the
+  /// physical plan borrows expressions from its BoundQuery (and parameter
+  /// substitution mutates the clone); the cache's master copy is never
+  /// executed directly. Table pointers stay valid only while the catalog
+  /// is unchanged — the plan cache's epoch check enforces that.
+  BoundQuery Clone() const;
 };
+
+/// Replaces every '?' placeholder in the (bound) statement with the
+/// corresponding constant from `params`, coercing to the type the binder
+/// inferred (INT64 widens to DOUBLE, strings parse as DATE where a date is
+/// expected). InvalidArgument on arity mismatch, TypeError on an
+/// incompatible value. NULL binds to any parameter type.
+Status BindParameters(SelectStatement* stmt, const std::vector<Value>& params);
 
 /// \brief Resolves and validates a parsed statement against the catalog.
 ///

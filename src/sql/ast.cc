@@ -109,6 +109,13 @@ ExprPtr Expr::MakeAggregate(AggFunc f, ExprPtr operand) {
   return e;
 }
 
+ExprPtr Expr::MakeParameter(int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kParameter;
+  e->param_index = index;
+  return e;
+}
+
 ExprPtr Expr::Clone() const {
   auto e = std::make_unique<Expr>();
   e->kind = kind;
@@ -118,6 +125,7 @@ ExprPtr Expr::Clone() const {
   e->bop = bop;
   e->uop = uop;
   e->agg = agg;
+  e->param_index = param_index;
   if (left) e->left = left->Clone();
   if (right) e->right = right->Clone();
   e->from_index = from_index;
@@ -167,6 +175,8 @@ std::string Expr::ToString() const {
       std::string arg = left ? left->ToString() : "*";
       return std::string(AggFuncToString(agg)) + "(" + arg + ")";
     }
+    case Kind::kParameter:
+      return "?";
   }
   return "?";
 }
@@ -197,6 +207,8 @@ bool Expr::StructurallyEquals(const Expr& other) const {
       if (agg != other.agg) return false;
       if ((left == nullptr) != (other.left == nullptr)) return false;
       return left == nullptr || left->StructurallyEquals(*other.left);
+    case Kind::kParameter:
+      return param_index == other.param_index;
   }
   return false;
 }
@@ -230,6 +242,7 @@ std::unique_ptr<SelectStatement> SelectStatement::Clone() const {
   for (const auto& g : group_by) out->group_by.push_back(g->Clone());
   for (const auto& o : order_by) out->order_by.push_back(o.Clone());
   out->limit = limit;
+  out->num_params = num_params;
   return out;
 }
 

@@ -66,6 +66,7 @@ struct Expr {
     kBinary,     ///< left op right
     kUnary,      ///< op left
     kAggregate,  ///< agg(left), left == nullptr for COUNT(*)
+    kParameter,  ///< '?' placeholder; becomes kLiteral at bind-time
   };
 
   Kind kind;
@@ -84,6 +85,9 @@ struct Expr {
   ExprPtr left;
   ExprPtr right;
 
+  // kParameter
+  int param_index = -1;  ///< 0-based position of the '?' in the statement
+
   // ---- Binder annotations (set by plan/binder.cc) ----
   int from_index = -1;    ///< kColumnRef: index into the FROM list
   int column_index = -1;  ///< kColumnRef: column position within that table
@@ -96,6 +100,7 @@ struct Expr {
   static ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
   static ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
   static ExprPtr MakeAggregate(AggFunc f, ExprPtr operand);
+  static ExprPtr MakeParameter(int index);
 
   /// Deep copy, including binder annotations.
   ExprPtr Clone() const;
@@ -151,6 +156,9 @@ struct SelectStatement {
   std::vector<ExprPtr> group_by;
   std::vector<OrderItem> order_by;
   int64_t limit = -1;  ///< -1 = no limit
+
+  /// Number of '?' parameter placeholders (lexical order assigns indices).
+  int num_params = 0;
 
   std::unique_ptr<SelectStatement> Clone() const;
 

@@ -1,7 +1,9 @@
 #include "sql/lexer.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdlib>
+#include <sstream>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -28,6 +30,34 @@ bool IsIdentStart(char c) {
 }
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Locale-independent double parsing. std::strtod honors LC_NUMERIC (a
+// German locale reads "0.5" as 0), which would make probability literals
+// parse differently per client environment. std::from_chars always uses
+// the C locale; older standard libraries without floating-point from_chars
+// fall back to an istringstream pinned to the classic locale.
+double ParseDoubleLiteral(const std::string& spelling) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  double out = 0.0;
+  auto [ptr, ec] = std::from_chars(spelling.data(),
+                                   spelling.data() + spelling.size(), out);
+  (void)ptr;
+  if (ec == std::errc()) return out;
+  return 0.0;
+#else
+  std::istringstream in(spelling);
+  in.imbue(std::locale::classic());
+  double out = 0.0;
+  in >> out;
+  return out;
+#endif
+}
+
+int64_t ParseIntLiteral(const std::string& spelling) {
+  int64_t out = 0;
+  std::from_chars(spelling.data(), spelling.data() + spelling.size(), out);
+  return out;
 }
 }  // namespace
 
@@ -99,10 +129,10 @@ Result<Token> Lexer::NextToken() {
     tok.text = spelling;
     if (is_double) {
       tok.type = TokenType::kDoubleLiteral;
-      tok.double_value = std::strtod(spelling.c_str(), nullptr);
+      tok.double_value = ParseDoubleLiteral(spelling);
     } else {
       tok.type = TokenType::kIntLiteral;
-      tok.int_value = std::strtoll(spelling.c_str(), nullptr, 10);
+      tok.int_value = ParseIntLiteral(spelling);
     }
     return tok;
   }
@@ -164,6 +194,9 @@ Result<Token> Lexer::NextToken() {
       return tok;
     case '*':
       tok.type = TokenType::kStar;
+      return tok;
+    case '?':
+      tok.type = TokenType::kParam;
       return tok;
     case '+':
       tok.type = TokenType::kPlus;

@@ -1,0 +1,95 @@
+#include "sql/normalize.h"
+
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace conquer {
+
+namespace {
+
+/// Canonical spelling of a token. String literals are re-quoted with ''
+/// escaping so the key is unambiguous against identifiers.
+std::string TokenSpelling(const Token& tok) {
+  switch (tok.type) {
+    case TokenType::kEof:
+      return "";
+    case TokenType::kIdentifier:
+    case TokenType::kKeyword:
+    case TokenType::kIntLiteral:
+    case TokenType::kDoubleLiteral:
+      return tok.text;
+    case TokenType::kStringLiteral: {
+      std::string out = "'";
+      for (char c : tok.text) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case TokenType::kParam:
+      return "?";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kNe:
+      return "<>";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+  }
+  return "";
+}
+
+/// Tokens that glue to their neighbour without a separating space. Purely
+/// cosmetic — the key would work space-separated — but `t.col` and `f(x)`
+/// read naturally in cache statistics and logs.
+bool GluesRight(TokenType t) {
+  return t == TokenType::kDot || t == TokenType::kLParen;
+}
+bool GluesLeft(TokenType t) {
+  return t == TokenType::kDot || t == TokenType::kComma ||
+         t == TokenType::kLParen || t == TokenType::kRParen;
+}
+
+}  // namespace
+
+Result<std::string> NormalizeSql(std::string_view sql) {
+  Lexer lexer(sql);
+  CONQUER_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  std::string out;
+  out.reserve(sql.size());
+  TokenType prev = TokenType::kEof;
+  bool first = true;
+  for (const Token& tok : tokens) {
+    if (tok.type == TokenType::kEof) break;
+    if (!first && !GluesRight(prev) && !GluesLeft(tok.type)) out += ' ';
+    out += TokenSpelling(tok);
+    prev = tok.type;
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace conquer

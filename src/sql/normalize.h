@@ -1,0 +1,31 @@
+#ifndef CONQUER_SQL_NORMALIZE_H_
+#define CONQUER_SQL_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace conquer {
+
+/// \brief Canonical text form of a statement, used as the plan-cache key.
+///
+/// Two statements that differ only in whitespace, comments, keyword case or
+/// operator spelling (`!=` vs `<>`) normalize to the same string:
+///
+///   "select  A from T where x!=3 -- c"  ->  "SELECT A FROM T WHERE x <> 3"
+///
+/// Literal values stay in the key (a cached entry embeds its constants);
+/// prepared statements keep their `?` placeholders, so every execution of
+/// the same prepared statement shares one cache entry regardless of the
+/// bound values. Identifier case is preserved — the catalog is
+/// case-insensitive, but folding identifiers here could only merge keys,
+/// never split them, and preserving case keeps keys readable in stats.
+///
+/// Returns InvalidArgument on text the lexer rejects (the caller falls
+/// through to the parser for a real error message).
+Result<std::string> NormalizeSql(std::string_view sql);
+
+}  // namespace conquer
+
+#endif  // CONQUER_SQL_NORMALIZE_H_

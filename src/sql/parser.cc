@@ -161,6 +161,7 @@ Result<std::unique_ptr<SelectStatement>> Parser::ParseSelect() {
     stmt->limit = Advance().int_value;
   }
 
+  stmt->num_params = num_params_;
   return stmt;
 }
 
@@ -352,6 +353,10 @@ Result<ExprPtr> Parser::ParsePrimary() {
     case TokenType::kStringLiteral: {
       Token t = Advance();
       return Expr::MakeLiteral(Value::String(std::move(t.text)));
+    }
+    case TokenType::kParam: {
+      Advance();
+      return Expr::MakeParameter(num_params_++);
     }
     case TokenType::kLParen: {
       Advance();

@@ -91,6 +91,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int num_params_ = 0;  ///< '?' placeholders seen, in lexical order
 };
 
 }  // namespace conquer

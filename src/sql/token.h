@@ -13,6 +13,7 @@ enum class TokenType {
   kIntLiteral,
   kDoubleLiteral,
   kStringLiteral,  ///< contents with quotes stripped and '' unescaped
+  kParam,          ///< '?' prepared-statement parameter placeholder
   // punctuation / operators
   kComma,
   kDot,

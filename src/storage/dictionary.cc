@@ -12,7 +12,7 @@ namespace {
 size_t ViewHash(std::string_view s) { return std::hash<std::string_view>()(s); }
 }  // namespace
 
-uint32_t StringDictionary::Intern(std::string_view s) {
+uint32_t StringDictionary::InternLocked(std::string_view s) {
   const size_t raw = ViewHash(s);
   if (const uint32_t* code = lookup_.FindHashed(raw, s)) return *code;
   entries_.emplace_back(s);
@@ -25,12 +25,25 @@ uint32_t StringDictionary::Intern(std::string_view s) {
   return code;
 }
 
+uint32_t StringDictionary::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternLocked(s);
+}
+
+Value StringDictionary::InternValue(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t code = InternLocked(s);
+  return Value::Interned(&entries_[code], hashes_[code]);
+}
+
 uint32_t StringDictionary::Find(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const uint32_t* code = lookup_.FindHashed(ViewHash(s), s);
   return code != nullptr ? *code : kInvalidCode;
 }
 
 uint64_t StringDictionary::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t bytes = lookup_.StructureBytes() +
                    hashes_.capacity() * sizeof(size_t) +
                    entries_.size() * sizeof(std::string);

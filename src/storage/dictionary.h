@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -21,9 +22,16 @@ namespace conquer {
 /// Codes are dense and assigned in first-intern order; an existing string's
 /// code never changes (`AnalyzeStatistics` may re-intern rows freely).
 /// Entry storage is a deque so the `std::string*` handed to values stays
-/// valid as the dictionary grows. Writes are not thread-safe; interning
-/// happens at load/insert/analyze time, while parallel query execution only
-/// reads.
+/// valid as the dictionary grows.
+///
+/// Thread-safety: Intern/InternValue/Find/size/MemoryBytes are mutually
+/// thread-safe (one mutex). The per-code accessors (StringAt/HashAt/
+/// ValueAt) are lock-free and must not run concurrently with interning —
+/// they index `hashes_`, which can reallocate on growth. The serving
+/// layer's admission control enforces exactly that split: writes (which
+/// intern) run exclusively, queries (which only Find and decode codes)
+/// share. The query path never interns: a literal that misses the
+/// dictionary proves no stored row can match it.
 class StringDictionary {
  public:
   static constexpr uint32_t kInvalidCode = 0xffffffffu;
@@ -35,7 +43,8 @@ class StringDictionary {
   /// resolve through this: a miss proves no row of the column can match.
   uint32_t Find(std::string_view s) const;
 
-  /// Precondition for the accessors: `code < size()`.
+  /// Precondition for the accessors: `code < size()` and no concurrent
+  /// interning (see class comment).
   const std::string* StringAt(uint32_t code) const { return &entries_[code]; }
   size_t HashAt(uint32_t code) const { return hashes_[code]; }
 
@@ -44,16 +53,23 @@ class StringDictionary {
     return Value::Interned(&entries_[code], hashes_[code]);
   }
 
-  /// Interns `s` and returns its interned Value in one step.
-  Value InternValue(std::string_view s) { return ValueAt(Intern(s)); }
+  /// Interns `s` and returns its interned Value in one step (one lock).
+  Value InternValue(std::string_view s);
 
   /// Number of distinct strings interned so far.
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// Approximate heap footprint (entries + hash array + lookup table).
   uint64_t MemoryBytes() const;
 
  private:
+  /// Requires mu_ held.
+  uint32_t InternLocked(std::string_view s);
+
+  mutable std::mutex mu_;            ///< guards all three containers
   std::deque<std::string> entries_;  ///< deque: grow never moves strings
   std::vector<size_t> hashes_;      ///< std::hash<std::string> per entry
   /// Lookup keyed by views into entries_ (stable), valued by code.

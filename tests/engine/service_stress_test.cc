@@ -1,0 +1,242 @@
+// Multi-session stress tests: N client threads over one QueryService /
+// Database, mixed ad-hoc and prepared statements, answers checked
+// bit-identically against a single-threaded oracle. Runs in the tier-1
+// suite and, via the `concurrency` label, under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/service.h"
+#include "types/value.h"
+
+namespace conquer {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kItersPerClient = 24;
+
+/// Exact (bit-level for doubles, modulo NaN) result equality. The engine's
+/// execution is deterministic — partial aggregates combine in slot order
+/// regardless of thread timing — so concurrent clients must see answers
+/// identical to the single-threaded oracle, including SUM(prob) doubles.
+bool SameResults(const ResultSet& a, const ResultSet& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    if (a.rows[r].size() != b.rows[r].size()) return false;
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      if (a.rows[r][c].TotalCompare(b.rows[r][c]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+class ServiceStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema fact("fact", {{"g", DataType::kInt64},
+                              {"name", DataType::kString},
+                              {"val", DataType::kDouble},
+                              {"prob", DataType::kDouble}});
+    ASSERT_TRUE(db_.CreateTable(fact).ok());
+    Rng rng(42);
+    std::vector<Row> rows;
+    rows.reserve(2000);
+    for (int i = 0; i < 2000; ++i) {
+      rows.push_back({Value::Int(static_cast<int64_t>(rng.Next() % 16)),
+                      Value::String("n" + std::to_string(rng.Next() % 32)),
+                      Value::Double(rng.NextDouble()),
+                      Value::Double(rng.NextDouble())});
+    }
+    ASSERT_TRUE(db_.InsertMany("fact", std::move(rows)).ok());
+    ASSERT_TRUE(db_.Analyze("fact").ok());
+    // All stress queries ORDER BY, so row order is part of the contract.
+    queries_ = {
+        "select g, sum(prob) from fact group by g order by g",
+        "select g, sum(prob), count(*) from fact where val > 0.25 "
+        "group by g order by g",
+        "select name, sum(prob) from fact where g < 8 "
+        "group by name order by name",
+        "select g, min(val), max(val) from fact where prob > 0.5 "
+        "group by g order by g",
+        "select count(*) from fact where name = 'n7'",
+        "select g, val, prob from fact where val > 0.97 order by val, g",
+    };
+  }
+
+  /// Single-threaded reference answers, computed through the same service
+  /// path the clients use (and priming the plan cache on the way).
+  std::vector<ResultSet> Oracle(QueryService* service) {
+    std::vector<ResultSet> oracle;
+    for (const std::string& q : queries_) {
+      auto rs = service->ExecuteSql(q);
+      EXPECT_TRUE(rs.ok()) << rs.status().ToString() << " for: " << q;
+      oracle.push_back(rs.ok() ? std::move(rs).value() : ResultSet{});
+    }
+    return oracle;
+  }
+
+  /// The parameterized variant of the mixed workload: queries_[1] with the
+  /// val threshold as a placeholder (bound to 0.25 to match the oracle).
+  static constexpr const char* kPreparedSql =
+      "select g, sum(prob), count(*) from fact where val > ? "
+      "group by g order by g";
+
+  Database db_;
+  std::vector<std::string> queries_;
+};
+
+TEST_F(ServiceStressTest, MixedWorkloadMatchesOracleBitIdentically) {
+  db_.SetThreads(3);  // shared morsel pool under all clients
+  db_.mutable_exec_context()->morsel_size = 128;  // force parallel splits
+  ServiceOptions options;
+  options.max_concurrent_queries = 4;
+  QueryService service(&db_, options);
+
+  const std::vector<ResultSet> oracle = Oracle(&service);
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int tid = 0; tid < kClients; ++tid) {
+    clients.emplace_back([&, tid] {
+      auto session = service.CreateSession("client-" + std::to_string(tid));
+      if (!session->Prepare("mix", kPreparedSql).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kItersPerClient; ++i) {
+        const size_t q = (tid + i) % queries_.size();
+        Result<ResultSet> rs = (i % 3 == 2)
+                                   ? session->ExecutePrepared(
+                                         "mix", {Value::Double(0.25)})
+                                   : session->Execute(queries_[q]);
+        if (!rs.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const ResultSet& expect = (i % 3 == 2) ? oracle[1] : oracle[q];
+        if (!SameResults(*rs, expect)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.query_errors, 0u);
+  EXPECT_LE(stats.admission.peak_active, 4u);
+  // Every distinct statement missed once (plus possibly a duplicated
+  // insert race); everything else must hit.
+  EXPECT_GT(stats.plan_cache.hit_rate(), 0.9)
+      << "hits=" << stats.plan_cache.hits
+      << " misses=" << stats.plan_cache.misses;
+  db_.SetThreads(1);
+}
+
+TEST_F(ServiceStressTest, DdlAndAnalyzeInterleavedWithQueries) {
+  db_.SetThreads(2);
+  ServiceOptions options;
+  options.max_concurrent_queries = 4;
+  QueryService service(&db_, options);
+  const std::vector<ResultSet> oracle = Oracle(&service);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int tid = 0; tid < 4; ++tid) {
+    clients.emplace_back([&, tid] {
+      auto session = service.CreateSession();
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t q = (tid + i++) % queries_.size();
+        auto rs = session->Execute(queries_[q]);
+        if (!rs.ok() || !SameResults(*rs, oracle[q])) bad.fetch_add(1);
+      }
+    });
+  }
+  // DDL churn while clients query: epoch bumps force invalidation and
+  // re-binds, but never wrong answers or crashes.
+  for (int i = 0; i < 8; ++i) {
+    TableSchema scratch("scratch" + std::to_string(i),
+                        {{"x", DataType::kInt64}});
+    ASSERT_TRUE(service.CreateTable(scratch).ok());
+    ASSERT_TRUE(service.Analyze("fact").ok());
+    ASSERT_TRUE(service.DropTable(scratch.table_name()).ok());
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(service.stats().query_errors, 0u);
+  db_.SetThreads(1);
+}
+
+// Regression for the SetThreads race: resizing the pool while queries are
+// in flight used to swap the TaskPool out from under their ExecContext.
+// Now the swap defers until in-flight queries drain (and, through the
+// service, runs under exclusive admission).
+TEST_F(ServiceStressTest, SetThreadsUnderLoadIsSafe) {
+  db_.SetThreads(2);
+  db_.mutable_exec_context()->morsel_size = 128;
+  ServiceOptions options;
+  options.max_concurrent_queries = 4;
+  QueryService service(&db_, options);
+  const std::vector<ResultSet> oracle = Oracle(&service);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int tid = 0; tid < 4; ++tid) {
+    clients.emplace_back([&, tid] {
+      auto session = service.CreateSession();
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t q = (tid + i++) % queries_.size();
+        auto rs = session->Execute(queries_[q]);
+        if (!rs.ok() || !SameResults(*rs, oracle[q])) bad.fetch_add(1);
+      }
+    });
+  }
+  for (int round = 0; round < 12; ++round) {
+    service.SetThreads(1 + round % 3);
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  db_.SetThreads(1);
+}
+
+// The same race at the Database layer, without the service's exclusive
+// admission in front: concurrent Query + SetThreads on the raw Database
+// must also be safe, because SetThreads waits for the in-flight count.
+TEST_F(ServiceStressTest, DatabaseSetThreadsConcurrentWithQueries) {
+  db_.mutable_exec_context()->morsel_size = 128;
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int tid = 0; tid < 3; ++tid) {
+    clients.emplace_back([&, tid] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t q = (tid + i++) % queries_.size();
+        if (!db_.Query(queries_[q]).ok()) bad.fetch_add(1);
+      }
+    });
+  }
+  for (int round = 0; round < 10; ++round) {
+    db_.SetThreads(1 + round % 4);
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  db_.SetThreads(1);
+}
+
+}  // namespace
+}  // namespace conquer

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+
 namespace conquer {
 namespace {
 
@@ -109,6 +111,35 @@ TEST(LexerTest, EmptyInputYieldsEof) {
   auto tokens = Lex("   \n\t ");
   ASSERT_EQ(tokens.size(), 1u);
   EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, ParamPlaceholderToken) {
+  auto tokens = Lex("where a = ? and b < ?");
+  ASSERT_EQ(tokens.size(), 9u);  // + EOF
+  EXPECT_EQ(tokens[3].type, TokenType::kParam);
+  EXPECT_EQ(tokens[7].type, TokenType::kParam);
+}
+
+// Regression: number lexing used std::strtod, which honours LC_NUMERIC —
+// under a comma-decimal locale (e.g. de_DE) "3.14" parsed as 3. The lexer
+// must be locale-independent. Skipped where no such locale is installed.
+TEST(LexerTest, DoubleLiteralsIgnoreCommaDecimalLocale) {
+  const char* old = std::setlocale(LC_NUMERIC, nullptr);
+  std::string saved = old != nullptr ? old : "C";
+  const char* set = nullptr;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "fr_FR"}) {
+    set = std::setlocale(LC_NUMERIC, name);
+    if (set != nullptr) break;
+  }
+  if (set == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  auto tokens = Lex("3.14 0.5e2");
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  ASSERT_EQ(tokens[0].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 3.14);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 50.0);
 }
 
 }  // namespace

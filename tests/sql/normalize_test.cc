@@ -1,0 +1,53 @@
+// Unit tests for SQL normalization (the plan-cache key).
+
+#include "sql/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace conquer {
+namespace {
+
+std::string Norm(const std::string& sql) {
+  auto r = NormalizeSql(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << sql;
+  return r.ok() ? std::move(r).value() : std::string();
+}
+
+TEST(NormalizeTest, CollapsesWhitespaceAndUppercasesKeywords) {
+  EXPECT_EQ(Norm("select  a\n\tfrom   T"), "SELECT a FROM T");
+}
+
+TEST(NormalizeTest, TextualVariantsShareOneKey) {
+  const std::string key = Norm("select a from t where x <> 3");
+  EXPECT_EQ(Norm("select   a\nfrom t  where x != 3"), key);
+  EXPECT_EQ(Norm("SELECT a FROM t WHERE x<>3"), key);
+}
+
+TEST(NormalizeTest, IdentifierCaseIsPreserved) {
+  EXPECT_NE(Norm("select Foo from t"), Norm("select foo from t"));
+}
+
+TEST(NormalizeTest, LiteralsStayInTheKey) {
+  EXPECT_NE(Norm("select a from t where x = 1"),
+            Norm("select a from t where x = 2"));
+}
+
+TEST(NormalizeTest, StringLiteralsRequoted) {
+  EXPECT_EQ(Norm("select a from t where s = 'it''s'"),
+            "SELECT a FROM t WHERE s = 'it''s'");
+  // A string literal can never collide with an identifier.
+  EXPECT_NE(Norm("select a from t where s = 'b'"),
+            Norm("select a from t where s = b"));
+}
+
+TEST(NormalizeTest, ParamsAndPunctuationGlue) {
+  EXPECT_EQ(Norm("select sum( x ) , t . y from t where a=?"),
+            "SELECT SUM(x), t.y FROM t WHERE a = ?");
+}
+
+TEST(NormalizeTest, RejectsWhatTheLexerRejects) {
+  EXPECT_FALSE(NormalizeSql("select #").ok());
+}
+
+}  // namespace
+}  // namespace conquer

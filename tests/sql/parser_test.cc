@@ -242,6 +242,32 @@ TEST(ParserTest, CloneProducesDeepCopy) {
   EXPECT_NE(copy->ToString(), stmt->ToString());
 }
 
+TEST(ParserTest, ParamPlaceholdersNumberedInLexicalOrder) {
+  auto stmt = Parse("select a from t where x > ? and y = ? or z < ?");
+  EXPECT_EQ(stmt->num_params, 3);
+  // The WHERE tree is ((x > ?0 AND y = ?1) OR z < ?2).
+  const Expr* root = stmt->where.get();
+  ASSERT_NE(root, nullptr);
+  const Expr* p0 = root->left->left->right.get();
+  const Expr* p2 = root->right->right.get();
+  ASSERT_EQ(p0->kind, Expr::Kind::kParameter);
+  EXPECT_EQ(p0->param_index, 0);
+  ASSERT_EQ(p2->kind, Expr::Kind::kParameter);
+  EXPECT_EQ(p2->param_index, 2);
+}
+
+TEST(ParserTest, ParamPlaceholderPrintsAndClones) {
+  auto stmt = Parse("select a from t where x = ?");
+  EXPECT_NE(stmt->ToString().find("x = ?"), std::string::npos);
+  auto copy = stmt->Clone();
+  EXPECT_EQ(copy->num_params, 1);
+  EXPECT_TRUE(copy->where->StructurallyEquals(*stmt->where));
+}
+
+TEST(ParserTest, NoParamsReportsZero) {
+  EXPECT_EQ(Parse("select a from t where x = 1")->num_params, 0);
+}
+
 TEST(ParserTest, StructuralEqualityIgnoresUnboundAnnotations) {
   auto a = Parse("select x + 1 from t");
   auto b = Parse("select x + 1 from t");

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "storage/table.h"
 
@@ -94,6 +97,64 @@ TEST(TableDictionaryTest, CodesStableAcrossAnalyzeStatistics) {
   EXPECT_EQ(dict->Find("b"), code_b);
   EXPECT_EQ(dict->StringAt(code_a), ptr_a);
   EXPECT_EQ(table.row(0)[0].interned_ptr(), ptr_a);
+}
+
+// Regression (TSan): Intern used to mutate the lookup table without any
+// synchronization, so two loader threads interning overlapping key sets
+// raced. Interning is now mutex-guarded: every thread must agree on one
+// code per string, with no duplicates.
+TEST(DictionaryTest, ConcurrentInterningAssignsStableCodes) {
+  StringDictionary dict;
+  constexpr int kThreads = 4;
+  constexpr int kStrings = 200;
+  std::vector<std::vector<uint32_t>> codes(kThreads,
+                                           std::vector<uint32_t>(kStrings));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        // Threads collide on the shared strings and race on fresh ones.
+        const std::string s = "key-" + std::to_string(i);
+        codes[t][i] = dict.Intern(s);
+        Value v = dict.InternValue(s);
+        if (*v.interned_ptr() != s) codes[t][i] = StringDictionary::kInvalidCode;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(dict.size(), static_cast<size_t>(kStrings));
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(codes[t], codes[0]) << "thread " << t << " saw different codes";
+  }
+  for (int i = 0; i < kStrings; ++i) {
+    EXPECT_EQ(*dict.StringAt(codes[0][i]), "key-" + std::to_string(i));
+    EXPECT_EQ(dict.Find("key-" + std::to_string(i)), codes[0][i]);
+  }
+}
+
+// Concurrent read-only literal resolution (the query path): Find from many
+// threads on a frozen dictionary, misses never intern.
+TEST(DictionaryTest, ConcurrentFindIsReadOnly) {
+  StringDictionary dict;
+  for (int i = 0; i < 64; ++i) dict.Intern("v" + std::to_string(i));
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        const int k = i % 96;  // one third of the probes miss
+        const uint32_t code = dict.Find("v" + std::to_string(k));
+        if (k < 64) {
+          if (code != static_cast<uint32_t>(k)) wrong.fetch_add(1);
+        } else if (code != StringDictionary::kInvalidCode) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(dict.size(), 64u) << "Find must never intern";
 }
 
 }  // namespace

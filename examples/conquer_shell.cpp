@@ -35,6 +35,7 @@
 #include "engine/persist.h"
 #include "engine/service.h"
 #include "gen/tpch_dirty.h"
+#include "prob/incremental.h"
 
 using namespace conquer;
 
@@ -142,6 +143,13 @@ int main(int argc, char** argv) {
     db = generated->db.get();
     std::printf("Generated dirty TPC-H (sf=0.002, if=3), %zu tuples.\n",
                 generated->TotalRows());
+  }
+
+  // Writes through the session (INSERT/UPDATE/DELETE) renormalize the
+  // touched dirty clusters, so .clean stays meaningful after edits.
+  if (Status s = InstallIncrementalMaintenance(db, &dirty); !s.ok()) {
+    PrintStatus(s);
+    return 1;
   }
 
   CleanAnswerEngine engine(db, &dirty);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/str_util.h"
 #include "common/timer.h"
 #include "exec/operators.h"
+#include "exec/write_exec.h"
 #include "plan/planner.h"
 #include "sql/parser.h"
 
@@ -115,6 +117,12 @@ Result<ResultSet> Database::Query(std::string_view sql,
   double parse_seconds = parse_timer.ElapsedSeconds();
   if (stats != nullptr) stats->parse_seconds = parse_seconds;
 
+  if (parsed.is_write()) {
+    return Status::InvalidArgument(
+        "write statements are not allowed through Query(); use "
+        "ExecuteWrite(), which requires exclusive admission");
+  }
+
   switch (parsed.explain) {
     case ExplainMode::kNone:
       return Execute(std::move(parsed.select), stats);
@@ -207,6 +215,97 @@ Result<std::string> Database::ExplainAnalyze(std::string_view sql,
 
 Result<Table*> Database::GetTable(std::string_view name) const {
   return catalog_.GetTable(name);
+}
+
+void Database::SetWriteHook(std::string_view table, WriteMaintenanceHook hook) {
+  std::string key = ToLower(table);
+  if (hook.after_write == nullptr) {
+    write_hooks_.erase(key);
+  } else {
+    write_hooks_[key] = std::move(hook);
+  }
+}
+
+namespace {
+
+/// One-row, one-column result set reporting how many rows a write changed.
+ResultSet RowsAffected(int64_t n) {
+  ResultSet rs;
+  rs.column_names.push_back("rows_affected");
+  rs.column_types.push_back(DataType::kInt64);
+  rs.rows.push_back({Value::Int(n)});
+  return rs;
+}
+
+}  // namespace
+
+Result<ResultSet> Database::ExecuteWrite(std::string_view sql,
+                                         std::vector<Value>* touched_ids) {
+  CONQUER_ASSIGN_OR_RETURN(ParsedStatement parsed,
+                           Parser::ParseStatement(sql));
+  if (!parsed.is_write()) {
+    return Status::InvalidArgument(
+        "ExecuteWrite() only accepts INSERT, UPDATE or DELETE statements");
+  }
+
+  const std::string table_name =
+      parsed.kind == StatementKind::kInsert   ? parsed.insert->table_name
+      : parsed.kind == StatementKind::kUpdate ? parsed.update->table_name
+                                              : parsed.del->table_name;
+  CONQUER_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+
+  const WriteMaintenanceHook* hook = nullptr;
+  auto it = write_hooks_.find(ToLower(table_name));
+  if (it != write_hooks_.end()) hook = &it->second;
+  int id_column = -1;
+  if (hook != nullptr && !hook->id_column.empty()) {
+    CONQUER_ASSIGN_OR_RETURN(
+        size_t idx, table->schema().GetColumnIndex(hook->id_column));
+    id_column = static_cast<int>(idx);
+  }
+
+  Binder binder(&catalog_);
+  // Stamps are applied at `version` but the version is only published by
+  // CommitWrite below, after the maintenance hook succeeds. The caller
+  // guarantees no query overlaps this call, so the intermediate state is
+  // never observed.
+  const uint64_t version = table->BeginWrite();
+  WriteResult wr;
+  switch (parsed.kind) {
+    case StatementKind::kInsert: {
+      CONQUER_ASSIGN_OR_RETURN(BoundInsert bound,
+                               binder.BindInsert(std::move(parsed.insert)));
+      CONQUER_ASSIGN_OR_RETURN(
+          wr, ExecuteInsert(table, bound, version, id_column));
+      break;
+    }
+    case StatementKind::kUpdate: {
+      CONQUER_ASSIGN_OR_RETURN(BoundUpdate bound,
+                               binder.BindUpdate(std::move(parsed.update)));
+      CONQUER_ASSIGN_OR_RETURN(
+          wr, ExecuteUpdate(table, bound, version, id_column));
+      break;
+    }
+    case StatementKind::kDelete: {
+      CONQUER_ASSIGN_OR_RETURN(BoundDelete bound,
+                               binder.BindDelete(std::move(parsed.del)));
+      CONQUER_ASSIGN_OR_RETURN(
+          wr, ExecuteDelete(table, bound, version, id_column));
+      break;
+    }
+    case StatementKind::kSelect:
+      return Status::Internal("unreachable: SELECT in write path");
+  }
+
+  if (hook != nullptr && hook->after_write != nullptr) {
+    CONQUER_RETURN_NOT_OK(hook->after_write(table, wr.touched_ids, version));
+  }
+  if (touched_ids != nullptr) *touched_ids = std::move(wr.touched_ids);
+  table->CommitWrite(version);
+  // Cached plans may hold pruning metadata or row counts from before this
+  // write; bumping the catalog version makes the serving layer discard them.
+  BumpCatalogVersion();
+  return RowsAffected(wr.rows_changed);
 }
 
 }  // namespace conquer

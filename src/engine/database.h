@@ -4,9 +4,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -19,6 +21,23 @@
 #include "plan/planner.h"
 
 namespace conquer {
+
+/// \brief Post-write maintenance callback for one table.
+///
+/// Registered by higher layers (e.g. incremental probability maintenance in
+/// prob/) that the engine cannot depend on directly. After every successful
+/// write statement against the table — still inside the exclusive write
+/// section, before the new version is committed — the engine invokes
+/// `after_write` with the values of `id_column` in every touched row version
+/// (old and new). A non-OK status aborts the write's commit.
+struct WriteMaintenanceHook {
+  /// Column whose values identify the maintenance unit (e.g. the dirty
+  /// cluster id column).
+  std::string id_column;
+  /// (table, touched id values, write version) -> status.
+  std::function<Status(Table*, const std::vector<Value>&, uint64_t)>
+      after_write;
+};
 
 /// \brief The top-level embedded relational engine.
 ///
@@ -71,6 +90,28 @@ class Database {
   /// which does not execute).
   Result<ResultSet> Query(std::string_view sql,
                           QueryStats* stats = nullptr) const;
+
+  /// Executes one INSERT / UPDATE / DELETE statement.
+  ///
+  /// The caller must guarantee exclusivity: no query may be in flight for
+  /// the duration of the call (the serving layer acquires an exclusive
+  /// admission ticket; embedded callers simply must not overlap it with
+  /// Query). The write appends new row versions stamped with a fresh
+  /// version number, runs the table's maintenance hook (if registered),
+  /// commits the version so subsequent readers see it, and bumps the
+  /// catalog version so cached plans are discarded.
+  ///
+  /// Returns a one-row result set with a single `rows_affected` column.
+  /// When `touched_ids` is non-null it receives the hook id-column values
+  /// of every touched row version (empty when no hook is registered for
+  /// the table) — the write's maintenance scope, which tests and the
+  /// fuzzer's mutation oracle verify against.
+  Result<ResultSet> ExecuteWrite(std::string_view sql,
+                                 std::vector<Value>* touched_ids = nullptr);
+
+  /// Registers (or replaces) the post-write maintenance hook for `table`.
+  /// Pass a hook with no callback to clear it.
+  void SetWriteHook(std::string_view table, WriteMaintenanceHook hook);
 
   /// Executes an already-parsed statement (consumed). Fills `stats` with
   /// bind/plan/exec timings and per-operator metrics when non-null.
@@ -172,6 +213,8 @@ class Database {
 
   Catalog catalog_;
   PlannerOptions planner_options_;
+  /// Post-write maintenance hooks, keyed by lower-cased table name.
+  std::unordered_map<std::string, WriteMaintenanceHook> write_hooks_;
   std::unique_ptr<TaskPool> pool_;
   ExecContext exec_ctx_;
   std::atomic<uint64_t> catalog_version_{0};

@@ -20,6 +20,12 @@ bool IsExplain(const std::string& normalized_sql) {
   return normalized_sql.rfind("EXPLAIN", 0) == 0;
 }
 
+bool IsWrite(const std::string& normalized_sql) {
+  return normalized_sql.rfind("INSERT", 0) == 0 ||
+         normalized_sql.rfind("UPDATE", 0) == 0 ||
+         normalized_sql.rfind("DELETE", 0) == 0;
+}
+
 }  // namespace
 
 QueryService::QueryService(Database* db, ServiceOptions options)
@@ -63,6 +69,14 @@ Result<ResultSet> QueryService::ExecuteSql(std::string_view sql,
     return Record(db_->Query(sql, stats));
   }
   const std::string key = std::move(norm).value();
+  if (IsWrite(key)) {
+    // Writes run alone: the exclusive ticket drains in-flight queries and
+    // blocks new ones, so version stamping and incremental probability
+    // maintenance need no row-level synchronization. ExecuteWrite bumps the
+    // catalog epoch, invalidating cached plans bound over the old data.
+    ExclusiveAdmission admission(&gate_);
+    return Record(db_->ExecuteWrite(sql));
+  }
   if (IsExplain(key)) {
     // EXPLAIN [ANALYZE] is diagnostic output, not a row stream worth
     // caching; run it straight through the Database.
@@ -91,6 +105,11 @@ Result<PreparedStatement> QueryService::PrepareInternal(std::string_view name,
     return Status::InvalidArgument(
         "cannot prepare an EXPLAIN statement; prepare the SELECT and use "
         "EXPLAIN ad hoc");
+  }
+  if (IsWrite(key)) {
+    return Status::InvalidArgument(
+        "cannot prepare a write statement; execute INSERT/UPDATE/DELETE "
+        "ad hoc");
   }
   SharedAdmission admission(&gate_);
   const uint64_t epoch = db_->catalog_version();

@@ -47,6 +47,16 @@ struct ExecContext {
   /// the join would reject, so results are identical either way.
   bool enable_runtime_filters = true;
 
+  /// Sentinel for snapshot_override: scans pin the table's latest committed
+  /// version at Open. (No real snapshot can be UINT64_MAX — a row version
+  /// never begins there.)
+  static constexpr uint64_t kSnapshotLatest = ~0ull;
+
+  /// MVCC snapshot scans read instead of the latest committed version.
+  /// Test knob for visibility assertions; written only while no query is in
+  /// flight (writes run behind the exclusive admission ticket).
+  uint64_t snapshot_override = kSnapshotLatest;
+
   /// Worker tasks a parallel phase schedules (the pool size, or 1).
   size_t parallelism() const {
     return pool != nullptr ? pool->num_threads() : 1;

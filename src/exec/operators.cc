@@ -136,6 +136,16 @@ Status SeqScanOp::FilterChunk(size_t chunk_index, SelVector* sel,
   }
   sel->resize(ch.num_rows());
   std::iota(sel->begin(), sel->end(), 0u);
+  // Snapshot visibility before predicates: a stamped chunk may hold dead
+  // (deleted / superseded) versions or rows newer than this scan's pinned
+  // snapshot.
+  if (ch.has_versions()) {
+    size_t out = 0;
+    for (uint32_t i : *sel) {
+      if (ch.RowVisible(i, snapshot_)) (*sel)[out++] = i;
+    }
+    sel->resize(out);
+  }
   if (local_filter_) {
     CONQUER_RETURN_NOT_OK(
         FilterChunkSelection(*local_filter_, *table_, chunk_index, sel,
@@ -208,6 +218,10 @@ Status SeqScanOp::ParallelFilter() {
 }
 
 Status SeqScanOp::OpenImpl() {
+  snapshot_ = (exec_ != nullptr &&
+               exec_->snapshot_override != ExecContext::kSnapshotLatest)
+                  ? exec_->snapshot_override
+                  : table_->committed_version();
   chunk_cursor_ = 0;
   match_cursor_ = 0;
   chunk_matches_.clear();
@@ -307,16 +321,21 @@ std::string SeqScanOp::Describe() const {
 
 IndexScanOp::IndexScanOp(const Table* table, const HashIndex* index, Value key,
                          size_t slot_offset, size_t total_slots,
-                         ExprPtr residual_filter)
+                         ExprPtr residual_filter, const ExecContext* exec)
     : table_(table),
       index_(index),
       key_(std::move(key)),
       slot_offset_(slot_offset),
       total_slots_(total_slots),
       filter_(std::move(residual_filter)),
-      local_filter_(RebaseFilter(filter_.get(), slot_offset)) {}
+      local_filter_(RebaseFilter(filter_.get(), slot_offset)),
+      exec_(exec) {}
 
 Status IndexScanOp::OpenImpl() {
+  snapshot_ = (exec_ != nullptr &&
+               exec_->snapshot_override != ExecContext::kSnapshotLatest)
+                  ? exec_->snapshot_override
+                  : table_->committed_version();
   matches_ = &index_->Lookup(key_);
   cursor_ = 0;
   return Status::OK();
@@ -324,7 +343,9 @@ Status IndexScanOp::OpenImpl() {
 
 Result<bool> IndexScanOp::NextImpl(Row* out) {
   while (matches_ != nullptr && cursor_ < matches_->size()) {
-    table_->GetRowInto((*matches_)[cursor_++], &row_scratch_);
+    const size_t pos = (*matches_)[cursor_++];
+    if (!table_->RowVisibleAt(pos, snapshot_)) continue;
+    table_->GetRowInto(pos, &row_scratch_);
     if (local_filter_) {
       // Residual filter on the raw table row, before wide materialization.
       CONQUER_ASSIGN_OR_RETURN(bool pass,

@@ -87,6 +87,10 @@ class SeqScanOp : public Operator {
   std::vector<uint32_t> materialize_cols_;
   const ExecContext* exec_;
   std::vector<ScanFilter> runtime_filters_;
+  /// MVCC snapshot pinned at Open; rows outside it are filtered with the
+  /// selection vector (before predicates, after zone-map skip — zones cover
+  /// dead versions too, so skipping stays conservative).
+  uint64_t snapshot_ = 0;
   bool parallel_ = false;
   /// Parallel path: surviving positions per chunk (chunk-local indices).
   std::vector<SelVector> chunk_matches_;
@@ -106,7 +110,8 @@ class SeqScanOp : public Operator {
 class IndexScanOp : public Operator {
  public:
   IndexScanOp(const Table* table, const HashIndex* index, Value key,
-              size_t slot_offset, size_t total_slots, ExprPtr residual_filter);
+              size_t slot_offset, size_t total_slots, ExprPtr residual_filter,
+              const ExecContext* exec = nullptr);
 
   std::string Describe() const override;
 
@@ -122,6 +127,11 @@ class IndexScanOp : public Operator {
   size_t total_slots_;
   ExprPtr filter_;        ///< bound to the wide layout (for Describe)
   ExprPtr local_filter_;  ///< rebased to table-local slots
+  const ExecContext* exec_;
+  /// MVCC snapshot pinned at Open. Indexes cover every physical row
+  /// (including dead versions — writes never rebuild them), so matches are
+  /// post-filtered by visibility here.
+  uint64_t snapshot_ = 0;
   const std::vector<size_t>* matches_ = nullptr;
   size_t cursor_ = 0;
   Row row_scratch_;  ///< reused table-local materialization buffer

@@ -1,0 +1,97 @@
+#include "exec/write_exec.h"
+
+#include "exec/eval.h"
+
+namespace conquer {
+
+namespace {
+
+/// Row positions visible at `snapshot` whose materialized row passes
+/// `where` (nullptr = all visible rows). Collected fully before any
+/// mutation so appends made by the caller cannot re-enter the scan.
+Result<std::vector<size_t>> MatchingRows(const Table& table, const Expr* where,
+                                         uint64_t snapshot) {
+  std::vector<size_t> matches;
+  Row scratch;
+  for (size_t pos : table.VisibleRowPositions(snapshot)) {
+    if (where != nullptr) {
+      table.GetRowInto(pos, &scratch);
+      CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*where, scratch));
+      if (!pass) continue;
+    }
+    matches.push_back(pos);
+  }
+  return matches;
+}
+
+void CollectId(const Table& table, size_t pos, int id_column,
+               std::vector<Value>* out) {
+  if (id_column >= 0) {
+    out->push_back(table.ValueAt(pos, static_cast<size_t>(id_column)));
+  }
+}
+
+}  // namespace
+
+Result<WriteResult> ExecuteInsert(Table* table, const BoundInsert& ins,
+                                  uint64_t version, int id_column) {
+  WriteResult result;
+  static const Row kNoRow;
+  for (const auto& exprs : ins.rows) {
+    Row full(table->schema().num_columns(), Value::Null());
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*exprs[i], kNoRow));
+      full[ins.column_map[i]] = std::move(v);
+    }
+    const size_t pos = table->num_rows();
+    CONQUER_RETURN_NOT_OK(table->InsertVersioned(std::move(full), version));
+    CollectId(*table, pos, id_column, &result.touched_ids);
+    ++result.rows_changed;
+  }
+  result.rows_matched = result.rows_changed;
+  return result;
+}
+
+Result<WriteResult> ExecuteUpdate(Table* table, const BoundUpdate& upd,
+                                  uint64_t version, int id_column) {
+  CONQUER_ASSIGN_OR_RETURN(
+      std::vector<size_t> matches,
+      MatchingRows(*table, upd.where.get(), version - 1));
+  WriteResult result;
+  result.rows_matched = static_cast<int64_t>(matches.size());
+  Row old_row;
+  for (size_t pos : matches) {
+    table->GetRowInto(pos, &old_row);
+    // All assignment values evaluate against the OLD row (SQL semantics:
+    // `SET a = b, b = a` swaps).
+    Row new_row = old_row;
+    for (const auto& [col, expr] : upd.assignments) {
+      CONQUER_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, old_row));
+      new_row[col] = std::move(v);
+    }
+    CollectId(*table, pos, id_column, &result.touched_ids);
+    table->MarkRowDead(pos, version);
+    const size_t new_pos = table->num_rows();
+    CONQUER_RETURN_NOT_OK(table->InsertVersioned(std::move(new_row), version));
+    CollectId(*table, new_pos, id_column, &result.touched_ids);
+    ++result.rows_changed;
+  }
+  return result;
+}
+
+Result<WriteResult> ExecuteDelete(Table* table, const BoundDelete& del,
+                                  uint64_t version, int id_column) {
+  CONQUER_ASSIGN_OR_RETURN(
+      std::vector<size_t> matches,
+      MatchingRows(*table, del.where.get(), version - 1));
+  WriteResult result;
+  result.rows_matched = static_cast<int64_t>(matches.size());
+  for (size_t pos : matches) {
+    CollectId(*table, pos, id_column, &result.touched_ids);
+    table->MarkRowDead(pos, version);
+    ++result.rows_changed;
+  }
+  return result;
+}
+
+}  // namespace conquer

@@ -1,0 +1,49 @@
+#ifndef CONQUER_EXEC_WRITE_EXEC_H_
+#define CONQUER_EXEC_WRITE_EXEC_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "plan/binder.h"
+#include "storage/table.h"
+#include "types/value.h"
+
+namespace conquer {
+
+/// \brief Outcome of one write statement.
+struct WriteResult {
+  int64_t rows_matched = 0;  ///< rows the WHERE predicate selected
+  int64_t rows_changed = 0;  ///< rows inserted / updated / deleted
+  /// Values of `id_column` in every touched row version (old and new, in
+  /// touch order, duplicates preserved); empty when id_column < 0. The
+  /// engine's write hook renormalizes exactly these clusters.
+  std::vector<Value> touched_ids;
+};
+
+/// \brief MVCC write executors.
+///
+/// All three run under the engine's exclusive admission ticket: no reader is
+/// concurrently open, so stamping is plain (non-atomic) storage writes. The
+/// caller allocates `version = table->BeginWrite()` and publishes it with
+/// `table->CommitWrite(version)` after the executor (and any maintenance
+/// hook) returns; readers admitted before the commit pinned the previous
+/// snapshot and never see the new stamps.
+///
+/// UPDATE and DELETE evaluate their predicate over the rows visible at
+/// `version - 1` (the snapshot being superseded); UPDATE stamps the old
+/// version dead and appends the modified copy beginning at `version`.
+/// `id_column` (>= 0 for registered dirty tables) selects which column's
+/// values are collected into WriteResult::touched_ids.
+
+Result<WriteResult> ExecuteInsert(Table* table, const BoundInsert& ins,
+                                  uint64_t version, int id_column);
+
+Result<WriteResult> ExecuteUpdate(Table* table, const BoundUpdate& upd,
+                                  uint64_t version, int id_column);
+
+Result<WriteResult> ExecuteDelete(Table* table, const BoundDelete& del,
+                                  uint64_t version, int id_column);
+
+}  // namespace conquer
+
+#endif  // CONQUER_EXEC_WRITE_EXEC_H_

@@ -190,6 +190,9 @@ std::string SerializeCase(const FuzzCase& c, const std::string& note) {
              "\n";
     }
   }
+  for (const FuzzWrite& w : c.writes) {
+    out += "write " + w.table + " " + w.sql + "\n";
+  }
   out += "query " + c.query.Sql() + "\n";
   out += std::string("expect ") +
          (c.query.expect_rewritable ? "rewritable" : "reject") + "\n";
@@ -285,6 +288,14 @@ Result<FuzzCase> ParseCaseText(const std::string& text) {
       c.ops.push_back({FuzzOp::Kind::kSetValue, tokens[2], 0,
                        std::strtoull(tokens[3].c_str(), nullptr, 10),
                        tokens[4], std::move(v)});
+    } else if (cmd == "write" && tokens.size() >= 3) {
+      // Everything after the table name is the verbatim SQL statement.
+      std::string_view rest = Trim(line);
+      rest.remove_prefix(std::strlen("write "));
+      size_t sep = rest.find(' ');
+      if (sep == std::string_view::npos) return fail("write missing sql");
+      c.writes.push_back({std::string(rest.substr(0, sep)),
+                          std::string(Trim(rest.substr(sep + 1)))});
     } else if (cmd == "query" && tokens.size() >= 2) {
       std::string_view rest = Trim(line);
       c.query.raw_sql = std::string(rest.substr(std::strlen("query ")));

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/str_util.h"
+#include "prob/incremental.h"
 #include "storage/table.h"
 
 namespace conquer {
@@ -72,6 +73,10 @@ Result<BuiltDb> BuildFuzzDatabase(const FuzzCase& c) {
     }
     CONQUER_RETURN_NOT_OK(out.db->InsertMany(t.name, t.rows));
   }
+  // After every AddTable: the hooks hold pointers into the dirty schema's
+  // table vector, which must not reallocate any more.
+  CONQUER_RETURN_NOT_OK(
+      InstallIncrementalMaintenance(out.db.get(), &out.dirty));
   for (const FuzzOp& op : c.ops) {
     CONQUER_ASSIGN_OR_RETURN(Table * table, out.db->GetTable(op.table));
     switch (op.kind) {
@@ -95,6 +100,25 @@ Result<BuiltDb> BuildFuzzDatabase(const FuzzCase& c) {
     }
   }
   return out;
+}
+
+Result<FuzzCase> ExtractVisibleSnapshot(const FuzzCase& c,
+                                        const Database& db) {
+  FuzzCase snap = c;
+  snap.ops.clear();
+  snap.writes.clear();
+  for (FuzzTable& t : snap.tables) {
+    CONQUER_ASSIGN_OR_RETURN(Table * table, db.GetTable(t.name));
+    const uint64_t snapshot = table->committed_version();
+    t.rows.clear();
+    Row row;
+    for (size_t pos : table->VisibleRowPositions(snapshot)) {
+      table->GetRowInto(pos, &row);
+      DecodeRowInPlace(&row);
+      t.rows.push_back(row);
+    }
+  }
+  return snap;
 }
 
 std::vector<ClusterSum> ClusterProbabilitySums(const FuzzCase& c) {

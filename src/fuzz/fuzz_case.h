@@ -52,6 +52,14 @@ struct FuzzOp {
   Value value;          ///< kSetValue
 };
 
+/// \brief One SQL write statement of the mutation stage, replayed through
+/// Database::ExecuteWrite after the static oracles pass. `table` names the
+/// written table so the shrinker can drop writes when it removes tables.
+struct FuzzWrite {
+  std::string table;
+  std::string sql;
+};
+
 /// \brief An equi-join edge `left.left_column = right.right_column`.
 struct FuzzJoin {
   std::string left_table;
@@ -94,6 +102,8 @@ struct FuzzCase {
   uint64_t seed = 0;
   std::vector<FuzzTable> tables;
   std::vector<FuzzOp> ops;
+  /// Mutation-stage writes, executed in order after the static oracles.
+  std::vector<FuzzWrite> writes;
   FuzzQuery query;
 
   size_t TotalRows() const;
@@ -106,9 +116,17 @@ struct BuiltDb {
   DirtySchema dirty;
 };
 
-/// Builds the case's tables, inserts every row, registers the dirty schema
-/// and applies the maintenance ops, in declaration order.
+/// Builds the case's tables, inserts every row, registers the dirty schema,
+/// installs the incremental probability-maintenance write hooks and applies
+/// the maintenance ops, in declaration order. The case's writes are NOT
+/// executed here; the mutation-stage oracle replays them one by one.
 Result<BuiltDb> BuildFuzzDatabase(const FuzzCase& c);
+
+/// Snapshot of `db`'s state visible at each table's committed version, as a
+/// fresh standalone case: same schema and query as `c`, rows replaced by the
+/// visible row versions (with engine-maintained probabilities), no ops or
+/// writes. The naive oracle evaluates this after each mutation step.
+Result<FuzzCase> ExtractVisibleSnapshot(const FuzzCase& c, const Database& db);
 
 /// \brief Probability mass of one cluster, for the input-integrity oracle.
 struct ClusterSum {

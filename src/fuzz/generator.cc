@@ -1,6 +1,7 @@
 #include "fuzz/generator.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/rng.h"
 #include "common/str_util.h"
@@ -135,6 +136,100 @@ std::string ApplyMutation(Rng* rng, const FuzzCase& c, FuzzQuery* q) {
     }
   }
   return pick;
+}
+
+/// One random mutation-stage write against table `ti`. The write targets
+/// existing entities so UPDATE/DELETE predicates are satisfiable, and
+/// INSERTs carry probability 0.5 — any value that breaks the cluster sum
+/// unless incremental maintenance renormalizes it away.
+FuzzWrite MakeWrite(Rng* rng, const FuzzCase& c, size_t ti,
+                    const std::vector<DataType>& attr_types, size_t entities,
+                    int write_index, const FuzzConfig& cfg) {
+  const FuzzTable& t = c.tables[ti];
+  auto entity = [&] {
+    return EntityId(static_cast<int>(ti),
+                    static_cast<size_t>(rng->Uniform(
+                        0, static_cast<int64_t>(entities) - 1)));
+  };
+  FuzzWrite w;
+  w.table = t.name;
+  switch (rng->Uniform(0, 2)) {
+    case 0: {  // INSERT: a new duplicate of an existing entity, or a fresh one
+      std::string id = rng->Chance(0.7)
+                           ? entity()
+                           : StringPrintf("t%zu_new%d", ti, write_index);
+      std::vector<std::string> values;
+      for (const FuzzColumn& col : t.columns) {
+        if (EqualsIgnoreCase(col.name, t.id_column)) {
+          values.push_back(Value::String(id).ToSqlLiteral());
+        } else if (EqualsIgnoreCase(col.name, t.prob_column)) {
+          values.push_back("0.5");
+        } else if (col.name.rfind("fk", 0) == 0) {
+          // Point the foreign key at some entity of the referenced table.
+          int child = std::atoi(col.name.c_str() + 2);
+          const FuzzTable* ct = c.FindTable(StringPrintf("t%d", child));
+          size_t n = ct != nullptr && !ct->rows.empty()
+                         ? static_cast<size_t>(rng->Uniform(
+                               0, static_cast<int64_t>(ct->rows.size()) - 1))
+                         : 0;
+          values.push_back(
+              ct != nullptr && !ct->rows.empty()
+                  ? ct->rows[n][0].ToSqlLiteral()
+                  : Value::String(EntityId(child, 0)).ToSqlLiteral());
+        } else {
+          Value v = RandomAttrValue(rng, col.type, cfg);
+          values.push_back(v.ToSqlLiteral());
+        }
+      }
+      w.sql = "insert into " + t.name + " values (" + Join(values, ", ") + ")";
+      break;
+    }
+    case 1: {  // UPDATE: rewrite one attribute (rarely the identifier)
+      std::string target = entity();
+      if (!attr_types.empty() && !rng->Chance(0.15)) {
+        size_t a = static_cast<size_t>(rng->Uniform(
+            0, static_cast<int64_t>(attr_types.size()) - 1));
+        Value v = RandomAttrValue(rng, attr_types[a], cfg);
+        w.sql = "update " + t.name + " set " +
+                StringPrintf("a%zu_%zu", ti, a) + " = " + v.ToSqlLiteral() +
+                " where " + t.id_column + " = " +
+                Value::String(target).ToSqlLiteral();
+      } else {
+        // Identifier rewrite: merges the source cluster into the target.
+        w.sql = "update " + t.name + " set " + t.id_column + " = " +
+                Value::String(entity()).ToSqlLiteral() + " where " +
+                t.id_column + " = " + Value::String(target).ToSqlLiteral();
+      }
+      break;
+    }
+    default: {  // DELETE: a whole cluster, or members matching an attribute
+      std::string target = entity();
+      w.sql = "delete from " + t.name + " where " + t.id_column + " = " +
+              Value::String(target).ToSqlLiteral();
+      if (!attr_types.empty() && rng->Chance(0.4)) {
+        // Narrow to part of the cluster with an attribute conjunct sampled
+        // from its rows, so the survivors must be renormalized.
+        size_t a = static_cast<size_t>(rng->Uniform(
+            0, static_cast<int64_t>(attr_types.size()) - 1));
+        const size_t col = 1 + a;
+        std::vector<const Value*> present;
+        for (const Row& row : t.rows) {
+          if (!row[0].is_null() && row[0].string_value() == target &&
+              !row[col].is_null()) {
+            present.push_back(&row[col]);
+          }
+        }
+        if (!present.empty()) {
+          const Value* pick = present[static_cast<size_t>(rng->Uniform(
+              0, static_cast<int64_t>(present.size()) - 1))];
+          w.sql += " and " + StringPrintf("a%zu_%zu", ti, a) + " = " +
+                   pick->ToSqlLiteral();
+        }
+      }
+      break;
+    }
+  }
+  return w;
 }
 
 }  // namespace
@@ -349,6 +444,18 @@ FuzzCase GenerateCase(uint64_t seed, const FuzzConfig& cfg) {
     q.mutation = ApplyMutation(&rng, c, &q);
   }
   c.query = std::move(q);
+
+  // Mutation-stage writes ride along on rewritable cases only: the reject
+  // path never executes, so writes would be dead weight there.
+  if (c.query.expect_rewritable && cfg.max_writes > 0 &&
+      rng.Chance(cfg.write_rate)) {
+    int num_writes = static_cast<int>(rng.Uniform(1, cfg.max_writes));
+    for (int wi = 0; wi < num_writes; ++wi) {
+      size_t ti = static_cast<size_t>(rng.Uniform(0, n - 1));
+      c.writes.push_back(MakeWrite(&rng, c, ti, plans[ti].attr_types,
+                                   plans[ti].cluster_probs.size(), wi, cfg));
+    }
+  }
   return c;
 }
 

@@ -65,6 +65,12 @@ struct FuzzConfig {
   /// Probability that the query is a deliberately non-rewritable mutant
   /// exercising the Dfn 7 checker's reject path.
   double mutant_rate = 0.15;
+
+  // ---- Mutation stage (on by default). ----
+  /// Probability that a rewritable case carries mutation-stage writes.
+  double write_rate = 0.6;
+  /// Maximum SQL writes interleaved per case (uniform in [1, max_writes]).
+  int max_writes = 4;
 };
 
 /// The non-rewritable mutations the generator can apply.

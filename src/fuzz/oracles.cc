@@ -3,9 +3,16 @@
 #include <cmath>
 #include <cstring>
 
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
 #include "common/str_util.h"
 #include "core/clean_engine.h"
 #include "core/naive_eval.h"
+#include "prob/assigner.h"
+#include "prob/dcf.h"
+#include "prob/incremental.h"
 #include "storage/table.h"
 
 namespace conquer {
@@ -44,6 +51,10 @@ void ApplyInjection(BugInjection inject, size_t threads, CleanAnswerSet* set) {
           a.probability += 1.0 / (1 << 30);
         }
       }
+      break;
+    case BugInjection::kRenormSkip:
+      // Injected into the prob layer itself (SetIncrementalFaultInjection),
+      // not into the answer sets.
       break;
   }
 }
@@ -272,6 +283,233 @@ void RunConfigSweeps(OracleRun* r, const CleanAnswerEngine& engine,
   }
 }
 
+/// Visible per-cluster state of one dirty table: member row positions and
+/// stored probabilities, keyed by the identifier's string form, in
+/// first-visible-row order (std::map for deterministic iteration).
+struct ClusterState {
+  std::vector<size_t> rows;
+  std::vector<double> probs;
+};
+
+Result<std::map<std::string, ClusterState>> VisibleClusters(
+    const Table& table, const FuzzTable& ft, uint64_t snapshot) {
+  CONQUER_ASSIGN_OR_RETURN(size_t id_col,
+                           table.schema().GetColumnIndex(ft.id_column));
+  CONQUER_ASSIGN_OR_RETURN(size_t prob_col,
+                           table.schema().GetColumnIndex(ft.prob_column));
+  std::map<std::string, ClusterState> out;
+  for (size_t pos : table.VisibleRowPositions(snapshot)) {
+    Value id = table.ValueAt(pos, id_col);
+    Value prob = table.ValueAt(pos, prob_col);
+    ClusterState& cluster = out[id.is_null() ? "<null>" : id.ToString()];
+    cluster.rows.push_back(pos);
+    cluster.probs.push_back(prob.is_null() ? 0.0 : prob.AsDouble());
+  }
+  return out;
+}
+
+/// Independent recomputation of one cluster's Figure-5 probabilities from
+/// the batch assigner's primitives (not the incremental path under test).
+Result<std::vector<double>> RecomputeClusterProbs(
+    const Table& table, const FuzzTable& ft, const std::vector<size_t>& rows,
+    double total_weight) {
+  std::vector<size_t> attrs;
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    const std::string& name = table.schema().column(c).name;
+    if (EqualsIgnoreCase(name, ft.id_column) ||
+        EqualsIgnoreCase(name, ft.prob_column)) {
+      continue;
+    }
+    attrs.push_back(c);
+  }
+  if (rows.size() == 1) return std::vector<double>{1.0};
+  ValueSpace space;
+  CONQUER_ASSIGN_OR_RETURN(
+      Dcf rep, BuildClusterRepresentative(table, rows, attrs, &space));
+  double s_sum = 0.0;
+  std::vector<double> dist(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::vector<uint32_t> indices;
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      indices.push_back(space.Intern(a, table.ValueAt(rows[i], attrs[a])));
+    }
+    dist[i] = InformationLossDistance(Dcf::ForTuple(indices), rep,
+                                      total_weight);
+    s_sum += dist[i];
+  }
+  std::vector<double> probs(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    probs[i] = s_sum <= 1e-12
+                   ? 1.0 / static_cast<double>(rows.size())
+                   : (1.0 - dist[i] / s_sum) /
+                         static_cast<double>(rows.size() - 1);
+  }
+  return probs;
+}
+
+/// The mutation stage: replays the case's writes one by one through the
+/// engine write path, checking after every step that incremental
+/// maintenance kept the visible state coherent and the live query still
+/// matches the naive oracle on the extracted snapshot.
+void RunMutationStage(OracleRun* r, const CleanAnswerEngine& engine) {
+  // Per-table cluster state before any write, for the untouched-cluster
+  // bitwise-stability check.
+  std::map<std::string, std::map<std::string, ClusterState>> prev;
+  for (const FuzzTable& t : r->c.tables) {
+    if (t.prob_column.empty()) continue;
+    auto table = r->built.db->GetTable(t.name);
+    if (!table.ok()) continue;
+    auto clusters =
+        VisibleClusters(**table, t, (*table)->committed_version());
+    if (clusters.ok()) prev[ToLower(t.name)] = std::move(*clusters);
+  }
+
+  for (size_t step = 0; step < r->c.writes.size(); ++step) {
+    const FuzzWrite& w = r->c.writes[step];
+    std::vector<Value> touched_ids;
+    auto written = r->built.db->ExecuteWrite(w.sql, &touched_ids);
+    if (!written.ok()) {
+      r->Fail(ViolationKind::kEngineError,
+              StringPrintf("write step %zu failed: %s sql: %s", step,
+                           written.status().ToString().c_str(),
+                           w.sql.c_str()));
+      return;
+    }
+    std::unordered_set<std::string> touched;
+    for (const Value& id : touched_ids) {
+      touched.insert(id.is_null() ? "<null>" : id.ToString());
+    }
+
+    const FuzzTable* written_table = r->c.FindTable(w.table);
+    if (written_table != nullptr && !written_table->prob_column.empty()) {
+      auto table = r->built.db->GetTable(w.table);
+      if (!table.ok()) return;
+      const uint64_t snapshot = (*table)->committed_version();
+      auto clusters = VisibleClusters(**table, *written_table, snapshot);
+      if (!clusters.ok()) {
+        r->Fail(ViolationKind::kEngineError,
+                "mutation oracle: " + clusters.status().ToString());
+        return;
+      }
+      const double total_weight = static_cast<double>(
+          (*table)->VisibleRowPositions(snapshot).size());
+      std::map<std::string, ClusterState>& before = prev[ToLower(w.table)];
+      for (const auto& [id, cluster] : *clusters) {
+        // (a) Sums to ~1 no matter what the write did.
+        double sum = 0.0;
+        for (double p : cluster.probs) sum += p;
+        if (std::abs(sum - 1.0) > 1e-9) {
+          r->Fail(ViolationKind::kMaintenance,
+                  StringPrintf("after write step %zu (%s), cluster %s.%s "
+                               "probabilities sum to %.17g",
+                               step, w.sql.c_str(), w.table.c_str(),
+                               id.c_str(), sum));
+          return;
+        }
+        if (touched.count(id) > 0) {
+          // (b) Touched clusters match an independent recomputation.
+          auto expected = RecomputeClusterProbs(**table, *written_table,
+                                                cluster.rows, total_weight);
+          if (!expected.ok()) {
+            r->Fail(ViolationKind::kEngineError,
+                    "mutation oracle: " + expected.status().ToString());
+            return;
+          }
+          for (size_t i = 0; i < cluster.probs.size(); ++i) {
+            if (std::abs(cluster.probs[i] - (*expected)[i]) > 1e-9) {
+              r->Fail(
+                  ViolationKind::kMaintenance,
+                  StringPrintf(
+                      "after write step %zu (%s), touched cluster %s.%s "
+                      "member %zu has probability %.17g, recomputation "
+                      "says %.17g",
+                      step, w.sql.c_str(), w.table.c_str(), id.c_str(), i,
+                      cluster.probs[i], (*expected)[i]));
+              return;
+            }
+          }
+        } else {
+          // (c) Untouched clusters bitwise unchanged.
+          auto it = before.find(id);
+          if (it != before.end() &&
+              (it->second.probs.size() != cluster.probs.size() ||
+               !std::equal(it->second.probs.begin(), it->second.probs.end(),
+                           cluster.probs.begin(),
+                           [](double a, double b) {
+                             return Bits(a) == Bits(b);
+                           }))) {
+            r->Fail(ViolationKind::kMaintenance,
+                    StringPrintf("after write step %zu (%s), untouched "
+                                 "cluster %s.%s changed",
+                                 step, w.sql.c_str(), w.table.c_str(),
+                                 id.c_str()));
+            return;
+          }
+        }
+      }
+      before = std::move(*clusters);
+    }
+
+    // (d) The live query: bit-identical across thread counts, and agreeing
+    // with the naive oracle evaluated on the extracted visible snapshot.
+    CleanAnswerSet baseline;
+    std::string label = StringPrintf("(write step %zu, threads=1)", step);
+    if (!r->Query(engine, 1, label, &baseline)) return;
+    CheckProbabilityRange(r, baseline, label, 0.0);
+    if (!r->report.ok()) return;
+    CleanAnswerSet run;
+    for (size_t threads : r->opts.thread_counts) {
+      if (threads == 1) continue;
+      label = StringPrintf("(write step %zu, threads=%zu)", step, threads);
+      if (!r->Query(engine, threads, label, &run)) return;
+      std::string diff = DiffAnswerSets(baseline, run, label);
+      if (!diff.empty()) {
+        r->Fail(ViolationKind::kConfigMismatch, diff);
+        return;
+      }
+    }
+    auto snap = ExtractVisibleSnapshot(r->c, *r->built.db);
+    if (!snap.ok()) {
+      r->Fail(ViolationKind::kEngineError,
+              "snapshot extraction: " + snap.status().ToString());
+      return;
+    }
+    auto snap_built = BuildFuzzDatabase(*snap);
+    if (!snap_built.ok()) {
+      r->Fail(ViolationKind::kEngineError,
+              "snapshot rebuild: " + snap_built.status().ToString());
+      return;
+    }
+    NaiveCandidateEvaluator naive(snap_built->db.get(), &snap_built->dirty);
+    auto slow = naive.Evaluate(r->sql, r->opts.max_candidates);
+    if (!slow.ok()) {
+      if (slow.status().code() == StatusCode::kResourceExhausted) continue;
+      r->Fail(ViolationKind::kEngineError,
+              "naive oracle error after write step " + std::to_string(step) +
+                  ": " + slow.status().ToString());
+      return;
+    }
+    if (slow->answers.size() != baseline.answers.size()) {
+      r->Fail(ViolationKind::kNaiveMismatch,
+              StringPrintf("after write step %zu (%s), engine returned %zu "
+                           "answers, naive oracle %zu",
+                           step, w.sql.c_str(), baseline.answers.size(),
+                           slow->answers.size()));
+      return;
+    }
+    for (const CleanAnswer& a : slow->answers) {
+      double engine_p = baseline.ProbabilityOf(a.row);
+      if (std::abs(engine_p - a.probability) > r->opts.naive_tolerance) {
+        r->Fail(ViolationKind::kNaiveMismatch,
+                StringPrintf("after write step %zu (%s), engine probability "
+                             "%.17g != naive %.17g",
+                             step, w.sql.c_str(), engine_p, a.probability));
+        return;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Result<BugInjection> ParseBugInjection(std::string_view name) {
@@ -280,9 +518,11 @@ Result<BugInjection> ParseBugInjection(std::string_view name) {
   if (lower == "prob_bias") return BugInjection::kProbBias;
   if (lower == "drop_answer") return BugInjection::kDropAnswer;
   if (lower == "parallel_skew") return BugInjection::kParallelSkew;
+  if (lower == "renorm_skip") return BugInjection::kRenormSkip;
   return Status::InvalidArgument(
       "unknown bug injection '" + std::string(name) +
-      "' (expected none, prob_bias, drop_answer or parallel_skew)");
+      "' (expected none, prob_bias, drop_answer, parallel_skew or "
+      "renorm_skip)");
 }
 
 const char* ViolationKindToString(ViolationKind kind) {
@@ -301,6 +541,8 @@ const char* ViolationKindToString(ViolationKind kind) {
       return "naive-mismatch";
     case ViolationKind::kConfigMismatch:
       return "config-mismatch";
+    case ViolationKind::kMaintenance:
+      return "maintenance";
   }
   return "unknown";
 }
@@ -344,6 +586,13 @@ Result<OracleReport> RunOracles(const FuzzCase& c, const OracleOptions& opts) {
   if (!r.report.ok()) return r.report;
 
   RunConfigSweeps(&r, engine, baseline);
+  if (r.report.ok() && !c.writes.empty()) {
+    if (opts.inject == BugInjection::kRenormSkip) {
+      SetIncrementalFaultInjection(IncrementalFault::kSkipFirstCluster);
+    }
+    RunMutationStage(&r, engine);
+    SetIncrementalFaultInjection(IncrementalFault::kNone);
+  }
   r.built.db->SetThreads(1);
   return r.report;
 }

@@ -23,9 +23,14 @@ enum class BugInjection {
   /// Adds 2^-30 to probabilities only in parallel runs: caught by the
   /// bit-identity oracle across thread counts.
   kParallelSkew,
+  /// Injects an off-by-one cluster skip into the incremental maintenance
+  /// path (the first touched cluster is left stale after a write): caught
+  /// by the mutation stage's cluster-sum and naive-snapshot oracles.
+  kRenormSkip,
 };
 
-/// Parses "none", "prob_bias", "drop_answer" or "parallel_skew".
+/// Parses "none", "prob_bias", "drop_answer", "parallel_skew" or
+/// "renorm_skip".
 Result<BugInjection> ParseBugInjection(std::string_view name);
 
 /// \brief The failure category of a violated oracle. The shrinker uses the
@@ -39,6 +44,7 @@ enum class ViolationKind {
   kRange,           ///< probability outside [0, 1]
   kNaiveMismatch,   ///< engine disagrees with the enumeration oracle
   kConfigMismatch,  ///< engine disagrees with itself across configurations
+  kMaintenance,     ///< incremental probability maintenance left bad state
 };
 
 const char* ViolationKindToString(ViolationKind kind);
@@ -72,6 +78,14 @@ struct OracleReport {
 /// reject), input cluster-probability integrity, naive candidate-enumeration
 /// comparison, probability range, and bit-identity of the answer set across
 /// thread counts, batch sizes, chunk capacities and pruning flags.
+///
+/// Cases with writes then enter the mutation stage: each write replays
+/// through the engine's write path, after which (a) every visible dirty
+/// cluster's probabilities must sum to ~1, (b) clusters the write touched
+/// must match an independent recomputation of the Figure-5 assignment over
+/// the visible rows, (c) untouched clusters must be bitwise unchanged, and
+/// (d) the live query must stay bit-identical across thread counts and
+/// agree with the naive oracle evaluated on the extracted visible snapshot.
 /// Status errors are infrastructure failures (the case itself could not be
 /// built); semantic failures come back inside the report.
 Result<OracleReport> RunOracles(const FuzzCase& c, const OracleOptions& opts);

@@ -68,6 +68,11 @@ FuzzCase WithoutTable(const FuzzCase& c, size_t table_index) {
                                  return EqualsIgnoreCase(op.table, name);
                                }),
                 out.ops.end());
+  out.writes.erase(std::remove_if(out.writes.begin(), out.writes.end(),
+                                  [&](const FuzzWrite& w) {
+                                    return EqualsIgnoreCase(w.table, name);
+                                  }),
+                   out.writes.end());
   FuzzQuery& q = out.query;
   q.from.erase(std::remove_if(q.from.begin(), q.from.end(),
                               [&](const std::string& f) {
@@ -199,6 +204,22 @@ bool ShrinkRows(Shrinker* s, FuzzCase* c) {
   return progress;
 }
 
+/// Drops mutation-stage write steps one at a time (suffix first, so a
+/// failing step keeps its prefix of preceding writes).
+bool ShrinkWrites(Shrinker* s, FuzzCase* c) {
+  bool progress = false;
+  for (size_t i = c->writes.size(); i-- > 0;) {
+    FuzzCase candidate = *c;
+    candidate.writes.erase(candidate.writes.begin() +
+                           static_cast<ptrdiff_t>(i));
+    if (s->StillFails(candidate)) {
+      *c = std::move(candidate);
+      progress = true;
+    }
+  }
+  return progress;
+}
+
 bool ShrinkPredicates(Shrinker* s, FuzzCase* c) {
   bool progress = false;
   for (size_t i = c->query.filters.size(); i-- > 0;) {
@@ -248,6 +269,7 @@ FuzzCase ShrinkCase(const FuzzCase& failing, const OracleProbe& probe,
   for (size_t pass = 0; pass < kMaxPasses; ++pass) {
     if (stats != nullptr) stats->passes += 1;
     bool progress = false;
+    progress |= ShrinkWrites(&shrinker, &c);
     progress |= ShrinkTables(&shrinker, &c);
     progress |= ShrinkRows(&shrinker, &c);
     progress |= ShrinkPredicates(&shrinker, &c);

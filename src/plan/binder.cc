@@ -325,6 +325,161 @@ Status Binder::BindExpr(Expr* e, const BoundQuery& q) {
   return BindExprInternal(e, q, /*allow_aggregates=*/true);
 }
 
+namespace {
+
+/// Writes execute once, immediately — there is no prepare/execute split, so
+/// '?' placeholders have nothing to bind against.
+Status RequireNoParams(const Expr& e) {
+  if (e.kind == Expr::Kind::kParameter) {
+    return Status::InvalidArgument(
+        "'?' parameters are not supported in write statements");
+  }
+  if (e.left) CONQUER_RETURN_NOT_OK(RequireNoParams(*e.left));
+  if (e.right) return RequireNoParams(*e.right);
+  return Status::OK();
+}
+
+/// INSERT values evaluate before any source row exists.
+Status RequireConstant(const Expr& e) {
+  if (e.kind == Expr::Kind::kColumnRef) {
+    return Status::InvalidArgument(
+        "INSERT values cannot reference columns: '" + e.ToString() + "'");
+  }
+  if (e.left) CONQUER_RETURN_NOT_OK(RequireConstant(*e.left));
+  if (e.right) return RequireConstant(*e.right);
+  return Status::OK();
+}
+
+/// Binds one write-statement value expression targeting schema column `col`:
+/// no aggregates, no parameters, DATE columns accept string literals, and
+/// the resolved type must be storable in the column (INT64 widens to
+/// DOUBLE; NULL fits everywhere).
+Status BindWriteValue(Binder* binder, Expr* e, const BoundQuery& scope,
+                      const ColumnDef& col) {
+  CONQUER_RETURN_NOT_OK(RequireNoParams(*e));
+  if (e->ContainsAggregate()) {
+    return Status::InvalidArgument(
+        "aggregates are not allowed in write statements: '" + e->ToString() +
+        "'");
+  }
+  CONQUER_RETURN_NOT_OK(binder->BindExpr(e, scope));
+  if (col.type == DataType::kDate && e->kind == Expr::Kind::kLiteral &&
+      e->literal.type() == DataType::kString) {
+    CONQUER_ASSIGN_OR_RETURN(int64_t days, ParseDate(e->literal.string_value()));
+    e->literal = Value::Date(days);
+    e->resolved_type = DataType::kDate;
+  }
+  DataType vt = e->resolved_type;
+  if (vt != DataType::kNull && vt != col.type &&
+      !(col.type == DataType::kDouble && vt == DataType::kInt64)) {
+    return Status::TypeError(StringPrintf(
+        "value of type %s does not fit column '%s' (%s)", DataTypeToString(vt),
+        col.name.c_str(), DataTypeToString(col.type)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BoundQuery> Binder::BindWriteScope(const std::string& table_name) {
+  BoundQuery q;
+  q.stmt = std::make_unique<SelectStatement>();
+  TableRef ref;
+  ref.table_name = table_name;
+  q.stmt->from.push_back(std::move(ref));
+  CONQUER_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(table_name));
+  q.slot_offsets.push_back(0);
+  q.total_slots = table->schema().num_columns();
+  q.tables.push_back(table);
+  return q;
+}
+
+Result<BoundInsert> Binder::BindInsert(std::unique_ptr<InsertStatement> stmt) {
+  CONQUER_ASSIGN_OR_RETURN(BoundQuery scope, BindWriteScope(stmt->table_name));
+  BoundInsert out;
+  out.table = scope.tables[0];
+  const TableSchema& schema = out.table->schema();
+
+  if (stmt->columns.empty()) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      out.column_map.push_back(c);
+    }
+  } else {
+    for (const std::string& name : stmt->columns) {
+      CONQUER_ASSIGN_OR_RETURN(size_t c, schema.GetColumnIndex(name));
+      for (size_t prev : out.column_map) {
+        if (prev == c) {
+          return Status::InvalidArgument("duplicate column '" + name +
+                                         "' in INSERT column list");
+        }
+      }
+      out.column_map.push_back(c);
+    }
+  }
+
+  for (auto& row : stmt->rows) {
+    if (row.size() != out.column_map.size()) {
+      return Status::InvalidArgument(StringPrintf(
+          "INSERT expects %zu value(s) per tuple, got %zu",
+          out.column_map.size(), row.size()));
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      CONQUER_RETURN_NOT_OK(RequireConstant(*row[i]));
+      CONQUER_RETURN_NOT_OK(BindWriteValue(this, row[i].get(), scope,
+                                           schema.column(out.column_map[i])));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<BoundUpdate> Binder::BindUpdate(std::unique_ptr<UpdateStatement> stmt) {
+  CONQUER_ASSIGN_OR_RETURN(BoundQuery scope, BindWriteScope(stmt->table_name));
+  BoundUpdate out;
+  out.table = scope.tables[0];
+  const TableSchema& schema = out.table->schema();
+
+  for (auto& a : stmt->assignments) {
+    CONQUER_ASSIGN_OR_RETURN(size_t c, schema.GetColumnIndex(a.column));
+    for (const auto& prev : out.assignments) {
+      if (prev.first == c) {
+        return Status::InvalidArgument("column '" + a.column +
+                                       "' assigned twice in UPDATE");
+      }
+    }
+    CONQUER_RETURN_NOT_OK(
+        BindWriteValue(this, a.value.get(), scope, schema.column(c)));
+    out.assignments.emplace_back(c, std::move(a.value));
+  }
+
+  if (stmt->where) {
+    CONQUER_RETURN_NOT_OK(RequireNoParams(*stmt->where));
+    CONQUER_RETURN_NOT_OK(BindExprInternal(stmt->where.get(), scope, false));
+    DataType wt = stmt->where->resolved_type;
+    if (wt != DataType::kBool && wt != DataType::kNull) {
+      return Status::TypeError("WHERE clause is not boolean");
+    }
+    out.where = std::move(stmt->where);
+  }
+  return out;
+}
+
+Result<BoundDelete> Binder::BindDelete(std::unique_ptr<DeleteStatement> stmt) {
+  CONQUER_ASSIGN_OR_RETURN(BoundQuery scope, BindWriteScope(stmt->table_name));
+  BoundDelete out;
+  out.table = scope.tables[0];
+  if (stmt->where) {
+    CONQUER_RETURN_NOT_OK(RequireNoParams(*stmt->where));
+    CONQUER_RETURN_NOT_OK(BindExprInternal(stmt->where.get(), scope, false));
+    DataType wt = stmt->where->resolved_type;
+    if (wt != DataType::kBool && wt != DataType::kNull) {
+      return Status::TypeError("WHERE clause is not boolean");
+    }
+    out.where = std::move(stmt->where);
+  }
+  return out;
+}
+
 Result<BoundQuery> Binder::Bind(std::unique_ptr<SelectStatement> stmt) {
   BoundQuery q;
   q.stmt = std::move(stmt);

@@ -54,6 +54,30 @@ struct BoundQuery {
 /// incompatible value. NULL binds to any parameter type.
 Status BindParameters(SelectStatement* stmt, const std::vector<Value>& params);
 
+/// \brief A resolved INSERT: value expressions are literal-only (bound and
+/// type-checked against the target columns), `column_map[i]` is the schema
+/// position the i-th VALUES entry populates.
+struct BoundInsert {
+  Table* table = nullptr;
+  std::vector<size_t> column_map;
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+/// \brief A resolved UPDATE: assignment values and WHERE are bound against
+/// the target table (slots are schema column positions), so they evaluate
+/// directly over a materialized row.
+struct BoundUpdate {
+  Table* table = nullptr;
+  std::vector<std::pair<size_t, ExprPtr>> assignments;  ///< (column, value)
+  ExprPtr where;  ///< nullptr = every row
+};
+
+/// \brief A resolved DELETE (WHERE bound as in BoundUpdate).
+struct BoundDelete {
+  Table* table = nullptr;
+  ExprPtr where;  ///< nullptr = every row
+};
+
 /// \brief Resolves and validates a parsed statement against the catalog.
 ///
 /// The binder consumes the statement (it may rewrite parts of it, e.g.
@@ -64,6 +88,10 @@ class Binder {
 
   Result<BoundQuery> Bind(std::unique_ptr<SelectStatement> stmt);
 
+  Result<BoundInsert> BindInsert(std::unique_ptr<InsertStatement> stmt);
+  Result<BoundUpdate> BindUpdate(std::unique_ptr<UpdateStatement> stmt);
+  Result<BoundDelete> BindDelete(std::unique_ptr<DeleteStatement> stmt);
+
   /// Binds a single expression against an existing bound FROM list.
   /// Exposed for the rewriting layer, which post-processes bound queries.
   Status BindExpr(Expr* e, const BoundQuery& q);
@@ -72,6 +100,9 @@ class Binder {
   Status BindExprInternal(Expr* e, const BoundQuery& q, bool allow_aggregates);
   Status ResolveColumnRef(Expr* e, const BoundQuery& q);
   Result<DataType> InferType(Expr* e);
+  /// A single-table scope for binding write-statement expressions: slots
+  /// coincide with schema column positions.
+  Result<BoundQuery> BindWriteScope(const std::string& table_name);
 
   const Catalog* catalog_;
 };

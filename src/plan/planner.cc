@@ -273,7 +273,7 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
                                         lookups[i].index->num_keys())));
       scans[i] = std::make_unique<IndexScanOp>(
           t, lookups[i].index, lookups[i].key, q.slot_offsets[i],
-          q.total_slots, std::move(table_filters[i]));
+          q.total_slots, std::move(table_filters[i]), exec);
     } else {
       if (table_filters[i]) {
         rows *= EstimateSelectivity(*table_filters[i], q.tables);

@@ -1,0 +1,72 @@
+#ifndef CONQUER_PROB_INCREMENTAL_H_
+#define CONQUER_PROB_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dirty_schema.h"
+#include "storage/table.h"
+#include "types/value.h"
+
+namespace conquer {
+
+class Database;
+
+/// \brief Fault injection for the incremental maintenance path, used by the
+/// differential fuzzer's self-test to prove the mutation-stage oracle can
+/// catch renormalization bugs.
+enum class IncrementalFault {
+  kNone,
+  /// Off-by-one: skips the first touched cluster, leaving its probabilities
+  /// stale after a write.
+  kSkipFirstCluster,
+};
+
+/// Sets the process-wide injected fault (tests only; not thread-safe
+/// against concurrent writes).
+void SetIncrementalFaultInjection(IncrementalFault fault);
+IncrementalFault GetIncrementalFaultInjection();
+
+/// \brief Options for incremental reassignment.
+struct IncrementalOptions {
+  /// Information-loss distance threshold for matching a newly inserted row
+  /// with a NULL cluster identifier against existing cluster
+  /// representatives (same scale as MatcherOptions::merge_threshold).
+  double merge_threshold = 0.35;
+};
+
+/// \brief Incremental Figure-5 maintenance after a write (the tentpole's
+/// "re-match only the touched clusters").
+///
+/// `touched_ids` are the cluster-identifier values of every row version a
+/// write statement touched (from WriteResult::touched_ids). For each
+/// distinct touched cluster, rebuilds its DCF representative over the rows
+/// visible at `snapshot`, recomputes information-loss distances with
+/// total weight = the table's visible row count, and renormalizes the
+/// member probabilities in place (singleton -> 1.0; all-identical ->
+/// uniform; fully deleted cluster -> nothing to do).
+///
+/// Rows visible at `snapshot` whose identifier is NULL (freshly inserted
+/// without a cluster assignment) are first matched against every existing
+/// cluster representative; within `options.merge_threshold` they join the
+/// nearest cluster, otherwise they found a new singleton cluster with a
+/// fresh identifier. Either way the identifier cell is filled in and the
+/// affected cluster is renormalized.
+///
+/// Returns the number of clusters renormalized.
+Result<size_t> ReassignClusters(Table* table, const DirtyTableInfo& info,
+                                const std::vector<Value>& touched_ids,
+                                uint64_t snapshot,
+                                const IncrementalOptions& options = {});
+
+/// Registers a write-maintenance hook on every dirty table of `dirty` that
+/// has a probability column, so INSERT/UPDATE/DELETE through
+/// Database::ExecuteWrite keep cluster probabilities normalized. `dirty`
+/// must outlive `db`'s use of the hooks.
+Status InstallIncrementalMaintenance(Database* db, const DirtySchema* dirty,
+                                     const IncrementalOptions& options = {});
+
+}  // namespace conquer
+
+#endif  // CONQUER_PROB_INCREMENTAL_H_

@@ -282,6 +282,81 @@ std::string SelectStatement::ToString() const {
   return out;
 }
 
+std::unique_ptr<InsertStatement> InsertStatement::Clone() const {
+  auto out = std::make_unique<InsertStatement>();
+  out->table_name = table_name;
+  out->columns = columns;
+  out->rows.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<ExprPtr> cloned;
+    cloned.reserve(row.size());
+    for (const auto& e : row) cloned.push_back(e->Clone());
+    out->rows.push_back(std::move(cloned));
+  }
+  return out;
+}
+
+std::string InsertStatement::ToString() const {
+  std::string out = "INSERT INTO " + table_name;
+  if (!columns.empty()) {
+    out += " (";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += columns[i];
+    }
+    out += ")";
+  }
+  out += " VALUES ";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += "(";
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i > 0) out += ", ";
+      out += rows[r][i]->ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+Assignment Assignment::Clone() const {
+  Assignment out;
+  out.column = column;
+  out.value = value->Clone();
+  return out;
+}
+
+std::unique_ptr<UpdateStatement> UpdateStatement::Clone() const {
+  auto out = std::make_unique<UpdateStatement>();
+  out->table_name = table_name;
+  for (const auto& a : assignments) out->assignments.push_back(a.Clone());
+  if (where) out->where = where->Clone();
+  return out;
+}
+
+std::string UpdateStatement::ToString() const {
+  std::string out = "UPDATE " + table_name + " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assignments[i].column + " = " + assignments[i].value->ToString();
+  }
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
+std::unique_ptr<DeleteStatement> DeleteStatement::Clone() const {
+  auto out = std::make_unique<DeleteStatement>();
+  out->table_name = table_name;
+  if (where) out->where = where->Clone();
+  return out;
+}
+
+std::string DeleteStatement::ToString() const {
+  std::string out = "DELETE FROM " + table_name;
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
 void CollectConjuncts(const Expr* pred, std::vector<const Expr*>* out) {
   if (pred == nullptr) return;
   if (pred->kind == Expr::Kind::kBinary && pred->bop == BinaryOp::kAnd) {

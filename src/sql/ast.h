@@ -166,6 +166,48 @@ struct SelectStatement {
   std::string ToString() const;
 };
 
+/// \brief Parsed INSERT statement:
+///
+///   INSERT INTO t [(c1, ...)] VALUES (e1, ...) [, (e1, ...)]*
+///
+/// Value expressions may not reference columns (no source row exists yet);
+/// arithmetic over literals is allowed.
+struct InsertStatement {
+  std::string table_name;
+  std::vector<std::string> columns;        ///< empty = full schema order
+  std::vector<std::vector<ExprPtr>> rows;  ///< one expr list per VALUES tuple
+
+  std::unique_ptr<InsertStatement> Clone() const;
+  std::string ToString() const;
+};
+
+/// \brief One `col = expr` pair in an UPDATE SET list.
+struct Assignment {
+  std::string column;
+  ExprPtr value;  ///< may reference columns of the updated table
+
+  Assignment Clone() const;
+};
+
+/// \brief Parsed UPDATE statement: UPDATE t SET a = e, ... [WHERE pred]
+struct UpdateStatement {
+  std::string table_name;
+  std::vector<Assignment> assignments;
+  ExprPtr where;  ///< nullptr when absent
+
+  std::unique_ptr<UpdateStatement> Clone() const;
+  std::string ToString() const;
+};
+
+/// \brief Parsed DELETE statement: DELETE FROM t [WHERE pred]
+struct DeleteStatement {
+  std::string table_name;
+  ExprPtr where;  ///< nullptr = delete every row
+
+  std::unique_ptr<DeleteStatement> Clone() const;
+  std::string ToString() const;
+};
+
 /// Splits a predicate tree into its top-level AND conjuncts.
 void CollectConjuncts(const Expr* pred, std::vector<const Expr*>* out);
 

@@ -21,7 +21,8 @@ const std::unordered_set<std::string>& Keywords() {
       "ASC",    "DESC",     "LIMIT",   "AND",   "OR",    "NOT",   "LIKE",
       "BETWEEN", "IN",      "IS",      "NULL",  "AS",    "DATE",  "TRUE",
       "FALSE",  "SUM",      "COUNT",   "AVG",   "MIN",   "MAX",   "HAVING",
-      "JOIN",   "ON",       "INNER",   "EXISTS", "EXPLAIN", "ANALYZE"};
+      "JOIN",   "ON",       "INNER",   "EXISTS", "EXPLAIN", "ANALYZE",
+      "INSERT", "INTO",     "VALUES",  "UPDATE", "SET",   "DELETE"};
   return kKeywords;
 }
 

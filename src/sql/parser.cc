@@ -67,11 +67,108 @@ Result<ParsedStatement> Parser::ParseStatement(std::string_view sql) {
     parsed.explain = parser.MatchKeyword("ANALYZE") ? ExplainMode::kAnalyze
                                                     : ExplainMode::kPlan;
   }
-  CONQUER_ASSIGN_OR_RETURN(parsed.select, parser.ParseSelect());
+  if (parser.Peek().IsKeyword("INSERT") || parser.Peek().IsKeyword("UPDATE") ||
+      parser.Peek().IsKeyword("DELETE")) {
+    if (parsed.explain != ExplainMode::kNone) {
+      return parser.ErrorHere("EXPLAIN is not supported for write statements");
+    }
+    if (parser.Peek().IsKeyword("INSERT")) {
+      parsed.kind = StatementKind::kInsert;
+      CONQUER_ASSIGN_OR_RETURN(parsed.insert, parser.ParseInsert());
+    } else if (parser.Peek().IsKeyword("UPDATE")) {
+      parsed.kind = StatementKind::kUpdate;
+      CONQUER_ASSIGN_OR_RETURN(parsed.update, parser.ParseUpdate());
+    } else {
+      parsed.kind = StatementKind::kDelete;
+      CONQUER_ASSIGN_OR_RETURN(parsed.del, parser.ParseDelete());
+    }
+  } else {
+    CONQUER_ASSIGN_OR_RETURN(parsed.select, parser.ParseSelect());
+  }
   if (parser.Peek().type != TokenType::kEof) {
     return parser.ErrorHere("unexpected trailing input");
   }
   return parsed;
+}
+
+Result<std::unique_ptr<InsertStatement>> Parser::ParseInsert() {
+  CONQUER_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+  CONQUER_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  if (Peek().type != TokenType::kIdentifier) {
+    return ErrorHere("expected table name after INSERT INTO");
+  }
+  auto stmt = std::make_unique<InsertStatement>();
+  stmt->table_name = Advance().text;
+
+  if (Match(TokenType::kLParen)) {
+    while (true) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return ErrorHere("expected column name in INSERT column list");
+      }
+      stmt->columns.push_back(Advance().text);
+      if (!Match(TokenType::kComma)) break;
+    }
+    CONQUER_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+  }
+
+  CONQUER_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  while (true) {
+    CONQUER_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after VALUES"));
+    std::vector<ExprPtr> row;
+    while (true) {
+      CONQUER_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+      if (!Match(TokenType::kComma)) break;
+    }
+    CONQUER_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    if (!stmt->columns.empty() && row.size() != stmt->columns.size()) {
+      return ErrorHere("VALUES tuple arity does not match the column list");
+    }
+    stmt->rows.push_back(std::move(row));
+    if (!Match(TokenType::kComma)) break;
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<UpdateStatement>> Parser::ParseUpdate() {
+  CONQUER_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+  if (Peek().type != TokenType::kIdentifier) {
+    return ErrorHere("expected table name after UPDATE");
+  }
+  auto stmt = std::make_unique<UpdateStatement>();
+  stmt->table_name = Advance().text;
+
+  CONQUER_RETURN_NOT_OK(ExpectKeyword("SET"));
+  while (true) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected column name in SET list");
+    }
+    Assignment a;
+    a.column = Advance().text;
+    CONQUER_RETURN_NOT_OK(Expect(TokenType::kEq, "'=' in SET assignment"));
+    CONQUER_ASSIGN_OR_RETURN(a.value, ParseExpr());
+    stmt->assignments.push_back(std::move(a));
+    if (!Match(TokenType::kComma)) break;
+  }
+
+  if (MatchKeyword("WHERE")) {
+    CONQUER_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<DeleteStatement>> Parser::ParseDelete() {
+  CONQUER_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+  CONQUER_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  if (Peek().type != TokenType::kIdentifier) {
+    return ErrorHere("expected table name after DELETE FROM");
+  }
+  auto stmt = std::make_unique<DeleteStatement>();
+  stmt->table_name = Advance().text;
+  if (MatchKeyword("WHERE")) {
+    CONQUER_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return stmt;
 }
 
 Result<std::unique_ptr<SelectStatement>> Parser::ParseSelect() {

@@ -48,10 +48,26 @@ enum class ExplainMode {
   kAnalyze,  ///< EXPLAIN ANALYZE: execute, print plan + runtime counters
 };
 
-/// \brief A parsed top-level statement: optional EXPLAIN prefix + SELECT.
+/// What kind of top-level statement was parsed.
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+};
+
+/// \brief A parsed top-level statement: optional EXPLAIN prefix + one of
+/// SELECT / INSERT / UPDATE / DELETE (exactly one pointer is set, per
+/// `kind`). EXPLAIN applies only to SELECT.
 struct ParsedStatement {
   ExplainMode explain = ExplainMode::kNone;
+  StatementKind kind = StatementKind::kSelect;
   std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<UpdateStatement> update;
+  std::unique_ptr<DeleteStatement> del;
+
+  bool is_write() const { return kind != StatementKind::kSelect; }
 };
 
 class Parser {
@@ -60,13 +76,17 @@ class Parser {
   /// EXPLAIN prefixes (see ParseStatement).
   static Result<std::unique_ptr<SelectStatement>> Parse(std::string_view sql);
 
-  /// Parses `[EXPLAIN [ANALYZE]] SELECT ...`.
+  /// Parses `[EXPLAIN [ANALYZE]] SELECT ...` or a write statement
+  /// (INSERT / UPDATE / DELETE; EXPLAIN of a write is rejected).
   static Result<ParsedStatement> ParseStatement(std::string_view sql);
 
  private:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<std::unique_ptr<SelectStatement>> ParseSelect();
+  Result<std::unique_ptr<InsertStatement>> ParseInsert();
+  Result<std::unique_ptr<UpdateStatement>> ParseUpdate();
+  Result<std::unique_ptr<DeleteStatement>> ParseDelete();
   Result<ExprPtr> ParseExpr();
   Result<ExprPtr> ParseOr();
   Result<ExprPtr> ParseAnd();

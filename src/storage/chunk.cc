@@ -154,9 +154,35 @@ void Chunk::AppendRow(
       ++zones_[c].null_count;
     } else {
       zones_[c].Widen(stored);
+      // The appended value may duplicate an existing one; a stale
+      // all-distinct flag would let equality scans stop at the first match
+      // and miss this row. AnalyzeStatistics restores the flag.
+      zones_[c].all_distinct = false;
     }
   }
+  if (has_versions()) {
+    begin_versions_.push_back(0);
+    end_versions_.push_back(kVersionMax);
+  }
   ++num_rows_;
+}
+
+void Chunk::EnsureVersions() {
+  if (has_versions()) return;
+  begin_versions_.assign(num_rows_, 0);
+  end_versions_.assign(num_rows_, kVersionMax);
+}
+
+void Chunk::StampBegin(size_t row, uint64_t v) {
+  EnsureVersions();
+  assert(row < num_rows_);
+  begin_versions_[row] = v;
+}
+
+void Chunk::StampEnd(size_t row, uint64_t v) {
+  EnsureVersions();
+  assert(row < num_rows_);
+  end_versions_[row] = v;
 }
 
 void Chunk::SetValue(size_t row, size_t col, const Value& v,
@@ -208,6 +234,8 @@ void Chunk::RecomputeZones(
 uint64_t Chunk::MemoryBytes() const {
   uint64_t bytes = 0;
   for (const ColumnVector& cv : columns_) bytes += cv.MemoryBytes();
+  bytes += (begin_versions_.capacity() + end_versions_.capacity()) *
+           sizeof(uint64_t);
   return bytes;
 }
 

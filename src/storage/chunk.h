@@ -14,6 +14,9 @@ namespace conquer {
 /// \brief One tuple: a vector of values aligned with a schema.
 using Row = std::vector<Value>;
 
+/// \brief End-version stamp of a row version that has not been deleted.
+inline constexpr uint64_t kVersionMax = UINT64_MAX;
+
 /// \brief Per-chunk, per-column statistics used for scan-time skipping.
 ///
 /// min/max are maintained incrementally on append and only *widened* by
@@ -125,6 +128,36 @@ class Chunk {
   void RecomputeZones(
       const std::vector<std::unique_ptr<StringDictionary>>& dicts);
 
+  // ---- MVCC row-version stamps. ----
+  //
+  // Version vectors are allocated lazily by the first stamped write; a chunk
+  // without them holds only rows visible at every snapshot (begin 0, end
+  // kVersionMax). Zone maps and dictionaries keep covering dead versions, so
+  // pruning stays a conservative superset of any snapshot's visible values.
+
+  bool has_versions() const { return !begin_versions_.empty(); }
+
+  /// Allocates the version vectors, stamping existing rows [0, kVersionMax).
+  void EnsureVersions();
+
+  /// Stamps the row's begin version (row becomes visible at `v` and later).
+  void StampBegin(size_t row, uint64_t v);
+
+  /// Stamps the row's end version (row is dead at `v` and later).
+  void StampEnd(size_t row, uint64_t v);
+
+  uint64_t begin_version(size_t row) const {
+    return begin_versions_.empty() ? 0 : begin_versions_[row];
+  }
+  uint64_t end_version(size_t row) const {
+    return end_versions_.empty() ? kVersionMax : end_versions_[row];
+  }
+
+  /// True when the row version is live in the given snapshot.
+  bool RowVisible(size_t row, uint64_t snapshot) const {
+    return begin_version(row) <= snapshot && snapshot < end_version(row);
+  }
+
   uint64_t MemoryBytes() const;
 
  private:
@@ -132,6 +165,8 @@ class Chunk {
   size_t num_rows_ = 0;
   std::vector<ColumnVector> columns_;
   std::vector<ZoneMap> zones_;
+  std::vector<uint64_t> begin_versions_;  ///< empty = all rows begin at 0
+  std::vector<uint64_t> end_versions_;    ///< empty = all rows end at kVersionMax
 };
 
 }  // namespace conquer

@@ -34,6 +34,38 @@ Table::Table(TableSchema schema, size_t chunk_capacity)
   }
 }
 
+Table::Table(Table&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      chunk_capacity_(other.chunk_capacity_),
+      committed_version_(
+          other.committed_version_.load(std::memory_order_relaxed)),
+      num_rows_(other.num_rows_),
+      reserve_hint_(other.reserve_hint_),
+      chunks_(std::move(other.chunks_)),
+      indexes_(std::move(other.indexes_)),
+      stats_(std::move(other.stats_)),
+      dicts_(std::move(other.dicts_)) {
+  other.num_rows_ = 0;
+}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this != &other) {
+    schema_ = std::move(other.schema_);
+    chunk_capacity_ = other.chunk_capacity_;
+    committed_version_.store(
+        other.committed_version_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    num_rows_ = other.num_rows_;
+    reserve_hint_ = other.reserve_hint_;
+    chunks_ = std::move(other.chunks_);
+    indexes_ = std::move(other.indexes_);
+    stats_ = std::move(other.stats_);
+    dicts_ = std::move(other.dicts_);
+    other.num_rows_ = 0;
+  }
+  return *this;
+}
+
 Chunk* Table::AppendChunk() {
   if (chunks_.empty() || chunks_.back()->full()) {
     chunks_.push_back(std::make_unique<Chunk>(&schema_, chunk_capacity_));
@@ -106,6 +138,31 @@ Status Table::Insert(Row row) {
 
 void Table::InsertUnchecked(const Row& row) { AppendToStorage(row); }
 
+Status Table::InsertVersioned(Row row, uint64_t begin_version) {
+  const size_t pos = num_rows_;
+  Status st = Insert(std::move(row));
+  if (!st.ok()) return st;
+  chunks_[pos / chunk_capacity_]->StampBegin(pos % chunk_capacity_,
+                                             begin_version);
+  return Status::OK();
+}
+
+void Table::MarkRowDead(size_t pos, uint64_t v) {
+  chunks_[pos / chunk_capacity_]->StampEnd(pos % chunk_capacity_, v);
+}
+
+std::vector<size_t> Table::VisibleRowPositions(uint64_t snapshot) const {
+  std::vector<size_t> out;
+  out.reserve(num_rows_);
+  size_t pos = 0;
+  for (const auto& ch : chunks_) {
+    for (size_t r = 0; r < ch->num_rows(); ++r, ++pos) {
+      if (ch->RowVisible(r, snapshot)) out.push_back(pos);
+    }
+  }
+  return out;
+}
+
 void Table::Clear() {
   chunks_.clear();
   num_rows_ = 0;
@@ -129,7 +186,17 @@ void Table::Rechunk(size_t capacity) {
   for (const auto& ch : old) {
     for (size_t r = 0; r < ch->num_rows(); ++r, ++pos) {
       ch->MaterializeRow(r, &scratch, dicts_);
-      AppendChunk()->AppendRow(scratch, dicts_);
+      Chunk* dst = AppendChunk();
+      const size_t local = dst->num_rows();
+      dst->AppendRow(scratch, dicts_);
+      // Carry version stamps across the rebuild: losing them would resurrect
+      // deleted rows (or hide fresh ones) for pinned snapshots.
+      if (ch->has_versions()) {
+        const uint64_t b = ch->begin_version(r);
+        const uint64_t e = ch->end_version(r);
+        if (b != 0) dst->StampBegin(local, b);
+        if (e != kVersionMax) dst->StampEnd(local, e);
+      }
     }
   }
 }

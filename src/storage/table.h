@@ -1,6 +1,7 @@
 #ifndef CONQUER_STORAGE_TABLE_H_
 #define CONQUER_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,6 +72,12 @@ class Table {
   explicit Table(TableSchema schema,
                  size_t chunk_capacity = kDefaultChunkCapacity);
 
+  // Movable for construction-time handoff (tests, loaders). The atomic
+  // committed-version counter transfers with relaxed ordering: a move must
+  // not race with concurrent readers or in-flight writes.
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
+
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.table_name(); }
 
@@ -112,6 +119,48 @@ class Table {
   void Reserve(size_t n) { reserve_hint_ = n; }
   void Clear();
 
+  // ---- MVCC write versioning. ----
+  //
+  // Writes run exclusively (behind the engine's exclusive admission ticket),
+  // so version stamping itself needs no synchronization; only the committed
+  // version counter is atomic so readers can pin a snapshot without a lock.
+  // A scan admitted at snapshot S sees exactly the row versions with
+  // begin <= S < end; bulk-loaded rows carry the implicit range
+  // [0, kVersionMax) and are visible everywhere.
+
+  /// The latest committed version; scans pin this as their snapshot.
+  uint64_t committed_version() const {
+    return committed_version_.load(std::memory_order_acquire);
+  }
+
+  /// The version a new write should stamp (committed + 1). The write is
+  /// invisible to concurrent snapshots until CommitWrite publishes it.
+  uint64_t BeginWrite() const {
+    return committed_version_.load(std::memory_order_relaxed) + 1;
+  }
+
+  /// Publishes version `v`; subsequent snapshots include its rows.
+  void CommitWrite(uint64_t v) {
+    committed_version_.store(v, std::memory_order_release);
+  }
+
+  /// Inserts a row version first visible at `begin_version` (same checks
+  /// and index maintenance as Insert).
+  Status InsertVersioned(Row row, uint64_t begin_version);
+
+  /// Stamps row `pos` dead as of version `v` (DELETE, or the old version
+  /// under UPDATE).
+  void MarkRowDead(size_t pos, uint64_t v);
+
+  /// True when global row position `pos` is visible at `snapshot`.
+  bool RowVisibleAt(size_t pos, uint64_t snapshot) const {
+    return chunks_[pos / chunk_capacity_]->RowVisible(pos % chunk_capacity_,
+                                                      snapshot);
+  }
+
+  /// All row positions visible at `snapshot`, in position order.
+  std::vector<size_t> VisibleRowPositions(uint64_t snapshot) const;
+
   /// Rebuilds the chunked storage with a new per-chunk capacity (row order,
   /// positions, dictionaries and indexes are preserved; zone maps are
   /// recomputed exactly). Used by tests to sweep chunk geometries.
@@ -146,6 +195,7 @@ class Table {
 
   TableSchema schema_;
   size_t chunk_capacity_ = kDefaultChunkCapacity;
+  std::atomic<uint64_t> committed_version_{0};
   size_t num_rows_ = 0;
   size_t reserve_hint_ = 0;
   std::vector<std::unique_ptr<Chunk>> chunks_;

@@ -38,12 +38,14 @@ bool SameResults(const ResultSet& a, const ResultSet& b) {
 
 class ServiceStressTest : public ::testing::Test {
  protected:
-  void SetUp() override {
+  /// Seeds `db` with the shared fact table (deterministic, so a second
+  /// Database built here is bit-identical to the fixture's).
+  static void PopulateFact(Database* db) {
     TableSchema fact("fact", {{"g", DataType::kInt64},
                               {"name", DataType::kString},
                               {"val", DataType::kDouble},
                               {"prob", DataType::kDouble}});
-    ASSERT_TRUE(db_.CreateTable(fact).ok());
+    ASSERT_TRUE(db->CreateTable(fact).ok());
     Rng rng(42);
     std::vector<Row> rows;
     rows.reserve(2000);
@@ -53,8 +55,12 @@ class ServiceStressTest : public ::testing::Test {
                       Value::Double(rng.NextDouble()),
                       Value::Double(rng.NextDouble())});
     }
-    ASSERT_TRUE(db_.InsertMany("fact", std::move(rows)).ok());
-    ASSERT_TRUE(db_.Analyze("fact").ok());
+    ASSERT_TRUE(db->InsertMany("fact", std::move(rows)).ok());
+    ASSERT_TRUE(db->Analyze("fact").ok());
+  }
+
+  void SetUp() override {
+    PopulateFact(&db_);
     // All stress queries ORDER BY, so row order is part of the contract.
     queries_ = {
         "select g, sum(prob) from fact group by g order by g",
@@ -209,6 +215,102 @@ TEST_F(ServiceStressTest, SetThreadsUnderLoadIsSafe) {
   stop.store(true);
   for (auto& t : clients) t.join();
   EXPECT_EQ(bad.load(), 0);
+  db_.SetThreads(1);
+}
+
+// A writer session mutating the table while kClients readers hammer it
+// with a snapshot probe. Writes run serialized behind exclusive admission,
+// so every concurrent read must observe the database state after some
+// prefix of the write script — never a torn intermediate — and the final
+// table contents must match a single-threaded replay of the same script.
+TEST_F(ServiceStressTest, WriterUnderQueryLoadMatchesSerializedReplay) {
+  // The write script targets a dedicated g = 999 stripe: 24 inserts with a
+  // delete after every fourth, so cardinality moves both ways.
+  std::vector<std::string> script;
+  for (int i = 0; i < 24; ++i) {
+    script.push_back("insert into fact values (999, 'w" + std::to_string(i) +
+                     "', " + std::to_string(i) + ".125, 0.5)");
+    if (i % 4 == 3) {
+      script.push_back("delete from fact where g = 999 and name = 'w" +
+                       std::to_string(i - 2) + "'");
+    }
+  }
+  const std::string probe =
+      "select count(*), sum(val) from fact where g = 999";
+  const std::string stripe =
+      "select g, name, val, prob from fact where g = 999 "
+      "order by name, val, prob";
+
+  // Serial oracle: replay the script on an identical database, recording
+  // the probe answer after every prefix (including the empty one).
+  Database oracle_db;
+  PopulateFact(&oracle_db);
+  std::vector<ResultSet> states;
+  {
+    auto rs = oracle_db.Query(probe);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    states.push_back(std::move(rs).value());
+  }
+  for (const std::string& w : script) {
+    ASSERT_TRUE(oracle_db.ExecuteWrite(w).ok()) << w;
+    auto rs = oracle_db.Query(probe);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    states.push_back(std::move(rs).value());
+  }
+
+  db_.SetThreads(3);
+  db_.mutable_exec_context()->morsel_size = 128;
+  ServiceOptions options;
+  options.max_concurrent_queries = 4;
+  QueryService service(&db_, options);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> torn_reads{0};
+  std::vector<std::thread> readers;
+  for (int tid = 0; tid < kClients; ++tid) {
+    readers.emplace_back([&] {
+      auto session = service.CreateSession();
+      while (!done.load(std::memory_order_relaxed)) {
+        auto rs = session->Execute(probe);
+        if (!rs.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        bool matched = false;
+        for (const ResultSet& s : states) {
+          if (SameResults(*rs, s)) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) torn_reads.fetch_add(1);
+      }
+    });
+  }
+  {
+    auto writer = service.CreateSession("writer");
+    for (const std::string& w : script) {
+      auto rs = writer->Execute(w);  // service routes writes exclusively
+      if (!rs.ok()) failures.fetch_add(1);
+    }
+  }
+  done.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_EQ(service.stats().query_errors, 0u);
+
+  // Final state: the concurrent run left exactly the serial replay's rows.
+  auto got = service.ExecuteSql(stripe);
+  auto want = oracle_db.Query(stripe);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  EXPECT_TRUE(SameResults(*got, *want));
+  auto final_probe = service.ExecuteSql(probe);
+  ASSERT_TRUE(final_probe.ok());
+  EXPECT_TRUE(SameResults(*final_probe, states.back()));
   db_.SetThreads(1);
 }
 

@@ -152,11 +152,81 @@ TEST(FuzzOracleTest, MutantsExerciseRejectPath) {
   EXPECT_GT(mutants, 0u);
 }
 
+// The mutation-stage acceptance property: an injected renormalization bug
+// (incremental maintenance skips the first touched cluster) is caught by
+// the maintenance oracle and shrinks to a reproducer of at most 6 write
+// steps that passes once the bug is gone.
+TEST(FuzzOracleTest, RenormSkipIsCaughtAndShrinksToFewWrites) {
+  FuzzConfig cfg;
+  cfg.mutant_rate = 0.0;
+  cfg.write_rate = 1.0;  // every rewritable case carries writes
+  OracleOptions opts = FastOracleOptions();
+  opts.inject = BugInjection::kRenormSkip;
+
+  FuzzCase failing;
+  bool found = false;
+  for (uint64_t seed = 1; seed < 64 && !found; ++seed) {
+    FuzzCase c = GenerateCase(seed, cfg);
+    if (c.writes.empty()) continue;
+    auto report = RunOracles(c, opts);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    if (!report->ok()) {
+      EXPECT_EQ(report->kind, ViolationKind::kMaintenance)
+          << report->violation;
+      failing = std::move(c);
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no seed in [1, 64) trips the injected renorm bug";
+
+  auto probe = [&](const FuzzCase& cand) {
+    auto report = RunOracles(cand, opts);
+    return report.ok() ? report->kind : ViolationKind::kNone;
+  };
+  ShrinkStats stats;
+  FuzzCase shrunk = ShrinkCase(failing, probe, &stats);
+  EXPECT_LE(shrunk.writes.size(), 6u);
+  EXPECT_LE(shrunk.tables.size(), 2u);
+  EXPECT_GT(stats.attempts, 0u);
+  EXPECT_NE(probe(shrunk), ViolationKind::kNone);
+
+  // The shrunk case survives a corpus round trip with its write steps.
+  std::string text = SerializeCase(shrunk, "renorm_skip shrink test");
+  auto parsed = ParseCaseText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+  ASSERT_EQ(parsed->writes.size(), shrunk.writes.size());
+  EXPECT_NE(probe(*parsed), ViolationKind::kNone);
+
+  // A clean engine passes the same case, writes included.
+  auto clean = RunOracles(shrunk, FastOracleOptions());
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(clean->ok()) << clean->violation;
+}
+
+TEST(FuzzOracleTest, MutationStageRunsCleanOnManySeeds) {
+  FuzzConfig cfg;
+  cfg.mutant_rate = 0.0;
+  cfg.write_rate = 1.0;
+  OracleOptions opts = FastOracleOptions();
+  size_t with_writes = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    FuzzCase c = GenerateCase(seed, cfg);
+    if (!c.writes.empty()) ++with_writes;
+    auto report = RunOracles(c, opts);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok())
+        << "seed " << seed << ": [" << ViolationKindToString(report->kind)
+        << "] " << report->violation;
+  }
+  EXPECT_GT(with_writes, 0u);
+}
+
 TEST(FuzzOracleTest, ParseBugInjectionNames) {
   EXPECT_TRUE(ParseBugInjection("none").ok());
   EXPECT_TRUE(ParseBugInjection("prob_bias").ok());
   EXPECT_TRUE(ParseBugInjection("drop_answer").ok());
   EXPECT_TRUE(ParseBugInjection("parallel_skew").ok());
+  EXPECT_TRUE(ParseBugInjection("renorm_skip").ok());
   EXPECT_FALSE(ParseBugInjection("nonsense").ok());
 }
 

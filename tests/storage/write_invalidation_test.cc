@@ -1,0 +1,184 @@
+// Stale-metadata regressions around the online write path.
+//
+// The headline regression: a chunk's all-distinct zone flag let equality
+// scans stop after the first hit, so appending a duplicate key into an
+// analyzed chunk silently dropped the second match. AppendRow now clears
+// the flag (Analyze re-derives it). The remaining tests prove the broader
+// contract — writes widen or invalidate chunk metadata conservatively, so
+// zone pruning never produces a false skip, and Analyze re-tightens the
+// maps afterwards without changing any result.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/database.h"
+#include "exec/query_stats.h"
+#include "storage/table.h"
+#include "types/value.h"
+
+namespace conquer {
+namespace {
+
+uint64_t SumMetric(const PlanNodeStats& node,
+                   uint64_t OperatorMetrics::*field) {
+  uint64_t total = node.metrics.*field;
+  for (const auto& child : node.children) total += SumMetric(child, field);
+  return total;
+}
+
+void ExpectSameResults(const ResultSet& a, const ResultSet& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    ASSERT_EQ(a.rows[r].size(), b.rows[r].size());
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      EXPECT_EQ(a.rows[r][c].TotalCompare(b.rows[r][c]), 0)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+class WriteInvalidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.CreateTable(TableSchema("m", {{"k", DataType::kInt64},
+                                          {"v", DataType::kDouble}}))
+            .ok());
+    std::vector<Row> rows;
+    for (int i = 0; i < 100; ++i) {
+      rows.push_back({Value::Int(i), Value::Double(i * 0.25)});
+    }
+    ASSERT_TRUE(db_.InsertMany("m", std::move(rows)).ok());
+    auto t = db_.GetTable("m");
+    ASSERT_TRUE(t.ok());
+    table_ = *t;
+    // Keys arrive in order, so capacity 10 gives chunks with disjoint
+    // zones [0,9], [10,19], ..., [90,99].
+    table_->Rechunk(10);
+    ASSERT_TRUE(db_.Analyze("m").ok());
+  }
+
+  ResultSet Run(const std::string& sql, QueryStats* stats = nullptr) {
+    auto rs = db_.Query(sql, stats);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString() << " for: " << sql;
+    return rs.ok() ? std::move(rs).value() : ResultSet{};
+  }
+
+  /// Runs `sql` twice, with zone pruning on and off, asserts both give the
+  /// same rows (no false skips), and returns the pruned run's result.
+  ResultSet RunBothModes(const std::string& sql) {
+    ResultSet pruned = Run(sql);
+    db_.mutable_exec_context()->enable_zone_pruning = false;
+    ResultSet full = Run(sql);
+    db_.mutable_exec_context()->enable_zone_pruning = true;
+    ExpectSameResults(pruned, full);
+    return pruned;
+  }
+
+  int64_t Write(const std::string& sql) {
+    auto rs = db_.ExecuteWrite(sql);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString() << " for: " << sql;
+    return rs.ok() ? rs->rows[0][0].int_value() : -1;
+  }
+
+  Database db_;
+  Table* table_ = nullptr;
+};
+
+// The footgun itself: Analyze marks the populated chunk all-distinct; an
+// appended duplicate must clear that flag or the equality scan's
+// first-hit early exit drops the new row.
+TEST_F(WriteInvalidationTest, DuplicateAppendIntoAnalyzedChunkFindsBothRows) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(TableSchema("u", {{"a", DataType::kInt64},
+                                       {"p", DataType::kDouble}}))
+          .ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({Value::Int(i), Value::Double(0.5)});
+  }
+  ASSERT_TRUE(db.InsertMany("u", std::move(rows)).ok());
+  ASSERT_TRUE(db.Analyze("u").ok());  // sets the all-distinct flag
+
+  auto wr = db.ExecuteWrite("insert into u values (5, 0.5)");
+  ASSERT_TRUE(wr.ok()) << wr.status().ToString();
+
+  auto count = db.Query("select count(*) from u where a = 5");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count->rows[0][0].int_value(), 2);
+  // The contrast run without pruning (and without any zone shortcuts on
+  // the scan) must agree.
+  db.mutable_exec_context()->enable_zone_pruning = false;
+  auto full = db.Query("select count(*) from u where a = 5");
+  db.mutable_exec_context()->enable_zone_pruning = true;
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->rows[0][0].int_value(), 2);
+}
+
+TEST_F(WriteInvalidationTest, PruningStaysSoundAfterInsertAndUpdate) {
+  EXPECT_EQ(Write("insert into m values (5, 1.5)"), 1);
+  EXPECT_EQ(Write("update m set v = 9.5 where k = 97"), 1);
+
+  // Point query hitting the freshly appended duplicate.
+  ResultSet dup = RunBothModes("select count(*) from m where k = 5");
+  EXPECT_EQ(dup.rows[0][0].int_value(), 2);
+  // The updated row is visible exactly once with its new value; the dead
+  // old version still sits in a chunk whose zone covers k = 97.
+  ResultSet upd = RunBothModes("select v from m where k = 97");
+  ASSERT_EQ(upd.rows.size(), 1u);
+  EXPECT_EQ(upd.rows[0][0].AsDouble(), 9.5);
+  // Full-table agreement between pruned and unpruned scans.
+  RunBothModes("select k, v from m order by k, v");
+}
+
+TEST_F(WriteInvalidationTest, AnalyzeRetightensZonesAfterWrites) {
+  EXPECT_EQ(Write("insert into m values (5, 1.5)"), 1);
+  EXPECT_EQ(Write("delete from m where k = 98"), 1);
+  ASSERT_TRUE(db_.Analyze("m").ok());
+
+  QueryStats stats;
+  ResultSet rs = Run("select v from m where k >= 95", &stats);
+  EXPECT_EQ(rs.rows.size(), 4u);  // 95, 96, 97, 99
+  // All low chunks (and the appended chunk holding only k = 5) are
+  // provably dead again after Analyze.
+  EXPECT_GE(SumMetric(stats.plan, &OperatorMetrics::chunks_skipped), 9u);
+  // And re-tightening changed no answers.
+  RunBothModes("select k, v from m order by k, v");
+}
+
+// Rechunking rebuilds the columnar storage; it must carry the MVCC stamps
+// along or deleted rows resurrect.
+TEST_F(WriteInvalidationTest, DeletedRowsStayDeadAfterRechunk) {
+  EXPECT_EQ(Write("delete from m where k = 7"), 1);
+  EXPECT_EQ(Run("select count(*) from m").rows[0][0].int_value(), 99);
+
+  table_->Rechunk(16);
+  EXPECT_EQ(Run("select count(*) from m").rows[0][0].int_value(), 99);
+  ResultSet gone = RunBothModes("select v from m where k = 7");
+  EXPECT_EQ(gone.rows.size(), 0u);
+}
+
+TEST_F(WriteInvalidationTest, IndexedLookupsTrackWritesAndVersions) {
+  ASSERT_TRUE(table_->CreateIndex("k").ok());
+
+  EXPECT_EQ(Write("insert into m values (5, 1.5)"), 1);
+  EXPECT_EQ(RunBothModes("select count(*) from m where k = 5")
+                .rows[0][0]
+                .int_value(),
+            2);
+
+  // Deleting the key removes both versions from every access path.
+  EXPECT_EQ(Write("delete from m where k = 5"), 2);
+  EXPECT_EQ(RunBothModes("select count(*) from m where k = 5")
+                .rows[0][0]
+                .int_value(),
+            0);
+  EXPECT_EQ(Run("select count(*) from m").rows[0][0].int_value(), 99);
+}
+
+}  // namespace
+}  // namespace conquer

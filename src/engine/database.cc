@@ -270,36 +270,43 @@ Result<ResultSet> Database::ExecuteWrite(std::string_view sql,
   // guarantees no query overlaps this call, so the intermediate state is
   // never observed.
   const uint64_t version = table->BeginWrite();
-  WriteResult wr;
-  switch (parsed.kind) {
-    case StatementKind::kInsert: {
-      CONQUER_ASSIGN_OR_RETURN(BoundInsert bound,
-                               binder.BindInsert(std::move(parsed.insert)));
-      CONQUER_ASSIGN_OR_RETURN(
-          wr, ExecuteInsert(table, bound, version, id_column));
-      break;
+  Result<WriteResult> executed = [&]() -> Result<WriteResult> {
+    switch (parsed.kind) {
+      case StatementKind::kInsert: {
+        CONQUER_ASSIGN_OR_RETURN(BoundInsert bound,
+                                 binder.BindInsert(std::move(parsed.insert)));
+        return ExecuteInsert(table, bound, version, id_column);
+      }
+      case StatementKind::kUpdate: {
+        CONQUER_ASSIGN_OR_RETURN(BoundUpdate bound,
+                                 binder.BindUpdate(std::move(parsed.update)));
+        return ExecuteUpdate(table, bound, version, id_column);
+      }
+      case StatementKind::kDelete: {
+        CONQUER_ASSIGN_OR_RETURN(BoundDelete bound,
+                                 binder.BindDelete(std::move(parsed.del)));
+        return ExecuteDelete(table, bound, version, id_column);
+      }
+      case StatementKind::kSelect:
+        break;
     }
-    case StatementKind::kUpdate: {
-      CONQUER_ASSIGN_OR_RETURN(BoundUpdate bound,
-                               binder.BindUpdate(std::move(parsed.update)));
-      CONQUER_ASSIGN_OR_RETURN(
-          wr, ExecuteUpdate(table, bound, version, id_column));
-      break;
-    }
-    case StatementKind::kDelete: {
-      CONQUER_ASSIGN_OR_RETURN(BoundDelete bound,
-                               binder.BindDelete(std::move(parsed.del)));
-      CONQUER_ASSIGN_OR_RETURN(
-          wr, ExecuteDelete(table, bound, version, id_column));
-      break;
-    }
-    case StatementKind::kSelect:
-      return Status::Internal("unreachable: SELECT in write path");
+    return Status::Internal("unreachable: SELECT in write path");
+  }();
+
+  Status status = executed.status();
+  if (status.ok() && hook != nullptr && hook->after_write != nullptr) {
+    status = hook->after_write(table, executed->touched_ids, version);
+  }
+  if (!status.ok()) {
+    // Roll the write back physically. BeginWrite hands the same version to
+    // the next write (committed_version_ is unchanged), so any stamps left
+    // behind here would be published by that write's commit — phantom
+    // inserts appearing and aborted deletes vanishing.
+    table->AbortWrite(version);
+    return status;
   }
 
-  if (hook != nullptr && hook->after_write != nullptr) {
-    CONQUER_RETURN_NOT_OK(hook->after_write(table, wr.touched_ids, version));
-  }
+  WriteResult wr = std::move(executed).value();
   if (touched_ids != nullptr) *touched_ids = std::move(wr.touched_ids);
   table->CommitWrite(version);
   // Cached plans may hold pruning metadata or row counts from before this

@@ -29,7 +29,9 @@ namespace conquer {
 /// write statement against the table — still inside the exclusive write
 /// section, before the new version is committed — the engine invokes
 /// `after_write` with the values of `id_column` in every touched row version
-/// (old and new). A non-OK status aborts the write's commit.
+/// (old and new). A non-OK status aborts the write: its version stamps are
+/// physically rolled back (Table::AbortWrite) and the commit is skipped, so
+/// the hook must not leave partial in-place mutations of its own behind.
 struct WriteMaintenanceHook {
   /// Column whose values identify the maintenance unit (e.g. the dirty
   /// cluster id column).

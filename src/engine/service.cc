@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/str_util.h"
 #include "sql/normalize.h"
 #include "sql/parser.h"
 
@@ -20,10 +21,22 @@ bool IsExplain(const std::string& normalized_sql) {
   return normalized_sql.rfind("EXPLAIN", 0) == 0;
 }
 
+/// True when the normalized SQL starts with the word `kw`. The write words
+/// are soft keywords, so normalization preserves their original case —
+/// match case-insensitively and require a word boundary.
+bool StartsWithWord(const std::string& normalized_sql, std::string_view kw) {
+  if (normalized_sql.size() < kw.size()) return false;
+  if (normalized_sql.size() > kw.size() && normalized_sql[kw.size()] != ' ') {
+    return false;
+  }
+  return EqualsIgnoreCase(
+      std::string_view(normalized_sql).substr(0, kw.size()), kw);
+}
+
 bool IsWrite(const std::string& normalized_sql) {
-  return normalized_sql.rfind("INSERT", 0) == 0 ||
-         normalized_sql.rfind("UPDATE", 0) == 0 ||
-         normalized_sql.rfind("DELETE", 0) == 0;
+  return StartsWithWord(normalized_sql, "INSERT") ||
+         StartsWithWord(normalized_sql, "UPDATE") ||
+         StartsWithWord(normalized_sql, "DELETE");
 }
 
 }  // namespace

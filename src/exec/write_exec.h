@@ -27,7 +27,10 @@ struct WriteResult {
 /// caller allocates `version = table->BeginWrite()` and publishes it with
 /// `table->CommitWrite(version)` after the executor (and any maintenance
 /// hook) returns; readers admitted before the commit pinned the previous
-/// snapshot and never see the new stamps.
+/// snapshot and never see the new stamps. The executors may fail midway
+/// with stamps already applied (e.g. a later VALUES tuple fails its type
+/// check) — on any error the caller must `table->AbortWrite(version)` so
+/// the partial stamps are not published by a later commit.
 ///
 /// UPDATE and DELETE evaluate their predicate over the rows visible at
 /// `version - 1` (the snapshot being superseded); UPDATE stamps the old

@@ -43,24 +43,41 @@ std::vector<uint32_t> TupleValueIndices(const Table& table, size_t row,
   return out;
 }
 
-/// Renormalizes one cluster's probabilities in place over its visible
-/// member rows, exactly as the batch assigner's steps 1-3 but with the
-/// total weight taken from the visible row count.
-Status RenormalizeCluster(Table* table, const std::vector<size_t>& members,
+/// One deferred Table::SetValue. Maintenance computes into a staging list
+/// and the caller applies it only after every touched cluster succeeded, so
+/// a failure midway leaves the committed probabilities and identifiers
+/// untouched (matching the write path's abort contract). Staging is sound
+/// because maintenance only ever writes the id and probability columns and
+/// only ever reads the attribute columns.
+struct StagedWrite {
+  size_t row;
+  size_t col;
+  Value value;
+};
+
+using ClusterMembers =
+    std::unordered_map<Value, std::vector<size_t>, ValueHash>;
+
+/// Computes one cluster's renormalized probabilities over its visible
+/// member rows into `staged`, exactly as the batch assigner's steps 1-3 but
+/// with the total weight taken from the visible row count.
+Status RenormalizeCluster(const Table& table,
+                          const std::vector<size_t>& members,
                           const std::vector<size_t>& attrs, size_t prob_col,
-                          double total_weight, ValueSpace* space) {
+                          double total_weight, ValueSpace* space,
+                          std::vector<StagedWrite>* staged) {
   if (members.empty()) return Status::OK();  // cluster fully deleted
   if (members.size() == 1) {
-    table->SetValue(members[0], prob_col, Value::Double(1.0));
+    staged->push_back({members[0], prob_col, Value::Double(1.0)});
     return Status::OK();
   }
   CONQUER_ASSIGN_OR_RETURN(
-      Dcf rep, BuildClusterRepresentative(*table, members, attrs, space));
+      Dcf rep, BuildClusterRepresentative(table, members, attrs, space));
   double s_sum = 0.0;
   std::vector<double> dist(members.size());
   for (size_t i = 0; i < members.size(); ++i) {
     Dcf tuple =
-        Dcf::ForTuple(TupleValueIndices(*table, members[i], attrs, space));
+        Dcf::ForTuple(TupleValueIndices(table, members[i], attrs, space));
     dist[i] = InformationLossDistance(tuple, rep, total_weight);
     s_sum += dist[i];
   }
@@ -71,24 +88,35 @@ Status RenormalizeCluster(Table* table, const std::vector<size_t>& members,
     } else {
       prob = (1.0 - dist[i] / s_sum) / static_cast<double>(members.size() - 1);
     }
-    table->SetValue(members[i], prob_col, Value::Double(prob));
+    staged->push_back({members[i], prob_col, Value::Double(prob)});
   }
   return Status::OK();
 }
 
 /// Fresh cluster identifier for an unmatched NULL-id insert: "m<N>" for
-/// string identifiers, max+1 for integer ones.
+/// string identifiers, max+1 for integer ones. Identifiers are user data,
+/// so every candidate is probed against the membership map (which already
+/// includes earlier fresh assignments) until one is unused — otherwise the
+/// new singleton would silently join an unrelated existing cluster.
 Value FreshIdentifier(const Table& table, size_t id_col,
-                      const std::vector<size_t>& visible, size_t counter) {
+                      const std::vector<size_t>& visible,
+                      const ClusterMembers& members, size_t* counter) {
   if (table.schema().column(id_col).type == DataType::kString) {
-    return Value::String("m" + std::to_string(visible.size() + counter));
+    while (true) {
+      Value cand =
+          Value::String("m" + std::to_string(visible.size() + (*counter)++));
+      if (members.find(cand) == members.end()) return cand;
+    }
   }
   int64_t max_id = 0;
   for (size_t pos : visible) {
     Value v = table.ValueAt(pos, id_col);
     if (!v.is_null()) max_id = std::max(max_id, v.int_value());
   }
-  return Value::Int(max_id + 1 + static_cast<int64_t>(counter));
+  while (true) {
+    Value cand = Value::Int(max_id + 1 + static_cast<int64_t>((*counter)++));
+    if (members.find(cand) == members.end()) return cand;
+  }
 }
 
 }  // namespace
@@ -129,7 +157,7 @@ Result<size_t> ReassignClusters(Table* table, const DirtyTableInfo& info,
 
   // Visible membership of every cluster (needed both for renormalization
   // and for matching NULL-id inserts against all representatives).
-  std::unordered_map<Value, std::vector<size_t>, ValueHash> members;
+  ClusterMembers members;
   std::vector<size_t> null_rows;
   for (size_t pos : visible) {
     Value id = table->ValueAt(pos, id_col);
@@ -141,6 +169,11 @@ Result<size_t> ReassignClusters(Table* table, const DirtyTableInfo& info,
   }
 
   ValueSpace space;
+  // Every in-place write is staged and applied only once the whole pass has
+  // succeeded: a failure on the Nth touched cluster must not leave the
+  // first N-1 already renormalized (the write aborts, but SetValue mutates
+  // committed-visible rows that no rollback could restore).
+  std::vector<StagedWrite> staged;
 
   // Match rows inserted without a cluster identifier against the existing
   // cluster representatives; join the nearest within the threshold, else
@@ -165,9 +198,9 @@ Result<size_t> ReassignClusters(Table* table, const DirtyTableInfo& info,
       }
       Value assigned = best_id != nullptr
                            ? *best_id
-                           : FreshIdentifier(*table, id_col, visible,
-                                             fresh_counter++);
-      table->SetValue(pos, id_col, assigned);
+                           : FreshIdentifier(*table, id_col, visible, members,
+                                             &fresh_counter);
+      staged.push_back({pos, id_col, assigned});
       members[assigned].push_back(pos);
       if (touched_set.insert(assigned).second) touched.push_back(assigned);
     }
@@ -181,10 +214,12 @@ Result<size_t> ReassignClusters(Table* table, const DirtyTableInfo& info,
   for (size_t i = first; i < touched.size(); ++i) {
     auto it = members.find(touched[i]);
     if (it == members.end()) continue;  // cluster fully deleted
-    CONQUER_RETURN_NOT_OK(RenormalizeCluster(table, it->second, attrs,
-                                             prob_col, total_weight, &space));
+    CONQUER_RETURN_NOT_OK(RenormalizeCluster(*table, it->second, attrs,
+                                             prob_col, total_weight, &space,
+                                             &staged));
     ++renormalized;
   }
+  for (const StagedWrite& w : staged) table->SetValue(w.row, w.col, w.value);
   return renormalized;
 }
 

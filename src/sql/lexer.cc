@@ -10,10 +10,6 @@
 
 namespace conquer {
 
-bool Token::IsKeyword(const char* kw) const {
-  return type == TokenType::kKeyword && EqualsIgnoreCase(text, kw);
-}
-
 namespace {
 const std::unordered_set<std::string>& Keywords() {
   static const std::unordered_set<std::string> kKeywords = {
@@ -21,10 +17,28 @@ const std::unordered_set<std::string>& Keywords() {
       "ASC",    "DESC",     "LIMIT",   "AND",   "OR",    "NOT",   "LIKE",
       "BETWEEN", "IN",      "IS",      "NULL",  "AS",    "DATE",  "TRUE",
       "FALSE",  "SUM",      "COUNT",   "AVG",   "MIN",   "MAX",   "HAVING",
-      "JOIN",   "ON",       "INNER",   "EXISTS", "EXPLAIN", "ANALYZE",
-      "INSERT", "INTO",     "VALUES",  "UPDATE", "SET",   "DELETE"};
+      "JOIN",   "ON",       "INNER",   "EXISTS", "EXPLAIN", "ANALYZE"};
   return kKeywords;
 }
+
+/// The write-statement words are soft keywords: they lex as plain
+/// identifiers (so SELECT workloads that predate the write path can keep
+/// columns or tables named `values`, `set`, ... without quoting), and the
+/// parser recognizes them in keyword position through Token::IsKeyword.
+const std::unordered_set<std::string>& SoftKeywords() {
+  static const std::unordered_set<std::string> kSoft = {
+      "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE"};
+  return kSoft;
+}
+}  // namespace
+
+bool Token::IsKeyword(const char* kw) const {
+  if (type == TokenType::kKeyword) return EqualsIgnoreCase(text, kw);
+  return type == TokenType::kIdentifier && !quoted &&
+         EqualsIgnoreCase(text, kw) && SoftKeywords().count(kw) > 0;
+}
+
+namespace {
 
 bool IsIdentStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -175,6 +189,7 @@ Result<Token> Lexer::NextToken() {
     }
     tok.type = TokenType::kIdentifier;
     tok.text = std::string(sql_.substr(start, pos_ - start));
+    tok.quoted = true;  // "values" stays an identifier even in keyword spots
     ++pos_;
     return tok;
   }

@@ -38,7 +38,12 @@ struct Token {
   int64_t int_value = 0;
   double double_value = 0.0;
   size_t position = 0;  ///< byte offset in the SQL string
+  bool quoted = false;  ///< identifier was "quoted" (never a keyword)
 
+  /// True when this token spells keyword `kw` (upper-case) — either as a
+  /// reserved word, or as an unquoted identifier matching one of the soft
+  /// keywords (the write-statement words INSERT/INTO/VALUES/UPDATE/SET/
+  /// DELETE, which stay usable as column and table names).
   bool IsKeyword(const char* kw) const;
 };
 

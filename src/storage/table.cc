@@ -151,6 +151,19 @@ void Table::MarkRowDead(size_t pos, uint64_t v) {
   chunks_[pos / chunk_capacity_]->StampEnd(pos % chunk_capacity_, v);
 }
 
+void Table::AbortWrite(uint64_t v) {
+  for (auto& ch : chunks_) {
+    if (!ch->has_versions()) continue;
+    for (size_t r = 0; r < ch->num_rows(); ++r) {
+      // Exactly one write stamps `v`, so begin==v identifies its inserts
+      // (incl. UPDATE's new versions) and end==v its deletes. Rows it
+      // deleted had begin < v, so the two reverts never collide.
+      if (ch->begin_version(r) == v) ch->StampBegin(r, kVersionMax);
+      if (ch->end_version(r) == v) ch->StampEnd(r, kVersionMax);
+    }
+  }
+}
+
 std::vector<size_t> Table::VisibleRowPositions(uint64_t snapshot) const {
   std::vector<size_t> out;
   out.reserve(num_rows_);

@@ -144,6 +144,15 @@ class Table {
     committed_version_.store(v, std::memory_order_release);
   }
 
+  /// Physically reverts every stamp made at version `v` after a failed
+  /// write: rows inserted at `v` become permanent tombstones (begin pushed
+  /// to kVersionMax, visible at no snapshot) and rows stamped dead at `v`
+  /// are resurrected (end restored to kVersionMax). Without this, the next
+  /// write would reuse `v` — BeginWrite is committed+1 and the abort never
+  /// advanced it — and its commit would publish the aborted stamps. Runs
+  /// under the same exclusive ticket as the write it aborts.
+  void AbortWrite(uint64_t v);
+
   /// Inserts a row version first visible at `begin_version` (same checks
   /// and index maintenance as Insert).
   Status InsertVersioned(Row row, uint64_t begin_version);

@@ -100,6 +100,25 @@ TEST_F(ServiceTest, ExplainBypassesTheCache) {
   EXPECT_EQ(service.stats().plan_cache.entries, 0u);
 }
 
+TEST_F(ServiceTest, WritesRouteExclusivelyRegardlessOfCase) {
+  QueryService service(&db_);
+  // The write words are soft keywords now, so normalization keeps their
+  // original spelling; routing must detect the write prefix
+  // case-insensitively or lowercase writes would be misrouted to the
+  // shared read path (which rejects them).
+  auto ins = service.ExecuteSql("insert into t values (4, 'c', 4.5, null)");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_EQ(ins->rows[0][0].int_value(), 1);
+  auto upd = service.ExecuteSql("UpDaTe t set name = 'z' where id = 4");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  auto rs = service.ExecuteSql("select count(*) from t where name = 'z'");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows[0][0].int_value(), 1);
+  // Writes still cannot be prepared, whatever their case.
+  auto session = service.CreateSession();
+  EXPECT_FALSE(session->Prepare("w", "delete from t where id = 4").ok());
+}
+
 TEST_F(ServiceTest, ErrorsAreCountedAndReported) {
   QueryService service(&db_);
   EXPECT_FALSE(service.ExecuteSql("select nope from t").ok());

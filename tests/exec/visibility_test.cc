@@ -138,6 +138,68 @@ TEST_F(VisibilityTest, WritesAreRejectedOutsideTheWritePath) {
   EXPECT_FALSE(db_.ExecuteWrite("select count(*) from items").ok());
 }
 
+TEST_F(VisibilityTest, AbortedInsertRowsAreNeverPublished) {
+  // The hook fails after both rows were stamped at the write's version; the
+  // statement must roll back, and the next successful write — which reuses
+  // the aborted version number — must not publish the phantom rows.
+  WriteMaintenanceHook failing;
+  failing.after_write = [](Table*, const std::vector<Value>&,
+                           uint64_t) -> Status {
+    return Status::Internal("maintenance rejected the write");
+  };
+  db_.SetWriteHook("items", failing);
+  EXPECT_FALSE(
+      db_.ExecuteWrite("insert into items values (7, 'n7'), (8, 'n8')").ok());
+  db_.SetWriteHook("items", WriteMaintenanceHook{});
+
+  EXPECT_EQ(CountAt(ExecContext::kSnapshotLatest,
+                    "select count(*) from items"),
+            4);
+  EXPECT_EQ(Write("insert into items values (9, 'n9')"), 1);
+  EXPECT_EQ(CountAt(ExecContext::kSnapshotLatest,
+                    "select count(*) from items"),
+            5);
+  EXPECT_EQ(At(ExecContext::kSnapshotLatest,
+               "select name from items where k = 7")
+                .rows.size(),
+            0u);
+  EXPECT_EQ(At(ExecContext::kSnapshotLatest,
+               "select name from items where k = 8")
+                .rows.size(),
+            0u);
+}
+
+TEST_F(VisibilityTest, FailingHookAbortsDeleteAndUpdateCleanly) {
+  WriteMaintenanceHook failing;
+  failing.after_write = [](Table*, const std::vector<Value>&,
+                           uint64_t) -> Status {
+    return Status::Internal("maintenance rejected the write");
+  };
+  db_.SetWriteHook("items", failing);
+
+  // The executor stamped rows dead (DELETE) and appended a new version
+  // (UPDATE) before the hook ran; both writes must roll back fully.
+  EXPECT_FALSE(db_.ExecuteWrite("delete from items where k = 2").ok());
+  EXPECT_FALSE(
+      db_.ExecuteWrite("update items set name = 'renamed' where k = 3").ok());
+
+  db_.SetWriteHook("items", WriteMaintenanceHook{});
+  // A later commit reuses the aborted version number: the deleted row must
+  // stay visible and only the old version of the updated row may appear.
+  EXPECT_EQ(Write("insert into items values (10, 'n10')"), 1);
+  EXPECT_EQ(CountAt(ExecContext::kSnapshotLatest,
+                    "select count(*) from items"),
+            5);
+  EXPECT_EQ(At(ExecContext::kSnapshotLatest,
+               "select name from items where k = 2")
+                .rows.size(),
+            1u);
+  ResultSet rs =
+      At(ExecContext::kSnapshotLatest, "select name from items where k = 3");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].ToString(), "n3");
+}
+
 TEST_F(VisibilityTest, UpdateMatchingNothingCommitsAnEmptyVersion) {
   const uint64_t before = table_->committed_version();
   EXPECT_EQ(Write("update items set name = 'ghost' where k = 99"), 0);

@@ -249,6 +249,50 @@ TEST(ReassignClustersTest, NullIdentifierOutlierFoundsSingletonCluster) {
   EXPECT_EQ(table->ValueAt(4, 3).AsDouble(), 1.0);
 }
 
+TEST(ReassignClustersTest, FreshIdentifierSkipsExistingClusterIds) {
+  // Identifiers are user data: the first fresh-id candidate is
+  // "m<visible-count>", and a pre-existing cluster already named that must
+  // not silently absorb the unmatched insert (nor get renormalized with a
+  // foreign member).
+  auto table = std::make_unique<Table>(
+      TableSchema("t", {{"id", DataType::kString},
+                        {"a", DataType::kString},
+                        {"b", DataType::kString},
+                        {"prob", DataType::kDouble}}));
+  for (int i = 0; i < 2; ++i) {
+    // Five rows will be visible after the insert, so "m5" collides.
+    ASSERT_TRUE(table
+                    ->Insert({Value::String("m5"), Value::String("ann"),
+                              Value::String("oslo"), Value::Double(0.5)})
+                    .ok());
+    ASSERT_TRUE(table
+                    ->Insert({Value::String("c1"), Value::String("bob"),
+                              Value::String("rome"), Value::Double(0.5)})
+                    .ok());
+  }
+  uint64_t v = table->BeginWrite();
+  ASSERT_TRUE(table
+                  ->InsertVersioned({Value::Null(), Value::String("zephyr"),
+                                     Value::String("quux"),
+                                     Value::Double(0.5)},
+                                    v)
+                  .ok());
+  table->CommitWrite(v);
+
+  auto n = ReassignClusters(table.get(), kInfo, {Value::Null()}, v);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  Value id = table->ValueAt(4, 0);
+  ASSERT_FALSE(id.is_null());
+  EXPECT_NE(id.ToString(), "m5");
+  EXPECT_NE(id.ToString(), "c1");
+  EXPECT_EQ(table->ValueAt(4, 3).AsDouble(), 1.0);  // singleton is certain
+  // The colliding cluster was never touched: bitwise stable.
+  auto probs = VisibleClusterProbs(*table, 0, 3);
+  ASSERT_EQ(probs["m5"].size(), 2u);
+  EXPECT_TRUE(SameBits(probs["m5"][0], 0.5));
+  EXPECT_TRUE(SameBits(probs["m5"][1], 0.5));
+}
+
 TEST(ReassignClustersTest, FullyDeletedClusterIsSkipped) {
   auto table = TwoClusterTable();
   uint64_t v = table->BeginWrite();

@@ -57,6 +57,28 @@ TEST(LexerTest, QuotedIdentifiers) {
   EXPECT_EQ(tokens[0].text, "order");
 }
 
+TEST(LexerTest, WriteWordsAreSoftKeywords) {
+  // The write-statement words lex as identifiers (so columns and tables
+  // may be named after them) but still answer to IsKeyword in keyword
+  // position, case-insensitively.
+  auto tokens = Lex("insert INTO Values update set delete");
+  ASSERT_EQ(tokens.size(), 7u);  // + EOF
+  const char* kws[] = {"INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE"};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kIdentifier);
+    EXPECT_TRUE(tokens[i].IsKeyword(kws[i])) << kws[i];
+  }
+  // Identifiers never match reserved words through the soft path.
+  EXPECT_FALSE(tokens[0].IsKeyword("FROM"));
+}
+
+TEST(LexerTest, QuotedSoftKeywordsStayPlainIdentifiers) {
+  auto tokens = Lex("\"values\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_TRUE(tokens[0].quoted);
+  EXPECT_FALSE(tokens[0].IsKeyword("VALUES"));
+}
+
 TEST(LexerTest, OperatorsAndPunctuation) {
   auto tokens = Lex("= <> != < <= > >= + - * / ( ) , .");
   std::vector<TokenType> expected = {

@@ -225,6 +225,41 @@ TEST(ParserTest, ExplainPrefixesParse) {
   ASSERT_NE(analyze->select, nullptr);
 }
 
+TEST(ParserTest, WriteWordsRemainValidIdentifiers) {
+  // INSERT/INTO/VALUES/UPDATE/SET/DELETE are soft keywords: SELECT
+  // workloads that predate the write path keep using them unquoted as
+  // column and table names.
+  auto stmt = Parse("select values, set, insert x from update where delete = 1");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->select_list.size(), 3u);
+  EXPECT_EQ(stmt->select_list[0].expr->column_name, "values");
+  EXPECT_EQ(stmt->select_list[1].expr->column_name, "set");
+  EXPECT_EQ(stmt->select_list[2].expr->column_name, "insert");
+  EXPECT_EQ(stmt->select_list[2].alias, "x");
+  EXPECT_EQ(stmt->from[0].table_name, "update");
+  ASSERT_NE(stmt->where, nullptr);
+}
+
+TEST(ParserTest, SoftKeywordsStillDriveWriteStatements) {
+  auto ins = Parser::ParseStatement("Insert into into values (1)");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_EQ(ins->kind, StatementKind::kInsert);
+  EXPECT_EQ(ins->insert->table_name, "into");
+
+  // A table and a column both named "set" parse around the SET clause.
+  auto upd = Parser::ParseStatement("update set set set = 1");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  EXPECT_EQ(upd->kind, StatementKind::kUpdate);
+  EXPECT_EQ(upd->update->table_name, "set");
+  ASSERT_EQ(upd->update->assignments.size(), 1u);
+  EXPECT_EQ(upd->update->assignments[0].column, "set");
+
+  auto del = Parser::ParseStatement("DELETE FROM values");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(del->kind, StatementKind::kDelete);
+  EXPECT_EQ(del->del->table_name, "values");
+}
+
 TEST(ParserTest, ExplainRequiresASelect) {
   EXPECT_FALSE(Parser::ParseStatement("explain").ok());
   EXPECT_FALSE(Parser::ParseStatement("explain analyze").ok());

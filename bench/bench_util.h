@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -92,6 +93,50 @@ inline std::string ParseJsonPath(int* argc, char** argv) {
   return path;
 }
 
+/// Reads one "<key>:   <n> kB" line from /proc/self/status, in MiB.
+/// Returns -1 when the key is absent (non-Linux).
+inline double ReadProcStatusMb(std::string_view key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(key.data(), 0) == 0 &&
+        line.compare(0, key.size(), key) == 0 &&
+        line.size() > key.size() && line[key.size()] == ':') {
+      return std::atof(line.c_str() + key.size() + 1) / 1024.0;
+    }
+  }
+  return -1;
+}
+
+/// Peak resident set size (VmHWM) of this process in MiB.
+inline double ReadPeakRssMb() { return ReadProcStatusMb("VmHWM"); }
+
+/// Current resident set size (VmRSS) in MiB.
+inline double CurrentRssMb() { return ReadProcStatusMb("VmRSS"); }
+
+/// Resets the kernel's peak-RSS watermark to the current RSS (writes "5" to
+/// /proc/self/clear_refs), so VmHWM measures only what happens after setup.
+/// Returns false when unsupported.
+inline bool ResetPeakRss() {
+  std::ofstream out("/proc/self/clear_refs");
+  if (!out) return false;
+  out << "5";
+  out.close();
+  return static_cast<bool>(out);
+}
+
+/// Total bytes of regular files directly inside `dir`, in MiB (the on-disk
+/// footprint of a saved database directory).
+inline double DirSizeMb(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  uint64_t bytes = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) bytes += entry.file_size(ec);
+  }
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
 /// Best-effort short git revision of the working tree, "unknown" when the
 /// binary runs outside a checkout. Recorded in benchmark JSON so results
 /// can be matched to the code that produced them.
@@ -133,6 +178,14 @@ class JsonReporter : public benchmark::ConsoleReporter {
       if (rows != run.counters.end() && wall_s > 0) {
         e.rows_per_sec = rows->second.value / wall_s;
       }
+      // Out-of-core instrumentation counters pass straight through.
+      for (const char* key : {"peak_rss_mb", "baseline_rss_mb", "budget_mb",
+                              "data_mb", "chunks_loaded", "pool_peak_mb"}) {
+        auto it = run.counters.find(key);
+        if (it != run.counters.end()) {
+          e.extras.emplace_back(key, it->second.value);
+        }
+      }
       entries_.push_back(std::move(e));
     }
     ConsoleReporter::ReportRuns(runs);
@@ -149,6 +202,7 @@ class JsonReporter : public benchmark::ConsoleReporter {
     double wall_ms = 0;
     double rows_per_sec = -1;  // absent when < 0
     int threads = 1;
+    std::vector<std::pair<std::string, double>> extras;
   };
 
   /// Benchmark names embed the worker count as ".../threads:N".
@@ -193,6 +247,10 @@ class JsonReporter : public benchmark::ConsoleReporter {
       if (e.rows_per_sec >= 0) {
         std::snprintf(buf, sizeof(buf), ", \"rows_per_sec\": %.1f",
                       e.rows_per_sec);
+        out += buf;
+      }
+      for (const auto& [key, value] : e.extras) {
+        std::snprintf(buf, sizeof(buf), ", \"%s\": %.2f", key.c_str(), value);
         out += buf;
       }
       out += i + 1 < entries_.size() ? "},\n" : "}\n";

@@ -178,8 +178,10 @@ int main(int argc, char** argv) {
           "  .stats                 toggle per-query stats (phases + operators)\n"
           "  .sessions              serving-layer stats (plan cache, admission)\n"
           "  .threads <n>           worker threads for parallel execution\n"
+          "  .memory_budget <size>  cap resident chunk bytes (64m, 2g,\n"
+          "                         unlimited); excess spills to disk\n"
           "  .tables                list tables\n"
-          "  .save <dir>            persist database\n"
+          "  .save <dir>            persist database (binary segments)\n"
           "  .quit\n");
       buffer.clear();
       continue;
@@ -239,6 +241,28 @@ int main(int argc, char** argv) {
         service.SetThreads(static_cast<size_t>(n));
         std::printf("worker threads: %zu%s\n", db->num_threads(),
                     db->num_threads() == 1 ? " (sequential)" : "");
+      }
+      buffer.clear();
+      continue;
+    }
+    if (buffer.rfind(".memory_budget ", 0) == 0) {
+      const std::string arg = buffer.substr(15);
+      uint64_t bytes = 0;
+      if (!ParseByteSize(arg, &bytes)) {
+        std::printf("usage: .memory_budget <bytes|Nk|Nm|Ng|unlimited>\n");
+      } else {
+        db->SetMemoryBudget(bytes);
+        const BufferPool::Stats ps = db->buffer_pool()->stats();
+        if (bytes == 0) {
+          std::printf("memory budget: unlimited (resident %.1f MB)\n",
+                      static_cast<double>(ps.resident_bytes) / (1024.0 * 1024.0));
+        } else {
+          std::printf("memory budget: %.1f MB (resident %.1f MB, "
+                      "%llu chunks evicted so far)\n",
+                      static_cast<double>(bytes) / (1024.0 * 1024.0),
+                      static_cast<double>(ps.resident_bytes) / (1024.0 * 1024.0),
+                      static_cast<unsigned long long>(ps.chunks_evicted));
+        }
       }
       buffer.clear();
       continue;

@@ -45,9 +45,12 @@ void Database::SetThreads(size_t n) {
 }
 
 Status Database::CreateTable(TableSchema schema) {
-  Status s = catalog_.CreateTable(std::move(schema)).status();
-  if (s.ok()) BumpCatalogVersion();
-  return s;
+  Result<Table*> t = catalog_.CreateTable(std::move(schema));
+  if (t.ok()) {
+    t.value()->AttachBufferPool(buffer_pool_.get());
+    BumpCatalogVersion();
+  }
+  return t.status();
 }
 
 Status Database::DropTable(std::string_view name) {

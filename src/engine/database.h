@@ -14,6 +14,7 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "common/task_pool.h"
+#include "storage/buffer_pool.h"
 #include "exec/exec_context.h"
 #include "exec/query_stats.h"
 #include "exec/result_set.h"
@@ -141,6 +142,18 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
   Catalog* mutable_catalog() { return &catalog_; }
 
+  /// Caps resident column-payload bytes across every table of this database
+  /// (0 = unlimited). Cold chunks beyond the budget are evicted to their
+  /// backing segment (or an anonymous spill file when dirty) and fault back
+  /// in on first pin. Resident metadata — zone maps, MVCC stamps,
+  /// dictionaries, indexes — is never evicted and does not count against
+  /// the budget; see DESIGN.md §14. The initial budget comes from the
+  /// CONQUER_MEMORY_BUDGET environment variable (e.g. "64m", "2g",
+  /// "unlimited").
+  void SetMemoryBudget(uint64_t bytes) { buffer_pool_->SetBudget(bytes); }
+  uint64_t memory_budget() const { return buffer_pool_->budget(); }
+  BufferPool* buffer_pool() const { return buffer_pool_.get(); }
+
   /// Planner configuration used by Query/Execute/Explain (e.g. greedy vs.
   /// dynamic-programming join ordering).
   void set_planner_options(const PlannerOptions& options) {
@@ -213,6 +226,10 @@ class Database {
     catalog_version_.fetch_add(1, std::memory_order_acq_rel);
   }
 
+  /// Declared before the catalog so destruction (reverse order) tears the
+  /// tables — whose chunks unregister themselves — down first.
+  std::unique_ptr<BufferPool> buffer_pool_ =
+      std::make_unique<BufferPool>(BufferPool::DefaultBudgetFromEnv());
   Catalog catalog_;
   PlannerOptions planner_options_;
   /// Post-write maintenance hooks, keyed by lower-cased table name.

@@ -5,6 +5,7 @@
 
 #include "common/str_util.h"
 #include "engine/csv.h"
+#include "storage/segment.h"
 
 namespace conquer {
 
@@ -28,10 +29,51 @@ CsvOptions PersistCsvOptions() {
   return options;
 }
 
+/// Value::ToString prints doubles with %.6g — fine for display, lossy on
+/// disk. The CSV export uses %.17g, the shortest precision guaranteed to
+/// round-trip every finite double through decimal.
+std::string CsvField(const Value& v, const CsvOptions& csv) {
+  if (v.is_null()) return csv.null_literal;
+  if (v.type() == DataType::kDouble) {
+    return StringPrintf("%.17g", v.double_value());
+  }
+  return v.ToString();
+}
+
+Status SaveTableCsv(const Table& table, const std::string& path,
+                    const CsvOptions& csv) {
+  std::ofstream data(path);
+  if (!data) {
+    return Status::InvalidArgument("cannot write table file '" + path + "'");
+  }
+  std::vector<std::string> header;
+  for (const ColumnDef& col : table.schema().columns()) {
+    header.push_back(col.name);
+  }
+  data << FormatCsvLine(header, csv) << '\n';
+  std::vector<std::string> fields(header.size());
+  Row row;
+  // Export only the rows visible at the latest committed version: dead row
+  // versions must not be resurrected by a save/load cycle, and rows of
+  // uncommitted writes must not leak out.
+  RowCursor cursor(&table);
+  for (size_t r : table.VisibleRowPositions(table.committed_version())) {
+    // Materialize one row at a time: chunked tables have no contiguous
+    // row vector to iterate, and a full copy would double peak memory.
+    cursor.Touch(r);
+    table.GetRowInto(r, &row);
+    for (size_t c = 0; c < row.size(); ++c) {
+      fields[c] = CsvField(row[c], csv);
+    }
+    data << FormatCsvLine(fields, csv) << '\n';
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveDatabase(const Database& db, const std::string& dir,
-                    const DirtySchema* dirty) {
+                    const DirtySchema* dirty, SaveFormat format) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -52,27 +94,12 @@ Status SaveDatabase(const Database& db, const std::string& dir,
     }
     manifest << '\n';
 
-    std::ofstream data(dir + "/" + name + ".csv");
-    if (!data) {
-      return Status::InvalidArgument("cannot write table file for '" + name +
-                                     "'");
-    }
-    std::vector<std::string> header;
-    for (const ColumnDef& col : table->schema().columns()) {
-      header.push_back(col.name);
-    }
-    data << FormatCsvLine(header, csv) << '\n';
-    std::vector<std::string> fields(header.size());
-    Row row;
-    for (size_t r = 0; r < table->num_rows(); ++r) {
-      // Materialize one row at a time: chunked tables have no contiguous
-      // row vector to iterate, and a full copy would double peak memory.
-      table->GetRowInto(r, &row);
-      for (size_t c = 0; c < row.size(); ++c) {
-        fields[c] =
-            row[c].is_null() ? csv.null_literal : row[c].ToString();
-      }
-      data << FormatCsvLine(fields, csv) << '\n';
+    if (format == SaveFormat::kBinary) {
+      CONQUER_RETURN_NOT_OK(
+          WriteTableSegment(*table, dir + "/" + name + ".seg"));
+    } else {
+      CONQUER_RETURN_NOT_OK(
+          SaveTableCsv(*table, dir + "/" + name + ".csv", csv));
     }
   }
 
@@ -122,6 +149,12 @@ Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir,
     }
     CONQUER_RETURN_NOT_OK(db->CreateTable(schema));
 
+    const std::string seg_path = dir + "/" + parts[0] + ".seg";
+    if (std::filesystem::exists(seg_path)) {
+      CONQUER_ASSIGN_OR_RETURN(Table * table, db->GetTable(parts[0]));
+      CONQUER_RETURN_NOT_OK(LoadTableSegment(table, seg_path));
+      continue;
+    }
     std::ifstream data(dir + "/" + parts[0] + ".csv");
     if (!data) {
       return Status::NotFound("missing table file for '" + parts[0] + "'");

@@ -32,6 +32,15 @@ struct OperatorMetrics {
   /// Rows a scan dropped through a pushed-down join Bloom filter (runtime
   /// semi-join filtering) before wide materialization.
   uint64_t bloom_filtered = 0;
+  /// Evicted chunk payloads this operator faulted in from disk (buffer
+  /// pool; zero when the whole table is resident). Zone-map-skipped chunks
+  /// are checked before pinning, so they never count here.
+  uint64_t chunks_loaded = 0;
+  /// Chunk payloads the buffer pool evicted to make room for this
+  /// operator's faults (budget pressure indicator).
+  uint64_t chunks_evicted = 0;
+  /// Wall time spent reading and decoding faulted chunk payloads.
+  double io_read_seconds = 0.0;
   double open_seconds = 0.0;   ///< time inside Open(); the build phase for
                                ///< blocking operators (hash build, sort)
   double next_seconds = 0.0;   ///< cumulative time across all Next() calls

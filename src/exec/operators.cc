@@ -124,16 +124,21 @@ void SeqScanOp::MaterializeWide(size_t chunk_index, uint32_t row,
 
 Status SeqScanOp::FilterChunk(size_t chunk_index, SelVector* sel,
                               uint64_t* dict_hits, uint64_t* chunks_skipped,
-                              uint64_t* bloom_dropped) const {
+                              uint64_t* bloom_dropped, PinStats* pin_stats,
+                              ChunkPin* keep_pin) const {
   const Chunk& ch = table_->chunk(chunk_index);
   sel->clear();
   const bool prune_chunks =
       exec_ == nullptr || exec_->enable_zone_pruning;
+  // Zone maps are resident metadata: the skip test runs before the payload
+  // pin, so a pruned chunk never faults its columns in from disk.
   if (local_filter_ && prune_chunks &&
       ZoneMapCanSkip(*local_filter_, *table_, ch)) {
     ++*chunks_skipped;
+    if (keep_pin != nullptr) keep_pin->Reset();
     return Status::OK();
   }
+  ChunkPin pin = table_->PinChunk(chunk_index, pin_stats);
   sel->resize(ch.num_rows());
   std::iota(sel->begin(), sel->end(), 0u);
   // Snapshot visibility before predicates: a stamped chunk may hold dead
@@ -170,6 +175,7 @@ Status SeqScanOp::FilterChunk(size_t chunk_index, SelVector* sel,
     }
     sel->resize(out);
   }
+  if (keep_pin != nullptr) *keep_pin = std::move(pin);
   return Status::OK();
 }
 
@@ -184,12 +190,17 @@ Status SeqScanOp::ParallelFilter() {
   std::atomic<uint64_t> dict_hits{0};
   std::atomic<uint64_t> chunks_skipped{0};
   std::atomic<uint64_t> bloom_dropped{0};
+  std::atomic<uint64_t> chunks_loaded{0};
+  std::atomic<uint64_t> chunks_evicted{0};
+  std::atomic<uint64_t> io_read_nanos{0};
   TaskGroup group(exec_->pool);
   for (size_t w = 0; w < workers; ++w) {
     group.Submit([this, w, num_chunks, &next_chunk, &dict_hits,
-                  &chunks_skipped, &bloom_dropped, &group]() -> Status {
+                  &chunks_skipped, &bloom_dropped, &chunks_loaded,
+                  &chunks_evicted, &io_read_nanos, &group]() -> Status {
       uint64_t scanned = 0;
       uint64_t my_hits = 0, my_skipped = 0, my_bloom = 0;
+      PinStats my_pins;
       while (!group.cancelled()) {
         size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (c >= num_chunks) break;
@@ -198,7 +209,7 @@ Status SeqScanOp::ParallelFilter() {
         // rows.
         const uint64_t skipped_before = my_skipped;
         CONQUER_RETURN_NOT_OK(FilterChunk(c, &chunk_matches_[c], &my_hits,
-                                          &my_skipped, &my_bloom));
+                                          &my_skipped, &my_bloom, &my_pins));
         if (my_skipped == skipped_before) {
           scanned += table_->chunk(c).num_rows();
         }
@@ -207,6 +218,13 @@ Status SeqScanOp::ParallelFilter() {
       dict_hits.fetch_add(my_hits, std::memory_order_relaxed);
       chunks_skipped.fetch_add(my_skipped, std::memory_order_relaxed);
       bloom_dropped.fetch_add(my_bloom, std::memory_order_relaxed);
+      chunks_loaded.fetch_add(my_pins.chunks_loaded,
+                              std::memory_order_relaxed);
+      chunks_evicted.fetch_add(my_pins.chunks_evicted,
+                               std::memory_order_relaxed);
+      io_read_nanos.fetch_add(
+          static_cast<uint64_t>(my_pins.io_read_seconds * 1e9),
+          std::memory_order_relaxed);
       return Status::OK();
     });
   }
@@ -214,7 +232,25 @@ Status SeqScanOp::ParallelFilter() {
   mutable_metrics().dict_hits += dict_hits.load();
   mutable_metrics().chunks_skipped += chunks_skipped.load();
   mutable_metrics().bloom_filtered += bloom_dropped.load();
+  mutable_metrics().chunks_loaded += chunks_loaded.load();
+  mutable_metrics().chunks_evicted += chunks_evicted.load();
+  mutable_metrics().io_read_seconds +=
+      static_cast<double>(io_read_nanos.load()) * 1e-9;
   return s;
+}
+
+void SeqScanOp::AddPinStats(const PinStats& ps) {
+  mutable_metrics().chunks_loaded += ps.chunks_loaded;
+  mutable_metrics().chunks_evicted += ps.chunks_evicted;
+  mutable_metrics().io_read_seconds += ps.io_read_seconds;
+}
+
+void SeqScanOp::EnsureEmitPinned(size_t chunk_index) {
+  if (emit_pin_ && emit_pin_chunk_ == chunk_index) return;
+  PinStats ps;
+  emit_pin_ = table_->PinChunk(chunk_index, &ps);
+  emit_pin_chunk_ = chunk_index;
+  AddPinStats(ps);
 }
 
 Status SeqScanOp::OpenImpl() {
@@ -228,6 +264,8 @@ Status SeqScanOp::OpenImpl() {
   sel_scratch_.clear();
   current_chunk_ = 0;
   next_chunk_ = 0;
+  emit_pin_.Reset();
+  emit_pin_chunk_ = SIZE_MAX;
   const bool has_filter = filter_ != nullptr || !runtime_filters_.empty();
   parallel_ = has_filter && exec_ != nullptr &&
               exec_->ShouldParallelize(table_->num_rows());
@@ -248,6 +286,7 @@ Result<bool> SeqScanOp::NextImpl(Row* out) {
         match_cursor_ = 0;
         continue;
       }
+      EnsureEmitPinned(chunk_cursor_);
       MaterializeWide(chunk_cursor_, matches[match_cursor_++], out);
       return true;
     }
@@ -255,6 +294,7 @@ Result<bool> SeqScanOp::NextImpl(Row* out) {
   }
   while (true) {
     if (match_cursor_ < sel_scratch_.size()) {
+      EnsureEmitPinned(current_chunk_);
       MaterializeWide(current_chunk_, sel_scratch_[match_cursor_++], out);
       return true;
     }
@@ -262,11 +302,14 @@ Result<bool> SeqScanOp::NextImpl(Row* out) {
     current_chunk_ = next_chunk_++;
     match_cursor_ = 0;
     uint64_t hits = 0, skipped = 0, bloom = 0;
+    PinStats pins;
     CONQUER_RETURN_NOT_OK(FilterChunk(current_chunk_, &sel_scratch_, &hits,
-                                      &skipped, &bloom));
+                                      &skipped, &bloom, &pins, &emit_pin_));
+    emit_pin_chunk_ = emit_pin_ ? current_chunk_ : SIZE_MAX;
     mutable_metrics().dict_hits += hits;
     mutable_metrics().chunks_skipped += skipped;
     mutable_metrics().bloom_filtered += bloom;
+    AddPinStats(pins);
   }
 }
 
@@ -282,6 +325,7 @@ Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
         match_cursor_ = 0;
         continue;
       }
+      EnsureEmitPinned(chunk_cursor_);
       if (filled == out->rows.size()) out->rows.emplace_back();
       MaterializeWide(chunk_cursor_, matches[match_cursor_++],
                       &out->rows[filled++]);
@@ -291,6 +335,7 @@ Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
   }
   while (filled < out->capacity) {
     if (match_cursor_ < sel_scratch_.size()) {
+      EnsureEmitPinned(current_chunk_);
       if (filled == out->rows.size()) out->rows.emplace_back();
       MaterializeWide(current_chunk_, sel_scratch_[match_cursor_++],
                       &out->rows[filled++]);
@@ -300,14 +345,22 @@ Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
     current_chunk_ = next_chunk_++;
     match_cursor_ = 0;
     uint64_t hits = 0, skipped = 0, bloom = 0;
+    PinStats pins;
     CONQUER_RETURN_NOT_OK(FilterChunk(current_chunk_, &sel_scratch_, &hits,
-                                      &skipped, &bloom));
+                                      &skipped, &bloom, &pins, &emit_pin_));
+    emit_pin_chunk_ = emit_pin_ ? current_chunk_ : SIZE_MAX;
     mutable_metrics().dict_hits += hits;
     mutable_metrics().chunks_skipped += skipped;
     mutable_metrics().bloom_filtered += bloom;
+    AddPinStats(pins);
   }
   out->rows.resize(filled);
   return filled > 0;
+}
+
+void SeqScanOp::CloseImpl() {
+  emit_pin_.Reset();
+  emit_pin_chunk_ = SIZE_MAX;
 }
 
 std::string SeqScanOp::Describe() const {
@@ -338,13 +391,27 @@ Status IndexScanOp::OpenImpl() {
                   : table_->committed_version();
   matches_ = &index_->Lookup(key_);
   cursor_ = 0;
+  pin_.Reset();
+  pin_chunk_ = SIZE_MAX;
   return Status::OK();
 }
 
 Result<bool> IndexScanOp::NextImpl(Row* out) {
   while (matches_ != nullptr && cursor_ < matches_->size()) {
     const size_t pos = (*matches_)[cursor_++];
+    // Visibility reads resident version stamps; only rows that survive it
+    // pin (and possibly fault) their chunk's payload. The pin is cached
+    // while consecutive matches stay in one chunk.
     if (!table_->RowVisibleAt(pos, snapshot_)) continue;
+    const size_t chunk_index = pos / table_->chunk_capacity();
+    if (!pin_ || pin_chunk_ != chunk_index) {
+      PinStats ps;
+      pin_ = table_->PinChunk(chunk_index, &ps);
+      pin_chunk_ = chunk_index;
+      mutable_metrics().chunks_loaded += ps.chunks_loaded;
+      mutable_metrics().chunks_evicted += ps.chunks_evicted;
+      mutable_metrics().io_read_seconds += ps.io_read_seconds;
+    }
     table_->GetRowInto(pos, &row_scratch_);
     if (local_filter_) {
       // Residual filter on the raw table row, before wide materialization.
@@ -359,6 +426,11 @@ Result<bool> IndexScanOp::NextImpl(Row* out) {
     return true;
   }
   return false;
+}
+
+void IndexScanOp::CloseImpl() {
+  pin_.Reset();
+  pin_chunk_ = SIZE_MAX;
 }
 
 std::string IndexScanOp::Describe() const {

@@ -1,6 +1,7 @@
 #ifndef CONQUER_EXEC_OPERATORS_H_
 #define CONQUER_EXEC_OPERATORS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,6 +58,7 @@ class SeqScanOp : public Operator {
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
+  void CloseImpl() override;
 
  private:
   struct ScanFilter {
@@ -64,15 +66,28 @@ class SeqScanOp : public Operator {
     size_t column;  ///< table-local column the Bloom filter keys on
   };
 
-  /// Computes the surviving positions of one chunk: zone-map skip test,
-  /// chunk-native predicate, then runtime Bloom filters. Counters are
-  /// caller-owned so parallel workers can accumulate locally.
+  /// Computes the surviving positions of one chunk: zone-map skip test
+  /// (on resident metadata, *before* the chunk payload is pinned — a
+  /// skipped chunk costs zero I/O), then chunk-native predicate and runtime
+  /// Bloom filters under a pin. Counters are caller-owned so parallel
+  /// workers can accumulate locally.
+  /// When `keep_pin` is non-null it receives the chunk pin this call took
+  /// (reset on the skip path), so a sequential caller can reuse it for
+  /// emission instead of faulting the chunk in a second time under a tight
+  /// memory budget.
   Status FilterChunk(size_t chunk_index, SelVector* sel, uint64_t* dict_hits,
-                     uint64_t* chunks_skipped, uint64_t* bloom_dropped) const;
+                     uint64_t* chunks_skipped, uint64_t* bloom_dropped,
+                     PinStats* pin_stats, ChunkPin* keep_pin = nullptr) const;
   /// Parallel pre-filter: fills chunk_matches_ with passing positions,
   /// one claimable unit per chunk.
   Status ParallelFilter();
   void MaterializeWide(size_t chunk_index, uint32_t row, Row* out) const;
+  /// Holds the emission-path pin on `chunk_index` (rows are materialized
+  /// from raw columns, which must be resident). Cached across calls: the
+  /// pin only moves when emission crosses a chunk boundary.
+  void EnsureEmitPinned(size_t chunk_index);
+  /// Folds faulting I/O counters into this operator's metrics.
+  void AddPinStats(const PinStats& ps);
 
   const Table* table_;
   size_t slot_offset_;
@@ -101,6 +116,9 @@ class SeqScanOp : public Operator {
   SelVector sel_scratch_;
   size_t current_chunk_ = 0;
   size_t next_chunk_ = 0;  ///< next chunk the sequential path will filter
+  /// Emission-path pin (see EnsureEmitPinned); released at Close.
+  ChunkPin emit_pin_;
+  size_t emit_pin_chunk_ = SIZE_MAX;
 };
 
 /// \brief Point lookup via a hash index, producing wide rows.
@@ -118,6 +136,7 @@ class IndexScanOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   const Table* table_;
@@ -135,6 +154,10 @@ class IndexScanOp : public Operator {
   const std::vector<size_t>* matches_ = nullptr;
   size_t cursor_ = 0;
   Row row_scratch_;  ///< reused table-local materialization buffer
+  /// Pin on the chunk of the row being materialized, cached while
+  /// consecutive matches land in the same chunk; released at Close.
+  ChunkPin pin_;
+  size_t pin_chunk_ = SIZE_MAX;
 };
 
 /// \brief Filters wide rows by a bound predicate.

@@ -58,6 +58,17 @@ void RenderNode(const PlanNodeStats& node, int depth, std::string* out) {
     out->append(StringPrintf(" bloom_filtered=%llu",
                              (unsigned long long)m.bloom_filtered));
   }
+  if (m.chunks_loaded > 0) {
+    out->append(StringPrintf(" chunks_loaded=%llu",
+                             (unsigned long long)m.chunks_loaded));
+  }
+  if (m.chunks_evicted > 0) {
+    out->append(StringPrintf(" chunks_evicted=%llu",
+                             (unsigned long long)m.chunks_evicted));
+  }
+  if (m.io_read_seconds > 0.0) {
+    out->append(StringPrintf(" io_read_ms=%.3f", m.io_read_seconds * 1e3));
+  }
   if (m.open_seconds > 0.0 && (m.hash_entries > 0 || m.build_rows > 0 ||
                                m.peak_memory_bytes > 0)) {
     out->append(StringPrintf(" open=%.3fms", m.open_seconds * 1e3));

@@ -13,8 +13,10 @@ Result<std::vector<size_t>> MatchingRows(const Table& table, const Expr* where,
                                          uint64_t snapshot) {
   std::vector<size_t> matches;
   Row scratch;
+  RowCursor cursor(&table);
   for (size_t pos : table.VisibleRowPositions(snapshot)) {
     if (where != nullptr) {
+      cursor.Touch(pos);
       table.GetRowInto(pos, &scratch);
       CONQUER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*where, scratch));
       if (!pass) continue;

@@ -158,6 +158,10 @@ std::string SerializeCase(const FuzzCase& c, const std::string& note) {
   }
   out += std::string(kCorpusHeader) + "\n";
   out += "seed " + std::to_string(c.seed) + "\n";
+  if (c.memory_budget > 0) {
+    out += "budget " + std::to_string(c.memory_budget) + "\n";
+  }
+  if (c.save_load_roundtrip) out += "roundtrip\n";
   if (!c.query.mutation.empty()) {
     out += "# mutation: " + c.query.mutation + "\n";
   }
@@ -232,6 +236,10 @@ Result<FuzzCase> ParseCaseText(const std::string& text) {
     const std::string& cmd = tokens[0];
     if (cmd == "seed" && tokens.size() == 2) {
       c.seed = std::strtoull(tokens[1].c_str(), nullptr, 10);
+    } else if (cmd == "budget" && tokens.size() == 2) {
+      c.memory_budget = std::strtoull(tokens[1].c_str(), nullptr, 10);
+    } else if (cmd == "roundtrip" && tokens.size() == 1) {
+      c.save_load_roundtrip = true;
     } else if (cmd == "table" && tokens.size() == 2) {
       if (open_table != nullptr) return fail("previous table not closed");
       c.tables.emplace_back();

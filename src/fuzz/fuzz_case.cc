@@ -1,8 +1,13 @@
 #include "fuzz/fuzz_case.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
 #include <map>
 
 #include "common/str_util.h"
+#include "engine/persist.h"
 #include "prob/incremental.h"
 #include "storage/table.h"
 
@@ -64,6 +69,7 @@ const FuzzTable* FuzzCase::FindTable(std::string_view name) const {
 Result<BuiltDb> BuildFuzzDatabase(const FuzzCase& c) {
   BuiltDb out;
   out.db = std::make_unique<Database>();
+  if (c.memory_budget > 0) out.db->SetMemoryBudget(c.memory_budget);
   for (const FuzzTable& t : c.tables) {
     CONQUER_RETURN_NOT_OK(out.db->CreateTable(t.Schema()));
     CONQUER_RETURN_NOT_OK(out.dirty.AddTable(t.DirtyInfo()));
@@ -72,6 +78,23 @@ Result<BuiltDb> BuildFuzzDatabase(const FuzzCase& c) {
       table->Rechunk(t.chunk_capacity);
     }
     CONQUER_RETURN_NOT_OK(out.db->InsertMany(t.name, t.rows));
+  }
+  if (c.save_load_roundtrip) {
+    // Save/load through the binary segment format, then continue against
+    // the reloaded database — the oracles now also check persistence
+    // fidelity (stamps, dictionaries, probabilities) for free.
+    static std::atomic<uint64_t> counter{0};
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        StringPrintf("conquer-fuzz-rt-%d-%llu", static_cast<int>(getpid()),
+                     (unsigned long long)counter.fetch_add(1));
+    CONQUER_RETURN_NOT_OK(SaveDatabase(*out.db, dir.string(), &out.dirty));
+    auto reloaded = LoadDatabase(dir.string());
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    CONQUER_RETURN_NOT_OK(reloaded.status());
+    out.db = std::move(*reloaded);
+    if (c.memory_budget > 0) out.db->SetMemoryBudget(c.memory_budget);
   }
   // After every AddTable: the hooks hold pointers into the dirty schema's
   // table vector, which must not reallocate any more.

@@ -104,6 +104,12 @@ struct FuzzCase {
   std::vector<FuzzOp> ops;
   /// Mutation-stage writes, executed in order after the static oracles.
   std::vector<FuzzWrite> writes;
+  /// Buffer-pool byte budget the database is built under (0 = unlimited).
+  /// Small budgets force evict/reload cycles through every oracle stage.
+  uint64_t memory_budget = 0;
+  /// When set, the built database is saved to binary segments and reloaded
+  /// before the ops replay — round-trip fidelity under the oracles.
+  bool save_load_roundtrip = false;
   FuzzQuery query;
 
   size_t TotalRows() const;

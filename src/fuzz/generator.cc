@@ -456,6 +456,14 @@ FuzzCase GenerateCase(uint64_t seed, const FuzzConfig& cfg) {
                                    plans[ti].cluster_probs.size(), wi, cfg));
     }
   }
+
+  // Out-of-core dimensions: a quarter of the cases run under a starvation
+  // budget (constant evict/reload through every oracle stage) and a quarter
+  // take a binary save/load round-trip before the ops replay.
+  if (rng.Chance(0.25)) {
+    c.memory_budget = static_cast<uint64_t>(rng.Uniform(1, 4096));
+  }
+  if (rng.Chance(0.25)) c.save_load_roundtrip = true;
   return c;
 }
 

@@ -298,7 +298,9 @@ Result<std::map<std::string, ClusterState>> VisibleClusters(
   CONQUER_ASSIGN_OR_RETURN(size_t prob_col,
                            table.schema().GetColumnIndex(ft.prob_column));
   std::map<std::string, ClusterState> out;
+  RowCursor cursor(&table);
   for (size_t pos : table.VisibleRowPositions(snapshot)) {
+    cursor.Touch(pos);
     Value id = table.ValueAt(pos, id_col);
     Value prob = table.ValueAt(pos, prob_col);
     ClusterState& cluster = out[id.is_null() ? "<null>" : id.ToString()];
@@ -328,7 +330,9 @@ Result<std::vector<double>> RecomputeClusterProbs(
       Dcf rep, BuildClusterRepresentative(table, rows, attrs, &space));
   double s_sum = 0.0;
   std::vector<double> dist(rows.size());
+  RowCursor cursor(&table);
   for (size_t i = 0; i < rows.size(); ++i) {
+    cursor.Touch(rows[i]);
     std::vector<uint32_t> indices;
     for (size_t a = 0; a < attrs.size(); ++a) {
       indices.push_back(space.Intern(a, table.ValueAt(rows[i], attrs[a])));

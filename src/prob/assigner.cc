@@ -57,9 +57,12 @@ Result<Dcf> BuildClusterRepresentative(const Table& table,
   if (rows.empty()) {
     return Status::InvalidArgument("cluster has no rows");
   }
+  RowCursor cursor(&table);
+  cursor.Touch(rows[0]);
   Dcf rep = Dcf::ForTuple(TupleValueIndices(table, rows[0], attr_columns,
                                             space));
   for (size_t i = 1; i < rows.size(); ++i) {
+    cursor.Touch(rows[i]);
     rep = Dcf::Merge(rep, Dcf::ForTuple(TupleValueIndices(
                               table, rows[i], attr_columns, space)));
   }
@@ -83,7 +86,9 @@ Result<std::vector<TupleProbability>> AssignProbabilities(
   // Group rows into clusters by identifier value.
   std::unordered_map<Value, std::vector<size_t>, ValueHash> clusters;
   std::vector<Value> order;
+  RowCursor cursor(table);
   for (size_t r = 0; r < table->num_rows(); ++r) {
+    cursor.Touch(r);
     Value id = table->ValueAt(r, id_col);
     auto [it, inserted] = clusters.try_emplace(id);
     if (inserted) order.push_back(std::move(id));
@@ -100,6 +105,7 @@ Result<std::vector<TupleProbability>> AssignProbabilities(
       // Step 3, singleton case: certainty.
       size_t r = members[0];
       out[r] = {r, 0.0, 1.0, 1.0};
+      cursor.Touch(r);
       table->SetValue(r, prob_col, Value::Double(1.0));
       continue;
     }
@@ -110,6 +116,7 @@ Result<std::vector<TupleProbability>> AssignProbabilities(
     double s_sum = 0.0;
     std::vector<double> dist(members.size());
     for (size_t i = 0; i < members.size(); ++i) {
+      cursor.Touch(members[i]);
       Dcf tuple = Dcf::ForTuple(
           TupleValueIndices(*table, members[i], attrs, &space));
       dist[i] = InformationLossDistance(tuple, rep, total_weight);
@@ -128,6 +135,7 @@ Result<std::vector<TupleProbability>> AssignProbabilities(
         prob = sim / static_cast<double>(members.size() - 1);
       }
       out[r] = {r, dist[i], sim, prob};
+      cursor.Touch(r);
       table->SetValue(r, prob_col, Value::Double(prob));
     }
   }

@@ -75,7 +75,9 @@ Status RenormalizeCluster(const Table& table,
       Dcf rep, BuildClusterRepresentative(table, members, attrs, space));
   double s_sum = 0.0;
   std::vector<double> dist(members.size());
+  RowCursor cursor(&table);
   for (size_t i = 0; i < members.size(); ++i) {
+    cursor.Touch(members[i]);
     Dcf tuple =
         Dcf::ForTuple(TupleValueIndices(table, members[i], attrs, space));
     dist[i] = InformationLossDistance(tuple, rep, total_weight);
@@ -109,7 +111,9 @@ Value FreshIdentifier(const Table& table, size_t id_col,
     }
   }
   int64_t max_id = 0;
+  RowCursor cursor(&table);
   for (size_t pos : visible) {
+    cursor.Touch(pos);
     Value v = table.ValueAt(pos, id_col);
     if (!v.is_null()) max_id = std::max(max_id, v.int_value());
   }
@@ -159,7 +163,9 @@ Result<size_t> ReassignClusters(Table* table, const DirtyTableInfo& info,
   // and for matching NULL-id inserts against all representatives).
   ClusterMembers members;
   std::vector<size_t> null_rows;
+  RowCursor cursor(table);
   for (size_t pos : visible) {
+    cursor.Touch(pos);
     Value id = table->ValueAt(pos, id_col);
     if (id.is_null()) {
       null_rows.push_back(pos);
@@ -181,6 +187,7 @@ Result<size_t> ReassignClusters(Table* table, const DirtyTableInfo& info,
   if (touched_null && !null_rows.empty()) {
     size_t fresh_counter = 0;
     for (size_t pos : null_rows) {
+      cursor.Touch(pos);
       Dcf tuple = Dcf::ForTuple(TupleValueIndices(*table, pos, attrs, &space));
       const Value* best_id = nullptr;
       double best_dist = options.merge_threshold;
@@ -219,7 +226,10 @@ Result<size_t> ReassignClusters(Table* table, const DirtyTableInfo& info,
                                              &staged));
     ++renormalized;
   }
-  for (const StagedWrite& w : staged) table->SetValue(w.row, w.col, w.value);
+  for (const StagedWrite& w : staged) {
+    cursor.Touch(w.row);
+    table->SetValue(w.row, w.col, w.value);
+  }
   return renormalized;
 }
 

@@ -47,7 +47,9 @@ Result<MatchResult> MatchTuples(const Table& table,
   ValueSpace space;
   std::vector<Dcf> clusters;
 
+  RowCursor cursor(&table);
   for (size_t r = 0; r < table.num_rows(); ++r) {
+    cursor.Touch(r);
     std::vector<uint32_t> values;
     values.reserve(cols.size());
     for (size_t a = 0; a < cols.size(); ++a) {
@@ -91,7 +93,9 @@ Result<MatchResult> AssignClusterIdentifiers(Table* table,
     effective.exclude_columns.push_back(std::string(id_column));
   }
   CONQUER_ASSIGN_OR_RETURN(MatchResult result, MatchTuples(*table, effective));
+  RowCursor cursor(table);
   for (size_t r = 0; r < table->num_rows(); ++r) {
+    cursor.Touch(r);
     // SetValue re-interns the string through the column dictionary, so the
     // rewritten identifiers stay on the interned-compare fast path.
     table->SetValue(r, id_col,

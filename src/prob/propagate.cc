@@ -27,12 +27,16 @@ Result<PropagationStats> PropagateIdentifiers(
     // Record key -> cluster identifier of the referenced table.
     std::unordered_map<Value, Value, ValueHash> crossref;
     crossref.reserve(ref->num_rows());
+    RowCursor ref_cursor(ref);
     for (size_t r = 0; r < ref->num_rows(); ++r) {
+      ref_cursor.Touch(r);
       crossref.emplace(ref->ValueAt(r, ref_key_col),
                        ref->ValueAt(r, ref_id_col));
     }
 
+    RowCursor cursor(table);
     for (size_t r = 0; r < table->num_rows(); ++r) {
+      cursor.Touch(r);
       auto it = crossref.find(table->ValueAt(r, fk_col));
       if (it == crossref.end()) {
         table->SetValue(r, target_col, Value::Null());

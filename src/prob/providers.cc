@@ -13,7 +13,9 @@ Result<std::vector<std::vector<size_t>>> CollectClusters(
                            table.schema().GetColumnIndex(info.id_column));
   std::unordered_map<Value, size_t, ValueHash> index;
   std::vector<std::vector<size_t>> clusters;
+  RowCursor cursor(&table);
   for (size_t r = 0; r < table.num_rows(); ++r) {
+    cursor.Touch(r);
     Value id = table.ValueAt(r, id_col);
     auto [it, inserted] = index.try_emplace(std::move(id), clusters.size());
     if (inserted) clusters.emplace_back();
@@ -35,9 +37,11 @@ Result<size_t> ProbColumn(const Table& table, const DirtyTableInfo& info) {
 Status AssignUniformProbabilities(Table* table, const DirtyTableInfo& info) {
   CONQUER_ASSIGN_OR_RETURN(size_t prob_col, ProbColumn(*table, info));
   CONQUER_ASSIGN_OR_RETURN(auto clusters, CollectClusters(*table, info));
+  RowCursor cursor(table);
   for (const auto& members : clusters) {
     double p = 1.0 / static_cast<double>(members.size());
     for (size_t r : members) {
+      cursor.Touch(r);
       table->SetValue(r, prob_col, Value::Double(p));
     }
   }
@@ -62,7 +66,9 @@ Status AssignSourceReliabilityProbabilities(
                            table->schema().GetColumnIndex(source_column));
   CONQUER_ASSIGN_OR_RETURN(auto clusters, CollectClusters(*table, info));
 
+  RowCursor cursor(table);
   auto weight_of = [&](size_t row) {
+    cursor.Touch(row);
     Value v = table->ValueAt(row, source_col);
     if (v.is_null()) return default_reliability;
     auto it = reliability.find(v.ToString());
@@ -75,6 +81,7 @@ Status AssignSourceReliabilityProbabilities(
     for (size_t r : members) {
       double p = total > 0.0 ? weight_of(r) / total
                              : 1.0 / static_cast<double>(members.size());
+      cursor.Touch(r);
       table->SetValue(r, prob_col, Value::Double(p));
     }
   }

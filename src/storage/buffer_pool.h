@@ -1,0 +1,177 @@
+#ifndef CONQUER_STORAGE_BUFFER_POOL_H_
+#define CONQUER_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/chunk.h"
+
+namespace conquer {
+
+class Table;
+
+/// \brief I/O work one pin (or the evictions it forced) performed.
+///
+/// Accumulated into caller-owned counters so scans can surface
+/// `chunks_loaded=` / `chunks_evicted=` / `io_read_ms=` in EXPLAIN ANALYZE.
+struct PinStats {
+  uint64_t chunks_loaded = 0;
+  uint64_t chunks_evicted = 0;
+  double io_read_seconds = 0;
+
+  void Add(const PinStats& o) {
+    chunks_loaded += o.chunks_loaded;
+    chunks_evicted += o.chunks_evicted;
+    io_read_seconds += o.io_read_seconds;
+  }
+};
+
+/// \brief RAII pin keeping one chunk's column payload resident.
+///
+/// While any pin on a chunk is alive the buffer pool will not evict it, so
+/// raw column pointers (`fixed_data()` etc.) stay valid. Obtained through
+/// `Table::PinChunk` (or `BufferPool::Pin`); destruction unpins. A pin from
+/// a table with no pool attached is a no-op wrapper around the chunk.
+class ChunkPin {
+ public:
+  ChunkPin() = default;
+  ChunkPin(ChunkPin&& other) noexcept
+      : pool_(other.pool_), chunk_(other.chunk_) {
+    other.pool_ = nullptr;
+    other.chunk_ = nullptr;
+  }
+  ChunkPin& operator=(ChunkPin&& other) noexcept;
+  ChunkPin(const ChunkPin&) = delete;
+  ChunkPin& operator=(const ChunkPin&) = delete;
+  ~ChunkPin() { Reset(); }
+
+  /// Releases the pin early (idempotent).
+  void Reset();
+
+  const Chunk* get() const { return chunk_; }
+  const Chunk& operator*() const { return *chunk_; }
+  const Chunk* operator->() const { return chunk_; }
+  explicit operator bool() const { return chunk_ != nullptr; }
+
+ private:
+  friend class BufferPool;
+  friend class Table;
+  ChunkPin(BufferPool* pool, Chunk* chunk) : pool_(pool), chunk_(chunk) {}
+
+  BufferPool* pool_ = nullptr;  ///< null = unmanaged (no pool attached)
+  Chunk* chunk_ = nullptr;
+};
+
+/// \brief Pin/evict buffer manager enforcing a hard byte budget over the
+/// column payloads of every registered chunk.
+///
+/// Chunks live in three states: resident, evicted-clean (payload re-readable
+/// from its backing segment block) and evicted-dirty (never: dirty chunks
+/// are spilled to the pool's anonymous spill file *at eviction time*, so an
+/// evicted chunk is always clean). Eviction scans the LRU list of unpinned
+/// resident chunks and prefers chunks with a still-valid backing (drop, no
+/// write) over dirty ones (serialize + spill, then drop).
+///
+/// What the budget covers: column payloads only. Zone maps, MVCC stamps,
+/// dictionaries and hash indexes stay resident by design — pruning and
+/// visibility checks must never fault I/O, and interned string Values point
+/// into the dictionaries. Pinned chunks and a chunk larger than the whole
+/// budget are exempt while needed, so the budget is hard for the steady
+/// state but allows transient overshoot equal to the pinned working set.
+///
+/// Thread-safety: every method locks the single pool mutex; chunk loads and
+/// spills perform their file I/O under it (serializing faults — simple and
+/// race-free; scans touch distinct chunks so contention is the fault itself).
+/// The pin count is what makes concurrently scanning morsels safe: column
+/// data is only read between Pin and Reset.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t chunks_loaded = 0;   ///< payload faults from backing files
+    uint64_t chunks_evicted = 0;  ///< payload drops (clean + spilled)
+    uint64_t chunks_spilled = 0;  ///< dirty evictions that wrote the spill file
+    uint64_t resident_bytes = 0;  ///< payload bytes currently charged
+    uint64_t peak_resident_bytes = 0;  ///< high-water mark of resident_bytes
+    uint64_t budget_bytes = 0;    ///< 0 = unlimited
+    uint64_t registered_chunks = 0;
+    double io_read_seconds = 0;
+    double io_write_seconds = 0;
+  };
+
+  /// `budget_bytes` of 0 means unlimited (nothing is ever evicted).
+  explicit BufferPool(uint64_t budget_bytes = 0);
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Installs a new budget and immediately evicts down to it (0 disables
+  /// eviction; already-evicted chunks stay on disk until pinned).
+  void SetBudget(uint64_t bytes);
+  uint64_t budget() const;
+
+  Stats stats() const;
+
+  /// Takes ownership of residency management for `chunk` (called by Table
+  /// when a chunk is created or adopted). The chunk may already be evicted
+  /// (binary loader hands over segment-backed chunks).
+  void Register(Chunk* chunk);
+
+  /// Severs the pool link (called by ~Chunk). The chunk must be unpinned.
+  void Unregister(Chunk* chunk);
+
+  /// Ensures the chunk's payload is resident (faulting it in from its
+  /// backing block if evicted) and pins it. Deltas of any load/eviction this
+  /// call performed are added to `*stats` when non-null. I/O failure on the
+  /// pool's own files is unrecoverable and aborts with a diagnostic.
+  ChunkPin Pin(Chunk* chunk, PinStats* stats = nullptr);
+
+  /// Marks the chunk's payload as diverged from its backing block; the next
+  /// eviction must spill it again. Call after any column mutation (append or
+  /// in-place write) of a registered chunk.
+  void MarkDirty(Chunk* chunk);
+
+  /// Default budget for new databases: the CONQUER_MEMORY_BUDGET environment
+  /// variable (accepts ParseByteSize forms), or 0 (unlimited) when unset.
+  /// Lets CI force evictions across an entire test suite.
+  static uint64_t DefaultBudgetFromEnv();
+
+ private:
+  friend class ChunkPin;
+
+  void Unpin(Chunk* chunk);
+
+  /// Requires mu_ held. Faults `chunk`'s payload in from backing_.
+  void LoadLocked(Chunk* chunk, PinStats* stats);
+  /// Requires mu_ held. Evicts LRU victims (clean first) until the charged
+  /// bytes fit the budget or nothing evictable remains.
+  void EnforceBudgetLocked(PinStats* stats);
+  /// Requires mu_ held. Spills `chunk` if dirty, then drops its payload.
+  void EvictLocked(Chunk* chunk, PinStats* stats);
+  /// Requires mu_ held. Re-measures `chunk`'s payload bytes.
+  void RefreshAccountingLocked(Chunk* chunk);
+  /// Requires mu_ held. Lazily creates the anonymous spill file.
+  std::shared_ptr<SegmentFile> SpillFileLocked();
+
+  mutable std::mutex mu_;
+  uint64_t budget_ = 0;
+  uint64_t resident_bytes_ = 0;
+  uint64_t registered_chunks_ = 0;
+  Stats stats_{};
+  /// Unpinned resident chunks, least-recently-unpinned first.
+  std::list<Chunk*> lru_;
+  std::shared_ptr<SegmentFile> spill_;
+};
+
+/// Parses a human byte size: plain bytes or a k/m/g suffix (binary units,
+/// case-insensitive, optional trailing "b"), or "unlimited"/"none" for 0.
+/// Returns false on malformed input.
+bool ParseByteSize(std::string_view text, uint64_t* bytes);
+
+}  // namespace conquer
+
+#endif  // CONQUER_STORAGE_BUFFER_POOL_H_

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "storage/buffer_pool.h"
+
 namespace conquer {
 
 namespace {
@@ -138,6 +140,10 @@ Chunk::Chunk(const TableSchema* schema, size_t capacity) : capacity_(capacity) {
     columns_.emplace_back(schema->column(c).type);
   }
   zones_.resize(schema->num_columns());
+}
+
+Chunk::~Chunk() {
+  if (pool_ != nullptr) pool_->Unregister(this);
 }
 
 void Chunk::Reserve(size_t rows) {

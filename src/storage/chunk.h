@@ -2,6 +2,7 @@
 #define CONQUER_STORAGE_CHUNK_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <vector>
 
@@ -10,6 +11,23 @@
 #include "types/value.h"
 
 namespace conquer {
+
+class BufferPool;
+class SegmentCodec;
+class SegmentFile;
+
+/// \brief Where an evicted chunk's column payload lives on disk.
+///
+/// Points into a shared segment file: either the table's persisted `.seg`
+/// file (evicted-clean chunks after LoadDatabase) or the buffer pool's
+/// anonymous spill file (dirty chunks written back under memory pressure).
+struct ChunkBacking {
+  std::shared_ptr<SegmentFile> file;  ///< null = payload exists only in RAM
+  uint64_t offset = 0;                ///< byte offset of the payload block
+  uint64_t length = 0;                ///< serialized payload size in bytes
+
+  bool valid() const { return file != nullptr; }
+};
 
 /// \brief One tuple: a vector of values aligned with a schema.
 using Row = std::vector<Value>;
@@ -78,6 +96,8 @@ class ColumnVector {
   }
 
  private:
+  friend class SegmentCodec;  ///< raw (de)serialization and payload release
+
   DataType type_;
   std::vector<int64_t> fixed_;   ///< kInt64 / kDate / kBool payloads
   std::vector<double> dbl_;      ///< kDouble payloads
@@ -93,6 +113,10 @@ class ColumnVector {
 class Chunk {
  public:
   Chunk(const TableSchema* schema, size_t capacity);
+  /// Deregisters from the owning buffer pool, if any.
+  ~Chunk();
+  Chunk(const Chunk&) = delete;
+  Chunk& operator=(const Chunk&) = delete;
 
   size_t capacity() const { return capacity_; }
   size_t num_rows() const { return num_rows_; }
@@ -160,13 +184,46 @@ class Chunk {
 
   uint64_t MemoryBytes() const;
 
+  // ---- Out-of-core residency (see storage/buffer_pool.h). ----
+  //
+  // Only the column payloads (typed arrays + null bytes) are evictable;
+  // num_rows, capacity, zone maps and MVCC stamps always stay resident so
+  // pruning and visibility checks never fault I/O. All residency fields are
+  // guarded by the owning pool's mutex; a chunk with no pool is permanently
+  // resident. Callers must hold a ChunkPin before touching column data of a
+  // pool-managed chunk.
+
+  /// True when the column payloads are in memory (pool mutex required for an
+  /// authoritative answer; lock-free reads are for tests/diagnostics only).
+  bool payload_resident() const { return payload_resident_; }
+
+  /// Bytes of column payload (what eviction frees and the budget charges).
+  uint64_t PayloadBytes() const {
+    uint64_t bytes = 0;
+    for (const ColumnVector& cv : columns_) bytes += cv.MemoryBytes();
+    return bytes;
+  }
+
  private:
+  friend class BufferPool;    ///< pin counts, LRU hooks, residency flips
+  friend class SegmentCodec;  ///< raw (de)serialization and payload release
+
   size_t capacity_;
   size_t num_rows_ = 0;
   std::vector<ColumnVector> columns_;
   std::vector<ZoneMap> zones_;
   std::vector<uint64_t> begin_versions_;  ///< empty = all rows begin at 0
   std::vector<uint64_t> end_versions_;    ///< empty = all rows end at kVersionMax
+
+  // Residency bookkeeping (owned by the BufferPool; inert without one).
+  BufferPool* pool_ = nullptr;
+  bool payload_resident_ = true;
+  bool payload_dirty_ = true;  ///< payload diverged from backing_ (or none)
+  uint32_t pin_count_ = 0;
+  uint64_t accounted_bytes_ = 0;  ///< bytes currently charged to the budget
+  bool in_lru_ = false;
+  std::list<Chunk*>::iterator lru_it_{};
+  ChunkBacking backing_;
 };
 
 }  // namespace conquer

@@ -1,0 +1,532 @@
+#include "storage/segment.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace conquer {
+
+namespace {
+
+constexpr char kSegmentMagic[8] = {'C', 'Q', 'S', 'E', 'G', '0', '0', '1'};
+constexpr size_t kFooterSize = 8 + 8 + sizeof(kSegmentMagic);
+
+// Physical storage class of a column (mirrors chunk.cc's layout keying).
+enum class Phys : uint8_t { kFixed = 0, kDouble = 1, kCode = 2 };
+
+Phys PhysOf(DataType t) {
+  switch (t) {
+    case DataType::kDouble:
+      return Phys::kDouble;
+    case DataType::kString:
+      return Phys::kCode;
+    default:
+      return Phys::kFixed;
+  }
+}
+
+void PutRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+void PutU8(std::string* out, uint8_t v) { PutRaw(out, &v, 1); }
+void PutU32(std::string* out, uint32_t v) { PutRaw(out, &v, sizeof(v)); }
+void PutU64(std::string* out, uint64_t v) { PutRaw(out, &v, sizeof(v)); }
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  PutRaw(out, s.data(), s.size());
+}
+
+/// Bounds-checked cursor over a serialized buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status Read(void* out, size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::InvalidArgument("segment data truncated");
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadU8(uint8_t* v) { return Read(v, 1); }
+  Status ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+
+  Status ReadString(std::string_view* s) {
+    uint32_t len = 0;
+    CONQUER_RETURN_NOT_OK(ReadU32(&len));
+    if (pos_ + len > data_.size()) {
+      return Status::InvalidArgument("segment string truncated");
+    }
+    *s = data_.substr(pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// Zone-map value tags (doubles round-trip as raw bits).
+enum class ValueTag : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kDate = 4,
+  kString = 5,
+};
+
+void PutValue(std::string* out, const Value& v) {
+  if (v.is_null()) {
+    PutU8(out, static_cast<uint8_t>(ValueTag::kNull));
+    return;
+  }
+  switch (v.type()) {
+    case DataType::kBool:
+      PutU8(out, static_cast<uint8_t>(ValueTag::kBool));
+      PutU8(out, v.bool_value() ? 1 : 0);
+      return;
+    case DataType::kInt64:
+      PutU8(out, static_cast<uint8_t>(ValueTag::kInt64));
+      PutU64(out, static_cast<uint64_t>(v.int_value()));
+      return;
+    case DataType::kDouble: {
+      PutU8(out, static_cast<uint8_t>(ValueTag::kDouble));
+      double d = v.double_value();
+      PutRaw(out, &d, sizeof(d));
+      return;
+    }
+    case DataType::kDate:
+      PutU8(out, static_cast<uint8_t>(ValueTag::kDate));
+      PutU64(out, static_cast<uint64_t>(v.int_value()));
+      return;
+    case DataType::kString:
+      PutU8(out, static_cast<uint8_t>(ValueTag::kString));
+      PutString(out, v.string_value());
+      return;
+    default:
+      PutU8(out, static_cast<uint8_t>(ValueTag::kNull));
+      return;
+  }
+}
+
+/// Strings re-intern through `dict` when available, so zone min/max come
+/// back as interned Values just as AppendRow would have produced them.
+Status GetValue(ByteReader* r, StringDictionary* dict, Value* out) {
+  uint8_t tag = 0;
+  CONQUER_RETURN_NOT_OK(r->ReadU8(&tag));
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::kNull:
+      *out = Value::Null();
+      return Status::OK();
+    case ValueTag::kBool: {
+      uint8_t b = 0;
+      CONQUER_RETURN_NOT_OK(r->ReadU8(&b));
+      *out = Value::Bool(b != 0);
+      return Status::OK();
+    }
+    case ValueTag::kInt64: {
+      uint64_t v = 0;
+      CONQUER_RETURN_NOT_OK(r->ReadU64(&v));
+      *out = Value::Int(static_cast<int64_t>(v));
+      return Status::OK();
+    }
+    case ValueTag::kDouble: {
+      double d = 0;
+      CONQUER_RETURN_NOT_OK(r->Read(&d, sizeof(d)));
+      *out = Value::Double(d);
+      return Status::OK();
+    }
+    case ValueTag::kDate: {
+      uint64_t v = 0;
+      CONQUER_RETURN_NOT_OK(r->ReadU64(&v));
+      *out = Value::Date(static_cast<int64_t>(v));
+      return Status::OK();
+    }
+    case ValueTag::kString: {
+      std::string_view s;
+      CONQUER_RETURN_NOT_OK(r->ReadString(&s));
+      *out = dict != nullptr ? dict->InternValue(s) : Value::String(std::string(s));
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument(
+      StringPrintf("unknown segment value tag %u", tag));
+}
+
+Status ReadBackingPayload(const ChunkBacking& backing, std::string* buf) {
+  buf->resize(backing.length);
+  return backing.file->ReadAt(backing.offset, buf->data(), backing.length);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- SegmentFile
+
+Result<std::shared_ptr<SegmentFile>> SegmentFile::Create(
+    const std::string& path, bool unlink_immediately) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument(
+        StringPrintf("cannot create segment file '%s': %s", path.c_str(),
+                     std::strerror(errno)));
+  }
+  if (unlink_immediately) ::unlink(path.c_str());
+  return std::shared_ptr<SegmentFile>(new SegmentFile(fd, path, 0));
+}
+
+Result<std::shared_ptr<SegmentFile>> SegmentFile::OpenReadOnly(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound(
+        StringPrintf("cannot open segment file '%s': %s", path.c_str(),
+                     std::strerror(errno)));
+  }
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot size segment file '" + path + "'");
+  }
+  return std::shared_ptr<SegmentFile>(
+      new SegmentFile(fd, path, static_cast<uint64_t>(end)));
+}
+
+SegmentFile::~SegmentFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SegmentFile::ReadAt(uint64_t offset, void* buf, size_t n) const {
+  char* out = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::pread(fd_, out + done, n - done,
+                          static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StringPrintf("pread of '%s' failed: %s", path_.c_str(),
+                       std::strerror(errno)));
+    }
+    if (got == 0) {
+      return Status::Internal("short read from segment file '" + path_ + "'");
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status SegmentFile::Append(const void* data, size_t n, uint64_t* offset) {
+  const uint64_t off = end_.fetch_add(n, std::memory_order_acq_rel);
+  const char* in = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t put = ::pwrite(fd_, in + done, n - done,
+                           static_cast<off_t>(off + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StringPrintf("pwrite to '%s' failed: %s", path_.c_str(),
+                       std::strerror(errno)));
+    }
+    done += static_cast<size_t>(put);
+  }
+  if (offset != nullptr) *offset = off;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ SegmentCodec
+
+void SegmentCodec::SerializePayload(const Chunk& chunk, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(chunk.num_rows_));
+  for (const ColumnVector& cv : chunk.columns_) {
+    const Phys phys = PhysOf(cv.type_);
+    PutU8(out, static_cast<uint8_t>(phys));
+    const size_t n = chunk.num_rows_;
+    switch (phys) {
+      case Phys::kFixed:
+        assert(cv.fixed_.size() == n);
+        PutRaw(out, cv.fixed_.data(), n * sizeof(int64_t));
+        break;
+      case Phys::kDouble:
+        assert(cv.dbl_.size() == n);
+        PutRaw(out, cv.dbl_.data(), n * sizeof(double));
+        break;
+      case Phys::kCode:
+        assert(cv.codes_.size() == n);
+        PutRaw(out, cv.codes_.data(), n * sizeof(uint32_t));
+        break;
+    }
+    assert(cv.nulls_.size() == n);
+    PutRaw(out, cv.nulls_.data(), n);
+  }
+}
+
+Status SegmentCodec::DeserializePayload(std::string_view data, Chunk* chunk) {
+  ByteReader r(data);
+  uint32_t n = 0;
+  CONQUER_RETURN_NOT_OK(r.ReadU32(&n));
+  if (n != chunk->num_rows_) {
+    return Status::InvalidArgument(
+        StringPrintf("chunk payload row count %u does not match resident "
+                     "metadata (%zu rows)",
+                     n, chunk->num_rows_));
+  }
+  for (ColumnVector& cv : chunk->columns_) {
+    const Phys expected = PhysOf(cv.type_);
+    uint8_t phys = 0;
+    CONQUER_RETURN_NOT_OK(r.ReadU8(&phys));
+    if (phys != static_cast<uint8_t>(expected)) {
+      return Status::InvalidArgument("chunk payload column layout mismatch");
+    }
+    switch (expected) {
+      case Phys::kFixed:
+        cv.fixed_.resize(n);
+        CONQUER_RETURN_NOT_OK(r.Read(cv.fixed_.data(), n * sizeof(int64_t)));
+        break;
+      case Phys::kDouble:
+        cv.dbl_.resize(n);
+        CONQUER_RETURN_NOT_OK(r.Read(cv.dbl_.data(), n * sizeof(double)));
+        break;
+      case Phys::kCode:
+        cv.codes_.resize(n);
+        CONQUER_RETURN_NOT_OK(r.Read(cv.codes_.data(), n * sizeof(uint32_t)));
+        break;
+    }
+    cv.nulls_.resize(n);
+    CONQUER_RETURN_NOT_OK(r.Read(cv.nulls_.data(), n));
+  }
+  chunk->payload_resident_ = true;
+  chunk->payload_dirty_ = false;
+  return Status::OK();
+}
+
+void SegmentCodec::ReleasePayload(Chunk* chunk) {
+  for (ColumnVector& cv : chunk->columns_) {
+    std::vector<int64_t>().swap(cv.fixed_);
+    std::vector<double>().swap(cv.dbl_);
+    std::vector<uint32_t>().swap(cv.codes_);
+    std::vector<uint8_t>().swap(cv.nulls_);
+  }
+  chunk->payload_resident_ = false;
+}
+
+void SegmentCodec::InitEvicted(Chunk* chunk, size_t num_rows,
+                               ChunkBacking backing) {
+  assert(chunk->num_rows_ == 0);
+  chunk->num_rows_ = num_rows;
+  chunk->backing_ = std::move(backing);
+  chunk->payload_resident_ = false;
+  chunk->payload_dirty_ = false;
+}
+
+void SegmentCodec::SetZone(Chunk* chunk, size_t col, ZoneMap zone) {
+  chunk->zones_[col] = std::move(zone);
+}
+
+void SegmentCodec::SetVersions(Chunk* chunk, std::vector<uint64_t> begin,
+                               std::vector<uint64_t> end) {
+  assert(begin.size() == chunk->num_rows_ && end.size() == chunk->num_rows_);
+  chunk->begin_versions_ = std::move(begin);
+  chunk->end_versions_ = std::move(end);
+}
+
+// ----------------------------------------------------- table segment files
+
+Status WriteTableSegment(const Table& table, const std::string& path) {
+  CONQUER_ASSIGN_OR_RETURN(std::shared_ptr<SegmentFile> file,
+                           SegmentFile::Create(path));
+  CONQUER_RETURN_NOT_OK(
+      file->Append(kSegmentMagic, sizeof(kSegmentMagic), nullptr));
+
+  struct Extent {
+    uint64_t offset;
+    uint64_t length;
+  };
+  std::vector<Extent> extents;
+  extents.reserve(table.num_chunks());
+  std::string buf;
+  for (size_t i = 0; i < table.num_chunks(); ++i) {
+    // Pin one chunk at a time: saving a budgeted database never needs more
+    // than one payload resident beyond the steady state.
+    ChunkPin pin = table.PinChunk(i);
+    buf.clear();
+    SegmentCodec::SerializePayload(*pin.get(), &buf);
+    uint64_t off = 0;
+    CONQUER_RETURN_NOT_OK(file->Append(buf.data(), buf.size(), &off));
+    extents.push_back({off, buf.size()});
+  }
+
+  const size_t num_cols = table.schema().num_columns();
+  std::string meta;
+  PutU64(&meta, table.committed_version());
+  PutU64(&meta, table.chunk_capacity());
+  PutU64(&meta, table.num_rows());
+  PutU32(&meta, static_cast<uint32_t>(num_cols));
+  for (size_t c = 0; c < num_cols; ++c) {
+    const StringDictionary* dict = table.dictionary(c);
+    if (dict == nullptr) {
+      PutU8(&meta, 0);
+      continue;
+    }
+    PutU8(&meta, 1);
+    // Entries in code order, so re-interning at load reproduces every code.
+    const uint32_t n = static_cast<uint32_t>(dict->size());
+    PutU64(&meta, n);
+    for (uint32_t code = 0; code < n; ++code) {
+      PutString(&meta, *dict->StringAt(code));
+    }
+  }
+  PutU64(&meta, table.num_chunks());
+  for (size_t i = 0; i < table.num_chunks(); ++i) {
+    const Chunk& ch = table.chunk(i);
+    PutU64(&meta, extents[i].offset);
+    PutU64(&meta, extents[i].length);
+    PutU32(&meta, static_cast<uint32_t>(ch.num_rows()));
+    for (size_t c = 0; c < num_cols; ++c) {
+      const ZoneMap& z = ch.zone(c);
+      PutValue(&meta, z.min);
+      PutValue(&meta, z.max);
+      PutU32(&meta, z.null_count);
+      PutU8(&meta, z.all_distinct ? 1 : 0);
+    }
+    PutU8(&meta, ch.has_versions() ? 1 : 0);
+    if (ch.has_versions()) {
+      for (size_t r = 0; r < ch.num_rows(); ++r) {
+        PutU64(&meta, ch.begin_version(r));
+      }
+      for (size_t r = 0; r < ch.num_rows(); ++r) {
+        PutU64(&meta, ch.end_version(r));
+      }
+    }
+  }
+
+  uint64_t meta_offset = 0;
+  CONQUER_RETURN_NOT_OK(file->Append(meta.data(), meta.size(), &meta_offset));
+  std::string footer;
+  PutU64(&footer, meta_offset);
+  PutU64(&footer, meta.size());
+  PutRaw(&footer, kSegmentMagic, sizeof(kSegmentMagic));
+  return file->Append(footer.data(), footer.size(), nullptr);
+}
+
+Status LoadTableSegment(Table* table, const std::string& path) {
+  if (table->num_rows() != 0) {
+    return Status::InvalidArgument("LoadTableSegment requires an empty table");
+  }
+  CONQUER_ASSIGN_OR_RETURN(std::shared_ptr<SegmentFile> file,
+                           SegmentFile::OpenReadOnly(path));
+  if (file->size() < sizeof(kSegmentMagic) + kFooterSize) {
+    return Status::InvalidArgument("segment file '" + path + "' truncated");
+  }
+  char footer_buf[kFooterSize];
+  CONQUER_RETURN_NOT_OK(
+      file->ReadAt(file->size() - kFooterSize, footer_buf, kFooterSize));
+  if (std::memcmp(footer_buf + 16, kSegmentMagic, sizeof(kSegmentMagic)) !=
+      0) {
+    return Status::InvalidArgument("segment file '" + path +
+                                   "' has a corrupt footer");
+  }
+  uint64_t meta_offset = 0, meta_length = 0;
+  std::memcpy(&meta_offset, footer_buf, 8);
+  std::memcpy(&meta_length, footer_buf + 8, 8);
+  if (meta_offset + meta_length > file->size()) {
+    return Status::InvalidArgument("segment meta section out of bounds");
+  }
+  std::string meta(meta_length, '\0');
+  CONQUER_RETURN_NOT_OK(file->ReadAt(meta_offset, meta.data(), meta_length));
+
+  ByteReader r(meta);
+  uint64_t committed_version = 0, chunk_capacity = 0, num_rows = 0;
+  uint32_t num_cols = 0;
+  CONQUER_RETURN_NOT_OK(r.ReadU64(&committed_version));
+  CONQUER_RETURN_NOT_OK(r.ReadU64(&chunk_capacity));
+  CONQUER_RETURN_NOT_OK(r.ReadU64(&num_rows));
+  CONQUER_RETURN_NOT_OK(r.ReadU32(&num_cols));
+  if (num_cols != table->schema().num_columns()) {
+    return Status::InvalidArgument(StringPrintf(
+        "segment has %u columns but table '%s' has %zu", num_cols,
+        table->name().c_str(), table->schema().num_columns()));
+  }
+  for (size_t c = 0; c < num_cols; ++c) {
+    uint8_t has_dict = 0;
+    CONQUER_RETURN_NOT_OK(r.ReadU8(&has_dict));
+    if (has_dict == 0) continue;
+    StringDictionary* dict = table->mutable_dictionary(c);
+    if (dict == nullptr) {
+      return Status::InvalidArgument(
+          "segment carries a dictionary for a non-string column");
+    }
+    uint64_t n = 0;
+    CONQUER_RETURN_NOT_OK(r.ReadU64(&n));
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string_view s;
+      CONQUER_RETURN_NOT_OK(r.ReadString(&s));
+      if (dict->Intern(s) != i) {
+        return Status::InvalidArgument(
+            "segment dictionary entries are not in code order");
+      }
+    }
+  }
+
+  uint64_t num_chunks = 0;
+  CONQUER_RETURN_NOT_OK(r.ReadU64(&num_chunks));
+  std::vector<std::unique_ptr<Chunk>> chunks;
+  chunks.reserve(num_chunks);
+  for (uint64_t i = 0; i < num_chunks; ++i) {
+    uint64_t payload_offset = 0, payload_length = 0;
+    uint32_t chunk_rows = 0;
+    CONQUER_RETURN_NOT_OK(r.ReadU64(&payload_offset));
+    CONQUER_RETURN_NOT_OK(r.ReadU64(&payload_length));
+    CONQUER_RETURN_NOT_OK(r.ReadU32(&chunk_rows));
+    auto ch = std::make_unique<Chunk>(&table->schema(),
+                                      static_cast<size_t>(chunk_capacity));
+    SegmentCodec::InitEvicted(ch.get(), chunk_rows,
+                              {file, payload_offset, payload_length});
+    for (size_t c = 0; c < num_cols; ++c) {
+      ZoneMap z;
+      StringDictionary* dict = table->mutable_dictionary(c);
+      CONQUER_RETURN_NOT_OK(GetValue(&r, dict, &z.min));
+      CONQUER_RETURN_NOT_OK(GetValue(&r, dict, &z.max));
+      CONQUER_RETURN_NOT_OK(r.ReadU32(&z.null_count));
+      uint8_t all_distinct = 0;
+      CONQUER_RETURN_NOT_OK(r.ReadU8(&all_distinct));
+      z.all_distinct = all_distinct != 0;
+      SegmentCodec::SetZone(ch.get(), c, std::move(z));
+    }
+    uint8_t has_versions = 0;
+    CONQUER_RETURN_NOT_OK(r.ReadU8(&has_versions));
+    if (has_versions != 0) {
+      std::vector<uint64_t> begin(chunk_rows), end(chunk_rows);
+      CONQUER_RETURN_NOT_OK(
+          r.Read(begin.data(), chunk_rows * sizeof(uint64_t)));
+      CONQUER_RETURN_NOT_OK(r.Read(end.data(), chunk_rows * sizeof(uint64_t)));
+      SegmentCodec::SetVersions(ch.get(), std::move(begin), std::move(end));
+    }
+    // Without a buffer pool there is nothing to fault payloads in later;
+    // load them eagerly (the all-resident case).
+    if (table->buffer_pool() == nullptr) {
+      std::string buf;
+      CONQUER_RETURN_NOT_OK(
+          ReadBackingPayload({file, payload_offset, payload_length}, &buf));
+      CONQUER_RETURN_NOT_OK(SegmentCodec::DeserializePayload(buf, ch.get()));
+    }
+    chunks.push_back(std::move(ch));
+  }
+
+  table->AdoptChunks(std::move(chunks), static_cast<size_t>(chunk_capacity),
+                     static_cast<size_t>(num_rows), committed_version);
+  return Status::OK();
+}
+
+}  // namespace conquer

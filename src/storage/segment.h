@@ -1,0 +1,116 @@
+#ifndef CONQUER_STORAGE_SEGMENT_H_
+#define CONQUER_STORAGE_SEGMENT_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace conquer {
+
+/// \brief Random-access segment file shared by every chunk backed by it.
+///
+/// Reads use pread so concurrent faults never share a file position;
+/// appends serialize through an atomic end offset. Byte order is the
+/// host's — segment files are a local store, not an interchange format
+/// (the CSV export is; see engine/persist.h).
+class SegmentFile {
+ public:
+  /// Creates (truncating) a writable segment file. With
+  /// `unlink_immediately` the name is removed right away, so the spill
+  /// storage is anonymous and cannot outlive the process.
+  static Result<std::shared_ptr<SegmentFile>> Create(
+      const std::string& path, bool unlink_immediately = false);
+
+  /// Opens an existing segment file read-only.
+  static Result<std::shared_ptr<SegmentFile>> OpenReadOnly(
+      const std::string& path);
+
+  ~SegmentFile();
+  SegmentFile(const SegmentFile&) = delete;
+  SegmentFile& operator=(const SegmentFile&) = delete;
+
+  /// Reads exactly `n` bytes at `offset` (short reads are errors).
+  Status ReadAt(uint64_t offset, void* buf, size_t n) const;
+
+  /// Appends `n` bytes; `*offset` receives where they landed.
+  Status Append(const void* data, size_t n, uint64_t* offset);
+
+  uint64_t size() const { return end_.load(std::memory_order_acquire); }
+  const std::string& path() const { return path_; }
+
+ private:
+  SegmentFile(int fd, std::string path, uint64_t end)
+      : fd_(fd), path_(std::move(path)), end_(end) {}
+
+  int fd_;
+  std::string path_;
+  std::atomic<uint64_t> end_;
+};
+
+/// \brief The single gateway to a chunk's raw column storage.
+///
+/// Everything that serializes, restores or frees column payloads goes
+/// through here (the buffer pool's spill/fault path and the table segment
+/// writer/loader below), so Chunk and ColumnVector expose their vectors to
+/// exactly one friend. Payload bytes cover the typed arrays and null bytes
+/// only — zone maps and MVCC stamps are resident metadata and travel in the
+/// segment's meta section instead.
+class SegmentCodec {
+ public:
+  /// Serializes the column payloads of `chunk` (appends to `*out`).
+  static void SerializePayload(const Chunk& chunk, std::string* out);
+
+  /// Restores payloads produced by SerializePayload into `chunk`, which
+  /// must have the same schema and row count.
+  static Status DeserializePayload(std::string_view data, Chunk* chunk);
+
+  /// Frees the column payloads; num_rows, zones and stamps survive.
+  static void ReleasePayload(Chunk* chunk);
+
+  /// Loader-side constructor: marks `chunk` as holding `num_rows` rows
+  /// whose payload lives at `backing` (chunk starts evicted-clean).
+  static void InitEvicted(Chunk* chunk, size_t num_rows, ChunkBacking backing);
+
+  static void SetZone(Chunk* chunk, size_t col, ZoneMap zone);
+  static void SetVersions(Chunk* chunk, std::vector<uint64_t> begin,
+                          std::vector<uint64_t> end);
+};
+
+/// \brief Binary table persistence: one self-contained `.seg` file per table.
+///
+/// Layout (host byte order; see DESIGN.md §14 for the full diagram):
+///
+///   "CQSEG001"            8-byte magic
+///   payload blocks        SegmentCodec payloads, one per chunk, in order
+///   meta section          committed version, chunk capacity, row count,
+///                         per-column dictionaries (entries in code order),
+///                         then per chunk: payload extent, row count, zone
+///                         maps, MVCC begin/end stamps
+///   footer                u64 meta offset, u64 meta length, magic again
+///
+/// Everything the binary format stores round-trips bit-exactly: doubles are
+/// written as raw bits, NULLs as the null byte array (so NULL and empty
+/// string stay distinct), and version stamps verbatim.
+/// \{
+
+/// Writes every chunk of `table` (faulting evicted payloads in one at a
+/// time, so saving respects the memory budget) plus all resident metadata.
+Status WriteTableSegment(const Table& table, const std::string& path);
+
+/// Replaces `table`'s storage with the segment's contents. Dictionaries,
+/// zone maps, stamps and the committed-version watermark load eagerly;
+/// chunk payloads stay on disk (evicted-clean) and fault in through the
+/// table's buffer pool on first pin. Without a pool attached, payloads are
+/// loaded eagerly instead. The table must have the matching schema and be
+/// empty.
+Status LoadTableSegment(Table* table, const std::string& path);
+
+/// \}
+
+}  // namespace conquer
+
+#endif  // CONQUER_STORAGE_SEGMENT_H_

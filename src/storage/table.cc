@@ -36,6 +36,7 @@ Table::Table(TableSchema schema, size_t chunk_capacity)
 
 Table::Table(Table&& other) noexcept
     : schema_(std::move(other.schema_)),
+      pool_(other.pool_),
       chunk_capacity_(other.chunk_capacity_),
       committed_version_(
           other.committed_version_.load(std::memory_order_relaxed)),
@@ -44,26 +45,52 @@ Table::Table(Table&& other) noexcept
       chunks_(std::move(other.chunks_)),
       indexes_(std::move(other.indexes_)),
       stats_(std::move(other.stats_)),
-      dicts_(std::move(other.dicts_)) {
+      dicts_(std::move(other.dicts_)),
+      append_pin_(std::move(other.append_pin_)) {
   other.num_rows_ = 0;
 }
 
 Table& Table::operator=(Table&& other) noexcept {
   if (this != &other) {
     schema_ = std::move(other.schema_);
+    pool_ = other.pool_;
     chunk_capacity_ = other.chunk_capacity_;
     committed_version_.store(
         other.committed_version_.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
     num_rows_ = other.num_rows_;
     reserve_hint_ = other.reserve_hint_;
+    append_pin_.Reset();
     chunks_ = std::move(other.chunks_);
     indexes_ = std::move(other.indexes_);
     stats_ = std::move(other.stats_);
     dicts_ = std::move(other.dicts_);
+    append_pin_ = std::move(other.append_pin_);
     other.num_rows_ = 0;
   }
   return *this;
+}
+
+void Table::AttachBufferPool(BufferPool* pool) {
+  pool_ = pool;
+  if (pool_ != nullptr) {
+    for (auto& ch : chunks_) pool_->Register(ch.get());
+  }
+}
+
+void Table::AdoptChunks(std::vector<std::unique_ptr<Chunk>> chunks,
+                        size_t chunk_capacity, size_t num_rows,
+                        uint64_t committed_version) {
+  append_pin_.Reset();
+  chunks_ = std::move(chunks);
+  chunk_capacity_ = std::max<size_t>(1, chunk_capacity);
+  num_rows_ = num_rows;
+  committed_version_.store(committed_version, std::memory_order_release);
+  indexes_.clear();
+  stats_.clear();
+  if (pool_ != nullptr) {
+    for (auto& ch : chunks_) pool_->Register(ch.get());
+  }
 }
 
 Chunk* Table::AppendChunk() {
@@ -73,12 +100,24 @@ Chunk* Table::AppendChunk() {
       chunks_.back()->Reserve(
           std::min(chunk_capacity_, reserve_hint_ - num_rows_));
     }
+    if (pool_ != nullptr) pool_->Register(chunks_.back().get());
   }
   return chunks_.back().get();
 }
 
 void Table::AppendToStorage(const Row& row) {
-  AppendChunk()->AppendRow(row, dicts_);
+  Chunk* ch = AppendChunk();
+  if (pool_ == nullptr) {
+    ch->AppendRow(row, dicts_);
+  } else {
+    // The append chunk stays pinned between inserts; re-pinning per row
+    // would let a sub-chunk budget evict (spill) the tail after every
+    // append and fault it straight back in. Assigning the new pin
+    // releases the previous tail, which becomes evictable.
+    if (append_pin_.get() != ch) append_pin_ = pool_->Pin(ch);
+    ch->AppendRow(row, dicts_);
+    pool_->MarkDirty(ch);
+  }
   ++num_rows_;
 }
 
@@ -95,18 +134,22 @@ std::vector<Row> Table::rows() const {
 }
 
 void Table::GetRowInto(size_t i, Row* out) const {
-  chunks_[i / chunk_capacity_]->MaterializeRow(i % chunk_capacity_, out,
-                                               dicts_);
+  const size_t c = i / chunk_capacity_;
+  ChunkPin pin = PinChunk(c);
+  chunks_[c]->MaterializeRow(i % chunk_capacity_, out, dicts_);
 }
 
 Value Table::ValueAt(size_t row, size_t col) const {
-  return chunks_[row / chunk_capacity_]->GetValue(row % chunk_capacity_, col,
-                                                  dicts_[col].get());
+  const size_t c = row / chunk_capacity_;
+  ChunkPin pin = PinChunk(c);
+  return chunks_[c]->GetValue(row % chunk_capacity_, col, dicts_[col].get());
 }
 
 void Table::SetValue(size_t row, size_t col, const Value& v) {
-  chunks_[row / chunk_capacity_]->SetValue(row % chunk_capacity_, col, v,
-                                           dicts_[col].get());
+  const size_t c = row / chunk_capacity_;
+  ChunkPin pin = PinChunk(c);
+  chunks_[c]->SetValue(row % chunk_capacity_, col, v, dicts_[col].get());
+  if (pool_ != nullptr) pool_->MarkDirty(chunks_[c].get());
   // A hash index on this column would now map stale keys; drop it rather
   // than let a lookup consult it (CreateIndex rebuilds on demand).
   if (col < indexes_.size()) indexes_[col].reset();
@@ -177,6 +220,7 @@ std::vector<size_t> Table::VisibleRowPositions(uint64_t snapshot) const {
 }
 
 void Table::Clear() {
+  append_pin_.Reset();
   chunks_.clear();
   num_rows_ = 0;
   reserve_hint_ = 0;
@@ -191,17 +235,26 @@ void Table::Clear() {
 
 void Table::Rechunk(size_t capacity) {
   capacity = std::max<size_t>(1, capacity);
+  append_pin_.Reset();
   std::vector<std::unique_ptr<Chunk>> old = std::move(chunks_);
   chunks_.clear();
   chunk_capacity_ = capacity;
   Row scratch;
   size_t pos = 0;
+  ChunkPin dst_pin;  // held until the destination tail moves on
   for (const auto& ch : old) {
+    // Source payloads fault in chunk-by-chunk; destination chunks are
+    // created dirty (they have no backing yet) and may spill behind the
+    // cursor under a tight budget.
+    ChunkPin src_pin =
+        pool_ != nullptr ? pool_->Pin(ch.get()) : ChunkPin(nullptr, ch.get());
     for (size_t r = 0; r < ch->num_rows(); ++r, ++pos) {
       ch->MaterializeRow(r, &scratch, dicts_);
       Chunk* dst = AppendChunk();
+      if (pool_ != nullptr && dst_pin.get() != dst) dst_pin = pool_->Pin(dst);
       const size_t local = dst->num_rows();
       dst->AppendRow(scratch, dicts_);
+      if (pool_ != nullptr) pool_->MarkDirty(dst);
       // Carry version stamps across the rebuild: losing them would resurrect
       // deleted rows (or hide fresh ones) for pinned snapshots.
       if (ch->has_versions()) {
@@ -227,9 +280,10 @@ Status Table::CreateIndex(std::string_view column_name) {
   }
   idx->Reserve(expected);
   size_t pos = 0;
-  for (const auto& ch : chunks_) {
-    const ColumnVector& cv = ch->column(col);
-    for (size_t r = 0; r < ch->num_rows(); ++r, ++pos) {
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    ChunkPin pin = PinChunk(c);
+    const ColumnVector& cv = chunks_[c]->column(col);
+    for (size_t r = 0; r < chunks_[c]->num_rows(); ++r, ++pos) {
       idx->Insert(cv.GetValue(r, dicts_[col].get()), pos);
     }
   }
@@ -245,15 +299,20 @@ const HashIndex* Table::GetIndex(size_t column) const {
 void Table::AnalyzeStatistics() {
   // Re-tighten zone maps first: in-place writes only widen min/max and
   // clear all-distinct flags; this restores exact per-chunk statistics.
-  for (auto& ch : chunks_) ch->RecomputeZones(dicts_);
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    ChunkPin pin = PinChunk(i);
+    chunks_[i]->RecomputeZones(dicts_);
+  }
   stats_.assign(schema_.num_columns(), ColumnStats{});
   std::unordered_set<Value, ValueHash> distinct;
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
     distinct.clear();
-    for (const auto& ch : chunks_) {
-      const ColumnVector& cv = ch->column(c);
-      stats_[c].num_nulls += ch->zone(c).null_count;
-      for (size_t r = 0; r < ch->num_rows(); ++r) {
+    for (size_t i = 0; i < chunks_.size(); ++i) {
+      ChunkPin pin = PinChunk(i);
+      const Chunk& ch = *chunks_[i];
+      const ColumnVector& cv = ch.column(c);
+      stats_[c].num_nulls += ch.zone(c).null_count;
+      for (size_t r = 0; r < ch.num_rows(); ++r) {
         if (!cv.is_null(r)) distinct.insert(cv.GetValue(r, dicts_[c].get()));
       }
     }

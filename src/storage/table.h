@@ -9,6 +9,7 @@
 #include "catalog/schema.h"
 #include "common/flat_hash.h"
 #include "common/result.h"
+#include "storage/buffer_pool.h"
 #include "storage/chunk.h"
 #include "storage/dictionary.h"
 #include "types/value.h"
@@ -85,8 +86,44 @@ class Table {
 
   // ---- Chunk-level access (vectorized scans). ----
   size_t num_chunks() const { return chunks_.size(); }
+  /// Raw chunk reference: resident metadata (num_rows, zone maps, MVCC
+  /// stamps) is always safe to read; column payloads of a pool-managed
+  /// chunk require a ChunkPin (see PinChunk).
   const Chunk& chunk(size_t i) const { return *chunks_[i]; }
   size_t chunk_capacity() const { return chunk_capacity_; }
+
+  // ---- Out-of-core management. ----
+
+  /// Hands residency management of every chunk (current and future) to
+  /// `pool`. Call once, right after construction (the engine attaches its
+  /// per-database pool in CreateTable). Pass nullptr for standalone
+  /// always-resident tables.
+  void AttachBufferPool(BufferPool* pool);
+  BufferPool* buffer_pool() const { return pool_; }
+
+  /// Pins chunk `i`'s column payload into memory (faulting it in if
+  /// evicted) for the lifetime of the returned pin. Without an attached
+  /// pool this is a cheap no-op wrapper. `stats`, when non-null, receives
+  /// the I/O this pin performed (scan counters).
+  ChunkPin PinChunk(size_t i, PinStats* stats = nullptr) const {
+    Chunk* ch = chunks_[i].get();
+    return pool_ != nullptr ? pool_->Pin(ch, stats) : ChunkPin(nullptr, ch);
+  }
+
+  /// Binary-loader handoff: replaces the (empty) storage with pre-built
+  /// chunks — possibly evicted ones backed by a segment file — and restores
+  /// the committed-version watermark. Indexes and statistics reset;
+  /// dictionaries must already be populated (codes in the chunks reference
+  /// them). Registers every chunk with the attached pool.
+  void AdoptChunks(std::vector<std::unique_ptr<Chunk>> chunks,
+                   size_t chunk_capacity, size_t num_rows,
+                   uint64_t committed_version);
+
+  /// Dictionary of column `c` for loaders that must repopulate it before
+  /// AdoptChunks; nullptr for non-string columns.
+  StringDictionary* mutable_dictionary(size_t column) {
+    return dicts_[column].get();
+  }
 
   // ---- Row-level access (maintenance passes, persistence, tests). ----
   /// Materializes row `i` BY VALUE (the storage is columnar; there is no
@@ -203,6 +240,7 @@ class Table {
   void AppendToStorage(const Row& row);
 
   TableSchema schema_;
+  BufferPool* pool_ = nullptr;  ///< residency manager (may be null)
   size_t chunk_capacity_ = kDefaultChunkCapacity;
   std::atomic<uint64_t> committed_version_{0};
   size_t num_rows_ = 0;
@@ -211,6 +249,44 @@ class Table {
   std::vector<std::unique_ptr<HashIndex>> indexes_;
   std::vector<ColumnStats> stats_;
   std::vector<std::unique_ptr<StringDictionary>> dicts_;
+  /// Keeps the chunk under active append resident between inserts: without
+  /// it a sub-chunk budget evicts (spills) the tail after every row and
+  /// bulk loads degrade to one write + one read of the whole payload per
+  /// row. Moving to the next tail chunk releases the previous pin; declared
+  /// after chunks_ so destruction unpins before the chunk dies.
+  ChunkPin append_pin_;
+};
+
+/// \brief Keeps the chunk containing the most recently touched row pinned.
+///
+/// Row-sequential loops (maintenance passes, persistence, oracles) call
+/// `Touch(row)` before `ValueAt`/`SetValue`/`GetRowInto`. Without it each
+/// per-row call pins and immediately unpins, so a budget smaller than one
+/// chunk evicts (spilling if dirty) and refaults the whole payload per row
+/// — quadratic I/O. The cursor holds the current chunk's pin until the loop
+/// crosses a chunk boundary; the per-call pins inside the Table methods
+/// then always hit a resident chunk. Stack-local, single-threaded use only.
+class RowCursor {
+ public:
+  explicit RowCursor(const Table* table) : table_(table) {}
+
+  void Touch(size_t row) {
+    const size_t c = row / table_->chunk_capacity();
+    if (c != chunk_) {
+      pin_ = table_->PinChunk(c);
+      chunk_ = c;
+    }
+  }
+
+  void Reset() {
+    pin_.Reset();
+    chunk_ = static_cast<size_t>(-1);
+  }
+
+ private:
+  const Table* table_;
+  ChunkPin pin_;
+  size_t chunk_ = static_cast<size_t>(-1);
 };
 
 }  // namespace conquer

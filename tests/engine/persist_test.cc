@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "core/clean_engine.h"
 #include "tests/core/paper_fixtures.h"
@@ -82,6 +86,7 @@ TEST_F(PersistTest, NullsSurviveRoundTrip) {
                   .ok());
   ASSERT_TRUE(db.Insert("t", {Value::Null(), Value::String("\\N")}).ok());
   ASSERT_TRUE(db.Insert("t", {Value::Int(1), Value::Null()}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(2), Value::String("")}).ok());
   ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
   auto loaded = LoadDatabase(dir_.string());
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -90,9 +95,145 @@ TEST_F(PersistTest, NullsSurviveRoundTrip) {
   EXPECT_TRUE((*t)->row(0)[0].is_null());
   EXPECT_TRUE((*t)->row(1)[1].is_null());
   EXPECT_EQ((*t)->row(1)[0].int_value(), 1);
-  // Caveat of the plain-text format: a literal string equal to the NULL
-  // spelling reads back as NULL.
+  // The binary format keeps NULL distinct from every string value: a
+  // literal "\N" and the empty string both survive verbatim.
+  ASSERT_FALSE((*t)->row(0)[1].is_null());
+  EXPECT_EQ((*t)->row(0)[1].string_value(), "\\N");
+  ASSERT_FALSE((*t)->row(2)[1].is_null());
+  EXPECT_EQ((*t)->row(2)[1].string_value(), "");
+}
+
+TEST_F(PersistTest, CsvExportCollapsesNullSpelling) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema("t", {{"a", DataType::kInt64},
+                                               {"b", DataType::kString}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Null(), Value::String("\\N")}).ok());
+  ASSERT_TRUE(
+      SaveDatabase(db, dir_.string(), nullptr, SaveFormat::kCsv).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "t.csv"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "t.seg"));
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto t = (*loaded)->GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE((*t)->row(0)[0].is_null());
+  // Documented caveat of the text format: a literal string equal to the
+  // NULL spelling reads back as NULL.
   EXPECT_TRUE((*t)->row(0)[1].is_null());
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+TEST_F(PersistTest, DoublesAreBitExactInBothFormats) {
+  // Values chosen to break lossy %.6g printing: a non-terminating binary
+  // expansion, a denormal, signed zero, and the classic 0.1 + 0.2.
+  const double values[] = {0.1 + 0.2, 1.0 / 3.0, 5e-324, -0.0,
+                           6.02214076e23, -1.7976931348623157e308};
+  for (SaveFormat format : {SaveFormat::kBinary, SaveFormat::kCsv}) {
+    Database db;
+    ASSERT_TRUE(
+        db.CreateTable(TableSchema("t", {{"x", DataType::kDouble}})).ok());
+    for (double d : values) {
+      ASSERT_TRUE(db.Insert("t", {Value::Double(d)}).ok());
+    }
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(SaveDatabase(db, dir_.string(), nullptr, format).ok());
+    auto loaded = LoadDatabase(dir_.string());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    auto t = (*loaded)->GetTable("t");
+    ASSERT_TRUE(t.ok());
+    for (size_t r = 0; r < std::size(values); ++r) {
+      EXPECT_EQ(DoubleBits((*t)->row(r)[0].double_value()),
+                DoubleBits(values[r]))
+          << "row " << r << " format " << static_cast<int>(format);
+    }
+  }
+}
+
+/// Bit patterns of SUM(prob) per identifier — the probability fidelity
+/// witness: any rounding anywhere in the save/load path changes some bit.
+std::vector<uint64_t> SumProbBits(Database* db, const std::string& table) {
+  auto rs = db->Query("select id, sum(prob) from " + table +
+                      " group by id order by id");
+  if (!rs.ok()) return {};
+  std::vector<uint64_t> bits;
+  for (const Row& row : rs->rows) {
+    bits.push_back(DoubleBits(row[1].double_value()));
+  }
+  return bits;
+}
+
+TEST_F(PersistTest, PostWriteRoundTripPreservesVisibleRowsAndStamps) {
+  Database db;
+  DirtySchema dirty;
+  LoadFigure2(&db, &dirty);
+
+  // Drive the MVCC write path so saved chunks carry real version stamps:
+  // an insert, an update and a delete against the dirty orders table.
+  ASSERT_TRUE(db.ExecuteWrite("insert into orders values ('o100', '99', "
+                              "'c2', 7, 0.625)")
+                  .ok());
+  ASSERT_TRUE(
+      db.ExecuteWrite("update orders set cidfk = 'c1' where id = 'o100'")
+          .ok());
+  ASSERT_TRUE(db.ExecuteWrite("delete from customer where id = 'c3'").ok());
+
+  auto before_rows = db.Query("select * from orders order by id, cidfk");
+  ASSERT_TRUE(before_rows.ok());
+  std::vector<uint64_t> before_bits = SumProbBits(&db, "orders");
+  ASSERT_FALSE(before_bits.empty());
+
+  ASSERT_TRUE(SaveDatabase(db, dir_.string(), &dirty).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Visible rows identical (dead versions must stay dead after reload).
+  auto after_rows = (*loaded)->Query("select * from orders order by id, cidfk");
+  ASSERT_TRUE(after_rows.ok());
+  ASSERT_EQ(before_rows->rows.size(), after_rows->rows.size());
+  for (size_t r = 0; r < before_rows->rows.size(); ++r) {
+    for (size_t c = 0; c < before_rows->rows[r].size(); ++c) {
+      EXPECT_EQ(before_rows->rows[r][c].TotalCompare(after_rows->rows[r][c]),
+                0)
+          << "row " << r << " col " << c;
+    }
+  }
+  auto deleted = (*loaded)->Query("select * from customer where id = 'c3'");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_TRUE(deleted->rows.empty());
+
+  // SUM(prob) bitwise identical.
+  EXPECT_EQ(SumProbBits(loaded->get(), "orders"), before_bits);
+
+  // The committed-version watermark survives, so the next write cannot
+  // collide with pre-save version stamps.
+  auto orig = db.GetTable("orders");
+  auto copy = (*loaded)->GetTable("orders");
+  ASSERT_TRUE(orig.ok() && copy.ok());
+  EXPECT_EQ((*orig)->committed_version(), (*copy)->committed_version());
+  // Physical storage still holds the dead versions (binary keeps history).
+  EXPECT_EQ((*orig)->num_rows(), (*copy)->num_rows());
+}
+
+TEST_F(PersistTest, BinaryLoadUnderTinyBudgetMatchesUnlimited) {
+  Database db;
+  DirtySchema dirty;
+  LoadFigure2(&db, &dirty);
+  std::vector<uint64_t> before_bits = SumProbBits(&db, "orders");
+  ASSERT_TRUE(SaveDatabase(db, dir_.string(), &dirty).ok());
+
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // A 1-byte budget forces every chunk to fault in per pin and be evicted
+  // right after; answers must not change.
+  (*loaded)->SetMemoryBudget(1);
+  EXPECT_EQ(SumProbBits(loaded->get(), "orders"), before_bits);
+  EXPECT_GT((*loaded)->buffer_pool()->stats().chunks_evicted, 0u);
 }
 
 TEST_F(PersistTest, DatesAndDoublesRoundTrip) {

@@ -378,6 +378,76 @@ TEST_F(ParallelDeterminismTest, JoinAggregateBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// Out-of-core differential sweep: with only two chunks' worth of memory
+// budget the scans evict and reload constantly, including right after
+// MVCC writes dirtied chunks (forcing spill-file round-trips). Clean
+// answers must stay bit-identical to the unconstrained sequential run
+// across the batch-size / thread matrix.
+TEST(OutOfCoreDifferentialTest, TwoChunkBudgetIsBitIdenticalAcrossMatrix) {
+  RandomDirtyDb rdb;
+  BuildRandomDb(42, &rdb);
+  rdb.db.mutable_exec_context()->morsel_size = 2;
+  for (const std::string& name : rdb.tables) {
+    auto t = rdb.db.GetTable(name);
+    ASSERT_TRUE(t.ok());
+    (*t)->Rechunk(7);
+  }
+  // Size the budget off the pool's own accounting: room for two average
+  // chunks, so most of every table is evicted at any moment.
+  const BufferPool::Stats st = rdb.db.buffer_pool()->stats();
+  ASSERT_GT(st.registered_chunks, 2u);
+  ASSERT_GT(st.resident_bytes, 0u);
+  const uint64_t two_chunks = 2 * (st.resident_bytes / st.registered_chunks);
+
+  CleanAnswerEngine engine(&rdb.db, &rdb.dirty);
+  const std::string sql = BuildRandomRewritableQuery(42 * 131, rdb);
+  SCOPED_TRACE(sql);
+
+  for (int phase = 0; phase < 2; ++phase) {
+    if (phase == 1) {
+      // Dirty some chunks through the write path, then shrink the budget
+      // again so the dirtied payloads must survive a spill round-trip.
+      rdb.db.SetMemoryBudget(0);
+      ASSERT_TRUE(
+          rdb.db.ExecuteWrite("delete from t0 where id = 't0_e0'").ok());
+      auto upd = rdb.db.ExecuteWrite(
+          "update t1 set a1_0 = 3 where id = 't1_e1'");
+      ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+    }
+    rdb.db.SetMemoryBudget(0);
+    rdb.db.SetThreads(1);
+    rdb.db.mutable_exec_context()->batch_size = 1024;
+    auto baseline = engine.Query(sql);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+    rdb.db.SetMemoryBudget(two_chunks);
+    for (size_t batch_size : {size_t{1}, size_t{7}, size_t{1024}}) {
+      for (size_t threads : {size_t{1}, size_t{3}}) {
+        rdb.db.mutable_exec_context()->batch_size = batch_size;
+        rdb.db.SetThreads(threads);
+        auto run = engine.Query(sql);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        const std::string label =
+            " (phase=" + std::to_string(phase) +
+            ", batch_size=" + std::to_string(batch_size) +
+            ", threads=" + std::to_string(threads) + ")";
+        ASSERT_EQ(run->answers.size(), baseline->answers.size()) << label;
+        for (size_t i = 0; i < run->answers.size(); ++i) {
+          EXPECT_TRUE(
+              RowsEqual(run->answers[i].row, baseline->answers[i].row))
+              << "answer row " << i << " differs" << label;
+          EXPECT_EQ(Bits(run->answers[i].probability),
+                    Bits(baseline->answers[i].probability))
+              << "probability of answer " << i << " is not bit-identical"
+              << label;
+        }
+      }
+    }
+    // The budget genuinely constrained the run.
+    EXPECT_GT(rdb.db.buffer_pool()->stats().chunks_evicted, 0u);
+  }
+}
+
 TEST_F(ParallelDeterminismTest, ExplainAnalyzeReportsWorkers) {
   Database db;
   ASSERT_TRUE(db.CreateTable(TableSchema("t", {{"g", DataType::kInt64},

@@ -96,7 +96,7 @@ Status SaveDatabase(const Database& db, const std::string& dir,
 
     if (format == SaveFormat::kBinary) {
       CONQUER_RETURN_NOT_OK(
-          WriteTableSegment(*table, dir + "/" + name + ".seg"));
+          WriteTableSegment(table, dir + "/" + name + ".seg"));
     } else {
       CONQUER_RETURN_NOT_OK(
           SaveTableCsv(*table, dir + "/" + name + ".csv", csv));

@@ -61,9 +61,9 @@ BufferPool::~BufferPool() {
 }
 
 void BufferPool::SetBudget(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   budget_ = bytes;
-  EnforceBudgetLocked(nullptr);
+  EnforceBudget(lock, nullptr);
 }
 
 uint64_t BufferPool::budget() const {
@@ -77,11 +77,12 @@ BufferPool::Stats BufferPool::stats() const {
   out.resident_bytes = resident_bytes_;
   out.budget_bytes = budget_;
   out.registered_chunks = registered_chunks_;
+  out.spill_file_bytes = spill_ != nullptr ? spill_->size() : 0;
   return out;
 }
 
 void BufferPool::Register(Chunk* chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   assert(chunk->pool_ == nullptr);
   chunk->pool_ = this;
   ++registered_chunks_;
@@ -90,17 +91,19 @@ void BufferPool::Register(Chunk* chunk) {
     lru_.push_back(chunk);
     chunk->lru_it_ = std::prev(lru_.end());
     chunk->in_lru_ = true;
-    EnforceBudgetLocked(nullptr);
+    EnforceBudget(lock, nullptr);
   }
 }
 
 void BufferPool::Unregister(Chunk* chunk) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(chunk->pin_count_ == 0);
+  assert(chunk->pin_count_ == 0 && !chunk->io_busy_);
   if (chunk->in_lru_) {
     lru_.erase(chunk->lru_it_);
     chunk->in_lru_ = false;
   }
+  // The dying chunk's spill extent (if any) becomes reusable.
+  ReleaseSpillExtentLocked(chunk->backing_);
   resident_bytes_ -= chunk->accounted_bytes_;
   chunk->accounted_bytes_ = 0;
   chunk->pool_ = nullptr;
@@ -108,24 +111,36 @@ void BufferPool::Unregister(Chunk* chunk) {
 }
 
 ChunkPin BufferPool::Pin(Chunk* chunk, PinStats* stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   assert(chunk->pool_ == this);
-  if (!chunk->payload_resident_) {
-    LoadLocked(chunk, stats);
-    // Make room for what the fault brought in — but never for the chunk
-    // itself: it is not on the LRU list until its last unpin.
-    EnforceBudgetLocked(stats);
+  bool faulted = false;
+  for (;;) {
+    // An in-flight fault or spill owns the chunk's payload; wait it out
+    // rather than observing half-written state.
+    if (chunk->io_busy_) {
+      io_cv_.wait(lock);
+      continue;
+    }
+    if (chunk->payload_resident_) break;
+    LoadChunk(lock, chunk, stats);
+    faulted = true;
+    break;
   }
   if (chunk->in_lru_) {
     lru_.erase(chunk->lru_it_);
     chunk->in_lru_ = false;
   }
   ++chunk->pin_count_;
+  if (faulted) {
+    // Make room for what the fault brought in — but never for the chunk
+    // itself: it is pinned and off the LRU list.
+    EnforceBudget(lock, stats);
+  }
   return ChunkPin(this, chunk);
 }
 
 void BufferPool::Unpin(Chunk* chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   assert(chunk->pin_count_ > 0);
   if (--chunk->pin_count_ > 0) return;
   // Appends may have grown the payload while pinned; re-measure now that no
@@ -134,7 +149,7 @@ void BufferPool::Unpin(Chunk* chunk) {
   lru_.push_back(chunk);
   chunk->lru_it_ = std::prev(lru_.end());
   chunk->in_lru_ = true;
-  EnforceBudgetLocked(nullptr);
+  EnforceBudget(lock, nullptr);
 }
 
 void BufferPool::MarkDirty(Chunk* chunk) {
@@ -142,15 +157,34 @@ void BufferPool::MarkDirty(Chunk* chunk) {
   chunk->payload_dirty_ = true;
 }
 
-void BufferPool::LoadLocked(Chunk* chunk, PinStats* stats) {
+void BufferPool::RebindBacking(Chunk* chunk, ChunkBacking backing) {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(chunk->pool_ == this);
+  // A fault mid-flight copied the old backing and keeps its file alive; a
+  // spill mid-flight would overwrite backing_ after us. Either way, wait.
+  while (chunk->io_busy_) io_cv_.wait(lock);
+  ReleaseSpillExtentLocked(chunk->backing_);
+  chunk->backing_ = std::move(backing);
+  chunk->payload_dirty_ = false;
+}
+
+void BufferPool::LoadChunk(std::unique_lock<std::mutex>& lk, Chunk* chunk,
+                           PinStats* stats) {
   assert(!chunk->payload_resident_ && chunk->backing_.valid());
+  assert(!chunk->io_busy_);
+  chunk->io_busy_ = true;
+  // Copy the backing: RebindBacking may re-point it while we read, and the
+  // copy keeps the (possibly replaced) file alive and readable.
+  const ChunkBacking backing = chunk->backing_;
+  lk.unlock();
   const auto t0 = std::chrono::steady_clock::now();
-  std::string buf(chunk->backing_.length, '\0');
-  DieOnIoError(chunk->backing_.file->ReadAt(chunk->backing_.offset,
-                                            buf.data(), buf.size()),
+  std::string buf(backing.length, '\0');
+  DieOnIoError(backing.file->ReadAt(backing.offset, buf.data(), buf.size()),
                "read");
   DieOnIoError(SegmentCodec::DeserializePayload(buf, chunk), "decode");
   const double secs = SecondsSince(t0);
+  lk.lock();
+  chunk->io_busy_ = false;
   RefreshAccountingLocked(chunk);
   ++stats_.chunks_loaded;
   stats_.io_read_seconds += secs;
@@ -158,9 +192,11 @@ void BufferPool::LoadLocked(Chunk* chunk, PinStats* stats) {
     ++stats->chunks_loaded;
     stats->io_read_seconds += secs;
   }
+  io_cv_.notify_all();
 }
 
-void BufferPool::EnforceBudgetLocked(PinStats* stats) {
+void BufferPool::EnforceBudget(std::unique_lock<std::mutex>& lk,
+                               PinStats* stats) {
   if (budget_ == 0) return;
   while (resident_bytes_ > budget_ && !lru_.empty()) {
     // Cold clean chunks first: their payload is re-readable from its backing
@@ -174,33 +210,56 @@ void BufferPool::EnforceBudgetLocked(PinStats* stats) {
       }
     }
     if (victim == nullptr) victim = lru_.front();
-    EvictLocked(victim, stats);
+    assert(victim->payload_resident_ && victim->pin_count_ == 0);
+    lru_.erase(victim->lru_it_);
+    victim->in_lru_ = false;
+    if (victim->payload_dirty_) SpillChunk(lk, victim);
+    SegmentCodec::ReleasePayload(victim);
+    resident_bytes_ -= victim->accounted_bytes_;
+    victim->accounted_bytes_ = 0;
+    ++stats_.chunks_evicted;
+    if (stats != nullptr) ++stats->chunks_evicted;
   }
 }
 
-void BufferPool::EvictLocked(Chunk* chunk, PinStats* stats) {
-  assert(chunk->payload_resident_ && chunk->pin_count_ == 0);
-  if (chunk->payload_dirty_) {
-    std::string buf;
-    SegmentCodec::SerializePayload(*chunk, &buf);
-    const auto t0 = std::chrono::steady_clock::now();
-    std::shared_ptr<SegmentFile> spill = SpillFileLocked();
-    uint64_t offset = 0;
-    DieOnIoError(spill->Append(buf.data(), buf.size(), &offset), "spill");
-    stats_.io_write_seconds += SecondsSince(t0);
-    chunk->backing_ = {std::move(spill), offset, buf.size()};
-    chunk->payload_dirty_ = false;
-    ++stats_.chunks_spilled;
+void BufferPool::SpillChunk(std::unique_lock<std::mutex>& lk, Chunk* chunk) {
+  assert(!chunk->io_busy_);
+  // The busy flag makes us the payload's exclusive owner (the chunk is off
+  // the LRU list, so no other evictor picks it; pinners wait): serialize
+  // and write without holding the pool lock.
+  chunk->io_busy_ = true;
+  std::shared_ptr<SegmentFile> spill = SpillFileLocked();
+  lk.unlock();
+  std::string buf;
+  SegmentCodec::SerializePayload(*chunk, &buf);
+  lk.lock();
+  // Pick the destination extent under the lock (the free list is shared):
+  // in place when the previous spill extent fits, else a freed extent,
+  // else fresh space at the end of the file.
+  uint64_t offset = 0;
+  uint64_t alloc = 0;
+  if (chunk->backing_.file == spill &&
+      chunk->backing_.alloc_length() >= buf.size()) {
+    offset = chunk->backing_.offset;
+    alloc = chunk->backing_.alloc_length();
+  } else {
+    ReleaseSpillExtentLocked(chunk->backing_);
+    if (!TakeSpillExtentLocked(buf.size(), &offset, &alloc)) {
+      spill->Reserve(buf.size(), &offset);
+      alloc = buf.size();
+    }
   }
-  SegmentCodec::ReleasePayload(chunk);
-  resident_bytes_ -= chunk->accounted_bytes_;
-  chunk->accounted_bytes_ = 0;
-  if (chunk->in_lru_) {
-    lru_.erase(chunk->lru_it_);
-    chunk->in_lru_ = false;
-  }
-  ++stats_.chunks_evicted;
-  if (stats != nullptr) ++stats->chunks_evicted;
+  lk.unlock();
+  const auto t0 = std::chrono::steady_clock::now();
+  DieOnIoError(spill->WriteAt(offset, buf.data(), buf.size()), "spill");
+  const double secs = SecondsSince(t0);
+  lk.lock();
+  stats_.io_write_seconds += secs;
+  chunk->backing_ = ChunkBacking{std::move(spill), offset, buf.size(), alloc};
+  chunk->payload_dirty_ = false;
+  chunk->io_busy_ = false;
+  ++stats_.chunks_spilled;
+  io_cv_.notify_all();
 }
 
 void BufferPool::RefreshAccountingLocked(Chunk* chunk) {
@@ -211,6 +270,25 @@ void BufferPool::RefreshAccountingLocked(Chunk* chunk) {
   // noisy (allocator retention), pool accounting is exact.
   stats_.peak_resident_bytes =
       std::max(stats_.peak_resident_bytes, resident_bytes_);
+}
+
+void BufferPool::ReleaseSpillExtentLocked(const ChunkBacking& backing) {
+  if (backing.file == nullptr || backing.file != spill_) return;
+  spill_free_.push_back({backing.offset, backing.alloc_length()});
+}
+
+bool BufferPool::TakeSpillExtentLocked(uint64_t need, uint64_t* offset,
+                                       uint64_t* alloc) {
+  for (size_t i = 0; i < spill_free_.size(); ++i) {
+    if (spill_free_[i].alloc >= need) {
+      *offset = spill_free_[i].offset;
+      *alloc = spill_free_[i].alloc;
+      spill_free_[i] = spill_free_.back();
+      spill_free_.pop_back();
+      return true;
+    }
+  }
+  return false;
 }
 
 std::shared_ptr<SegmentFile> BufferPool::SpillFileLocked() {
@@ -259,7 +337,10 @@ bool ParseByteSize(std::string_view text, uint64_t* bytes) {
   size_t i = 0;
   uint64_t n = 0;
   while (i < t.size() && t[i] >= '0' && t[i] <= '9') {
-    n = n * 10 + static_cast<uint64_t>(t[i] - '0');
+    const uint64_t digit = static_cast<uint64_t>(t[i] - '0');
+    // Reject overflow instead of silently wrapping to a tiny budget.
+    if (n > (UINT64_MAX - digit) / 10) return false;
+    n = n * 10 + digit;
     ++i;
   }
   if (i == 0) return false;
@@ -284,6 +365,7 @@ bool ParseByteSize(std::string_view text, uint64_t* bytes) {
     if (i < t.size() && t[i] == 'b') ++i;
     if (i != t.size()) return false;
   }
+  if (n > UINT64_MAX / mult) return false;
   *bytes = n * mult;
   return true;
 }

@@ -1,12 +1,14 @@
 #ifndef CONQUER_STORAGE_BUFFER_POOL_H_
 #define CONQUER_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "storage/chunk.h"
@@ -84,17 +86,22 @@ class ChunkPin {
 /// budget are exempt while needed, so the budget is hard for the steady
 /// state but allows transient overshoot equal to the pinned working set.
 ///
-/// Thread-safety: every method locks the single pool mutex; chunk loads and
-/// spills perform their file I/O under it (serializing faults — simple and
-/// race-free; scans touch distinct chunks so contention is the fault itself).
-/// The pin count is what makes concurrently scanning morsels safe: column
-/// data is only read between Pin and Reset.
+/// Thread-safety: pool state (LRU list, accounting, residency flags) lives
+/// behind a single mutex, but chunk loads and dirty spills run their file
+/// I/O *outside* it: the operation marks its chunk io-busy under the lock,
+/// releases the lock for the read/decode (or serialize/write), and
+/// re-acquires it to publish the result. Concurrent pins of distinct chunks
+/// therefore fault in parallel; only operations on the same chunk serialize
+/// (waiters block on a pool condvar until the busy flag clears). The pin
+/// count is what makes concurrently scanning morsels safe: column data is
+/// only read between Pin and Reset.
 class BufferPool {
  public:
   struct Stats {
     uint64_t chunks_loaded = 0;   ///< payload faults from backing files
     uint64_t chunks_evicted = 0;  ///< payload drops (clean + spilled)
     uint64_t chunks_spilled = 0;  ///< dirty evictions that wrote the spill file
+    uint64_t spill_file_bytes = 0;  ///< bytes allocated in the spill file
     uint64_t resident_bytes = 0;  ///< payload bytes currently charged
     uint64_t peak_resident_bytes = 0;  ///< high-water mark of resident_bytes
     uint64_t budget_bytes = 0;    ///< 0 = unlimited
@@ -135,6 +142,13 @@ class BufferPool {
   /// in-place write) of a registered chunk.
   void MarkDirty(Chunk* chunk);
 
+  /// Re-points `chunk`'s backing at `backing` — an extent the caller
+  /// guarantees holds exactly the chunk's current payload bytes — and marks
+  /// it clean. Used by the segment writer to checkpoint a table after a
+  /// save. Waits out any in-flight fault/spill on the chunk and releases a
+  /// previous spill extent. Caller must ensure no concurrent writers.
+  void RebindBacking(Chunk* chunk, ChunkBacking backing);
+
   /// Default budget for new databases: the CONQUER_MEMORY_BUDGET environment
   /// variable (accepts ParseByteSize forms), or 0 (unlimited) when unset.
   /// Lets CI force evictions across an entire test suite.
@@ -143,21 +157,42 @@ class BufferPool {
  private:
   friend class ChunkPin;
 
+  /// A released spill extent available for reuse by a later spill.
+  struct SpillExtent {
+    uint64_t offset;
+    uint64_t alloc;
+  };
+
   void Unpin(Chunk* chunk);
 
-  /// Requires mu_ held. Faults `chunk`'s payload in from backing_.
-  void LoadLocked(Chunk* chunk, PinStats* stats);
-  /// Requires mu_ held. Evicts LRU victims (clean first) until the charged
-  /// bytes fit the budget or nothing evictable remains.
-  void EnforceBudgetLocked(PinStats* stats);
-  /// Requires mu_ held. Spills `chunk` if dirty, then drops its payload.
-  void EvictLocked(Chunk* chunk, PinStats* stats);
+  /// Faults `chunk`'s payload in from backing_. Enters with `lk` held,
+  /// drops it for the read/decode, exits with it re-acquired.
+  void LoadChunk(std::unique_lock<std::mutex>& lk, Chunk* chunk,
+                 PinStats* stats);
+  /// Evicts LRU victims (clean first) until the charged bytes fit the
+  /// budget or nothing evictable remains. `lk` must be held; dirty spills
+  /// release it for their file I/O.
+  void EnforceBudget(std::unique_lock<std::mutex>& lk, PinStats* stats);
+  /// Serializes `chunk` and writes it to the spill file, reusing its
+  /// previous spill extent (or a freed one) when the payload fits. Enters
+  /// and exits with `lk` held, drops it for the serialize/write.
+  void SpillChunk(std::unique_lock<std::mutex>& lk, Chunk* chunk);
   /// Requires mu_ held. Re-measures `chunk`'s payload bytes.
   void RefreshAccountingLocked(Chunk* chunk);
   /// Requires mu_ held. Lazily creates the anonymous spill file.
   std::shared_ptr<SegmentFile> SpillFileLocked();
+  /// Requires mu_ held. Returns `backing`'s extent to the spill free list
+  /// when it points into the spill file (no-op otherwise).
+  void ReleaseSpillExtentLocked(const ChunkBacking& backing);
+  /// Requires mu_ held. First-fit grab of a freed spill extent that holds
+  /// `need` bytes; false when none fits (caller reserves fresh space).
+  bool TakeSpillExtentLocked(uint64_t need, uint64_t* offset,
+                             uint64_t* alloc);
 
   mutable std::mutex mu_;
+  /// Signalled whenever a chunk's io-busy flag clears; Pin and
+  /// RebindBacking wait on it to serialize same-chunk operations.
+  std::condition_variable io_cv_;
   uint64_t budget_ = 0;
   uint64_t resident_bytes_ = 0;
   uint64_t registered_chunks_ = 0;
@@ -165,6 +200,11 @@ class BufferPool {
   /// Unpinned resident chunks, least-recently-unpinned first.
   std::list<Chunk*> lru_;
   std::shared_ptr<SegmentFile> spill_;
+  /// Spill extents no longer referenced by any chunk (their owner died,
+  /// re-spilled elsewhere, or was checkpointed to a segment file). Extents
+  /// are reused whole — payloads are near-uniform chunk serializations, so
+  /// first-fit without splitting keeps the file bounded.
+  std::vector<SpillExtent> spill_free_;
 };
 
 /// Parses a human byte size: plain bytes or a k/m/g suffix (binary units,

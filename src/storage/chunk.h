@@ -25,8 +25,13 @@ struct ChunkBacking {
   std::shared_ptr<SegmentFile> file;  ///< null = payload exists only in RAM
   uint64_t offset = 0;                ///< byte offset of the payload block
   uint64_t length = 0;                ///< serialized payload size in bytes
+  /// Allocated extent size (>= length). Spill extents keep their allocated
+  /// size across re-spills so a shrinking payload can be rewritten in place;
+  /// 0 means "exactly length" (segment-file extents are packed).
+  uint64_t alloc = 0;
 
   bool valid() const { return file != nullptr; }
+  uint64_t alloc_length() const { return alloc != 0 ? alloc : length; }
 };
 
 /// \brief One tuple: a vector of values aligned with a schema.
@@ -219,6 +224,10 @@ class Chunk {
   BufferPool* pool_ = nullptr;
   bool payload_resident_ = true;
   bool payload_dirty_ = true;  ///< payload diverged from backing_ (or none)
+  /// A fault or spill is running its file I/O outside the pool mutex; the
+  /// chunk's payload and residency flags are owned by that operation until
+  /// it clears the flag (waiters block on the pool's io condvar).
+  bool io_busy_ = false;
   uint32_t pin_count_ = 0;
   uint64_t accounted_bytes_ = 0;  ///< bytes currently charged to the budget
   bool in_lru_ = false;

@@ -4,7 +4,10 @@
 #include <unistd.h>
 
 #include <cassert>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "common/str_util.h"
 
@@ -226,13 +229,12 @@ Status SegmentFile::ReadAt(uint64_t offset, void* buf, size_t n) const {
   return Status::OK();
 }
 
-Status SegmentFile::Append(const void* data, size_t n, uint64_t* offset) {
-  const uint64_t off = end_.fetch_add(n, std::memory_order_acq_rel);
+Status SegmentFile::WriteAt(uint64_t offset, const void* data, size_t n) {
   const char* in = static_cast<const char*>(data);
   size_t done = 0;
   while (done < n) {
     ssize_t put = ::pwrite(fd_, in + done, n - done,
-                           static_cast<off_t>(off + done));
+                           static_cast<off_t>(offset + done));
     if (put < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(
@@ -241,7 +243,22 @@ Status SegmentFile::Append(const void* data, size_t n, uint64_t* offset) {
     }
     done += static_cast<size_t>(put);
   }
+  return Status::OK();
+}
+
+Status SegmentFile::Append(const void* data, size_t n, uint64_t* offset) {
+  uint64_t off = 0;
+  Reserve(n, &off);
+  CONQUER_RETURN_NOT_OK(WriteAt(off, data, n));
   if (offset != nullptr) *offset = off;
+  return Status::OK();
+}
+
+Status SegmentFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(StringPrintf("fsync of '%s' failed: %s",
+                                         path_.c_str(), std::strerror(errno)));
+  }
   return Status::OK();
 }
 
@@ -330,6 +347,12 @@ void SegmentCodec::InitEvicted(Chunk* chunk, size_t num_rows,
   chunk->payload_dirty_ = false;
 }
 
+void SegmentCodec::Rebind(Chunk* chunk, ChunkBacking backing) {
+  assert(chunk->pool_ == nullptr);
+  chunk->backing_ = std::move(backing);
+  chunk->payload_dirty_ = false;
+}
+
 void SegmentCodec::SetZone(Chunk* chunk, size_t col, ZoneMap zone) {
   chunk->zones_[col] = std::move(zone);
 }
@@ -343,17 +366,19 @@ void SegmentCodec::SetVersions(Chunk* chunk, std::vector<uint64_t> begin,
 
 // ----------------------------------------------------- table segment files
 
-Status WriteTableSegment(const Table& table, const std::string& path) {
-  CONQUER_ASSIGN_OR_RETURN(std::shared_ptr<SegmentFile> file,
-                           SegmentFile::Create(path));
+namespace {
+
+struct Extent {
+  uint64_t offset;
+  uint64_t length;
+};
+
+Status WriteSegmentBody(const Table& table, SegmentFile* file,
+                        std::vector<Extent>* out_extents) {
   CONQUER_RETURN_NOT_OK(
       file->Append(kSegmentMagic, sizeof(kSegmentMagic), nullptr));
 
-  struct Extent {
-    uint64_t offset;
-    uint64_t length;
-  };
-  std::vector<Extent> extents;
+  std::vector<Extent>& extents = *out_extents;
   extents.reserve(table.num_chunks());
   std::string buf;
   for (size_t i = 0; i < table.num_chunks(); ++i) {
@@ -417,7 +442,61 @@ Status WriteTableSegment(const Table& table, const std::string& path) {
   PutU64(&footer, meta_offset);
   PutU64(&footer, meta.size());
   PutRaw(&footer, kSegmentMagic, sizeof(kSegmentMagic));
-  return file->Append(footer.data(), footer.size(), nullptr);
+  CONQUER_RETURN_NOT_OK(file->Append(footer.data(), footer.size(), nullptr));
+  return file->Sync();
+}
+
+}  // namespace
+
+Status WriteTableSegment(Table* table, const std::string& path) {
+  // Never open `path` itself for writing: after LoadDatabase the table's
+  // evicted chunks read their payloads from that very file, so truncating
+  // it in place would destroy the data before the pin loop below faults it
+  // in — and a failed save would leave nothing behind. Write a sibling temp
+  // file and rename() it over the target only once the footer is durable;
+  // chunks still faulting from the replaced file keep reading the old inode
+  // through their open handle.
+  const std::string tmp = path + ".tmp";
+  std::vector<Extent> extents;
+  Status st;
+  {
+    CONQUER_ASSIGN_OR_RETURN(std::shared_ptr<SegmentFile> file,
+                             SegmentFile::Create(tmp));
+    st = WriteSegmentBody(*table, file.get(), &extents);
+  }
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::Internal(StringPrintf("cannot rename '%s' over '%s': %s",
+                                       tmp.c_str(), path.c_str(),
+                                       std::strerror(errno)));
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+
+  // Checkpoint: every chunk's payload was just written verbatim, so re-point
+  // the backings at the new file and mark everything clean. This releases
+  // the replaced inode (otherwise held alive by still-evicted chunks — a
+  // full file's worth of dead disk) and any spill extents. Best-effort: if
+  // the reopen fails the save already succeeded and the old handles stay
+  // valid. Safe because saves run without concurrent writers (the same
+  // exclusivity the unsynchronized metadata walk above relies on); a
+  // concurrent reader mid-fault is waited out by RebindBacking.
+  Result<std::shared_ptr<SegmentFile>> reopened =
+      SegmentFile::OpenReadOnly(path);
+  if (!reopened.ok()) return Status::OK();
+  const std::shared_ptr<SegmentFile>& file = reopened.value();
+  BufferPool* pool = table->buffer_pool();
+  for (size_t i = 0; i < table->num_chunks() && i < extents.size(); ++i) {
+    Chunk* ch = table->mutable_chunk(i);
+    ChunkBacking backing{file, extents[i].offset, extents[i].length};
+    if (pool != nullptr) {
+      pool->RebindBacking(ch, std::move(backing));
+    } else {
+      SegmentCodec::Rebind(ch, std::move(backing));
+    }
+  }
+  return Status::OK();
 }
 
 Status LoadTableSegment(Table* table, const std::string& path) {
@@ -440,7 +519,10 @@ Status LoadTableSegment(Table* table, const std::string& path) {
   uint64_t meta_offset = 0, meta_length = 0;
   std::memcpy(&meta_offset, footer_buf, 8);
   std::memcpy(&meta_length, footer_buf + 8, 8);
-  if (meta_offset + meta_length > file->size()) {
+  // Per-operand checks: a corrupt footer could make offset+length wrap
+  // around u64 and slip past a summed comparison.
+  if (meta_offset > file->size() ||
+      meta_length > file->size() - meta_offset) {
     return Status::InvalidArgument("segment meta section out of bounds");
   }
   std::string meta(meta_length, '\0');

@@ -36,8 +36,20 @@ class SegmentFile {
   /// Reads exactly `n` bytes at `offset` (short reads are errors).
   Status ReadAt(uint64_t offset, void* buf, size_t n) const;
 
+  /// Writes exactly `n` bytes at `offset` (existing or reserved space).
+  Status WriteAt(uint64_t offset, const void* data, size_t n);
+
+  /// Atomically reserves `n` bytes at the end of the file; `*offset`
+  /// receives where the extent starts (nothing is written).
+  void Reserve(size_t n, uint64_t* offset) {
+    *offset = end_.fetch_add(n, std::memory_order_acq_rel);
+  }
+
   /// Appends `n` bytes; `*offset` receives where they landed.
   Status Append(const void* data, size_t n, uint64_t* offset);
+
+  /// Flushes written data to stable storage (fsync).
+  Status Sync();
 
   uint64_t size() const { return end_.load(std::memory_order_acquire); }
   const std::string& path() const { return path_; }
@@ -75,6 +87,11 @@ class SegmentCodec {
   /// whose payload lives at `backing` (chunk starts evicted-clean).
   static void InitEvicted(Chunk* chunk, size_t num_rows, ChunkBacking backing);
 
+  /// Re-points a pool-less chunk's backing at a new extent known to hold
+  /// exactly its current payload bytes, marking it clean. Pool-managed
+  /// chunks must go through BufferPool::RebindBacking instead (locking).
+  static void Rebind(Chunk* chunk, ChunkBacking backing);
+
   static void SetZone(Chunk* chunk, size_t col, ZoneMap zone);
   static void SetVersions(Chunk* chunk, std::vector<uint64_t> begin,
                           std::vector<uint64_t> end);
@@ -99,7 +116,16 @@ class SegmentCodec {
 
 /// Writes every chunk of `table` (faulting evicted payloads in one at a
 /// time, so saving respects the memory budget) plus all resident metadata.
-Status WriteTableSegment(const Table& table, const std::string& path);
+///
+/// The segment is written to a sibling temp file and rename()d over `path`
+/// only after the footer lands, so a save can never destroy the previous
+/// segment — crucially including the file the table's own evicted chunks
+/// are backed by when saving to the directory it was loaded from. After a
+/// successful save the table is checkpointed: every chunk's backing is
+/// re-pointed at its freshly written extent and marked clean, releasing
+/// any spill extents. Requires no concurrent writers (concurrent readers
+/// are fine), the same exclusivity the metadata walk already assumes.
+Status WriteTableSegment(Table* table, const std::string& path);
 
 /// Replaces `table`'s storage with the segment's contents. Dictionaries,
 /// zone maps, stamps and the committed-version watermark load eagerly;

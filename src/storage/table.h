@@ -90,6 +90,9 @@ class Table {
   /// stamps) is always safe to read; column payloads of a pool-managed
   /// chunk require a ChunkPin (see PinChunk).
   const Chunk& chunk(size_t i) const { return *chunks_[i]; }
+  /// Persistence-side mutable access (the segment writer re-points chunk
+  /// backings after a save); executor code must go through PinChunk.
+  Chunk* mutable_chunk(size_t i) { return chunks_[i].get(); }
   size_t chunk_capacity() const { return chunk_capacity_; }
 
   // ---- Out-of-core management. ----

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -251,6 +252,105 @@ TEST_F(PersistTest, DatesAndDoublesRoundTrip) {
   ASSERT_TRUE(t.ok());
   EXPECT_EQ((*t)->row(0)[0].ToString(), "1995-03-15");
   EXPECT_DOUBLE_EQ((*t)->row(0)[1].double_value(), 0.125);
+}
+
+TEST_F(PersistTest, SaveOverLoadedDirectoryPreservesEvictedChunks) {
+  // The normal persist workflow: load a database, work on it, save it back
+  // to the SAME directory. The loaded table's evicted chunks are backed by
+  // the very .seg files the save replaces; the save must go through a temp
+  // file + rename so those payloads are never truncated out from under the
+  // pin loop (and a failed save can never destroy the previous segment).
+  {
+    Database db;
+    DirtySchema dirty;
+    LoadFigure2(&db, &dirty);
+    ASSERT_TRUE(SaveDatabase(db, dir_.string(), &dirty).ok());
+  }
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Tiny budget: every chunk stays evicted-clean, reading from dir_'s files.
+  (*loaded)->SetMemoryBudget(1);
+  std::vector<uint64_t> before_bits = SumProbBits(loaded->get(), "orders");
+  ASSERT_FALSE(before_bits.empty());
+  // Dirty one table so the save mixes resident-dirty and evicted chunks.
+  ASSERT_TRUE((*loaded)
+                  ->ExecuteWrite("update customer set balance = 123456 "
+                                 "where id = 'c1'")
+                  .ok());
+  auto customer_before =
+      (*loaded)->Query("select * from customer order by id");
+  ASSERT_TRUE(customer_before.ok());
+
+  ASSERT_TRUE(SaveDatabase(**loaded, dir_.string()).ok());
+
+  // The still-open database keeps answering from the re-pointed backings...
+  EXPECT_EQ(SumProbBits(loaded->get(), "orders"), before_bits);
+  auto customer_after = (*loaded)->Query("select * from customer order by id");
+  ASSERT_TRUE(customer_after.ok());
+  ASSERT_EQ(customer_before->rows.size(), customer_after->rows.size());
+  // ...and a fresh load sees the saved state, write included.
+  auto reloaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(SumProbBits(reloaded->get(), "orders"), before_bits);
+  auto balance = (*reloaded)->Query(
+      "select balance from customer where id = 'c1'");
+  ASSERT_TRUE(balance.ok());
+  // Figure 2's customer has two candidate tuples for c1; the update hit both.
+  ASSERT_EQ(balance->rows.size(), 2u);
+  for (const Row& r : balance->rows) {
+    EXPECT_EQ(r[0].int_value(), 123456);
+  }
+}
+
+TEST_F(PersistTest, RepeatedSavesToSameDirectoryStayStable) {
+  {
+    Database db;
+    ASSERT_TRUE(
+        db.CreateTable(TableSchema("t", {{"a", DataType::kInt64}})).ok());
+    for (int64_t i = 0; i < 300; ++i) {
+      ASSERT_TRUE(db.Insert("t", {Value::Int(i)}).ok());
+    }
+    (*db.GetTable("t"))->Rechunk(64);
+    ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+  }
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  (*loaded)->SetMemoryBudget(1);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(SaveDatabase(**loaded, dir_.string()).ok())
+        << "cycle " << cycle;
+    auto rs = (*loaded)->Query("select sum(a) from t");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_EQ(rs->rows[0][0].int_value(), 299 * 300 / 2) << "cycle " << cycle;
+  }
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "t.seg.tmp"));
+}
+
+TEST_F(PersistTest, CorruptFooterBoundsRejectedWithoutCrash) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(TableSchema("t", {{"a", DataType::kInt64}})).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(1)}).ok());
+  ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+
+  // Patch the footer's meta offset/length so their sum wraps around u64: a
+  // summed bounds check would pass and the loader would then try to
+  // allocate a near-2^64-byte string. Must come back as a clean status.
+  const std::filesystem::path seg = dir_ / "t.seg";
+  const auto size = std::filesystem::file_size(seg);
+  ASSERT_GT(size, 24u);
+  std::fstream f(seg, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  const uint64_t meta_offset = 200;
+  const uint64_t meta_length = UINT64_MAX - 150;  // offset + length wraps
+  f.seekp(static_cast<std::streamoff>(size - 24));
+  f.write(reinterpret_cast<const char*>(&meta_offset), 8);
+  f.write(reinterpret_cast<const char*>(&meta_length), 8);
+  f.close();
+
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(PersistTest, MissingDirectoryReportsNotFound) {

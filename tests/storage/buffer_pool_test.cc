@@ -57,6 +57,20 @@ TEST(ParseByteSize, RejectsMalformedInput) {
   EXPECT_FALSE(ParseByteSize("12kmb", &b));
 }
 
+TEST(ParseByteSize, RejectsOverflowInsteadOfWrapping) {
+  // A typo'd huge budget must be rejected, not silently wrapped to a tiny
+  // one (which would turn the typo into aggressive eviction).
+  uint64_t b = 0;
+  EXPECT_FALSE(ParseByteSize("99999999999999999999999", &b));  // digit loop
+  EXPECT_FALSE(ParseByteSize("20000000000g", &b));             // multiplier
+  EXPECT_FALSE(ParseByteSize("18446744073709551616", &b));     // 2^64
+  // Large but representable values still parse.
+  EXPECT_TRUE(ParseByteSize("18446744073709551615", &b));      // 2^64 - 1
+  EXPECT_EQ(b, UINT64_MAX);
+  EXPECT_TRUE(ParseByteSize("8589934591g", &b));  // (2^33 - 1) GiB fits
+  EXPECT_EQ(b, ((1ull << 33) - 1) << 30);
+}
+
 // ---- Pool behaviour through a Database -------------------------------------
 
 /// A table with `chunks` chunks of 64 rows each: an int, a string (so the
@@ -193,6 +207,67 @@ TEST(BufferPoolTest, BudgetLargerThanOneChunkKeepsHotChunkResident) {
   }
   // First pin may fault chunk 2 in; the other nine must hit.
   EXPECT_LE(db.buffer_pool()->stats().chunks_loaded, loads_before + 1);
+}
+
+TEST(BufferPoolTest, DirtyReEvictionReusesSpillExtents) {
+  Database db;
+  db.SetMemoryBudget(0);
+  FillTable(&db, 4);
+  Table* t = *db.GetTable("t");
+
+  // First spill of all four dirty chunks sizes the spill file.
+  db.SetMemoryBudget(1);
+  const uint64_t first = db.buffer_pool()->stats().spill_file_bytes;
+  ASSERT_GT(first, 0u);
+
+  // Re-dirty and re-evict every chunk repeatedly: each SetValue faults the
+  // chunk in, marks it dirty, and the unpin under the 1-byte budget spills
+  // it again. Same-size payloads must rewrite their extent in place, so the
+  // spill file stops growing after the first round — the append-only
+  // regression grew it by four payloads per cycle, without bound.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (size_t c = 0; c < 4; ++c) {
+      t->SetValue(c * 64, 2, Value::Double(cycle * 10.0 + c));
+    }
+  }
+  const BufferPool::Stats st = db.buffer_pool()->stats();
+  EXPECT_GE(st.chunks_spilled, 24u);  // 4 initial + 4 per cycle
+  EXPECT_EQ(st.spill_file_bytes, first);
+
+  // And the data survived all that extent recycling.
+  auto rs = db.Query("select p from t where a = 192");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].double_value(), 43.0);  // cycle 4, chunk 3
+}
+
+TEST(BufferPoolTest, DyingChunksReturnTheirSpillExtents) {
+  Database db;
+  db.SetMemoryBudget(0);
+  FillTable(&db, 4);
+  Table* t = *db.GetTable("t");
+  db.SetMemoryBudget(1);  // spill all four chunks
+  ASSERT_GT(db.buffer_pool()->stats().spill_file_bytes, 0u);
+
+  // Rechunk rebuilds storage: the destination chunks spill while the old
+  // ones still hold their extents (the file grows once), then the dying
+  // old chunks hand their extents back to the free list.
+  t->Rechunk(64);
+  const uint64_t after_rechunk = db.buffer_pool()->stats().spill_file_bytes;
+
+  // Appending four more chunks' worth of rows spills fresh payloads; they
+  // must land in the freed extents instead of growing the file again.
+  std::vector<Row> batch;
+  for (size_t i = 4 * 64; i < 8 * 64; ++i) {
+    batch.push_back({Value::Int(static_cast<int64_t>(i)),
+                     Value::String("name_" + std::to_string(i % 97)),
+                     Value::Double(static_cast<double>(i) * 0.5)});
+  }
+  ASSERT_TRUE(db.InsertMany("t", std::move(batch)).ok());
+
+  const int64_t expect = (8 * 64 - 1) * (8 * 64) / 2;
+  EXPECT_EQ(SumA(db), expect);
+  EXPECT_LE(db.buffer_pool()->stats().spill_file_bytes, after_rechunk);
 }
 
 TEST(BufferPoolTest, ConcurrentPinsUnderTinyBudgetAreSafe) {

@@ -1,0 +1,251 @@
+// Selective point and narrow-range lookups at Figure-10 scale: per-chunk
+// secondary indexes (DESIGN.md section 15) against the same queries with
+// index access disabled, in memory and out of core.
+//
+// Families:
+//   Selective/Point/...  index:1 vs index:0   `l_orderkey = K` (one order)
+//   Selective/Range/...  index:1 vs index:0   `K <= l_orderkey <= K+9`
+//   SelectiveOOC/...     budget_pct:{0,10}    same point probe against a
+//                        lazily loaded on-disk database; chunks_loaded in
+//                        the JSON shows the index faulting only chunks with
+//                        visible matches while the full scan touches all.
+//
+// The point-lookup speedup (index:1 vs index:0 wall clock) is the headline
+// number bench_check's ANALYZE-side acceptance tracks: it must stay >= 10x
+// at the default scale. Results land in BENCH_selective.json via
+// `--json=PATH`; `--sf=N` overrides the scale (thousandths of TPC-H sf 1).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "bench/bench_util.h"
+#include "engine/persist.h"
+
+namespace conquer {
+namespace {
+
+constexpr int kIf = 3;
+int g_sf_milli = 40;  // the largest in-memory Figure-10 scale; --sf=N
+
+// The probed literals come from the data itself (the median stored
+// l_orderkey), so the point query matches exactly one order's lineitems and
+// the range query a handful of orders, at every scale.
+struct ProbeKeys {
+  int64_t point = 0;
+  int64_t range_lo = 0;
+  int64_t range_hi = 0;
+};
+
+ProbeKeys PickProbeKeys(Database* db) {
+  auto rs = db->Query("select l_orderkey from lineitem");
+  if (!rs.ok() || rs->rows.empty()) {
+    std::fprintf(stderr, "probe-key scan failed: %s\n",
+                 rs.ok() ? "empty lineitem" : rs.status().ToString().c_str());
+    std::abort();
+  }
+  ProbeKeys keys;
+  keys.point = rs->rows[rs->rows.size() / 2][0].int_value();
+  keys.range_lo = keys.point;
+  keys.range_hi = keys.point + 9;
+  return keys;
+}
+
+std::string PointSql(const ProbeKeys& k) {
+  return "select l_linenumber, l_quantity from lineitem where l_orderkey = " +
+         std::to_string(k.point);
+}
+
+std::string RangeSql(const ProbeKeys& k) {
+  return "select l_linenumber, l_quantity from lineitem where l_orderkey >= " +
+         std::to_string(k.range_lo) +
+         " and l_orderkey <= " + std::to_string(k.range_hi);
+}
+
+// In-memory database with a secondary index on lineitem.l_orderkey, built
+// once outside any timed region (on top of GetCachedDb's identifier indexes
+// and statistics).
+TpchDirtyDatabase& GetIndexedDb() {
+  static bool indexed = false;
+  TpchDirtyDatabase& db = bench::GetCachedDb(g_sf_milli, kIf);
+  if (!indexed) {
+    Status s = db.db->CreateIndex("lineitem", "l_orderkey");
+    if (!s.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    indexed = true;
+  }
+  return db;
+}
+
+void BM_Selective(benchmark::State& state) {
+  const bool range = state.range(0) != 0;
+  const bool index_on = state.range(1) != 0;
+  TpchDirtyDatabase& db = GetIndexedDb();
+  const ProbeKeys keys = PickProbeKeys(db.db.get());
+  const std::string sql = range ? RangeSql(keys) : PointSql(keys);
+  db.db->mutable_exec_context()->enable_index_scan = index_on;
+  // One untimed warmup: the first query after generation pays one-off costs
+  // (allocator consolidation of the generator's freed heap, lazy index
+  // slice sorts) that scale with the database, not with the probe.
+  if (auto warm = db.db->Query(sql); !warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    db.db->mutable_exec_context()->enable_index_scan = true;
+    return;
+  }
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rs = db.db->Query(sql);
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    rows = rs->num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  db.db->mutable_exec_context()->enable_index_scan = true;
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+
+// ---- Out-of-core: the same point probe against a lazily loaded database --
+//
+// The database is persisted once; every run loads metadata only, rebuilds
+// the secondary index (resident, like zone maps), clamps the buffer pool,
+// and probes. With the index on, only chunks holding the key's dictionary
+// code are faulted; with it off, the scan walks every chunk through the
+// tight budget.
+
+struct OocData {
+  std::string dir;
+  double data_mb = 0;
+};
+
+OocData& GetOocData() {
+  static std::unique_ptr<OocData> cache;
+  if (cache == nullptr) {
+    TpchDirtyDatabase& db = bench::GetCachedDb(g_sf_milli, kIf);
+    auto data = std::make_unique<OocData>();
+    data->dir = (std::filesystem::temp_directory_path() /
+                 ("conquer-selective-sf" + std::to_string(g_sf_milli)))
+                    .string();
+    Status s = SaveDatabase(*db.db, data->dir, &db.dirty);
+    if (!s.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    data->data_mb = bench::DirSizeMb(data->dir);
+    cache = std::move(data);
+  }
+  return *cache;
+}
+
+void BM_SelectiveOutOfCore(benchmark::State& state) {
+  const int budget_pct = static_cast<int>(state.range(0));
+  const bool index_on = state.range(1) != 0;
+  OocData& data = GetOocData();
+
+  auto loaded = LoadDatabase(data.dir);
+  if (!loaded.ok()) {
+    state.SkipWithError(loaded.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<Database> db = std::move(*loaded);
+  Status s = db->CreateIndex("lineitem", "l_orderkey");
+  if (!s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+  const ProbeKeys keys = PickProbeKeys(db.get());
+  const uint64_t data_bytes =
+      static_cast<uint64_t>(data.data_mb * 1024.0 * 1024.0);
+  const uint64_t budget =
+      budget_pct == 0 ? 0
+                      : data_bytes * static_cast<uint64_t>(budget_pct) / 100;
+  db->SetMemoryBudget(budget);
+  db->mutable_exec_context()->enable_index_scan = index_on;
+  const std::string sql = PointSql(keys);
+  // Untimed warmup, as in BM_Selective. Under a tight budget the timed
+  // probes still fault chunks (the working set exceeds the pool).
+  if (auto warm = db->Query(sql); !warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+
+  // Count only the timed probes' chunk traffic: the key scan, index build
+  // and warmup above already faulted (and under a budget, evicted) chunks.
+  const uint64_t loaded_before = db->buffer_pool()->stats().chunks_loaded;
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rs = db->Query(sql);
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    rows = rs->num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+  state.counters["data_mb"] = data.data_mb;
+  state.counters["budget_mb"] =
+      static_cast<double>(budget) / (1024.0 * 1024.0);
+  const BufferPool::Stats ps = db->buffer_pool()->stats();
+  state.counters["chunks_loaded"] =
+      static_cast<double>(ps.chunks_loaded - loaded_before);
+  state.counters["pool_peak_mb"] =
+      static_cast<double>(ps.peak_resident_bytes) / (1024.0 * 1024.0);
+}
+
+void RegisterAll() {
+  for (int range : {0, 1}) {
+    for (int index_on : {1, 0}) {
+      std::string name = std::string("Selective/") +
+                         (range != 0 ? "Range" : "Point") +
+                         "/sf_milli:" + std::to_string(g_sf_milli) +
+                         "/index:" + std::to_string(index_on);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Selective)
+          ->Args({range, index_on})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(20);
+    }
+  }
+  for (int pct : {0, 10}) {
+    for (int index_on : {1, 0}) {
+      std::string name = "SelectiveOOC/Point/sf_milli:" +
+                         std::to_string(g_sf_milli) +
+                         "/budget_pct:" + std::to_string(pct) +
+                         "/index:" + std::to_string(index_on);
+      benchmark::RegisterBenchmark(name.c_str(), BM_SelectiveOutOfCore)
+          ->Args({pct, index_on})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace conquer
+
+int main(int argc, char** argv) {
+  std::string json_path = conquer::bench::ParseJsonPath(&argc, argv);
+  // `--sf=N` overrides the scale (thousandths of TPC-H sf 1).
+  {
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+      std::string_view arg = argv[r];
+      if (arg.rfind("--sf=", 0) == 0) {
+        conquer::g_sf_milli = std::atoi(arg.data() + 5);
+        if (conquer::g_sf_milli < 1) conquer::g_sf_milli = 1;
+      } else {
+        argv[w++] = argv[r];
+      }
+    }
+    argc = w;
+  }
+  conquer::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  conquer::bench::JsonReporter reporter(std::move(json_path));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

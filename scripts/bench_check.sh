@@ -111,6 +111,38 @@ print(f"bench_check: OK — all rewritten queries within {tol_pct:.0f}% "
       f"of the committed baseline")
 PY
 
+# Non-gating: when the selective-lookup benchmark sits next to the fig8
+# binary, run the in-memory families at smoke scale and report the
+# point-query index speedup. Informational only — the gated speedup
+# assertion lives in the committed BENCH_selective.json numbers.
+SELECTIVE_BIN="${SELECTIVE_BIN:-$(dirname "${BIN:-.}")/selective_lookups}"
+if [[ -x "$SELECTIVE_BIN" ]]; then
+  SEL_JSON="$(mktemp /tmp/bench_check_selective.XXXXXX.json)"
+  echo "== bench_check: selective-lookup report (non-gating) =="
+  if "$SELECTIVE_BIN" --sf=10 --benchmark_filter='^Selective/' \
+      --json="$SEL_JSON" >/dev/null 2>&1; then
+    python3 - "$SEL_JSON" <<'PY' || true
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+times = {r["name"]: r["wall_ms"] for r in doc["results"]}
+for family in ("Point", "Range"):
+    on = next((v for k, v in times.items()
+               if f"/{family}/" in k and "/index:1/" in k), None)
+    off = next((v for k, v in times.items()
+                if f"/{family}/" in k and "/index:0/" in k), None)
+    if on and off:
+        print(f"  {family:>5}: index {on:8.3f} ms, scan {off:8.3f} ms "
+              f"({off / on:5.1f}x speedup)")
+PY
+  else
+    echo "  selective run failed (non-gating, ignored)"
+  fi
+  rm -f "$SEL_JSON"
+fi
+
 if [[ "$compare_status" -ne 0 && "$REPORT_ONLY" == "1" ]]; then
   echo "bench_check: REPORT_ONLY=1 — regressions reported above, exit 0"
   exit 0

@@ -6,6 +6,8 @@
 #   BENCH_fig10.json    - scalability with database size (Figure 10)
 #   BENCH_clients.json  - serving-layer client sweep (QPS + latency
 #                         percentiles + plan-cache hit rate per client count)
+#   BENCH_selective.json - selective point/range lookups, per-chunk index
+#                          on vs off, in memory and under a 10% budget
 #
 # Each file carries per-benchmark wall-clock ms, rows/sec, thread count,
 # plus the batch size and git sha the numbers were taken at.
@@ -22,7 +24,7 @@ FILTER="${FILTER:-}"
 
 cmake --preset release >/dev/null
 cmake --build build-release -j"$(nproc)" --target fig8_query_overhead \
-  fig10_scalability clients_throughput
+  fig10_scalability clients_throughput selective_lookups
 
 filter_args=()
 if [[ -n "$FILTER" ]]; then
@@ -46,4 +48,9 @@ echo "== Serving layer: client sweep (db threads=$CLIENT_THREADS) =="
   --clients=1,2,4,8 --threads="$CLIENT_THREADS" --seconds=2 --sf-milli=10 \
   --json=BENCH_clients.json
 
-echo "Wrote BENCH_fig8.json, BENCH_fig10.json and BENCH_clients.json"
+echo "== Selective lookups: per-chunk index on vs off =="
+./build-release/bench/selective_lookups \
+  --json=BENCH_selective.json "${filter_args[@]}"
+
+echo "Wrote BENCH_fig8.json, BENCH_fig10.json, BENCH_clients.json and" \
+     "BENCH_selective.json"

@@ -75,7 +75,11 @@ Status Database::InsertMany(std::string_view table, std::vector<Row> rows) {
 
 Status Database::CreateIndex(std::string_view table, std::string_view column) {
   CONQUER_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
-  return t->CreateIndex(column);
+  CONQUER_RETURN_NOT_OK(t->CreateIndex(column));
+  // A new index changes what the planner would pick (access paths, join
+  // strategies); stale plan-cache entries must replan against it.
+  BumpCatalogVersion();
+  return Status::OK();
 }
 
 Status Database::Analyze(std::string_view table) {

@@ -41,6 +41,15 @@ struct OperatorMetrics {
   uint64_t chunks_evicted = 0;
   /// Wall time spent reading and decoding faulted chunk payloads.
   double io_read_seconds = 0.0;
+  /// Per-chunk index probes issued (IndexScanOp / IndexNestedLoopJoinOp).
+  uint64_t index_probes = 0;
+  /// Candidate rows those probes returned, before MVCC visibility and the
+  /// residual predicate re-check.
+  uint64_t index_rows = 0;
+  /// The planner's estimated output rows for this operator, surfaced next
+  /// to the actual count in EXPLAIN ANALYZE so cost-model misestimates are
+  /// visible in one line. Negative when the planner did not annotate.
+  double est_rows = -1.0;
   double open_seconds = 0.0;   ///< time inside Open(); the build phase for
                                ///< blocking operators (hash build, sort)
   double next_seconds = 0.0;   ///< cumulative time across all Next() calls
@@ -85,6 +94,7 @@ class Operator {
   /// resets its metrics.
   Status Open() {
     metrics_ = OperatorMetrics{};
+    metrics_.est_rows = est_rows_;
     Timer t;
     Status s = OpenImpl();
     metrics_.open_seconds = t.ElapsedSeconds();
@@ -127,6 +137,11 @@ class Operator {
   /// Counters collected since the last Open().
   const OperatorMetrics& metrics() const { return metrics_; }
 
+  /// Planner annotation: estimated output rows, surviving metric resets
+  /// across executions (copied into metrics at every Open()).
+  void set_est_rows(double rows) { est_rows_ = rows; }
+  double est_rows() const { return est_rows_; }
+
  protected:
   virtual Status OpenImpl() = 0;
   virtual Result<bool> NextImpl(Row* out) = 0;
@@ -153,6 +168,7 @@ class Operator {
 
  private:
   OperatorMetrics metrics_;
+  double est_rows_ = -1.0;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

@@ -372,15 +372,15 @@ std::string SeqScanOp::Describe() const {
 
 // --------------------------------------------------------------- IndexScanOp
 
-IndexScanOp::IndexScanOp(const Table* table, const HashIndex* index, Value key,
+IndexScanOp::IndexScanOp(const Table* table, size_t column, Value key,
                          size_t slot_offset, size_t total_slots,
-                         ExprPtr residual_filter, const ExecContext* exec)
+                         ExprPtr filter, const ExecContext* exec)
     : table_(table),
-      index_(index),
+      column_(column),
       key_(std::move(key)),
       slot_offset_(slot_offset),
       total_slots_(total_slots),
-      filter_(std::move(residual_filter)),
+      filter_(std::move(filter)),
       local_filter_(RebaseFilter(filter_.get(), slot_offset)),
       exec_(exec) {}
 
@@ -389,43 +389,95 @@ Status IndexScanOp::OpenImpl() {
                exec_->snapshot_override != ExecContext::kSnapshotLatest)
                   ? exec_->snapshot_override
                   : table_->committed_version();
-  matches_ = &index_->Lookup(key_);
-  cursor_ = 0;
+  const ChunkIndex* idx = table_->GetIndex(column_);
+  if (idx == nullptr) {
+    return Status::Internal("IndexScanOp: column is not indexed");
+  }
+  bool unsupported = false;
+  probe_ = idx->ResolveProbe(key_, table_->dictionary(column_),
+                             /*join_semantics=*/false, &unsupported);
+  if (unsupported) {
+    // ResolveProbe is deterministic in (key, column type); the planner runs
+    // it before choosing this access path, so this cannot happen in a
+    // planner-built tree.
+    return Status::Internal("IndexScanOp: key has no sound index probe");
+  }
+  num_chunks_ = table_->num_chunks();
+  chunk_cursor_ = 0;
+  current_chunk_ = 0;
+  positions_.clear();
+  pos_cursor_ = 0;
   pin_.Reset();
   pin_chunk_ = SIZE_MAX;
   return Status::OK();
 }
 
 Result<bool> IndexScanOp::NextImpl(Row* out) {
-  while (matches_ != nullptr && cursor_ < matches_->size()) {
-    const size_t pos = (*matches_)[cursor_++];
-    // Visibility reads resident version stamps; only rows that survive it
-    // pin (and possibly fault) their chunk's payload. The pin is cached
-    // while consecutive matches stay in one chunk.
-    if (!table_->RowVisibleAt(pos, snapshot_)) continue;
-    const size_t chunk_index = pos / table_->chunk_capacity();
-    if (!pin_ || pin_chunk_ != chunk_index) {
-      PinStats ps;
-      pin_ = table_->PinChunk(chunk_index, &ps);
-      pin_chunk_ = chunk_index;
-      mutable_metrics().chunks_loaded += ps.chunks_loaded;
-      mutable_metrics().chunks_evicted += ps.chunks_evicted;
-      mutable_metrics().io_read_seconds += ps.io_read_seconds;
+  while (true) {
+    while (pos_cursor_ < positions_.size()) {
+      const uint32_t local = positions_[pos_cursor_++];
+      // Only chunks known to hold a visible candidate reach this point, so
+      // the pin (and any payload fault) is paid per matching chunk, never
+      // for chunks the probe ruled out.
+      if (!pin_ || pin_chunk_ != current_chunk_) {
+        PinStats ps;
+        pin_ = table_->PinChunk(current_chunk_, &ps);
+        pin_chunk_ = current_chunk_;
+        mutable_metrics().chunks_loaded += ps.chunks_loaded;
+        mutable_metrics().chunks_evicted += ps.chunks_evicted;
+        mutable_metrics().io_read_seconds += ps.io_read_seconds;
+      }
+      const size_t pos = current_chunk_ * table_->chunk_capacity() + local;
+      table_->GetRowInto(pos, &row_scratch_);
+      if (local_filter_) {
+        // Re-check the full pushed-down predicate (including the equality
+        // the probe consumed): candidates are a superset, and re-applying
+        // the whole filter keeps this path bit-identical to a SeqScan.
+        CONQUER_ASSIGN_OR_RETURN(bool pass,
+                                 EvalPredicate(*local_filter_, row_scratch_));
+        if (!pass) continue;
+      }
+      out->assign(total_slots_, Value::Null());
+      for (size_t c = 0; c < row_scratch_.size(); ++c) {
+        (*out)[slot_offset_ + c] = row_scratch_[c];
+      }
+      return true;
     }
-    table_->GetRowInto(pos, &row_scratch_);
-    if (local_filter_) {
-      // Residual filter on the raw table row, before wide materialization.
-      CONQUER_ASSIGN_OR_RETURN(bool pass,
-                               EvalPredicate(*local_filter_, row_scratch_));
-      if (!pass) continue;
+    if (probe_.kind == ChunkIndex::ProbeSpec::Kind::kNone) return false;
+    if (chunk_cursor_ >= num_chunks_) return false;
+    const size_t c = chunk_cursor_++;
+    positions_.clear();
+    pos_cursor_ = 0;
+    const Chunk& ch = table_->chunk(c);
+    if (ch.num_rows() == 0) continue;
+    // Same zone-map test (and the same knob) as SeqScanOp, so both access
+    // paths skip exactly the same chunks under every flag configuration.
+    const bool prune_chunks = exec_ == nullptr || exec_->enable_zone_pruning;
+    if (local_filter_ && prune_chunks &&
+        ZoneMapCanSkip(*local_filter_, *table_, ch)) {
+      ++mutable_metrics().chunks_skipped;
+      continue;
     }
-    out->assign(total_slots_, Value::Null());
-    for (size_t c = 0; c < row_scratch_.size(); ++c) {
-      (*out)[slot_offset_ + c] = row_scratch_[c];
+    candidates_.clear();
+    PinStats ps;
+    table_->IndexProbeChunk(column_, probe_, /*scan_semantics=*/true, c,
+                            &candidates_, &ps);
+    mutable_metrics().chunks_loaded += ps.chunks_loaded;
+    mutable_metrics().chunks_evicted += ps.chunks_evicted;
+    mutable_metrics().io_read_seconds += ps.io_read_seconds;
+    ++mutable_metrics().index_probes;
+    mutable_metrics().index_rows += candidates_.size();
+    if (candidates_.empty()) continue;
+    // Visibility reads resident version stamps — still no payload I/O.
+    if (ch.has_versions()) {
+      for (uint32_t local : candidates_) {
+        if (ch.RowVisible(local, snapshot_)) positions_.push_back(local);
+      }
+    } else {
+      positions_.swap(candidates_);
     }
-    return true;
+    current_chunk_ = c;
   }
-  return false;
 }
 
 void IndexScanOp::CloseImpl() {
@@ -435,7 +487,7 @@ void IndexScanOp::CloseImpl() {
 
 std::string IndexScanOp::Describe() const {
   std::string out = "IndexScan(" + table_->name() + ", " +
-                    table_->schema().column(index_->column()).name + " = " +
+                    table_->schema().column(column_).name + " = " +
                     key_.ToSqlLiteral();
   if (filter_) out += ", filter: " + filter_->ToString();
   out += ")";
@@ -815,6 +867,196 @@ std::string HashJoinOp::Describe() const {
 
 std::vector<const Operator*> HashJoinOp::Children() const {
   return {build_.get(), probe_.get()};
+}
+
+// ----------------------------------------------- IndexNestedLoopJoinOp
+
+IndexNestedLoopJoinOp::IndexNestedLoopJoinOp(
+    OperatorPtr outer, const Table* inner, size_t inner_column,
+    int outer_key_slot, size_t inner_slot_offset, size_t total_slots,
+    ExprPtr inner_filter, std::vector<uint32_t> outer_slots,
+    std::vector<uint32_t> inner_slots, const ExecContext* exec)
+    : outer_(std::move(outer)),
+      inner_(inner),
+      inner_column_(inner_column),
+      outer_key_slot_(outer_key_slot),
+      inner_slot_offset_(inner_slot_offset),
+      total_slots_(total_slots),
+      inner_filter_(std::move(inner_filter)),
+      inner_local_filter_(RebaseFilter(inner_filter_.get(), inner_slot_offset)),
+      outer_slots_(std::move(outer_slots)),
+      inner_slots_(std::move(inner_slots)),
+      exec_(exec) {}
+
+void IndexNestedLoopJoinOp::EnsurePinned(size_t chunk, PinStats* pin_stats) {
+  if (pin_ && pin_chunk_ == chunk) return;
+  pin_ = inner_->PinChunk(chunk, pin_stats);
+  pin_chunk_ = chunk;
+}
+
+Status IndexNestedLoopJoinOp::LinearProbe(const Value& key, uint32_t outer_idx,
+                                          PinStats* pin_stats) {
+  // Join key equality is hash-bucket + TotalCompare == 0. For the keys that
+  // land here (an int64 column probed with a double beyond 2^52) a
+  // TotalCompare match implies the double images — and therefore the
+  // hashes — agree, so TotalCompare alone reproduces the hash join's
+  // verdict exactly.
+  const size_t cap = inner_->chunk_capacity();
+  const StringDictionary* dict = inner_->dictionary(inner_column_);
+  for (size_t c = 0; c < inner_->num_chunks(); ++c) {
+    const Chunk& ch = inner_->chunk(c);
+    const size_t n = ch.num_rows();
+    if (n == 0) continue;
+    ChunkPin pin = inner_->PinChunk(c, pin_stats);
+    const ColumnVector& cv = ch.column(inner_column_);
+    for (size_t r = 0; r < n; ++r) {
+      if (cv.GetValue(r, dict).TotalCompare(key) == 0) {
+        pairs_.emplace_back(static_cast<uint64_t>(c) * cap + r, outer_idx);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status IndexNestedLoopJoinOp::ProbeOuter(uint32_t outer_idx,
+                                         PinStats* pin_stats) {
+  const Value& key = outer_rows_[outer_idx][static_cast<size_t>(outer_key_slot_)];
+  const ChunkIndex* idx = inner_->GetIndex(inner_column_);
+  bool unsupported = false;
+  const ChunkIndex::ProbeSpec probe =
+      idx->ResolveProbe(key, inner_->dictionary(inner_column_),
+                        /*join_semantics=*/true, &unsupported);
+  if (unsupported) return LinearProbe(key, outer_idx, pin_stats);
+  if (probe.kind == ChunkIndex::ProbeSpec::Kind::kNone) return Status::OK();
+  const size_t cap = inner_->chunk_capacity();
+  for (size_t c = 0; c < inner_->num_chunks(); ++c) {
+    const Chunk& ch = inner_->chunk(c);
+    if (ch.num_rows() == 0) continue;
+    // Zone maps (resident metadata) rule the chunk out before any payload
+    // pin. Conservative: zones bound every stored value under TotalCompare
+    // order, and the probe key is same-class comparable with them, so a
+    // skipped chunk provably holds no join match. (No NaN caveat: double
+    // columns never take a key probe under join semantics.)
+    const ZoneMap& zone = ch.zone(inner_column_);
+    if (probe.kind == ChunkIndex::ProbeSpec::Kind::kNull) {
+      if (zone.null_count == 0) continue;
+    } else if (!zone.has_values() || key.TotalCompare(zone.min) < 0 ||
+               key.TotalCompare(zone.max) > 0) {
+      continue;
+    }
+    candidates_.clear();
+    inner_->IndexProbeChunk(inner_column_, probe, /*scan_semantics=*/false, c,
+                            &candidates_, pin_stats);
+    ++mutable_metrics().index_probes;
+    mutable_metrics().index_rows += candidates_.size();
+    for (uint32_t local : candidates_) {
+      pairs_.emplace_back(static_cast<uint64_t>(c) * cap + local, outer_idx);
+    }
+  }
+  return Status::OK();
+}
+
+Status IndexNestedLoopJoinOp::OpenImpl() {
+  CONQUER_RETURN_NOT_OK(outer_->Open());
+  snapshot_ = (exec_ != nullptr &&
+               exec_->snapshot_override != ExecContext::kSnapshotLatest)
+                  ? exec_->snapshot_override
+                  : inner_->committed_version();
+  outer_rows_.clear();
+  pairs_.clear();
+  cursor_ = 0;
+  verdict_pos_ = ~0ull;
+  verdict_keep_ = false;
+  pin_.Reset();
+  pin_chunk_ = SIZE_MAX;
+  Row row;
+  while (true) {
+    CONQUER_ASSIGN_OR_RETURN(bool more, outer_->Next(&row));
+    if (!more) break;
+    outer_rows_.push_back(std::move(row));
+  }
+  outer_->Close();
+  mutable_metrics().build_rows = outer_rows_.size();
+  uint64_t outer_bytes = 0;
+  for (const Row& r : outer_rows_) outer_bytes += EstimateRowBytes(r);
+  PinStats ps;
+  for (uint32_t i = 0; i < outer_rows_.size(); ++i) {
+    CONQUER_RETURN_NOT_OK(ProbeOuter(i, &ps));
+  }
+  mutable_metrics().chunks_loaded += ps.chunks_loaded;
+  mutable_metrics().chunks_evicted += ps.chunks_evicted;
+  mutable_metrics().io_read_seconds += ps.io_read_seconds;
+  // (pos, outer) order IS the replaced hash join's emission order: the
+  // probe side streamed in scan order, each row matched against build rows
+  // in build order.
+  std::sort(pairs_.begin(), pairs_.end());
+  mutable_metrics().peak_memory_bytes =
+      outer_bytes + pairs_.capacity() * sizeof(PairPos);
+  return Status::OK();
+}
+
+Result<bool> IndexNestedLoopJoinOp::NextImpl(Row* out) {
+  while (cursor_ < pairs_.size()) {
+    const PairPos p = pairs_[cursor_++];
+    if (p.first != verdict_pos_) {
+      // New inner position: decide once whether the row survives MVCC
+      // visibility and the pushed-down inner predicate; runs of pairs on
+      // the same position (several outer duplicates) reuse the verdict and
+      // the materialized inner row.
+      verdict_pos_ = p.first;
+      verdict_keep_ = false;
+      const size_t cap = inner_->chunk_capacity();
+      const size_t c = static_cast<size_t>(p.first / cap);
+      const uint32_t local = static_cast<uint32_t>(p.first % cap);
+      if (inner_->chunk(c).RowVisible(local, snapshot_)) {
+        PinStats ps;
+        EnsurePinned(c, &ps);
+        mutable_metrics().chunks_loaded += ps.chunks_loaded;
+        mutable_metrics().chunks_evicted += ps.chunks_evicted;
+        mutable_metrics().io_read_seconds += ps.io_read_seconds;
+        inner_->GetRowInto(p.first, &inner_scratch_);
+        bool pass = true;
+        if (inner_local_filter_) {
+          CONQUER_ASSIGN_OR_RETURN(
+              pass, EvalPredicate(*inner_local_filter_, inner_scratch_));
+        }
+        verdict_keep_ = pass;
+        if (pass) ++mutable_metrics().probe_rows;
+      }
+    }
+    if (!verdict_keep_) continue;
+    const Row& outer_row = outer_rows_[p.second];
+    // Exactly outer_slots_ + inner_slots_ are written on every emission, so
+    // a recycled row of the right width (last written by this operator)
+    // needs no re-clearing — HashJoinOp::EmitRow conventions.
+    if (out->size() != total_slots_) out->assign(total_slots_, Value::Null());
+    for (uint32_t s : outer_slots_) (*out)[s] = outer_row[s];
+    for (uint32_t s : inner_slots_) {
+      (*out)[s] = inner_scratch_[s - inner_slot_offset_];
+    }
+    return true;
+  }
+  return false;
+}
+
+void IndexNestedLoopJoinOp::CloseImpl() {
+  pin_.Reset();
+  pin_chunk_ = SIZE_MAX;
+  outer_rows_.clear();
+  pairs_.clear();
+}
+
+std::string IndexNestedLoopJoinOp::Describe() const {
+  std::string out = "IndexNestedLoopJoin(" + inner_->name() + ", " +
+                    inner_->schema().column(inner_column_).name +
+                    " = outer slot " + std::to_string(outer_key_slot_);
+  if (inner_filter_) out += ", filter: " + inner_filter_->ToString();
+  out += ")";
+  return out;
+}
+
+std::vector<const Operator*> IndexNestedLoopJoinOp::Children() const {
+  return {outer_.get()};
 }
 
 // ----------------------------------------------------------------- ProjectOp

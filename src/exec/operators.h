@@ -121,14 +121,26 @@ class SeqScanOp : public Operator {
   size_t emit_pin_chunk_ = SIZE_MAX;
 };
 
-/// \brief Point lookup via a hash index, producing wide rows.
+/// \brief Point lookup via a per-chunk secondary index, producing wide rows.
 ///
 /// Used when a pushed-down predicate contains `col = literal` on an indexed
-/// column; remaining conjuncts are applied as a residual filter.
+/// column and the cost model estimates the match fraction small enough to
+/// beat the vectorized scan. The operator walks the table chunk by chunk:
+/// zone maps can rule a chunk out on resident metadata (same test SeqScanOp
+/// uses, so the two access paths skip identical chunks), then the chunk's
+/// index slice is probed for candidate positions (metrics: index_probes /
+/// index_rows). Only chunks with candidates that survive the MVCC
+/// visibility check are pinned — an out-of-core point lookup faults in just
+/// the chunks containing visible matches.
+///
+/// `filter` is the *full* pushed-down predicate, including the equality
+/// conjunct the probe consumed: every emitted row re-passes it, so index-on
+/// and index-off plans return bit-identical rows (candidates are a
+/// superset; order is ascending position, i.e. scan order).
 class IndexScanOp : public Operator {
  public:
-  IndexScanOp(const Table* table, const HashIndex* index, Value key,
-              size_t slot_offset, size_t total_slots, ExprPtr residual_filter,
+  IndexScanOp(const Table* table, size_t column, Value key,
+              size_t slot_offset, size_t total_slots, ExprPtr filter,
               const ExecContext* exec = nullptr);
 
   std::string Describe() const override;
@@ -140,22 +152,29 @@ class IndexScanOp : public Operator {
 
  private:
   const Table* table_;
-  const HashIndex* index_;
+  size_t column_;  ///< table-local indexed column
   Value key_;
   size_t slot_offset_;
   size_t total_slots_;
   ExprPtr filter_;        ///< bound to the wide layout (for Describe)
   ExprPtr local_filter_;  ///< rebased to table-local slots
   const ExecContext* exec_;
-  /// MVCC snapshot pinned at Open. Indexes cover every physical row
-  /// (including dead versions — writes never rebuild them), so matches are
-  /// post-filtered by visibility here.
+  /// MVCC snapshot pinned at Open. Index slices cover every physical row
+  /// (including dead versions — in-place writes invalidate, and rebuilds
+  /// re-read all rows), so candidates are post-filtered by visibility.
   uint64_t snapshot_ = 0;
-  const std::vector<size_t>* matches_ = nullptr;
-  size_t cursor_ = 0;
+  /// `key_` normalized to the column's stored representation at Open.
+  ChunkIndex::ProbeSpec probe_;
+  size_t num_chunks_ = 0;
+  size_t chunk_cursor_ = 0;   ///< next chunk to probe
+  size_t current_chunk_ = 0;  ///< chunk the positions below belong to
+  /// Visible candidate positions (chunk-local) of the current chunk.
+  std::vector<uint32_t> positions_;
+  std::vector<uint32_t> candidates_;  ///< probe scratch (pre-visibility)
+  size_t pos_cursor_ = 0;
   Row row_scratch_;  ///< reused table-local materialization buffer
-  /// Pin on the chunk of the row being materialized, cached while
-  /// consecutive matches land in the same chunk; released at Close.
+  /// Pin on the chunk being emitted; taken only once a chunk is known to
+  /// hold a visible candidate, released when emission leaves the chunk.
   ChunkPin pin_;
   size_t pin_chunk_ = SIZE_MAX;
 };
@@ -285,6 +304,87 @@ class HashJoinOp : public Operator {
   std::vector<Value> probe_key_;  ///< scratch, reused across probe rows
   RowBatch probe_batch_;          ///< batch-path probe input buffer
   size_t probe_cursor_ = 0;
+};
+
+/// \brief Index nested-loop equi-join: a tiny build (outer) input probing a
+/// base table's per-chunk index instead of scanning the table.
+///
+/// Drop-in replacement for a HashJoinOp whose build side is estimated tiny
+/// and whose probe side is a scan of an indexed table: the outer input is
+/// drained at Open, each outer key is resolved to an index probe
+/// (join-semantics: NULL matches NULL, exactly like this engine's hash-join
+/// key equality), and candidate inner positions are collected chunk by
+/// chunk — zone maps rule chunks out on resident metadata, so an
+/// out-of-core join faults in only chunks holding matches.
+///
+/// Bit-identity with the hash join it replaces: the hash join streams the
+/// probe (inner table) side in scan order, emitting each inner row against
+/// its matching build rows in build order. This operator therefore sorts
+/// the collected (inner position, outer index) pairs and emits in exactly
+/// that order; inner rows are re-checked against MVCC visibility and the
+/// pushed-down inner predicate before emission, so the output matches the
+/// hash join row for row.
+class IndexNestedLoopJoinOp : public Operator {
+ public:
+  /// `outer_key_slot` is the wide slot of the outer join key;
+  /// `inner_column` the indexed table-local column of `inner`.
+  /// `inner_filter` is the predicate the planner would have pushed into the
+  /// inner scan (wide layout; may be null). `outer_slots` / `inner_slots`
+  /// are the referenced wide slots each side contributes (HashJoinOp
+  /// conventions).
+  IndexNestedLoopJoinOp(OperatorPtr outer, const Table* inner,
+                        size_t inner_column, int outer_key_slot,
+                        size_t inner_slot_offset, size_t total_slots,
+                        ExprPtr inner_filter,
+                        std::vector<uint32_t> outer_slots,
+                        std::vector<uint32_t> inner_slots,
+                        const ExecContext* exec = nullptr);
+
+  std::string Describe() const override;
+  std::vector<const Operator*> Children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
+
+ private:
+  /// One candidate match: inner physical position x outer row index.
+  /// Ordered by (pos, outer) — the hash join's probe-major emission order.
+  using PairPos = std::pair<uint64_t, uint32_t>;
+
+  /// Index probes for one outer key, appending (pos, outer) candidates.
+  Status ProbeOuter(uint32_t outer_idx, PinStats* pin_stats);
+  /// Fallback for keys the index cannot probe exactly (e.g. an int column
+  /// probed with a huge double): linear scan of every chunk comparing
+  /// stored values under join key equality (TotalCompare == 0).
+  Status LinearProbe(const Value& key, uint32_t outer_idx,
+                     PinStats* pin_stats);
+  void EnsurePinned(size_t chunk, PinStats* pin_stats);
+
+  OperatorPtr outer_;
+  const Table* inner_;
+  size_t inner_column_;
+  int outer_key_slot_;
+  size_t inner_slot_offset_;
+  size_t total_slots_;
+  ExprPtr inner_filter_;        ///< wide layout (for Describe)
+  ExprPtr inner_local_filter_;  ///< rebased to inner-table-local slots
+  std::vector<uint32_t> outer_slots_;
+  std::vector<uint32_t> inner_slots_;
+  const ExecContext* exec_;
+  uint64_t snapshot_ = 0;
+  std::vector<Row> outer_rows_;
+  std::vector<PairPos> pairs_;  ///< sorted candidates
+  size_t cursor_ = 0;
+  /// Verdict cache for runs of pairs sharing one inner position: whether
+  /// the row passed visibility + inner filter, and its materialized values.
+  uint64_t verdict_pos_ = ~0ull;
+  bool verdict_keep_ = false;
+  Row inner_scratch_;  ///< inner table-local row of verdict_pos_
+  ChunkPin pin_;
+  size_t pin_chunk_ = SIZE_MAX;
+  std::vector<uint32_t> candidates_;  ///< per-chunk probe scratch
 };
 
 /// \brief Projects wide rows to narrow output rows (one value per item).

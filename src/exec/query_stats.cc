@@ -43,6 +43,16 @@ void RenderNode(const PlanNodeStats& node, int depth, std::string* out) {
       "  (rows=%llu nexts=%llu time=%.3fms self=%.3fms",
       (unsigned long long)m.rows_produced, (unsigned long long)m.next_calls,
       m.total_seconds() * 1e3, node.self_seconds * 1e3));
+  if (m.est_rows >= 0.0) {
+    // Planner estimate next to the actual row count: cost-model
+    // misestimates (histogram staleness, bad NDV) show up in one line.
+    out->append(StringPrintf(" est_rows=%.0f", m.est_rows));
+  }
+  if (m.index_probes > 0) {
+    out->append(StringPrintf(" index_probes=%llu index_rows=%llu",
+                             (unsigned long long)m.index_probes,
+                             (unsigned long long)m.index_rows));
+  }
   if (m.batches > 0) {
     out->append(StringPrintf(" batches=%llu", (unsigned long long)m.batches));
   }

@@ -188,6 +188,8 @@ std::string SerializeCase(const FuzzCase& c, const std::string& note) {
     if (op.kind == FuzzOp::Kind::kRechunk) {
       out += "op rechunk " + op.table + " " + std::to_string(op.capacity) +
              "\n";
+    } else if (op.kind == FuzzOp::Kind::kCreateIndex) {
+      out += "op create_index " + op.table + " " + op.column + "\n";
     } else {
       out += "op setvalue " + op.table + " " + std::to_string(op.row) + " " +
              op.column + " " + FormatCsvLine({EncodeField(op.value)}, options) +
@@ -277,6 +279,17 @@ Result<FuzzCase> ParseCaseText(const std::string& text) {
     } else if (cmd == "op" && tokens.size() >= 4 && tokens[1] == "rechunk") {
       c.ops.push_back({FuzzOp::Kind::kRechunk, tokens[2],
                        std::strtoull(tokens[3].c_str(), nullptr, 10), 0, "",
+                       Value::Null()});
+    } else if (cmd == "op" && tokens.size() >= 4 &&
+               tokens[1] == "create_index") {
+      const FuzzTable* t = c.FindTable(tokens[2]);
+      if (t == nullptr) {
+        return fail("create_index on unknown table " + tokens[2]);
+      }
+      if (!t->FindColumn(tokens[3]).has_value()) {
+        return fail("create_index on unknown column " + tokens[3]);
+      }
+      c.ops.push_back({FuzzOp::Kind::kCreateIndex, tokens[2], 0, 0, tokens[3],
                        Value::Null()});
     } else if (cmd == "op" && tokens.size() >= 6 && tokens[1] == "setvalue") {
       const FuzzTable* t = c.FindTable(tokens[2]);

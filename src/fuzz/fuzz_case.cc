@@ -120,6 +120,9 @@ Result<BuiltDb> BuildFuzzDatabase(const FuzzCase& c) {
         table->SetValue(op.row, col, op.value);
         break;
       }
+      case FuzzOp::Kind::kCreateIndex:
+        CONQUER_RETURN_NOT_OK(out.db->CreateIndex(op.table, op.column));
+        break;
     }
   }
   return out;

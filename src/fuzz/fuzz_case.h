@@ -41,14 +41,15 @@ struct FuzzTable {
 
 /// \brief A post-load maintenance operation replayed against the built
 /// database before the query runs. Exercises the in-place update paths
-/// (SetValue zone widening / index dropping) and chunk-geometry rebuilds.
+/// (SetValue zone widening / per-chunk index-slice invalidation),
+/// chunk-geometry rebuilds, and secondary-index creation.
 struct FuzzOp {
-  enum class Kind { kRechunk, kSetValue };
+  enum class Kind { kRechunk, kSetValue, kCreateIndex };
   Kind kind = Kind::kRechunk;
   std::string table;
   size_t capacity = 0;  ///< kRechunk
   size_t row = 0;       ///< kSetValue
-  std::string column;   ///< kSetValue
+  std::string column;   ///< kSetValue, kCreateIndex
   Value value;          ///< kSetValue
 };
 

@@ -464,6 +464,55 @@ FuzzCase GenerateCase(uint64_t seed, const FuzzConfig& cfg) {
     c.memory_budget = static_cast<uint64_t>(rng.Uniform(1, 4096));
   }
   if (rng.Chance(0.25)) c.save_load_roundtrip = true;
+
+  // Secondary indexes. Emitted last so index decisions never perturb the
+  // data or query draws above: the same seed with index_rate zeroed yields
+  // the identical case minus the index dimension. Each indexed table may
+  // also pick up a selective predicate template (point or narrow range, so
+  // plans flow through IndexScan / index nested-loop joins) and an in-place
+  // SetValue that invalidates one chunk's index slice after the build —
+  // the query path must lazily rebuild exactly that slice.
+  for (int t = 0; t < n; ++t) {
+    if (!rng.Chance(cfg.index_rate)) continue;
+    const FuzzTable& table = c.tables[static_cast<size_t>(t)];
+    const size_t num_attrs = plans[t].attr_types.size();
+    const bool on_id = num_attrs == 0 || rng.Chance(0.5);
+    const size_t col =
+        on_id ? 0
+              : 1 + static_cast<size_t>(rng.Uniform(
+                        0, static_cast<int64_t>(num_attrs) - 1));
+    c.ops.push_back({FuzzOp::Kind::kCreateIndex, table.name, 0, 0,
+                     table.columns[col].name, Value::Null()});
+    if (!on_id && c.query.expect_rewritable &&
+        rng.Chance(cfg.selective_pred_rate)) {
+      // Literals sampled from stored rows keep the template satisfiable.
+      std::vector<const Value*> present;
+      for (const Row& row : table.rows) {
+        if (!row[col].is_null()) present.push_back(&row[col]);
+      }
+      if (!present.empty()) {
+        const Value& sample = *present[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(present.size()) - 1))];
+        const std::string& name = table.columns[col].name;
+        if (table.columns[col].type == DataType::kInt64 && rng.Chance(0.5)) {
+          c.query.filters.push_back(
+              {table.name, name, ">=", Value::Int(sample.int_value() - 1)});
+          c.query.filters.push_back(
+              {table.name, name, "<=", Value::Int(sample.int_value() + 1)});
+        } else {
+          c.query.filters.push_back({table.name, name, "=", sample});
+        }
+      }
+    }
+    if (!on_id && !table.rows.empty() &&
+        rng.Chance(cfg.index_setvalue_rate)) {
+      const size_t row = static_cast<size_t>(rng.Uniform(
+          0, static_cast<int64_t>(table.rows.size()) - 1));
+      Value v = RandomAttrValue(&rng, plans[t].attr_types[col - 1], cfg);
+      c.ops.push_back({FuzzOp::Kind::kSetValue, table.name, 0, row,
+                       table.columns[col].name, std::move(v)});
+    }
+  }
   return c;
 }
 

@@ -71,6 +71,21 @@ struct FuzzConfig {
   double write_rate = 0.6;
   /// Maximum SQL writes interleaved per case (uniform in [1, max_writes]).
   int max_writes = 4;
+
+  // ---- Secondary indexes (on by default). ----
+  /// Probability that a table gets a CREATE INDEX op (on its identifier or
+  /// a random attribute). Indexed cases flow through IndexScan and index
+  /// nested-loop joins; the oracle sweeps re-run them with index access
+  /// disabled and demand bit-identical answers.
+  double index_rate = 0.5;
+  /// Probability that an indexed attribute also receives a selective point
+  /// or narrow-range predicate template (satisfiable: literals are sampled
+  /// from stored rows), steering plans toward the index path.
+  double selective_pred_rate = 0.5;
+  /// Probability that an indexed attribute gets an in-place SetValue op
+  /// after the index is built, invalidating exactly one chunk's index slice
+  /// so the query path exercises lazy per-chunk rebuild.
+  double index_setvalue_rate = 0.4;
 };
 
 /// The non-rewritable mutations the generator can apply.

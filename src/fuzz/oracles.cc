@@ -255,17 +255,24 @@ void RunConfigSweeps(OracleRun* r, const CleanAnswerEngine& engine,
 
   if (r->opts.sweep_pruning_flags) {
     struct FlagConfig {
-      bool zone, bloom;
+      bool zone, bloom, index;
       const char* label;
     };
+    // Index access is swept like the pruning flags: IndexScan and the index
+    // nested-loop join return candidate supersets re-verified against the
+    // full predicate in scan row order, so disabling them must be invisible
+    // down to the last probability bit.
     static const FlagConfig kFlagConfigs[] = {
-        {false, true, "(zone_pruning=off)"},
-        {true, false, "(runtime_filters=off)"},
-        {false, false, "(zone_pruning=off, runtime_filters=off)"},
+        {false, true, true, "(zone_pruning=off)"},
+        {true, false, true, "(runtime_filters=off)"},
+        {true, true, false, "(index_scan=off)"},
+        {false, false, false,
+         "(zone_pruning=off, runtime_filters=off, index_scan=off)"},
     };
     for (const FlagConfig& fc : kFlagConfigs) {
       ctx->enable_zone_pruning = fc.zone;
       ctx->enable_runtime_filters = fc.bloom;
+      ctx->enable_index_scan = fc.index;
       for (size_t threads : r->opts.thread_counts) {
         std::string label =
             StringPrintf("%s threads=%zu", fc.label, threads);
@@ -280,6 +287,7 @@ void RunConfigSweeps(OracleRun* r, const CleanAnswerEngine& engine,
     }
     ctx->enable_zone_pruning = true;
     ctx->enable_runtime_filters = true;
+    ctx->enable_index_scan = true;
   }
 }
 
@@ -471,6 +479,20 @@ void RunMutationStage(OracleRun* r, const CleanAnswerEngine& engine) {
         r->Fail(ViolationKind::kConfigMismatch, diff);
         return;
       }
+    }
+    // Index on/off after every write: appends fed the tail chunk's index
+    // slice and updates invalidated touched slices, so this is where lazy
+    // per-chunk rebuild must still reproduce the scan bit-for-bit.
+    ExecContext* ctx = r->built.db->mutable_exec_context();
+    ctx->enable_index_scan = false;
+    label = StringPrintf("(write step %zu, index_scan=off)", step);
+    bool index_off_ok = r->Query(engine, 1, label, &run);
+    ctx->enable_index_scan = true;
+    if (!index_off_ok) return;
+    std::string index_diff = DiffAnswerSets(baseline, run, label);
+    if (!index_diff.empty()) {
+      r->Fail(ViolationKind::kConfigMismatch, index_diff);
+      return;
     }
     auto snap = ExtractVisibleSnapshot(r->c, *r->built.db);
     if (!snap.ok()) {

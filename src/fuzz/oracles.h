@@ -55,8 +55,8 @@ struct OracleOptions {
   std::vector<size_t> thread_counts = {1, 3};
   std::vector<size_t> batch_sizes = {1, 7, 1024};
   std::vector<size_t> chunk_capacities = {1, 7, 65536};
-  /// Also run with zone-map pruning and runtime Bloom filters disabled
-  /// (individually and together).
+  /// Also run with zone-map pruning, runtime Bloom filters and secondary
+  /// index access disabled (individually and together).
   bool sweep_pruning_flags = true;
   double naive_tolerance = 1e-9;
   BugInjection inject = BugInjection::kNone;
@@ -77,7 +77,8 @@ struct OracleReport {
 /// Runs every oracle over the case: expectation check (rewritable vs
 /// reject), input cluster-probability integrity, naive candidate-enumeration
 /// comparison, probability range, and bit-identity of the answer set across
-/// thread counts, batch sizes, chunk capacities and pruning flags.
+/// thread counts, batch sizes, chunk capacities, pruning flags and index
+/// access (on vs off).
 ///
 /// Cases with writes then enter the mutation stage: each write replays
 /// through the engine's write path, after which (a) every visible dirty

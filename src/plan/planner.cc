@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <set>
@@ -11,6 +12,28 @@
 namespace conquer {
 
 namespace {
+
+/// Cost-model crossover between an index probe and the vectorized scan: a
+/// probe materializes matches row-at-a-time (plus a per-chunk lookup),
+/// which measures out to roughly kIndexCostFactor times the per-row cost of
+/// the streaming scan. The index therefore wins only when the equality is
+/// expected to keep at most 1-in-kIndexCostFactor rows.
+constexpr double kIndexCostFactor = 8.0;
+
+/// An index nested-loop join must amortize one multi-chunk index probe per
+/// outer row; require the inner side to be at least this many times larger
+/// than the outer estimate before abandoning the hash join.
+constexpr double kInljBuildFactor = 16.0;
+
+/// Numeric image of a literal for histogram probes; false for NULL,
+/// strings and NaN (none has an ordering position in the histogram).
+bool LiteralAsDouble(const Value& v, double* x) {
+  if (v.is_null() || v.type() == DataType::kString) return false;
+  const double d = v.AsDouble();
+  if (std::isnan(d)) return false;
+  *x = d;
+  return true;
+}
 
 void CollectFromIndices(const Expr& e, std::set<int>* out) {
   if (e.kind == Expr::Kind::kColumnRef) {
@@ -31,20 +54,71 @@ void CollectSlots(const Expr& e, std::vector<bool>* referenced) {
   if (e.right) CollectSlots(*e.right, referenced);
 }
 
-/// Crude single-conjunct selectivity for join ordering.
+/// Splits a binary comparison into (column, literal), normalizing the
+/// operator as if the column were on the left (`5 < col` reads `col > 5`).
+/// Returns false unless the conjunct has exactly that shape.
+bool SplitColumnLiteral(const Expr& e, const Expr** col, const Expr** lit,
+                        BinaryOp* op) {
+  *op = e.bop;
+  if (e.left->kind == Expr::Kind::kColumnRef &&
+      e.right->kind == Expr::Kind::kLiteral) {
+    *col = e.left.get();
+    *lit = e.right.get();
+    return true;
+  }
+  if (e.right->kind == Expr::Kind::kColumnRef &&
+      e.left->kind == Expr::Kind::kLiteral) {
+    *col = e.right.get();
+    *lit = e.left.get();
+    switch (e.bop) {
+      case BinaryOp::kLt: *op = BinaryOp::kGt; break;
+      case BinaryOp::kLe: *op = BinaryOp::kGe; break;
+      case BinaryOp::kGt: *op = BinaryOp::kLt; break;
+      case BinaryOp::kGe: *op = BinaryOp::kLe; break;
+      default: break;
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Single-conjunct selectivity: equi-depth histograms (built by ANALYZE)
+/// estimate `=`, `<`, `<=`, `>`, `>=` and BETWEEN (two range conjuncts);
+/// NDV covers equality on unanalyzed or string columns; fixed fractions
+/// remain the last resort.
 double EstimateSelectivity(const Expr& e, const std::vector<Table*>& tables) {
   if (e.kind != Expr::Kind::kBinary) return 0.5;
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  BinaryOp op = e.bop;
+  const Histogram* hist = nullptr;
+  double x = 0.0;
   switch (e.bop) {
-    case BinaryOp::kEq: {
-      // col = literal: 1/NDV when statistics exist.
-      const Expr* col = nullptr;
-      if (e.left->kind == Expr::Kind::kColumnRef &&
-          e.right->kind == Expr::Kind::kLiteral) {
-        col = e.left.get();
-      } else if (e.right->kind == Expr::Kind::kColumnRef &&
-                 e.left->kind == Expr::Kind::kLiteral) {
-        col = e.right.get();
+    case BinaryOp::kEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      if (SplitColumnLiteral(e, &col, &lit, &op)) {
+        const Table* t = tables[col->from_index];
+        const Histogram& h = t->column_stats(col->column_index).histogram;
+        if (!h.empty() && h.total() > 0 &&
+            LiteralAsDouble(lit->literal, &x)) {
+          hist = &h;
+        }
       }
+      break;
+    default:
+      break;
+  }
+  switch (op) {
+    case BinaryOp::kEq: {
+      if (hist != nullptr) {
+        return std::clamp(
+            hist->EstimateEqual(x) / static_cast<double>(hist->total()), 0.0,
+            1.0);
+      }
+      // col = literal: 1/NDV when statistics exist.
       if (col != nullptr) {
         const Table* t = tables[col->from_index];
         size_t ndv = t->column_stats(col->column_index).num_distinct;
@@ -55,8 +129,20 @@ double EstimateSelectivity(const Expr& e, const std::vector<Table*>& tables) {
     case BinaryOp::kLt:
     case BinaryOp::kLe:
     case BinaryOp::kGt:
-    case BinaryOp::kGe:
+    case BinaryOp::kGe: {
+      if (hist != nullptr) {
+        const double total = static_cast<double>(hist->total());
+        double rows = 0.0;
+        switch (op) {
+          case BinaryOp::kLt: rows = hist->EstimateLess(x); break;
+          case BinaryOp::kLe: rows = hist->EstimateLessEqual(x); break;
+          case BinaryOp::kGt: rows = total - hist->EstimateLessEqual(x); break;
+          default: rows = total - hist->EstimateLess(x); break;
+        }
+        return std::clamp(rows / total, 0.0, 1.0);
+      }
       return 0.33;
+    }
     case BinaryOp::kNe:
       return 0.9;
     case BinaryOp::kLike:
@@ -90,10 +176,15 @@ ExprPtr AndCombine(ExprPtr a, ExprPtr b) {
   return Expr::MakeBinary(BinaryOp::kAnd, std::move(a), std::move(b));
 }
 
-/// A point-lookup candidate: `col = literal` on an indexed column.
+/// A point-lookup candidate: `col = literal` on an indexed column whose
+/// probe is sound for the literal (ChunkIndex::ResolveProbe). Recording a
+/// candidate does NOT consume the conjunct — it stays in the table filter,
+/// so cardinality estimates are access-path independent and the IndexScanOp
+/// re-applies the full predicate to its candidate rows.
 struct IndexLookup {
-  const HashIndex* index = nullptr;
+  size_t column = SIZE_MAX;  ///< table-local indexed column; SIZE_MAX = none
   Value key;
+  double eq_sel = 1.0;  ///< estimated selectivity of the equality conjunct
 };
 
 /// Per-edge join selectivity from distinct-value statistics: the classic
@@ -219,26 +310,27 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
     }
     if (refs.size() == 1) {
       int t = *refs.begin();
-      // Candidate for an index point lookup?
+      // Candidate for an index point lookup? Recorded, not consumed: the
+      // conjunct still joins the table filter below, so estimates and the
+      // residual predicate are identical whichever access path wins.
       if (c->kind == Expr::Kind::kBinary && c->bop == BinaryOp::kEq &&
-          lookups[t].index == nullptr) {
+          lookups[t].column == SIZE_MAX) {
         const Expr* col = nullptr;
         const Expr* lit = nullptr;
-        if (c->left->kind == Expr::Kind::kColumnRef &&
-            c->right->kind == Expr::Kind::kLiteral) {
-          col = c->left.get();
-          lit = c->right.get();
-        } else if (c->right->kind == Expr::Kind::kColumnRef &&
-                   c->left->kind == Expr::Kind::kLiteral) {
-          col = c->right.get();
-          lit = c->left.get();
-        }
-        if (col != nullptr && !lit->literal.is_null()) {
-          const HashIndex* idx = q.tables[t]->GetIndex(col->column_index);
+        BinaryOp op;
+        if (SplitColumnLiteral(*c, &col, &lit, &op) &&
+            !lit->literal.is_null()) {
+          const ChunkIndex* idx = q.tables[t]->GetIndex(col->column_index);
           if (idx != nullptr) {
-            lookups[t].index = idx;
-            lookups[t].key = lit->literal;
-            continue;  // consumed by the index scan
+            bool unsupported = false;
+            idx->ResolveProbe(lit->literal,
+                              q.tables[t]->dictionary(col->column_index),
+                              /*join_semantics=*/false, &unsupported);
+            if (!unsupported) {
+              lookups[t].column = col->column_index;
+              lookups[t].key = lit->literal;
+              lookups[t].eq_sel = EstimateSelectivity(*c, q.tables);
+            }
           }
         }
       }
@@ -263,29 +355,41 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
   std::vector<SeqScanOp*> seq_scans(n, nullptr);
   std::vector<double> est(n);
   std::vector<std::pair<size_t, size_t>> ranges(n);
+  const bool enable_index = exec == nullptr || exec->enable_index_scan;
+  // Per-table filter clones surviving the move into the scan: an index
+  // nested-loop join chosen later needs the inner table's predicate again.
+  std::vector<ExprPtr> inner_filters(n);
   for (size_t i = 0; i < n; ++i) {
     const Table* t = q.tables[i];
     ranges[i] = {q.slot_offsets[i], t->schema().num_columns()};
+    // The estimate is access-path independent (the index candidate's
+    // equality is part of the filter), so join ordering and build-side
+    // choices cannot drift between index-on and index-off plans.
     double rows = static_cast<double>(t->num_rows());
-    if (lookups[i].index != nullptr) {
-      rows = std::max(1.0, rows / std::max<double>(
-                               1.0, static_cast<double>(
-                                        lookups[i].index->num_keys())));
-      scans[i] = std::make_unique<IndexScanOp>(
-          t, lookups[i].index, lookups[i].key, q.slot_offsets[i],
+    if (table_filters[i]) {
+      rows *= EstimateSelectivity(*table_filters[i], q.tables);
+      inner_filters[i] = table_filters[i]->Clone();
+    }
+    est[i] = std::max(rows, 1.0);
+    // Cost-based access path: probe the index only when the equality is
+    // estimated selective enough to beat the vectorized full scan.
+    const bool use_index = enable_index && lookups[i].column != SIZE_MAX &&
+                           lookups[i].eq_sel * kIndexCostFactor <= 1.0;
+    if (use_index) {
+      auto scan = std::make_unique<IndexScanOp>(
+          t, lookups[i].column, lookups[i].key, q.slot_offsets[i],
           q.total_slots, std::move(table_filters[i]), exec);
+      scan->set_est_rows(est[i]);
+      scans[i] = std::move(scan);
     } else {
-      if (table_filters[i]) {
-        rows *= EstimateSelectivity(*table_filters[i], q.tables);
-      }
       auto scan = std::make_unique<SeqScanOp>(t, q.slot_offsets[i],
                                               q.total_slots,
                                               std::move(table_filters[i]),
                                               exec, &referenced);
+      scan->set_est_rows(est[i]);
       seq_scans[i] = scan.get();
       scans[i] = std::move(scan);
     }
-    est[i] = std::max(rows, 1.0);
   }
 
   const bool push_runtime_filters =
@@ -435,11 +539,39 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
       attach_runtime_filters(join.get(), old_keys);
       next = std::move(join);
     } else {
-      auto join = std::make_unique<HashJoinOp>(
-          std::move(plan), std::move(scans[best]), old_keys, new_keys,
-          std::move(old_slots), std::move(new_slots), exec);
-      attach_runtime_filters(join.get(), new_keys);
-      next = std::move(join);
+      // The running plan is the (much) smaller side. When the new table is
+      // a seq-scan with an index on its single join key, probe that index
+      // per outer row instead of building a hash table over — and scanning
+      // — the big side: out of core, only chunks holding matches fault in.
+      // Double join keys stay on the hash join (their NaN bucket semantics
+      // have no sound index probe).
+      if (enable_index && !cross && new_keys.size() == 1 &&
+          seq_scans[best] != nullptr &&
+          plan_est * kInljBuildFactor <= est[best]) {
+        const size_t col =
+            static_cast<size_t>(new_keys[0]) - q.slot_offsets[best];
+        const Table* t = q.tables[best];
+        if (t->GetIndex(col) != nullptr &&
+            t->schema().column(col).type != DataType::kDouble) {
+          auto join = std::make_unique<IndexNestedLoopJoinOp>(
+              std::move(plan), t, col, old_keys[0], q.slot_offsets[best],
+              q.total_slots,
+              inner_filters[best] ? inner_filters[best]->Clone() : nullptr,
+              std::move(old_slots), std::move(new_slots), exec);
+          // The replaced scan is gone: it must neither receive runtime
+          // filters nor be mistaken for a live operator below.
+          seq_scans[best] = nullptr;
+          scans[best].reset();
+          next = std::move(join);
+        }
+      }
+      if (!next) {
+        auto join = std::make_unique<HashJoinOp>(
+            std::move(plan), std::move(scans[best]), old_keys, new_keys,
+            std::move(old_slots), std::move(new_slots), exec);
+        attach_runtime_filters(join.get(), new_keys);
+        next = std::move(join);
+      }
     }
     plan = std::move(next);
     joined.insert(best);
@@ -449,6 +581,7 @@ Result<OperatorPtr> Planner::Plan(const BoundQuery& q,
     // duplicate-heavy data underestimated the running plan by orders of
     // magnitude and made later joins build on the (huge) plan side.
     plan_est = std::max(1.0, plan_est * est[best] * (cross ? 1.0 : step_sel));
+    plan->set_est_rows(plan_est);
 
     // Edges that became internal to the joined set turn into filters.
     for (JoinEdge& e : edges) {

@@ -80,9 +80,11 @@ class ChunkPin {
 /// write) over dirty ones (serialize + spill, then drop).
 ///
 /// What the budget covers: column payloads only. Zone maps, MVCC stamps,
-/// dictionaries and hash indexes stay resident by design — pruning and
-/// visibility checks must never fault I/O, and interned string Values point
-/// into the dictionaries. Pinned chunks and a chunk larger than the whole
+/// dictionaries and per-chunk secondary index slices (ChunkIndex) stay
+/// resident by design — pruning, visibility checks and index probes must
+/// never fault I/O (the one exception is rebuilding a slice invalidated by
+/// an in-place write, which pins its chunk), and interned string Values
+/// point into the dictionaries. Pinned chunks and a chunk larger than the whole
 /// budget are exempt while needed, so the budget is hard for the steady
 /// state but allows transient overshoot equal to the pinned working set.
 ///

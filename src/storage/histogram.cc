@@ -1,0 +1,95 @@
+#include "storage/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conquer {
+
+Histogram Histogram::Build(std::vector<double> values, size_t max_buckets) {
+  Histogram h;
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double d) { return std::isnan(d); }),
+               values.end());
+  if (values.empty() || max_buckets == 0) return h;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  const size_t depth = (n + max_buckets - 1) / max_buckets;
+  size_t i = 0;
+  while (i < n) {
+    size_t end = std::min(n - 1, i + depth - 1);
+    // Never split a value across buckets: boundaries stay exact.
+    while (end + 1 < n && values[end + 1] == values[end]) ++end;
+    Bucket b;
+    b.lower = values[i];
+    b.upper = values[end];
+    b.count = end - i + 1;
+    b.distinct = 1;
+    for (size_t k = i + 1; k <= end; ++k) {
+      if (values[k] != values[k - 1]) ++b.distinct;
+    }
+    h.buckets_.push_back(b);
+    i = end + 1;
+  }
+  h.total_ = n;
+  return h;
+}
+
+uint64_t Histogram::PrefixCount(size_t b) const {
+  uint64_t acc = 0;
+  for (size_t i = 0; i < b; ++i) acc += buckets_[i].count;
+  return acc;
+}
+
+// Both range estimates interpolate `frac * (count - eq)` — the mass of the
+// bucket *excluding* the probe value's own estimated multiplicity — and add
+// the equality mass back only for <=. This keeps the boundaries exact in
+// both directions: Less(lower) == prefix, LessEqual(upper) == prefix+count.
+
+double Histogram::EstimateLessEqual(double x) const {
+  double acc = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (x >= b.upper) {
+      acc += static_cast<double>(b.count);
+      continue;
+    }
+    if (x < b.lower) break;
+    const double eq = static_cast<double>(b.count) /
+                      static_cast<double>(std::max<uint64_t>(1, b.distinct));
+    const double span = b.upper - b.lower;
+    const double frac = span > 0.0 ? (x - b.lower) / span : 0.0;
+    acc += eq + frac * (static_cast<double>(b.count) - eq);
+    break;
+  }
+  return acc;
+}
+
+double Histogram::EstimateLess(double x) const {
+  double acc = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (x > b.upper) {
+      acc += static_cast<double>(b.count);
+      continue;
+    }
+    if (x <= b.lower) break;
+    const double eq = static_cast<double>(b.count) /
+                      static_cast<double>(std::max<uint64_t>(1, b.distinct));
+    const double span = b.upper - b.lower;
+    const double frac = span > 0.0 ? (x - b.lower) / span : 1.0;
+    acc += frac * (static_cast<double>(b.count) - eq);
+    break;
+  }
+  return acc;
+}
+
+double Histogram::EstimateEqual(double x) const {
+  for (const Bucket& b : buckets_) {
+    if (x < b.lower) break;
+    if (x <= b.upper) {
+      return static_cast<double>(b.count) /
+             static_cast<double>(std::max<uint64_t>(1, b.distinct));
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace conquer

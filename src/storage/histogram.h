@@ -1,0 +1,63 @@
+#ifndef CONQUER_STORAGE_HISTOGRAM_H_
+#define CONQUER_STORAGE_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace conquer {
+
+/// \brief Equi-depth histogram over one numeric column (int64/double/date/
+/// bool columns; values are folded through Value::AsDouble).
+///
+/// Built by Table::AnalyzeStatistics from the full sorted value set: each
+/// bucket holds ~n/buckets rows, with boundaries stretched so a single
+/// value never straddles two buckets. Bucket boundaries therefore carry
+/// exact cumulative counts — EstimateLessEqual(upper_bound) is exact — and
+/// estimates inside a bucket interpolate linearly, bounding the error by
+/// one bucket's depth.
+///
+/// Estimates return absolute row counts (of the non-null rows the build
+/// saw); callers divide by total() for selectivity fractions.
+class Histogram {
+ public:
+  struct Bucket {
+    double lower;       ///< smallest value in the bucket
+    double upper;       ///< largest value in the bucket
+    uint64_t count;     ///< rows in [lower, upper]
+    uint64_t distinct;  ///< distinct values in the bucket
+  };
+
+  Histogram() = default;
+
+  /// Builds from the column's non-null values (consumed; order irrelevant).
+  /// `max_buckets` caps the bucket count; fewer are used when the column
+  /// has fewer distinct values. NaNs are dropped (no ordering position).
+  static Histogram Build(std::vector<double> values, size_t max_buckets = 64);
+
+  bool empty() const { return buckets_.empty(); }
+  uint64_t total() const { return total_; }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  /// Estimated rows with value < x (exact at bucket boundaries).
+  double EstimateLess(double x) const;
+  /// Estimated rows with value <= x (exact at bucket boundaries).
+  double EstimateLessEqual(double x) const;
+  /// Estimated rows with value == x (bucket count / bucket distinct).
+  double EstimateEqual(double x) const;
+
+  uint64_t MemoryBytes() const {
+    return buckets_.capacity() * sizeof(Bucket);
+  }
+
+ private:
+  /// Rows strictly below bucket `b` (cumulative prefix, exact).
+  uint64_t PrefixCount(size_t b) const;
+
+  std::vector<Bucket> buckets_;  ///< ascending, non-overlapping
+  uint64_t total_ = 0;           ///< non-null rows at build time
+};
+
+}  // namespace conquer
+
+#endif  // CONQUER_STORAGE_HISTOGRAM_H_

@@ -7,12 +7,6 @@
 
 namespace conquer {
 
-const std::vector<size_t>& HashIndex::Lookup(const Value& key) const {
-  static const std::vector<size_t> kEmpty;
-  const std::vector<size_t>* hit = map_.FindHashed(key.Hash(), key);
-  return hit != nullptr ? *hit : kEmpty;
-}
-
 namespace {
 bool ValueFitsColumn(const Value& v, DataType col_type) {
   if (v.is_null()) return true;
@@ -150,9 +144,12 @@ void Table::SetValue(size_t row, size_t col, const Value& v) {
   ChunkPin pin = PinChunk(c);
   chunks_[c]->SetValue(row % chunk_capacity_, col, v, dicts_[col].get());
   if (pool_ != nullptr) pool_->MarkDirty(chunks_[c].get());
-  // A hash index on this column would now map stale keys; drop it rather
-  // than let a lookup consult it (CreateIndex rebuilds on demand).
-  if (col < indexes_.size()) indexes_[col].reset();
+  // Only the touched chunk's index slice is stale; invalidate it and let
+  // the next probe rebuild from the pinned payload (the other chunks'
+  // slices stay consultable).
+  if (col < indexes_.size() && indexes_[col]) {
+    indexes_[col]->InvalidateChunk(c);
+  }
 }
 
 Status Table::Insert(Row row) {
@@ -173,13 +170,29 @@ Status Table::Insert(Row row) {
   // strings are interned); indexes are fed the stored representation.
   const size_t pos = num_rows_;
   AppendToStorage(row);
-  for (auto& idx : indexes_) {
-    if (idx) idx->Insert(ValueAt(pos, idx->column()), pos);
-  }
+  MaintainIndexesOnAppend(pos);
   return Status::OK();
 }
 
-void Table::InsertUnchecked(const Row& row) { AppendToStorage(row); }
+void Table::InsertUnchecked(const Row& row) {
+  const size_t pos = num_rows_;
+  AppendToStorage(row);
+  MaintainIndexesOnAppend(pos);
+}
+
+void Table::MaintainIndexesOnAppend(size_t pos) {
+  if (indexes_.empty()) return;
+  const size_t c = pos / chunk_capacity_;
+  const uint32_t local = static_cast<uint32_t>(pos % chunk_capacity_);
+  for (auto& idx : indexes_) {
+    if (!idx) continue;
+    // The append chunk is resident (append_pin_ holds it while a pool is
+    // attached), so the stored representation reads straight off the
+    // column payload.
+    idx->EnsureChunks(c + 1);
+    idx->AppendStored(c, local, chunks_[c]->column(idx->column()));
+  }
+}
 
 Status Table::InsertVersioned(Row row, uint64_t begin_version) {
   const size_t pos = num_rows_;
@@ -265,6 +278,20 @@ void Table::Rechunk(size_t capacity) {
       }
     }
   }
+  dst_pin.Reset();
+  // Index slices hold chunk-relative positions, which the new geometry
+  // invalidated wholesale; rebuild them eagerly while the chunks are warm.
+  for (auto& idx : indexes_) {
+    if (!idx) continue;
+    auto rebuilt =
+        std::make_unique<ChunkIndex>(idx->column(), idx->type());
+    rebuilt->EnsureChunks(chunks_.size());
+    for (size_t c = 0; c < chunks_.size(); ++c) {
+      ChunkPin pin = PinChunk(c);
+      rebuilt->RebuildChunk(c, chunks_[c]->column(rebuilt->column()));
+    }
+    idx = std::move(rebuilt);
+  }
 }
 
 Status Table::CreateIndex(std::string_view column_name) {
@@ -272,28 +299,32 @@ Status Table::CreateIndex(std::string_view column_name) {
   if (indexes_.size() < schema_.num_columns()) {
     indexes_.resize(schema_.num_columns());
   }
-  auto idx = std::make_unique<HashIndex>(col);
-  // Size the key table from statistics when available, else assume unique.
-  size_t expected = num_rows_;
-  if (col < stats_.size() && stats_[col].num_distinct > 0) {
-    expected = stats_[col].num_distinct;
-  }
-  idx->Reserve(expected);
-  size_t pos = 0;
+  auto idx = std::make_unique<ChunkIndex>(col, schema_.column(col).type);
+  idx->EnsureChunks(chunks_.size());
   for (size_t c = 0; c < chunks_.size(); ++c) {
     ChunkPin pin = PinChunk(c);
-    const ColumnVector& cv = chunks_[c]->column(col);
-    for (size_t r = 0; r < chunks_[c]->num_rows(); ++r, ++pos) {
-      idx->Insert(cv.GetValue(r, dicts_[col].get()), pos);
-    }
+    idx->RebuildChunk(c, chunks_[c]->column(col));
   }
   indexes_[col] = std::move(idx);
   return Status::OK();
 }
 
-const HashIndex* Table::GetIndex(size_t column) const {
+const ChunkIndex* Table::GetIndex(size_t column) const {
   if (column >= indexes_.size()) return nullptr;
   return indexes_[column].get();
+}
+
+void Table::IndexProbeChunk(size_t column, const ChunkIndex::ProbeSpec& probe,
+                            bool scan_semantics, size_t c,
+                            std::vector<uint32_t>* out,
+                            PinStats* stats) const {
+  const ChunkIndex* idx = indexes_[column].get();
+  if (idx->TryLookup(c, probe, scan_semantics, out)) return;
+  // Invalidated (or never-built) slice: fault the payload in and rebuild.
+  // This is the only probe path that performs I/O.
+  ChunkPin pin = PinChunk(c, stats);
+  idx->RebuildAndLookup(c, chunks_[c]->column(column), probe, scan_semantics,
+                        out);
 }
 
 void Table::AnalyzeStatistics() {
@@ -305,18 +336,29 @@ void Table::AnalyzeStatistics() {
   }
   stats_.assign(schema_.num_columns(), ColumnStats{});
   std::unordered_set<Value, ValueHash> distinct;
+  std::vector<double> numeric;  // histogram input, reused across columns
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    const bool is_numeric = schema_.column(c).type != DataType::kString;
     distinct.clear();
+    numeric.clear();
+    if (is_numeric) numeric.reserve(num_rows_);
     for (size_t i = 0; i < chunks_.size(); ++i) {
       ChunkPin pin = PinChunk(i);
       const Chunk& ch = *chunks_[i];
       const ColumnVector& cv = ch.column(c);
       stats_[c].num_nulls += ch.zone(c).null_count;
       for (size_t r = 0; r < ch.num_rows(); ++r) {
-        if (!cv.is_null(r)) distinct.insert(cv.GetValue(r, dicts_[c].get()));
+        if (cv.is_null(r)) continue;
+        Value v = cv.GetValue(r, dicts_[c].get());
+        if (is_numeric) numeric.push_back(v.AsDouble());
+        distinct.insert(std::move(v));
       }
     }
     stats_[c].num_distinct = distinct.size();
+    if (is_numeric) {
+      stats_[c].histogram = Histogram::Build(std::move(numeric));
+      numeric.clear();
+    }
   }
 }
 

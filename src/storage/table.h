@@ -11,45 +11,21 @@
 #include "common/result.h"
 #include "storage/buffer_pool.h"
 #include "storage/chunk.h"
+#include "storage/chunk_index.h"
 #include "storage/dictionary.h"
+#include "storage/histogram.h"
 #include "types/value.h"
 
 namespace conquer {
-
-/// \brief Hash index over a single column: value -> row positions.
-///
-/// Built eagerly from the table contents; used by the planner for
-/// index-nested-loop joins and point lookups on identifier columns.
-/// Backed by an open-addressing flat table (no per-node allocations,
-/// reserved up-front from table statistics).
-class HashIndex {
- public:
-  explicit HashIndex(size_t column) : column_(column) {}
-
-  size_t column() const { return column_; }
-
-  /// Pre-sizes the key table (pass the column's expected distinct count).
-  void Reserve(size_t expected_keys) { map_.Reserve(expected_keys); }
-
-  void Insert(const Value& key, size_t row_pos) {
-    map_.TryEmplaceHashed(key.Hash(), key).first->push_back(row_pos);
-  }
-
-  /// Row positions whose indexed column equals `key` (empty if none).
-  const std::vector<size_t>& Lookup(const Value& key) const;
-
-  size_t num_keys() const { return map_.size(); }
-
- private:
-  size_t column_;
-  FlatHashMap<Value, std::vector<size_t>, ValueHash> map_;
-};
 
 /// \brief Per-column statistics gathered by Table::AnalyzeStatistics
 /// (the RUNSTATS analogue from the paper's experimental setup).
 struct ColumnStats {
   size_t num_distinct = 0;
   size_t num_nulls = 0;
+  /// Equi-depth value distribution for numeric columns (empty for strings
+  /// and never-analyzed columns); drives planner selectivity estimates.
+  Histogram histogram;
 };
 
 /// \brief In-memory chunked columnar table.
@@ -64,8 +40,9 @@ struct ColumnStats {
 ///
 /// All writes intern strings eagerly — including in-place SetValue — so
 /// dictionaries, zone maps and the dictionary fast path of filters are never
-/// stale. SetValue drops any hash index on the written column (the next
-/// CreateIndex rebuilds it); it never leaves a stale index consultable.
+/// stale. Secondary indexes are per-chunk (see ChunkIndex): appends feed the
+/// tail chunk's slice and SetValue invalidates only the touched chunk, which
+/// the next probe lazily rebuilds; a stale slice is never consultable.
 class Table {
  public:
   static constexpr size_t kDefaultChunkCapacity = 64 * 1024;
@@ -143,8 +120,9 @@ class Table {
   /// Overwrites one cell in place (maintenance passes: identifier
   /// propagation, probability assignment). Strings are re-interned
   /// immediately and the zone map stays conservative (null count exact,
-  /// min/max widened), so scans never consult stale statistics. Any hash
-  /// index on `col` is dropped eagerly; re-run CreateIndex to restore it.
+  /// min/max widened), so scans never consult stale statistics. An index on
+  /// `col` invalidates only the touched chunk's slice; the next probe of
+  /// that chunk rebuilds it lazily.
   void SetValue(size_t row, size_t col, const Value& v);
 
   /// Appends a row after arity and type checks (numeric widening allowed:
@@ -211,19 +189,30 @@ class Table {
   std::vector<size_t> VisibleRowPositions(uint64_t snapshot) const;
 
   /// Rebuilds the chunked storage with a new per-chunk capacity (row order,
-  /// positions, dictionaries and indexes are preserved; zone maps are
-  /// recomputed exactly). Used by tests to sweep chunk geometries.
+  /// positions and dictionaries are preserved; zone maps are recomputed
+  /// exactly and per-chunk index slices are rebuilt against the new chunk
+  /// geometry). Used by tests to sweep chunk geometries.
   void Rechunk(size_t capacity);
 
-  /// Builds (or rebuilds) a hash index on the named column.
+  /// Builds (or rebuilds) a per-chunk secondary index on the named column.
   Status CreateIndex(std::string_view column_name);
 
   /// Index on the given column position, or nullptr.
-  const HashIndex* GetIndex(size_t column) const;
+  const ChunkIndex* GetIndex(size_t column) const;
 
-  /// Recomputes per-column distinct/null counts and re-tightens every
-  /// chunk's zone maps (min/max exact again after in-place writes, and the
-  /// all-distinct flags are restored).
+  /// Probes chunk `c` of `column`'s index and appends the matching
+  /// chunk-local rows (ascending) to `out`. The fast path reads only the
+  /// resident slice; a slice invalidated by SetValue (or appended without
+  /// maintenance) pins the chunk — faulting its payload, counted in
+  /// `stats` — and rebuilds first. The index must exist.
+  void IndexProbeChunk(size_t column, const ChunkIndex::ProbeSpec& probe,
+                       bool scan_semantics, size_t c,
+                       std::vector<uint32_t>* out, PinStats* stats) const;
+
+  /// Recomputes per-column distinct/null counts, builds equi-depth
+  /// histograms for numeric columns, and re-tightens every chunk's zone
+  /// maps (min/max exact again after in-place writes, and the all-distinct
+  /// flags are restored).
   void AnalyzeStatistics();
 
   /// Statistics for a column; zeros if AnalyzeStatistics was never run.
@@ -241,6 +230,9 @@ class Table {
   Chunk* AppendChunk();
   /// Appends one schema-conforming row to storage (no index maintenance).
   void AppendToStorage(const Row& row);
+  /// Feeds the freshly appended row at global position `pos` into every
+  /// index's tail slice (reads the resident append chunk's payload).
+  void MaintainIndexesOnAppend(size_t pos);
 
   TableSchema schema_;
   BufferPool* pool_ = nullptr;  ///< residency manager (may be null)
@@ -249,7 +241,7 @@ class Table {
   size_t num_rows_ = 0;
   size_t reserve_hint_ = 0;
   std::vector<std::unique_ptr<Chunk>> chunks_;
-  std::vector<std::unique_ptr<HashIndex>> indexes_;
+  std::vector<std::unique_ptr<ChunkIndex>> indexes_;
   std::vector<ColumnStats> stats_;
   std::vector<std::unique_ptr<StringDictionary>> dicts_;
   /// Keeps the chunk under active append resident between inserts: without

@@ -128,5 +128,65 @@ TEST_F(OutOfCoreTest, IndexScanPinsOnlyMatchingChunks) {
   EXPECT_LE(io.loaded, 1u);
 }
 
+TEST_F(OutOfCoreTest, SelectiveProbeUnderTightBudgetFaultsOnlyMatchingChunks) {
+  // Fresh database with *shuffled* keys: every chunk's zone map spans
+  // nearly the full key range, so zone pruning is useless and only the
+  // per-chunk index decides which chunks can hold matches.
+  const std::string dir = dir_.string() + "_scattered";
+  std::filesystem::remove_all(dir);
+  {
+    Database db;
+    TableSchema schema("s",
+                       {{"k", DataType::kInt64}, {"v", DataType::kString}});
+    ASSERT_TRUE(db.CreateTable(schema).ok());
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 16 * 64; ++i) {
+      // 617 and 1021 are coprime: i -> (617 i) mod 1021 scatters keys, so
+      // chunk zones are useless but each key lands in very few chunks.
+      rows.push_back({Value::Int((i * 617) % 1021),
+                      Value::String("r" + std::to_string(i))});
+    }
+    ASSERT_TRUE(db.InsertMany("s", std::move(rows)).ok());
+    (*db.GetTable("s"))->Rechunk(64);
+    ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  }
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Database* db = loaded->get();
+  ASSERT_TRUE(db->CreateIndex("s", "k").ok());
+  ASSERT_TRUE(db->Analyze("s").ok());
+  // ~10% of the ~20KB payload: a chunk or two resident at a time. Index
+  // slices and zone maps stay resident regardless (never faulted).
+  db->SetMemoryBudget(2 * 1024);
+
+  // Key 440 = (617*100) mod 1021 occurs exactly once, at row 100 (chunk 1).
+  auto plan = db->Explain("select v from s where k = 440");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+
+  QueryStats stats;
+  auto rs = db->Query("select v from s where k = 440", &stats);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "r100");
+  IoTotals io;
+  SumIo(stats.plan, &io);
+  EXPECT_LE(io.loaded, 1u) << "index probe faulted a non-matching chunk";
+
+  // Contrast: with index access disabled the same query must fall back to
+  // scanning — and fault essentially the whole table through the budget.
+  db->mutable_exec_context()->enable_index_scan = false;
+  QueryStats scan_stats;
+  auto rs2 = db->Query("select v from s where k = 440", &scan_stats);
+  db->mutable_exec_context()->enable_index_scan = true;
+  ASSERT_TRUE(rs2.ok()) << rs2.status().ToString();
+  ASSERT_EQ(rs2->rows.size(), 1u);
+  EXPECT_EQ(rs2->rows[0][0].string_value(), "r100");
+  IoTotals scan_io;
+  SumIo(scan_stats.plan, &scan_io);
+  EXPECT_GE(scan_io.loaded + scan_io.skipped, 14u);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace conquer

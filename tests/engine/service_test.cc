@@ -91,6 +91,37 @@ TEST_F(ServiceTest, AnalyzeInvalidatesCachedPlans) {
   EXPECT_FALSE(info.cache_hit);
 }
 
+TEST_F(ServiceTest, CreateIndexInvalidatesCachedPlans) {
+  QueryService service(&db_);
+  ExecInfo info;
+  ASSERT_TRUE(
+      service.ExecuteSql("select id from t where id = 2", nullptr, &info)
+          .ok());
+  EXPECT_FALSE(info.cache_hit);
+  info = ExecInfo{};
+  ASSERT_TRUE(
+      service.ExecuteSql("select id from t where id = 2", nullptr, &info)
+          .ok());
+  EXPECT_TRUE(info.cache_hit);
+
+  ASSERT_TRUE(service.CreateIndex("t", "id").ok());
+
+  // A new index changes the chosen access path; serving the stale cached
+  // entry would silently keep the pre-index plan.
+  info = ExecInfo{};
+  auto rs = service.ExecuteSql("select id from t where id = 2", nullptr,
+                               &info);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_FALSE(info.cache_hit) << "CREATE INDEX must bump the catalog epoch";
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].int_value(), 2);
+
+  // And the replanned query must actually take the index.
+  auto plan = db_.Explain("select id from t where id = 2");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+}
+
 TEST_F(ServiceTest, ExplainBypassesTheCache) {
   QueryService service(&db_);
   auto rs = service.ExecuteSql("explain select id from t");

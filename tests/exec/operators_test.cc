@@ -70,8 +70,7 @@ TEST(SeqScanOpTest, ReopenRestartsTheScan) {
 TEST(IndexScanOpTest, LooksUpOnlyMatchingRows) {
   auto table = MakeNumbersTable(9);
   ASSERT_TRUE(table->CreateIndex("b").ok());
-  IndexScanOp scan(table.get(), table->GetIndex(1), Value::Int(1), 0, 2,
-                   nullptr);
+  IndexScanOp scan(table.get(), /*column=*/1, Value::Int(1), 0, 2, nullptr);
   auto rows = Drain(&scan);
   EXPECT_EQ(rows.size(), 3u);  // a in {1,4,7}
   for (const Row& r : rows) EXPECT_EQ(r[1].int_value(), 1);

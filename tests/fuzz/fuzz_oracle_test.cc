@@ -134,6 +134,46 @@ TEST(FuzzOracleTest, ShrunkCaseSurvivesCorpusRoundTrip) {
   EXPECT_TRUE(report->ok()) << report->violation;
 }
 
+// The index dimension end to end: with the index knobs maxed every case
+// carries CREATE INDEX ops (plus slice-invalidating SetValues and selective
+// predicate templates), the oracle battery — which now sweeps index access
+// on vs off — stays clean, and the ops survive a corpus round trip.
+TEST(FuzzOracleTest, IndexedCasesPassOraclesAndRoundTrip) {
+  FuzzConfig cfg;
+  cfg.mutant_rate = 0.0;
+  cfg.index_rate = 1.0;
+  cfg.selective_pred_rate = 1.0;
+  cfg.index_setvalue_rate = 1.0;
+  OracleOptions opts = FastOracleOptions();
+  size_t indexed = 0;
+  size_t invalidated = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    FuzzCase c = GenerateCase(seed, cfg);
+    for (const FuzzOp& op : c.ops) {
+      if (op.kind == FuzzOp::Kind::kCreateIndex) ++indexed;
+      if (op.kind == FuzzOp::Kind::kSetValue) ++invalidated;
+    }
+    auto report = RunOracles(c, opts);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok())
+        << "seed " << seed << ": [" << ViolationKindToString(report->kind)
+        << "] " << report->violation << "\nsql: " << c.query.Sql();
+
+    std::string text = SerializeCase(c, "indexed round-trip test");
+    auto parsed = ParseCaseText(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    ASSERT_EQ(parsed->ops.size(), c.ops.size());
+    for (size_t i = 0; i < c.ops.size(); ++i) {
+      EXPECT_EQ(static_cast<int>(parsed->ops[i].kind),
+                static_cast<int>(c.ops[i].kind));
+      EXPECT_EQ(parsed->ops[i].column, c.ops[i].column);
+    }
+  }
+  // index_rate = 1.0: every table of every case got an index.
+  EXPECT_GE(indexed, 20u);
+  EXPECT_GT(invalidated, 0u) << "no case exercised slice invalidation";
+}
+
 TEST(FuzzOracleTest, MutantsExerciseRejectPath) {
   FuzzConfig cfg;
   cfg.mutant_rate = 1.0;

@@ -70,6 +70,35 @@ TEST_F(PlannerTest, IndexPointLookupIsChosenWhenAvailable) {
   EXPECT_NE(plan2.find("SeqScan(big"), std::string::npos) << plan2;
 }
 
+TEST_F(PlannerTest, CostModelKeepsZonePrunedScanOnLowSelectivity) {
+  // `fk` has 5 distinct values over 100 rows: the histogram estimates the
+  // equality keeps ~20% of the table, past the index/scan crossover. Even
+  // with an index available the planner must keep the sequential scan.
+  ASSERT_TRUE(db_.CreateIndex("big", "fk").ok());
+  std::string plan = Explain("select x from big b where fk = 2");
+  EXPECT_NE(plan.find("SeqScan(big"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("IndexScan"), std::string::npos) << plan;
+  // The selective, all-distinct column still flips to the index.
+  ASSERT_TRUE(db_.CreateIndex("big", "k").ok());
+  std::string plan2 = Explain("select x from big b where k = 42");
+  EXPECT_NE(plan2.find("IndexScan(big"), std::string::npos) << plan2;
+}
+
+TEST_F(PlannerTest, TinyBuildSideUpgradesToIndexNestedLoopJoin) {
+  // small (5 rows) joins big (100 rows) on big's indexed unique key: the
+  // running plan is far below the hash-build crossover, so the planner
+  // probes big's index per outer row instead of scanning all of big.
+  ASSERT_TRUE(db_.CreateIndex("big", "k").ok());
+  std::string plan =
+      Explain("select s.v, b.x from small s, big b where b.k = s.k");
+  EXPECT_NE(plan.find("IndexNestedLoopJoin(big"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("HashJoin"), std::string::npos) << plan;
+  // Without the index the same query hash-joins.
+  std::string plan2 =
+      Explain("select s.v, b.x from small s, big b where b.fk = s.k");
+  EXPECT_NE(plan2.find("HashJoin"), std::string::npos) << plan2;
+}
+
 TEST_F(PlannerTest, NonEquiJoinBecomesResidualFilter) {
   std::string plan =
       Explain("select s.v from small s, big b where b.x > s.k");

@@ -104,13 +104,31 @@ TEST(ChunkTest, SetValueWidensZoneMapAndCountsNulls) {
   EXPECT_EQ(table.chunk(0).zone(0).null_count, 0u);
 }
 
-TEST(ChunkTest, SetValueInvalidatesIndexOnThatColumn) {
-  Table table = MakeSmallChunkTable(/*chunk_capacity=*/4, /*rows=*/4);
+TEST(ChunkTest, SetValueInvalidatesOnlyTheTouchedChunkSlice) {
+  Table table = MakeSmallChunkTable(/*chunk_capacity=*/4, /*rows=*/8);
   ASSERT_TRUE(table.CreateIndex("a").ok());
-  ASSERT_NE(table.GetIndex(0), nullptr);
+  const ChunkIndex* idx = table.GetIndex(0);
+  ASSERT_NE(idx, nullptr);
+  ASSERT_TRUE(idx->ChunkValid(0));
+  ASSERT_TRUE(idx->ChunkValid(1));
   table.SetValue(2, 0, Value::Int(99));
-  // The index no longer reflects the table; it must be dropped, not stale.
-  EXPECT_EQ(table.GetIndex(0), nullptr);
+  // The index survives the in-place write: only the written chunk's slice
+  // is invalidated (lazily rebuilt at the next probe); the other chunk —
+  // and the index as a whole — stay live.
+  EXPECT_NE(table.GetIndex(0), nullptr);
+  EXPECT_FALSE(idx->ChunkValid(0));
+  EXPECT_TRUE(idx->ChunkValid(1));
+  // A probe through the table rebuilds the stale slice and sees the write.
+  bool unsupported = false;
+  const ChunkIndex::ProbeSpec probe =
+      idx->ResolveProbe(Value::Int(99), table.dictionary(0),
+                        /*join_semantics=*/false, &unsupported);
+  ASSERT_FALSE(unsupported);
+  std::vector<uint32_t> hits;
+  table.IndexProbeChunk(0, probe, /*scan_semantics=*/true, 0, &hits, nullptr);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2u);
+  EXPECT_TRUE(idx->ChunkValid(0));
 }
 
 TEST(ChunkTest, SetValueKeepsIndexOnOtherColumns) {

@@ -1,0 +1,104 @@
+// Unit tests for the equi-depth histogram: exact cumulative counts at
+// bucket boundaries, bounded interpolation error inside buckets, and the
+// per-bucket distinct counts the equality estimate relies on.
+
+#include "storage/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace conquer {
+namespace {
+
+std::vector<double> Ramp(int n) {
+  std::vector<double> v;
+  v.reserve(n);
+  for (int i = 0; i < n; ++i) v.push_back(static_cast<double>(i));
+  return v;
+}
+
+TEST(HistogramTest, BucketBoundaryEstimatesAreExact) {
+  // 1000 distinct values 0..999 across 10 buckets of depth 100.
+  Histogram h = Histogram::Build(Ramp(1000), /*max_buckets=*/10);
+  ASSERT_FALSE(h.empty());
+  EXPECT_EQ(h.total(), 1000u);
+  uint64_t cumulative = 0;
+  for (const Histogram::Bucket& b : h.buckets()) {
+    // Rows strictly below the bucket == the prefix before it, exactly.
+    EXPECT_DOUBLE_EQ(h.EstimateLess(b.lower), static_cast<double>(cumulative))
+        << "at lower bound " << b.lower;
+    cumulative += b.count;
+    // Rows at-or-below the bucket's upper bound == the prefix through it.
+    EXPECT_DOUBLE_EQ(h.EstimateLessEqual(b.upper),
+                     static_cast<double>(cumulative))
+        << "at upper bound " << b.upper;
+  }
+  EXPECT_EQ(cumulative, 1000u);
+}
+
+TEST(HistogramTest, InteriorEstimatesOffByAtMostOneBucketDepth) {
+  Histogram h = Histogram::Build(Ramp(1000), /*max_buckets=*/10);
+  // True count of values <= x for the 0..999 ramp is floor(x) + 1.
+  for (double x = 0.5; x < 1000.0; x += 13.25) {
+    const double truth = std::floor(x) + 1.0;
+    const double est = h.EstimateLessEqual(x);
+    EXPECT_LE(std::fabs(est - truth), 100.0) << "at x = " << x;
+  }
+  // Out-of-range probes clamp to the exact extremes.
+  EXPECT_DOUBLE_EQ(h.EstimateLessEqual(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateLess(5000.0), 1000.0);
+}
+
+TEST(HistogramTest, EqualityUsesPerBucketDistinctCounts) {
+  // All-distinct column: every equality estimates ~1 row.
+  Histogram uni = Histogram::Build(Ramp(256), /*max_buckets=*/8);
+  EXPECT_NEAR(uni.EstimateEqual(17.0), 1.0, 1e-9);
+  // Heavy hitter: 500 copies of 7 among 100 other singletons. The bucket
+  // holding 7 is dominated by it, so the estimate must reflect the skew.
+  std::vector<double> skew(500, 7.0);
+  for (int i = 0; i < 100; ++i) skew.push_back(1000.0 + i);
+  Histogram h = Histogram::Build(std::move(skew), /*max_buckets=*/8);
+  EXPECT_GE(h.EstimateEqual(7.0), 100.0);
+  // A value outside every bucket estimates zero.
+  EXPECT_DOUBLE_EQ(h.EstimateEqual(-50.0), 0.0);
+}
+
+TEST(HistogramTest, SingleValueNeverStraddlesBuckets) {
+  // 1000 copies of one value must land in one bucket even when the target
+  // depth (1100/8 ~ 137) is far smaller: equi-depth boundaries stretch.
+  std::vector<double> vals(1000, 42.5);
+  for (int i = 0; i < 50; ++i) vals.push_back(static_cast<double>(i));
+  for (int i = 0; i < 50; ++i) vals.push_back(100.0 + i);
+  Histogram h = Histogram::Build(std::move(vals), /*max_buckets=*/8);
+  int holders = 0;
+  uint64_t holder_count = 0;
+  for (const Histogram::Bucket& b : h.buckets()) {
+    if (b.lower <= 42.5 && 42.5 <= b.upper) {
+      ++holders;
+      holder_count = b.count;
+    }
+  }
+  EXPECT_EQ(holders, 1);
+  // All 1000 copies sit in that single bucket (plus whatever ramp values
+  // the stretched boundary swallowed) — none leaked into a neighbour.
+  EXPECT_GE(holder_count, 1000u);
+}
+
+TEST(HistogramTest, EmptyAndDegenerateInputs) {
+  Histogram empty = Histogram::Build({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.total(), 0u);
+  // NaNs have no ordering position and are dropped at build time.
+  Histogram h = Histogram::Build({1.0, std::nan(""), 2.0});
+  EXPECT_EQ(h.total(), 2u);
+  // Single-value histogram: boundaries degenerate but estimates hold.
+  Histogram one = Histogram::Build({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(one.EstimateEqual(5.0), 3.0);
+  EXPECT_DOUBLE_EQ(one.EstimateLess(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(one.EstimateLessEqual(5.0), 3.0);
+}
+
+}  // namespace
+}  // namespace conquer
